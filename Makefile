@@ -1,0 +1,28 @@
+# Convenience targets for the DSN 2021 reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench db examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+db:
+	$(PYTHON) -m repro build-db
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/rtl_campaign.py --faults 300
+	$(PYTHON) examples/hpc_pvf.py --injections 200
+	$(PYTHON) examples/cnn_reliability.py --injections 60
+	$(PYTHON) examples/custom_kernel_asm.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/output
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,61 @@
+"""Extension fault models — the paper's proposed refinements, measured.
+
+Compares four software fault models on one masking-prone application
+(Hotspot): single bit-flip (stock NVBitFI), the RTL relative-error
+syndrome (the paper's model), the module-weighted cocktail (Sec. VI's
+"tuned with module probabilities" variant) and the multi-thread syndrome
+(Sec. VI's "NVBitFI could inject in multiple threads" variant).
+
+Shape claims: all syndrome-family models report a PVF at or above the
+bit-flip model's, and the multi-thread variant at or above the
+single-thread syndrome (more corrupted state can only propagate more).
+"""
+
+from repro.apps import Hotspot
+from repro.swfi import (
+    ModuleWeightedSyndrome,
+    RelativeErrorSyndrome,
+    SingleBitFlip,
+    SoftwareInjector,
+    run_pvf_campaign,
+)
+
+from conftest import emit, scaled
+
+
+def _run(database):
+    app = Hotspot(seed=0)
+    injector = SoftwareInjector(app)
+    models = [
+        SingleBitFlip(),
+        RelativeErrorSyndrome(database),
+        ModuleWeightedSyndrome(database),
+        RelativeErrorSyndrome(database, multi_thread=True),
+    ]
+    labels = ["single-bit-flip", "relative-error", "module-weighted",
+              "multi-thread"]
+    n = scaled(350)
+    reports = {}
+    for label, model in zip(labels, models):
+        reports[label] = run_pvf_campaign(app, model, n, seed=13,
+                                          injector=injector)
+    return reports
+
+
+def test_extension_models(benchmark, database):
+    reports = benchmark.pedantic(_run, args=(database,), rounds=1,
+                                 iterations=1)
+    lines = ["Extension fault models on Hotspot (SDC PVF)"]
+    for label, report in reports.items():
+        low, high = report.confidence_interval()
+        lines.append(f"  {label:16s} PVF={report.pvf:.3f} "
+                     f"(95% CI [{low:.3f}, {high:.3f}])")
+    emit("extension_models", "\n".join(lines))
+
+    bitflip = reports["single-bit-flip"].pvf
+    syndrome = reports["relative-error"].pvf
+    weighted = reports["module-weighted"].pvf
+    multi = reports["multi-thread"].pvf
+    assert syndrome >= bitflip - 0.05
+    assert weighted >= bitflip - 0.05
+    assert multi >= syndrome - 0.05

@@ -1,0 +1,62 @@
+"""Figure 4 — AVF of RTL injections per module and instruction.
+
+Reruns the micro-benchmark campaign grid (all 12 opcodes, S/M/L ranges,
+every module each opcode exercises) and renders the AVF split into
+single-thread SDC, multi-thread SDC and DUE.  Shape claims from the
+paper:
+
+* functional-unit faults produce SDCs, (almost) never DUEs;
+* INT/FP32 FU SDCs corrupt a single thread;
+* the scheduler has the lowest SDC AVF on the micro-benchmarks;
+* scheduler SDCs frequently corrupt multiple threads;
+* BRA/ISET raise the scheduler's DUE AVF above the arithmetic opcodes'.
+"""
+
+from repro.analysis.avf import aggregate_avf, mean_corrupted_threads_by_module
+from repro.analysis.figures import render_fig4
+from repro.rtl import run_grid
+
+from conftest import emit, scaled
+
+
+def _run(injector):
+    return run_grid(n_faults=scaled(250), seed=2021, injector=injector)
+
+
+def test_fig4(benchmark, injector):
+    reports = benchmark.pedantic(_run, args=(injector,), rounds=1,
+                                 iterations=1)
+    cells = aggregate_avf(reports)
+    means = mean_corrupted_threads_by_module(reports)
+    text = render_fig4(cells)
+    text += "\n\nmean corrupted threads per SDC by module "
+    text += "(paper: FU=1, SFU=8, scheduler=28, pipeline=18):\n  "
+    text += "  ".join(f"{m}={v:.1f}" for m, v in sorted(means.items()))
+    emit("fig4_avf", text)
+
+    by_cell = {(c.module, c.instruction): c for c in cells}
+    # functional units: SDC-only, single-thread
+    for module, instr in [("fp32", "FADD"), ("fp32", "FMUL"),
+                          ("fp32", "FFMA"), ("int", "IADD"),
+                          ("int", "IMUL"), ("int", "IMAD")]:
+        cell = by_cell[(module, instr)]
+        assert cell.due <= 0.01, (module, instr)
+        assert cell.sdc_multiple <= 0.01, (module, instr)
+        assert cell.sdc_single > 0.0, (module, instr)
+    # scheduler has the lowest SDC AVF among modules for FADD
+    fadd_sdc = {m: by_cell[(m, "FADD")].sdc
+                for m in ("fp32", "scheduler", "pipeline")}
+    assert fadd_sdc["scheduler"] <= fadd_sdc["fp32"]
+    assert fadd_sdc["scheduler"] <= fadd_sdc["pipeline"]
+    # scheduler corrupts multiple threads; FUs do not
+    assert means.get("scheduler", 0) > means.get("fp32", 1.0)
+    # scheduler faults do produce DUEs on control flow; the paper's finer
+    # BRA/ISET-vs-arithmetic ordering (0.8% vs 0.55%) needs paper-scale
+    # campaigns to resolve, so it is only asserted at higher scales
+    assert by_cell[("scheduler", "BRA")].due > 0.0
+    if scaled(250) >= 1500:
+        cf_due = (by_cell[("scheduler", "BRA")].due
+                  + by_cell[("scheduler", "ISET")].due) / 2
+        arith_due = sum(by_cell[("scheduler", i)].due
+                        for i in ("FADD", "FMUL", "IADD", "IMUL")) / 4
+        assert cf_due >= arith_due - 0.002

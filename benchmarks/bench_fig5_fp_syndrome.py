@@ -1,0 +1,42 @@
+"""Figure 5 — fault-syndrome (relative error) distributions, FP opcodes.
+
+Distils the shipped RTL campaign data into per-(opcode, range, module)
+relative-error histograms over the paper's decade bins.  Shape claims:
+distributions are non-Gaussian (Shapiro-Wilk p < 0.05), peaked and
+narrow — only a tiny fraction of syndromes exceed a 100x output change —
+and they follow power laws with a finite fitted exponent.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import render_syndrome_histograms
+from repro.syndrome.powerlaw import is_gaussian
+
+from conftest import emit
+
+
+def _collect(database):
+    entries = [e for e in database.entries()
+               if e.key.opcode in ("FADD", "FMUL", "FFMA")
+               and e.key.module in ("fp32", "pipeline", "scheduler")]
+    return sorted(entries, key=lambda e: e.key.as_tuple())
+
+
+def test_fig5(benchmark, database):
+    entries = benchmark.pedantic(_collect, args=(database,), rounds=1,
+                                 iterations=1)
+    emit("fig5_fp_syndrome", render_syndrome_histograms(
+        entries, "Figure 5 — FP relative-error syndromes (decade bins)"))
+
+    assert entries
+    for entry in entries:
+        if entry.n_samples < 25:
+            continue
+        finite = [e for e in entry.relative_errors if np.isfinite(e)]
+        # non-Gaussian, as the paper's Shapiro-Wilk test found everywhere
+        assert not is_gaussian(finite), entry.key
+        # narrow: >100x corruption is rare at the instruction output
+        huge = sum(1 for e in finite if e > 1e2)
+        assert huge / len(finite) < 0.35, entry.key
+        # a power law was fittable
+        assert entry.fit is not None and entry.fit.alpha > 1.0

@@ -1,0 +1,55 @@
+"""Figure 7 — t-MxM AVF for scheduler and pipeline injections.
+
+Reruns the t-MxM campaigns over the three tile kinds (Max/Zero/Random)
+for both injection sites.  Shape claims: the Zero tile's pipeline SDC AVF
+is depressed by data masking (multiplications by zero); a large share of
+scheduler SDCs corrupt multiple elements; scheduler DUEs exist.
+"""
+
+from repro.analysis.avf import AvfCell
+from repro.analysis.figures import render_fig7
+from repro.rng import spawn_seeds
+from repro.rtl import make_tmxm_bench, run_campaign
+
+from conftest import emit, scaled
+
+
+def _run(injector):
+    reports = {}
+    cells = [(kind, module) for kind in ("Max", "Zero", "Random")
+             for module in ("scheduler", "pipeline")]
+    for (kind, module), seed in zip(cells, spawn_seeds(77, len(cells))):
+        bench = make_tmxm_bench(kind, seed=seed)
+        reports[(kind, module)] = run_campaign(
+            bench, module, scaled(700), seed=seed, injector=injector)
+    return reports
+
+
+def test_fig7(benchmark, injector):
+    reports = benchmark.pedantic(_run, args=(injector,), rounds=1,
+                                 iterations=1)
+    cells = [
+        AvfCell(
+            module=module,
+            instruction=kind,
+            n_injections=r.n_injections,
+            sdc_single=r.n_sdc_single / r.n_injections,
+            sdc_multiple=r.n_sdc_multiple / r.n_injections,
+            due=r.n_due / r.n_injections,
+        )
+        for (kind, module), r in sorted(reports.items())
+    ]
+    emit("fig7_tmxm_avf", render_fig7(
+        cells, {k: k for k in ("Max", "Zero", "Random")}))
+
+    by_cell = {(c.module, c.instruction): c for c in cells}
+    # Zero-tile data masking depresses the pipeline SDC AVF (paper Fig. 7)
+    assert by_cell[("pipeline", "Zero")].sdc < \
+        by_cell[("pipeline", "Random")].sdc
+    # scheduler faults produce multi-element SDCs on t-MxM
+    sched_multi = sum(by_cell[("scheduler", k)].sdc_multiple
+                      for k in ("Max", "Zero", "Random"))
+    assert sched_multi > 0.0
+    # both sites produce DUEs on the loop-heavy mini-app
+    assert by_cell[("scheduler", "Random")].due > 0.0
+    assert by_cell[("pipeline", "Random")].due > 0.0

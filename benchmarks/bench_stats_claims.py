@@ -1,0 +1,74 @@
+"""Sec. V statistical claims — the paper's cross-cutting assertions.
+
+Checks, on freshly run campaigns and the shipped database:
+
+* the AVF's input-range insensitivity (paper: S/M/L spread < 5 points,
+  justifying range-averaged Figure 4);
+* the statistical margin of error of the campaign sizes (paper: 12,000
+  faults per campaign -> <3% margin; here reported for the actual size);
+* non-Gaussianity of every well-populated syndrome distribution
+  (Shapiro-Wilk p < 0.05, Sec. V-C);
+* multi-thread corruption ordering across modules (paper averages:
+  FU=1 < SFU=8 < pipeline=18 < scheduler=28).
+"""
+
+import numpy as np
+
+from repro.analysis.avf import avf_range_spread, mean_corrupted_threads_by_module
+from repro.analysis.stats import margin_of_error
+from repro.gpu import Opcode
+from repro.rtl import run_grid
+from repro.syndrome.powerlaw import is_gaussian
+
+from conftest import emit, scaled
+
+
+def _run(injector):
+    return run_grid(
+        opcodes=[Opcode.FADD, Opcode.IADD, Opcode.FSIN],
+        n_faults=scaled(400),
+        seed=99,
+        injector=injector,
+    )
+
+
+def test_stats_claims(benchmark, injector, database):
+    reports = benchmark.pedantic(_run, args=(injector,), rounds=1,
+                                 iterations=1)
+    spread = avf_range_spread(reports)
+    means = mean_corrupted_threads_by_module(reports)
+    n_faults = reports[0].n_injections
+    margin = margin_of_error(n_faults)
+
+    lines = ["Sec. V statistical claims"]
+    lines.append(f"  margin of error at {n_faults} faults/campaign: "
+                 f"{100 * margin:.1f}% (paper: <3% at 12,000)")
+    worst = max(spread.items(), key=lambda kv: kv[1])
+    lines.append(f"  worst AVF spread across S/M/L: "
+                 f"{100 * worst[1]:.1f} points at {worst[0]} "
+                 "(paper: always < 5 points)")
+    lines.append("  mean corrupted threads per SDC: "
+                 + "  ".join(f"{m}={v:.1f}"
+                             for m, v in sorted(means.items()))
+                 + "  (paper: FU=1, SFU=8, pipeline=18, scheduler=28)")
+    gaussian_rejections = 0
+    populated = 0
+    for entry in database.entries():
+        finite = [e for e in entry.relative_errors if np.isfinite(e)]
+        if len(finite) >= 25:
+            populated += 1
+            if not is_gaussian(finite):
+                gaussian_rejections += 1
+    lines.append(f"  Shapiro-Wilk rejects normality for "
+                 f"{gaussian_rejections}/{populated} populated syndrome "
+                 "cells (paper: all)")
+    emit("stats_claims", "\n".join(lines))
+
+    assert margin_of_error(12_000) < 0.03
+    # input-range insensitivity, with slack for the small campaign size
+    assert worst[1] < 0.05 + 2 * margin
+    # multi-thread ordering: FU < SFU-side < scheduler
+    assert means["fp32"] == 1.0
+    assert means["scheduler"] > means["fp32"]
+    # syndromes are overwhelmingly non-Gaussian
+    assert gaussian_rejections >= 0.9 * populated

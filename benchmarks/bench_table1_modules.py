@@ -1,0 +1,34 @@
+"""Table I — evaluated modules, flip-flop sizes, instructions per module.
+
+Regenerates the module inventory from the RTL model's declared flip-flops
+and prints it next to the paper's FlexGripPlus sizes.  Shape claims
+checked: six modules; the pipeline is the largest module; the SFU
+controller is the smallest; ~16% of pipeline flip-flops are control.
+"""
+
+from repro.analysis.tables import PAPER_TABLE1_SIZES, render_table1
+from repro.gpu.fault_plane import ModuleName
+
+from conftest import emit
+
+
+def _build(injector):
+    plane = injector.plane
+    sizes = plane.module_sizes()
+    return plane, sizes
+
+
+def test_table1(benchmark, injector):
+    plane, sizes = benchmark.pedantic(
+        _build, args=(injector,), rounds=1, iterations=1)
+    emit("table1_modules", render_table1(plane))
+
+    assert set(sizes) == set(ModuleName.ALL)
+    # pipeline registers dominate, SFU controller is tiny — as in Table I
+    assert max(sizes, key=sizes.get) == ModuleName.PIPELINE
+    assert min(sizes, key=sizes.get) == ModuleName.SFU_CONTROLLER
+    # FP32 bigger than INT (the paper's ~3x area argument)
+    assert sizes[ModuleName.FP32] > sizes[ModuleName.INT]
+    control = sum(ff.width for ff in plane.flipflops(ModuleName.PIPELINE)
+                  if ff.kind == "control")
+    assert 0.10 <= control / sizes[ModuleName.PIPELINE] <= 0.22

@@ -1,0 +1,71 @@
+"""Table II + Figure 8 — spatial patterns of multi-element t-MxM SDCs.
+
+Reads the shipped t-MxM campaign data (36,000 RTL injections) and renders
+both the Table II percentage distribution and the Figure 8 occurrence
+summary.  Shape claims: pipeline multi-element SDCs are dominated by ROW
+patterns; the scheduler produces the warp-wide (block/all) corruption;
+whole-column corruption is rare for both sites — all as the paper found.
+"""
+
+from repro.analysis.figures import render_fig8
+from repro.analysis.tables import render_table2
+from repro.syndrome.spatial import SpatialPattern
+
+from conftest import emit
+
+
+def _collect(database):
+    return database.tmxm_entries()
+
+
+def test_table2_fig8(benchmark, database):
+    entries = benchmark.pedantic(_collect, args=(database,), rounds=1,
+                                 iterations=1)
+    emit("table2_patterns",
+         render_table2(entries) + "\n\n" + render_fig8(entries))
+
+    def multi_counts(module):
+        counts = {}
+        for entry in entries:
+            if entry.module != module:
+                continue
+            for pattern, stats in entry.patterns.items():
+                if pattern is SpatialPattern.SINGLE:
+                    continue
+                counts[pattern] = counts.get(pattern, 0) + stats.occurrences
+        return counts
+
+    pipeline = multi_counts("pipeline")
+    scheduler = multi_counts("scheduler")
+    assert pipeline and scheduler
+
+    # pipeline: rows dominate the multi-element patterns (paper: 45.4%)
+    total_pipeline = sum(pipeline.values())
+    assert pipeline.get(SpatialPattern.ROW, 0) / total_pipeline > 0.35
+    # scheduler: warp-wide corruption (block/all) present, and the
+    # overall multi mix far broader than the pipeline's (paper Fig. 8)
+    total_scheduler = sum(scheduler.values())
+    wide = (scheduler.get(SpatialPattern.BLOCK, 0)
+            + scheduler.get(SpatialPattern.ALL, 0))
+    assert wide / total_scheduler > 0.1
+    assert len(scheduler) > len(pipeline)
+    # the defining scheduler property (paper Sec. V-D): most of its t-MxM
+    # SDCs corrupt multiple elements, far beyond the pipeline's share
+    def multi_fraction(module):
+        multi = singles = 0
+        for entry in entries:
+            if entry.module != module:
+                continue
+            for pattern, stats in entry.patterns.items():
+                if pattern is SpatialPattern.SINGLE:
+                    singles += stats.occurrences
+                else:
+                    multi += stats.occurrences
+        return multi / max(multi + singles, 1)
+
+    assert multi_fraction("scheduler") > 0.4   # paper: >= 70%
+    assert multi_fraction("scheduler") > 2 * multi_fraction("pipeline")
+    # whole-column corruption is rare everywhere (paper: ~1%)
+    for counts, total in ((pipeline, total_pipeline),
+                          (scheduler, total_scheduler)):
+        assert counts.get(SpatialPattern.COLUMN, 0) / total < 0.2

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures and output plumbing.
+
+Every benchmark regenerates one of the paper's exhibits: it runs the
+producing campaign (timed via pytest-benchmark), renders the exhibit next
+to the paper's published numbers, prints it, and archives it under
+``benchmarks/output/``.  Campaign sizes scale with the
+``REPRO_BENCH_SCALE`` environment variable (default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datafiles import load_database
+from repro.rtl import RTLInjector
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Global scale knob: 2.0 doubles every campaign, 0.25 quarters it.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 20) -> int:
+    """Scale a campaign size by REPRO_BENCH_SCALE."""
+    return max(minimum, int(n * SCALE))
+
+
+def emit(name: str, text: str) -> None:
+    """Print an exhibit and archive it under benchmarks/output/."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def injector():
+    """One shared SM model for all RTL benchmark campaigns."""
+    return RTLInjector()
+
+
+@pytest.fixture(scope="session")
+def database():
+    """The shipped syndrome database (the paper's public data repo)."""
+    return load_database()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""CNN reliability: single-value corruption vs t-MxM tile corruption.
+
+Reproduces Sec. VI's CNN study: measure LeNET's and YOLO's PVF under the
+bit-flip and RTL-syndrome models, then inject whole corrupted t-MxM tiles
+(spatial pattern + per-element power-law errors from the RTL database)
+and measure the *critical* SDC rate — misclassifications and
+misdetections.
+
+Run:  python examples/cnn_reliability.py [--injections 120]
+"""
+
+import argparse
+
+from repro.apps import LeNetApp, YoloApp
+from repro.datafiles import load_database
+from repro.swfi import (
+    RelativeErrorSyndrome,
+    SingleBitFlip,
+    SoftwareInjector,
+    run_pvf_campaign,
+)
+from repro.swfi.tmxm_injector import TmxmInjector
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--injections", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=9)
+    args = parser.parse_args()
+
+    database = load_database()
+    print("building and training the CNNs...")
+    lenet = LeNetApp(batch=2, seed=0)
+    yolo = YoloApp(batch=2, seed=0)
+    print(f"  LeNET train accuracy: {lenet.net.train_accuracy:.2f}\n")
+
+    for app in (lenet, yolo):
+        injector = SoftwareInjector(app)
+        bitflip = run_pvf_campaign(app, SingleBitFlip(), args.injections,
+                                   seed=args.seed, injector=injector)
+        syndrome = run_pvf_campaign(
+            app, RelativeErrorSyndrome(database), args.injections,
+            seed=args.seed, injector=injector)
+        print(f"{app.name}: single-value corruption")
+        print(f"  bit-flip PVF       {bitflip.pvf:.3f}")
+        print(f"  RTL-syndrome PVF   {syndrome.pvf:.3f}")
+
+        tile_injector = TmxmInjector(app, database, tile_kind="Random",
+                                     module="scheduler")
+        tile = tile_injector.run_campaign(args.injections, seed=args.seed)
+        print(f"  t-MxM tile corruption: PVF {tile.pvf:.3f}, "
+              f"critical SDC rate {tile.critical_rate:.3f}")
+        print(f"  injected patterns: {tile.pattern_counts}")
+        print()
+
+    print("paper reference: t-MxM injection produced 20% (LeNET) / 15% "
+          "(YOLO) critical errors,\nwhile bit flips and single-value "
+          "syndromes never flipped a LeNET classification.")
+
+
+if __name__ == "__main__":
+    main()

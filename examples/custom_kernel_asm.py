@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Characterise a custom kernel written in SASS-style assembly.
+
+Shows the extension workflow a third party would use on their own
+workload: write the kernel as assembly text, run an RTL campaign over it,
+and attribute the observed errors to the hardware registers that caused
+them.
+
+Run:  python examples/custom_kernel_asm.py
+"""
+
+import numpy as np
+
+from repro.analysis.attribution import attribute_outcomes, render_attribution
+from repro.gpu import StreamingMultiprocessor, assemble, disassemble
+from repro.gpu.bits import bits_to_float, float_to_bits
+from repro.rng import make_rng
+from repro.rtl import RTLInjector, run_campaign
+from repro.rtl.microbench import Microbenchmark
+from repro.gpu.isa import Opcode
+
+# an axpy-with-a-twist kernel: y[i] = a * x[i] + sin(x[i])
+KERNEL = """
+// y[i] = a * x[i] + sin(x[i])
+    GLD   R2, [R0 + 0x100]     // x[i]
+    MOV   R3, 0x3FC00000       // a = 1.5f
+    FMUL  R4, R2, R3
+    FSIN  R5, R2
+    FADD  R6, R4, R5
+    GST   [R0 + 0x300], R6
+    EXIT
+"""
+
+
+def main() -> None:
+    program = assemble(KERNEL, name="axpy_sin")
+    print("assembled program:")
+    print(disassemble(program))
+
+    # fault-free run
+    n = 64
+    rng = make_rng(0)
+    x = [float(v) for v in rng.uniform(0.0, 1.5, n)]
+    image = {0x100: tuple(float_to_bits(v) for v in x)}
+    sm = StreamingMultiprocessor()
+    result = sm.launch(program, n, memory_image=image)
+    out = result.memory.read_floats(0x300, n)
+    expected = [float(np.float32(np.float32(1.5) * np.float32(v))
+                      + np.float32(np.sin(v))) for v in x]
+    worst = max(abs(a - b) for a, b in zip(out, expected))
+    print(f"fault-free check: max |err| vs reference = {worst:.2e}\n")
+
+    # wrap the kernel as an injectable workload and run campaigns
+    bench = Microbenchmark(
+        name="axpy_sin",
+        opcode=Opcode.FADD,  # module-compatibility anchor
+        input_range="M",
+        program=program,
+        memory_image={0x100: tuple(float_to_bits(v) for v in x)},
+        output_regions=((0x300, n),),
+        value_kind="f32",
+        n_threads=n,
+    )
+    injector = RTLInjector(sm)
+    reports = []
+    for module in ("fp32", "sfu_controller", "scheduler", "pipeline"):
+        report = run_campaign(bench, module, n_faults=500, seed=3,
+                              injector=injector)
+        reports.append(report)
+        print(f"  {module:15s} masked={report.n_masked:4d} "
+              f"SDC={report.n_sdc:3d} DUE={report.n_due:3d} "
+              f"meanThreads={report.mean_corrupted_threads():.1f}")
+    print()
+    print(render_attribution(attribute_outcomes(reports)))
+
+
+if __name__ == "__main__":
+    main()

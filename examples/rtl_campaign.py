@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""RTL characterisation campaign: AVF, syndromes and t-MxM patterns.
+
+A deeper tour of the RTL level: runs campaigns across modules and input
+ranges for a chosen opcode, prints the AVF breakdown, the relative-error
+histogram per range, and a t-MxM campaign's spatial corruption patterns.
+
+Run:  python examples/rtl_campaign.py [--opcode FMUL] [--faults 500]
+"""
+
+import argparse
+
+from repro.analysis.avf import aggregate_avf
+from repro.analysis.figures import render_fig4, render_syndrome_histograms
+from repro.analysis.tables import render_table1, render_table2
+from repro.gpu import Opcode
+from repro.rtl import (
+    RTLInjector,
+    make_microbenchmark,
+    make_tmxm_bench,
+    modules_for_opcode,
+    run_campaign,
+)
+from repro.syndrome import entry_from_report, tmxm_entry_from_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--opcode", default="FMUL",
+                        choices=[o.value for o in Opcode
+                                 if o.value not in ("MOV", "NOP", "EXIT")])
+    parser.add_argument("--faults", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    opcode = Opcode(args.opcode)
+    injector = RTLInjector()
+
+    print(render_table1(injector.plane))
+    print()
+
+    # campaign grid: every module this opcode exercises x S/M/L
+    reports = []
+    for module in modules_for_opcode(opcode):
+        for range_key in ("S", "M", "L"):
+            bench = make_microbenchmark(opcode, range_key, seed=args.seed)
+            reports.append(run_campaign(bench, module, args.faults,
+                                        seed=args.seed, injector=injector))
+    print(render_fig4(aggregate_avf(reports)))
+    print()
+
+    entries = [entry_from_report(r) for r in reports if r.detailed]
+    print(render_syndrome_histograms(
+        entries, f"{opcode.value} relative-error syndromes"))
+    print()
+
+    # t-MxM mini-app: spatial corruption patterns
+    tmxm_entries = []
+    for module in ("scheduler", "pipeline"):
+        bench = make_tmxm_bench("Random", seed=args.seed)
+        report = run_campaign(bench, module, args.faults, seed=args.seed,
+                              injector=injector)
+        tmxm_entries.append(tmxm_entry_from_report(report))
+    print(render_table2(tmxm_entries))
+
+
+if __name__ == "__main__":
+    main()

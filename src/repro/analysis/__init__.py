@@ -1,0 +1,83 @@
+"""Analysis: AVF/PVF aggregation, statistics, figure/table renderers."""
+
+from .attribution import (
+    RegisterAttribution,
+    attribute_outcomes,
+    kind_share,
+    rank_by,
+    render_attribution,
+)
+from .avf import (
+    AvfCell,
+    aggregate_avf,
+    avf_range_spread,
+    mean_corrupted_threads_by_module,
+)
+from .fit import DEFAULT_RAW_FIT_PER_MBIT, FitEstimate, FitEstimator
+from .figures import (
+    render_fig3,
+    render_fig4,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_syndrome_histograms,
+)
+from .pvf import (
+    PvfComparison,
+    compare_models,
+    mean_underestimation,
+    underestimation,
+)
+from .stats import (
+    log_histogram,
+    margin_of_error,
+    proportion_confidence_interval,
+    sample_size_for_margin,
+    wilson_interval,
+)
+from .tables import (
+    PAPER_TABLE1_SIZES,
+    PAPER_TABLE2,
+    PAPER_TABLE3_PVF,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "RegisterAttribution",
+    "attribute_outcomes",
+    "kind_share",
+    "rank_by",
+    "render_attribution",
+    "AvfCell",
+    "DEFAULT_RAW_FIT_PER_MBIT",
+    "FitEstimate",
+    "FitEstimator",
+    "aggregate_avf",
+    "avf_range_spread",
+    "mean_corrupted_threads_by_module",
+    "render_fig3",
+    "render_fig4",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_syndrome_histograms",
+    "PvfComparison",
+    "compare_models",
+    "mean_underestimation",
+    "underestimation",
+    "log_histogram",
+    "margin_of_error",
+    "proportion_confidence_interval",
+    "sample_size_for_margin",
+    "wilson_interval",
+    "PAPER_TABLE1_SIZES",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3_PVF",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

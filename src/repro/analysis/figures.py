@@ -1,0 +1,158 @@
+"""Text renderers for the paper's figures (3-10).
+
+Each renderer turns measured campaign data into the same series the paper
+plots, as aligned text suitable for benchmark logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..swfi.campaign import PVFReport
+from ..swfi.profiler import InstructionProfile
+from ..syndrome.records import SyndromeEntry, TmxmEntry
+from ..syndrome.spatial import SpatialPattern
+from .avf import AvfCell
+from .stats import log_histogram
+
+__all__ = [
+    "render_fig3",
+    "render_fig4",
+    "render_syndrome_histograms",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+]
+
+
+def render_fig3(profiles: Iterable[InstructionProfile]) -> str:
+    """Figure 3: applications' dynamic instruction mix."""
+    lines = [
+        "Figure 3 — application instruction profiles "
+        "(fraction of dynamic instructions)",
+        f"{'app':<12}{'FP32':>8}{'INT32':>8}{'SF':>8}{'Control':>9}"
+        f"{'Others':>8}{'coverage':>10}",
+    ]
+    for profile in profiles:
+        fr = profile.group_fractions()
+        lines.append(
+            f"{profile.app_name:<12}{fr['FP32']:>8.2f}{fr['INT32']:>8.2f}"
+            f"{fr['SF']:>8.3f}{fr['Control']:>9.2f}{fr['Others']:>8.2f}"
+            f"{profile.characterized_coverage:>10.2f}")
+    return "\n".join(lines)
+
+
+def render_fig4(cells: Iterable[AvfCell]) -> str:
+    """Figure 4: AVF per module x instruction, split by outcome class."""
+    lines = [
+        "Figure 4 — AVF per module and instruction "
+        "(fractions of injected faults)",
+        f"{'module':<16}{'instr':<8}{'SDC-1':>8}{'SDC-N':>8}{'DUE':>8}"
+        f"{'total':>8}{'n':>8}",
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell.module:<16}{cell.instruction:<8}"
+            f"{cell.sdc_single:>8.3f}{cell.sdc_multiple:>8.3f}"
+            f"{cell.due:>8.3f}{cell.total:>8.3f}{cell.n_injections:>8}")
+    return "\n".join(lines)
+
+
+def render_syndrome_histograms(entries: Iterable[SyndromeEntry],
+                               title: str) -> str:
+    """Figures 5/6: relative-error distributions in decade bins."""
+    lines = [title]
+    header_done = False
+    for entry in entries:
+        edges, fractions = log_histogram(entry.relative_errors)
+        if not header_done:
+            bin_labels = "".join(
+                f"{f'1e{int(np.log10(edges[i]))}':>7}"
+                for i in range(len(edges) - 1))
+            lines.append(f"{'instr':<6}{'range':<7}{'module':<10}"
+                         f"{'n':>5} |{bin_labels}")
+            header_done = True
+        key = entry.key
+        row = (f"{key.opcode:<6}{key.input_range:<7}{key.module:<10}"
+               f"{entry.n_samples:>5} |")
+        row += "".join(f"{100 * f:>6.1f}%" for f in fractions)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_fig7(cells: Iterable[AvfCell],
+                tile_kinds: Mapping[str, str]) -> str:
+    """Figure 7: t-MxM AVF per injection site and tile kind."""
+    lines = [
+        "Figure 7 — t-MxM AVF (scheduler vs pipeline; Max/Zero/Random)",
+        f"{'module':<12}{'tile':<8}{'SDC-1':>8}{'SDC-N':>8}{'DUE':>8}"
+        f"{'n':>8}",
+    ]
+    for cell in cells:
+        tile = tile_kinds.get(cell.instruction, cell.instruction)
+        lines.append(
+            f"{cell.module:<12}{tile:<8}{cell.sdc_single:>8.3f}"
+            f"{cell.sdc_multiple:>8.3f}{cell.due:>8.3f}"
+            f"{cell.n_injections:>8}")
+    return "\n".join(lines)
+
+
+def render_fig8(entries: Iterable[TmxmEntry]) -> str:
+    """Figure 8: observed spatial corruption patterns."""
+    lines = ["Figure 8 — spatial patterns of multi-element t-MxM "
+             "corruption (occurrences)"]
+    for entry in entries:
+        parts = [f"{entry.module}/{entry.tile_kind}:"]
+        for pattern in SpatialPattern:
+            stats = entry.patterns.get(pattern)
+            if stats is not None:
+                parts.append(f"{pattern.value}={stats.occurrences}")
+        lines.append("  " + " ".join(parts))
+    return "\n".join(lines)
+
+
+def render_fig9(entry: TmxmEntry,
+                patterns: Sequence[SpatialPattern] = (
+                    SpatialPattern.ROW, SpatialPattern.BLOCK)) -> str:
+    """Figure 9: per-element relative-error spread within patterns."""
+    lines = ["Figure 9 — relative-error spread inside multi-element "
+             "patterns"]
+    for pattern in patterns:
+        stats = entry.patterns.get(pattern)
+        if stats is None or not stats.relative_errors:
+            lines.append(f"  {pattern.value}: no observations")
+            continue
+        data = np.asarray(
+            [e for e in stats.relative_errors if np.isfinite(e)])
+        lines.append(
+            f"  {pattern.value}: n={len(data)} median={np.median(data):.3g}"
+            f" p10={np.percentile(data, 10):.3g}"
+            f" p90={np.percentile(data, 90):.3g}"
+            f" variance(log10)={np.var(np.log10(data[data > 0])):.3g}"
+            if len(data) else f"  {pattern.value}: empty")
+    return "\n".join(lines)
+
+
+def render_fig10(bitflip: Iterable[PVFReport],
+                 syndrome: Iterable[PVFReport]) -> str:
+    """Figure 10: SDC PVF per HPC code under both fault models."""
+    from .pvf import compare_models, mean_underestimation
+
+    comparisons = compare_models(bitflip, syndrome)
+    lines = [
+        "Figure 10 — SDC PVF per application",
+        f"{'app':<12}{'bitflip':>9}{'rel-err':>9}{'underest':>10}",
+    ]
+    for cmp in comparisons:
+        lines.append(
+            f"{cmp.app_name:<12}{cmp.bitflip_pvf:>9.3f}"
+            f"{cmp.syndrome_pvf:>9.3f}"
+            f"{100 * cmp.underestimation:>9.1f}%")
+    lines.append(
+        f"mean underestimation: "
+        f"{100 * mean_underestimation(comparisons):.1f}% "
+        "(paper: 18% average, up to 48%)")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""FIT-rate estimation: occurrence rate x propagation (paper Sec. VII).
+
+The paper's stated future work is to pair its propagation analysis (AVF
+at the RTL level, PVF at the software level) with a raw fault-occurrence
+rate, producing end-to-end Failure-In-Time estimates:
+
+    FIT_app = sum over modules of
+        raw_rate_per_bit * module_bits      (faults arriving)
+        * module AVF                        (reaching a visible state)
+        * application PVF                   (reaching the output)
+
+Raw per-bit rates are technology numbers normally measured with beam
+experiments; a configurable default in the range reported for 28-65nm
+SRAM/logic is provided and clearly marked as an assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..rtl.reports import CampaignReport
+from ..swfi.campaign import PVFReport
+from .avf import aggregate_avf
+
+__all__ = ["FitEstimate", "FitEstimator", "DEFAULT_RAW_FIT_PER_MBIT"]
+
+#: Raw upsets per 1e9 device-hours per Mbit of state — the order of
+#: magnitude beam experiments report for recent bulk CMOS nodes.  An
+#: assumption, not a measurement: scale it with real beam data.
+DEFAULT_RAW_FIT_PER_MBIT = 1000.0
+
+
+@dataclass(frozen=True)
+class FitEstimate:
+    """End-to-end failure-rate estimate for one application."""
+
+    app_name: str
+    sdc_fit: float
+    due_fit: float
+    per_module_sdc: "Dict[str, float]"
+
+    @property
+    def total_fit(self) -> float:
+        return self.sdc_fit + self.due_fit
+
+    def dominant_module(self) -> Optional[str]:
+        if not self.per_module_sdc:
+            return None
+        return max(self.per_module_sdc, key=self.per_module_sdc.get)
+
+
+class FitEstimator:
+    """Combines module sizes, AVFs and an application PVF into FIT."""
+
+    def __init__(self, module_sizes: Mapping[str, int],
+                 raw_fit_per_mbit: float = DEFAULT_RAW_FIT_PER_MBIT
+                 ) -> None:
+        if raw_fit_per_mbit <= 0:
+            raise ValueError("raw FIT rate must be positive")
+        self.module_sizes = dict(module_sizes)
+        self.raw_fit_per_mbit = raw_fit_per_mbit
+
+    def module_arrival_fit(self, module: str) -> float:
+        """Raw fault-arrival FIT of one module (size-proportional)."""
+        bits = self.module_sizes.get(module)
+        if bits is None:
+            raise KeyError(f"unknown module {module!r}")
+        return self.raw_fit_per_mbit * bits / 1e6
+
+    def estimate(self, rtl_reports: Iterable[CampaignReport],
+                 pvf_report: PVFReport) -> FitEstimate:
+        """FIT for the application behind *pvf_report*.
+
+        ``rtl_reports`` supply per-module AVFs (averaged over their
+        instructions/input ranges); the application PVF scales the SDC
+        component.  DUEs propagate unconditionally (a hang is a hang).
+        """
+        cells = aggregate_avf(rtl_reports)
+        per_module_sdc: Dict[str, float] = {}
+        per_module_due: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for cell in cells:
+            if cell.module not in self.module_sizes:
+                continue
+            per_module_sdc[cell.module] = (
+                per_module_sdc.get(cell.module, 0.0) + cell.sdc)
+            per_module_due[cell.module] = (
+                per_module_due.get(cell.module, 0.0) + cell.due)
+            counts[cell.module] = counts.get(cell.module, 0) + 1
+        sdc_fit = 0.0
+        due_fit = 0.0
+        sdc_breakdown: Dict[str, float] = {}
+        for module, total in per_module_sdc.items():
+            avf_sdc = total / counts[module]
+            avf_due = per_module_due[module] / counts[module]
+            arrival = self.module_arrival_fit(module)
+            contribution = arrival * avf_sdc * pvf_report.pvf
+            sdc_breakdown[module] = contribution
+            sdc_fit += contribution
+            due_fit += arrival * avf_due
+        return FitEstimate(
+            app_name=pvf_report.app_name,
+            sdc_fit=sdc_fit,
+            due_fit=due_fit,
+            per_module_sdc=sdc_breakdown,
+        )

@@ -1,0 +1,148 @@
+"""Text renderers for the paper's tables (I, II, III).
+
+Every renderer returns a plain-text table that places our measured values
+next to the paper's published ones, so the benchmark harness can print a
+side-by-side reproduction of each exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..gpu.fault_plane import FaultPlane, ModuleName
+from ..syndrome.records import TmxmEntry
+from ..syndrome.spatial import SpatialPattern
+from .pvf import PvfComparison
+
+__all__ = [
+    "PAPER_TABLE1_SIZES",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3_PVF",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]
+
+#: Paper Table I: module sizes in flip-flops.
+PAPER_TABLE1_SIZES: Dict[str, int] = {
+    ModuleName.FP32: 4451,
+    ModuleName.INT: 1542,
+    ModuleName.SFU: 3231,
+    ModuleName.SFU_CONTROLLER: 190,
+    ModuleName.SCHEDULER: 3358,
+    ModuleName.PIPELINE: 10949,
+}
+
+_TABLE1_TYPES: Dict[str, str] = {
+    ModuleName.FP32: "Execution/Data",
+    ModuleName.INT: "Execution/Data",
+    ModuleName.SFU: "Execution/Data",
+    ModuleName.SFU_CONTROLLER: "Control",
+    ModuleName.SCHEDULER: "Control",
+    ModuleName.PIPELINE: "Control/Data",
+}
+
+_TABLE1_INSTRUCTIONS: Dict[str, str] = {
+    ModuleName.FP32: "FADD, FMUL, FFMA",
+    ModuleName.INT: "IADD, IMUL, IMAD",
+    ModuleName.SFU: "FSIN, FEXP",
+    ModuleName.SFU_CONTROLLER: "FSIN, FEXP",
+    ModuleName.SCHEDULER: "ALL",
+    ModuleName.PIPELINE: "ALL",
+}
+
+#: Paper Table II: multi-element pattern distribution for t-MxM (%).
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "scheduler": {"row": 0.96, "col": 0.07, "row+col": 0.45,
+                  "block": 5.77, "random": 0.69, "all": 54.6},
+    "pipeline": {"row": 45.4, "col": 1.36, "row+col": 1.04,
+                 "block": 7.29, "random": 0.42, "all": 4.17},
+}
+
+#: Paper Table III: PVF per application and fault model.
+PAPER_TABLE3_PVF: Dict[str, Dict[str, float]] = {
+    "MxM": {"bitflip": 1.00, "relative": 1.00},
+    "Lava": {"bitflip": 0.69, "relative": 0.91},
+    "Quicksort": {"bitflip": 0.94, "relative": 0.95},
+    "Hotspot": {"bitflip": 0.25, "relative": 0.37},
+    "LUD": {"bitflip": 0.82, "relative": 0.99},
+    "Gaussian": {"bitflip": 0.95, "relative": 0.99},
+    "LeNET": {"bitflip": 0.03, "relative": 0.04},
+    "YoloV3": {"bitflip": 0.17, "relative": 0.27},
+}
+
+
+def render_table1(plane: FaultPlane) -> str:
+    """Table I: evaluated modules, sizes and instructions per module."""
+    lines = [
+        "Table I — evaluated modules (flip-flops)",
+        f"{'module':<16}{'ours':>8}{'paper':>8}  "
+        f"{'type':<16}{'instructions'}",
+    ]
+    for module in ModuleName.ALL:
+        lines.append(
+            f"{module:<16}{plane.module_size(module):>8}"
+            f"{PAPER_TABLE1_SIZES[module]:>8}  "
+            f"{_TABLE1_TYPES[module]:<16}"
+            f"{_TABLE1_INSTRUCTIONS[module]}")
+    ours_total = sum(plane.module_size(m) for m in ModuleName.ALL)
+    paper_total = sum(PAPER_TABLE1_SIZES.values())
+    lines.append(f"{'total':<16}{ours_total:>8}{paper_total:>8}")
+    return "\n".join(lines)
+
+
+def render_table2(entries: Iterable[TmxmEntry]) -> str:
+    """Table II: distribution of multi-element patterns per injection site.
+
+    Percentages are over multi-element SDCs (singles excluded), matching
+    the paper's "single corrupted elements are not listed" note.
+    """
+    lines = [
+        "Table II — t-MxM multi-element pattern distribution (%)",
+        f"{'inj. site':<12}" + "".join(
+            f"{p:>10}" for p in ("row", "col", "row+col", "block",
+                                 "random", "all")),
+    ]
+    order = (SpatialPattern.ROW, SpatialPattern.COLUMN,
+             SpatialPattern.ROW_COLUMN, SpatialPattern.BLOCK,
+             SpatialPattern.RANDOM, SpatialPattern.ALL)
+    merged: Dict[str, Dict[SpatialPattern, int]] = {}
+    for entry in entries:
+        per_module = merged.setdefault(entry.module, {})
+        for pattern, stats in entry.patterns.items():
+            per_module[pattern] = (
+                per_module.get(pattern, 0) + stats.occurrences)
+    for module, counts in sorted(merged.items()):
+        multi = sum(n for p, n in counts.items()
+                    if p is not SpatialPattern.SINGLE)
+        row = f"{module:<12}"
+        for pattern in order:
+            share = 100.0 * counts.get(pattern, 0) / multi if multi else 0.0
+            row += f"{share:>9.1f}%"
+        lines.append(row)
+        paper = PAPER_TABLE2.get(module)
+        if paper:
+            lines.append(
+                f"{'  (paper)':<12}" + "".join(
+                    f"{paper[p.value]:>9.1f}%" for p in order))
+    return "\n".join(lines)
+
+
+def render_table3(comparisons: Iterable[PvfComparison],
+                  sizes: Optional[Mapping[str, str]] = None) -> str:
+    """Table III: PVF per application for both fault models vs the paper."""
+    lines = [
+        "Table III — PVF per application (SDC probability per injection)",
+        f"{'app':<12}{'size':<16}{'bitflip':>9}{'rel-err':>9}"
+        f"{'paper-bf':>10}{'paper-re':>10}{'underest':>10}",
+    ]
+    for cmp in comparisons:
+        paper = PAPER_TABLE3_PVF.get(cmp.app_name, {})
+        size = (sizes or {}).get(cmp.app_name, "")
+        lines.append(
+            f"{cmp.app_name:<12}{size:<16}"
+            f"{cmp.bitflip_pvf:>9.3f}{cmp.syndrome_pvf:>9.3f}"
+            f"{paper.get('bitflip', float('nan')):>10.2f}"
+            f"{paper.get('relative', float('nan')):>10.2f}"
+            f"{100 * cmp.underestimation:>9.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Benchmark applications evaluated under software fault injection."""
+
+from .base import GPUApplication
+from .bfs import BreadthFirstSearch
+from .gaussian import GaussianElimination
+from .hotspot import Hotspot
+from .lava import LavaMD
+from .lenet_app import LeNetApp
+from .lud import LUDecomposition
+from .mxm import MatrixMultiply
+from .nw import NeedlemanWunsch
+from .pathfinder import Pathfinder
+from .quicksort import Quicksort
+from .yolo_app import YoloApp
+
+__all__ = [
+    "GPUApplication",
+    "BreadthFirstSearch",
+    "NeedlemanWunsch",
+    "Pathfinder",
+    "GaussianElimination",
+    "Hotspot",
+    "LavaMD",
+    "LeNetApp",
+    "LUDecomposition",
+    "MatrixMultiply",
+    "Quicksort",
+    "YoloApp",
+]
+
+
+def all_applications(seed: int = 0):
+    """The Table III application set, default-sized."""
+    return [
+        MatrixMultiply(seed=seed),
+        LavaMD(seed=seed),
+        Quicksort(seed=seed),
+        Hotspot(seed=seed),
+        LUDecomposition(seed=seed),
+        GaussianElimination(seed=seed),
+        LeNetApp(seed=seed),
+        YoloApp(seed=seed),
+    ]
+
+
+__all__.append("all_applications")

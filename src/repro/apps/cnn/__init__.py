@@ -1,0 +1,52 @@
+"""CNN substrate: tensors via tiled MxM, networks, datasets, metrics."""
+
+from .datasets import (
+    make_digit,
+    make_digit_dataset,
+    make_scene,
+    make_scene_dataset,
+)
+from .lenet import LeNetMini
+from .metrics import (
+    Detection,
+    iou,
+    is_misclassification,
+    is_misdetection,
+    match_detections,
+)
+from .tensor_ops import (
+    conv2d,
+    im2col,
+    linear,
+    maxpool2,
+    relu,
+    sigmoid,
+    softmax,
+    tiled_matmul,
+)
+from .train import TrainResult, train_softmax_head
+from .yolo import YoloMini
+
+__all__ = [
+    "make_digit",
+    "make_digit_dataset",
+    "make_scene",
+    "make_scene_dataset",
+    "LeNetMini",
+    "Detection",
+    "iou",
+    "is_misclassification",
+    "is_misdetection",
+    "match_detections",
+    "conv2d",
+    "im2col",
+    "linear",
+    "maxpool2",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "tiled_matmul",
+    "TrainResult",
+    "train_softmax_head",
+    "YoloMini",
+]

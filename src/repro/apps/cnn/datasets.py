@@ -1,0 +1,135 @@
+"""Synthetic datasets for the CNN reliability studies.
+
+The paper uses MNIST (LeNET) and VOC2012 (YOLOv3); neither is available
+offline, so we generate deterministic stand-ins with the properties the
+experiments rely on:
+
+* **digits**: 16x16 grayscale seven-segment-style digit renderings with
+  noise and jitter — a genuinely learnable 10-class problem, so trained-
+  classifier decisions can flip under fault injection (misclassification);
+* **scenes**: 32x32 RGB images containing colored geometric objects with
+  known bounding boxes — enough structure for a detector's output boxes
+  to be compared golden-vs-faulty (misdetection).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...rng import make_rng
+
+__all__ = [
+    "DIGIT_SIZE",
+    "SCENE_SIZE",
+    "SCENE_CLASSES",
+    "make_digit",
+    "make_digit_dataset",
+    "make_scene",
+    "make_scene_dataset",
+]
+
+DIGIT_SIZE = 16
+SCENE_SIZE = 32
+SCENE_CLASSES = ("square", "disk", "cross")
+
+# seven-segment layout: which segments are lit per digit
+#   0: top, 1: top-left, 2: top-right, 3: middle, 4: bottom-left,
+#   5: bottom-right, 6: bottom
+_SEGMENTS = {
+    0: (0, 1, 2, 4, 5, 6),
+    1: (2, 5),
+    2: (0, 2, 3, 4, 6),
+    3: (0, 2, 3, 5, 6),
+    4: (1, 2, 3, 5),
+    5: (0, 1, 3, 5, 6),
+    6: (0, 1, 3, 4, 5, 6),
+    7: (0, 2, 5),
+    8: (0, 1, 2, 3, 4, 5, 6),
+    9: (0, 1, 2, 3, 5, 6),
+}
+
+
+def _draw_segment(canvas: np.ndarray, segment: int, x0: int, y0: int,
+                  size: int) -> None:
+    half = size // 2
+    if segment == 0:
+        canvas[y0, x0:x0 + size] = 1.0
+    elif segment == 1:
+        canvas[y0:y0 + half, x0] = 1.0
+    elif segment == 2:
+        canvas[y0:y0 + half, x0 + size - 1] = 1.0
+    elif segment == 3:
+        canvas[y0 + half, x0:x0 + size] = 1.0
+    elif segment == 4:
+        canvas[y0 + half:y0 + size, x0] = 1.0
+    elif segment == 5:
+        canvas[y0 + half:y0 + size, x0 + size - 1] = 1.0
+    elif segment == 6:
+        canvas[y0 + size - 1, x0:x0 + size] = 1.0
+
+
+def make_digit(digit: int, rng: np.random.Generator,
+               noise: float = 0.08) -> np.ndarray:
+    """Render one noisy, jittered digit as a (1, 16, 16) float32 image."""
+    if digit not in _SEGMENTS:
+        raise ValueError("digit must be 0..9")
+    canvas = np.zeros((DIGIT_SIZE, DIGIT_SIZE), dtype=np.float32)
+    size = 9
+    x0 = 3 + int(rng.integers(-1, 2))
+    y0 = 3 + int(rng.integers(-1, 2))
+    for segment in _SEGMENTS[digit]:
+        _draw_segment(canvas, segment, x0, y0, size)
+    canvas += rng.normal(0.0, noise, canvas.shape).astype(np.float32)
+    return np.clip(canvas, 0.0, 1.0).reshape(1, DIGIT_SIZE, DIGIT_SIZE)
+
+
+def make_digit_dataset(n_samples: int, seed: int = 0
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(images (n,1,16,16), labels (n,))`` deterministic dataset."""
+    rng = make_rng(seed)
+    images = np.empty((n_samples, 1, DIGIT_SIZE, DIGIT_SIZE),
+                      dtype=np.float32)
+    labels = np.empty(n_samples, dtype=np.int64)
+    for i in range(n_samples):
+        digit = int(rng.integers(10))
+        images[i] = make_digit(digit, rng)
+        labels[i] = digit
+    return images, labels
+
+
+def make_scene(rng: np.random.Generator
+               ) -> Tuple[np.ndarray, List[Tuple[int, float, float, float,
+                                                 float]]]:
+    """One RGB scene plus its ground-truth ``(cls, cx, cy, w, h)`` boxes."""
+    image = rng.normal(0.1, 0.03,
+                       (3, SCENE_SIZE, SCENE_SIZE)).astype(np.float32)
+    boxes = []
+    n_objects = int(rng.integers(1, 4))
+    for _ in range(n_objects):
+        cls = int(rng.integers(len(SCENE_CLASSES)))
+        half = int(rng.integers(3, 7))
+        cx = int(rng.integers(half, SCENE_SIZE - half))
+        cy = int(rng.integers(half, SCENE_SIZE - half))
+        color = np.zeros(3, dtype=np.float32)
+        color[cls] = 0.9
+        ys, xs = np.mgrid[0:SCENE_SIZE, 0:SCENE_SIZE]
+        if cls == 0:  # square
+            mask = (np.abs(ys - cy) <= half) & (np.abs(xs - cx) <= half)
+        elif cls == 1:  # disk
+            mask = (ys - cy) ** 2 + (xs - cx) ** 2 <= half ** 2
+        else:  # cross
+            mask = ((np.abs(ys - cy) <= 1) & (np.abs(xs - cx) <= half)) | (
+                (np.abs(xs - cx) <= 1) & (np.abs(ys - cy) <= half))
+        for ch in range(3):
+            image[ch][mask] = color[ch]
+        boxes.append((cls, float(cx), float(cy),
+                      float(2 * half), float(2 * half)))
+    return np.clip(image, 0.0, 1.0), boxes
+
+
+def make_scene_dataset(n_scenes: int, seed: int = 0):
+    """Deterministic list of ``(image, boxes)`` scenes."""
+    rng = make_rng(seed)
+    return [make_scene(rng) for _ in range(n_scenes)]

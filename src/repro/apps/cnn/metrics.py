@@ -1,0 +1,97 @@
+"""Criticality metrics: tolerable vs critical SDCs (paper Sec. VI).
+
+An SDC is *tolerable* when the numeric output changed but the network's
+decision did not; it is *critical* when it flips a classification (LeNET)
+or changes the detected objects (YOLO): a matched-detection set differing
+in class or failing the IoU-0.5 association.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Detection",
+    "iou",
+    "match_detections",
+    "is_misclassification",
+    "is_misdetection",
+]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One decoded detection box (center-form)."""
+
+    cls: int
+    score: float
+    cx: float
+    cy: float
+    w: float
+    h: float
+
+    def corners(self) -> Tuple[float, float, float, float]:
+        return (self.cx - self.w / 2, self.cy - self.h / 2,
+                self.cx + self.w / 2, self.cy + self.h / 2)
+
+
+def iou(a: Detection, b: Detection) -> float:
+    """Intersection-over-union of two boxes."""
+    ax0, ay0, ax1, ay1 = a.corners()
+    bx0, by0, bx1, by1 = b.corners()
+    ix = max(0.0, min(ax1, bx1) - max(ax0, bx0))
+    iy = max(0.0, min(ay1, by1) - max(ay0, by0))
+    inter = ix * iy
+    area_a = max(0.0, ax1 - ax0) * max(0.0, ay1 - ay0)
+    area_b = max(0.0, bx1 - bx0) * max(0.0, by1 - by0)
+    union = area_a + area_b - inter
+    if union <= 0.0:
+        return 0.0
+    return inter / union
+
+
+def match_detections(golden: Sequence[Detection],
+                     observed: Sequence[Detection],
+                     iou_threshold: float = 0.5) -> int:
+    """Greedy one-to-one matching; returns the number of matched pairs.
+
+    A pair matches when the classes agree and the IoU meets the threshold
+    — the PASCAL-VOC-style association the paper's misdetection criterion
+    relies on.
+    """
+    available = list(observed)
+    matched = 0
+    for gold in golden:
+        best_idx = -1
+        best_iou = iou_threshold
+        for idx, cand in enumerate(available):
+            if cand.cls != gold.cls:
+                continue
+            overlap = iou(gold, cand)
+            if overlap >= best_iou:
+                best_iou = overlap
+                best_idx = idx
+        if best_idx >= 0:
+            matched += 1
+            available.pop(best_idx)
+    return matched
+
+
+def is_misclassification(golden_probs: np.ndarray,
+                         observed_probs: np.ndarray) -> bool:
+    """True when any image's top-1 class changed."""
+    return bool(np.any(
+        np.argmax(golden_probs, axis=-1)
+        != np.argmax(observed_probs, axis=-1)))
+
+
+def is_misdetection(golden: Sequence[Detection],
+                    observed: Sequence[Detection],
+                    iou_threshold: float = 0.5) -> bool:
+    """True when the detection sets no longer associate one-to-one."""
+    if len(golden) != len(observed):
+        return True
+    return match_detections(golden, observed, iou_threshold) < len(golden)

@@ -1,0 +1,161 @@
+"""CNN tensor operations built on the instrumented SASS op layer.
+
+Convolutions are lowered to **tiled matrix multiplications** via im2col —
+the paper's premise that >70% of CNN operations are MxM-related, and the
+hook point for the t-MxM corruption procedure (Sec. IV-B): every matmul
+accepts a ``tile_hook(layer_id, matrix) -> matrix`` callback that can
+corrupt one tile of the layer output exactly where the RTL t-MxM
+characterisation says scheduler/pipeline faults strike.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ...swfi.ops import SassOps
+
+__all__ = [
+    "im2col",
+    "tiled_matmul",
+    "conv2d",
+    "maxpool2",
+    "relu",
+    "linear",
+    "softmax",
+    "sigmoid",
+    "TileHook",
+]
+
+TileHook = Callable[[int, np.ndarray], np.ndarray]
+
+TILE = 8
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1,
+           pad: int = 0) -> np.ndarray:
+    """Unfold (C, H, W) into a (C*k*k, out_h*out_w) patch matrix."""
+    c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+        h, w = h + 2 * pad, w + 2 * pad
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    cols = np.empty((c * kernel * kernel, out_h * out_w), dtype=np.float32)
+    row = 0
+    for ch in range(c):
+        for ki in range(kernel):
+            for kj in range(kernel):
+                patch = x[ch, ki:ki + stride * out_h:stride,
+                          kj:kj + stride * out_w:stride]
+                cols[row] = patch.reshape(-1)
+                row += 1
+    return cols
+
+
+def tiled_matmul(ops: SassOps, a: np.ndarray, b: np.ndarray,
+                 layer_id: int = 0,
+                 tile_hook: Optional[TileHook] = None) -> np.ndarray:
+    """``a (M,K) @ b (K,N)`` via 8x8 tiles of FFMA accumulation.
+
+    Operands are zero-padded up to tile multiples (as GPU kernels do), the
+    product is accumulated tile by tile, and ``tile_hook`` — if given —
+    receives the finished (padded) output to corrupt before trimming.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"matmul shape mismatch: {a.shape} @ {b.shape}")
+    mp, kp, np_ = (_ceil(m, TILE), _ceil(k, TILE), _ceil(n, TILE))
+    a_pad = np.zeros((mp, kp), dtype=np.float32)
+    a_pad[:m, :k] = a
+    b_pad = np.zeros((kp, np_), dtype=np.float32)
+    b_pad[:k, :n] = b
+    out = np.zeros((mp, np_), dtype=np.float32)
+    for ti in range(0, mp, TILE):
+        for tj in range(0, np_, TILE):
+            acc = np.zeros((TILE, TILE), dtype=np.float32)
+            for tk in range(0, kp, TILE):
+                a_tile = ops.gld(a_pad[ti:ti + TILE, tk:tk + TILE])
+                b_tile = ops.gld(b_pad[tk:tk + TILE, tj:tj + TILE])
+                for kk in range(TILE):
+                    acc = ops.ffma(
+                        a_tile[:, kk:kk + 1], b_tile[kk:kk + 1, :], acc)
+            out[ti:ti + TILE, tj:tj + TILE] = acc
+    if tile_hook is not None:
+        out = tile_hook(layer_id, out)
+    return out[:m, :n]
+
+
+def conv2d(ops: SassOps, x: np.ndarray, weights: np.ndarray,
+           bias: np.ndarray, stride: int = 1, pad: int = 0,
+           layer_id: int = 0,
+           tile_hook: Optional[TileHook] = None) -> np.ndarray:
+    """Convolve (C,H,W) with (F,C,k,k) weights via im2col + tiled MxM."""
+    f, c, kernel, _ = weights.shape
+    cols = im2col(x, kernel, stride, pad)
+    w_mat = weights.reshape(f, c * kernel * kernel)
+    out = tiled_matmul(ops, w_mat, cols, layer_id, tile_hook)
+    out = ops.fadd(out, bias.reshape(-1, 1))
+    h = (x.shape[1] + 2 * pad - kernel) // stride + 1
+    w = (x.shape[2] + 2 * pad - kernel) // stride + 1
+    return out.reshape(f, h, w)
+
+
+def maxpool2(ops: SassOps, x: np.ndarray) -> np.ndarray:
+    """2x2 max pooling via ISET-flagged selections."""
+    c, h, w = x.shape
+    h2, w2 = h // 2, w // 2
+    x = x[:, :h2 * 2, :w2 * 2]
+    quads = [
+        x[:, 0::2, 0::2], x[:, 0::2, 1::2],
+        x[:, 1::2, 0::2], x[:, 1::2, 1::2],
+    ]
+    best = quads[0]
+    for candidate in quads[1:]:
+        flags = ops.fset(candidate, best, "gt")
+        best = np.where(flags == 1, candidate, best).astype(np.float32)
+    return best
+
+
+def relu(ops: SassOps, x: np.ndarray) -> np.ndarray:
+    """max(x, 0) as an ISET mask multiplied in."""
+    flags = ops.fset(x, np.float32(0.0), "gt")
+    return ops.fmul(x, flags.astype(np.float32))
+
+
+def linear(ops: SassOps, x: np.ndarray, weights: np.ndarray,
+           bias: np.ndarray, layer_id: int = 0,
+           tile_hook: Optional[TileHook] = None) -> np.ndarray:
+    """Fully connected layer: ``W (F,K) @ x (K,1) + b``."""
+    out = tiled_matmul(ops, weights, x.reshape(-1, 1), layer_id, tile_hook)
+    return ops.fadd(out.reshape(-1), bias)
+
+
+def softmax(ops: SassOps, logits: np.ndarray) -> np.ndarray:
+    """Numerically shifted softmax; exponentials on the SFU path."""
+    shifted = ops.fadd(logits, np.float32(-float(np.max(logits))))
+    exps = ops.fexp(shifted)
+    total = exps[0]
+    for value in exps[1:]:
+        total = ops.fadd(total, value)
+    total = np.float32(total)
+    if total == 0.0 or not np.isfinite(total):
+        total = np.float32(1.0)
+    return ops.fmul(exps, ops.rcp(total))
+
+
+def sigmoid(ops: SassOps, x: np.ndarray) -> np.ndarray:
+    """1 / (1 + exp(-x)) with the exponential on the SFU path."""
+    exps = ops.fexp(ops.fmul(x, np.float32(-1.0)))
+    denom = ops.fadd(exps, np.float32(1.0))
+    denom = np.where(
+        (denom == 0.0) | ~np.isfinite(denom), np.float32(np.inf), denom)
+    return ops.rcp(denom)  # MUFU.RCP per element
+
+
+def _ceil(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple

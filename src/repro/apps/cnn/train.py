@@ -1,0 +1,68 @@
+"""Training utilities for the CNN substrate.
+
+LeNet-mini uses a fixed (deterministic random) convolutional feature
+extractor and a trained softmax-regression classifier head — the
+extreme-learning-machine recipe.  It keeps training self-contained (no
+autograd dependency, trains in under a second) while producing a genuine
+classifier whose decisions can flip under fault injection, which is all
+the misclassification experiments require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ...rng import make_rng
+
+__all__ = ["TrainResult", "train_softmax_head"]
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """Trained head weights plus achieved metrics."""
+
+    weights: np.ndarray  # (n_classes, n_features)
+    bias: np.ndarray     # (n_classes,)
+    train_accuracy: float
+    final_loss: float
+
+
+def train_softmax_head(features: np.ndarray, labels: np.ndarray,
+                       n_classes: int, epochs: int = 200,
+                       learning_rate: float = 0.5,
+                       weight_decay: float = 1e-4,
+                       seed: int = 0) -> TrainResult:
+    """Full-batch gradient descent on softmax cross-entropy.
+
+    ``features`` is (n_samples, n_features); returns float32 weights ready
+    for the instrumented forward pass.
+    """
+    n_samples, n_features = features.shape
+    rng = make_rng(seed)
+    weights = rng.normal(0.0, 0.01, (n_classes, n_features))
+    bias = np.zeros(n_classes)
+    one_hot = np.zeros((n_samples, n_classes))
+    one_hot[np.arange(n_samples), labels] = 1.0
+    x = features.astype(np.float64)
+    loss = float("inf")
+    for _ in range(epochs):
+        logits = x @ weights.T + bias
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        loss = float(
+            -np.mean(np.log(probs[np.arange(n_samples), labels] + 1e-12)))
+        grad = (probs - one_hot) / n_samples
+        weights -= learning_rate * (grad.T @ x + weight_decay * weights)
+        bias -= learning_rate * grad.sum(axis=0)
+    predictions = np.argmax(x @ weights.T + bias, axis=1)
+    accuracy = float(np.mean(predictions == labels))
+    return TrainResult(
+        weights=weights.astype(np.float32),
+        bias=bias.astype(np.float32),
+        train_accuracy=accuracy,
+        final_loss=loss,
+    )

@@ -1,0 +1,102 @@
+"""YOLO-style single-stage detector on synthetic scenes.
+
+Stands in for the paper's YOLOv3/VOC2012: a strided conv backbone lowered
+to tiled MxM, a 1x1 detection head over a 4x4 grid with two anchors, and
+the standard YOLO decode (sigmoid offsets/objectness on the SFU path,
+exponential box scaling).  Its layers are much wider than LeNet-mini's —
+the property behind the paper's finding that a fully corrupted 8x8 tile
+is a small fraction of a YOLO layer but a large one of a LeNET layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ...rng import make_rng
+from ...swfi.ops import SassOps
+from .metrics import Detection
+from .tensor_ops import TileHook, conv2d, relu, sigmoid
+
+__all__ = ["YoloMini"]
+
+_GRID = 4
+_CELL = 8  # pixels per grid cell on the 32x32 input
+_ANCHORS = ((10.0, 10.0), (5.0, 14.0))
+_N_CLASSES = 3
+
+
+class YoloMini:
+    """Three strided convs + a 1x1 head over a 4x4 anchor grid."""
+
+    N_MXM_LAYERS = 4
+    N_CLASSES = _N_CLASSES
+    GRID = _GRID
+
+    #: detections reported per image: the top-k cells by objectness
+    TOP_K = 4
+
+    def __init__(self, seed: int = 0) -> None:
+        rng = make_rng(seed + 202)
+        self.conv1_w = rng.normal(0.0, 0.3, (8, 3, 3, 3)).astype(np.float32)
+        self.conv1_b = np.zeros(8, dtype=np.float32)
+        self.conv2_w = rng.normal(0.0, 0.2, (16, 8, 3, 3)).astype(np.float32)
+        self.conv2_b = np.zeros(16, dtype=np.float32)
+        self.conv3_w = rng.normal(0.0, 0.2, (32, 16, 3, 3)).astype(np.float32)
+        self.conv3_b = np.zeros(32, dtype=np.float32)
+        per_anchor = 5 + _N_CLASSES
+        self.head_w = rng.normal(
+            0.0, 0.2,
+            (len(_ANCHORS) * per_anchor, 32, 1, 1)).astype(np.float32)
+        self.head_b = np.zeros(len(_ANCHORS) * per_anchor, dtype=np.float32)
+
+    # -- forward -------------------------------------------------------------
+    def forward(self, ops: SassOps, image: np.ndarray,
+                tile_hook: Optional[TileHook] = None) -> np.ndarray:
+        """Raw head tensor (A*(5+C), 4, 4) for one (3, 32, 32) image."""
+        x = relu(ops, conv2d(ops, image, self.conv1_w, self.conv1_b,
+                             stride=2, pad=1, layer_id=0,
+                             tile_hook=tile_hook))
+        x = relu(ops, conv2d(ops, x, self.conv2_w, self.conv2_b,
+                             stride=2, pad=1, layer_id=1,
+                             tile_hook=tile_hook))
+        x = relu(ops, conv2d(ops, x, self.conv3_w, self.conv3_b,
+                             stride=2, pad=1, layer_id=2,
+                             tile_hook=tile_hook))
+        return conv2d(ops, x, self.head_w, self.head_b,
+                      layer_id=3, tile_hook=tile_hook)
+
+    def decode(self, ops: SassOps, head: np.ndarray) -> List[Detection]:
+        """YOLO decode: per-anchor sigmoid/exp box parameterisation."""
+        per_anchor = 5 + _N_CLASSES
+        detections: List[Detection] = []
+        for anchor_idx, (aw, ah) in enumerate(_ANCHORS):
+            block = head[anchor_idx * per_anchor:(anchor_idx + 1)
+                         * per_anchor]
+            tx = sigmoid(ops, block[0])
+            ty = sigmoid(ops, block[1])
+            tw = np.clip(block[2], -4.0, 4.0)
+            th = np.clip(block[3], -4.0, 4.0)
+            obj = sigmoid(ops, block[4])
+            cls_scores = block[5:]
+            bw = ops.fmul(ops.fexp(tw.astype(np.float32)), np.float32(aw))
+            bh = ops.fmul(ops.fexp(th.astype(np.float32)), np.float32(ah))
+            for gy in range(_GRID):
+                for gx in range(_GRID):
+                    score = float(obj[gy, gx])
+                    cls = int(np.argmax(cls_scores[:, gy, gx]))
+                    detections.append(Detection(
+                        cls=cls,
+                        score=score,
+                        cx=(gx + float(tx[gy, gx])) * _CELL,
+                        cy=(gy + float(ty[gy, gx])) * _CELL,
+                        w=float(bw[gy, gx]),
+                        h=float(bh[gy, gx]),
+                    ))
+        detections.sort(key=lambda d: (-d.score, d.cx, d.cy))
+        return detections[: self.TOP_K]
+
+    def detect(self, ops: SassOps, image: np.ndarray,
+               tile_hook: Optional[TileHook] = None) -> List[Detection]:
+        return self.decode(ops, self.forward(ops, image, tile_hook))

@@ -1,0 +1,55 @@
+"""LeNET application wrapper (Table III row 7).
+
+Classifies a fixed batch of synthetic digits with a trained LeNet-mini.
+The run output is the (batch, 10) probability tensor; an SDC is any
+numeric mismatch, and a *critical* SDC flips at least one top-1 decision
+(the paper's misclassification criterion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..swfi.ops import SassOps
+from .base import GPUApplication
+from .cnn.datasets import make_digit_dataset
+from .cnn.lenet import LeNetMini
+from .cnn.metrics import is_misclassification
+from .cnn.tensor_ops import TileHook
+
+__all__ = ["LeNetApp"]
+
+
+class LeNetApp(GPUApplication):
+    """Digit classification on LeNet-mini."""
+
+    name = "LeNET"
+    domain = "Classification"
+    size_label = "synthetic MNIST"
+
+    def __init__(self, batch: int = 4, seed: int = 0) -> None:
+        self.net = LeNetMini(seed=seed)
+        self.images, self.labels = make_digit_dataset(batch, seed=seed + 7)
+        self.batch = batch
+
+    @property
+    def n_mxm_layers(self) -> int:
+        return self.net.N_MXM_LAYERS
+
+    @property
+    def mxm_calls_per_layer(self) -> int:
+        return self.batch
+
+    def run(self, ops: SassOps,
+            tile_hook: Optional[TileHook] = None) -> np.ndarray:
+        probs = self.net.forward_batch(ops, self.images, tile_hook)
+        # the application output is what the program *reports*: class
+        # probabilities at print precision.  Corruptions below it are
+        # masked, the effect behind the paper's very low CNN PVFs.
+        return np.round(probs, 3)
+
+    def is_critical(self, golden: np.ndarray, observed: np.ndarray) -> bool:
+        """Misclassification: any image's predicted class changed."""
+        return is_misclassification(golden, observed)

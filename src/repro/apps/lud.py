@@ -1,0 +1,54 @@
+"""Lower-Upper Decomposition (Rodinia's LUD; Table III row 2).
+
+In-place Doolittle factorisation ``A = L U``: at step *k* the pivot row is
+scaled into the L column (reciprocal — a MUFU special operation counted
+under "Others", like SASS does) and the trailing submatrix is updated with
+FFMA row operations.  The matrix is made diagonally dominant so the
+factorisation is numerically stable without pivoting, as Rodinia's LUD
+assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import make_rng
+from ..swfi.ops import SassOps
+from .base import GPUApplication
+
+__all__ = ["LUDecomposition"]
+
+
+class LUDecomposition(GPUApplication):
+    """In-place LU factorisation; output is the packed L\\U matrix."""
+
+    name = "LUD"
+    domain = "Linear algebra"
+
+    def __init__(self, n: int = 64, seed: int = 0) -> None:
+        self.n = n
+        self.size_label = f"{n}x{n}"
+        rng = make_rng(seed)
+        a = rng.uniform(-1.0, 1.0, (n, n)).astype(np.float32)
+        # diagonal dominance keeps pivots far from zero
+        a[np.arange(n), np.arange(n)] = (
+            np.abs(a).sum(axis=1) + 1.0).astype(np.float32)
+        self.a = a
+
+    def run(self, ops: SassOps) -> np.ndarray:
+        n = self.n
+        a = ops.gld(self.a).copy()
+        for k in range(n - 1):
+            pivot = a[k, k]
+            if pivot == 0.0:  # only reachable under fault corruption
+                pivot = np.float32(1e-30)
+            recip = ops.rcp(pivot)  # MUFU.RCP on the SFU path
+            column = ops.fmul(a[k + 1:, k], recip)
+            a[k + 1:, k] = column
+            # trailing update: A[i, j] -= L[i, k] * U[k, j]
+            update = ops.ffma(
+                -column.reshape(-1, 1), a[k, k + 1:].reshape(1, -1),
+                a[k + 1:, k + 1:])
+            a[k + 1:, k + 1:] = update
+        stored = ops.gst(a)
+        return stored

@@ -1,0 +1,68 @@
+"""Floating-point tiled matrix multiplication (Table III: MxM).
+
+The same tile-based structure as the paper's t-MxM mini-app and the
+CUDA-SDK matrix multiply: the output is computed tile by tile, each tile
+accumulating FFMA products of loaded A/B sub-tiles, with IMAD-computed
+addresses.  The paper evaluates 512x512; the default here is 48x48 (PVF is
+a per-instruction probability, so the mix — FFMA-dominated with a memory/
+integer fringe — is what matters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import make_rng
+from ..swfi.ops import SassOps
+from .base import GPUApplication
+
+__all__ = ["MatrixMultiply"]
+
+
+class MatrixMultiply(GPUApplication):
+    """C = A x B via tile-blocked FFMA accumulation."""
+
+    name = "MxM"
+    domain = "Linear algebra"
+
+    def __init__(self, n: int = 48, tile: int = 8, seed: int = 0) -> None:
+        if n % tile:
+            raise ValueError("matrix size must be a multiple of the tile")
+        self.n = n
+        self.tile = tile
+        self.size_label = f"{n}x{n}"
+        rng = make_rng(seed)
+        self.a = rng.uniform(-1.0, 1.0, (n, n)).astype(np.float32)
+        self.b = rng.uniform(-1.0, 1.0, (n, n)).astype(np.float32)
+
+    def run(self, ops: SassOps) -> np.ndarray:
+        n, t = self.n, self.tile
+        out = np.zeros((n, n), dtype=np.float32)
+        rows = np.arange(t, dtype=np.int32).reshape(-1, 1)
+        cols = np.arange(t, dtype=np.int32).reshape(1, -1)
+        # the A and B buffers live inside one "device heap": a corrupted
+        # address lands somewhere else in the allocation (wrong data),
+        # never in unmapped memory — matching real-GPU behaviour where the
+        # paper observed no DUEs from software injection
+        heap = np.concatenate([
+            self.a.reshape(-1), self.b.reshape(-1),
+            np.zeros(17, dtype=np.float32),
+        ])
+        a_base, b_base = 0, n * n
+        for ti in range(0, n, t):
+            for tj in range(0, n, t):
+                acc = np.zeros((t, t), dtype=np.float32)
+                for tk in range(0, n, t):
+                    # per-thread address generation (IMAD), as in SASS;
+                    # the loads really go through the computed addresses,
+                    # so a corrupted index fetches the wrong element
+                    # (wrapped into the allocation, as on a real GPU heap)
+                    a_idx = ops.imad(rows + ti, n, cols + tk)
+                    a_tile = ops.gld(heap[(a_base + a_idx) % heap.size])
+                    b_idx = ops.imad(rows + tk, n, cols + tj)
+                    b_tile = ops.gld(heap[(b_base + b_idx) % heap.size])
+                    for k in range(t):
+                        acc = ops.ffma(
+                            a_tile[:, k:k + 1], b_tile[k:k + 1, :], acc)
+                out[ti:ti + t, tj:tj + t] = ops.gst(acc)
+        return out

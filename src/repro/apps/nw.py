@@ -1,0 +1,74 @@
+"""Needleman-Wunsch sequence alignment (Rodinia's NW).
+
+Fills the global-alignment score matrix of two random integer sequences
+along anti-diagonals (the GPU parallelisation), with ISET-selected maxima
+over the diagonal/up/left predecessors.  Pure int32 arithmetic with heavy
+comparison traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import make_rng
+from ..swfi.ops import SassOps
+from .base import GPUApplication
+
+__all__ = ["NeedlemanWunsch"]
+
+_MATCH = 3
+_MISMATCH = -2
+_GAP = -1
+
+
+class NeedlemanWunsch(GPUApplication):
+    """Anti-diagonal DP; output is the filled score matrix."""
+
+    name = "NW"
+    domain = "Sequence alignment"
+
+    def __init__(self, length: int = 96, seed: int = 0) -> None:
+        self.length = length
+        self.size_label = f"{length}x{length}"
+        rng = make_rng(seed)
+        self.seq_a = rng.integers(0, 4, length).astype(np.int32)
+        self.seq_b = rng.integers(0, 4, length).astype(np.int32)
+
+    def run(self, ops: SassOps) -> np.ndarray:
+        n = self.length
+        score = np.zeros((n + 1, n + 1), dtype=np.int32)
+        score[0, :] = np.arange(n + 1, dtype=np.int32) * _GAP
+        score[:, 0] = np.arange(n + 1, dtype=np.int32) * _GAP
+        for diag in range(2, 2 * n + 1):
+            i_lo = max(1, diag - n)
+            i_hi = min(n, diag - 1)
+            i = np.arange(i_lo, i_hi + 1, dtype=np.int32)
+            j = (diag - i).astype(np.int32)
+            match_flags = ops.iset(self.seq_a[i - 1], self.seq_b[j - 1],
+                                   "eq")
+            substitution = np.where(match_flags == 1, _MATCH,
+                                    _MISMATCH).astype(np.int32)
+            from_diag = ops.iadd(score[i - 1, j - 1], substitution)
+            from_up = ops.iadd(score[i - 1, j], np.int32(_GAP))
+            from_left = ops.iadd(score[i, j - 1], np.int32(_GAP))
+            flags = ops.iset(from_up, from_diag, "gt")
+            best = np.where(flags == 1, from_up, from_diag).astype(np.int32)
+            flags = ops.iset(from_left, best, "gt")
+            best = np.where(flags == 1, from_left, best).astype(np.int32)
+            score[i, j] = best
+        return ops.gst(score[1:, 1:])
+
+    def reference(self) -> np.ndarray:
+        """Row-major scalar oracle for the same recurrence."""
+        n = self.length
+        score = np.zeros((n + 1, n + 1), dtype=np.int64)
+        score[0, :] = np.arange(n + 1) * _GAP
+        score[:, 0] = np.arange(n + 1) * _GAP
+        for i in range(1, n + 1):
+            for j in range(1, n + 1):
+                sub = _MATCH if self.seq_a[i - 1] == self.seq_b[j - 1] \
+                    else _MISMATCH
+                score[i, j] = max(score[i - 1, j - 1] + sub,
+                                  score[i - 1, j] + _GAP,
+                                  score[i, j - 1] + _GAP)
+        return score[1:, 1:].astype(np.int32)

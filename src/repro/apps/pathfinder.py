@@ -1,0 +1,57 @@
+"""Grid shortest-path dynamic programming (Rodinia's Pathfinder).
+
+Row-by-row DP over an integer cost grid: each cell adds its own weight to
+the cheapest of the three neighbours in the previous row.  Integer
+arithmetic plus ISET-selected minima — a control/INT profile that
+complements the FP-heavy Table III set (the paper notes its benchmark
+choice aims to cover the GPU's computational classes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import make_rng
+from ..swfi.ops import SassOps
+from .base import GPUApplication
+
+__all__ = ["Pathfinder"]
+
+
+class Pathfinder(GPUApplication):
+    """Bottom-up DP: output is the final row of accumulated costs."""
+
+    name = "Pathfinder"
+    domain = "Dynamic programming"
+
+    def __init__(self, cols: int = 256, rows: int = 32,
+                 seed: int = 0) -> None:
+        self.cols = cols
+        self.rows = rows
+        self.size_label = f"{rows}x{cols}"
+        rng = make_rng(seed)
+        self.grid = rng.integers(0, 10, (rows, cols)).astype(np.int32)
+
+    def run(self, ops: SassOps) -> np.ndarray:
+        current = ops.gld(self.grid[0]).copy()
+        for row in range(1, self.rows):
+            left = np.concatenate(([current[0]], current[:-1]))
+            right = np.concatenate((current[1:], [current[-1]]))
+            # min(left, mid) via ISET-selected move
+            flags = ops.iset(left, current, "lt")
+            best = np.where(flags == 1, left, current).astype(np.int32)
+            flags = ops.iset(right, best, "lt")
+            best = np.where(flags == 1, right, best).astype(np.int32)
+            weights = ops.gld(self.grid[row])
+            current = ops.iadd(weights, best)
+        return ops.gst(current)
+
+    def reference(self) -> np.ndarray:
+        """Plain-numpy oracle for the DP recurrence."""
+        current = self.grid[0].astype(np.int64)
+        for row in range(1, self.rows):
+            left = np.concatenate(([current[0]], current[:-1]))
+            right = np.concatenate((current[1:], [current[-1]]))
+            current = self.grid[row] + np.minimum(
+                np.minimum(left, current), right)
+        return current.astype(np.int32)

@@ -1,0 +1,82 @@
+"""YoloV3-style application wrapper (Table III row 8).
+
+Detects objects in a fixed batch of synthetic scenes.  The run output
+encodes each image's top-k detections as a numeric array (class, score,
+box); an SDC is any numeric change, and a *critical* SDC is a
+misdetection — the golden and faulty detection sets no longer associate
+one-to-one at IoU 0.5 with matching classes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..swfi.ops import SassOps
+from .base import GPUApplication
+from .cnn.datasets import make_scene_dataset
+from .cnn.metrics import Detection, is_misdetection
+from .cnn.tensor_ops import TileHook
+from .cnn.yolo import YoloMini
+
+__all__ = ["YoloApp", "detections_to_array", "array_to_detections"]
+
+
+def detections_to_array(detections: List[Detection]) -> np.ndarray:
+    """Pack detections into a (k, 6) float32 array for golden comparison.
+
+    Scores and box geometry are stored at the detector's print precision
+    (three decimals for scores, two for pixels): sub-precision jitter in
+    the reported boxes is not an observable output change.
+    """
+    return np.array(
+        [[d.cls, round(d.score, 3), round(d.cx, 2), round(d.cy, 2),
+          round(d.w, 2), round(d.h, 2)] for d in detections],
+        dtype=np.float32,
+    ).reshape(-1, 6)
+
+
+def array_to_detections(packed: np.ndarray) -> List[Detection]:
+    return [
+        Detection(cls=int(row[0]), score=float(row[1]), cx=float(row[2]),
+                  cy=float(row[3]), w=float(row[4]), h=float(row[5]))
+        for row in np.asarray(packed).reshape(-1, 6)
+    ]
+
+
+class YoloApp(GPUApplication):
+    """Object detection on YOLO-mini."""
+
+    name = "YoloV3"
+    domain = "Object detection"
+    size_label = "synthetic VOC"
+
+    def __init__(self, batch: int = 3, seed: int = 0) -> None:
+        self.net = YoloMini(seed=seed)
+        self.scenes = make_scene_dataset(batch, seed=seed + 11)
+        self.batch = batch
+
+    @property
+    def n_mxm_layers(self) -> int:
+        return self.net.N_MXM_LAYERS
+
+    @property
+    def mxm_calls_per_layer(self) -> int:
+        return self.batch
+
+    def run(self, ops: SassOps,
+            tile_hook: Optional[TileHook] = None) -> np.ndarray:
+        outputs = []
+        for image, _ in self.scenes:
+            detections = self.net.detect(ops, image, tile_hook)
+            outputs.append(detections_to_array(detections))
+        return np.stack(outputs)
+
+    def is_critical(self, golden: np.ndarray, observed: np.ndarray) -> bool:
+        """Misdetection on any image of the batch."""
+        for gold_img, obs_img in zip(golden, observed):
+            if is_misdetection(array_to_detections(gold_img),
+                               array_to_detections(obs_img)):
+                return True
+        return False

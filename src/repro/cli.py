@@ -1,0 +1,244 @@
+"""Command-line interface to the two-level fault-injection framework.
+
+::
+
+    python -m repro campaign --opcode FADD --module fp32 --faults 500
+    python -m repro tmxm --tile Random --module scheduler --faults 500
+    python -m repro profile --app MxM
+    python -m repro pvf --app Hotspot --model both --injections 300
+    python -m repro build-db --grid-faults 1500
+    python -m repro inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.attribution import attribute_outcomes, render_attribution
+from .analysis.figures import render_fig3
+from .analysis.stats import margin_of_error
+from .analysis.tables import render_table1
+from .gpu import Opcode
+from .rtl import (
+    RTLInjector,
+    make_microbenchmark,
+    make_tmxm_bench,
+    run_campaign,
+)
+from .syndrome.builder import tmxm_entry_from_report
+
+__all__ = ["main"]
+
+_APP_FACTORIES = {}
+
+
+def _apps():
+    if not _APP_FACTORIES:
+        from .apps import (
+            GaussianElimination,
+            Hotspot,
+            LavaMD,
+            LeNetApp,
+            LUDecomposition,
+            MatrixMultiply,
+            Quicksort,
+            YoloApp,
+        )
+
+        _APP_FACTORIES.update({
+            "MxM": MatrixMultiply,
+            "LUD": LUDecomposition,
+            "Quicksort": Quicksort,
+            "Lava": LavaMD,
+            "Gaussian": GaussianElimination,
+            "Hotspot": Hotspot,
+            "LeNET": LeNetApp,
+            "YoloV3": YoloApp,
+        })
+    return _APP_FACTORIES
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    injector = RTLInjector()
+    print(render_table1(injector.plane))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    injector = RTLInjector()
+    bench = make_microbenchmark(Opcode(args.opcode), args.range,
+                                seed=args.seed)
+    report = run_campaign(bench, args.module, args.faults, seed=args.seed,
+                          injector=injector)
+    print(f"{args.opcode} x {args.module} ({args.range} inputs, "
+          f"{args.faults} faults, seed {args.seed})")
+    print(f"  masked {report.n_masked}  SDC {report.n_sdc} "
+          f"(single {report.n_sdc_single} / multi {report.n_sdc_multiple})"
+          f"  DUE {report.n_due}")
+    print(f"  AVF {report.avf():.4f}  "
+          f"margin +/-{margin_of_error(args.faults):.1%}")
+    if args.attribution:
+        print()
+        print(render_attribution(attribute_outcomes([report])))
+    return 0
+
+
+def _cmd_tmxm(args: argparse.Namespace) -> int:
+    injector = RTLInjector()
+    bench = make_tmxm_bench(args.tile, seed=args.seed)
+    report = run_campaign(bench, args.module, args.faults, seed=args.seed,
+                          injector=injector)
+    entry = tmxm_entry_from_report(report)
+    print(f"t-MxM ({args.tile} tile) x {args.module}: "
+          f"masked {report.n_masked}  SDC {report.n_sdc}  "
+          f"DUE {report.n_due}")
+    print("  spatial patterns:", {
+        pattern.value: stats.occurrences
+        for pattern, stats in sorted(entry.patterns.items(),
+                                     key=lambda kv: kv[0].value)})
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .swfi import profile_application
+
+    app = _apps()[args.app](seed=args.seed)
+    profile = profile_application(app)
+    print(render_fig3([profile]))
+    return 0
+
+
+def _cmd_pvf(args: argparse.Namespace) -> int:
+    from .datafiles import load_database
+    from .swfi import (
+        RelativeErrorSyndrome,
+        SingleBitFlip,
+        SoftwareInjector,
+        run_pvf_campaign,
+    )
+
+    app = _apps()[args.app](seed=args.seed)
+    injector = SoftwareInjector(app)
+    models = []
+    if args.model in ("bitflip", "both"):
+        models.append(SingleBitFlip())
+    if args.model in ("syndrome", "both"):
+        models.append(RelativeErrorSyndrome(load_database()))
+    for model in models:
+        report = run_pvf_campaign(app, model, args.injections,
+                                  seed=args.seed, injector=injector)
+        low, high = report.confidence_interval()
+        print(f"{app.name} under {model.name}: PVF {report.pvf:.3f} "
+              f"(95% CI [{low:.3f}, {high:.3f}], "
+              f"DUE rate {report.due_rate:.3f})")
+    return 0
+
+
+def _cmd_build_db(args: argparse.Namespace) -> int:
+    from . import datafiles
+
+    database = datafiles.build_full_database(
+        args.grid_faults, args.tmxm_faults, args.seed, verbose=True)
+    path = args.output or datafiles.default_database_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    database.save(path)
+    print(f"saved {path}")
+    return 0
+
+
+def _cmd_db_info(args: argparse.Namespace) -> int:
+    from .datafiles import load_database
+
+    database = load_database()
+    entries = database.entries()
+    print(f"syndrome database: {len(entries)} instruction cells, "
+          f"{len(database.tmxm_entries())} t-MxM cells")
+    print(f"{'opcode':<8}{'range':<7}{'module':<16}{'n':>6}"
+          f"{'median':>12} {'alpha':>7}")
+    for entry in entries:
+        alpha = f"{entry.fit.alpha:.2f}" if entry.fit else "-"
+        print(f"{entry.key.opcode:<8}{entry.key.input_range:<7}"
+              f"{entry.key.module:<16}{entry.n_samples:>6}"
+              f"{entry.median_relative_error():>12.3g} {alpha:>7}")
+    for tm in database.tmxm_entries():
+        dist = {p.value: round(f, 3)
+                for p, f in tm.pattern_distribution().items()}
+        print(f"t-MxM {tm.tile_kind:<7}{tm.module:<11} "
+              f"occ={tm.total_occurrences:<5} {dist}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two-level (RTL + software) GPU fault injection")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inventory = sub.add_parser(
+        "inventory", help="print the Table I module inventory")
+    inventory.set_defaults(func=_cmd_inventory)
+
+    campaign = sub.add_parser(
+        "campaign", help="run one RTL micro-benchmark campaign")
+    campaign.add_argument("--opcode", default="FADD",
+                          choices=[o.value for o in Opcode
+                                   if o.value not in ("MOV", "NOP",
+                                                      "EXIT")])
+    campaign.add_argument("--module", default="fp32")
+    campaign.add_argument("--range", default="M", choices=["S", "M", "L"])
+    campaign.add_argument("--faults", type=int, default=500)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--attribution", action="store_true",
+                          help="print the per-register attribution")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    tmxm = sub.add_parser("tmxm", help="run one t-MxM RTL campaign")
+    tmxm.add_argument("--tile", default="Random",
+                      choices=["Max", "Zero", "Random"])
+    tmxm.add_argument("--module", default="scheduler",
+                      choices=["scheduler", "pipeline"])
+    tmxm.add_argument("--faults", type=int, default=500)
+    tmxm.add_argument("--seed", type=int, default=0)
+    tmxm.set_defaults(func=_cmd_tmxm)
+
+    profile = sub.add_parser(
+        "profile", help="print an application's dynamic SASS profile")
+    profile.add_argument("--app", default="MxM",
+                         choices=sorted(_apps()))
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(func=_cmd_profile)
+
+    pvf = sub.add_parser(
+        "pvf", help="measure an application's PVF under a fault model")
+    pvf.add_argument("--app", default="MxM", choices=sorted(_apps()))
+    pvf.add_argument("--model", default="both",
+                     choices=["bitflip", "syndrome", "both"])
+    pvf.add_argument("--injections", type=int, default=300)
+    pvf.add_argument("--seed", type=int, default=0)
+    pvf.set_defaults(func=_cmd_pvf)
+
+    db_info = sub.add_parser(
+        "db-info", help="summarise the shipped syndrome database")
+    db_info.set_defaults(func=_cmd_db_info)
+
+    build_db = sub.add_parser(
+        "build-db", help="rebuild the shipped syndrome database")
+    build_db.add_argument("--grid-faults", type=int, default=1500)
+    build_db.add_argument("--tmxm-faults", type=int, default=6000)
+    build_db.add_argument("--seed", type=int, default=2021)
+    build_db.add_argument("--output", type=None, default=None)
+    build_db.set_defaults(func=_cmd_build_db)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Prebuilt syndrome database management.
+
+The paper publishes its RTL fault-model database in a public repository
+so third parties can inject realistic syndromes without redoing the
+months-long RTL campaigns.  This module plays that role: it builds the
+full campaign grid once (every characterised opcode x S/M/L x module,
+plus the t-MxM tile campaigns), caches the distilled syndrome database as
+JSON inside the package, and loads it on demand.
+
+``python -m repro.datafiles`` rebuilds the shipped database.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from .rng import spawn_seeds
+from .rtl.campaign import run_campaign, run_grid
+from .rtl.injector import RTLInjector
+from .rtl.tmxm import TILE_KINDS, make_tmxm_bench
+from .syndrome.builder import build_database
+from .syndrome.database import SyndromeDatabase
+
+__all__ = [
+    "default_database_path",
+    "build_full_database",
+    "load_database",
+]
+
+#: Campaign sizes for the shipped database.  The paper injects >12,000
+#: faults per cell; these defaults keep the one-time build to minutes
+#: while providing enough SDCs per cell for stable power-law fits.
+DEFAULT_GRID_FAULTS = 1500
+DEFAULT_TMXM_FAULTS = 6000
+DEFAULT_SEED = 2021
+
+
+def default_database_path() -> Path:
+    """Location of the shipped syndrome database JSON."""
+    return Path(__file__).parent / "data" / "syndrome_db.json"
+
+
+def build_full_database(grid_faults: int = DEFAULT_GRID_FAULTS,
+                        tmxm_faults: int = DEFAULT_TMXM_FAULTS,
+                        seed: int = DEFAULT_SEED,
+                        verbose: bool = False) -> SyndromeDatabase:
+    """Run the full RTL campaign grid and distil the syndrome database."""
+    injector = RTLInjector()
+    if verbose:
+        print(f"running campaign grid ({grid_faults} faults/cell)...")
+    reports = run_grid(n_faults=grid_faults, seed=seed, injector=injector)
+    if verbose:
+        total = sum(r.n_injections for r in reports)
+        print(f"  {len(reports)} cells, {total} faults")
+    tmxm_reports = []
+    cells = [(kind, module) for kind in TILE_KINDS
+             for module in ("scheduler", "pipeline")]
+    for (kind, module), cell_seed in zip(
+            cells, spawn_seeds(seed + 1, len(cells))):
+        if verbose:
+            print(f"t-MxM campaign: {kind} tile, {module} "
+                  f"({tmxm_faults} faults)...")
+        bench = make_tmxm_bench(kind, seed=cell_seed)
+        tmxm_reports.append(
+            run_campaign(bench, module, tmxm_faults, seed=cell_seed,
+                         injector=injector))
+    return build_database(reports, tmxm_reports)
+
+
+def load_database(path: Optional[Path] = None,
+                  allow_build: bool = True) -> SyndromeDatabase:
+    """Load the shipped database, building and caching it if missing."""
+    path = Path(path) if path is not None else default_database_path()
+    if path.exists():
+        return SyndromeDatabase.load(path)
+    if not allow_build:
+        raise FileNotFoundError(
+            f"syndrome database not found at {path}; run "
+            "`python -m repro.datafiles` to build it")
+    database = build_full_database()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    database.save(path)
+    return database
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="(Re)build the shipped syndrome database")
+    parser.add_argument("--grid-faults", type=int,
+                        default=DEFAULT_GRID_FAULTS)
+    parser.add_argument("--tmxm-faults", type=int,
+                        default=DEFAULT_TMXM_FAULTS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args()
+    database = build_full_database(
+        args.grid_faults, args.tmxm_faults, args.seed, verbose=True)
+    path = args.output or default_database_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    database.save(path)
+    print(f"saved {path} ({len(database.entries())} entries, "
+          f"{len(database.tmxm_entries())} t-MxM entries)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,50 @@
+"""Register-transfer-style GPU model (FlexGripPlus substitute).
+
+The subpackage models one streaming multiprocessor of an NVIDIA-G80-class
+GPU at the register-transfer level: named flip-flops grouped into the six
+modules the paper characterises (FP32, INT, SFU, SFU controller, warp
+scheduler, pipeline registers), all writable only through a central
+:class:`~repro.gpu.fault_plane.FaultPlane` that can arm one transient
+fault per run.
+"""
+
+from .asm import AssemblyError, assemble, disassemble
+from .bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits
+from .fault_plane import FaultPlane, FlipFlop, ModuleName, TransientFault
+from .isa import (
+    CHARACTERIZED_OPCODES,
+    CompareOp,
+    Immediate,
+    Instruction,
+    Opcode,
+    Predicate,
+    Register,
+)
+from .program import Program, ProgramBuilder
+from .sm import KernelResult, SMConfig, StreamingMultiprocessor
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "disassemble",
+    "bits_to_float",
+    "bits_to_int",
+    "float_to_bits",
+    "int_to_bits",
+    "FaultPlane",
+    "FlipFlop",
+    "ModuleName",
+    "TransientFault",
+    "CHARACTERIZED_OPCODES",
+    "CompareOp",
+    "Immediate",
+    "Instruction",
+    "Opcode",
+    "Predicate",
+    "Register",
+    "Program",
+    "ProgramBuilder",
+    "KernelResult",
+    "SMConfig",
+    "StreamingMultiprocessor",
+]

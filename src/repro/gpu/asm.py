@@ -1,0 +1,297 @@
+"""SASS-style textual assembler and disassembler.
+
+Lets micro-benchmarks and examples be written as assembly text instead of
+builder calls, mirroring how the paper's micro-benchmarks are expressed
+as compiled SASS listings:
+
+    // FADD micro-benchmark body
+          GLD   R2, [R0 + 0x80]
+          GLD   R3, [R0 + 0x100]
+          FADD  R5, R2, R3
+          GST   [R0 + 0x200], R5
+          EXIT
+
+Supported syntax:
+
+* one instruction per line; ``//`` and ``#`` comments; blank lines
+* labels: ``loop:`` on their own line or before an instruction
+* registers ``R<n>``, predicates ``P<n>``, immediates ``0x1F`` / ``42`` /
+  ``-7``
+* memory operands ``[Rn]`` or ``[Rn + imm]`` for GLD/GST
+* predicated execution ``@P0`` / ``@!P0`` prefixes
+* ISET with a relation suffix: ``ISET.LT R4, R2, R3`` (or a predicate
+  destination: ``ISET.GE P0, R2, R3``)
+* ``BRA label`` (optionally predicated)
+
+The disassembler (:func:`disassemble`) produces text this assembler
+re-reads to an equivalent program (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import ReproError
+from .isa import (
+    CompareOp,
+    Immediate,
+    Instruction,
+    Opcode,
+    Operand,
+    OperandKind,
+    Predicate,
+    Register,
+)
+from .program import Program
+
+__all__ = ["AssemblyError", "assemble", "disassemble"]
+
+
+class AssemblyError(ReproError):
+    """A source line could not be parsed."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):\s*(.*)$")
+_PRED_RE = re.compile(r"^@(!?)P(\d+)\s+(.*)$")
+_MEM_RE = re.compile(
+    r"^\[\s*R(\d+)\s*(?:\+\s*(-?(?:0x[0-9A-Fa-f]+|\d+))\s*)?\]$")
+_REG_RE = re.compile(r"^R(\d+)$")
+_PREDREG_RE = re.compile(r"^P(\d+)$")
+_IMM_RE = re.compile(r"^-?(?:0x[0-9A-Fa-f]+|\d+)$")
+
+_THREE_SRC = {Opcode.FFMA, Opcode.IMAD}
+_TWO_SRC = {Opcode.FADD, Opcode.FMUL, Opcode.IADD, Opcode.IMUL,
+            Opcode.SHL, Opcode.SHR, Opcode.LOP_AND, Opcode.LOP_OR,
+            Opcode.LOP_XOR}
+_ONE_SRC = {Opcode.FSIN, Opcode.FEXP, Opcode.MOV, Opcode.RCP,
+            Opcode.F2I, Opcode.I2F}
+
+
+def assemble(source: str, name: str = "kernel") -> Program:
+    """Assemble SASS-style *source* text into a :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels = {}
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            label, rest = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblyError(
+                    f"line {line_no}: duplicate label {label!r}")
+            labels[label] = len(instructions)
+            if not rest:
+                continue
+            line = rest
+        try:
+            instructions.append(_parse_instruction(line))
+        except AssemblyError as exc:
+            raise AssemblyError(f"line {line_no}: {exc}") from None
+    if not instructions or instructions[-1].opcode is not Opcode.EXIT:
+        raise AssemblyError("program must end with EXIT")
+    for inst in instructions:
+        if inst.opcode is Opcode.BRA and inst.target not in labels:
+            raise AssemblyError(f"undefined branch target {inst.target!r}")
+    return Program(tuple(instructions), labels, name)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("//", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line
+
+
+def _parse_instruction(line: str) -> Instruction:
+    predicate: Optional[Operand] = None
+    negated = False
+    match = _PRED_RE.match(line)
+    if match:
+        negated = match.group(1) == "!"
+        predicate = Predicate(int(match.group(2)))
+        line = match.group(3)
+    parts = line.split(None, 1)
+    mnemonic = parts[0].upper()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(operand_text)
+
+    compare: Optional[CompareOp] = None
+    try:
+        # dotted opcodes like LOP.AND are full mnemonics of their own
+        opcode = Opcode(mnemonic)
+    except ValueError:
+        if "." not in mnemonic:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+        base, suffix = mnemonic.split(".", 1)
+        try:
+            compare = CompareOp(suffix)
+        except ValueError:
+            raise AssemblyError(f"unknown relation .{suffix}")
+        try:
+            opcode = Opcode(base)
+        except ValueError:
+            raise AssemblyError(f"unknown mnemonic {base!r}")
+
+    kwargs = dict(predicate=predicate, predicate_negated=negated)
+    if opcode in (Opcode.EXIT, Opcode.NOP, Opcode.BAR):
+        _expect(operands, 0, opcode)
+        return Instruction(opcode, **kwargs)
+    if opcode is Opcode.BRA:
+        _expect(operands, 1, opcode)
+        return Instruction(opcode, target=operands[0], **kwargs)
+    if opcode in (Opcode.GLD, Opcode.SLD):
+        _expect(operands, 2, opcode)
+        dest = _parse_register(operands[0])
+        base, offset = _parse_memory(operands[1])
+        return Instruction(opcode, dest, (base,), offset=offset, **kwargs)
+    if opcode in (Opcode.GST, Opcode.SST):
+        _expect(operands, 2, opcode)
+        base, offset = _parse_memory(operands[0])
+        src = _parse_value(operands[1])
+        return Instruction(opcode, None, (base, src), offset=offset,
+                           **kwargs)
+    if opcode is Opcode.ISET:
+        _expect(operands, 3, opcode)
+        if compare is None:
+            raise AssemblyError("ISET needs a relation suffix (e.g. .LT)")
+        dest = _parse_dest(operands[0])
+        return Instruction(opcode, dest,
+                           (_parse_value(operands[1]),
+                            _parse_value(operands[2])),
+                           compare=compare, **kwargs)
+    if opcode in _ONE_SRC:
+        _expect(operands, 2, opcode)
+        return Instruction(opcode, _parse_register(operands[0]),
+                           (_parse_value(operands[1]),), **kwargs)
+    if opcode in _TWO_SRC:
+        _expect(operands, 3, opcode)
+        return Instruction(opcode, _parse_register(operands[0]),
+                           tuple(_parse_value(t) for t in operands[1:]),
+                           **kwargs)
+    if opcode in _THREE_SRC:
+        _expect(operands, 4, opcode)
+        return Instruction(opcode, _parse_register(operands[0]),
+                           tuple(_parse_value(t) for t in operands[1:]),
+                           **kwargs)
+    raise AssemblyError(f"cannot assemble opcode {opcode}")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside a memory bracket."""
+    operands: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+def _expect(operands: List[str], count: int, opcode: Opcode) -> None:
+    if len(operands) != count:
+        raise AssemblyError(
+            f"{opcode.value} expects {count} operands, got {len(operands)}")
+
+
+def _parse_register(text: str) -> Operand:
+    match = _REG_RE.match(text)
+    if not match:
+        raise AssemblyError(f"expected a register, got {text!r}")
+    return Register(int(match.group(1)))
+
+
+def _parse_dest(text: str) -> Operand:
+    match = _PREDREG_RE.match(text)
+    if match:
+        return Predicate(int(match.group(1)))
+    return _parse_register(text)
+
+
+def _parse_value(text: str) -> Operand:
+    match = _REG_RE.match(text)
+    if match:
+        return Register(int(match.group(1)))
+    if _IMM_RE.match(text):
+        return Immediate(int(text, 0))
+    raise AssemblyError(f"expected a register or immediate, got {text!r}")
+
+
+def _parse_memory(text: str) -> Tuple[Operand, int]:
+    match = _MEM_RE.match(text)
+    if not match:
+        raise AssemblyError(f"expected a memory operand, got {text!r}")
+    base = Register(int(match.group(1)))
+    offset = int(match.group(2), 0) if match.group(2) else 0
+    return base, offset
+
+
+# -- disassembly ----------------------------------------------------------------
+
+
+def disassemble(program: Program) -> str:
+    """Render *program* as assembly text :func:`assemble` can re-read."""
+    by_pc = {}
+    for label, pc in program.labels.items():
+        by_pc.setdefault(pc, []).append(label)
+    lines: List[str] = []
+    for pc, inst in enumerate(program.instructions):
+        for label in sorted(by_pc.get(pc, [])):
+            lines.append(f"{label}:")
+        lines.append("    " + _format_instruction(inst))
+    return "\n".join(lines) + "\n"
+
+
+def _format_instruction(inst: Instruction) -> str:
+    prefix = ""
+    if inst.predicate is not None:
+        bang = "!" if inst.predicate_negated else ""
+        prefix = f"@{bang}P{inst.predicate.value} "
+    opcode = inst.opcode
+    if opcode in (Opcode.EXIT, Opcode.NOP, Opcode.BAR):
+        return prefix + opcode.value
+    if opcode is Opcode.BRA:
+        return f"{prefix}BRA {inst.target}"
+    if opcode in (Opcode.GLD, Opcode.SLD):
+        return (f"{prefix}{opcode.value} {_fmt(inst.dest)}, "
+                f"{_fmt_mem(inst.srcs[0], inst.offset)}")
+    if opcode in (Opcode.GST, Opcode.SST):
+        return (f"{prefix}{opcode.value} "
+                f"{_fmt_mem(inst.srcs[0], inst.offset)}, "
+                f"{_fmt(inst.srcs[1])}")
+    mnemonic = opcode.value
+    if opcode is Opcode.ISET:
+        mnemonic += f".{inst.compare.value}"
+    operands = [_fmt(inst.dest)] + [_fmt(s) for s in inst.srcs]
+    return f"{prefix}{mnemonic} " + ", ".join(operands)
+
+
+def _fmt(operand: Optional[Operand]) -> str:
+    if operand is None:
+        return "-"
+    if operand.kind is OperandKind.REGISTER:
+        return f"R{operand.value}"
+    if operand.kind is OperandKind.PREDICATE:
+        return f"P{operand.value}"
+    value = operand.value
+    if value >= 1 << 31:
+        value -= 1 << 32
+    return hex(value) if abs(value) >= 16 else str(value)
+
+
+def _fmt_mem(base: Operand, offset: int) -> str:
+    if offset:
+        return f"[R{base.value} + {hex(offset)}]"
+    return f"[R{base.value}]"

@@ -1,0 +1,168 @@
+"""Bit-level utilities shared by the register-transfer GPU model.
+
+Everything in the RTL substrate manipulates values as unsigned integers of a
+declared width, mirroring how VHDL ``std_logic_vector`` signals behave in
+FlexGripPlus.  This module provides the conversions between Python numbers
+and those bit vectors, plus the fault primitives (single-bit flips) used by
+the injection framework.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+__all__ = [
+    "MASK32",
+    "float_to_bits",
+    "bits_to_float",
+    "int_to_bits",
+    "bits_to_int",
+    "flip_bit",
+    "flip_bits",
+    "bit_diff",
+    "count_set_bits",
+    "extract_field",
+    "insert_field",
+    "sign_extend",
+    "is_nan_bits",
+    "is_inf_bits",
+    "FP32_SIGN_BIT",
+    "FP32_EXP_SHIFT",
+    "FP32_EXP_MASK",
+    "FP32_MANT_MASK",
+    "FP32_EXP_BIAS",
+    "unpack_fp32",
+    "pack_fp32",
+]
+
+MASK32 = 0xFFFFFFFF
+
+FP32_SIGN_BIT = 31
+FP32_EXP_SHIFT = 23
+FP32_EXP_MASK = 0xFF
+FP32_MANT_MASK = 0x7FFFFF
+FP32_EXP_BIAS = 127
+
+
+def float_to_bits(value: float) -> int:
+    """Return the IEEE-754 binary32 encoding of *value* as an unsigned int.
+
+    The value is first rounded to single precision, exactly as a GPU register
+    holding an FP32 operand would store it.
+    """
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Decode an unsigned 32-bit integer as an IEEE-754 binary32 value."""
+    return struct.unpack("<f", struct.pack("<I", bits & MASK32))[0]
+
+
+def int_to_bits(value: int) -> int:
+    """Encode a (possibly negative) Python int as a two's-complement u32."""
+    return value & MASK32
+
+
+def bits_to_int(bits: int) -> int:
+    """Decode a u32 bit pattern as a signed two's-complement int32."""
+    bits &= MASK32
+    if bits & 0x80000000:
+        return bits - (1 << 32)
+    return bits
+
+
+def flip_bit(value: int, bit: int, width: int = 32) -> int:
+    """Flip a single bit of *value*; *bit* counts from the LSB (bit 0)."""
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for width {width}")
+    return value ^ (1 << bit)
+
+
+def flip_bits(value: int, bits: "list[int] | tuple[int, ...]", width: int = 32) -> int:
+    """Flip several bits of *value* at once."""
+    for bit in bits:
+        value = flip_bit(value, bit, width)
+    return value
+
+
+def bit_diff(a: int, b: int) -> "list[int]":
+    """Return the (LSB-first) positions where *a* and *b* differ."""
+    xor = a ^ b
+    positions = []
+    bit = 0
+    while xor:
+        if xor & 1:
+            positions.append(bit)
+        xor >>= 1
+        bit += 1
+    return positions
+
+
+def count_set_bits(value: int) -> int:
+    """Population count of a non-negative integer."""
+    return bin(value).count("1")
+
+
+def extract_field(value: int, lsb: int, width: int) -> int:
+    """Extract *width* bits of *value* starting at bit *lsb*."""
+    return (value >> lsb) & ((1 << width) - 1)
+
+
+def insert_field(value: int, lsb: int, width: int, field: int) -> int:
+    """Return *value* with *width* bits at *lsb* replaced by *field*."""
+    mask = ((1 << width) - 1) << lsb
+    return (value & ~mask) | ((field << lsb) & mask)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend a *width*-bit two's-complement value to a Python int."""
+    sign = 1 << (width - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def is_nan_bits(bits: int) -> bool:
+    """True when the u32 pattern encodes an FP32 NaN."""
+    exp = extract_field(bits, FP32_EXP_SHIFT, 8)
+    mant = bits & FP32_MANT_MASK
+    return exp == FP32_EXP_MASK and mant != 0
+
+
+def is_inf_bits(bits: int) -> bool:
+    """True when the u32 pattern encodes an FP32 infinity."""
+    exp = extract_field(bits, FP32_EXP_SHIFT, 8)
+    mant = bits & FP32_MANT_MASK
+    return exp == FP32_EXP_MASK and mant == 0
+
+
+def unpack_fp32(bits: int) -> "tuple[int, int, int]":
+    """Split an FP32 pattern into (sign, biased exponent, 23-bit mantissa)."""
+    sign = (bits >> FP32_SIGN_BIT) & 1
+    exp = extract_field(bits, FP32_EXP_SHIFT, 8)
+    mant = bits & FP32_MANT_MASK
+    return sign, exp, mant
+
+
+def pack_fp32(sign: int, exp: int, mant: int) -> int:
+    """Assemble an FP32 pattern from (sign, biased exponent, mantissa)."""
+    return ((sign & 1) << FP32_SIGN_BIT) | ((exp & FP32_EXP_MASK) << FP32_EXP_SHIFT) | (
+        mant & FP32_MANT_MASK
+    )
+
+
+def relative_error(expected: float, observed: float) -> float:
+    """Relative difference used by the paper's syndrome characterisation.
+
+    ``|expected - observed| / |expected|``; when the expected value is zero
+    the absolute difference is returned instead (the paper's reports fall
+    back to absolute magnitudes for zero outputs).  Non-finite observations
+    map to ``math.inf`` so callers can bucket them explicitly.
+    """
+    if math.isnan(observed) or math.isinf(observed):
+        return math.inf
+    if expected == 0.0:
+        return abs(observed)
+    return abs(expected - observed) / abs(expected)
+
+
+__all__.append("relative_error")

@@ -1,0 +1,241 @@
+"""Fault plane: the injection surface of the register-transfer GPU model.
+
+Every flip-flop (stage register, state register, control latch) in the GPU
+model is *declared* on the fault plane when its owning module is built, and
+every write to it is routed through :meth:`FaultPlane.latch`.  This mirrors
+how the paper's ModelSim controller forces a transient value onto a chosen
+``std_logic`` signal at a chosen simulation time: the injection framework
+arms a :class:`TransientFault` and the next latch of the targeted flip-flop
+at/after the fault's cycle is XOR-ed with the fault mask, exactly once.
+
+The declared flip-flop inventory doubles as the module size report used to
+regenerate Table I and to build fault lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FlipFlop", "TransientFault", "FaultPlane", "ModuleName"]
+
+
+class ModuleName:
+    """Canonical module identifiers (paper Table I)."""
+
+    FP32 = "fp32"
+    INT = "int"
+    SFU = "sfu"
+    SFU_CONTROLLER = "sfu_controller"
+    SCHEDULER = "scheduler"
+    PIPELINE = "pipeline"
+
+    ALL = (FP32, INT, SFU, SFU_CONTROLLER, SCHEDULER, PIPELINE)
+
+
+@dataclass(frozen=True)
+class FlipFlop:
+    """A named register (bank of flip-flops) inside a GPU module.
+
+    ``lane`` is the SIMT lane the register belongs to, or ``-1`` for shared
+    (control) registers.  ``kind`` distinguishes datapath registers from
+    control registers; the paper reports ~84% of pipeline registers are
+    data and ~16% control, and that the control ones drive DUEs and
+    multi-thread SDCs.
+    """
+
+    module: str
+    name: str
+    width: int
+    lane: int = -1
+    kind: str = "data"
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        return (self.module, self.name, self.lane)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        lane = f"[lane {self.lane}]" if self.lane >= 0 else "[shared]"
+        return f"{self.module}.{self.name}{lane}:{self.width}b ({self.kind})"
+
+
+@dataclass
+class TransientFault:
+    """A single-event transient: flip one bit of one flip-flop once.
+
+    ``cycle`` is the injection instant.  The flip lands on the target
+    flip-flop's next latch *only if that latch occurs within ``window``
+    cycles of the injection*; otherwise the transient decays unconsumed
+    and the fault is masked.  This latching-window semantics reproduces
+    the utilization scaling of ModelSim-style injection: a value forced
+    onto a register at time *t* is only consumed if the register is
+    actually live around *t* — most of the time it is simply overwritten
+    before any downstream logic reads it, so most injections are masked
+    (the dominant outcome in the paper's campaigns).
+
+    ``fired_cycle`` records when the flip actually landed (``None`` if it
+    never did).
+    """
+
+    flipflop: FlipFlop
+    bit: int
+    cycle: int
+    window: int = 1
+    #: bits flipped starting at ``bit``.  A single flip-flop upset has
+    #: ``n_bits == 1``; a transient on a *signal* feeding the register
+    #: (the paper's campaigns target "flip flops and signals") fans out
+    #: into a contiguous burst of captured bits.
+    n_bits: int = 1
+    fired_cycle: Optional[int] = None
+    expired: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < self.flipflop.width:
+            raise ValueError(
+                f"bit {self.bit} out of range for {self.flipflop.width}-bit "
+                f"register {self.flipflop.name}"
+            )
+        if self.n_bits < 1:
+            raise ValueError("n_bits must be at least 1")
+
+    @property
+    def mask(self) -> int:
+        """XOR mask applied on firing (burst clipped at the register top)."""
+        top = min(self.bit + self.n_bits, self.flipflop.width)
+        return ((1 << top) - 1) ^ ((1 << self.bit) - 1)
+
+    @property
+    def fired(self) -> bool:
+        return self.fired_cycle is not None
+
+
+class FaultPlane:
+    """Registry of flip-flops plus the armed-fault latch interceptor."""
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self._flipflops: Dict[Tuple[str, str, int], FlipFlop] = {}
+        self._armed: Optional[TransientFault] = None
+        self._armed_key: Optional[Tuple[str, str, int]] = None
+        self._expired_fault: Optional[TransientFault] = None
+
+    # -- inventory --------------------------------------------------------
+    def declare(self, flipflop: FlipFlop) -> FlipFlop:
+        """Register a flip-flop; idempotent for identical declarations."""
+        existing = self._flipflops.get(flipflop.key)
+        if existing is not None:
+            if existing != flipflop:
+                raise ValueError(f"conflicting declaration for {flipflop.key}")
+            return existing
+        self._flipflops[flipflop.key] = flipflop
+        return flipflop
+
+    def flipflops(self, module: Optional[str] = None) -> List[FlipFlop]:
+        """All declared flip-flops, optionally restricted to one module."""
+        ffs = self._flipflops.values()
+        if module is not None:
+            ffs = (ff for ff in ffs if ff.module == module)
+        return sorted(ffs, key=lambda ff: (ff.module, ff.name, ff.lane))
+
+    def module_size(self, module: str) -> int:
+        """Total flip-flop (bit) count of a module — the Table I 'RTL size'."""
+        return sum(ff.width for ff in self.flipflops(module))
+
+    def module_sizes(self) -> Dict[str, int]:
+        sizes: Dict[str, int] = {}
+        for ff in self._flipflops.values():
+            sizes[ff.module] = sizes.get(ff.module, 0) + ff.width
+        return sizes
+
+    #: Modules whose registers hold *persistent state* (SRAM cells): a
+    #: transient there flips the stored value and survives until the cell
+    #: is read or overwritten — no latching-window decay.
+    PERSISTENT_STATE_MODULES = frozenset({"register_file"})
+
+    # -- simulation time ---------------------------------------------------
+    def tick(self, cycles: int = 1) -> None:
+        self.cycle += cycles
+        armed = self._armed
+        if (armed is not None and armed.fired_cycle is None
+                and armed.flipflop.module not in
+                self.PERSISTENT_STATE_MODULES
+                and self.cycle > armed.cycle + armed.window):
+            # the transient's latching window closed with no write to the
+            # target register: it decayed unconsumed (masked)
+            armed.expired = True
+            self._armed = None
+            self._expired_fault = armed
+
+    def reset_time(self) -> None:
+        self.cycle = 0
+
+    # -- injection ---------------------------------------------------------
+    def arm(self, fault: TransientFault) -> None:
+        """Arm a single transient fault; the paper injects one per run."""
+        if self._armed is not None:
+            raise RuntimeError("a fault is already armed on this plane")
+        if fault.flipflop.key not in self._flipflops:
+            raise KeyError(f"unknown flip-flop {fault.flipflop.key}")
+        self._armed = fault
+        self._armed_key = fault.flipflop.key
+
+    def disarm(self) -> Optional[TransientFault]:
+        fault = self._armed or self._expired_fault
+        self._armed = None
+        self._armed_key = None
+        self._expired_fault = None
+        return fault
+
+    @property
+    def armed_fault(self) -> Optional[TransientFault]:
+        return self._armed
+
+    @property
+    def injection_pending(self) -> bool:
+        """True while an armed transient has neither fired nor decayed.
+
+        Modules use this to skip latches that can never change observable
+        behaviour (shadow pipeline stages, bubble slots) once no flip can
+        land any more — a pure optimisation with identical semantics.
+        """
+        armed = self._armed
+        return armed is not None and armed.fired_cycle is None
+
+    def pending_for(self, module: str) -> bool:
+        """True while a not-yet-landed transient targets *module*."""
+        armed = self._armed
+        return (armed is not None and armed.fired_cycle is None
+                and armed.flipflop.module == module)
+
+    @property
+    def fault_decayed(self) -> bool:
+        """True once the armed transient decayed without ever landing.
+
+        From this point the run is bit-identical to the golden one, so
+        the campaign controller can classify it Masked without finishing.
+        """
+        return self._expired_fault is not None
+
+    # -- the hot path --------------------------------------------------------
+    def latch(self, module: str, name: str, value: int, lane: int = -1) -> int:
+        """Route one flip-flop write; apply the armed transient if it matches.
+
+        Called for every stage-register write in the model, so it stays as
+        cheap as possible in the common (no matching fault) case.
+        """
+        armed = self._armed
+        if armed is None:
+            return value
+        if armed.fired_cycle is not None or self.cycle < armed.cycle:
+            return value
+        key = self._armed_key
+        if key[0] != module or key[1] != name or key[2] != lane:
+            return value
+        if self.cycle > armed.cycle + armed.window:
+            # the transient decayed before this register latched again
+            armed.expired = True
+            self._armed = None
+            self._expired_fault = armed
+            return value
+        armed.fired_cycle = self.cycle
+        return value ^ armed.mask

@@ -1,0 +1,438 @@
+"""Bit-level FP32 functional unit (add / multiply / fused multiply-add).
+
+The unit reproduces the register-transfer structure of a single-precision
+floating-point datapath: operands are unpacked into sign/exponent/mantissa
+stage registers, aligned or multiplied through explicit intermediate
+registers, normalised, and rounded to nearest-even.  Every stage register is
+declared on the :class:`~repro.gpu.fault_plane.FaultPlane` and every write
+goes through :meth:`FaultPlane.latch`, so a transient fault flips a real
+intermediate value and the corrupted bits propagate through the remaining
+stages *arithmetically* — the mechanism the paper's RTL campaign relies on
+to produce non-obvious output syndromes.
+
+Arithmetic follows the G80's documented single-precision behaviour:
+round-to-nearest-even with denormals flushed to zero (FTZ) on inputs and
+outputs.  Fault-free results are bit-exact against IEEE-754 binary32
+(verified against numpy in the test suite); FFMA uses a single rounding of
+the exact product-plus-addend, i.e. a true fused multiply-add.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .bits import (
+    FP32_EXP_BIAS,
+    FP32_EXP_MASK,
+    MASK32,
+    pack_fp32,
+    unpack_fp32,
+)
+from .fault_plane import FaultPlane, FlipFlop, ModuleName
+
+__all__ = ["FP32Unit"]
+
+_QNAN = 0x7FC00000
+_PLUS_INF = 0x7F800000
+_MINUS_INF = 0xFF800000
+
+# Guard/round/sticky extension used by the adder datapath.
+_GRS = 3
+
+
+def _is_special(exp: int) -> bool:
+    return exp == FP32_EXP_MASK
+
+
+class FP32Unit:
+    """One SIMT lane-group of single-precision floating-point pipelines.
+
+    The SM instantiates one pipeline per lane (``n_lanes`` of them); each
+    lane has its own stage registers so a fault in lane *k* only corrupts
+    the thread currently mapped onto lane *k* — the behaviour behind the
+    paper's observation that FP32/INT faults produce single-thread SDCs.
+    """
+
+    #: Stage registers per lane: (name, width, kind).
+    _REGISTERS = (
+        # stage 1: operand unpack
+        ("unpack.a_sign", 1, "data"),
+        ("unpack.a_exp", 8, "data"),
+        ("unpack.a_mant", 24, "data"),
+        ("unpack.b_sign", 1, "data"),
+        ("unpack.b_exp", 8, "data"),
+        ("unpack.b_mant", 24, "data"),
+        ("unpack.c_sign", 1, "data"),
+        ("unpack.c_exp", 8, "data"),
+        ("unpack.c_mant", 24, "data"),
+        # stage 2 (add path): exponent compare + mantissa alignment
+        ("align.exp_diff", 8, "data"),
+        ("align.big_mant", 27, "data"),
+        ("align.small_mant", 27, "data"),
+        ("align.result_exp", 10, "data"),
+        ("align.result_sign", 1, "data"),
+        ("align.sticky", 1, "data"),
+        ("align.eff_sub", 1, "control"),
+        # stage 2 (mul path): booth partial products, then the full product
+        ("mul.pp_a", 36, "data"),
+        ("mul.pp_b", 36, "data"),
+        ("mul.prod_lo", 24, "data"),
+        ("mul.prod_hi", 24, "data"),
+        ("mul.prod_exp", 10, "data"),
+        ("mul.prod_sign", 1, "data"),
+        # stage 3: add / normalise
+        ("norm.raw_sum", 29, "data"),
+        ("norm.shift", 5, "data"),
+        ("norm.mant", 27, "data"),
+        ("norm.exp", 10, "data"),
+        # fma-specific wide accumulator
+        ("fma.wide_lo", 30, "data"),
+        ("fma.wide_hi", 24, "data"),
+        ("fma.wide_exp", 10, "data"),
+        ("fma.wide_sign", 1, "data"),
+        # stage 4: round + pack
+        ("round.mant", 24, "data"),
+        ("round.exp", 8, "data"),
+        ("round.result", 32, "data"),
+    )
+
+    def __init__(self, plane: FaultPlane, n_lanes: int = 8,
+                 module: str = ModuleName.FP32) -> None:
+        self.plane = plane
+        self.n_lanes = n_lanes
+        self.module = module
+        for lane in range(n_lanes):
+            for name, width, kind in self._REGISTERS:
+                plane.declare(FlipFlop(module, name, width, lane, kind))
+
+    # -- latch helper ------------------------------------------------------
+    def _latch(self, name: str, value: int, lane: int, width: int) -> int:
+        mask = (1 << width) - 1
+        if self.plane.armed_fault is None:  # hot path: nothing to intercept
+            return value & mask
+        return self.plane.latch(self.module, name, value & mask, lane) & mask
+
+    # -- public operations ---------------------------------------------------
+    def fadd(self, a_bits: int, b_bits: int, lane: int) -> int:
+        """FADD: single-precision addition on one lane."""
+        a = self._latch_operand("a", a_bits, lane)
+        b = self._latch_operand("b", b_bits, lane)
+        special = self._add_special(a, b)
+        if special is not None:
+            return self._latch("round.result", special, lane, 32)
+        return self._add_datapath(a, b, lane)
+
+    def fmul(self, a_bits: int, b_bits: int, lane: int) -> int:
+        """FMUL: single-precision multiplication on one lane."""
+        a = self._latch_operand("a", a_bits, lane)
+        b = self._latch_operand("b", b_bits, lane)
+        special = self._mul_special(a, b)
+        if special is not None:
+            return self._latch("round.result", special, lane, 32)
+        sign, exp, hi, lo = self._mul_datapath(a, b, lane)
+        # Fold the exact 48-bit product into the normalise/round stages.
+        product = (hi << 24) | lo
+        return self._normalise_product(sign, exp, product, lane)
+
+    def ffma(self, a_bits: int, b_bits: int, c_bits: int, lane: int) -> int:
+        """FFMA: fused multiply-add ``a*b + c`` with a single rounding."""
+        a = self._latch_operand("a", a_bits, lane)
+        b = self._latch_operand("b", b_bits, lane)
+        c = self._latch_operand("c", c_bits, lane)
+        special = self._fma_special(a, b, c)
+        if special is not None:
+            return self._latch("round.result", special, lane, 32)
+        sign, exp, hi, lo = self._mul_datapath(a, b, lane)
+        return self._fma_accumulate(sign, exp, (hi << 24) | lo, c, lane)
+
+    # -- operand unpack ------------------------------------------------------
+    def _latch_operand(self, which: str, bits: int, lane: int
+                       ) -> Tuple[int, int, int]:
+        """Unpack an operand through the stage-1 registers, applying FTZ."""
+        sign, exp, mant = unpack_fp32(bits & MASK32)
+        if exp == 0:
+            mant = 0  # flush denormal inputs to zero (G80 FTZ)
+        sign = self._latch(f"unpack.{which}_sign", sign, lane, 1)
+        exp = self._latch(f"unpack.{which}_exp", exp, lane, 8)
+        full_mant = mant if exp == 0 else (mant | 0x800000)
+        full_mant = self._latch(f"unpack.{which}_mant", full_mant, lane, 24)
+        return sign, exp, full_mant
+
+    # -- special-case handling (NaN / Inf / zero) ------------------------------
+    @staticmethod
+    def _add_special(a, b):
+        a_sign, a_exp, a_mant = a
+        b_sign, b_exp, b_mant = b
+        a_nan = _is_special(a_exp) and (a_mant & 0x7FFFFF)
+        b_nan = _is_special(b_exp) and (b_mant & 0x7FFFFF)
+        if a_nan or b_nan:
+            return _QNAN
+        a_inf = _is_special(a_exp)
+        b_inf = _is_special(b_exp)
+        if a_inf and b_inf:
+            if a_sign != b_sign:
+                return _QNAN
+            return _PLUS_INF if a_sign == 0 else _MINUS_INF
+        if a_inf:
+            return pack_fp32(a_sign, FP32_EXP_MASK, 0)
+        if b_inf:
+            return pack_fp32(b_sign, FP32_EXP_MASK, 0)
+        a_zero = a_exp == 0
+        b_zero = b_exp == 0
+        if a_zero and b_zero:
+            return pack_fp32(a_sign & b_sign, 0, 0)
+        if a_zero:
+            return pack_fp32(b_sign, b_exp, b_mant & 0x7FFFFF)
+        if b_zero:
+            return pack_fp32(a_sign, a_exp, a_mant & 0x7FFFFF)
+        return None
+
+    @staticmethod
+    def _mul_special(a, b):
+        a_sign, a_exp, a_mant = a
+        b_sign, b_exp, b_mant = b
+        sign = a_sign ^ b_sign
+        a_nan = _is_special(a_exp) and (a_mant & 0x7FFFFF)
+        b_nan = _is_special(b_exp) and (b_mant & 0x7FFFFF)
+        if a_nan or b_nan:
+            return _QNAN
+        a_inf = _is_special(a_exp)
+        b_inf = _is_special(b_exp)
+        a_zero = a_exp == 0
+        b_zero = b_exp == 0
+        if (a_inf and b_zero) or (b_inf and a_zero):
+            return _QNAN
+        if a_inf or b_inf:
+            return pack_fp32(sign, FP32_EXP_MASK, 0)
+        if a_zero or b_zero:
+            return pack_fp32(sign, 0, 0)
+        return None
+
+    def _fma_special(self, a, b, c):
+        c_sign, c_exp, c_mant = c
+        c_nan = _is_special(c_exp) and (c_mant & 0x7FFFFF)
+        if c_nan:
+            return _QNAN
+        prod = self._mul_special(a, b)
+        if prod is None:
+            if _is_special(c_exp):  # finite product + Inf addend
+                return pack_fp32(c_sign, FP32_EXP_MASK, 0)
+            if c_exp == 0:  # product + (-)0: exact product path, zero addend
+                return None
+            return None
+        if prod == _QNAN:
+            return _QNAN
+        p_sign, p_exp, p_mant = unpack_fp32(prod)
+        if _is_special(p_exp):  # infinite product
+            if _is_special(c_exp) and c_sign != p_sign:
+                return _QNAN
+            return prod
+        if p_exp == 0 and p_mant == 0:  # zero product
+            if _is_special(c_exp):
+                return pack_fp32(c_sign, FP32_EXP_MASK, 0)
+            if c_exp == 0:
+                return pack_fp32(p_sign & c_sign, 0, 0)
+            return pack_fp32(c_sign, c_exp, c_mant & 0x7FFFFF)
+        if _is_special(c_exp):  # finite product, infinite addend
+            return pack_fp32(c_sign, FP32_EXP_MASK, 0)
+        return None
+
+    # -- add datapath --------------------------------------------------------
+    def _add_datapath(self, a, b, lane: int) -> int:
+        a_sign, a_exp, a_mant = a
+        b_sign, b_exp, b_mant = b
+        # magnitude ordering: the bigger operand feeds the "big" register
+        if (a_exp, a_mant) >= (b_exp, b_mant):
+            big_sign, big_exp, big_mant = a_sign, a_exp, a_mant
+            small_sign, small_exp, small_mant = b_sign, b_exp, b_mant
+        else:
+            big_sign, big_exp, big_mant = b_sign, b_exp, b_mant
+            small_sign, small_exp, small_mant = a_sign, a_exp, a_mant
+
+        exp_diff = min(big_exp - small_exp, 255)
+        exp_diff = self._latch("align.exp_diff", exp_diff, lane, 8)
+        eff_sub = self._latch(
+            "align.eff_sub", big_sign ^ small_sign, lane, 1)
+        result_sign = self._latch("align.result_sign", big_sign, lane, 1)
+        result_exp = self._latch("align.result_exp", big_exp, lane, 10)
+
+        big_grs = big_mant << _GRS
+        small_grs = small_mant << _GRS
+        # alignment: keep the shifted-out fraction as a separate sticky flag
+        # so the effective subtraction stays exact to within the GRS bits
+        if exp_diff >= 27:
+            aligned_small = 0
+            sticky = 1 if small_grs else 0
+        else:
+            sticky = 1 if (small_grs & ((1 << exp_diff) - 1)) else 0
+            aligned_small = small_grs >> exp_diff
+        big_grs = self._latch("align.big_mant", big_grs, lane, 27)
+        aligned_small = self._latch("align.small_mant", aligned_small, lane, 27)
+        sticky = self._latch("align.sticky", sticky, lane, 1)
+
+        if eff_sub:
+            # exact value = raw + (1 - f) when sticky, with 0 < f < 1
+            raw = big_grs - aligned_small - sticky
+        else:
+            raw = big_grs + aligned_small
+        if raw < 0:
+            # only reachable under fault corruption of the ordering regs
+            raw = -raw
+            result_sign ^= 1
+        raw = self._latch("norm.raw_sum", raw, lane, 29)
+
+        if raw == 0:
+            if not sticky:
+                return self._latch(
+                    "round.result", pack_fp32(0, 0, 0), lane, 32)
+            raw = 1  # fault-corrupted total cancellation: keep the fraction
+
+        # normalise: bring the leading one to bit 26 (1.23+GRS format)
+        shift = 0
+        if raw >> 27:
+            sticky |= raw & 1
+            raw >>= 1
+            result_exp += 1
+        else:
+            while not (raw >> 26) and shift < 28:
+                raw <<= 1
+                shift += 1
+            result_exp -= shift
+        # a >1-bit left shift only happens when exp_diff <= 2, where the
+        # alignment was exact (sticky == 0), so OR-ing the sticky into the
+        # lowest kept bit after normalisation preserves round-to-nearest-even
+        raw |= sticky
+        shift = self._latch("norm.shift", min(shift, 31), lane, 5)
+        raw = self._latch("norm.mant", raw, lane, 27)
+        result_exp = self._latch("norm.exp", result_exp & 0x3FF, lane, 10)
+        return self._round_pack(result_sign, result_exp, raw, lane)
+
+    # -- multiply datapath -----------------------------------------------------
+    def _mul_datapath(self, a, b, lane: int) -> Tuple[int, int, int, int]:
+        """Return (sign, unbiased-ish exponent, product hi24, product lo24)."""
+        a_sign, a_exp, a_mant = a
+        b_sign, b_exp, b_mant = b
+        sign = self._latch("mul.prod_sign", a_sign ^ b_sign, lane, 1)
+        exp = a_exp + b_exp - FP32_EXP_BIAS
+        exp = self._latch("mul.prod_exp", exp & 0x3FF, lane, 10)
+        # two-stage multiplier: 24x12 partial products, then the 48-bit sum
+        pp_a = self._latch("mul.pp_a", a_mant * (b_mant & 0xFFF), lane, 36)
+        pp_b = self._latch("mul.pp_b", a_mant * (b_mant >> 12), lane, 36)
+        product = pp_a + (pp_b << 12)
+        lo = self._latch("mul.prod_lo", product & 0xFFFFFF, lane, 24)
+        hi = self._latch("mul.prod_hi", product >> 24, lane, 24)
+        return sign, exp, hi, lo
+
+    def _normalise_product(self, sign: int, exp: int, product: int,
+                           lane: int) -> int:
+        """Normalise/round the 48-bit product of 24-bit mantissas."""
+        if product == 0:
+            return self._latch("round.result", pack_fp32(sign, 0, 0), lane, 32)
+        # find the leading one (bit 47 or 46 in the fault-free case)
+        top = product.bit_length() - 1
+        # align so the leading one sits at bit 26 of a 27-bit GRS mantissa
+        if top > 26:
+            shift = top - 26
+            sticky = 1 if (product & ((1 << shift) - 1)) else 0
+            mant = (product >> shift) | sticky
+            exp = exp + (top - 46)
+        else:
+            mant = product << (26 - top)
+            exp = exp + (top - 46)
+        mant = self._latch("norm.mant", mant, lane, 27)
+        exp = self._latch("norm.exp", exp & 0x3FF, lane, 10)
+        return self._round_pack(sign, exp, mant, lane)
+
+    # -- fused accumulate -------------------------------------------------------
+    def _fma_accumulate(self, p_sign: int, p_exp: int, product: int,
+                        c, lane: int) -> int:
+        """Add the exact product to the addend, then round once."""
+        c_sign, c_exp, c_mant = c
+        # the 10-bit product-exponent register wraps for subnormal-range
+        # products; interpret it as signed before using it for alignment
+        if p_exp >= 512:
+            p_exp -= 1024
+        # product value  = product * 2^(p_exp - BIAS - 46)   (48-bit int)
+        # addend value   = c_mant  * 2^(c_exp - BIAS - 23)   (24-bit int)
+        # align both to a common scale via exact left shifts
+        p_val = product << _GRS
+        p_scale = p_exp - 46 - _GRS
+        c_val = c_mant << _GRS
+        c_scale = c_exp - 23 - _GRS
+        if c_exp == 0:
+            c_val = 0
+            c_scale = p_scale
+        if c_scale > p_scale:
+            shift = min(c_scale - p_scale, 1200)
+            c_val <<= shift
+            c_scale = p_scale
+        elif p_scale > c_scale:
+            shift = min(p_scale - c_scale, 1200)
+            p_val <<= shift
+            p_scale = c_scale
+        if p_sign == c_sign:
+            total = p_val + c_val
+            sign = p_sign
+        else:
+            total = p_val - c_val
+            sign = p_sign
+            if total < 0:
+                total = -total
+                sign = c_sign
+        sign = self._latch("fma.wide_sign", sign, lane, 1)
+        if total == 0:
+            return self._latch("round.result", pack_fp32(0, 0, 0), lane, 32)
+        # compress the wide accumulator into hi/lo registers with sticky
+        top = total.bit_length() - 1
+        if top > 53:
+            drop = top - 53
+            sticky = 1 if (total & ((1 << drop) - 1)) else 0
+            total = (total >> drop) | sticky
+            p_scale += drop
+            top = 53
+        lo = self._latch("fma.wide_lo", total & 0x3FFFFFFF, lane, 30)
+        hi = self._latch("fma.wide_hi", total >> 30, lane, 24)
+        total = (hi << 30) | lo
+        if total == 0:
+            return self._latch("round.result", pack_fp32(0, 0, 0), lane, 32)
+        top = total.bit_length() - 1
+        # value == total * 2^(p_scale - 127), so the leading bit at position
+        # `top` has biased exponent p_scale + top
+        exp = p_scale + top
+        exp = self._latch("fma.wide_exp", exp & 0x3FF, lane, 10)
+        if top > 26:
+            drop = top - 26
+            sticky = 1 if (total & ((1 << drop) - 1)) else 0
+            mant = (total >> drop) | sticky
+        else:
+            mant = total << (26 - top)
+        mant = self._latch("norm.mant", mant, lane, 27)
+        return self._round_pack(sign, exp, mant, lane)
+
+    # -- round + pack -----------------------------------------------------------
+    def _round_pack(self, sign: int, exp: int, mant_grs: int, lane: int) -> int:
+        """Round a 27-bit (1.23+GRS) mantissa to nearest-even and pack.
+
+        ``exp`` arrives as a 10-bit two's-complement-ish biased exponent so
+        underflow/overflow survive fault corruption of the exponent
+        registers without wrapping silently.
+        """
+        # interpret the 10-bit register as signed to detect underflow
+        if exp >= 512:
+            exp -= 1024
+        grs = mant_grs & 0x7
+        mant = mant_grs >> _GRS
+        if grs > 4 or (grs == 4 and (mant & 1)):
+            mant += 1
+            if mant >> 24:
+                mant >>= 1
+                exp += 1
+        mant = self._latch("round.mant", mant & 0xFFFFFF, lane, 24)
+        if exp >= FP32_EXP_MASK:
+            result = pack_fp32(sign, FP32_EXP_MASK, 0)  # overflow -> Inf
+        elif exp <= 0:
+            result = pack_fp32(sign, 0, 0)  # FTZ underflow
+        else:
+            exp = self._latch("round.exp", exp, lane, 8)
+            result = pack_fp32(sign, exp, mant & 0x7FFFFF)
+        return self._latch("round.result", result, lane, 32)

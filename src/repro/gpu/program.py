@@ -1,0 +1,246 @@
+"""SASS program container and builder.
+
+A :class:`Program` is an ordered list of :class:`~repro.gpu.isa.Instruction`
+objects with resolved branch labels, mirroring the compiled SASS stream the
+paper's micro-benchmarks load into FlexGripPlus.  :class:`ProgramBuilder`
+offers a tiny assembler-like API used by ``repro.rtl.microbench`` and
+``repro.rtl.tmxm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .isa import (
+    CompareOp,
+    Immediate,
+    Instruction,
+    Opcode,
+    Operand,
+    Predicate,
+    Register,
+)
+
+__all__ = ["Program", "ProgramBuilder"]
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable, label-resolved SASS program."""
+
+    instructions: "tuple[Instruction, ...]"
+    labels: "Dict[str, int]"
+    name: str = "kernel"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def resolve(self, label: str) -> int:
+        """Return the PC a label points at."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise KeyError(f"undefined label {label!r} in program {self.name!r}")
+
+    def opcode_histogram(self) -> "Dict[Opcode, int]":
+        """Static opcode counts (one entry per program instruction)."""
+        histogram: Dict[Opcode, int] = {}
+        for inst in self.instructions:
+            histogram[inst.opcode] = histogram.get(inst.opcode, 0) + 1
+        return histogram
+
+    def max_register(self) -> int:
+        """Highest general-purpose register index referenced."""
+        from .isa import OperandKind
+
+        highest = 0
+        for inst in self.instructions:
+            operands = list(inst.srcs)
+            if inst.dest is not None:
+                operands.append(inst.dest)
+            for op in operands:
+                if op.kind is OperandKind.REGISTER:
+                    highest = max(highest, op.value)
+        return highest
+
+
+class ProgramBuilder:
+    """Incrementally assemble a :class:`Program`.
+
+    Example::
+
+        b = ProgramBuilder("fadd_bench")
+        b.mov(0, b.imm(0))
+        b.fadd(2, 0, 1)
+        b.exit()
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+
+    # -- operand helpers -------------------------------------------------
+    @staticmethod
+    def reg(index: int) -> Operand:
+        return Register(index)
+
+    @staticmethod
+    def pred(index: int) -> Operand:
+        return Predicate(index)
+
+    @staticmethod
+    def imm(value: int) -> Operand:
+        return Immediate(value)
+
+    # -- assembly --------------------------------------------------------
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._labels:
+            raise ValueError(f"label {name!r} already defined")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def emit(self, inst: Instruction) -> "ProgramBuilder":
+        self._instructions.append(inst)
+        return self
+
+    def _binary(self, opcode: Opcode, dest: int, a, b) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(opcode, Register(dest), (_as_operand(a), _as_operand(b)))
+        )
+
+    def _ternary(self, opcode: Opcode, dest: int, a, b, c) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(
+                opcode,
+                Register(dest),
+                (_as_operand(a), _as_operand(b), _as_operand(c)),
+            )
+        )
+
+    def fadd(self, dest: int, a, b) -> "ProgramBuilder":
+        return self._binary(Opcode.FADD, dest, a, b)
+
+    def fmul(self, dest: int, a, b) -> "ProgramBuilder":
+        return self._binary(Opcode.FMUL, dest, a, b)
+
+    def ffma(self, dest: int, a, b, c) -> "ProgramBuilder":
+        return self._ternary(Opcode.FFMA, dest, a, b, c)
+
+    def iadd(self, dest: int, a, b) -> "ProgramBuilder":
+        return self._binary(Opcode.IADD, dest, a, b)
+
+    def imul(self, dest: int, a, b) -> "ProgramBuilder":
+        return self._binary(Opcode.IMUL, dest, a, b)
+
+    def imad(self, dest: int, a, b, c) -> "ProgramBuilder":
+        return self._ternary(Opcode.IMAD, dest, a, b, c)
+
+    def fsin(self, dest: int, a) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.FSIN, Register(dest), (_as_operand(a),)))
+
+    def fexp(self, dest: int, a) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.FEXP, Register(dest), (_as_operand(a),)))
+
+    def gld(self, dest: int, addr, offset: int = 0) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(Opcode.GLD, Register(dest), (_as_operand(addr),),
+                        offset=offset))
+
+    def gst(self, addr, src, offset: int = 0) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(Opcode.GST, None,
+                        (_as_operand(addr), _as_operand(src)),
+                        offset=offset))
+
+    def sld(self, dest: int, addr, offset: int = 0) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(Opcode.SLD, Register(dest), (_as_operand(addr),),
+                        offset=offset))
+
+    def sst(self, addr, src, offset: int = 0) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(Opcode.SST, None,
+                        (_as_operand(addr), _as_operand(src)),
+                        offset=offset))
+
+    def bar(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BAR))
+
+    def mov(self, dest: int, src) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.MOV, Register(dest), (_as_operand(src),)))
+
+    def shl(self, dest: int, a, b) -> "ProgramBuilder":
+        return self._binary(Opcode.SHL, dest, a, b)
+
+    def shr(self, dest: int, a, b) -> "ProgramBuilder":
+        return self._binary(Opcode.SHR, dest, a, b)
+
+    def lop_and(self, dest: int, a, b) -> "ProgramBuilder":
+        return self._binary(Opcode.LOP_AND, dest, a, b)
+
+    def lop_or(self, dest: int, a, b) -> "ProgramBuilder":
+        return self._binary(Opcode.LOP_OR, dest, a, b)
+
+    def lop_xor(self, dest: int, a, b) -> "ProgramBuilder":
+        return self._binary(Opcode.LOP_XOR, dest, a, b)
+
+    def rcp(self, dest: int, a) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.RCP, Register(dest), (_as_operand(a),)))
+
+    def f2i(self, dest: int, a) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.F2I, Register(dest), (_as_operand(a),)))
+
+    def i2f(self, dest: int, a) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.I2F, Register(dest), (_as_operand(a),)))
+
+    def iset(self, dest: Operand, a, b, compare: CompareOp) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(
+                Opcode.ISET,
+                dest,
+                (_as_operand(a), _as_operand(b)),
+                compare=compare,
+            )
+        )
+
+    def bra(self, target: str, predicate: Optional[Operand] = None,
+            negated: bool = False) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(
+                Opcode.BRA,
+                target=target,
+                predicate=predicate,
+                predicate_negated=negated,
+            )
+        )
+
+    def nop(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.NOP))
+
+    def exit(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.EXIT))
+
+    def build(self) -> Program:
+        """Validate labels and freeze the program."""
+        instructions = tuple(self._instructions)
+        if not instructions or instructions[-1].opcode is not Opcode.EXIT:
+            raise ValueError("program must end with EXIT")
+        for inst in instructions:
+            if inst.opcode is Opcode.BRA and inst.target not in self._labels:
+                raise ValueError(f"undefined branch target {inst.target!r}")
+        return Program(instructions, dict(self._labels), self.name)
+
+
+def _as_operand(value) -> Operand:
+    """Interpret plain ints as register indices; pass operands through."""
+    if isinstance(value, Operand):
+        return value
+    if isinstance(value, int):
+        return Register(value)
+    raise TypeError(f"cannot interpret {value!r} as an operand")

@@ -1,0 +1,26 @@
+"""Deterministic random-number helpers.
+
+Every campaign in the library takes an integer ``seed`` and derives all of
+its randomness from a :class:`numpy.random.Generator` created here, so any
+reported number can be regenerated exactly.  ``spawn`` derives independent
+child seeds for sub-campaigns without correlating their streams.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_seeds"]
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Create the library's canonical seeded generator (PCG64)."""
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: int, count: int) -> List[int]:
+    """Derive *count* independent child seeds from a parent seed."""
+    seq = np.random.SeedSequence(seed)
+    return [int(s.generate_state(1)[0]) for s in seq.spawn(count)]

@@ -1,0 +1,62 @@
+"""RTL fault-injection framework (the paper's ModelSim-side campaigns)."""
+
+from .campaign import (
+    MODULE_INSTRUCTIONS,
+    modules_for_opcode,
+    run_campaign,
+    run_grid,
+)
+from .classify import CorruptedValue, Outcome, RunClassification, classify_run
+from .faultlist import exhaustive_fault_list, generate_fault_list
+from .injector import GoldenRun, RTLInjector
+from .microbench import (
+    INPUT_RANGES,
+    InputRange,
+    Microbenchmark,
+    all_microbenchmarks,
+    make_microbenchmark,
+)
+from .store import CampaignStore
+from .reports import (
+    CampaignReport,
+    DetailedRecord,
+    FaultDescriptor,
+    GeneralRecord,
+)
+from .tmxm import (
+    TILE_DIM,
+    TILE_KINDS,
+    make_tile_pair,
+    make_tmxm_bench,
+    tmxm_reference,
+)
+
+__all__ = [
+    "MODULE_INSTRUCTIONS",
+    "modules_for_opcode",
+    "run_campaign",
+    "run_grid",
+    "CorruptedValue",
+    "Outcome",
+    "RunClassification",
+    "classify_run",
+    "exhaustive_fault_list",
+    "generate_fault_list",
+    "GoldenRun",
+    "RTLInjector",
+    "INPUT_RANGES",
+    "InputRange",
+    "Microbenchmark",
+    "all_microbenchmarks",
+    "make_microbenchmark",
+    "CampaignReport",
+    "CampaignStore",
+    "DetailedRecord",
+    "FaultDescriptor",
+    "GeneralRecord",
+    "TILE_DIM",
+    "TILE_KINDS",
+    "make_tile_pair",
+    "make_tmxm_bench",
+    "tmxm_reference",
+]

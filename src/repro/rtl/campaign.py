@@ -1,0 +1,165 @@
+"""RTL campaign orchestration: the paper's 144-campaign grid.
+
+A *campaign* is one (instruction, input range, module) cell: a fault list
+is generated for the module, the micro-benchmark is executed once per
+fault, and every outcome lands in a :class:`CampaignReport`.  The paper's
+grid covers 12 instructions x 3 input ranges x the modules each
+instruction exercises (functional units only for arithmetic opcodes,
+scheduler and pipeline for all of them — FUs are idle during GLD/GST/BRA/
+ISET, so they are not injected there).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CampaignError
+from ..gpu.fault_plane import ModuleName
+from ..gpu.isa import (
+    CHARACTERIZED_OPCODES,
+    FP32_OPCODES,
+    INT_OPCODES,
+    Opcode,
+    SFU_OPCODES,
+)
+from ..rng import spawn_seeds
+from .faultlist import generate_fault_list
+from .injector import RTLInjector
+from .microbench import INPUT_RANGES, Microbenchmark, make_microbenchmark
+from .reports import CampaignReport
+
+__all__ = [
+    "modules_for_opcode",
+    "run_campaign",
+    "run_grid",
+    "MODULE_INSTRUCTIONS",
+]
+
+#: Table I's "Instructions" column: which opcodes exercise each module.
+#: ``register_file`` is only injectable on an SM configured with
+#: ``ecc_enabled=False`` (the memory-model validation experiment).
+MODULE_INSTRUCTIONS: Dict[str, Tuple[Opcode, ...]] = {
+    ModuleName.FP32: FP32_OPCODES,
+    ModuleName.INT: INT_OPCODES,
+    ModuleName.SFU: SFU_OPCODES,
+    ModuleName.SFU_CONTROLLER: SFU_OPCODES,
+    ModuleName.SCHEDULER: CHARACTERIZED_OPCODES,
+    ModuleName.PIPELINE: CHARACTERIZED_OPCODES,
+    "register_file": CHARACTERIZED_OPCODES,
+}
+
+
+def modules_for_opcode(opcode: Opcode) -> List[str]:
+    """Modules whose campaign grid includes *opcode*."""
+    return [
+        module
+        for module in ModuleName.ALL
+        if opcode in MODULE_INSTRUCTIONS[module]
+    ]
+
+
+def run_campaign(
+    bench: Microbenchmark,
+    module: str,
+    n_faults: int,
+    seed: int = 0,
+    injector: Optional[RTLInjector] = None,
+    kind: Optional[str] = None,
+) -> CampaignReport:
+    """Run one fault-injection campaign cell and return its report.
+
+    ``kind`` restricts the fault list to ``"data"`` or ``"control"``
+    flip-flops (used by ablation studies); the default samples both.
+    """
+    if n_faults <= 0:
+        raise CampaignError("n_faults must be positive")
+    if module not in MODULE_INSTRUCTIONS:
+        raise CampaignError(f"unknown module {module!r}")
+    # the module must be exercised by at least one opcode the program
+    # actually executes (FUs are idle during memory/control opcodes)
+    program_opcodes = set(bench.program.opcode_histogram())
+    if not program_opcodes & set(MODULE_INSTRUCTIONS[module]):
+        raise CampaignError(
+            f"{module} is idle while executing {bench.name}; the paper "
+            "does not inject there")
+    injector = injector or RTLInjector()
+    golden = injector.run_golden(bench)
+    faults = generate_fault_list(
+        injector.plane, module, n_faults, golden.cycles, seed=seed,
+        kind=kind)
+    report = CampaignReport(
+        instruction=bench.opcode.value,
+        input_range=bench.input_range,
+        module=module,
+    )
+    for fault in faults:
+        classification = injector.inject(bench, golden, fault)
+        report.add(
+            injector.describe(fault),
+            classification,
+            opcode=bench.opcode.value,
+            value_kind=bench.value_kind,
+        )
+    return report
+
+
+def _run_cell(args: Tuple[str, str, str, int, int]) -> CampaignReport:
+    """Worker entry point: one campaign cell in a fresh process."""
+    opcode_value, range_key, module, n_faults, cell_seed = args
+    bench = make_microbenchmark(Opcode(opcode_value), range_key,
+                                seed=cell_seed)
+    return run_campaign(bench, module, n_faults, seed=cell_seed)
+
+
+def run_grid(
+    opcodes: Iterable[Opcode] = CHARACTERIZED_OPCODES,
+    input_ranges: Iterable[str] = ("S", "M", "L"),
+    modules: Optional[Sequence[str]] = None,
+    n_faults: int = 200,
+    seed: int = 0,
+    injector: Optional[RTLInjector] = None,
+    n_jobs: int = 1,
+) -> List[CampaignReport]:
+    """Run the full campaign grid; returns one report per cell.
+
+    Cells pair every opcode and input range with the modules that opcode
+    exercises (optionally filtered by *modules*).  Each cell receives an
+    independent child seed so the grid is reproducible yet uncorrelated
+    — and, like the paper's 12-node fault-injection server, independent
+    cells can run in parallel: ``n_jobs > 1`` fans them out over worker
+    processes (each builds its own SM model; *injector* must be None).
+    """
+    opcodes = list(opcodes)
+    input_ranges = list(input_ranges)
+    for key in input_ranges:
+        if key not in INPUT_RANGES:
+            raise CampaignError(f"unknown input range {key!r}")
+    if n_jobs < 1:
+        raise CampaignError("n_jobs must be at least 1")
+    if n_jobs > 1 and injector is not None:
+        raise CampaignError(
+            "a shared injector cannot be used with parallel workers")
+    cells: List[Tuple[Opcode, str, str]] = []
+    for opcode in opcodes:
+        for range_key in input_ranges:
+            for module in modules_for_opcode(opcode):
+                if modules is not None and module not in modules:
+                    continue
+                cells.append((opcode, range_key, module))
+    seeds = spawn_seeds(seed, len(cells))
+    if n_jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        work = [(opcode.value, range_key, module, n_faults, cell_seed)
+                for (opcode, range_key, module), cell_seed
+                in zip(cells, seeds)]
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(_run_cell, work))
+    injector = injector or RTLInjector()
+    reports: List[CampaignReport] = []
+    for (opcode, range_key, module), cell_seed in zip(cells, seeds):
+        bench = make_microbenchmark(opcode, range_key, seed=cell_seed)
+        reports.append(
+            run_campaign(bench, module, n_faults, seed=cell_seed,
+                         injector=injector))
+    return reports

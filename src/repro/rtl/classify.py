@@ -1,0 +1,114 @@
+"""Outcome classification for RTL fault-injection runs.
+
+Mirrors the paper's taxonomy (Sec. II-A / IV-A): a run is **Masked** when
+the outputs match the golden run bit-for-bit, an **SDC** when any output
+word differs (further split into *single* and *multiple* corrupted
+threads), and a **DUE** when the GPU model detected an unrecoverable
+condition (hang, illegal PC/opcode, out-of-range access).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..gpu.bits import bit_diff, bits_to_float, bits_to_int, relative_error
+
+__all__ = ["Outcome", "CorruptedValue", "RunClassification", "classify_run"]
+
+
+class Outcome(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    DUE = "due"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CorruptedValue:
+    """One output word that differs from the golden run."""
+
+    thread: int               # output element index == thread id
+    address: int              # memory word address
+    golden_bits: int
+    faulty_bits: int
+
+    @property
+    def flipped_bits(self) -> List[int]:
+        return bit_diff(self.golden_bits, self.faulty_bits)
+
+    @property
+    def n_flipped_bits(self) -> int:
+        return len(self.flipped_bits)
+
+    def relative_error_f32(self) -> float:
+        """Relative error interpreting the words as FP32 values."""
+        return relative_error(
+            bits_to_float(self.golden_bits), bits_to_float(self.faulty_bits))
+
+    def relative_error_int(self) -> float:
+        """Relative error interpreting the words as signed int32 values."""
+        golden = bits_to_int(self.golden_bits)
+        faulty = bits_to_int(self.faulty_bits)
+        if golden == 0:
+            return float(abs(faulty))
+        return abs(golden - faulty) / abs(golden)
+
+    def relative_error_value(self, value_kind: str) -> float:
+        if value_kind == "f32":
+            return self.relative_error_f32()
+        return self.relative_error_int()
+
+
+@dataclass
+class RunClassification:
+    """Classification of one fault-injection run."""
+
+    outcome: Outcome
+    corrupted: List[CorruptedValue] = field(default_factory=list)
+    due_reason: Optional[str] = None
+    fault_fired: bool = True
+
+    @property
+    def n_corrupted_threads(self) -> int:
+        return len({c.thread for c in self.corrupted})
+
+    @property
+    def is_multiple(self) -> bool:
+        """True when the single fault corrupted more than one thread."""
+        return self.n_corrupted_threads > 1
+
+
+def classify_run(
+    golden_regions: Sequence[Sequence[int]],
+    faulty_regions: Sequence[Sequence[int]],
+    region_bases: Sequence[int],
+    fault_fired: bool = True,
+) -> RunClassification:
+    """Compare golden vs faulty output regions word-by-word.
+
+    ``golden_regions``/``faulty_regions`` are parallel lists of word
+    sequences (one per output region); ``region_bases`` gives each region's
+    base word address so corrupted values can report their memory address,
+    as the paper's detailed report does.  DUE runs never reach this
+    function — the injector classifies them when it catches the hardware
+    exception.
+    """
+    if len(golden_regions) != len(faulty_regions):
+        raise ValueError("golden/faulty region counts differ")
+    corrupted: List[CorruptedValue] = []
+    for region_idx, (golden, faulty) in enumerate(
+            zip(golden_regions, faulty_regions)):
+        if len(golden) != len(faulty):
+            raise ValueError("golden/faulty region lengths differ")
+        base = region_bases[region_idx]
+        for offset, (g, f) in enumerate(zip(golden, faulty)):
+            if g != f:
+                corrupted.append(
+                    CorruptedValue(offset, base + offset, g, f))
+    if not corrupted:
+        return RunClassification(Outcome.MASKED, fault_fired=fault_fired)
+    return RunClassification(Outcome.SDC, corrupted, fault_fired=fault_fired)

@@ -1,0 +1,328 @@
+"""Micro-benchmarks for the RTL characterisation campaigns.
+
+Following the paper (Sec. V-A), each micro-benchmark instantiates 64
+threads (two warps) that execute the same target SASS instruction with no
+inter-thread interaction: load the operand(s), execute the characterised
+opcode once, store the result.  Arithmetic opcodes are tested with three
+input ranges:
+
+* **Small**:  both inputs in ``[6.8e-6, 7.3e-6]``
+* **Medium**: both inputs in ``[1.8, 59.4]``
+* **Large**:  both inputs in ``[3.8e9, 12.5e9]``
+
+Integer opcodes use magnitude-matched integer ranges (the Large range is
+scaled into int32).  The special functions use inputs in ``[0, pi/2]`` to
+avoid range-reduction, exactly as the paper does.  Memory-movement and
+control-flow micro-benchmarks follow the paper's descriptions: GLD/GST is
+a load followed by a store; BRA/ISET allocates set-register instructions
+ahead of a branch whose failure is detectable in the output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rng import make_rng
+from ..gpu.bits import float_to_bits, int_to_bits
+from ..gpu.isa import CompareOp, Opcode, Predicate
+from ..gpu.program import Program, ProgramBuilder
+
+__all__ = [
+    "InputRange",
+    "INPUT_RANGES",
+    "Microbenchmark",
+    "make_microbenchmark",
+    "all_microbenchmarks",
+    "N_THREADS",
+]
+
+#: Threads per micro-benchmark: 64 threads = 2 warps (paper Sec. V-A).
+N_THREADS = 64
+
+#: Word addresses of the operand and output buffers.
+ADDR_A = 0x080
+ADDR_B = 0x100
+ADDR_C = 0x180
+ADDR_OUT = 0x200
+ADDR_OUT2 = 0x280
+
+
+@dataclass(frozen=True)
+class InputRange:
+    """One of the paper's operand ranges."""
+
+    key: str
+    label: str
+    lo: float
+    hi: float
+
+    def sample_floats(self, rng, count: int) -> List[float]:
+        return [float(v) for v in rng.uniform(self.lo, self.hi, count)]
+
+    def sample_ints(self, rng, count: int) -> List[int]:
+        # magnitude-matched integer range, kept within int32
+        lo = max(1, int(min(self.lo, 2**30)))
+        hi = max(lo + 1, int(min(self.hi, 2**31 - 1)))
+        return [int(v) for v in rng.integers(lo, hi, count)]
+
+
+INPUT_RANGES: Dict[str, InputRange] = {
+    "S": InputRange("S", "Small", 6.8e-6, 7.3e-6),
+    "M": InputRange("M", "Medium", 1.8, 59.4),
+    "L": InputRange("L", "Large", 3.8e9, 12.5e9),
+}
+
+#: SFU operational range (paper: [0, pi/2], no range reduction).  The three
+#: "ranges" select different sub-intervals so the S/M/L campaign grid stays
+#: uniform across opcodes.
+_SFU_RANGES: Dict[str, Tuple[float, float]] = {
+    "S": (0.0, math.pi / 6),
+    "M": (math.pi / 6, math.pi / 3),
+    "L": (math.pi / 3, math.pi / 2),
+}
+
+
+@dataclass(frozen=True)
+class Microbenchmark:
+    """A ready-to-run RTL characterisation workload."""
+
+    name: str
+    opcode: Opcode
+    input_range: str
+    program: Program
+    memory_image: Dict[int, Tuple[int, ...]]
+    output_regions: Tuple[Tuple[int, int], ...]
+    value_kind: str  # "f32" or "u32": how output words are interpreted
+    n_threads: int = N_THREADS
+    #: launch-ABI registers beyond R0=tid (e.g. t-MxM's row/col indices,
+    #: the hardware-provided threadIdx.x/y special registers)
+    initial_registers: Optional[Dict[int, Tuple[int, ...]]] = None
+
+    @property
+    def output_words(self) -> int:
+        return sum(count for _, count in self.output_regions)
+
+
+def make_microbenchmark(opcode: Opcode, input_range: str = "M",
+                        seed: int = 0) -> Microbenchmark:
+    """Build the micro-benchmark for one characterised opcode."""
+    if input_range not in INPUT_RANGES:
+        raise ValueError(f"unknown input range {input_range!r}")
+    rng = make_rng(seed)
+    if opcode in (Opcode.FADD, Opcode.FMUL, Opcode.FFMA):
+        return _float_arith_bench(opcode, input_range, rng)
+    if opcode in (Opcode.IADD, Opcode.IMUL, Opcode.IMAD):
+        return _int_arith_bench(opcode, input_range, rng)
+    if opcode in (Opcode.FSIN, Opcode.FEXP):
+        return _sfu_bench(opcode, input_range, rng)
+    if opcode in (Opcode.GLD, Opcode.GST):
+        return _memory_bench(opcode, input_range, rng)
+    if opcode is Opcode.BRA:
+        return _branch_bench(input_range, rng)
+    if opcode is Opcode.ISET:
+        return _iset_bench(input_range, rng)
+    raise ValueError(f"{opcode} is not a characterised opcode")
+
+
+def all_microbenchmarks(input_range: str = "M", seed: int = 0
+                        ) -> List[Microbenchmark]:
+    """One micro-benchmark per characterised opcode."""
+    from ..gpu.isa import CHARACTERIZED_OPCODES
+
+    return [
+        make_microbenchmark(opcode, input_range, seed)
+        for opcode in CHARACTERIZED_OPCODES
+    ]
+
+
+# -- builders ------------------------------------------------------------------
+
+
+def _float_arith_bench(opcode: Opcode, range_key: str, rng) -> Microbenchmark:
+    rng_spec = INPUT_RANGES[range_key]
+    a = rng_spec.sample_floats(rng, N_THREADS)
+    b = rng_spec.sample_floats(rng, N_THREADS)
+    c = rng_spec.sample_floats(rng, N_THREADS)
+    image = {
+        ADDR_A: tuple(float_to_bits(v) for v in a),
+        ADDR_B: tuple(float_to_bits(v) for v in b),
+        ADDR_C: tuple(float_to_bits(v) for v in c),
+    }
+    program = _arith_program(opcode, ternary=opcode is Opcode.FFMA)
+    return Microbenchmark(
+        name=f"{opcode.value.lower()}_{range_key}",
+        opcode=opcode,
+        input_range=range_key,
+        program=program,
+        memory_image=image,
+        output_regions=((ADDR_OUT, N_THREADS),),
+        value_kind="f32",
+    )
+
+
+def _int_arith_bench(opcode: Opcode, range_key: str, rng) -> Microbenchmark:
+    rng_spec = INPUT_RANGES[range_key]
+    a = rng_spec.sample_ints(rng, N_THREADS)
+    b = rng_spec.sample_ints(rng, N_THREADS)
+    c = rng_spec.sample_ints(rng, N_THREADS)
+    image = {
+        ADDR_A: tuple(int_to_bits(v) for v in a),
+        ADDR_B: tuple(int_to_bits(v) for v in b),
+        ADDR_C: tuple(int_to_bits(v) for v in c),
+    }
+    program = _arith_program(opcode, ternary=opcode is Opcode.IMAD)
+    return Microbenchmark(
+        name=f"{opcode.value.lower()}_{range_key}",
+        opcode=opcode,
+        input_range=range_key,
+        program=program,
+        memory_image=image,
+        output_regions=((ADDR_OUT, N_THREADS),),
+        value_kind="u32",
+    )
+
+
+def _arith_program(opcode: Opcode, ternary: bool) -> Program:
+    """Load operand(s), execute *opcode* once per thread, store the result.
+
+    Addresses use the SASS ``[R0 + imm]`` form so the characterised opcode
+    is the only instruction exercising its functional unit — matching the
+    paper's requirement that, e.g., FP32 campaigns observe only FADD on
+    the FP32 datapath.
+    """
+    b = ProgramBuilder(f"{opcode.value.lower()}_ubench")
+    b.gld(2, 0, offset=ADDR_A)
+    b.gld(3, 0, offset=ADDR_B)
+    if ternary:
+        b.gld(4, 0, offset=ADDR_C)
+    op = {
+        Opcode.FADD: b.fadd,
+        Opcode.FMUL: b.fmul,
+        Opcode.IADD: b.iadd,
+        Opcode.IMUL: b.imul,
+    }
+    if opcode is Opcode.FFMA:
+        b.ffma(5, 2, 3, 4)
+    elif opcode is Opcode.IMAD:
+        b.imad(5, 2, 3, 4)
+    else:
+        op[opcode](5, 2, 3)
+    b.gst(0, 5, offset=ADDR_OUT)
+    b.exit()
+    return b.build()
+
+
+def _sfu_bench(opcode: Opcode, range_key: str, rng) -> Microbenchmark:
+    lo, hi = _SFU_RANGES[range_key]
+    x = [float(v) for v in rng.uniform(lo, hi, N_THREADS)]
+    image = {ADDR_A: tuple(float_to_bits(v) for v in x)}
+    b = ProgramBuilder(f"{opcode.value.lower()}_ubench")
+    b.gld(2, 0, offset=ADDR_A)
+    if opcode is Opcode.FSIN:
+        b.fsin(3, 2)
+    else:
+        b.fexp(3, 2)
+    b.gst(0, 3, offset=ADDR_OUT)
+    b.exit()
+    return Microbenchmark(
+        name=f"{opcode.value.lower()}_{range_key}",
+        opcode=opcode,
+        input_range=range_key,
+        program=b.build(),
+        memory_image=image,
+        output_regions=((ADDR_OUT, N_THREADS),),
+        value_kind="f32",
+    )
+
+
+def _memory_bench(opcode: Opcode, range_key: str, rng) -> Microbenchmark:
+    """Load followed by store (the paper's GLD/GST micro-benchmark)."""
+    rng_spec = INPUT_RANGES[range_key]
+    data = rng_spec.sample_ints(rng, N_THREADS)
+    image = {ADDR_A: tuple(int_to_bits(v) for v in data)}
+    b = ProgramBuilder(f"{opcode.value.lower()}_ubench")
+    b.gld(2, 0, offset=ADDR_A)
+    b.gst(0, 2, offset=ADDR_OUT)
+    b.exit()
+    return Microbenchmark(
+        name=f"{opcode.value.lower()}_{range_key}",
+        opcode=opcode,
+        input_range=range_key,
+        program=b.build(),
+        memory_image=image,
+        output_regions=((ADDR_OUT, N_THREADS),),
+        value_kind="u32",
+    )
+
+
+def _iset_bench(range_key: str, rng) -> Microbenchmark:
+    """Set-register chain: every output word encodes the comparisons."""
+    rng_spec = INPUT_RANGES[range_key]
+    a = rng_spec.sample_ints(rng, N_THREADS)
+    b_vals = rng_spec.sample_ints(rng, N_THREADS)
+    image = {
+        ADDR_A: tuple(int_to_bits(v) for v in a),
+        ADDR_B: tuple(int_to_bits(v) for v in b_vals),
+    }
+    b = ProgramBuilder("iset_ubench")
+    b.gld(2, 0, offset=ADDR_A)
+    b.gld(3, 0, offset=ADDR_B)
+    # three set-register instructions with different relations
+    b.iset(b.reg(4), 2, 3, CompareOp.LT)
+    b.iset(b.reg(5), 2, 3, CompareOp.EQ)
+    b.iset(b.reg(6), 2, 3, CompareOp.GE)
+    # fold the three flags into one word: R7 = R4*4 + R5*2 + R6
+    b.imad(7, 4, b.imm(4), 6)
+    b.imad(7, 5, b.imm(2), 7)
+    b.gst(0, 7, offset=ADDR_OUT)
+    b.exit()
+    return Microbenchmark(
+        name=f"iset_{range_key}",
+        opcode=Opcode.ISET,
+        input_range=range_key,
+        program=b.build(),
+        memory_image=image,
+        output_regions=((ADDR_OUT, N_THREADS),),
+        value_kind="u32",
+    )
+
+
+def _branch_bench(range_key: str, rng) -> Microbenchmark:
+    """Set a predicate, branch on it, record which path executed.
+
+    Threads store a path marker derived from the branch decision plus a
+    sentinel written after reconvergence; a fault shows up either as a
+    wrong marker (SDC) or a missing sentinel / hang (DUE).
+    """
+    rng_spec = INPUT_RANGES[range_key]
+    a = rng_spec.sample_ints(rng, N_THREADS)
+    image = {ADDR_A: tuple(int_to_bits(v) for v in a)}
+    b = ProgramBuilder("bra_ubench")
+    b.gld(2, 0, offset=ADDR_A)
+    # uniform condition: every thread compares the same immediate pair, so
+    # the fault-free warp never diverges (divergence => fault effect)
+    b.mov(3, b.imm(17))
+    b.iset(Predicate(0), 3, b.imm(100), CompareOp.LT)
+    b.mov(4, b.imm(0xBAD))
+    b.bra("taken", predicate=Predicate(0))
+    b.mov(4, b.imm(0xDEAD))  # fall-through path (never taken fault-free)
+    b.bra("join")
+    b.label("taken")
+    b.iadd(4, 2, b.imm(1))   # taken path: marker derived from the data
+    b.label("join")
+    b.gst(0, 4, offset=ADDR_OUT)
+    # post-branch sentinel proves the warp reconverged and finished
+    b.mov(5, b.imm(0xC0DE))
+    b.gst(0, 5, offset=ADDR_OUT2)
+    b.exit()
+    return Microbenchmark(
+        name=f"bra_{range_key}",
+        opcode=Opcode.BRA,
+        input_range=range_key,
+        program=b.build(),
+        memory_image=image,
+        output_regions=((ADDR_OUT, N_THREADS), (ADDR_OUT2, N_THREADS)),
+        value_kind="u32",
+    )

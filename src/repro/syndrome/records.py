@@ -1,0 +1,230 @@
+"""Syndrome database entry types.
+
+Each entry aggregates the detailed-report SDCs of one (opcode, input
+range, module) campaign cell into the artefacts the software injector
+consumes: the observed relative-error samples, the fitted power law
+(paper Eq. 1), and the corrupted-thread multiplicities.  t-MxM cells add
+per-spatial-pattern statistics (Fig. 8 / Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .powerlaw import PowerLawFit, fit_power_law
+from .spatial import SpatialPattern
+
+__all__ = ["SyndromeKey", "SyndromeEntry", "PatternStats", "TmxmEntry"]
+
+
+@dataclass(frozen=True, order=True)
+class SyndromeKey:
+    """Lookup key for a syndrome entry."""
+
+    opcode: str
+    input_range: str
+    module: str
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        return (self.opcode, self.input_range, self.module)
+
+
+@dataclass
+class SyndromeEntry:
+    """Aggregated syndrome of one campaign cell."""
+
+    key: SyndromeKey
+    relative_errors: List[float] = field(default_factory=list)
+    thread_counts: List[int] = field(default_factory=list)
+    fit: Optional[PowerLawFit] = None
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.relative_errors)
+
+    def finalize(self) -> None:
+        """Fit the power-law model once all samples are collected."""
+        positive = [e for e in self.relative_errors
+                    if e > 0 and np.isfinite(e)]
+        if len(positive) >= 10:
+            self.fit = fit_power_law(positive)
+
+    #: minimum sample count for empirical bootstrap; sparser entries fall
+    #: back to the fitted power law (Eq. 1)
+    MIN_EMPIRICAL = 30
+
+    def sample_relative_error(self, rng: np.random.Generator) -> float:
+        """Draw one syndrome magnitude.
+
+        With enough observations the empirical distribution is resampled
+        directly — it *is* the Figure 5/6 data, peaks, tails and all.
+        Sparse entries extrapolate through the fitted power law via the
+        paper's Eq. (1) PRNG.
+        """
+        if (len(self.relative_errors) < self.MIN_EMPIRICAL
+                and self.fit is not None):
+            return float(self.fit.sample(rng, 1)[0])
+        if not self.relative_errors:
+            raise ValueError(f"entry {self.key} holds no syndromes")
+        return float(self.relative_errors[
+            int(rng.integers(len(self.relative_errors)))])
+
+    def median_relative_error(self) -> float:
+        positive = [e for e in self.relative_errors if np.isfinite(e)]
+        if not positive:
+            return 0.0
+        return float(np.median(positive))
+
+    def histogram(self, bin_edges: "List[float]") -> "List[float]":
+        """Fraction of syndromes per relative-error decade bin."""
+        if not self.relative_errors:
+            return [0.0] * (len(bin_edges) - 1)
+        data = np.clip(self.relative_errors, bin_edges[0], bin_edges[-1])
+        counts, _ = np.histogram(data, bins=bin_edges)
+        return list(counts / len(data))
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key.as_tuple(),
+            "relative_errors": [float(e) for e in self.relative_errors],
+            "thread_counts": list(self.thread_counts),
+            "fit": self.fit.to_dict() if self.fit else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SyndromeEntry":
+        entry = cls(
+            key=SyndromeKey(*data["key"]),
+            relative_errors=list(data["relative_errors"]),
+            thread_counts=list(data["thread_counts"]),
+        )
+        if data.get("fit"):
+            entry.fit = PowerLawFit.from_dict(data["fit"])
+        return entry
+
+
+@dataclass
+class PatternStats:
+    """One spatial pattern's statistics within a t-MxM entry."""
+
+    pattern: SpatialPattern
+    occurrences: int = 0
+    relative_errors: List[float] = field(default_factory=list)
+    fit: Optional[PowerLawFit] = None
+
+    def finalize(self) -> None:
+        positive = [e for e in self.relative_errors
+                    if e > 0 and np.isfinite(e)]
+        if len(positive) >= 10:
+            self.fit = fit_power_law(positive)
+
+    def to_dict(self) -> dict:
+        return {
+            "pattern": self.pattern.value,
+            "occurrences": self.occurrences,
+            "relative_errors": [float(e) for e in self.relative_errors],
+            "fit": self.fit.to_dict() if self.fit else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PatternStats":
+        stats = cls(
+            pattern=SpatialPattern(data["pattern"]),
+            occurrences=data["occurrences"],
+            relative_errors=list(data["relative_errors"]),
+        )
+        if data.get("fit"):
+            stats.fit = PowerLawFit.from_dict(data["fit"])
+        return stats
+
+
+@dataclass
+class TmxmEntry:
+    """t-MxM syndrome: spatial pattern mix plus per-pattern errors.
+
+    Keyed by (tile kind, module); ``patterns`` maps each observed
+    :class:`SpatialPattern` to its statistics.  Sampling first picks a
+    pattern proportionally to its observed occurrences, then draws the
+    element-wise relative errors from that pattern's power law — the
+    two-stage procedure of paper Sec. V-D.
+    """
+
+    tile_kind: str
+    module: str
+    patterns: Dict[SpatialPattern, PatternStats] = field(default_factory=dict)
+
+    def add_observation(self, pattern: SpatialPattern,
+                        relative_errors: List[float]) -> None:
+        stats = self.patterns.setdefault(pattern, PatternStats(pattern))
+        stats.occurrences += 1
+        stats.relative_errors.extend(relative_errors)
+
+    def finalize(self) -> None:
+        for stats in self.patterns.values():
+            stats.finalize()
+
+    @property
+    def total_occurrences(self) -> int:
+        return sum(s.occurrences for s in self.patterns.values())
+
+    def pattern_distribution(self) -> Dict[SpatialPattern, float]:
+        """Fraction of SDCs per spatial pattern (Table II rows)."""
+        total = self.total_occurrences
+        if total == 0:
+            return {}
+        return {p: s.occurrences / total for p, s in self.patterns.items()}
+
+    def sample_pattern(self, rng: np.random.Generator,
+                       multi_only: bool = False) -> SpatialPattern:
+        """Draw a spatial pattern proportionally to its occurrences.
+
+        With ``multi_only`` the single-element corruption is excluded,
+        sampling from the Table II distribution instead — single-element
+        effects are what plain instruction-output injection already
+        covers, so the tile-corruption procedure targets the multi-element
+        syndromes (paper Sec. IV-B/VI).
+        """
+        candidates = [
+            (pattern, stats)
+            for pattern, stats in sorted(self.patterns.items(),
+                                         key=lambda kv: kv[0].value)
+            if not (multi_only and pattern is SpatialPattern.SINGLE)
+        ]
+        total = sum(stats.occurrences for _, stats in candidates)
+        if total == 0:
+            raise ValueError(
+                "t-MxM entry holds no matching observations")
+        pick = rng.integers(total)
+        for pattern, stats in candidates:
+            if pick < stats.occurrences:
+                return pattern
+            pick -= stats.occurrences
+        raise AssertionError("unreachable")
+
+    def sample_relative_error(self, pattern: SpatialPattern,
+                              rng: np.random.Generator) -> float:
+        stats = self.patterns[pattern]
+        if stats.fit is not None:
+            return float(stats.fit.sample(rng, 1)[0])
+        if not stats.relative_errors:
+            return 1.0
+        return float(stats.relative_errors[
+            int(rng.integers(len(stats.relative_errors)))])
+
+    def to_dict(self) -> dict:
+        return {
+            "tile_kind": self.tile_kind,
+            "module": self.module,
+            "patterns": [s.to_dict() for s in self.patterns.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TmxmEntry":
+        entry = cls(tile_kind=data["tile_kind"], module=data["module"])
+        for item in data["patterns"]:
+            stats = PatternStats.from_dict(item)
+            entry.patterns[stats.pattern] = stats
+        return entry

@@ -1,0 +1,143 @@
+"""Spatial patterns of multi-element t-MxM corruption (paper Fig. 8).
+
+The RTL t-MxM campaigns show six geometric distributions of corrupted
+output elements: a row, a column, a row plus a column, a (variable-size)
+block, a random scatter, and the whole matrix.  This module classifies an
+observed corruption set into those categories and generates coordinate
+sets for injecting each pattern in software (the CNN tile-corruption
+procedure of Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["SpatialPattern", "classify_pattern", "generate_pattern"]
+
+Coord = Tuple[int, int]
+
+
+class SpatialPattern(enum.Enum):
+    """The paper's Fig. 8 categories (plus SINGLE, unlisted in Table II)."""
+
+    SINGLE = "single"
+    ROW = "row"
+    COLUMN = "col"
+    ROW_COLUMN = "row+col"
+    BLOCK = "block"
+    RANDOM = "random"
+    ALL = "all"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: fraction of corrupted elements above which the pattern counts as "all
+#: (or almost all) elements corrupted"
+_ALL_THRESHOLD = 0.75
+
+
+def classify_pattern(coords: Iterable[Coord], dim: int) -> SpatialPattern:
+    """Classify corrupted (row, col) coordinates of a ``dim x dim`` tile."""
+    cells: Set[Coord] = set(coords)
+    if not cells:
+        raise ValueError("cannot classify an empty corruption set")
+    for i, j in cells:
+        if not (0 <= i < dim and 0 <= j < dim):
+            raise ValueError(f"coordinate {(i, j)} outside {dim}x{dim} tile")
+    if len(cells) == 1:
+        return SpatialPattern.SINGLE
+    if len(cells) >= _ALL_THRESHOLD * dim * dim:
+        return SpatialPattern.ALL
+    rows = {i for i, _ in cells}
+    cols = {j for _, j in cells}
+    if len(rows) == 1:
+        return SpatialPattern.ROW
+    if len(cols) == 1:
+        return SpatialPattern.COLUMN
+    if _is_row_plus_column(cells, rows, cols):
+        return SpatialPattern.ROW_COLUMN
+    if _is_block(cells, rows, cols):
+        return SpatialPattern.BLOCK
+    return SpatialPattern.RANDOM
+
+
+def _is_row_plus_column(cells: Set[Coord], rows: Set[int],
+                        cols: Set[int]) -> bool:
+    """True when the cells form the union of a corrupted row and column.
+
+    Both the row and the column must be substantially filled (at least
+    half their cells corrupted) — a sparse scatter that merely *fits* on a
+    cross is a random pattern, not Fig. 8's row+column shape.
+    """
+    if not cells:
+        return False
+    dim = max(max(i for i, _ in cells), max(j for _, j in cells)) + 1
+    for row in rows:
+        for col in cols:
+            if not all(i == row or j == col for i, j in cells):
+                continue
+            row_cells = sum(1 for i, _ in cells if i == row)
+            col_cells = sum(1 for _, j in cells if j == col)
+            if row_cells >= dim // 2 and col_cells >= dim // 2:
+                return True
+    return False
+
+
+def _is_block(cells: Set[Coord], rows: Set[int], cols: Set[int]) -> bool:
+    """True when the cells fill a contiguous rectangle of height/width >= 2."""
+    r_lo, r_hi = min(rows), max(rows)
+    c_lo, c_hi = min(cols), max(cols)
+    height = r_hi - r_lo + 1
+    width = c_hi - c_lo + 1
+    if height < 2 or width < 2:
+        return False
+    if height == len(rows) and width == len(cols):
+        expected = height * width
+        return len(cells) == expected
+    return False
+
+
+def generate_pattern(pattern: SpatialPattern, dim: int,
+                     rng: np.random.Generator) -> List[Coord]:
+    """Sample a coordinate set exhibiting *pattern* in a ``dim x dim`` tile.
+
+    Positions and block sizes are random, matching the paper's note that
+    neither the pattern's position nor the block size is fixed (Fig. 8).
+    """
+    if pattern is SpatialPattern.SINGLE:
+        return [(int(rng.integers(dim)), int(rng.integers(dim)))]
+    if pattern is SpatialPattern.ROW:
+        row = int(rng.integers(dim))
+        return [(row, j) for j in range(dim)]
+    if pattern is SpatialPattern.COLUMN:
+        col = int(rng.integers(dim))
+        return [(i, col) for i in range(dim)]
+    if pattern is SpatialPattern.ROW_COLUMN:
+        row = int(rng.integers(dim))
+        col = int(rng.integers(dim))
+        cells = {(row, j) for j in range(dim)}
+        cells |= {(i, col) for i in range(dim)}
+        return sorted(cells)
+    if pattern is SpatialPattern.BLOCK:
+        height = int(rng.integers(2, max(3, dim // 2 + 1)))
+        width = int(rng.integers(2, max(3, dim // 2 + 1)))
+        r0 = int(rng.integers(0, dim - height + 1))
+        c0 = int(rng.integers(0, dim - width + 1))
+        return [(r0 + i, c0 + j) for i in range(height) for j in range(width)]
+    if pattern is SpatialPattern.RANDOM:
+        # rejection-sample: a small scatter can accidentally line up as a
+        # row/column/cross, which would misrepresent the injected shape
+        for _ in range(100):
+            count = int(rng.integers(3, max(4, dim * dim // 4)))
+            flat = rng.choice(dim * dim, size=count, replace=False)
+            coords = sorted((int(k) // dim, int(k) % dim) for k in flat)
+            if classify_pattern(coords, dim) is SpatialPattern.RANDOM:
+                return coords
+        raise RuntimeError("could not sample a random scatter")
+    if pattern is SpatialPattern.ALL:
+        return [(i, j) for i in range(dim) for j in range(dim)]
+    raise ValueError(f"unknown pattern {pattern!r}")

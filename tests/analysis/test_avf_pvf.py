@@ -1,0 +1,100 @@
+"""AVF/PVF aggregation tests."""
+
+import pytest
+
+from repro.analysis.avf import (
+    aggregate_avf,
+    avf_range_spread,
+    mean_corrupted_threads_by_module,
+)
+from repro.analysis.pvf import (
+    PvfComparison,
+    compare_models,
+    mean_underestimation,
+    underestimation,
+)
+from repro.rtl.classify import (
+    CorruptedValue,
+    Outcome,
+    RunClassification,
+)
+from repro.rtl.reports import CampaignReport, FaultDescriptor
+from repro.swfi.campaign import PVFReport
+
+
+def _report(instruction, input_range, module, sdc1=2, sdcn=1, due=1,
+            masked=6):
+    report = CampaignReport(instruction, input_range, module)
+    fault = FaultDescriptor(module, "reg", 0, 0, 0)
+    for _ in range(masked):
+        report.add(fault, RunClassification(Outcome.MASKED), instruction,
+                   "f32")
+    for _ in range(sdc1):
+        corrupted = [CorruptedValue(0, 0, 1, 2)]
+        report.add(fault, RunClassification(Outcome.SDC, corrupted),
+                   instruction, "f32")
+    for _ in range(sdcn):
+        corrupted = [CorruptedValue(t, t, 1, 2) for t in range(4)]
+        report.add(fault, RunClassification(Outcome.SDC, corrupted),
+                   instruction, "f32")
+    for _ in range(due):
+        report.add(fault, RunClassification(Outcome.DUE), instruction,
+                   "f32")
+    return report
+
+
+class TestAvfAggregation:
+    def test_components(self):
+        cells = aggregate_avf([_report("FADD", "M", "fp32")])
+        cell = cells[0]
+        assert cell.n_injections == 10
+        assert cell.sdc_single == pytest.approx(0.2)
+        assert cell.sdc_multiple == pytest.approx(0.1)
+        assert cell.due == pytest.approx(0.1)
+        assert cell.total == pytest.approx(0.4)
+
+    def test_ranges_averaged(self):
+        reports = [_report("FADD", r, "fp32") for r in ("S", "M", "L")]
+        cells = aggregate_avf(reports)
+        assert len(cells) == 1
+        assert cells[0].n_injections == 30
+
+    def test_range_spread(self):
+        reports = [
+            _report("FADD", "S", "fp32", sdc1=1),  # AVF = 3/9
+            _report("FADD", "L", "fp32", sdc1=3),  # AVF = 5/11
+        ]
+        spread = avf_range_spread(reports)
+        assert spread[("fp32", "FADD")] == pytest.approx(5 / 11 - 3 / 9)
+
+    def test_mean_threads_by_module(self):
+        means = mean_corrupted_threads_by_module(
+            [_report("FADD", "M", "scheduler", sdc1=1, sdcn=1)])
+        assert means["scheduler"] == pytest.approx((1 + 4) / 2)
+
+
+class TestPvfComparison:
+    def test_underestimation(self):
+        assert underestimation(0.5, 1.0) == pytest.approx(0.5)
+        assert underestimation(1.0, 1.0) == 0.0
+        assert underestimation(0.2, 0.0) == 0.0
+        # the syndrome model never *under*-reports as negative
+        assert underestimation(1.0, 0.5) == 0.0
+
+    def test_compare_models_pairs_by_app(self):
+        bitflip = [PVFReport("A", "bf", 100, n_sdc=25),
+                   PVFReport("B", "bf", 100, n_sdc=90)]
+        syndrome = [PVFReport("A", "re", 100, n_sdc=37)]
+        comparisons = compare_models(bitflip, syndrome)
+        assert len(comparisons) == 1
+        assert comparisons[0].app_name == "A"
+        assert comparisons[0].underestimation == pytest.approx(
+            (0.37 - 0.25) / 0.37)
+
+    def test_mean_underestimation(self):
+        comparisons = [
+            PvfComparison("A", 0.5, 1.0),
+            PvfComparison("B", 1.0, 1.0),
+        ]
+        assert mean_underestimation(comparisons) == pytest.approx(0.25)
+        assert mean_underestimation([]) == 0.0

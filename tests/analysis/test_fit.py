@@ -1,0 +1,53 @@
+"""FIT estimation tests."""
+
+import pytest
+
+from repro.analysis.fit import DEFAULT_RAW_FIT_PER_MBIT, FitEstimator
+from repro.swfi.campaign import PVFReport
+
+
+@pytest.fixture
+def estimator():
+    return FitEstimator({"fp32": 1_000_000, "pipeline": 2_000_000},
+                        raw_fit_per_mbit=100.0)
+
+
+def _pvf(pvf=0.5):
+    return PVFReport("app", "model", n_injections=100, n_sdc=int(100 * pvf))
+
+
+class TestArrival:
+    def test_size_proportional(self, estimator):
+        assert estimator.module_arrival_fit("fp32") == pytest.approx(100.0)
+        assert estimator.module_arrival_fit("pipeline") == \
+            pytest.approx(200.0)
+
+    def test_unknown_module(self, estimator):
+        with pytest.raises(KeyError):
+            estimator.module_arrival_fit("nvlink")
+
+    def test_positive_rate_required(self):
+        with pytest.raises(ValueError):
+            FitEstimator({"fp32": 10}, raw_fit_per_mbit=0.0)
+
+
+class TestEstimate:
+    def test_combines_avf_and_pvf(self, estimator, small_reports):
+        estimate = estimator.estimate(small_reports, _pvf(0.5))
+        assert estimate.sdc_fit > 0.0
+        assert estimate.total_fit >= estimate.sdc_fit
+        assert set(estimate.per_module_sdc) <= {"fp32", "pipeline"}
+
+    def test_pvf_scales_sdc_only(self, estimator, small_reports):
+        low = estimator.estimate(small_reports, _pvf(0.1))
+        high = estimator.estimate(small_reports, _pvf(1.0))
+        assert high.sdc_fit == pytest.approx(10 * low.sdc_fit)
+        assert high.due_fit == pytest.approx(low.due_fit)
+
+    def test_dominant_module(self, estimator, small_reports):
+        estimate = estimator.estimate(small_reports, _pvf(0.5))
+        dominant = estimate.dominant_module()
+        assert dominant in ("fp32", "pipeline")
+
+    def test_default_rate_order_of_magnitude(self):
+        assert 10.0 <= DEFAULT_RAW_FIT_PER_MBIT <= 1e5

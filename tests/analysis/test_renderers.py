@@ -1,0 +1,86 @@
+"""Figure/table renderer tests."""
+
+import pytest
+
+from repro.analysis.avf import aggregate_avf
+from repro.analysis.figures import (
+    render_fig3,
+    render_fig4,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_syndrome_histograms,
+)
+from repro.analysis.tables import (
+    PAPER_TABLE1_SIZES,
+    PAPER_TABLE3_PVF,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.analysis.pvf import PvfComparison
+from repro.swfi.campaign import PVFReport
+from repro.swfi.profiler import InstructionProfile
+from repro.gpu.isa import Opcode
+from repro.syndrome.builder import entry_from_report, tmxm_entry_from_report
+
+
+class TestTableRenderers:
+    def test_table1_lists_all_modules(self, injector):
+        text = render_table1(injector.plane)
+        for module in ("fp32", "int", "sfu", "scheduler", "pipeline"):
+            assert module in text
+        assert str(PAPER_TABLE1_SIZES["fp32"]) in text
+
+    def test_table2(self, small_tmxm_reports):
+        entries = [tmxm_entry_from_report(r) for r in small_tmxm_reports]
+        text = render_table2(entries)
+        assert "scheduler" in text and "pipeline" in text
+        assert "(paper)" in text
+
+    def test_table3(self):
+        comparisons = [PvfComparison("MxM", 0.9, 1.0)]
+        text = render_table3(comparisons, sizes={"MxM": "48x48"})
+        assert "MxM" in text and "48x48" in text
+        assert f"{PAPER_TABLE3_PVF['MxM']['relative']:.2f}" in text
+
+
+class TestFigureRenderers:
+    def test_fig3(self):
+        profile = InstructionProfile("MxM", {Opcode.FFMA: 70,
+                                             Opcode.GLD: 20}, 10)
+        text = render_fig3([profile])
+        assert "MxM" in text and "0.70" in text
+
+    def test_fig4(self, small_reports):
+        text = render_fig4(aggregate_avf(small_reports))
+        assert "fp32" in text and "FADD" in text
+
+    def test_syndrome_histograms(self, small_reports):
+        entries = [entry_from_report(r) for r in small_reports[:3]]
+        text = render_syndrome_histograms(entries, "Figure 5 — FP")
+        assert text.startswith("Figure 5")
+        assert "FADD" in text
+
+    def test_fig7(self, small_tmxm_reports):
+        cells = aggregate_avf(small_tmxm_reports)
+        text = render_fig7(cells, {"FFMA": "Random"})
+        assert "scheduler" in text and "Random" in text
+
+    def test_fig8(self, small_tmxm_reports):
+        entries = [tmxm_entry_from_report(r) for r in small_tmxm_reports]
+        text = render_fig8(entries)
+        assert "scheduler/Random" in text
+
+    def test_fig9(self, small_tmxm_reports):
+        entries = [tmxm_entry_from_report(r) for r in small_tmxm_reports]
+        text = render_fig9(entries[0])
+        assert "Figure 9" in text
+
+    def test_fig10(self):
+        bitflip = [PVFReport("MxM", "bf", 100, n_sdc=80)]
+        syndrome = [PVFReport("MxM", "re", 100, n_sdc=90)]
+        text = render_fig10(bitflip, syndrome)
+        assert "underestimation" in text
+        assert "0.800" in text and "0.900" in text

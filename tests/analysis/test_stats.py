@@ -1,0 +1,92 @@
+"""Statistics tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    log_histogram,
+    margin_of_error,
+    proportion_confidence_interval,
+    sample_size_for_margin,
+    wilson_interval,
+)
+
+
+class TestMarginOfError:
+    def test_paper_scale(self):
+        """12,000 faults per campaign -> margin below 3% (paper Sec. V-B)."""
+        assert margin_of_error(12_000) < 0.03
+
+    def test_shrinks_with_samples(self):
+        assert margin_of_error(10_000) < margin_of_error(1_000)
+
+    def test_known_value(self):
+        # classic n=1067 -> ~3% at 95%, p=0.5, infinite population
+        assert margin_of_error(1067) == pytest.approx(0.03, abs=0.002)
+
+    def test_finite_population_correction(self):
+        # sampling the whole population leaves no error
+        assert margin_of_error(1000, population=1000) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            margin_of_error(0)
+        with pytest.raises(ValueError):
+            margin_of_error(10, confidence=1.5)
+
+
+class TestSampleSize:
+    def test_inverse_of_margin(self):
+        n = sample_size_for_margin(0.03)
+        assert margin_of_error(n) <= 0.0301
+
+    def test_tighter_margin_needs_more(self):
+        assert sample_size_for_margin(0.01) > sample_size_for_margin(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_size_for_margin(0.0)
+
+
+class TestWilson:
+    def test_bounds_ordered_and_clamped(self):
+        lo, hi = wilson_interval(0, 100)
+        assert 0.0 <= lo <= hi <= 1.0
+        lo, hi = wilson_interval(100, 100)
+        assert hi == 1.0
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_paper_campaign_ci_below_five_percent(self):
+        """6,000 injections -> 95% CI half-width under 5% (Sec. VI)."""
+        lo, hi = proportion_confidence_interval(3000, 6000)
+        assert hi - lo < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestLogHistogram:
+    def test_fractions_sum_to_one(self):
+        edges, fractions = log_histogram([1e-9, 1e-4, 0.5, 10.0, 1e5])
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_tails_clipped_into_outer_bins(self):
+        edges, fractions = log_histogram([1e-20, 1e20])
+        assert fractions[0] == pytest.approx(0.5)
+        assert fractions[-1] == pytest.approx(0.5)
+
+    def test_empty_input(self):
+        edges, fractions = log_histogram([])
+        assert fractions.sum() == 0.0
+
+    def test_non_finite_filtered(self):
+        _, fractions = log_histogram([math.inf, math.nan, 1.0])
+        assert fractions.sum() == pytest.approx(1.0)

@@ -1,0 +1,152 @@
+"""LeNet-mini / YOLO-mini / dataset / metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.rng import make_rng
+from repro.swfi.ops import SassOps
+from repro.apps.cnn.datasets import (
+    make_digit,
+    make_digit_dataset,
+    make_scene,
+    make_scene_dataset,
+)
+from repro.apps.cnn.metrics import (
+    Detection,
+    iou,
+    is_misclassification,
+    is_misdetection,
+    match_detections,
+)
+from repro.apps.cnn.train import train_softmax_head
+
+
+class TestDatasets:
+    def test_digit_shapes_and_range(self):
+        image = make_digit(7, make_rng(0))
+        assert image.shape == (1, 16, 16)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ValueError):
+            make_digit(10, make_rng(0))
+
+    def test_dataset_deterministic(self):
+        a_images, a_labels = make_digit_dataset(20, seed=3)
+        b_images, b_labels = make_digit_dataset(20, seed=3)
+        assert np.array_equal(a_images, b_images)
+        assert np.array_equal(a_labels, b_labels)
+
+    def test_all_classes_present(self):
+        _, labels = make_digit_dataset(200, seed=1)
+        assert set(labels.tolist()) == set(range(10))
+
+    def test_scene_boxes_inside_image(self):
+        image, boxes = make_scene(make_rng(5))
+        assert image.shape == (3, 32, 32)
+        for cls, cx, cy, w, h in boxes:
+            assert 0 <= cls < 3
+            assert 0 <= cx <= 32 and 0 <= cy <= 32
+
+    def test_scene_dataset(self):
+        scenes = make_scene_dataset(4, seed=2)
+        assert len(scenes) == 4
+
+
+class TestTraining:
+    def test_separable_problem_learned(self):
+        rng = make_rng(0)
+        features = rng.normal(0, 1, (200, 8))
+        labels = (features[:, 0] > 0).astype(np.int64)
+        result = train_softmax_head(features, labels, 2, epochs=300)
+        assert result.train_accuracy > 0.95
+        assert result.final_loss < 0.5
+
+    def test_weights_dtype(self):
+        rng = make_rng(1)
+        result = train_softmax_head(rng.normal(0, 1, (50, 4)),
+                                    rng.integers(0, 3, 50), 3, epochs=10)
+        assert result.weights.dtype == np.float32
+        assert result.weights.shape == (3, 4)
+
+
+class TestLeNet:
+    def test_trained_to_high_accuracy(self, lenet_app):
+        assert lenet_app.net.train_accuracy > 0.95
+
+    def test_probabilities(self, lenet_app):
+        probs = lenet_app.golden()
+        assert probs.shape == (lenet_app.batch, 10)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-3)
+
+    def test_golden_predictions_match_labels(self, lenet_app):
+        probs = lenet_app.golden()
+        predictions = lenet_app.net.classify(probs)
+        assert np.array_equal(predictions, lenet_app.labels)
+
+    def test_tile_hook_reaches_every_layer(self, lenet_app):
+        seen = set()
+
+        def hook(layer_id, matrix):
+            seen.add(layer_id)
+            return matrix
+
+        lenet_app.run(SassOps(), tile_hook=hook)
+        assert seen == set(range(lenet_app.n_mxm_layers))
+
+
+class TestYolo:
+    def test_detection_output_shape(self, yolo_app):
+        packed = yolo_app.golden()
+        assert packed.shape == (yolo_app.batch, yolo_app.net.TOP_K, 6)
+
+    def test_deterministic(self, yolo_app):
+        assert np.array_equal(yolo_app.golden(),
+                              yolo_app.run(SassOps()))
+
+    def test_tile_hook_reaches_every_layer(self, yolo_app):
+        seen = set()
+
+        def hook(layer_id, matrix):
+            seen.add(layer_id)
+            return matrix
+
+        yolo_app.run(SassOps(), tile_hook=hook)
+        assert seen == set(range(yolo_app.n_mxm_layers))
+
+
+class TestMetrics:
+    def _box(self, cls=0, cx=10.0, cy=10.0, w=4.0, h=4.0, score=0.9):
+        return Detection(cls, score, cx, cy, w, h)
+
+    def test_iou_identity(self):
+        assert iou(self._box(), self._box()) == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        assert iou(self._box(cx=0, cy=0), self._box(cx=20, cy=20)) == 0.0
+
+    def test_iou_partial(self):
+        a = self._box(cx=10, cy=10)
+        b = self._box(cx=12, cy=10)
+        assert 0.0 < iou(a, b) < 1.0
+
+    def test_matching_requires_class(self):
+        golden = [self._box(cls=0)]
+        observed = [self._box(cls=1)]
+        assert match_detections(golden, observed) == 0
+        assert is_misdetection(golden, observed)
+
+    def test_small_shift_tolerated(self):
+        golden = [self._box()]
+        observed = [self._box(cx=10.5)]
+        assert not is_misdetection(golden, observed)
+
+    def test_count_change_is_misdetection(self):
+        assert is_misdetection([self._box()], [])
+
+    def test_misclassification(self):
+        golden = np.array([[0.9, 0.1], [0.2, 0.8]])
+        same = np.array([[0.8, 0.2], [0.3, 0.7]])
+        flipped = np.array([[0.4, 0.6], [0.2, 0.8]])
+        assert not is_misclassification(golden, same)
+        assert is_misclassification(golden, flipped)

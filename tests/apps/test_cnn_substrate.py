@@ -1,0 +1,126 @@
+"""CNN tensor-operation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import make_rng
+from repro.swfi.ops import SassOps
+from repro.apps.cnn.tensor_ops import (
+    conv2d,
+    im2col,
+    linear,
+    maxpool2,
+    relu,
+    sigmoid,
+    softmax,
+    tiled_matmul,
+)
+
+
+class TestTiledMatmul:
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(1, 20),
+           st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numpy(self, m, k, n, seed):
+        rng = make_rng(seed)
+        a = rng.normal(0, 1, (m, k)).astype(np.float32)
+        b = rng.normal(0, 1, (k, n)).astype(np.float32)
+        out = tiled_matmul(SassOps(), a, b)
+        assert out.shape == (m, n)
+        assert np.allclose(out, a @ b, atol=1e-3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tiled_matmul(SassOps(), np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_tile_hook_receives_padded_output(self):
+        calls = []
+
+        def hook(layer_id, matrix):
+            calls.append((layer_id, matrix.shape))
+            return matrix
+
+        tiled_matmul(SassOps(), np.ones((3, 5), np.float32),
+                     np.ones((5, 9), np.float32), layer_id=7,
+                     tile_hook=hook)
+        assert calls == [(7, (8, 16))]
+
+    def test_tile_hook_corruption_propagates(self):
+        def hook(layer_id, matrix):
+            corrupted = matrix.copy()
+            corrupted[0, 0] = 99.0
+            return corrupted
+
+        out = tiled_matmul(SassOps(), np.ones((2, 2), np.float32),
+                           np.ones((2, 2), np.float32), tile_hook=hook)
+        assert out[0, 0] == 99.0
+
+
+class TestConv:
+    def test_matches_direct_convolution(self):
+        rng = make_rng(3)
+        x = rng.normal(0, 1, (2, 6, 6)).astype(np.float32)
+        w = rng.normal(0, 1, (4, 2, 3, 3)).astype(np.float32)
+        b = rng.normal(0, 1, 4).astype(np.float32)
+        out = conv2d(SassOps(), x, w, b, stride=1, pad=1)
+        assert out.shape == (4, 6, 6)
+        xp = np.pad(x, ((0, 0), (1, 1), (1, 1)))
+        for f in range(4):
+            for i in range(6):
+                for j in range(6):
+                    expected = (xp[:, i:i + 3, j:j + 3] * w[f]).sum() + b[f]
+                    assert out[f, i, j] == pytest.approx(expected, abs=1e-3)
+
+    def test_strided_output_shape(self):
+        x = np.zeros((3, 8, 8), np.float32)
+        w = np.zeros((5, 3, 3, 3), np.float32)
+        out = conv2d(SassOps(), x, w, np.zeros(5, np.float32),
+                     stride=2, pad=1)
+        assert out.shape == (5, 4, 4)
+
+    def test_im2col_patch_count(self):
+        cols = im2col(np.zeros((2, 5, 5), np.float32), kernel=3)
+        assert cols.shape == (2 * 9, 9)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([[-1.0, 2.0], [0.0, -3.0]], np.float32)
+        out = relu(SassOps(), x)
+        assert np.array_equal(out, np.maximum(x, 0.0))
+
+    def test_maxpool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = maxpool2(SassOps(), x)
+        assert out.shape == (1, 2, 2)
+        assert np.array_equal(out[0], [[5, 7], [13, 15]])
+
+    def test_softmax_is_distribution(self):
+        probs = softmax(SassOps(), np.array([1.0, 2.0, 3.0], np.float32))
+        assert probs.sum() == pytest.approx(1.0, abs=1e-5)
+        assert np.argmax(probs) == 2
+        reference = np.exp([1.0, 2.0, 3.0]) / np.exp([1.0, 2.0, 3.0]).sum()
+        assert np.allclose(probs, reference, atol=1e-5)
+
+    def test_sigmoid(self):
+        x = np.array([0.0, 2.0, -2.0], np.float32)
+        out = sigmoid(SassOps(), x)
+        assert np.allclose(out, 1 / (1 + np.exp(-x)), atol=1e-5)
+
+    def test_linear(self):
+        w = np.array([[1.0, 2.0], [3.0, 4.0]], np.float32)
+        b = np.array([0.5, -0.5], np.float32)
+        out = linear(SassOps(), np.array([1.0, 1.0], np.float32), w, b)
+        assert np.allclose(out, [3.5, 6.5], atol=1e-5)
+
+
+class TestInstrumentation:
+    def test_matmul_ffma_count(self):
+        ops = SassOps()
+        tiled_matmul(ops, np.ones((8, 8), np.float32),
+                     np.ones((8, 8), np.float32))
+        from repro.gpu.isa import Opcode
+
+        assert ops.counts[Opcode.FFMA] == 8 * 8 * 8

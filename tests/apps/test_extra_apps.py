@@ -1,0 +1,82 @@
+"""Pathfinder / Needleman-Wunsch / BFS tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BreadthFirstSearch,
+    NeedlemanWunsch,
+    Pathfinder,
+)
+from repro.rng import make_rng
+from repro.rtl.classify import Outcome
+from repro.swfi import SingleBitFlip, SoftwareInjector, profile_application
+from repro.swfi.ops import SassOps
+
+
+class TestPathfinder:
+    def test_matches_reference(self):
+        app = Pathfinder(cols=64, rows=12, seed=3)
+        assert np.array_equal(app.golden(), app.reference())
+
+    def test_costs_monotone_nonnegative(self):
+        app = Pathfinder(cols=32, rows=8, seed=4)
+        assert (app.golden() >= 0).all()
+
+    def test_profile_is_int_control(self):
+        profile = profile_application(Pathfinder(cols=64, rows=8))
+        fractions = profile.group_fractions()
+        assert fractions["INT32"] + fractions["Control"] > 0.9
+
+
+class TestNeedlemanWunsch:
+    def test_matches_reference(self):
+        app = NeedlemanWunsch(length=24, seed=5)
+        assert np.array_equal(app.golden(), app.reference())
+
+    def test_identical_sequences_score_perfectly(self):
+        app = NeedlemanWunsch(length=16, seed=6)
+        app.seq_b = app.seq_a.copy()
+        score = app.golden()
+        assert score[-1, -1] == 3 * 16  # all matches
+
+    def test_deterministic(self):
+        app = NeedlemanWunsch(length=24, seed=7)
+        assert np.array_equal(app.run(SassOps()), app.run(SassOps()))
+
+
+class TestBfs:
+    def test_matches_reference(self):
+        app = BreadthFirstSearch(n_vertices=200, seed=8)
+        assert np.array_equal(app.golden(), app.reference())
+
+    def test_all_vertices_reached(self):
+        app = BreadthFirstSearch(n_vertices=100, seed=9)
+        depth = app.golden()
+        assert (depth >= 0).all()
+        assert depth[0] == 0
+
+    def test_depths_respect_edges(self):
+        app = BreadthFirstSearch(n_vertices=100, seed=10)
+        depth = app.golden()
+        for vertex in range(app.n):
+            start, end = app.row_offsets[vertex], app.row_offsets[vertex + 1]
+            for neighbor in app.column_indices[start:end]:
+                assert abs(int(depth[vertex]) - int(depth[neighbor])) <= 1
+
+
+class TestInjection:
+    @pytest.mark.parametrize("factory", [
+        lambda: Pathfinder(cols=48, rows=8),
+        lambda: NeedlemanWunsch(length=24),
+        lambda: BreadthFirstSearch(n_vertices=100),
+    ])
+    def test_bitflip_campaign_runs(self, factory):
+        app = factory()
+        injector = SoftwareInjector(app)
+        rng = make_rng(0)
+        outcomes = [injector.inject_one(SingleBitFlip(), rng).outcome
+                    for _ in range(30)]
+        assert all(o in (Outcome.MASKED, Outcome.SDC, Outcome.DUE)
+                   for o in outcomes)
+        assert Outcome.SDC in outcomes

@@ -1,0 +1,101 @@
+"""HPC application correctness tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    GaussianElimination,
+    Hotspot,
+    LavaMD,
+    LUDecomposition,
+    MatrixMultiply,
+    Quicksort,
+)
+from repro.swfi.ops import SassOps
+
+
+class TestMatrixMultiply:
+    def test_computes_product(self):
+        app = MatrixMultiply(n=16, tile=8, seed=1)
+        out = app.golden()
+        assert np.allclose(out, app.a @ app.b, atol=1e-4)
+
+    def test_tile_must_divide(self):
+        with pytest.raises(ValueError):
+            MatrixMultiply(n=10, tile=8)
+
+    def test_deterministic(self):
+        app = MatrixMultiply(n=16, tile=8, seed=2)
+        assert np.array_equal(app.golden(), app.golden())
+
+
+class TestLUD:
+    def test_factorisation(self):
+        app = LUDecomposition(n=24, seed=1)
+        packed = app.golden()
+        lower = np.tril(packed, -1) + np.eye(app.n, dtype=np.float32)
+        upper = np.triu(packed)
+        assert np.allclose(lower @ upper, app.a, atol=1e-2)
+
+
+class TestQuicksort:
+    def test_sorts(self):
+        app = Quicksort(n=512, seed=1)
+        assert np.array_equal(app.golden(), np.sort(app.data))
+
+    def test_handles_duplicates(self):
+        app = Quicksort(n=64, seed=2)
+        app.data = (app.data % 5).astype(np.int32)
+        assert np.array_equal(app.golden(), np.sort(app.data))
+
+
+class TestLava:
+    def test_matches_direct_computation(self):
+        app = LavaMD(particles_per_box=8, seed=1)
+        out = app.golden()
+        home = app.home.astype(np.float64)
+        neighbor = app.neighbor.astype(np.float64)
+        for i in range(app.m):
+            d = home[i, :3] - neighbor[:, :3]
+            r2 = (d ** 2).sum(axis=1)
+            u = np.exp(-float(app.alpha) * r2)
+            vij = neighbor[:, 3] * u
+            expected = (vij[:, None] * d).sum(axis=0)
+            assert np.allclose(out[i, :3], expected, atol=1e-3)
+            assert out[i, 3] == pytest.approx(vij.sum(), abs=1e-3)
+
+
+class TestGaussian:
+    def test_solves_system(self):
+        app = GaussianElimination(n=24, seed=1)
+        x = app.golden()
+        assert np.allclose(app.a @ x, app.b, atol=1e-3)
+
+
+class TestHotspot:
+    def test_converges_toward_steady_state(self):
+        app = Hotspot(n=16, iterations=4, seed=1)
+        out = app.golden()
+        assert out.shape == (16, 16)
+        assert np.isfinite(out).all()
+        # diffusion shrinks the temperature spread
+        assert out.std() < app.temp.std() * 1.5
+
+    def test_iteration_count_matters(self):
+        short = Hotspot(n=16, iterations=2, seed=1).golden()
+        long = Hotspot(n=16, iterations=6, seed=1).golden()
+        assert not np.array_equal(short, long)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", [
+        lambda: MatrixMultiply(n=16, tile=8),
+        lambda: LUDecomposition(n=16),
+        lambda: Quicksort(n=128),
+        lambda: LavaMD(particles_per_box=8),
+        lambda: GaussianElimination(n=16),
+        lambda: Hotspot(n=16, iterations=2),
+    ])
+    def test_golden_runs_identical(self, factory):
+        app = factory()
+        assert np.array_equal(app.run(SassOps()), app.run(SassOps()))

@@ -1,0 +1,77 @@
+"""Shared fixtures: expensive objects built once per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import Opcode
+from repro.rtl import (
+    RTLInjector,
+    make_microbenchmark,
+    make_tmxm_bench,
+    run_campaign,
+)
+from repro.syndrome import build_database
+
+
+@pytest.fixture(scope="session")
+def injector():
+    """One shared streaming multiprocessor for all RTL tests."""
+    return RTLInjector()
+
+
+@pytest.fixture(scope="session")
+def small_reports(injector):
+    """A handful of small campaign reports for analysis/syndrome tests."""
+    cells = [
+        (Opcode.FADD, "M", "fp32"),
+        (Opcode.FADD, "S", "fp32"),
+        (Opcode.FADD, "L", "fp32"),
+        (Opcode.FMUL, "M", "fp32"),
+        (Opcode.FFMA, "M", "fp32"),
+        (Opcode.IADD, "M", "int"),
+        (Opcode.IMUL, "M", "int"),
+        (Opcode.IMAD, "M", "int"),
+        (Opcode.FSIN, "M", "sfu"),
+        (Opcode.FEXP, "M", "sfu"),
+        (Opcode.FADD, "M", "pipeline"),
+        (Opcode.GST, "M", "pipeline"),
+        (Opcode.GLD, "M", "pipeline"),
+        (Opcode.BRA, "M", "pipeline"),
+        (Opcode.ISET, "M", "pipeline"),
+    ]
+    return [
+        run_campaign(make_microbenchmark(op, rng_key, seed=3), module,
+                     n_faults=300, seed=7, injector=injector)
+        for op, rng_key, module in cells
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_tmxm_reports(injector):
+    return [
+        run_campaign(make_tmxm_bench(kind, seed=3), module,
+                     n_faults=400, seed=9, injector=injector)
+        for kind in ("Random",)
+        for module in ("scheduler", "pipeline")
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_database(small_reports, small_tmxm_reports):
+    """A small-but-real syndrome database distilled from campaigns."""
+    return build_database(small_reports, small_tmxm_reports)
+
+
+@pytest.fixture(scope="session")
+def lenet_app():
+    from repro.apps import LeNetApp
+
+    return LeNetApp(batch=2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def yolo_app():
+    from repro.apps import YoloApp
+
+    return YoloApp(batch=2, seed=0)

@@ -1,0 +1,121 @@
+"""Assembler / disassembler tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.asm import AssemblyError, assemble, disassemble
+from repro.gpu.bits import float_to_bits
+from repro.gpu.isa import CompareOp, Opcode, OperandKind
+from repro.gpu.sm import StreamingMultiprocessor
+
+FADD_BENCH = """
+// FADD micro-benchmark body
+    GLD   R2, [R0 + 0x80]
+    GLD   R3, [R0 + 0x100]
+    FADD  R5, R2, R3
+    GST   [R0 + 0x200], R5
+    EXIT
+"""
+
+LOOP = """
+    MOV R1, 0
+loop:
+    IADD R1, R1, 1
+    ISET.LT P0, R1, 5
+    @P0 BRA loop
+    GST [R0 + 0x300], R1
+    EXIT
+"""
+
+
+class TestAssemble:
+    def test_basic_program(self):
+        program = assemble(FADD_BENCH)
+        assert len(program) == 5
+        assert program[0].opcode is Opcode.GLD
+        assert program[0].offset == 0x80
+        assert program[2].opcode is Opcode.FADD
+        assert program[3].srcs[1].value == 5  # R5 is the store data
+
+    def test_labels_and_predication(self):
+        program = assemble(LOOP)
+        assert program.resolve("loop") == 1
+        bra = program[3]
+        assert bra.predicate is not None and not bra.predicate_negated
+        iset = program[2]
+        assert iset.compare is CompareOp.LT
+        assert iset.dest.kind is OperandKind.PREDICATE
+
+    def test_negated_predicate(self):
+        program = assemble("@!P1 MOV R1, R2\nEXIT")
+        assert program[0].predicate_negated
+
+    def test_immediates(self):
+        program = assemble("MOV R1, 0x1F\nIADD R2, R1, -3\nEXIT")
+        assert program[0].srcs[0].value == 0x1F
+        assert program[1].srcs[1].value == (-3) & 0xFFFFFFFF
+
+    def test_comments_and_blanks(self):
+        program = assemble("# comment\n\nNOP // inline\nEXIT")
+        assert len(program) == 2
+
+    def test_three_source_ops(self):
+        program = assemble("FFMA R4, R1, R2, R3\nIMAD R5, R1, 8, R0\nEXIT")
+        assert len(program[0].srcs) == 3
+        assert program[1].srcs[1].value == 8
+
+    def test_errors(self):
+        with pytest.raises(AssemblyError):
+            assemble("FROB R1, R2\nEXIT")          # unknown mnemonic
+        with pytest.raises(AssemblyError):
+            assemble("FADD R1, R2\nEXIT")          # wrong arity
+        with pytest.raises(AssemblyError):
+            assemble("ISET R1, R2, R3\nEXIT")      # missing relation
+        with pytest.raises(AssemblyError):
+            assemble("BRA nowhere\nEXIT")          # undefined label
+        with pytest.raises(AssemblyError):
+            assemble("NOP")                        # missing EXIT
+        with pytest.raises(AssemblyError):
+            assemble("x:\nx:\nEXIT")               # duplicate label
+        with pytest.raises(AssemblyError):
+            assemble("GLD R1, R2\nEXIT")           # not a memory operand
+
+    def test_assembled_program_executes(self):
+        program = assemble(FADD_BENCH)
+        sm = StreamingMultiprocessor()
+        image = {0x80: [float_to_bits(1.5)] * 8,
+                 0x100: [float_to_bits(2.0)] * 8}
+        result = sm.launch(program, 8, memory_image=image)
+        assert result.memory.read_floats(0x200, 8) == [3.5] * 8
+
+    def test_assembled_loop_executes(self):
+        program = assemble(LOOP)
+        sm = StreamingMultiprocessor()
+        result = sm.launch(program, 8)
+        assert result.memory.read_words(0x300, 8) == [5] * 8
+
+
+class TestDisassemble:
+    @pytest.mark.parametrize("source", [FADD_BENCH, LOOP])
+    def test_roundtrip(self, source):
+        program = assemble(source)
+        text = disassemble(program)
+        again = assemble(text)
+        assert again.instructions == program.instructions
+        assert again.labels == program.labels
+
+    def test_microbench_programs_roundtrip(self):
+        from repro.rtl import make_microbenchmark
+        from repro.gpu.isa import CHARACTERIZED_OPCODES
+
+        for opcode in CHARACTERIZED_OPCODES:
+            program = make_microbenchmark(opcode, "M").program
+            again = assemble(disassemble(program))
+            assert again.instructions == program.instructions
+
+    def test_tmxm_roundtrip(self):
+        from repro.rtl import make_tmxm_bench
+
+        program = make_tmxm_bench("Random").program
+        again = assemble(disassemble(program))
+        assert again.instructions == program.instructions

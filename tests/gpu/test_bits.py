@@ -1,0 +1,127 @@
+"""Bit-level utility tests."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu import bits
+
+
+class TestFloatConversions:
+    def test_known_values(self):
+        assert bits.float_to_bits(1.0) == 0x3F800000
+        assert bits.float_to_bits(-2.0) == 0xC0000000
+        assert bits.float_to_bits(0.0) == 0x00000000
+
+    def test_negative_zero(self):
+        assert bits.float_to_bits(-0.0) == 0x80000000
+
+    def test_infinities(self):
+        assert bits.float_to_bits(float("inf")) == 0x7F800000
+        assert bits.float_to_bits(float("-inf")) == 0xFF800000
+
+    def test_rounds_to_single_precision(self):
+        # 1 + 2^-30 is not representable in binary32
+        assert bits.bits_to_float(bits.float_to_bits(1.0 + 2**-30)) == 1.0
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_from_bits(self, pattern):
+        value = bits.bits_to_float(pattern)
+        if math.isnan(value):
+            assert bits.is_nan_bits(pattern)
+        else:
+            assert bits.float_to_bits(value) == pattern
+
+    @given(st.floats(width=32, allow_nan=False))
+    def test_roundtrip_from_float(self, value):
+        assert bits.bits_to_float(bits.float_to_bits(value)) == value
+
+
+class TestIntConversions:
+    @given(st.integers(min_value=-2**31, max_value=2**31 - 1))
+    def test_roundtrip(self, value):
+        assert bits.bits_to_int(bits.int_to_bits(value)) == value
+
+    def test_wraparound(self):
+        assert bits.int_to_bits(-1) == 0xFFFFFFFF
+        assert bits.bits_to_int(0x80000000) == -2**31
+
+    def test_modulo_semantics(self):
+        assert bits.int_to_bits(2**32 + 5) == 5
+
+
+class TestBitManipulation:
+    def test_flip_bit(self):
+        assert bits.flip_bit(0, 0) == 1
+        assert bits.flip_bit(1, 0) == 0
+        assert bits.flip_bit(0, 31) == 0x80000000
+
+    def test_flip_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            bits.flip_bit(0, 32)
+        with pytest.raises(ValueError):
+            bits.flip_bit(0, -1)
+
+    def test_flip_bits_multiple(self):
+        assert bits.flip_bits(0, [0, 1, 2]) == 7
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 31))
+    def test_flip_is_involution(self, value, bit):
+        assert bits.flip_bit(bits.flip_bit(value, bit), bit) == value
+
+    def test_bit_diff(self):
+        assert bits.bit_diff(0b1010, 0b0110) == [2, 3]
+        assert bits.bit_diff(5, 5) == []
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_bit_diff_matches_popcount(self, a, b):
+        assert len(bits.bit_diff(a, b)) == bits.count_set_bits(a ^ b)
+
+    def test_fields(self):
+        value = 0xDEADBEEF
+        field = bits.extract_field(value, 8, 8)
+        assert field == 0xBE
+        assert bits.insert_field(value, 8, 8, 0x42) == 0xDEAD42EF
+
+    def test_sign_extend(self):
+        assert bits.sign_extend(0xFF, 8) == -1
+        assert bits.sign_extend(0x7F, 8) == 127
+
+
+class TestFp32Fields:
+    def test_unpack_pack_roundtrip(self):
+        pattern = bits.float_to_bits(-3.25)
+        sign, exp, mant = bits.unpack_fp32(pattern)
+        assert sign == 1
+        assert bits.pack_fp32(sign, exp, mant) == pattern
+
+    def test_special_detection(self):
+        assert bits.is_inf_bits(0x7F800000)
+        assert bits.is_nan_bits(0x7FC00000)
+        assert not bits.is_nan_bits(0x7F800000)
+        assert not bits.is_inf_bits(bits.float_to_bits(1.0))
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert bits.relative_error(2.0, 2.0) == 0.0
+
+    def test_doubling_is_100_percent(self):
+        assert bits.relative_error(2.0, 4.0) == pytest.approx(1.0)
+
+    def test_zero_expected_uses_absolute(self):
+        assert bits.relative_error(0.0, 3.0) == 3.0
+
+    def test_nan_and_inf_map_to_inf(self):
+        assert bits.relative_error(1.0, float("nan")) == math.inf
+        assert bits.relative_error(1.0, float("inf")) == math.inf
+
+    @given(st.floats(min_value=1e-6, max_value=1e6),
+           st.floats(min_value=-1e6, max_value=1e6))
+    def test_symmetric_in_observation_sign_magnitude(self, expected, obs):
+        err = bits.relative_error(expected, obs)
+        assert err >= 0.0

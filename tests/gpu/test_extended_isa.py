@@ -1,0 +1,167 @@
+"""Extended-opcode tests (shifts, logic, RCP, conversions)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import Opcode, StreamingMultiprocessor, assemble
+from repro.gpu.bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits
+from repro.gpu.fault_plane import FaultPlane
+from repro.gpu.intu import IntUnit
+from repro.gpu.program import ProgramBuilder
+from repro.gpu.sfu import SfuDatapath
+
+int32s = st.integers(min_value=-2**31, max_value=2**31 - 1)
+
+
+class TestIntUnitExtensions:
+    @given(int32s, st.integers(0, 31))
+    @settings(max_examples=150)
+    def test_shl_matches_int32(self, a, shift):
+        unit = IntUnit(FaultPlane())
+        got = unit.shl(int_to_bits(a), shift, 0)
+        assert got == (int_to_bits(a) << shift) & 0xFFFFFFFF
+
+    @given(int32s, st.integers(0, 31))
+    @settings(max_examples=150)
+    def test_shr_is_logical(self, a, shift):
+        unit = IntUnit(FaultPlane())
+        got = unit.shr(int_to_bits(a), shift, 0)
+        assert got == int_to_bits(a) >> shift
+
+    def test_shift_amount_masked_to_5_bits(self):
+        unit = IntUnit(FaultPlane())
+        assert unit.shl(1, 33, 0) == 2  # 33 & 31 == 1
+
+    @given(int32s, int32s)
+    @settings(max_examples=100)
+    def test_logic_ops(self, a, b):
+        unit = IntUnit(FaultPlane())
+        ua, ub = int_to_bits(a), int_to_bits(b)
+        assert unit.lop("AND", ua, ub, 0) == ua & ub
+        assert unit.lop("OR", ua, ub, 0) == ua | ub
+        assert unit.lop("XOR", ua, ub, 0) == ua ^ ub
+
+    def test_unknown_logic_rejected(self):
+        unit = IntUnit(FaultPlane())
+        with pytest.raises(ValueError):
+            unit.lop("NAND", 1, 2, 0)
+
+
+class TestSfuReciprocal:
+    @given(st.floats(min_value=1e-30, max_value=1e30))
+    @settings(max_examples=200)
+    def test_rcp_accuracy(self, x):
+        unit = SfuDatapath(FaultPlane(), 0)
+        got = bits_to_float(unit.compute(Opcode.RCP, float_to_bits(x)))
+        assert got == pytest.approx(1.0 / np.float32(x), rel=1e-5)
+
+    def test_rcp_negative(self):
+        unit = SfuDatapath(FaultPlane(), 0)
+        got = bits_to_float(unit.compute(Opcode.RCP, float_to_bits(-4.0)))
+        assert got == pytest.approx(-0.25, rel=1e-6)
+
+    def test_rcp_specials(self):
+        unit = SfuDatapath(FaultPlane(), 0)
+        assert bits_to_float(
+            unit.compute(Opcode.RCP, float_to_bits(0.0))) == math.inf
+        assert bits_to_float(
+            unit.compute(Opcode.RCP, float_to_bits(-0.0))) == -math.inf
+        assert bits_to_float(
+            unit.compute(Opcode.RCP, 0x7F800000)) == 0.0
+        assert math.isnan(bits_to_float(
+            unit.compute(Opcode.RCP, 0x7FC00000)))
+
+
+class TestSmExecution:
+    def test_extended_ops_in_program(self):
+        b = ProgramBuilder("ext")
+        b.mov(1, b.imm(0b1100))
+        b.shl(2, 1, b.imm(2))            # 0b110000
+        b.shr(3, 2, b.imm(4))            # 0b11
+        b.lop_xor(4, 2, 3)               # 0b110011
+        b.lop_and(5, 4, b.imm(0xF0))     # 0b110000
+        b.lop_or(6, 5, b.imm(1))         # 0b110001
+        b.gst(0, 6, offset=0x300)
+        b.exit()
+        sm = StreamingMultiprocessor()
+        result = sm.launch(b.build(), 4)
+        assert result.memory.read_words(0x300, 4) == [0b110001] * 4
+
+    def test_conversions_roundtrip(self):
+        b = ProgramBuilder("conv")
+        b.i2f(2, 0)          # float(tid)
+        b.rcp(3, 2)          # 1/tid (inf for tid 0)
+        b.f2i(4, 2)          # back to int
+        b.gst(0, 4, offset=0x300)
+        b.exit()
+        sm = StreamingMultiprocessor()
+        result = sm.launch(b.build(), 8)
+        assert result.memory.read_words(0x300, 8) == list(range(8))
+
+    def test_rcp_through_sfu_controller(self):
+        b = ProgramBuilder("rcp")
+        b.gld(2, 0, offset=0x100)
+        b.rcp(3, 2)
+        b.gst(0, 3, offset=0x300)
+        b.exit()
+        sm = StreamingMultiprocessor()
+        values = [1.0, 2.0, 4.0, 8.0]
+        image = {0x100: [float_to_bits(v) for v in values]}
+        result = sm.launch(b.build(), 4, memory_image=image)
+        out = result.memory.read_floats(0x300, 4)
+        assert out == pytest.approx([1.0, 0.5, 0.25, 0.125], rel=1e-5)
+
+    def test_assembler_supports_extended_mnemonics(self):
+        program = assemble(
+            "SHL R2, R0, 3\nLOP.AND R3, R2, 0xFF\nRCP R4, R3\n"
+            "I2F R5, R0\nF2I R6, R5\nEXIT")
+        assert program[0].opcode is Opcode.SHL
+        assert program[1].opcode is Opcode.LOP_AND
+        assert program[2].opcode is Opcode.RCP
+
+    def test_extended_roundtrip_disassembly(self):
+        from repro.gpu.asm import disassemble
+
+        program = assemble(
+            "SHR R2, R0, 4\nLOP.XOR R3, R2, R0\nRCP R4, R3\nEXIT")
+        again = assemble(disassemble(program))
+        assert again.instructions == program.instructions
+
+
+class TestOpsLayerExtensions:
+    def test_profiled_but_not_injectable(self):
+        from repro.swfi.ops import SassOps
+
+        ops = SassOps()
+        ops.rcp(np.ones(5, np.float32))
+        ops.shl(np.ones(3, np.int32), 2)
+        assert ops.counts[Opcode.RCP] == 5
+        assert ops.counts[Opcode.SHL] == 3
+        assert ops.injectable_total == 0  # extended ops are not targets
+
+    def test_semantics(self):
+        from repro.swfi.ops import SassOps
+
+        ops = SassOps()
+        assert ops.rcp(np.float32(4.0)) == pytest.approx(0.25)
+        assert ops.shl(np.int32(3), np.int32(2)) == 12
+        assert ops.shr(np.int32(-1), np.int32(28)) == 15
+        assert ops.lop_xor(np.int32(0b101), np.int32(0b110)) == 0b011
+        assert ops.f2i(np.float32(7.9)) == 7
+        assert ops.i2f(np.int32(-3)) == -3.0
+
+    def test_extended_ops_count_as_others_in_profile(self):
+        from repro.swfi.ops import SassOps
+        from repro.swfi.profiler import InstructionProfile
+
+        ops = SassOps()
+        ops.fadd(np.ones(60, np.float32), 1.0)
+        ops.rcp(np.ones(40, np.float32))
+        profile = InstructionProfile("x", ops.profile(), ops.other_count)
+        fractions = profile.group_fractions()
+        assert fractions["Others"] == pytest.approx(0.4)
+        assert profile.characterized_coverage == pytest.approx(0.6)

@@ -1,0 +1,136 @@
+"""Fault-plane tests: inventory, arming, latching-window semantics."""
+
+import pytest
+
+from repro.gpu.fault_plane import (
+    FaultPlane,
+    FlipFlop,
+    ModuleName,
+    TransientFault,
+)
+
+
+@pytest.fixture
+def plane():
+    plane = FaultPlane()
+    plane.declare(FlipFlop("fp32", "reg_a", 8, 0, "data"))
+    plane.declare(FlipFlop("fp32", "reg_a", 8, 1, "data"))
+    plane.declare(FlipFlop("fp32", "ctrl", 4, -1, "control"))
+    plane.declare(FlipFlop("int", "reg_b", 16, 0, "data"))
+    return plane
+
+
+class TestInventory:
+    def test_module_sizes(self, plane):
+        assert plane.module_size("fp32") == 20
+        assert plane.module_size("int") == 16
+        assert plane.module_sizes() == {"fp32": 20, "int": 16}
+
+    def test_flipflops_filtered(self, plane):
+        assert len(plane.flipflops("fp32")) == 3
+        assert len(plane.flipflops()) == 4
+
+    def test_idempotent_declaration(self, plane):
+        ff = FlipFlop("fp32", "reg_a", 8, 0, "data")
+        assert plane.declare(ff) == ff
+
+    def test_conflicting_declaration_rejected(self, plane):
+        with pytest.raises(ValueError):
+            plane.declare(FlipFlop("fp32", "reg_a", 9, 0, "data"))
+
+    def test_module_names(self):
+        assert len(ModuleName.ALL) == 6
+
+
+class TestArming:
+    def test_unknown_flipflop_rejected(self, plane):
+        ghost = FlipFlop("fp32", "ghost", 8, 0, "data")
+        with pytest.raises(KeyError):
+            plane.arm(TransientFault(ghost, 0, 0))
+
+    def test_double_arm_rejected(self, plane):
+        ff = plane.flipflops("fp32")[0]
+        plane.arm(TransientFault(ff, 0, 0))
+        with pytest.raises(RuntimeError):
+            plane.arm(TransientFault(ff, 1, 0))
+
+    def test_bit_out_of_range_rejected(self, plane):
+        ff = plane.flipflops("int")[0]
+        with pytest.raises(ValueError):
+            TransientFault(ff, 16, 0)
+
+    def test_disarm_returns_fault(self, plane):
+        ff = plane.flipflops("fp32")[0]
+        fault = TransientFault(ff, 0, 0)
+        plane.arm(fault)
+        assert plane.disarm() is fault
+        assert plane.disarm() is None
+
+
+class TestLatchSemantics:
+    def _ctrl_fault(self, plane, bit=0, cycle=0, window=1):
+        ff = FlipFlop("fp32", "ctrl", 4, -1, "control")
+        fault = TransientFault(ff, bit, cycle, window=window)
+        plane.arm(fault)
+        return fault
+
+    def test_fires_within_window(self, plane):
+        fault = self._ctrl_fault(plane, bit=1, cycle=2, window=1)
+        plane.tick(2)  # cycle = 2
+        assert plane.latch("fp32", "ctrl", 0b0000, -1) == 0b0010
+        assert fault.fired_cycle == 2
+
+    def test_fires_at_window_edge(self, plane):
+        fault = self._ctrl_fault(plane, cycle=2, window=1)
+        plane.tick(3)  # cycle = 3 == cycle + window
+        assert plane.latch("fp32", "ctrl", 0, -1) == 1
+        assert fault.fired
+
+    def test_no_fire_before_injection_cycle(self, plane):
+        fault = self._ctrl_fault(plane, cycle=5)
+        assert plane.latch("fp32", "ctrl", 0, -1) == 0
+        assert not fault.fired
+
+    def test_decays_after_window(self, plane):
+        fault = self._ctrl_fault(plane, cycle=0, window=1)
+        plane.tick(3)
+        assert plane.latch("fp32", "ctrl", 0, -1) == 0
+        assert fault.expired and not fault.fired
+        assert plane.fault_decayed
+
+    def test_tick_expires_unlatched_fault(self, plane):
+        fault = self._ctrl_fault(plane, cycle=0, window=1)
+        plane.tick(2)
+        assert fault.expired
+        assert plane.fault_decayed
+
+    def test_fires_exactly_once(self, plane):
+        self._ctrl_fault(plane, cycle=0, window=5)
+        first = plane.latch("fp32", "ctrl", 0, -1)
+        second = plane.latch("fp32", "ctrl", 0, -1)
+        assert first == 1 and second == 0
+
+    def test_wrong_register_untouched(self, plane):
+        fault = self._ctrl_fault(plane, cycle=0, window=5)
+        assert plane.latch("int", "reg_b", 0, 0) == 0
+        assert plane.latch("fp32", "reg_a", 0, 0) == 0  # wrong lane/name
+        assert not fault.fired
+
+    def test_lane_must_match(self, plane):
+        ff = FlipFlop("fp32", "reg_a", 8, 1, "data")
+        plane.arm(TransientFault(ff, 0, 0, window=5))
+        assert plane.latch("fp32", "reg_a", 0, 0) == 0  # lane 0, not 1
+        assert plane.latch("fp32", "reg_a", 0, 1) == 1  # lane 1 fires
+
+    def test_pending_predicates(self, plane):
+        fault = self._ctrl_fault(plane, cycle=0, window=5)
+        assert plane.injection_pending
+        assert plane.pending_for("fp32")
+        assert not plane.pending_for("int")
+        plane.latch("fp32", "ctrl", 0, -1)
+        assert not plane.injection_pending
+
+    def test_reset_time(self, plane):
+        plane.tick(10)
+        plane.reset_time()
+        assert plane.cycle == 0

@@ -1,0 +1,216 @@
+"""FP32 functional-unit tests: fault-free bit-exactness and fault behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.bits import bits_to_float, float_to_bits
+from repro.gpu.fault_plane import FaultPlane, FlipFlop, TransientFault
+from repro.gpu.fp32 import FP32Unit
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return FP32Unit(FaultPlane())
+
+
+def _normal_or_zero(value: float) -> bool:
+    """The unit flushes denormals (FTZ); restrict checks accordingly."""
+    return math.isfinite(value) and (value == 0.0 or abs(value) >= 2**-126)
+
+
+finite_floats = st.floats(width=32, allow_nan=False, allow_infinity=False)
+
+
+class TestFaddExactness:
+    @given(finite_floats, finite_floats)
+    @settings(max_examples=400)
+    def test_matches_numpy_float32(self, a, b):
+        unit = FP32Unit(FaultPlane())
+        if not (_normal_or_zero(a) and _normal_or_zero(b)):
+            return
+        with np.errstate(over="ignore", under="ignore"):
+            expected = float(np.float32(a) + np.float32(b))
+        if not _normal_or_zero(expected):
+            return
+        got = bits_to_float(unit.fadd(float_to_bits(a), float_to_bits(b), 0))
+        assert float_to_bits(got) == float_to_bits(expected)
+
+    def test_subtract_with_sticky_rounding(self, unit):
+        # exp_diff >= 3 with nonzero shifted-out bits: the sticky-borrow path
+        a = bits_to_float(0x40000001)  # slightly above 2
+        b = bits_to_float(0xBB800001)  # approx -0.0039...
+        expected = float(np.float32(a) + np.float32(b))
+        got = bits_to_float(unit.fadd(float_to_bits(a), float_to_bits(b), 0))
+        assert got == expected
+
+    def test_full_cancellation_gives_positive_zero(self, unit):
+        got = unit.fadd(float_to_bits(1.5), float_to_bits(-1.5), 0)
+        assert got == 0x00000000
+
+    def test_negative_zero_sum(self, unit):
+        got = unit.fadd(float_to_bits(-0.0), float_to_bits(-0.0), 0)
+        assert got == 0x80000000
+
+    def test_overflow_to_infinity(self, unit):
+        big = float_to_bits(3e38)
+        assert unit.fadd(big, big, 0) == 0x7F800000
+
+    def test_underflow_flushes_to_zero(self, unit):
+        tiny = float_to_bits(2**-126)
+        neg = float_to_bits(-(2**-126) * 1.5)
+        result = bits_to_float(unit.fadd(tiny, neg, 0))
+        assert result == 0.0  # true result is denormal; G80 flushes
+
+
+class TestFmulExactness:
+    @given(finite_floats, finite_floats)
+    @settings(max_examples=400)
+    def test_matches_numpy_float32(self, a, b):
+        unit = FP32Unit(FaultPlane())
+        if not (_normal_or_zero(a) and _normal_or_zero(b)):
+            return
+        with np.errstate(over="ignore", under="ignore"):
+            expected = float(np.float32(a) * np.float32(b))
+        if not _normal_or_zero(expected):
+            return
+        got = bits_to_float(unit.fmul(float_to_bits(a), float_to_bits(b), 0))
+        assert float_to_bits(got) == float_to_bits(expected)
+
+    def test_sign_of_zero_product(self, unit):
+        got = unit.fmul(float_to_bits(-1.0), float_to_bits(0.0), 0)
+        assert got == 0x80000000
+
+    def test_overflow(self, unit):
+        big = float_to_bits(2e38)
+        assert unit.fmul(big, big, 0) == 0x7F800000
+
+
+class TestFfma:
+    @given(finite_floats, finite_floats, finite_floats)
+    @settings(max_examples=400)
+    def test_single_rounding_vs_float64_reference(self, a, b, c):
+        unit = FP32Unit(FaultPlane())
+        if not all(_normal_or_zero(v) for v in (a, b, c)):
+            return
+        exact = (np.float64(np.float32(a)) * np.float64(np.float32(b))
+                 + np.float64(np.float32(c)))
+        with np.errstate(over="ignore", under="ignore"):
+            expected = float(np.float32(exact))
+        if not _normal_or_zero(expected) or expected == 0.0:
+            return
+        got = bits_to_float(unit.ffma(
+            float_to_bits(a), float_to_bits(b), float_to_bits(c), 0))
+        # the float64 reference can double-round; allow 1 ulp
+        assert abs(int(float_to_bits(got)) - int(float_to_bits(expected))) <= 1
+
+    def test_fused_beats_separate_rounding(self, unit):
+        # choose values where mul-then-add loses the low product bits
+        a, b = 1.0 + 2**-12, 1.0 + 2**-12
+        c = -1.0
+        fused = bits_to_float(unit.ffma(
+            float_to_bits(a), float_to_bits(b), float_to_bits(c), 0))
+        exact = (np.float64(np.float32(a)) * np.float64(np.float32(b))
+                 + np.float64(np.float32(c)))
+        assert fused == pytest.approx(float(exact), rel=1e-6)
+
+    def test_zero_addend_equals_fmul(self, unit):
+        a, b = float_to_bits(1.7), float_to_bits(-2.3)
+        assert unit.ffma(a, b, 0, 0) == unit.fmul(a, b, 0)
+
+
+class TestSpecialValues:
+    def test_nan_propagates(self, unit):
+        nan = 0x7FC00000
+        one = float_to_bits(1.0)
+        assert math.isnan(bits_to_float(unit.fadd(nan, one, 0)))
+        assert math.isnan(bits_to_float(unit.fmul(nan, one, 0)))
+        assert math.isnan(bits_to_float(unit.ffma(nan, one, one, 0)))
+
+    def test_inf_minus_inf_is_nan(self, unit):
+        inf = 0x7F800000
+        ninf = 0xFF800000
+        assert math.isnan(bits_to_float(unit.fadd(inf, ninf, 0)))
+
+    def test_inf_times_zero_is_nan(self, unit):
+        assert math.isnan(bits_to_float(unit.fmul(0x7F800000, 0, 0)))
+
+    def test_inf_arithmetic(self, unit):
+        inf = 0x7F800000
+        one = float_to_bits(1.0)
+        assert unit.fadd(inf, one, 0) == inf
+        assert unit.fmul(inf, one, 0) == inf
+
+    def test_denormal_inputs_flushed(self, unit):
+        denormal = 0x00000001  # smallest positive denormal
+        one = float_to_bits(1.0)
+        assert bits_to_float(unit.fadd(denormal, one, 0)) == 1.0
+
+
+class TestFaultInjection:
+    def _run_with_fault(self, register, bit, a=1.5, b=2.5):
+        plane = FaultPlane()
+        unit = FP32Unit(plane)
+        ff = FlipFlop("fp32", register, _width(unit, register), 0, "data")
+        plane.arm(TransientFault(ff, bit, cycle=0, window=10))
+        result = unit.fadd(float_to_bits(a), float_to_bits(b), 0)
+        return bits_to_float(result), plane.disarm()
+
+    def test_sign_bit_fault_flips_operand_sign(self):
+        got, fault = self._run_with_fault("unpack.a_sign", 0)
+        assert fault.fired
+        assert got == pytest.approx(2.5 - 1.5)
+
+    def test_exponent_fault_scales_by_power_of_two(self):
+        got, fault = self._run_with_fault("unpack.a_exp", 0, a=2.0, b=0.0)
+        assert fault.fired
+        # flipping exp bit 0 of 2.0 (exp=128) gives exp=129 -> 4.0
+        assert got == pytest.approx(4.0)
+
+    def test_mantissa_low_bit_fault_is_small(self):
+        # bit 2 of 1.5's mantissa is one ulp of the 4.0 result: visible
+        # but tiny (lower bits would be rounded away entirely)
+        got, fault = self._run_with_fault("unpack.a_mant", 2)
+        assert fault.fired
+        assert abs(got - 4.0) < 1e-5 and got != 4.0
+
+    def test_mantissa_quarter_ulp_fault_rounds_away(self):
+        got, fault = self._run_with_fault("unpack.a_mant", 0)
+        assert fault.fired
+        assert got == 4.0  # masked by rounding: the paper's FU masking
+
+    def test_fault_on_other_lane_does_not_fire(self):
+        plane = FaultPlane()
+        unit = FP32Unit(plane)
+        ff = FlipFlop("fp32", "unpack.a_sign", 1, 3, "data")
+        plane.arm(TransientFault(ff, 0, cycle=0, window=10))
+        result = unit.fadd(float_to_bits(1.5), float_to_bits(2.5), 0)
+        assert bits_to_float(result) == 4.0
+        assert not plane.disarm().fired
+
+    def test_fault_run_never_crashes(self):
+        # corrupted intermediates must degrade into values, not exceptions
+        plane = FaultPlane()
+        unit = FP32Unit(plane)
+        rng = np.random.default_rng(0)
+        flipflops = plane.flipflops("fp32")
+        for _ in range(200):
+            ff = flipflops[rng.integers(len(flipflops))]
+            if ff.lane != 0:
+                continue
+            fault = TransientFault(ff, int(rng.integers(ff.width)),
+                                   cycle=0, window=100)
+            plane.arm(fault)
+            unit.ffma(float_to_bits(1.5), float_to_bits(-0.75),
+                      float_to_bits(12.0), 0)
+            plane.disarm()
+
+
+def _width(unit, register):
+    for name, width, _ in unit._REGISTERS:
+        if name == register:
+            return width
+    raise KeyError(register)

@@ -1,0 +1,86 @@
+"""Integer functional-unit tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.bits import bits_to_int, int_to_bits
+from repro.gpu.fault_plane import FaultPlane, FlipFlop, TransientFault
+from repro.gpu.intu import IntUnit
+
+int32s = st.integers(min_value=-2**31, max_value=2**31 - 1)
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return IntUnit(FaultPlane())
+
+
+class TestSemantics:
+    @given(int32s, int32s)
+    @settings(max_examples=300)
+    def test_iadd_wraps_like_int32(self, a, b):
+        unit = IntUnit(FaultPlane())
+        got = unit.iadd(int_to_bits(a), int_to_bits(b), 0)
+        expected = np.int32(np.int64(a) + np.int64(b))
+        assert bits_to_int(got) == int(expected)
+
+    @given(int32s, int32s)
+    @settings(max_examples=300)
+    def test_imul_low_32_bits(self, a, b):
+        unit = IntUnit(FaultPlane())
+        got = unit.imul(int_to_bits(a), int_to_bits(b), 0)
+        expected = (a * b) & 0xFFFFFFFF
+        assert got == expected
+
+    @given(int32s, int32s, int32s)
+    @settings(max_examples=300)
+    def test_imad(self, a, b, c):
+        unit = IntUnit(FaultPlane())
+        got = unit.imad(int_to_bits(a), int_to_bits(b), int_to_bits(c), 0)
+        expected = (a * b + c) & 0xFFFFFFFF
+        assert got == expected
+
+    def test_examples(self, unit):
+        assert bits_to_int(unit.iadd(int_to_bits(-5), int_to_bits(3), 0)) == -2
+        assert bits_to_int(unit.imul(int_to_bits(-4), int_to_bits(7), 0)) == -28
+        assert bits_to_int(
+            unit.imad(int_to_bits(3), int_to_bits(4), int_to_bits(5), 0)) == 17
+
+
+class TestFaultInjection:
+    def test_carry_fault_shifts_high_half(self):
+        plane = FaultPlane()
+        unit = IntUnit(plane)
+        ff = FlipFlop("int", "add.carry", 1, 0, "data")
+        plane.arm(TransientFault(ff, 0, cycle=0, window=10))
+        got = unit.iadd(int_to_bits(1), int_to_bits(2), 0)
+        assert bits_to_int(got) == 3 + (1 << 16)
+
+    def test_sum_lo_bit_fault(self):
+        plane = FaultPlane()
+        unit = IntUnit(plane)
+        ff = FlipFlop("int", "add.sum_lo", 16, 0, "data")
+        plane.arm(TransientFault(ff, 3, cycle=0, window=10))
+        got = unit.iadd(int_to_bits(0), int_to_bits(0), 0)
+        assert got == 8
+
+    def test_partial_product_fault_changes_product(self):
+        plane = FaultPlane()
+        unit = IntUnit(plane)
+        ff = FlipFlop("int", "mul.pp1", 48, 0, "data")
+        plane.arm(TransientFault(ff, 0, cycle=0, window=10))
+        got = unit.imul(int_to_bits(3), int_to_bits(5), 0)
+        assert got == ((15 + (1 << 16)) & 0xFFFFFFFF)
+
+    def test_unused_register_fault_is_masked(self):
+        # pp registers never latch during IADD, so the transient decays
+        plane = FaultPlane()
+        unit = IntUnit(plane)
+        ff = FlipFlop("int", "mul.pp0", 48, 0, "data")
+        fault = TransientFault(ff, 5, cycle=0, window=10)
+        plane.arm(fault)
+        got = unit.iadd(int_to_bits(7), int_to_bits(8), 0)
+        assert bits_to_int(got) == 15
+        assert not plane.disarm().fired

@@ -1,0 +1,97 @@
+"""ISA definition tests."""
+
+import pytest
+
+from repro.gpu.isa import (
+    CHARACTERIZED_OPCODES,
+    CompareOp,
+    Immediate,
+    Instruction,
+    Opcode,
+    OPCODE_DECODING,
+    OPCODE_ENCODING,
+    Predicate,
+    Register,
+)
+
+
+class TestOperands:
+    def test_register(self):
+        reg = Register(5)
+        assert reg.value == 5
+
+    def test_register_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Register(-1)
+
+    def test_predicate_range(self):
+        Predicate(0)
+        Predicate(7)
+        with pytest.raises(ValueError):
+            Predicate(8)
+
+    def test_immediate_wraps_to_u32(self):
+        assert Immediate(-1).value == 0xFFFFFFFF
+
+
+class TestInstructionValidation:
+    def test_characterized_opcode_count(self):
+        # the paper characterises exactly 12 opcodes
+        assert len(CHARACTERIZED_OPCODES) == 12
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.FADD, Register(0), (Register(1),))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.FFMA, Register(0), (Register(1), Register(2)))
+
+    def test_bra_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BRA)
+        Instruction(Opcode.BRA, target="loop")
+
+    def test_iset_requires_compare(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ISET, Register(0),
+                        (Register(1), Register(2)))
+        Instruction(Opcode.ISET, Register(0), (Register(1), Register(2)),
+                    compare=CompareOp.LT)
+
+    def test_destination_required_for_arithmetic(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.FADD, None, (Register(1), Register(2)))
+
+    def test_gst_needs_no_destination(self):
+        inst = Instruction(Opcode.GST, None, (Register(1), Register(2)))
+        assert inst.dest is None
+
+    def test_memory_offset(self):
+        inst = Instruction(Opcode.GLD, Register(2), (Register(0),),
+                           offset=0x100)
+        assert inst.is_memory and inst.offset == 0x100
+
+
+class TestUnitRouting:
+    def test_fp32_unit_opcodes(self):
+        assert Instruction(
+            Opcode.FADD, Register(0),
+            (Register(1), Register(2))).uses_fp32_unit
+
+    def test_int_unit_opcodes(self):
+        assert Instruction(
+            Opcode.IMUL, Register(0),
+            (Register(1), Register(2))).uses_int_unit
+
+    def test_sfu_opcodes(self):
+        assert Instruction(Opcode.FSIN, Register(0), (Register(1),)).uses_sfu
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        for opcode in Opcode:
+            assert OPCODE_DECODING[OPCODE_ENCODING[opcode]] is opcode
+
+    def test_encodings_are_dense_and_unique(self):
+        codes = set(OPCODE_ENCODING.values())
+        assert len(codes) == len(Opcode)
+        assert max(codes) < 256  # fits the 8-bit pipeline opcode register

@@ -1,0 +1,79 @@
+"""Global-memory and register-file tests."""
+
+import pytest
+
+from repro.errors import MemoryFaultError, RegisterFaultError
+from repro.gpu.memory import GlobalMemory, RegisterFile
+
+
+class TestGlobalMemory:
+    def test_store_load(self):
+        mem = GlobalMemory(64)
+        mem.store(10, 0xDEADBEEF)
+        assert mem.load(10) == 0xDEADBEEF
+
+    def test_values_masked_to_u32(self):
+        mem = GlobalMemory(8)
+        mem.store(0, 2**40 + 5)
+        assert mem.load(0) == 5
+
+    def test_bounds_checked(self):
+        mem = GlobalMemory(8)
+        with pytest.raises(MemoryFaultError):
+            mem.load(8)
+        with pytest.raises(MemoryFaultError):
+            mem.store(-1, 0)
+
+    def test_float_roundtrip(self):
+        mem = GlobalMemory(8)
+        mem.store_float(3, 1.25)
+        assert mem.load_float(3) == 1.25
+
+    def test_bulk_helpers(self):
+        mem = GlobalMemory(32)
+        mem.write_words(4, [1, 2, 3])
+        assert mem.read_words(4, 3) == [1, 2, 3]
+        mem.write_floats(10, [0.5, -2.0])
+        assert mem.read_floats(10, 2) == [0.5, -2.0]
+
+    def test_snapshot_is_copy(self):
+        mem = GlobalMemory(4)
+        snap = mem.snapshot()
+        mem.store(0, 99)
+        assert snap[0] == 0
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalMemory(0)
+
+
+class TestRegisterFile:
+    def test_read_write(self):
+        regs = RegisterFile(4, 16)
+        regs.write(2, 5, 0xABCD)
+        assert regs.read(2, 5) == 0xABCD
+
+    def test_register_bounds(self):
+        regs = RegisterFile(4, 16)
+        with pytest.raises(RegisterFaultError):
+            regs.read(0, 16)
+        with pytest.raises(RegisterFaultError):
+            regs.write(0, 99, 0)
+
+    def test_thread_bounds(self):
+        regs = RegisterFile(4, 16)
+        with pytest.raises(RegisterFaultError):
+            regs.read(4, 0)
+
+    def test_predicates(self):
+        regs = RegisterFile(2)
+        assert not regs.read_predicate(0, 0)
+        regs.write_predicate(0, 0, True)
+        assert regs.read_predicate(0, 0)
+        with pytest.raises(RegisterFaultError):
+            regs.read_predicate(0, 8)
+
+    def test_values_masked_to_u32(self):
+        regs = RegisterFile(1)
+        regs.write(0, 0, -1)
+        assert regs.read(0, 0) == 0xFFFFFFFF

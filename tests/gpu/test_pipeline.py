@@ -1,0 +1,130 @@
+"""Pipeline-register tests."""
+
+import pytest
+
+from repro.errors import IllegalInstructionError
+from repro.gpu.fault_plane import FaultPlane, FlipFlop, TransientFault
+from repro.gpu.isa import CompareOp, Instruction, Opcode, Register
+from repro.gpu.pipeline import PipelineRegisters
+
+
+def _fadd():
+    return Instruction(Opcode.FADD, Register(5), (Register(1), Register(2)))
+
+
+@pytest.fixture
+def pipeline():
+    return PipelineRegisters(FaultPlane())
+
+
+class TestDecode:
+    def test_roundtrip_fields(self, pipeline):
+        ctrl = pipeline.latch_decode(_fadd(), warp_id=1, pc=7,
+                                     branch_target=0, warp_mask=0xFFFF)
+        assert ctrl.opcode is Opcode.FADD
+        assert ctrl.dest == 5
+        assert ctrl.write_enable
+        assert ctrl.src_sel[:2] == (1, 2)
+        assert ctrl.src_sel[2] == 0xFF
+        assert ctrl.warp_id == 1 and ctrl.pc == 7
+        assert ctrl.warp_mask == 0xFFFF
+
+    def test_memory_offset_rides_imm(self, pipeline):
+        inst = Instruction(Opcode.GLD, Register(2), (Register(0),),
+                           offset=0x180)
+        ctrl = pipeline.latch_decode(inst, 0, 0, 0, 0xFF)
+        assert ctrl.imm == 0x180
+
+    def test_iset_compare(self, pipeline):
+        inst = Instruction(Opcode.ISET, Register(4),
+                           (Register(1), Register(2)),
+                           compare=CompareOp.GE)
+        ctrl = pipeline.latch_decode(inst, 0, 0, 0, 0xFF)
+        assert ctrl.compare is CompareOp.GE
+
+    def test_gst_has_no_write_enable(self, pipeline):
+        inst = Instruction(Opcode.GST, None, (Register(1), Register(2)))
+        ctrl = pipeline.latch_decode(inst, 0, 0, 0, 0xFF)
+        assert not ctrl.write_enable
+
+
+class TestStructure:
+    def test_control_fraction_near_paper(self, pipeline):
+        """The paper reports ~16% of pipeline flip-flops are control."""
+        plane = pipeline.plane
+        total = plane.module_size("pipeline")
+        control = sum(ff.width for ff in plane.flipflops("pipeline")
+                      if ff.kind == "control")
+        assert 0.10 <= control / total <= 0.22
+
+    def test_slot_registers_cover_the_warp(self, pipeline):
+        slots = {ff.lane for ff in pipeline.plane.flipflops("pipeline")
+                 if ff.name == "de.src_a"}
+        assert slots == set(range(32))
+
+
+class TestFaults:
+    def test_opcode_fault_can_be_illegal(self):
+        plane = FaultPlane()
+        pipeline = PipelineRegisters(plane)
+        ff = FlipFlop("pipeline", "de.opcode", 8, -1, "control")
+        plane.arm(TransientFault(ff, 7, cycle=0, window=5))
+        with pytest.raises(IllegalInstructionError):
+            pipeline.latch_decode(_fadd(), 0, 0, 0, 0xFF)
+
+    def test_opcode_fault_can_morph_instruction(self):
+        plane = FaultPlane()
+        pipeline = PipelineRegisters(plane)
+        ff = FlipFlop("pipeline", "de.opcode", 8, -1, "control")
+        plane.arm(TransientFault(ff, 0, cycle=0, window=5))
+        ctrl = pipeline.latch_decode(_fadd(), 0, 0, 0, 0xFF)
+        assert ctrl.opcode is not Opcode.FADD  # neighbouring encoding
+
+    def test_dest_fault_redirects_writeback(self):
+        plane = FaultPlane()
+        pipeline = PipelineRegisters(plane)
+        ff = FlipFlop("pipeline", "wb.dest", 8, -1, "control")
+        plane.arm(TransientFault(ff, 1, cycle=0, window=5))
+        _, dest, _, _, _ = pipeline.latch_writeback(
+            list(range(8)), [0] * 8, dest=5, wen=True, group_mask=0xFF,
+            warp_mask=(1 << 32) - 1, warp_id=0, pc=0)
+        assert dest == 7
+
+    def test_wen_fault_kills_group_write(self):
+        plane = FaultPlane()
+        pipeline = PipelineRegisters(plane)
+        ff = FlipFlop("pipeline", "wb.wen", 1, -1, "control")
+        plane.arm(TransientFault(ff, 0, cycle=0, window=5))
+        _, _, wen, _, _ = pipeline.latch_writeback(
+            list(range(8)), [0] * 8, dest=5, wen=True, group_mask=0xFF,
+            warp_mask=(1 << 32) - 1, warp_id=0, pc=0)
+        assert not wen
+
+    def test_beat_selector_fault_redirects_reads(self):
+        plane = FaultPlane()
+        pipeline = PipelineRegisters(plane)
+        ctrl = pipeline.latch_decode(_fadd(), 0, 0, 0, 0xFF)
+        ff = FlipFlop("pipeline", "de.src_a_sel", 8, -1, "control")
+        plane.arm(TransientFault(ff, 1, cycle=0, window=5))
+        sel_a, sel_b, _ = pipeline.latch_beat_selectors(ctrl)
+        assert sel_a == 3  # 1 ^ (1 << 1)
+        assert sel_b == 2
+
+    def test_shadow_bank_fault_decays(self):
+        plane = FaultPlane()
+        pipeline = PipelineRegisters(plane)
+        ff = FlipFlop("pipeline", "s1.de.opcode", 8, -1, "control")
+        fault = TransientFault(ff, 0, cycle=0, window=2)
+        plane.arm(fault)
+        ctrl = pipeline.latch_decode(_fadd(), 0, 0, 0, 0xFF)
+        assert ctrl.opcode is Opcode.FADD  # shadow flip changed nothing
+        assert fault.fired  # it did land, on the shadow copy
+
+    def test_bubble_latch_consumes_pending_fault(self):
+        plane = FaultPlane()
+        pipeline = PipelineRegisters(plane)
+        ff = FlipFlop("pipeline", "de.src_a", 32, 3, "data")
+        fault = TransientFault(ff, 5, cycle=0, window=2)
+        plane.arm(fault)
+        pipeline.latch_bubble()
+        assert fault.fired  # landed in a bubble: discarded (masked)

@@ -1,0 +1,81 @@
+"""Program container / builder tests."""
+
+import pytest
+
+from repro.gpu.isa import CompareOp, Opcode, Predicate
+from repro.gpu.program import ProgramBuilder
+
+
+def _simple_builder():
+    b = ProgramBuilder("demo")
+    b.mov(1, b.imm(7))
+    b.iadd(2, 1, b.imm(1))
+    b.exit()
+    return b
+
+
+class TestBuilder:
+    def test_build_and_index(self):
+        program = _simple_builder().build()
+        assert len(program) == 3
+        assert program[0].opcode is Opcode.MOV
+        assert program[2].opcode is Opcode.EXIT
+
+    def test_program_must_end_with_exit(self):
+        b = ProgramBuilder()
+        b.nop()
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_undefined_branch_target_rejected(self):
+        b = ProgramBuilder()
+        b.bra("nowhere")
+        b.exit()
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("spot")
+        with pytest.raises(ValueError):
+            b.label("spot")
+
+    def test_label_resolution(self):
+        b = ProgramBuilder()
+        b.mov(1, b.imm(0))
+        b.label("loop")
+        b.iadd(1, 1, b.imm(1))
+        b.iset(Predicate(0), 1, b.imm(5), CompareOp.LT)
+        b.bra("loop", predicate=Predicate(0))
+        b.exit()
+        program = b.build()
+        assert program.resolve("loop") == 1
+
+    def test_unknown_label_raises(self):
+        program = _simple_builder().build()
+        with pytest.raises(KeyError):
+            program.resolve("missing")
+
+    def test_opcode_histogram(self):
+        program = _simple_builder().build()
+        histogram = program.opcode_histogram()
+        assert histogram[Opcode.MOV] == 1
+        assert histogram[Opcode.IADD] == 1
+
+    def test_max_register(self):
+        program = _simple_builder().build()
+        assert program.max_register() == 2
+
+    def test_plain_int_means_register(self):
+        b = ProgramBuilder()
+        b.fadd(3, 1, 2)
+        b.exit()
+        program = b.build()
+        from repro.gpu.isa import OperandKind
+
+        assert program[0].srcs[0].kind is OperandKind.REGISTER
+
+    def test_bad_operand_type_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(TypeError):
+            b.fadd(1, "not-an-operand", 2)

@@ -1,0 +1,111 @@
+"""Warp-scheduler tests."""
+
+import pytest
+
+from repro.errors import GpuHardwareError
+from repro.gpu.fault_plane import FaultPlane, FlipFlop, TransientFault
+from repro.gpu.scheduler import WarpScheduler, WarpState
+
+
+@pytest.fixture
+def scheduler():
+    sched = WarpScheduler(FaultPlane(), n_warps=4)
+    sched.reset()
+    return sched
+
+
+class TestLifecycle:
+    def test_reset_initialises_contexts(self, scheduler):
+        assert len(scheduler.contexts) == 4
+        for warp_id, ctx in enumerate(scheduler.contexts):
+            assert ctx.pc == 0
+            assert ctx.state == WarpState.READY
+            assert ctx.active_mask == (1 << 32) - 1
+            assert ctx.thread_base == warp_id * 32
+
+    def test_round_robin_order(self, scheduler):
+        order = [scheduler.select().warp_id for _ in range(8)]
+        assert order == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_retired_warps_skipped(self, scheduler):
+        scheduler.retire(scheduler.context(1))
+        order = [scheduler.select().warp_id for _ in range(6)]
+        assert 1 not in order
+
+    def test_all_exited(self, scheduler):
+        assert not scheduler.all_exited()
+        for ctx in scheduler.contexts:
+            scheduler.retire(ctx)
+        assert scheduler.all_exited()
+        assert scheduler.select() is None
+
+    def test_advance_and_mask(self, scheduler):
+        ctx = scheduler.context(0)
+        scheduler.advance(ctx, 5)
+        assert ctx.pc == 5
+        scheduler.set_mask(ctx, 0xF)
+        assert ctx.active_mask == 0xF
+
+    def test_needs_at_least_one_warp(self):
+        with pytest.raises(ValueError):
+            WarpScheduler(FaultPlane(), n_warps=0)
+
+
+class TestFaults:
+    def _arm(self, plane, name, lane, bit, width, window=3):
+        ff = FlipFlop("scheduler", name, width, lane, "control")
+        plane.arm(TransientFault(ff, bit, cycle=0, window=window))
+
+    def test_mask_fault_disables_thread(self):
+        plane = FaultPlane()
+        sched = WarpScheduler(plane, n_warps=2)
+        sched.reset()
+        self._arm(plane, "warp.active_mask", 0, 5, 32)
+        ctx = sched.select()
+        assert ctx.warp_id == 0
+        assert not ctx.active_mask >> 5 & 1
+
+    def test_state_fault_to_illegal_raises(self):
+        plane = FaultPlane()
+        sched = WarpScheduler(plane, n_warps=2)
+        sched.reset()
+        # burst flipping both FSM bits: READY(0) -> 3, the illegal encoding
+        ff = FlipFlop("scheduler", "warp.state", 2, 0, "control")
+        plane.arm(TransientFault(ff, 0, cycle=0, window=3, n_bits=2))
+        with pytest.raises(GpuHardwareError):
+            sched.select()
+            sched.select()
+
+    def test_state_fault_to_barrier_parks_warp(self):
+        plane = FaultPlane()
+        sched = WarpScheduler(plane, n_warps=2)
+        sched.reset()
+        self._arm(plane, "warp.state", 0, 1, 2)  # READY(0) -> BARRIER(2)
+        first = sched.select()
+        assert first.warp_id == 1  # warp 0 is parked
+        assert sched.context(0).state == WarpState.BARRIER
+
+    def test_state_fault_to_exited_parks_warp(self):
+        plane = FaultPlane()
+        sched = WarpScheduler(plane, n_warps=2)
+        sched.reset()
+        self._arm(plane, "warp.state", 0, 0, 2)  # READY(0) -> EXITED(1)
+        first = sched.select()
+        assert first.warp_id == 1  # warp 0 got corrupted away
+        assert sched.context(0).state == WarpState.EXITED
+
+    def test_thread_base_fault_shifts_warp(self):
+        plane = FaultPlane()
+        sched = WarpScheduler(plane, n_warps=2)
+        sched.reset()
+        self._arm(plane, "warp.thread_base", 0, 4, 8)
+        ctx = sched.select()
+        assert ctx.thread_base == 16
+
+    def test_pc_fault_moves_fetch(self):
+        plane = FaultPlane()
+        sched = WarpScheduler(plane, n_warps=1)
+        sched.reset()
+        self._arm(plane, "warp.pc", 0, 2, 12)
+        ctx = sched.select()
+        assert ctx.pc == 4

@@ -1,0 +1,98 @@
+"""SFU datapath and shared-unit controller tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GpuHangError
+from repro.gpu.bits import bits_to_float, float_to_bits
+from repro.gpu.fault_plane import FaultPlane, FlipFlop, TransientFault
+from repro.gpu.isa import Opcode
+from repro.gpu.sfu import SFU_INPUT_MAX, SfuController, SfuDatapath
+
+
+@pytest.fixture
+def controller():
+    return SfuController(FaultPlane())
+
+
+class TestDatapathAccuracy:
+    @given(st.floats(min_value=0.0, max_value=SFU_INPUT_MAX))
+    @settings(max_examples=200)
+    def test_sin_accuracy(self, x):
+        unit = SfuDatapath(FaultPlane(), 0)
+        got = bits_to_float(unit.compute(Opcode.FSIN, float_to_bits(x)))
+        assert got == pytest.approx(math.sin(x), abs=5e-6)
+
+    @given(st.floats(min_value=0.0, max_value=SFU_INPUT_MAX))
+    @settings(max_examples=200)
+    def test_exp_accuracy(self, x):
+        unit = SfuDatapath(FaultPlane(), 0)
+        got = bits_to_float(unit.compute(Opcode.FEXP, float_to_bits(x)))
+        assert got == pytest.approx(math.exp(x), abs=5e-6)
+
+    def test_sin_is_odd(self):
+        unit = SfuDatapath(FaultPlane(), 0)
+        pos = bits_to_float(unit.compute(Opcode.FSIN, float_to_bits(0.5)))
+        neg = bits_to_float(unit.compute(Opcode.FSIN, float_to_bits(-0.5)))
+        assert neg == pytest.approx(-pos)
+
+    def test_out_of_range_saturates(self):
+        unit = SfuDatapath(FaultPlane(), 0)
+        got = bits_to_float(unit.compute(Opcode.FSIN, float_to_bits(10.0)))
+        assert got == pytest.approx(math.sin(SFU_INPUT_MAX), abs=5e-6)
+
+    def test_rejects_non_sfu_opcode(self):
+        unit = SfuDatapath(FaultPlane(), 0)
+        with pytest.raises(ValueError):
+            unit.compute(Opcode.FADD, 0)
+
+
+class TestController:
+    def test_routes_every_thread(self, controller):
+        inputs = [(tid, float_to_bits(0.1 * tid)) for tid in range(8)]
+        results = controller.execute(Opcode.FSIN, inputs)
+        assert set(results) == set(range(8))
+        for tid, _ in inputs:
+            assert bits_to_float(results[tid]) == pytest.approx(
+                math.sin(0.1 * tid), abs=5e-6)
+
+    def test_empty_request(self, controller):
+        assert controller.execute(Opcode.FEXP, []) == {}
+
+    def test_group_base_fault_misroutes_whole_group(self):
+        plane = FaultPlane()
+        controller = SfuController(plane)
+        ff = FlipFlop("sfu_controller", "ctrl.group_base", 6, -1, "control")
+        plane.arm(TransientFault(ff, 3, cycle=0, window=10))
+        inputs = [(tid, float_to_bits(0.2)) for tid in range(8)]
+        results = controller.execute(Opcode.FSIN, inputs)
+        # base 0 -> 8: every result lands on threads 8..15
+        assert set(results) == set(range(8, 16))
+
+    def test_pending_count_runaway_hangs(self):
+        plane = FaultPlane()
+        controller = SfuController(plane)
+        ff = FlipFlop("sfu_controller", "ctrl.pending_count", 7, -1,
+                      "control")
+        plane.arm(TransientFault(ff, 6, cycle=0, window=10))
+        inputs = [(tid, float_to_bits(0.2)) for tid in range(8)]
+        with pytest.raises(GpuHangError):
+            controller.execute(Opcode.FSIN, inputs)
+
+    def test_dest_lane_fault_corrupts_two_threads(self):
+        plane = FaultPlane()
+        controller = SfuController(plane)
+        ff = FlipFlop("sfu_controller", "ctrl.dest_lane", 6, -1, "control")
+        plane.arm(TransientFault(ff, 0, cycle=0, window=100))
+        inputs = [(tid, float_to_bits(0.3 + 0.01 * tid))
+                  for tid in range(4)]
+        results = controller.execute(Opcode.FSIN, inputs)
+        golden = {tid: math.sin(0.3 + 0.01 * tid) for tid, _ in inputs}
+        wrong = [tid for tid in results
+                 if tid not in golden
+                 or abs(bits_to_float(results[tid]) - golden[tid]) > 1e-5]
+        missing = [tid for tid in golden if tid not in results]
+        assert wrong or missing

@@ -1,0 +1,129 @@
+"""Shared-memory and barrier-synchronisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuHangError, MemoryFaultError
+from repro.gpu import Opcode, StreamingMultiprocessor, assemble
+from repro.gpu.bits import bits_to_float, float_to_bits
+from repro.gpu.fault_plane import FlipFlop, TransientFault
+from repro.gpu.program import ProgramBuilder
+from repro.gpu.scheduler import WarpState
+
+
+def _staging_program():
+    """Each thread stages its value to shared memory; thread reads the
+    value its *neighbour* staged — only correct if the barrier works."""
+    b = ProgramBuilder("stage")
+    b.gld(2, 0, offset=0x100)
+    b.sst(0, 2)                  # shared[tid] = x[tid]
+    b.bar()
+    b.iadd(3, 0, b.imm(1))
+    b.lop_and(3, 3, b.imm(63))   # neighbour index (wrap at 64)
+    b.sld(4, 3)                  # shared[(tid+1) % 64]
+    b.gst(0, 4, offset=0x300)
+    b.exit()
+    return b.build()
+
+
+class TestSharedMemory:
+    def test_cross_warp_exchange_through_barrier(self):
+        sm = StreamingMultiprocessor()
+        values = [float(i) * 0.5 for i in range(64)]
+        image = {0x100: [float_to_bits(v) for v in values]}
+        result = sm.launch(_staging_program(), 64, memory_image=image)
+        out = result.memory.read_floats(0x300, 64)
+        expected = [values[(i + 1) % 64] for i in range(64)]
+        assert out == expected
+
+    def test_shared_memory_reset_between_launches(self):
+        sm = StreamingMultiprocessor()
+        b = ProgramBuilder("peek")
+        b.sld(2, 0)
+        b.gst(0, 2, offset=0x300)
+        b.exit()
+        program = b.build()
+        # first launch writes shared memory via the staging program
+        image = {0x100: [float_to_bits(1.0)] * 64}
+        sm.launch(_staging_program(), 64, memory_image=image)
+        result = sm.launch(program, 8)
+        assert result.memory.read_words(0x300, 8) == [0] * 8
+
+    def test_shared_memory_bounds_are_a_due(self):
+        sm = StreamingMultiprocessor()
+        b = ProgramBuilder("oob")
+        b.sld(2, 0, offset=1 << 20)
+        b.gst(0, 2, offset=0x300)
+        b.exit()
+        with pytest.raises(MemoryFaultError):
+            sm.launch(b.build(), 4)
+
+    def test_barrier_single_warp(self):
+        sm = StreamingMultiprocessor()
+        b = ProgramBuilder("solo")
+        b.sst(0, 0)
+        b.bar()
+        b.sld(2, 0)
+        b.gst(0, 2, offset=0x300)
+        b.exit()
+        result = sm.launch(b.build(), 8)
+        assert result.memory.read_words(0x300, 8) == list(range(8))
+
+    def test_assembler_supports_shared_ops(self):
+        program = assemble(
+            "SST [R0], R0\nBAR\nSLD R2, [R0 + 0x40]\nEXIT")
+        assert program[0].opcode is Opcode.SST
+        assert program[1].opcode is Opcode.BAR
+        assert program[2].offset == 0x40
+
+    def test_disassembly_roundtrip(self):
+        from repro.gpu.asm import disassemble
+
+        program = _staging_program()
+        again = assemble(disassemble(program))
+        assert again.instructions == program.instructions
+
+
+class TestBarrierFaults:
+    def test_barrier_state_corruption_is_recoverable_or_detected(self):
+        """A warp state flipped at the barrier either re-runs (SDC/masked)
+        or hangs the kernel (DUE) — never crashes the framework."""
+        sm = StreamingMultiprocessor()
+        image = {0x100: [float_to_bits(1.0)] * 64}
+        golden = sm.launch(_staging_program(), 64, memory_image=image)
+        from repro.errors import FaultDecayedError
+
+        ff = FlipFlop("scheduler", "warp.state", 2, 0, "control")
+        outcomes = set()
+        for cycle in range(0, golden.cycles, 7):
+            fault = TransientFault(ff, 1, cycle, window=3)
+            try:
+                result = sm.launch(_staging_program(), 64,
+                                   memory_image=image, fault=fault,
+                                   max_cycles=golden.cycles * 10)
+                result.memory.read_words(0x300, 64)
+                outcomes.add("run")
+            except FaultDecayedError:
+                outcomes.add("masked")
+            except GpuHangError:
+                outcomes.add("hang")
+        assert outcomes  # every injection resolved cleanly
+
+
+class TestTmxmSharedVariant:
+    def test_matches_plain_variant(self, injector):
+        from repro.rtl import make_tmxm_bench
+
+        plain = injector.run_golden(make_tmxm_bench("Random", seed=4))
+        shared = injector.run_golden(
+            make_tmxm_bench("Random", seed=4, use_shared_memory=True))
+        assert plain.regions == shared.regions
+
+    def test_shared_variant_uses_barrier(self):
+        from repro.rtl import make_tmxm_bench
+
+        bench = make_tmxm_bench("Random", use_shared_memory=True)
+        histogram = bench.program.opcode_histogram()
+        assert histogram[Opcode.BAR] == 1
+        assert histogram[Opcode.SLD] == 2
+        assert histogram[Opcode.SST] == 2

@@ -1,0 +1,50 @@
+"""Execution-trace facility tests."""
+
+import pytest
+
+from repro.gpu import Opcode, StreamingMultiprocessor
+from repro.gpu.program import ProgramBuilder
+from repro.gpu.sm import TraceEntry
+
+
+def _program():
+    b = ProgramBuilder("t")
+    b.mov(1, b.imm(1))
+    b.iadd(2, 1, 1)
+    b.gst(0, 2, offset=0x300)
+    b.exit()
+    return b.build()
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        sm = StreamingMultiprocessor()
+        result = sm.launch(_program(), 8)
+        assert result.trace is None
+
+    def test_records_every_dispatch(self):
+        sm = StreamingMultiprocessor()
+        result = sm.launch(_program(), 8, trace=True)
+        assert [e.opcode for e in result.trace] == \
+            ["MOV", "IADD", "GST", "EXIT"]
+        assert all(isinstance(e, TraceEntry) for e in result.trace)
+        assert all(e.warp_id == 0 for e in result.trace)
+
+    def test_cycles_monotone(self):
+        sm = StreamingMultiprocessor()
+        result = sm.launch(_program(), 8, trace=True)
+        cycles = [e.cycle for e in result.trace]
+        assert cycles == sorted(cycles)
+
+    def test_multi_warp_interleaving(self):
+        sm = StreamingMultiprocessor()
+        result = sm.launch(_program(), 64, trace=True)
+        warps = {e.warp_id for e in result.trace}
+        assert warps == {0, 1}
+        # round-robin: the first two dispatches are different warps
+        assert result.trace[0].warp_id != result.trace[1].warp_id
+
+    def test_trace_matches_program_counters(self):
+        sm = StreamingMultiprocessor()
+        result = sm.launch(_program(), 8, trace=True)
+        assert [e.pc for e in result.trace] == [0, 1, 2, 3]

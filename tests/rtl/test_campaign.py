@@ -1,0 +1,96 @@
+"""RTL campaign orchestration tests."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.gpu import Opcode
+from repro.gpu.fault_plane import ModuleName
+from repro.rtl import (
+    MODULE_INSTRUCTIONS,
+    make_microbenchmark,
+    modules_for_opcode,
+    run_campaign,
+    run_grid,
+)
+from repro.rtl.classify import Outcome
+
+
+class TestModuleRouting:
+    def test_arithmetic_opcodes_reach_their_unit(self):
+        assert "fp32" in modules_for_opcode(Opcode.FADD)
+        assert "int" in modules_for_opcode(Opcode.IMAD)
+        assert "sfu" in modules_for_opcode(Opcode.FSIN)
+        assert "sfu_controller" in modules_for_opcode(Opcode.FEXP)
+
+    def test_every_opcode_reaches_scheduler_and_pipeline(self):
+        for opcode in MODULE_INSTRUCTIONS[ModuleName.SCHEDULER]:
+            modules = modules_for_opcode(opcode)
+            assert ModuleName.SCHEDULER in modules
+            assert ModuleName.PIPELINE in modules
+
+    def test_fus_idle_for_memory_and_control(self):
+        # the paper does not inject FUs for GLD/GST/BRA/ISET
+        for opcode in (Opcode.GLD, Opcode.GST, Opcode.BRA, Opcode.ISET):
+            modules = modules_for_opcode(opcode)
+            assert ModuleName.FP32 not in modules
+            assert ModuleName.INT not in modules
+            assert ModuleName.SFU not in modules
+
+
+class TestRunCampaign:
+    def test_basic_report(self, injector):
+        bench = make_microbenchmark(Opcode.IADD, "M", seed=1)
+        report = run_campaign(bench, "int", 120, seed=5, injector=injector)
+        assert report.n_injections == 120
+        assert report.instruction == "IADD"
+        assert report.module == "int"
+        assert report.n_masked + report.n_sdc + report.n_due == 120
+
+    def test_idle_module_rejected(self, injector):
+        bench = make_microbenchmark(Opcode.GLD, "M", seed=1)
+        with pytest.raises(CampaignError):
+            run_campaign(bench, "fp32", 10, injector=injector)
+
+    def test_bad_faults_rejected(self, injector):
+        bench = make_microbenchmark(Opcode.FADD, "M", seed=1)
+        with pytest.raises(CampaignError):
+            run_campaign(bench, "fp32", 0, injector=injector)
+        with pytest.raises(CampaignError):
+            run_campaign(bench, "alu9000", 10, injector=injector)
+
+    def test_seed_reproducibility(self, injector):
+        bench = make_microbenchmark(Opcode.FMUL, "M", seed=1)
+        a = run_campaign(bench, "fp32", 80, seed=3, injector=injector)
+        b = run_campaign(bench, "fp32", 80, seed=3, injector=injector)
+        assert [r.outcome for r in a.general] == \
+            [r.outcome for r in b.general]
+
+    def test_fu_faults_never_due(self, small_reports):
+        for report in small_reports:
+            if report.module in ("fp32", "int"):
+                assert report.n_due == 0
+
+    def test_fu_faults_single_thread(self, small_reports):
+        # paper Fig. 4: INT/FP32 functional-unit SDCs corrupt one thread
+        for report in small_reports:
+            if report.module in ("fp32", "int"):
+                assert report.n_sdc_multiple == 0
+
+
+class TestRunGrid:
+    def test_cell_pairing(self, injector):
+        reports = run_grid(
+            opcodes=[Opcode.FADD, Opcode.GLD],
+            input_ranges=["M"],
+            modules=["fp32", "pipeline"],
+            n_faults=30,
+            seed=11,
+            injector=injector,
+        )
+        cells = {(r.instruction, r.module) for r in reports}
+        assert cells == {("FADD", "fp32"), ("FADD", "pipeline"),
+                         ("GLD", "pipeline")}
+
+    def test_unknown_range_rejected(self, injector):
+        with pytest.raises(CampaignError):
+            run_grid(input_ranges=["Q"], n_faults=5, injector=injector)

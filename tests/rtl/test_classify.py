@@ -1,0 +1,71 @@
+"""Run-classification tests."""
+
+import math
+
+import pytest
+
+from repro.gpu.bits import float_to_bits
+from repro.rtl.classify import (
+    CorruptedValue,
+    Outcome,
+    RunClassification,
+    classify_run,
+)
+
+
+class TestClassifyRun:
+    def test_masked(self):
+        result = classify_run([[1, 2, 3]], [[1, 2, 3]], [0x100])
+        assert result.outcome is Outcome.MASKED
+        assert result.n_corrupted_threads == 0
+
+    def test_single_sdc(self):
+        result = classify_run([[1, 2, 3]], [[1, 9, 3]], [0x100])
+        assert result.outcome is Outcome.SDC
+        assert result.n_corrupted_threads == 1
+        assert not result.is_multiple
+        value = result.corrupted[0]
+        assert value.thread == 1
+        assert value.address == 0x101
+        assert value.golden_bits == 2 and value.faulty_bits == 9
+
+    def test_multiple_sdc(self):
+        result = classify_run([[1, 2], [3, 4]], [[9, 2], [3, 8]],
+                              [0x100, 0x200])
+        assert result.is_multiple
+        assert result.n_corrupted_threads == 2
+
+    def test_region_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            classify_run([[1]], [[1], [2]], [0, 4])
+
+    def test_region_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            classify_run([[1, 2]], [[1]], [0])
+
+
+class TestCorruptedValue:
+    def test_flipped_bits(self):
+        value = CorruptedValue(0, 0, golden_bits=0b1010, faulty_bits=0b0011)
+        assert value.flipped_bits == [0, 3]
+        assert value.n_flipped_bits == 2
+
+    def test_relative_error_float(self):
+        value = CorruptedValue(0, 0, float_to_bits(2.0), float_to_bits(3.0))
+        assert value.relative_error_f32() == pytest.approx(0.5)
+
+    def test_relative_error_nan_is_inf(self):
+        value = CorruptedValue(0, 0, float_to_bits(2.0), 0x7FC00000)
+        assert math.isinf(value.relative_error_f32())
+
+    def test_relative_error_int(self):
+        value = CorruptedValue(0, 0, 10, 15)
+        assert value.relative_error_int() == pytest.approx(0.5)
+
+    def test_relative_error_int_zero_golden(self):
+        value = CorruptedValue(0, 0, 0, 7)
+        assert value.relative_error_int() == 7.0
+
+    def test_value_kind_dispatch(self):
+        value = CorruptedValue(0, 0, 10, 20)
+        assert value.relative_error_value("u32") == pytest.approx(1.0)

@@ -1,0 +1,60 @@
+"""Fault-list generation tests."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.gpu.fault_plane import FaultPlane, FlipFlop
+from repro.rtl.faultlist import exhaustive_fault_list, generate_fault_list
+
+
+@pytest.fixture
+def plane():
+    plane = FaultPlane()
+    plane.declare(FlipFlop("fp32", "wide", 30, 0, "data"))
+    plane.declare(FlipFlop("fp32", "narrow", 2, 0, "control"))
+    plane.declare(FlipFlop("int", "other", 8, 0, "data"))
+    return plane
+
+
+class TestGenerate:
+    def test_count_and_targets(self, plane):
+        faults = generate_fault_list(plane, "fp32", 50, total_cycles=100,
+                                     seed=1)
+        assert len(faults) == 50
+        assert all(f.flipflop.module == "fp32" for f in faults)
+        assert all(0 <= f.cycle < 100 for f in faults)
+        assert all(0 <= f.bit < f.flipflop.width for f in faults)
+
+    def test_width_weighted_sampling(self, plane):
+        faults = generate_fault_list(plane, "fp32", 3000, total_cycles=10,
+                                     seed=2)
+        wide = sum(1 for f in faults if f.flipflop.name == "wide")
+        # wide register holds 30/32 of the module's bits
+        assert 0.85 <= wide / len(faults) <= 1.0
+
+    def test_kind_filter(self, plane):
+        faults = generate_fault_list(plane, "fp32", 20, total_cycles=10,
+                                     seed=3, kind="control")
+        assert all(f.flipflop.kind == "control" for f in faults)
+
+    def test_seed_determinism(self, plane):
+        first = generate_fault_list(plane, "int", 10, 50, seed=4)
+        second = generate_fault_list(plane, "int", 10, 50, seed=4)
+        assert [(f.flipflop.key, f.bit, f.cycle) for f in first] == \
+            [(f.flipflop.key, f.bit, f.cycle) for f in second]
+
+    def test_empty_module_rejected(self, plane):
+        with pytest.raises(CampaignError):
+            generate_fault_list(plane, "sfu", 5, 10)
+
+    def test_bad_cycles_rejected(self, plane):
+        with pytest.raises(CampaignError):
+            generate_fault_list(plane, "fp32", 5, 0)
+
+
+class TestExhaustive:
+    def test_covers_every_bit(self, plane):
+        faults = exhaustive_fault_list(plane, "int", cycles=[0, 5])
+        assert len(faults) == 8 * 2
+        bits = {(f.bit, f.cycle) for f in faults}
+        assert bits == {(b, c) for b in range(8) for c in (0, 5)}

@@ -1,0 +1,65 @@
+"""RTL injector tests."""
+
+import pytest
+
+from repro.gpu import Opcode
+from repro.gpu.fault_plane import FlipFlop, TransientFault
+from repro.rtl import RTLInjector, make_microbenchmark
+from repro.rtl.classify import Outcome
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return make_microbenchmark(Opcode.FADD, "M", seed=8)
+
+
+class TestGolden:
+    def test_snapshot_regions(self, injector, bench):
+        golden = injector.run_golden(bench)
+        assert len(golden.regions) == 1
+        assert len(golden.regions[0]) == 64
+        assert golden.cycles > 0
+
+    def test_golden_reproducible(self, injector, bench):
+        first = injector.run_golden(bench)
+        second = injector.run_golden(bench)
+        assert first == second
+
+
+class TestInject:
+    def test_never_latched_register_is_masked(self, injector, bench):
+        golden = injector.run_golden(bench)
+        # warps 2..7 are idle in a 64-thread bench: their state never latches
+        ff = FlipFlop("scheduler", "warp.pc", 12, 7, "control")
+        fault = TransientFault(ff, 0, cycle=1)
+        result = injector.inject(bench, golden, fault)
+        assert result.outcome is Outcome.MASKED
+        assert not result.fault_fired
+
+    def test_sign_fault_is_sdc(self, injector, bench):
+        golden = injector.run_golden(bench)
+        ff = FlipFlop("fp32", "round.result", 32, 0, "data")
+        # huge window so it lands on lane 0's first result latch
+        fault = TransientFault(ff, 31, cycle=0, window=10_000)
+        result = injector.inject(bench, golden, fault)
+        assert result.outcome is Outcome.SDC
+        assert result.n_corrupted_threads == 1
+        assert result.corrupted[0].flipped_bits == [31]
+
+    def test_fault_reuse_is_reset(self, injector, bench):
+        golden = injector.run_golden(bench)
+        ff = FlipFlop("fp32", "round.result", 32, 0, "data")
+        fault = TransientFault(ff, 31, cycle=0, window=10_000)
+        first = injector.inject(bench, golden, fault)
+        second = injector.inject(bench, golden, fault)
+        assert first.outcome == second.outcome
+        assert fault.fired
+
+    def test_describe(self, injector):
+        ff = FlipFlop("int", "result", 32, 2, "data")
+        descriptor = RTLInjector.describe(TransientFault(ff, 7, 42))
+        assert descriptor.module == "int"
+        assert descriptor.register == "result"
+        assert descriptor.lane == 2
+        assert descriptor.bit == 7
+        assert descriptor.cycle == 42

@@ -1,0 +1,118 @@
+"""Micro-benchmark construction and golden-execution tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gpu import Opcode
+from repro.gpu.bits import bits_to_float, bits_to_int
+from repro.rtl import (
+    INPUT_RANGES,
+    all_microbenchmarks,
+    make_microbenchmark,
+)
+from repro.rtl.microbench import ADDR_A, ADDR_B, ADDR_OUT, N_THREADS
+
+
+class TestConstruction:
+    def test_all_twelve_opcodes(self):
+        benches = all_microbenchmarks("M", seed=1)
+        assert len(benches) == 12
+        assert {b.opcode for b in benches} == set(
+            __import__("repro.gpu.isa", fromlist=["x"]
+                       ).CHARACTERIZED_OPCODES)
+
+    def test_unknown_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_microbenchmark(Opcode.FADD, "XL")
+
+    def test_uncharacterized_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            make_microbenchmark(Opcode.MOV)
+
+    def test_paper_input_ranges(self):
+        assert INPUT_RANGES["S"].lo == pytest.approx(6.8e-6)
+        assert INPUT_RANGES["S"].hi == pytest.approx(7.3e-6)
+        assert INPUT_RANGES["M"].lo == pytest.approx(1.8)
+        assert INPUT_RANGES["L"].hi == pytest.approx(12.5e9)
+
+    def test_inputs_within_declared_range(self):
+        bench = make_microbenchmark(Opcode.FADD, "M", seed=5)
+        values = [bits_to_float(w) for w in bench.memory_image[ADDR_A]]
+        assert all(1.8 <= v <= 59.4 for v in values)
+
+    def test_sixty_four_threads_two_warps(self):
+        bench = make_microbenchmark(Opcode.IADD, "S")
+        assert bench.n_threads == N_THREADS == 64
+
+    def test_seed_determinism(self):
+        a = make_microbenchmark(Opcode.FMUL, "L", seed=9)
+        b = make_microbenchmark(Opcode.FMUL, "L", seed=9)
+        assert a.memory_image == b.memory_image
+
+
+class TestGoldenExecution:
+    @pytest.mark.parametrize("range_key", ["S", "M", "L"])
+    def test_fadd_golden_values(self, injector, range_key):
+        bench = make_microbenchmark(Opcode.FADD, range_key, seed=2)
+        golden = injector.run_golden(bench)
+        a = [bits_to_float(w) for w in bench.memory_image[ADDR_A]]
+        b = [bits_to_float(w) for w in bench.memory_image[ADDR_B]]
+        out = [bits_to_float(w) for w in golden.regions[0]]
+        for x, y, z in zip(a, b, out):
+            assert z == float(np.float32(x) + np.float32(y))
+
+    def test_imad_golden_values(self, injector):
+        bench = make_microbenchmark(Opcode.IMAD, "M", seed=2)
+        golden = injector.run_golden(bench)
+        from repro.rtl.microbench import ADDR_C
+
+        a = [bits_to_int(w) for w in bench.memory_image[ADDR_A]]
+        b = [bits_to_int(w) for w in bench.memory_image[ADDR_B]]
+        c = [bits_to_int(w) for w in bench.memory_image[ADDR_C]]
+        out = list(golden.regions[0])
+        for x, y, z, got in zip(a, b, c, out):
+            assert got == (x * y + z) & 0xFFFFFFFF
+
+    def test_fsin_golden_values(self, injector):
+        bench = make_microbenchmark(Opcode.FSIN, "M", seed=2)
+        golden = injector.run_golden(bench)
+        x = [bits_to_float(w) for w in bench.memory_image[ADDR_A]]
+        out = [bits_to_float(w) for w in golden.regions[0]]
+        for value, got in zip(x, out):
+            assert got == pytest.approx(math.sin(value), abs=1e-5)
+
+    def test_memory_bench_copies_input(self, injector):
+        bench = make_microbenchmark(Opcode.GLD, "M", seed=2)
+        golden = injector.run_golden(bench)
+        assert list(golden.regions[0]) == list(bench.memory_image[ADDR_A])
+
+    def test_branch_bench_takes_branch_and_reconverges(self, injector):
+        bench = make_microbenchmark(Opcode.BRA, "M", seed=2)
+        golden = injector.run_golden(bench)
+        markers = list(golden.regions[0])
+        sentinels = list(golden.regions[1])
+        a = [bits_to_int(w) for w in bench.memory_image[ADDR_A]]
+        assert markers == [(v + 1) & 0xFFFFFFFF for v in a]
+        assert sentinels == [0xC0DE] * 64
+
+    def test_iset_bench_flags(self, injector):
+        bench = make_microbenchmark(Opcode.ISET, "M", seed=2)
+        golden = injector.run_golden(bench)
+        a = [bits_to_int(w) for w in bench.memory_image[ADDR_A]]
+        b = [bits_to_int(w) for w in bench.memory_image[ADDR_B]]
+        for x, y, flags in zip(a, b, golden.regions[0]):
+            expected = ((x < y) << 2) | ((x == y) << 1) | (x >= y)
+            assert flags == expected
+
+    @pytest.mark.parametrize("opcode", [
+        Opcode.FADD, Opcode.FMUL, Opcode.FFMA, Opcode.IADD, Opcode.IMUL,
+        Opcode.IMAD, Opcode.FSIN, Opcode.FEXP, Opcode.GLD, Opcode.GST,
+        Opcode.BRA, Opcode.ISET,
+    ])
+    def test_every_bench_runs_golden(self, injector, opcode):
+        bench = make_microbenchmark(opcode, "M", seed=4)
+        golden = injector.run_golden(bench)
+        assert golden.cycles > 0
+        assert golden.total_words >= 64

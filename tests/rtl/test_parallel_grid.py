@@ -1,0 +1,29 @@
+"""Parallel campaign-grid tests."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.gpu import Opcode
+from repro.rtl import RTLInjector, run_grid
+
+
+class TestParallelGrid:
+    def test_matches_serial(self):
+        kwargs = dict(opcodes=[Opcode.IADD], input_ranges=["M"],
+                      modules=["int"], n_faults=80, seed=6)
+        serial = run_grid(**kwargs)
+        parallel = run_grid(n_jobs=2, **kwargs)
+        assert len(serial) == len(parallel) == 1
+        assert serial[0].n_sdc == parallel[0].n_sdc
+        assert serial[0].n_due == parallel[0].n_due
+        assert [r.outcome for r in serial[0].general] == \
+            [r.outcome for r in parallel[0].general]
+
+    def test_shared_injector_rejected_with_workers(self):
+        with pytest.raises(CampaignError):
+            run_grid(opcodes=[Opcode.IADD], input_ranges=["M"],
+                     n_faults=10, n_jobs=2, injector=RTLInjector())
+
+    def test_invalid_job_count(self):
+        with pytest.raises(CampaignError):
+            run_grid(opcodes=[Opcode.IADD], n_faults=10, n_jobs=0)

@@ -1,0 +1,75 @@
+"""Campaign report tests."""
+
+import pytest
+
+from repro.rtl.classify import (
+    CorruptedValue,
+    Outcome,
+    RunClassification,
+)
+from repro.rtl.reports import CampaignReport, FaultDescriptor
+
+
+def _fault(i=0):
+    return FaultDescriptor("fp32", "reg", 0, i % 8, i)
+
+
+def _sdc(n_threads=1):
+    corrupted = [CorruptedValue(t, 0x100 + t, 1, 2)
+                 for t in range(n_threads)]
+    return RunClassification(Outcome.SDC, corrupted)
+
+
+def _report():
+    report = CampaignReport("FADD", "M", "fp32")
+    report.add(_fault(0), RunClassification(Outcome.MASKED), "FADD", "f32")
+    report.add(_fault(1), _sdc(1), "FADD", "f32")
+    report.add(_fault(2), _sdc(3), "FADD", "f32")
+    report.add(_fault(3),
+               RunClassification(Outcome.DUE, due_reason="hang"),
+               "FADD", "f32")
+    return report
+
+
+class TestAccumulation:
+    def test_counts(self):
+        report = _report()
+        assert report.n_injections == 4
+        assert report.n_masked == 1
+        assert report.n_sdc == 2
+        assert report.n_sdc_single == 1
+        assert report.n_sdc_multiple == 1
+        assert report.n_due == 1
+
+    def test_avf(self):
+        report = _report()
+        assert report.avf() == pytest.approx(3 / 4)
+        assert report.avf(Outcome.SDC) == pytest.approx(2 / 4)
+        assert report.avf(Outcome.DUE) == pytest.approx(1 / 4)
+
+    def test_empty_avf_is_zero(self):
+        assert CampaignReport("FADD", "M", "fp32").avf() == 0.0
+
+    def test_mean_corrupted_threads(self):
+        assert _report().mean_corrupted_threads() == pytest.approx(2.0)
+
+    def test_detailed_only_for_sdc(self):
+        report = _report()
+        assert len(report.detailed) == 2
+        assert report.detailed[1].n_corrupted_threads == 3
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        report = _report()
+        restored = CampaignReport.from_json(report.to_json())
+        assert restored.n_injections == report.n_injections
+        assert restored.n_sdc_multiple == report.n_sdc_multiple
+        assert restored.general[3].due_reason == "hang"
+        assert restored.detailed[0].relative_errors() == \
+            report.detailed[0].relative_errors()
+
+    def test_relative_errors_respect_value_kind(self):
+        report = CampaignReport("IADD", "M", "int")
+        report.add(_fault(), _sdc(1), "IADD", "u32")
+        assert report.detailed[0].relative_errors() == [1.0]

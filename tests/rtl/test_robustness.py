@@ -1,0 +1,86 @@
+"""Robustness: no fault, anywhere, may crash the framework itself.
+
+Random transients across *every* declared flip-flop (all modules at once)
+must always resolve to Masked, SDC or DUE — never to an unhandled Python
+exception, an infinite loop, or a corrupted injector state.  This is the
+failure-injection analogue of a fuzz test for the whole RTL substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultDecayedError, GpuHardwareError
+from repro.gpu import Opcode
+from repro.gpu.fault_plane import TransientFault
+from repro.rng import make_rng
+from repro.rtl import (
+    RTLInjector,
+    make_microbenchmark,
+    make_tmxm_bench,
+)
+from repro.rtl.classify import Outcome
+
+
+def _random_faults(plane, cycles, count, seed, max_burst=16):
+    rng = make_rng(seed)
+    flipflops = plane.flipflops()
+    faults = []
+    for _ in range(count):
+        ff = flipflops[int(rng.integers(len(flipflops)))]
+        bit = int(rng.integers(ff.width))
+        n_bits = int(rng.integers(1, min(ff.width, max_burst) + 1))
+        cycle = int(rng.integers(cycles))
+        window = int(rng.integers(1, 8))
+        faults.append(TransientFault(ff, bit, cycle, window=window,
+                                     n_bits=n_bits))
+    return faults
+
+
+@pytest.mark.parametrize("bench_factory,seed", [
+    (lambda: make_microbenchmark(Opcode.FFMA, "L", seed=5), 101),
+    (lambda: make_microbenchmark(Opcode.FSIN, "S", seed=5), 102),
+    (lambda: make_microbenchmark(Opcode.BRA, "M", seed=5), 103),
+    (lambda: make_tmxm_bench("Random", seed=5), 104),
+])
+def test_whole_plane_fuzz(injector, bench_factory, seed):
+    bench = bench_factory()
+    golden = injector.run_golden(bench)
+    outcomes = set()
+    for fault in _random_faults(injector.plane, golden.cycles, 120, seed):
+        result = injector.inject(bench, golden, fault)
+        outcomes.add(result.outcome)
+        # the injector must leave the plane clean for the next run
+        assert injector.plane.armed_fault is None
+    assert Outcome.MASKED in outcomes  # sanity: fuzz actually ran
+
+
+def test_every_module_injectable_everywhere(injector):
+    """Each module accepts faults on each characterised workload."""
+    bench = make_tmxm_bench("Max", seed=6)
+    golden = injector.run_golden(bench)
+    rng = make_rng(7)
+    for module in ("fp32", "int", "scheduler", "pipeline"):
+        flipflops = injector.plane.flipflops(module)
+        for _ in range(25):
+            ff = flipflops[int(rng.integers(len(flipflops)))]
+            fault = TransientFault(ff, int(rng.integers(ff.width)),
+                                   int(rng.integers(golden.cycles)))
+            result = injector.inject(bench, golden, fault)
+            assert result.outcome in (Outcome.MASKED, Outcome.SDC,
+                                      Outcome.DUE)
+
+
+def test_golden_state_isolated_between_runs(injector):
+    """A fault run must not leak state into the next golden run."""
+    bench = make_microbenchmark(Opcode.IMUL, "M", seed=8)
+    before = injector.run_golden(bench)
+    rng = make_rng(9)
+    flipflops = injector.plane.flipflops("int")
+    for _ in range(40):
+        ff = flipflops[int(rng.integers(len(flipflops)))]
+        fault = TransientFault(ff, int(rng.integers(ff.width)),
+                               int(rng.integers(before.cycles)),
+                               window=10)
+        injector.inject(bench, before, fault)
+    after = injector.run_golden(bench)
+    assert before == after

@@ -1,0 +1,75 @@
+"""t-MxM mini-app tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.bits import bits_to_float
+from repro.rtl import TILE_DIM, TILE_KINDS, make_tile_pair, make_tmxm_bench
+from repro.rtl.tmxm import tmxm_reference
+
+
+class TestTiles:
+    def test_kinds(self):
+        assert TILE_KINDS == ("Max", "Zero", "Random")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_tile_pair("Huge")
+
+    def test_max_tile_is_large(self):
+        a, b = make_tile_pair("Max", seed=1)
+        assert a.min() >= 1.0 and b.min() >= 1.0
+
+    def test_zero_tile_is_mostly_zero(self):
+        a, b = make_tile_pair("Zero", seed=1)
+        assert (a == 0).mean() > 0.4
+        assert (b == 0).mean() > 0.4
+
+    def test_random_tile_unbiased(self):
+        a, _ = make_tile_pair("Random", seed=1)
+        assert abs(float(a.mean())) < 0.5
+
+    def test_determinism(self):
+        a1, b1 = make_tile_pair("Random", seed=3)
+        a2, b2 = make_tile_pair("Random", seed=3)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+
+class TestReference:
+    def test_matches_float64_product_closely(self):
+        a, b = make_tile_pair("Random", seed=2)
+        ref = tmxm_reference(a, b)
+        assert np.allclose(ref, a.astype(np.float64) @ b.astype(np.float64),
+                           atol=1e-5)
+
+
+class TestGoldenExecution:
+    @pytest.mark.parametrize("kind", TILE_KINDS)
+    def test_sm_matches_reference(self, injector, kind):
+        bench = make_tmxm_bench(kind, seed=6)
+        golden = injector.run_golden(bench)
+        a, b = make_tile_pair(kind, seed=6)
+        got = np.array([bits_to_float(w) for w in golden.regions[0]],
+                       dtype=np.float32).reshape(TILE_DIM, TILE_DIM)
+        assert np.array_equal(got, tmxm_reference(a, b))
+
+    def test_uses_64_threads(self):
+        bench = make_tmxm_bench("Random")
+        assert bench.n_threads == TILE_DIM * TILE_DIM
+
+    def test_row_col_launch_registers(self):
+        bench = make_tmxm_bench("Random")
+        rows = bench.initial_registers[1]
+        cols = bench.initial_registers[2]
+        assert rows[:9] == (0, 0, 0, 0, 0, 0, 0, 0, 1)
+        assert cols[:9] == (0, 1, 2, 3, 4, 5, 6, 7, 0)
+
+    def test_instruction_mix_stresses_indices(self):
+        # the paper: t-MxM adds IMAD/ISET/BRA index computation strain
+        from repro.gpu.isa import Opcode
+
+        histogram = make_tmxm_bench("Random").program.opcode_histogram()
+        assert histogram[Opcode.IMAD] >= 2
+        assert histogram[Opcode.ISET] == 1
+        assert histogram[Opcode.BRA] == 1
+        assert histogram[Opcode.FFMA] == 1

@@ -1,0 +1,66 @@
+"""Software campaign / PVF accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.isa import Opcode
+from repro.rtl.classify import Outcome
+from repro.swfi.campaign import PVFReport, run_pvf_campaign
+from repro.swfi.injector import InjectionResult
+from repro.swfi.models import SingleBitFlip
+from repro.apps.base import GPUApplication
+
+
+class HalfMaskedApp(GPUApplication):
+    """Output ignores half of the computed values."""
+
+    name = "half"
+
+    def run(self, ops):
+        data = np.arange(8, dtype=np.float32)
+        doubled = ops.fmul(data, np.float32(2.0))
+        return doubled[:4]
+
+
+class TestPVFReport:
+    def _result(self, outcome, opcode=Opcode.FADD):
+        return InjectionResult(outcome, opcode, target=0)
+
+    def test_accounting(self):
+        report = PVFReport("app", "model")
+        report.add(self._result(Outcome.SDC))
+        report.add(self._result(Outcome.MASKED))
+        report.add(self._result(Outcome.DUE))
+        report.add(self._result(Outcome.SDC, Opcode.IMUL))
+        assert report.n_injections == 4
+        assert report.pvf == pytest.approx(0.5)
+        assert report.due_rate == pytest.approx(0.25)
+        assert report.opcode_pvf("FADD") == pytest.approx(1 / 3)
+        assert report.opcode_pvf("IMUL") == pytest.approx(1.0)
+        assert report.opcode_pvf("GLD") == 0.0
+
+    def test_empty_report(self):
+        report = PVFReport("app", "model")
+        assert report.pvf == 0.0 and report.due_rate == 0.0
+
+    def test_confidence_interval_shrinks(self):
+        small = PVFReport("a", "m", n_injections=10, n_sdc=5)
+        large = PVFReport("a", "m", n_injections=1000, n_sdc=500)
+        lo_s, hi_s = small.confidence_interval()
+        lo_l, hi_l = large.confidence_interval()
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+
+class TestRunCampaign:
+    def test_masking_reflected_in_pvf(self):
+        report = run_pvf_campaign(HalfMaskedApp(), SingleBitFlip(),
+                                  n_injections=120, seed=0)
+        assert report.n_injections == 120
+        # half the injected corruptions land in discarded outputs
+        assert 0.3 <= report.pvf <= 0.7
+
+    def test_seed_reproducibility(self):
+        a = run_pvf_campaign(HalfMaskedApp(), SingleBitFlip(), 50, seed=3)
+        b = run_pvf_campaign(HalfMaskedApp(), SingleBitFlip(), 50, seed=3)
+        assert a.n_sdc == b.n_sdc
+        assert a.per_opcode_sdc == b.per_opcode_sdc

@@ -1,0 +1,100 @@
+"""Software injector tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gpu.isa import Opcode
+from repro.rng import make_rng
+from repro.rtl.classify import Outcome
+from repro.swfi.injector import AppHangError, SoftwareInjector
+from repro.swfi.models import SingleBitFlip
+from repro.swfi.ops import SassOps
+from repro.apps.base import GPUApplication
+
+
+class TinyApp(GPUApplication):
+    """Four FADDs; output equals input + 1."""
+
+    name = "tiny"
+
+    def run(self, ops):
+        data = np.arange(4, dtype=np.float32)
+        return ops.fadd(data, np.float32(1.0))
+
+
+class HangingApp(GPUApplication):
+    name = "hangs"
+
+    def run(self, ops):
+        flags = ops.iset(np.arange(4, dtype=np.int32), 2, "lt")
+        if int(flags.sum()) != 2:
+            raise AppHangError("loop bound corrupted")
+        return flags
+
+
+class EmptyApp(GPUApplication):
+    name = "empty"
+
+    def run(self, ops):
+        ops.other(3)
+        return np.zeros(1)
+
+
+class TestReferencePasses:
+    def test_golden_cached(self):
+        injector = SoftwareInjector(TinyApp())
+        first = injector.run_golden()
+        assert injector.run_golden() is first
+
+    def test_profile(self):
+        injector = SoftwareInjector(TinyApp())
+        counts = injector.run_profile()
+        assert counts == {Opcode.FADD: 4}
+        assert injector.injectable_total == 4
+
+
+class TestInjection:
+    def test_every_injection_is_sdc_for_tiny_app(self):
+        injector = SoftwareInjector(TinyApp())
+        rng = make_rng(0)
+        outcomes = [injector.inject_one(SingleBitFlip(), rng).outcome
+                    for _ in range(20)]
+        assert all(outcome is Outcome.SDC for outcome in outcomes)
+
+    def test_result_records_opcode_and_target(self):
+        injector = SoftwareInjector(TinyApp())
+        result = injector.inject_one(SingleBitFlip(), make_rng(1))
+        assert result.opcode is Opcode.FADD
+        assert 0 <= result.target < 4
+
+    def test_hang_is_due(self):
+        injector = SoftwareInjector(HangingApp())
+        rng = make_rng(2)
+        outcomes = {injector.inject_one(SingleBitFlip(), rng).outcome
+                    for _ in range(30)}
+        assert Outcome.DUE in outcomes
+
+    def test_app_without_injectable_instructions_rejected(self):
+        injector = SoftwareInjector(EmptyApp())
+        with pytest.raises(ReproError):
+            injector.inject_one(SingleBitFlip(), make_rng(0))
+
+
+class TestSdcCriterion:
+    def test_exact_mismatch(self):
+        app = TinyApp()
+        golden = app.golden()
+        observed = golden.copy()
+        assert not app.is_sdc(golden, observed)
+        observed[2] += 1e-3
+        assert app.is_sdc(golden, observed)
+
+    def test_nan_pairs_match(self):
+        app = TinyApp()
+        golden = np.array([np.nan, 1.0], np.float32)
+        assert not app.is_sdc(golden, golden.copy())
+
+    def test_shape_change_is_sdc(self):
+        app = TinyApp()
+        assert app.is_sdc(np.zeros(3), np.zeros(4))

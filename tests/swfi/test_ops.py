@@ -1,0 +1,134 @@
+"""Instrumented SASS op-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.isa import Opcode
+from repro.swfi.ops import SassOps
+
+
+class TestCounting:
+    def test_elementwise_counts(self):
+        ops = SassOps()
+        ops.fadd(np.ones(10, np.float32), np.ones(10, np.float32))
+        ops.fmul(np.ones(4, np.float32), 2.0)
+        assert ops.counts[Opcode.FADD] == 10
+        assert ops.counts[Opcode.FMUL] == 4
+        assert ops.injectable_total == 14
+
+    def test_broadcast_counts_output_size(self):
+        ops = SassOps()
+        ops.ffma(np.ones((8, 1), np.float32), np.ones((1, 8), np.float32),
+                 np.zeros((8, 8), np.float32))
+        assert ops.counts[Opcode.FFMA] == 64
+
+    def test_other_instructions(self):
+        ops = SassOps()
+        ops.other(5)
+        assert ops.other_count == 5
+        assert ops.total == 5
+        assert ops.injectable_total == 0
+
+    def test_profile_drops_zero_entries(self):
+        ops = SassOps()
+        ops.iadd(1, 2)
+        assert set(ops.profile()) == {Opcode.IADD}
+
+
+class TestSemantics:
+    def test_float32_arithmetic(self):
+        ops = SassOps()
+        a = np.array([1.5, 2.5], np.float32)
+        b = np.array([0.25, -1.0], np.float32)
+        assert np.array_equal(ops.fadd(a, b), a + b)
+        assert np.array_equal(ops.fmul(a, b), a * b)
+        assert np.array_equal(ops.ffma(a, b, a), a * b + a)
+
+    def test_int32_arithmetic(self):
+        ops = SassOps()
+        a = np.array([3, -4], np.int32)
+        b = np.array([5, 7], np.int32)
+        assert np.array_equal(ops.iadd(a, b), a + b)
+        assert np.array_equal(ops.imul(a, b), a * b)
+        assert np.array_equal(ops.imad(a, b, a), a * b + a)
+
+    def test_special_functions(self):
+        ops = SassOps()
+        x = np.array([0.5], np.float32)
+        assert ops.fsin(x)[0] == np.sin(np.float32(0.5))
+        assert ops.fexp(x)[0] == np.exp(np.float32(0.5))
+
+    def test_memory_ops_copy(self):
+        ops = SassOps()
+        data = np.arange(5, dtype=np.int32)
+        loaded = ops.gld(data)
+        assert np.array_equal(loaded, data)
+        loaded[0] = 99
+        assert data[0] == 0  # gld returned a copy
+
+    def test_iset_flags(self):
+        ops = SassOps()
+        flags = ops.iset(np.array([1, 5, 3], np.int32), 3, "lt")
+        assert flags.tolist() == [1, 0, 0]
+        flags = ops.fset(np.array([1.0, 5.0], np.float32), 3.0, "ge")
+        assert flags.tolist() == [0, 1]
+
+    def test_bra(self):
+        ops = SassOps()
+        assert ops.bra(True) is True
+        assert ops.bra(False) is False
+        assert ops.counts[Opcode.BRA] == 2
+
+
+class TestTargeting:
+    @staticmethod
+    def _corrupt_to_99(opcode, golden, operands, is_float):
+        return 99.0 if is_float else 99
+
+    def test_exactly_one_element_corrupted(self):
+        ops = SassOps(target=12, corruptor=self._corrupt_to_99)
+        first = ops.fadd(np.zeros(10, np.float32), np.zeros(10, np.float32))
+        second = ops.fadd(np.zeros(10, np.float32),
+                          np.zeros(10, np.float32))
+        assert np.all(first == 0)
+        assert second[2] == 99.0
+        assert np.sum(second != 0) == 1
+        assert ops.injected is Opcode.FADD
+
+    def test_out_of_range_target_never_fires(self):
+        ops = SassOps(target=1000, corruptor=self._corrupt_to_99)
+        result = ops.fadd(np.zeros(10, np.float32),
+                          np.zeros(10, np.float32))
+        assert np.all(result == 0)
+        assert ops.injected is None
+
+    def test_corruptor_receives_element_operands(self):
+        seen = {}
+
+        def spy(opcode, golden, operands, is_float):
+            seen["opcode"] = opcode
+            seen["golden"] = golden
+            seen["operands"] = operands
+            return golden
+
+        ops = SassOps(target=1, corruptor=spy)
+        ops.fmul(np.array([2.0, 3.0], np.float32),
+                 np.array([10.0, 20.0], np.float32))
+        assert seen["opcode"] is Opcode.FMUL
+        assert seen["golden"] == 60.0
+        assert seen["operands"] == (3.0, 20.0)
+
+    def test_original_array_not_mutated(self):
+        ops = SassOps(target=0, corruptor=self._corrupt_to_99)
+        a = np.zeros(4, np.float32)
+        b = np.zeros(4, np.float32)
+        result = ops.fadd(a, b)
+        assert result[0] == 99.0
+        assert np.all(a == 0)
+
+    def test_bra_corruption_flips_direction(self):
+        def flip(opcode, golden, operands, is_float):
+            return golden ^ 1
+
+        ops = SassOps(target=0, corruptor=flip)
+        assert ops.bra(True) is False

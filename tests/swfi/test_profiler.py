@@ -1,0 +1,37 @@
+"""Dynamic-profile (Figure 3) tests."""
+
+import pytest
+
+from repro.apps import MatrixMultiply, Quicksort
+from repro.swfi.profiler import GROUPS, profile_application
+
+
+class TestProfiles:
+    def test_group_fractions_sum_to_one(self):
+        profile = profile_application(MatrixMultiply(n=16, tile=8))
+        fractions = profile.group_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_mxm_is_fp32_dominated(self):
+        profile = profile_application(MatrixMultiply(n=16, tile=8))
+        fractions = profile.group_fractions()
+        assert fractions["FP32"] > 0.4
+        assert max(fractions, key=fractions.get) == "FP32"
+
+    def test_quicksort_is_control_dominated(self):
+        profile = profile_application(Quicksort(n=256))
+        fractions = profile.group_fractions()
+        assert fractions["Control"] > 0.5
+
+    def test_coverage_above_seventy_percent(self):
+        """Paper Fig. 3: the 12 opcodes cover >70% of instructions."""
+        for app in (MatrixMultiply(n=16, tile=8), Quicksort(n=256)):
+            profile = profile_application(app)
+            assert profile.characterized_coverage > 0.7
+
+    def test_groups_partition_characterised_opcodes(self):
+        from repro.gpu.isa import CHARACTERIZED_OPCODES
+
+        grouped = [op for ops in GROUPS.values() for op in ops]
+        assert sorted(grouped, key=str) == sorted(
+            CHARACTERIZED_OPCODES, key=str)

@@ -1,0 +1,61 @@
+"""t-MxM tile-corruption injector tests."""
+
+import numpy as np
+import pytest
+
+from repro.rng import make_rng
+from repro.swfi.tmxm_injector import TmxmInjector
+from repro.syndrome.database import SyndromeDatabase
+from repro.syndrome.records import TmxmEntry
+from repro.syndrome.spatial import SpatialPattern
+
+
+@pytest.fixture(scope="module")
+def synthetic_db():
+    """Database with deterministic, hard-hitting t-MxM syndromes."""
+    db = SyndromeDatabase()
+    entry = TmxmEntry("Random", "scheduler")
+    for _ in range(10):
+        entry.add_observation(SpatialPattern.ALL, [5.0] * 64)
+    for _ in range(10):
+        entry.add_observation(SpatialPattern.ROW, [5.0] * 8)
+    entry.finalize()
+    db.add_tmxm(entry)
+    return db
+
+
+class TestTmxmInjector:
+    def test_injections_produce_sdcs(self, lenet_app, synthetic_db):
+        injector = TmxmInjector(lenet_app, synthetic_db,
+                                tile_kind="Random", module="scheduler")
+        report = injector.run_campaign(12, seed=0)
+        assert report.n_injections == 12
+        assert report.n_sdc > 0
+        assert set(report.pattern_counts) <= {"all", "row"}
+
+    def test_criticality_detected(self, lenet_app, synthetic_db):
+        """Large whole-tile corruption must flip LeNet classifications."""
+        injector = TmxmInjector(lenet_app, synthetic_db,
+                                tile_kind="Random", module="scheduler")
+        report = injector.run_campaign(20, seed=1)
+        assert report.n_critical > 0
+        assert report.critical_rate <= report.pvf
+
+    def test_missing_entry_rejected(self, lenet_app, synthetic_db):
+        from repro.errors import SyndromeDatabaseError
+
+        with pytest.raises(SyndromeDatabaseError):
+            TmxmInjector(lenet_app, synthetic_db, tile_kind="Zero",
+                         module="scheduler")
+
+    def test_golden_cached(self, lenet_app, synthetic_db):
+        injector = TmxmInjector(lenet_app, synthetic_db,
+                                tile_kind="Random", module="scheduler")
+        assert injector.run_golden() is injector.run_golden()
+
+    def test_seed_reproducibility(self, lenet_app, synthetic_db):
+        injector = TmxmInjector(lenet_app, synthetic_db,
+                                tile_kind="Random", module="scheduler")
+        a = injector.run_campaign(8, seed=5)
+        b = injector.run_campaign(8, seed=5)
+        assert a.n_sdc == b.n_sdc and a.n_critical == b.n_critical

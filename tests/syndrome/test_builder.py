@@ -1,0 +1,84 @@
+"""Builder tests: campaign reports -> syndrome database."""
+
+import pytest
+
+from repro.rtl.classify import (
+    CorruptedValue,
+    Outcome,
+    RunClassification,
+)
+from repro.rtl.reports import CampaignReport, FaultDescriptor
+from repro.gpu.bits import float_to_bits
+from repro.syndrome.builder import (
+    build_database,
+    entry_from_report,
+    tmxm_entry_from_report,
+)
+from repro.syndrome.spatial import SpatialPattern
+
+
+def _fault():
+    return FaultDescriptor("fp32", "reg", 0, 0, 0)
+
+
+def _float_sdc(threads):
+    corrupted = [
+        CorruptedValue(t, 0x200 + t, float_to_bits(2.0), float_to_bits(3.0))
+        for t in threads
+    ]
+    return RunClassification(Outcome.SDC, corrupted)
+
+
+class TestEntryFromReport:
+    def test_relative_errors_collected(self):
+        report = CampaignReport("FADD", "M", "fp32")
+        report.add(_fault(), _float_sdc([0]), "FADD", "f32")
+        report.add(_fault(), _float_sdc([1, 2]), "FADD", "f32")
+        report.add(_fault(), RunClassification(Outcome.MASKED),
+                   "FADD", "f32")
+        entry = entry_from_report(report)
+        assert entry.key.opcode == "FADD"
+        assert entry.relative_errors == [0.5, 0.5, 0.5]
+        assert entry.thread_counts == [1, 2]
+
+    def test_nan_outputs_become_inf_sentinel(self):
+        report = CampaignReport("FADD", "M", "fp32")
+        corrupted = [CorruptedValue(0, 0x200, float_to_bits(2.0),
+                                    0x7FC00000)]
+        report.add(_fault(), RunClassification(Outcome.SDC, corrupted),
+                   "FADD", "f32")
+        entry = entry_from_report(report)
+        assert entry.relative_errors == [1e6]
+
+
+class TestTmxmEntryFromReport:
+    def test_patterns_classified(self):
+        report = CampaignReport("FFMA", "Random", "scheduler")
+        # a full row of tile coordinates: threads 8..15 are row 1
+        report.add(_fault(), _float_sdc(range(8, 16)), "FFMA", "f32")
+        report.add(_fault(), _float_sdc([0]), "FFMA", "f32")
+        entry = tmxm_entry_from_report(report)
+        assert entry.tile_kind == "Random"
+        assert entry.patterns[SpatialPattern.ROW].occurrences == 1
+        assert entry.patterns[SpatialPattern.SINGLE].occurrences == 1
+
+
+class TestBuildDatabase:
+    def test_end_to_end(self, small_reports, small_tmxm_reports):
+        db = build_database(small_reports, small_tmxm_reports)
+        entry = db.lookup("FADD", "M", "fp32")
+        assert entry.n_samples > 0
+        tm = db.lookup_tmxm("Random", "scheduler")
+        assert tm.total_occurrences > 0
+
+    def test_observed_syndromes_are_not_gaussian(self, small_database):
+        """Paper Sec. V-C: Shapiro-Wilk rejects normality everywhere."""
+        from repro.syndrome.powerlaw import is_gaussian
+
+        entry = small_database.lookup("FADD", "M", "fp32")
+        if entry.n_samples >= 20:
+            assert not is_gaussian(entry.relative_errors)
+
+    def test_fu_entries_single_thread(self, small_database):
+        entry = small_database.lookup("FADD", "M", "fp32")
+        assert all(count == 1 for count in entry.thread_counts)

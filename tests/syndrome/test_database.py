@@ -1,0 +1,126 @@
+"""Syndrome database tests."""
+
+import pytest
+
+from repro.errors import SyndromeDatabaseError
+from repro.rng import make_rng
+from repro.syndrome.database import SyndromeDatabase, range_for_value
+from repro.syndrome.records import (
+    SyndromeEntry,
+    SyndromeKey,
+    TmxmEntry,
+)
+from repro.syndrome.spatial import SpatialPattern
+
+
+def _entry(opcode="FADD", input_range="M", module="fp32", value=0.5):
+    entry = SyndromeEntry(SyndromeKey(opcode, input_range, module))
+    entry.relative_errors = [value] * 20
+    entry.thread_counts = [1] * 20
+    entry.finalize()
+    return entry
+
+
+@pytest.fixture
+def db():
+    db = SyndromeDatabase()
+    db.add(_entry("FADD", "M", "fp32", 0.5))
+    db.add(_entry("FADD", "M", "pipeline", 0.7))
+    db.add(_entry("FADD", "S", "fp32", 0.1))
+    db.add(_entry("IADD", "L", "int", 2.0))
+    tm = TmxmEntry("Random", "scheduler")
+    tm.add_observation(SpatialPattern.ALL, [1.0] * 64)
+    db.add_tmxm(tm)
+    return db
+
+
+class TestRangeMapping:
+    def test_paper_boundaries(self):
+        assert range_for_value(1e-6) == "S"
+        assert range_for_value(7.3e-6) == "S"
+        assert range_for_value(10.0) == "M"
+        assert range_for_value(3.8e9) == "L"
+        assert range_for_value(1e12) == "L"
+
+    def test_sign_ignored(self):
+        assert range_for_value(-5e9) == "L"
+
+
+class TestLookup:
+    def test_exact(self, db):
+        entry = db.lookup("FADD", "M", "fp32")
+        assert entry.key.module == "fp32"
+        assert entry.key.input_range == "M"
+
+    def test_unpinned_lookup_pools_modules(self, db):
+        # with no module pinned the paper's "cocktail" pools every
+        # module's observations for the opcode+range
+        entry = db.lookup("FADD", "M")
+        assert entry.key.module == "pooled"
+        assert entry.n_samples == 40  # fp32 (20) + pipeline (20)
+        assert db.lookup("FADD", "M") is entry  # cached
+
+    def test_range_fallback(self, db):
+        # IADD only has an L entry; an M query falls back to it
+        entry = db.lookup("IADD", "M")
+        assert entry.key.input_range == "L"
+
+    def test_unknown_opcode_rejected(self, db):
+        with pytest.raises(SyndromeDatabaseError):
+            db.lookup("FMAX", "M")
+
+    def test_unknown_module_rejected(self, db):
+        with pytest.raises(SyndromeDatabaseError):
+            db.lookup("FADD", "M", "tensor-core")
+
+    def test_modules_for(self, db):
+        assert db.modules_for("FADD") == ["fp32", "pipeline"]
+
+    def test_sample_maps_operand_to_range(self, db):
+        # the S entry's syndromes all sit at 0.1; samples come from its
+        # power-law fit anchored there, never from the 0.5 M entry's floor
+        values = [db.sample("FADD", 1e-7, make_rng(s)) for s in range(20)]
+        assert min(values) >= 0.1       # anchored at the S entry's floor
+        assert min(values) < 0.5        # and clearly not the M entry's
+
+    def test_tmxm_lookup(self, db):
+        entry = db.lookup_tmxm("Random", "scheduler")
+        assert entry.total_occurrences == 1
+        with pytest.raises(SyndromeDatabaseError):
+            db.lookup_tmxm("Random", "pipeline")
+
+
+class TestMerging:
+    def test_add_merges_same_key(self, db):
+        db.add(_entry("FADD", "M", "fp32", 0.9))
+        entry = db.lookup("FADD", "M", "fp32")
+        assert entry.n_samples == 40
+
+    def test_tmxm_merge(self, db):
+        tm = TmxmEntry("Random", "scheduler")
+        tm.add_observation(SpatialPattern.ROW, [0.5] * 8)
+        db.add_tmxm(tm)
+        entry = db.lookup_tmxm("Random", "scheduler")
+        assert entry.total_occurrences == 2
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        db.save(path)
+        restored = SyndromeDatabase.load(path)
+        assert len(restored.entries()) == len(db.entries())
+        assert restored.lookup("FADD", "M", "fp32").relative_errors == \
+            db.lookup("FADD", "M", "fp32").relative_errors
+        assert restored.lookup_tmxm(
+            "Random", "scheduler").total_occurrences == 1
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SyndromeDatabaseError):
+            SyndromeDatabase.load(tmp_path / "missing.json")
+
+    def test_load_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SyndromeDatabaseError):
+            SyndromeDatabase.load(path)

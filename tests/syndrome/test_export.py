@@ -1,0 +1,41 @@
+"""CSV interchange tests."""
+
+import pytest
+
+from repro.errors import SyndromeDatabaseError
+from repro.syndrome.export import export_csv, import_csv
+
+
+class TestCsvInterchange:
+    def test_roundtrip_samples(self, small_database, tmp_path):
+        syndromes, tmxm = export_csv(small_database, tmp_path)
+        assert syndromes.exists() and tmxm.exists()
+        restored = import_csv(tmp_path)
+        for entry in small_database.entries():
+            twin = restored.lookup(entry.key.opcode, entry.key.input_range,
+                                   entry.key.module)
+            assert sorted(twin.relative_errors) == \
+                sorted(float(e) for e in entry.relative_errors)
+
+    def test_tmxm_patterns_preserved(self, small_database, tmp_path):
+        export_csv(small_database, tmp_path)
+        restored = import_csv(tmp_path)
+        for entry in small_database.tmxm_entries():
+            twin = restored.lookup_tmxm(entry.tile_kind, entry.module)
+            assert set(twin.patterns) == set(entry.patterns)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(SyndromeDatabaseError):
+            import_csv(tmp_path / "nothing")
+
+    def test_restored_database_usable_by_models(self, small_database,
+                                                tmp_path):
+        from repro.apps import MatrixMultiply
+        from repro.swfi import RelativeErrorSyndrome, run_pvf_campaign
+
+        export_csv(small_database, tmp_path)
+        restored = import_csv(tmp_path)
+        report = run_pvf_campaign(
+            MatrixMultiply(n=16, tile=8, seed=0),
+            RelativeErrorSyndrome(restored), 25, seed=1)
+        assert report.n_injections == 25

@@ -1,0 +1,55 @@
+"""Pooled (cocktail) lookup behaviour."""
+
+import pytest
+
+from repro.rng import make_rng
+from repro.syndrome.database import SyndromeDatabase
+from repro.syndrome.records import SyndromeEntry, SyndromeKey
+
+
+def _entry(module, value, n=20):
+    entry = SyndromeEntry(SyndromeKey("FMUL", "M", module))
+    entry.relative_errors = [value] * n
+    entry.thread_counts = [1] * n
+    entry.finalize()
+    return entry
+
+
+class TestPooling:
+    def test_pool_mixes_all_modules(self):
+        db = SyndromeDatabase()
+        db.add(_entry("fp32", 0.25))
+        db.add(_entry("pipeline", 4.0))
+        pooled = db.lookup("FMUL", "M")
+        rng = make_rng(0)
+        samples = {round(pooled.sample_relative_error(rng), 2)
+                   for _ in range(60)}
+        assert 0.25 in samples and 4.0 in samples
+
+    def test_pool_cache_invalidated_on_add(self):
+        db = SyndromeDatabase()
+        db.add(_entry("fp32", 0.25))
+        first = db.lookup("FMUL", "M")
+        assert first.key.module == "fp32"  # single entry: no pooling
+        db.add(_entry("scheduler", 9.0))
+        pooled = db.lookup("FMUL", "M")
+        assert pooled.key.module == "pooled"
+        assert pooled.n_samples == 40
+
+    def test_pinned_module_bypasses_pool(self):
+        db = SyndromeDatabase()
+        db.add(_entry("fp32", 0.25))
+        db.add(_entry("pipeline", 4.0))
+        entry = db.lookup("FMUL", "M", module="pipeline")
+        assert entry.key.module == "pipeline"
+        assert set(entry.relative_errors) == {4.0}
+
+    def test_pool_weighting_is_by_observation_count(self):
+        db = SyndromeDatabase()
+        db.add(_entry("fp32", 0.25, n=90))
+        db.add(_entry("pipeline", 4.0, n=10))
+        pooled = db.lookup("FMUL", "M")
+        rng = make_rng(1)
+        big = sum(pooled.sample_relative_error(rng) > 1.0
+                  for _ in range(400))
+        assert 15 <= big <= 90  # ~10% of draws, by sample share

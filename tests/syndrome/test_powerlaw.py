@@ -1,0 +1,109 @@
+"""Power-law fitting and sampling tests (paper Eq. 1, CSN method)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.rng import make_rng
+from repro.syndrome.powerlaw import (
+    PowerLawFit,
+    fit_power_law,
+    is_gaussian,
+    ks_distance,
+    sample_power_law,
+)
+
+
+class TestSampler:
+    def test_eq1_inverse_cdf(self):
+        """The sampler implements the paper's Eq. (1) literally."""
+        rng = make_rng(0)
+        r = rng.random(5)
+        rng2 = make_rng(0)
+        samples = sample_power_law(2.5, 0.1, rng2, 5)
+        expected = 0.1 * (1 - r) ** (-1 / (2.5 - 1))
+        assert np.allclose(samples, expected)
+
+    def test_samples_bounded_below_by_xmin(self):
+        samples = sample_power_law(3.0, 0.5, make_rng(1), 1000)
+        assert samples.min() >= 0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            sample_power_law(1.0, 0.1, make_rng(0))
+        with pytest.raises(ValueError):
+            sample_power_law(2.0, 0.0, make_rng(0))
+
+    @given(st.floats(min_value=1.5, max_value=4.0),
+           st.floats(min_value=1e-6, max_value=10.0))
+    @settings(max_examples=50)
+    def test_median_matches_theory(self, alpha, x_min):
+        samples = sample_power_law(alpha, x_min, make_rng(7), 4000)
+        theoretical = x_min * 2 ** (1 / (alpha - 1))
+        assert np.median(samples) == pytest.approx(theoretical, rel=0.25)
+
+
+class TestFitting:
+    @pytest.mark.parametrize("alpha", [1.8, 2.5, 3.5])
+    def test_recovers_alpha(self, alpha):
+        samples = sample_power_law(alpha, 0.01, make_rng(3), 3000)
+        fit = fit_power_law(samples)
+        assert fit.alpha == pytest.approx(alpha, rel=0.15)
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ReproError):
+            fit_power_law([1.0, 2.0])
+
+    def test_ignores_nonpositive_and_nan(self):
+        samples = list(sample_power_law(2.5, 0.1, make_rng(4), 500))
+        samples += [0.0, -1.0, float("nan")]
+        fit = fit_power_law(samples)
+        assert fit.alpha > 1.0
+
+    def test_degenerate_constant_data(self):
+        fit = fit_power_law([0.5] * 50)
+        assert fit.x_min == 0.5
+        assert fit.alpha > 1.0
+
+    def test_fit_sampling_roundtrip(self):
+        fit = PowerLawFit(alpha=2.2, x_min=0.05, n_tail=100, ks=0.01)
+        samples = fit.sample(make_rng(5), 2000)
+        refit = fit_power_law(samples)
+        assert refit.alpha == pytest.approx(2.2, rel=0.2)
+
+    def test_serialization(self):
+        fit = PowerLawFit(2.0, 0.1, 50, 0.05)
+        assert PowerLawFit.from_dict(fit.to_dict()) == fit
+
+
+class TestKsDistance:
+    def test_zero_for_model_cdf_quantiles(self):
+        # evaluate at exact model quantiles: distance bounded by 1/n
+        alpha, x_min, n = 2.5, 0.1, 1000
+        q = (np.arange(1, n + 1) - 0.5) / n
+        tail = x_min * (1 - q) ** (-1 / (alpha - 1))
+        assert ks_distance(tail, alpha, x_min) < 2.0 / n + 1e-9
+
+    def test_large_for_wrong_model(self):
+        samples = sample_power_law(3.5, 0.1, make_rng(6), 1000)
+        assert ks_distance(samples, 1.2, 0.1) > 0.2
+
+
+class TestGaussianCheck:
+    def test_normal_data_is_gaussian(self):
+        data = make_rng(7).normal(10.0, 2.0, 500)
+        assert is_gaussian(data)
+
+    def test_power_law_data_is_not_gaussian(self):
+        """The paper's Shapiro-Wilk result: syndromes are not normal."""
+        data = sample_power_law(1.8, 0.01, make_rng(8), 500)
+        assert not is_gaussian(data)
+
+    def test_constant_data_is_not_gaussian(self):
+        assert not is_gaussian([1.0] * 100)
+
+    def test_requires_three_samples(self):
+        with pytest.raises(ReproError):
+            is_gaussian([1.0, 2.0])

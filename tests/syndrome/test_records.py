@@ -1,0 +1,117 @@
+"""Syndrome entry / t-MxM entry tests."""
+
+import numpy as np
+import pytest
+
+from repro.rng import make_rng
+from repro.syndrome.powerlaw import sample_power_law
+from repro.syndrome.records import (
+    PatternStats,
+    SyndromeEntry,
+    SyndromeKey,
+    TmxmEntry,
+)
+from repro.syndrome.spatial import SpatialPattern
+
+
+def _entry(n=200, alpha=2.5):
+    entry = SyndromeEntry(SyndromeKey("FADD", "M", "fp32"))
+    entry.relative_errors = list(
+        sample_power_law(alpha, 0.01, make_rng(1), n))
+    entry.thread_counts = [1] * n
+    entry.finalize()
+    return entry
+
+
+class TestSyndromeEntry:
+    def test_finalize_fits_power_law(self):
+        entry = _entry()
+        assert entry.fit is not None
+        assert entry.fit.alpha == pytest.approx(2.5, rel=0.3)
+
+    def test_small_entry_has_no_fit(self):
+        entry = SyndromeEntry(SyndromeKey("FADD", "M", "fp32"))
+        entry.relative_errors = [0.1, 0.2]
+        entry.finalize()
+        assert entry.fit is None
+
+    def test_sampling_uses_fit(self):
+        entry = _entry()
+        samples = [entry.sample_relative_error(make_rng(2))
+                   for _ in range(100)]
+        assert all(s >= entry.fit.x_min for s in samples)
+
+    def test_sampling_falls_back_to_empirical(self):
+        entry = SyndromeEntry(SyndromeKey("FADD", "M", "fp32"))
+        entry.relative_errors = [0.5, 0.7]
+        assert entry.sample_relative_error(make_rng(0)) in (0.5, 0.7)
+
+    def test_empty_entry_sampling_rejected(self):
+        entry = SyndromeEntry(SyndromeKey("FADD", "M", "fp32"))
+        with pytest.raises(ValueError):
+            entry.sample_relative_error(make_rng(0))
+
+    def test_histogram_fractions_sum_to_one(self):
+        entry = _entry()
+        fractions = entry.histogram([0.0, 0.01, 0.1, 1.0, 1e6])
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_median(self):
+        entry = SyndromeEntry(SyndromeKey("FADD", "M", "fp32"))
+        entry.relative_errors = [0.1, 0.2, 0.3]
+        assert entry.median_relative_error() == pytest.approx(0.2)
+
+    def test_serialization_roundtrip(self):
+        entry = _entry()
+        restored = SyndromeEntry.from_dict(entry.to_dict())
+        assert restored.key == entry.key
+        assert restored.relative_errors == entry.relative_errors
+        assert restored.fit == entry.fit
+
+
+class TestTmxmEntry:
+    def _entry(self):
+        entry = TmxmEntry("Random", "scheduler")
+        rng = make_rng(3)
+        for _ in range(30):
+            entry.add_observation(
+                SpatialPattern.ROW,
+                list(sample_power_law(2.0, 0.1, rng, 8)))
+        for _ in range(10):
+            entry.add_observation(
+                SpatialPattern.ALL,
+                list(sample_power_law(2.0, 0.1, rng, 64)))
+        entry.finalize()
+        return entry
+
+    def test_pattern_distribution(self):
+        entry = self._entry()
+        dist = entry.pattern_distribution()
+        assert dist[SpatialPattern.ROW] == pytest.approx(0.75)
+        assert dist[SpatialPattern.ALL] == pytest.approx(0.25)
+
+    def test_sample_pattern_proportional(self):
+        entry = self._entry()
+        rng = make_rng(4)
+        rows = sum(entry.sample_pattern(rng) is SpatialPattern.ROW
+                   for _ in range(1000))
+        assert 650 <= rows <= 850
+
+    def test_sample_relative_error_per_pattern(self):
+        entry = self._entry()
+        value = entry.sample_relative_error(SpatialPattern.ROW, make_rng(5))
+        assert value > 0
+
+    def test_empty_entry_rejected(self):
+        entry = TmxmEntry("Zero", "pipeline")
+        with pytest.raises(ValueError):
+            entry.sample_pattern(make_rng(0))
+
+    def test_serialization_roundtrip(self):
+        entry = self._entry()
+        restored = TmxmEntry.from_dict(entry.to_dict())
+        assert restored.tile_kind == "Random"
+        assert restored.pattern_distribution() == \
+            entry.pattern_distribution()
+        assert (restored.patterns[SpatialPattern.ROW].fit
+                == entry.patterns[SpatialPattern.ROW].fit)

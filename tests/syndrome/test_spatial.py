@@ -1,0 +1,78 @@
+"""Spatial-pattern classification and generation tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import make_rng
+from repro.syndrome.spatial import (
+    SpatialPattern,
+    classify_pattern,
+    generate_pattern,
+)
+
+DIM = 8
+
+
+class TestClassification:
+    def test_single(self):
+        assert classify_pattern([(3, 4)], DIM) is SpatialPattern.SINGLE
+
+    def test_row(self):
+        cells = [(2, j) for j in range(5)]
+        assert classify_pattern(cells, DIM) is SpatialPattern.ROW
+
+    def test_column(self):
+        cells = [(i, 6) for i in range(4)]
+        assert classify_pattern(cells, DIM) is SpatialPattern.COLUMN
+
+    def test_row_plus_column(self):
+        cells = [(2, j) for j in range(DIM)] + [(i, 5) for i in range(DIM)]
+        assert classify_pattern(cells, DIM) is SpatialPattern.ROW_COLUMN
+
+    def test_block(self):
+        cells = [(i, j) for i in range(2, 5) for j in range(1, 4)]
+        assert classify_pattern(cells, DIM) is SpatialPattern.BLOCK
+
+    def test_all(self):
+        cells = [(i, j) for i in range(DIM) for j in range(DIM)]
+        assert classify_pattern(cells, DIM) is SpatialPattern.ALL
+
+    def test_almost_all_counts_as_all(self):
+        cells = [(i, j) for i in range(DIM) for j in range(DIM)][:-2]
+        assert classify_pattern(cells, DIM) is SpatialPattern.ALL
+
+    def test_scattered_is_random(self):
+        cells = [(0, 0), (3, 5), (6, 2)]
+        assert classify_pattern(cells, DIM) is SpatialPattern.RANDOM
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify_pattern([], DIM)
+
+    def test_out_of_tile_rejected(self):
+        with pytest.raises(ValueError):
+            classify_pattern([(0, DIM)], DIM)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("pattern", list(SpatialPattern))
+    def test_generated_patterns_classify_back(self, pattern):
+        rng = make_rng(42)
+        for _ in range(25):
+            coords = generate_pattern(pattern, DIM, rng)
+            assert classify_pattern(coords, DIM) is pattern
+
+    @given(st.integers(min_value=6, max_value=16), st.integers(0, 1000))
+    @settings(max_examples=60)
+    def test_roundtrip_across_dims(self, dim, seed):
+        rng = make_rng(seed)
+        for pattern in SpatialPattern:
+            coords = generate_pattern(pattern, dim, rng)
+            assert classify_pattern(coords, dim) is pattern
+
+    def test_coordinates_inside_tile(self):
+        rng = make_rng(1)
+        for pattern in SpatialPattern:
+            for i, j in generate_pattern(pattern, DIM, rng):
+                assert 0 <= i < DIM and 0 <= j < DIM

@@ -1,0 +1,52 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        actions = {a.dest: a for a in parser._actions}
+        choices = actions["command"].choices
+        assert set(choices) >= {"inventory", "campaign", "tmxm",
+                                "profile", "pvf", "build-db"}
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_opcode(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--opcode", "FROB"])
+
+
+class TestCommands:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "pipeline" in out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign", "--opcode", "IADD", "--module", "int",
+                     "--faults", "60", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "AVF" in out and "masked" in out
+
+    def test_campaign_with_attribution(self, capsys):
+        assert main(["campaign", "--opcode", "FADD", "--module",
+                     "pipeline", "--faults", "60", "--attribution"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault attribution" in out
+
+    def test_tmxm(self, capsys):
+        assert main(["tmxm", "--tile", "Zero", "--module", "pipeline",
+                     "--faults", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "t-MxM" in out and "spatial patterns" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--app", "Quicksort"]) == 0
+        out = capsys.readouterr().out
+        assert "Quicksort" in out and "Control" in out

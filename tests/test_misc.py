@@ -1,0 +1,88 @@
+"""Cross-cutting tests: seeds, error hierarchy, datafiles, divergence."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.rng import make_rng, spawn_seeds
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng(7).integers(1 << 30) == make_rng(7).integers(1 << 30)
+
+    def test_spawn_seeds_deterministic(self):
+        assert spawn_seeds(3, 5) == spawn_seeds(3, 5)
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(3, 64)
+        assert len(set(seeds)) == 64
+
+    def test_spawned_streams_uncorrelated(self):
+        a, b = spawn_seeds(0, 2)
+        xs = make_rng(a).random(1000)
+        ys = make_rng(b).random(1000)
+        assert abs(np.corrcoef(xs, ys)[0, 1]) < 0.1
+
+
+class TestErrorHierarchy:
+    def test_gpu_errors_are_hardware_errors(self):
+        for exc in (errors.GpuHangError, errors.InvalidProgramCounterError,
+                    errors.IllegalInstructionError, errors.MemoryFaultError,
+                    errors.RegisterFaultError):
+            assert issubclass(exc, errors.GpuHardwareError)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_fault_decayed_is_not_a_hardware_error(self):
+        # a decayed transient is a masked run, not a GPU failure
+        assert not issubclass(errors.FaultDecayedError,
+                              errors.GpuHardwareError)
+        assert issubclass(errors.FaultDecayedError, errors.ReproError)
+
+    def test_campaign_and_db_errors(self):
+        assert issubclass(errors.CampaignError, errors.ReproError)
+        assert issubclass(errors.SyndromeDatabaseError, errors.ReproError)
+
+
+class TestDatafiles:
+    def test_missing_without_build_raises(self, tmp_path):
+        from repro.datafiles import load_database
+
+        with pytest.raises(FileNotFoundError):
+            load_database(tmp_path / "missing.json", allow_build=False)
+
+    def test_shipped_database_loads(self):
+        from repro.datafiles import default_database_path, load_database
+
+        if not default_database_path().exists():
+            pytest.skip("shipped database not built in this checkout")
+        database = load_database(allow_build=False)
+        opcodes = {entry.key.opcode for entry in database.entries()}
+        # the shipped grid covers all 12 characterised opcodes
+        assert len(opcodes) == 12
+        assert len(database.tmxm_entries()) == 6
+
+
+class TestDivergenceSemantics:
+    def test_mixed_branch_takes_majority_and_drops_minority(self):
+        """The documented SIMT-divergence simplification, pinned down."""
+        from repro.gpu import Opcode, StreamingMultiprocessor
+        from repro.gpu.isa import CompareOp, Predicate
+        from repro.gpu.program import ProgramBuilder
+
+        b = ProgramBuilder("diverge")
+        # threads 0..2 take the branch, 3..7 fall through: minority taken
+        b.iset(Predicate(0), 0, b.imm(3), CompareOp.LT)
+        b.mov(1, b.imm(111))
+        b.bra("taken", predicate=Predicate(0))
+        b.mov(1, b.imm(222))
+        b.label("taken")
+        b.gst(0, 1, offset=0x300)
+        b.exit()
+        sm = StreamingMultiprocessor()
+        result = sm.launch(b.build(), 8)
+        words = result.memory.read_words(0x300, 8)
+        # minority threads (0..2) were dropped: their slots stay empty;
+        # the majority fell through and stored 222
+        assert words[:3] == [0, 0, 0]
+        assert words[3:] == [222] * 5
