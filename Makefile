@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench db examples clean
+.PHONY: install test bench bench-swfi db examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,10 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-swfi:
+	$(PYTHON) -m pytest benchmarks/bench_swfi_parallel.py \
+		--benchmark-only -q
 
 db:
 	$(PYTHON) -m repro build-db

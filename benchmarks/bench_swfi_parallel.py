@@ -1,0 +1,86 @@
+"""Parallel SWFI campaign throughput — serial vs. multi-worker.
+
+The paper's software-level evaluation needs >= 6000 injections per
+application (95% CI under 5 percentage points), and each injection re-runs
+the whole application — the workload its 12-node fault-injection server
+exists to parallelise.  This benchmark measures injections/second for the
+sharded campaign runner on MxM, serially and with 4 worker processes, and
+checks the two configurations produce bit-identical reports.
+
+Emits ``BENCH_swfi_parallel.json`` under ``benchmarks/output/`` with the
+raw timings; on hosts with >= 4 CPUs it asserts the >= 2.5x speedup the
+sharded runner is built for.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.apps import MatrixMultiply
+from repro.swfi import SingleBitFlip, run_pvf_campaign
+
+from conftest import OUTPUT_DIR, emit, scaled
+
+JOBS = 4
+
+
+def _campaign(n, **kwargs):
+    app = MatrixMultiply(seed=0)
+    return run_pvf_campaign(app, SingleBitFlip(), n, seed=2021,
+                            batch_size=50, **kwargs)
+
+
+@pytest.mark.multicore
+def test_swfi_parallel_throughput(benchmark):
+    n = scaled(1000, minimum=200)
+
+    start = time.perf_counter()
+    serial = _campaign(n)
+    serial_s = time.perf_counter() - start
+
+    timing = {}
+
+    def _parallel():
+        t0 = time.perf_counter()
+        report = _campaign(n, n_jobs=JOBS)
+        timing["seconds"] = time.perf_counter() - t0
+        return report
+
+    parallel = benchmark.pedantic(_parallel, rounds=1, iterations=1)
+    parallel_s = timing["seconds"]
+
+    # sharded seeds make the fan-out invisible in the numbers
+    assert serial.to_dict() == parallel.to_dict()
+
+    speedup = serial_s / parallel_s
+    record = {
+        "app": "MxM",
+        "model": "single-bit-flip",
+        "n_injections": n,
+        "jobs": JOBS,
+        "cpus": os.cpu_count(),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "serial_injections_per_second": round(n / serial_s, 1),
+        "parallel_injections_per_second": round(n / parallel_s, 1),
+        "speedup": round(speedup, 2),
+        "pvf": serial.pvf,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_swfi_parallel.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    text = (
+        f"SWFI campaign throughput — MxM, {n} injections, "
+        f"single-bit-flip\n"
+        f"  serial   {n / serial_s:8.1f} inj/s  ({serial_s:.2f}s)\n"
+        f"  {JOBS} workers{n / parallel_s:8.1f} inj/s  "
+        f"({parallel_s:.2f}s)\n"
+        f"  speedup  {speedup:.2f}x on {os.cpu_count()} CPUs "
+        f"(reports bit-identical)")
+    emit("bench_swfi_parallel", text)
+
+    if (os.cpu_count() or 1) >= JOBS:
+        assert speedup >= 2.5, record

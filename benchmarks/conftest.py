@@ -23,6 +23,22 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "multicore: needs more than one CPU (process-pool campaigns)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if (os.cpu_count() or 1) > 1:
+        return
+    skip = pytest.mark.skip(
+        reason="multicore benchmark skipped on a single-CPU runner")
+    for item in items:
+        if "multicore" in item.keywords:
+            item.add_marker(skip)
+
+
 def scaled(n: int, minimum: int = 20) -> int:
     """Scale a campaign size by REPRO_BENCH_SCALE."""
     return max(minimum, int(n * SCALE))

@@ -120,19 +120,27 @@ def _cmd_pvf(args: argparse.Namespace) -> int:
     )
 
     app = _apps()[args.app](seed=args.seed)
-    injector = SoftwareInjector(app)
+    injector = SoftwareInjector(app) if args.jobs == 1 else None
     models = []
     if args.model in ("bitflip", "both"):
         models.append(SingleBitFlip())
     if args.model in ("syndrome", "both"):
         models.append(RelativeErrorSyndrome(load_database()))
     for model in models:
-        report = run_pvf_campaign(app, model, args.injections,
-                                  seed=args.seed, injector=injector)
+        checkpoint = args.checkpoint
+        if checkpoint is not None and len(models) > 1:
+            # one journal per model so "--model both" runs stay resumable
+            checkpoint = f"{checkpoint}.{model.name}.jsonl"
+        report = run_pvf_campaign(
+            app, model, args.injections, seed=args.seed,
+            injector=injector, n_jobs=args.jobs,
+            batch_size=args.batch_size, timeout=args.timeout,
+            checkpoint=checkpoint, resume=args.resume)
         low, high = report.confidence_interval()
         print(f"{app.name} under {model.name}: PVF {report.pvf:.3f} "
               f"(95% CI [{low:.3f}, {high:.3f}], "
-              f"DUE rate {report.due_rate:.3f})")
+              f"DUE rate {report.due_rate:.3f}, "
+              f"{args.jobs} job{'s' if args.jobs != 1 else ''})")
     return 0
 
 
@@ -217,6 +225,21 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["bitflip", "syndrome", "both"])
     pvf.add_argument("--injections", type=int, default=300)
     pvf.add_argument("--seed", type=int, default=0)
+    pvf.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the campaign (batches are "
+                          "seed-sharded; the merged report is identical "
+                          "for any job count)")
+    pvf.add_argument("--batch-size", type=int, default=None,
+                     help="injections per batch (default 50)")
+    pvf.add_argument("--timeout", type=float, default=None,
+                     help="wall-clock seconds per injected run before it "
+                          "is classified as a DUE")
+    pvf.add_argument("--checkpoint", default=None,
+                     help="JSONL journal of completed batches (with "
+                          "--model both, one file per model is derived "
+                          "from this path)")
+    pvf.add_argument("--resume", action="store_true",
+                     help="skip batches already recorded in --checkpoint")
     pvf.set_defaults(func=_cmd_pvf)
 
     db_info = sub.add_parser(

@@ -12,7 +12,7 @@ from typing import List
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn_seeds"]
+__all__ = ["make_rng", "spawn_seeds", "spawn_seed_range"]
 
 
 def make_rng(seed: int) -> np.random.Generator:
@@ -21,6 +21,26 @@ def make_rng(seed: int) -> np.random.Generator:
 
 
 def spawn_seeds(seed: int, count: int) -> List[int]:
-    """Derive *count* independent child seeds from a parent seed."""
+    """Derive *count* independent child seeds from a parent seed.
+
+    Child seeds are indexed: ``spawn_seeds(s, n)`` is a prefix of
+    ``spawn_seeds(s, m)`` for ``n <= m``, so campaigns can grow (or shard)
+    their batch list without reshuffling earlier batches' randomness.
+    """
+    return spawn_seed_range(seed, 0, count)
+
+
+def spawn_seed_range(seed: int, start: int, count: int) -> List[int]:
+    """Child seeds ``start .. start+count-1`` of the parent *seed*.
+
+    ``SeedSequence`` children are identified by their spawn index alone,
+    so any contiguous window of the (conceptually infinite) child-seed
+    list can be regenerated independently — the basis for deterministic
+    batch sharding: batch *i* of a campaign always draws from child *i*,
+    no matter which worker executes it or in which order.
+    """
+    if start < 0 or count < 0:
+        raise ValueError("start and count must be non-negative")
     seq = np.random.SeedSequence(seed)
-    return [int(s.generate_state(1)[0]) for s in seq.spawn(count)]
+    children = seq.spawn(start + count)[start:]
+    return [int(s.generate_state(1)[0]) for s in children]

@@ -1,6 +1,13 @@
 """Software fault injection (the adapted-NVBitFI level of the framework)."""
 
-from .campaign import PVFReport, run_pvf_campaign, run_pvf_until
+from .campaign import (
+    CampaignCheckpoint,
+    PVFReport,
+    plan_batches,
+    run_pvf_batch,
+    run_pvf_campaign,
+    run_pvf_until,
+)
 from .injector import AppHangError, InjectionResult, SoftwareInjector
 from .models import (
     DoubleBitFlip,
@@ -14,7 +21,10 @@ from .profiler import GROUPS, InstructionProfile, profile_application
 from .tmxm_injector import TmxmInjector, TmxmReport
 
 __all__ = [
+    "CampaignCheckpoint",
     "PVFReport",
+    "plan_batches",
+    "run_pvf_batch",
     "run_pvf_campaign",
     "run_pvf_until",
     "AppHangError",

@@ -7,21 +7,48 @@ the application output.  The paper reports PVF per application for the
 single-bit-flip model and the RTL relative-error syndrome model
 (Fig. 10 / Table III), with >= 6000 injections per application and 95%
 confidence intervals under 5%.
+
+Campaigns at that size are embarrassingly parallel — every injection
+re-runs the whole application — so the runner here shards ``n_injections``
+into deterministic batches: batch *i* always draws its randomness from
+child seed *i* of the campaign seed (:func:`repro.rng.spawn_seed_range`),
+no matter whether it executes serially, on one of ``n_jobs`` worker
+processes (the software analogue of the paper's 12-node fault-injection
+server), or in a resumed run.  Merging the per-batch reports in batch
+order therefore reproduces the serial report bit for bit.
+
+Long campaigns can additionally journal every finished batch to a JSONL
+checkpoint; a resumed run replays the journal and only executes the
+batches still missing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..gpu.isa import Opcode
-from ..rng import make_rng
+from ..errors import CampaignError
+from ..rng import make_rng, spawn_seed_range
 from ..rtl.classify import Outcome
 from ..analysis.stats import proportion_confidence_interval
 from .injector import InjectionResult, SoftwareInjector
 from .models import FaultModel
 
-__all__ = ["PVFReport", "run_pvf_campaign"]
+__all__ = [
+    "PVFReport",
+    "CampaignCheckpoint",
+    "plan_batches",
+    "run_pvf_batch",
+    "run_pvf_campaign",
+    "run_pvf_until",
+]
+
+#: Injections per batch when the caller does not choose: small enough to
+#: checkpoint / load-balance at a useful granularity, large enough that a
+#: worker amortises its golden+profile pass over many injections.
+DEFAULT_BATCH_SIZE = 50
 
 
 @dataclass
@@ -51,6 +78,60 @@ class PVFReport:
         else:
             self.n_masked += 1
 
+    # -- combination / serialisation ---------------------------------------
+    def merge_in(self, other: "PVFReport") -> None:
+        """Fold *other*'s tallies into this report (same app and model)."""
+        if (other.app_name != self.app_name
+                or other.model_name != self.model_name):
+            raise CampaignError(
+                f"cannot merge report for {other.app_name}/"
+                f"{other.model_name} into {self.app_name}/{self.model_name}")
+        self.n_injections += other.n_injections
+        self.n_sdc += other.n_sdc
+        self.n_due += other.n_due
+        self.n_masked += other.n_masked
+        for opcode, n in other.per_opcode_injections.items():
+            self.per_opcode_injections[opcode] = (
+                self.per_opcode_injections.get(opcode, 0) + n)
+        for opcode, n in other.per_opcode_sdc.items():
+            self.per_opcode_sdc[opcode] = (
+                self.per_opcode_sdc.get(opcode, 0) + n)
+
+    @classmethod
+    def merge(cls, reports: Sequence["PVFReport"]) -> "PVFReport":
+        """Combine per-batch reports into one campaign report.
+
+        Merging the batch reports of a sharded campaign *in batch order*
+        yields a report bit-identical to the serial run's, because batch
+        randomness depends only on the batch index (never on the executing
+        worker or completion order).
+        """
+        reports = list(reports)
+        if not reports:
+            raise CampaignError("cannot merge an empty report list")
+        merged = cls(app_name=reports[0].app_name,
+                     model_name=reports[0].model_name)
+        for report in reports:
+            merged.merge_in(report)
+        return merged
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PVFReport":
+        return cls(
+            app_name=payload["app_name"],
+            model_name=payload["model_name"],
+            n_injections=int(payload["n_injections"]),
+            n_sdc=int(payload["n_sdc"]),
+            n_due=int(payload["n_due"]),
+            n_masked=int(payload["n_masked"]),
+            per_opcode_sdc=dict(payload["per_opcode_sdc"]),
+            per_opcode_injections=dict(payload["per_opcode_injections"]),
+        )
+
+    # -- statistics ---------------------------------------------------------
     @property
     def pvf(self) -> float:
         """SDC probability per injected (visible) fault."""
@@ -77,17 +158,212 @@ class PVFReport:
         return self.per_opcode_sdc.get(opcode, 0) / injections
 
 
-def run_pvf_campaign(app, model: FaultModel, n_injections: int,
-                     seed: int = 0,
-                     injector: Optional[SoftwareInjector] = None
-                     ) -> PVFReport:
-    """Inject *n_injections* faults into *app* under *model*."""
+# -- batch planning ---------------------------------------------------------
+def plan_batches(n_injections: int,
+                 batch_size: Optional[int] = None) -> List[int]:
+    """Split *n_injections* into the campaign's deterministic batch sizes.
+
+    The plan depends only on ``(n_injections, batch_size)`` — never on the
+    worker count — so serial and parallel executions of the same campaign
+    share one batch/seed layout.
+    """
+    if n_injections < 0:
+        raise CampaignError("n_injections must be non-negative")
+    size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+    if size < 1:
+        raise CampaignError("batch_size must be at least 1")
+    sizes = [size] * (n_injections // size)
+    if n_injections % size:
+        sizes.append(n_injections % size)
+    return sizes
+
+
+def run_pvf_batch(app, model: FaultModel, size: int, seed: int,
+                  injector: Optional[SoftwareInjector] = None,
+                  timeout: Optional[float] = None) -> PVFReport:
+    """Run one batch of *size* injections from its own child seed."""
     injector = injector or SoftwareInjector(app)
     rng = make_rng(seed)
     report = PVFReport(app_name=app.name, model_name=model.name)
-    for _ in range(n_injections):
-        report.add(injector.inject_one(model, rng))
+    for _ in range(size):
+        report.add(injector.inject_one(model, rng, timeout=timeout))
     return report
+
+
+# -- checkpoint journal ------------------------------------------------------
+class CampaignCheckpoint:
+    """Append-only JSONL journal of finished campaign batches.
+
+    Line one is a header identifying the campaign (app, model, seed and
+    batch plan); every further line is one completed batch's report keyed
+    by batch index.  Resuming validates the header and replays completed
+    batches, so an interrupted 6000-injection campaign restarts where it
+    stopped instead of from scratch.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Union[str, Path], header: dict,
+                 resume: bool = False) -> None:
+        self.path = Path(path)
+        self.header = dict(header, version=self.VERSION)
+        self.completed: Dict[int, PVFReport] = {}
+        if resume and self.path.exists():
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("w") as fh:
+                fh.write(json.dumps(
+                    {"kind": "header", **self.header}) + "\n")
+
+    def _load(self) -> None:
+        with self.path.open() as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        if not lines or lines[0].get("kind") != "header":
+            raise CampaignError(
+                f"{self.path} is not a campaign checkpoint")
+        stored = {k: v for k, v in lines[0].items() if k != "kind"}
+        if stored != self.header:
+            raise CampaignError(
+                f"checkpoint {self.path} belongs to a different campaign: "
+                f"stored {stored}, requested {self.header}")
+        for line in lines[1:]:
+            if line.get("kind") != "batch":
+                continue
+            self.completed[int(line["index"])] = (
+                PVFReport.from_dict(line["report"]))
+
+    def record(self, index: int, report: PVFReport) -> None:
+        self.completed[index] = report
+        with self.path.open("a") as fh:
+            fh.write(json.dumps({
+                "kind": "batch",
+                "index": index,
+                "report": report.to_dict(),
+            }) + "\n")
+
+
+# -- worker-process plumbing -------------------------------------------------
+# One injector per worker process: the golden run (which also captures the
+# dynamic-instruction profile) executes once per *worker*, not once per
+# batch or — worse — per injection.
+_WORKER_INJECTOR: Optional[SoftwareInjector] = None
+_WORKER_MODEL: Optional[FaultModel] = None
+
+
+def _init_worker(app, model: FaultModel) -> None:
+    global _WORKER_INJECTOR, _WORKER_MODEL
+    _WORKER_INJECTOR = SoftwareInjector(app)
+    _WORKER_MODEL = model
+    _WORKER_INJECTOR.run_golden()  # pay the reference pass up front
+
+
+def _run_batch(task: Tuple[int, int, int, Optional[float]]
+               ) -> Tuple[int, PVFReport]:
+    index, size, batch_seed, timeout = task
+    report = run_pvf_batch(
+        _WORKER_INJECTOR.app, _WORKER_MODEL, size, batch_seed,
+        injector=_WORKER_INJECTOR, timeout=timeout)
+    return index, report
+
+
+def _execute_batches(app, model: FaultModel,
+                     batches: Sequence[Tuple[int, int, int]],
+                     n_jobs: int,
+                     injector: Optional[SoftwareInjector],
+                     timeout: Optional[float],
+                     checkpoint: Optional[CampaignCheckpoint]
+                     ) -> Dict[int, PVFReport]:
+    """Run ``(index, size, seed)`` batches, serially or on worker processes."""
+    done: Dict[int, PVFReport] = {}
+    if not batches:
+        return done
+    if n_jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(
+                max_workers=n_jobs,
+                initializer=_init_worker,
+                initargs=(app, model)) as pool:
+            futures = [
+                pool.submit(_run_batch, (index, size, seed, timeout))
+                for index, size, seed in batches]
+            for future in as_completed(futures):
+                index, report = future.result()
+                done[index] = report
+                if checkpoint is not None:
+                    checkpoint.record(index, report)
+        return done
+    injector = injector or SoftwareInjector(app)
+    for index, size, seed in batches:
+        report = run_pvf_batch(app, model, size, seed,
+                               injector=injector, timeout=timeout)
+        done[index] = report
+        if checkpoint is not None:
+            checkpoint.record(index, report)
+    return done
+
+
+def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
+                     app, model: FaultModel, seed: int,
+                     batch_size: Optional[int],
+                     n_injections: Optional[int]
+                     ) -> Optional[CampaignCheckpoint]:
+    if path is None:
+        if resume:
+            raise CampaignError("resume=True requires a checkpoint path")
+        return None
+    header = {
+        "app": app.name,
+        "model": model.name,
+        "seed": int(seed),
+        "batch_size": int(DEFAULT_BATCH_SIZE if batch_size is None
+                          else batch_size),
+        "n_injections": None if n_injections is None else int(n_injections),
+    }
+    return CampaignCheckpoint(path, header, resume=resume)
+
+
+# -- campaign runners --------------------------------------------------------
+def run_pvf_campaign(app, model: FaultModel, n_injections: int,
+                     seed: int = 0,
+                     injector: Optional[SoftwareInjector] = None,
+                     n_jobs: int = 1,
+                     batch_size: Optional[int] = None,
+                     timeout: Optional[float] = None,
+                     checkpoint: Optional[Union[str, Path]] = None,
+                     resume: bool = False) -> PVFReport:
+    """Inject *n_injections* faults into *app* under *model*.
+
+    The campaign is sharded into deterministic batches (seed of batch *i*
+    = child *i* of *seed*); ``n_jobs > 1`` fans the batches out over
+    worker processes, each holding its own :class:`SoftwareInjector` whose
+    golden/profile pass runs once per worker.  For a fixed
+    ``(seed, batch_size)`` the merged report is bit-identical across any
+    ``n_jobs``.  ``checkpoint``/``resume`` journal completed batches to a
+    JSONL file and skip them on restart; ``timeout`` bounds each injected
+    run's wall-clock seconds, converting runaways into DUEs.
+    """
+    if n_jobs < 1:
+        raise CampaignError("n_jobs must be at least 1")
+    if n_jobs > 1 and injector is not None:
+        raise CampaignError(
+            "a shared injector cannot be used with parallel workers")
+    sizes = plan_batches(n_injections, batch_size)
+    seeds = spawn_seed_range(seed, 0, len(sizes))
+    journal = _open_checkpoint(checkpoint, resume, app, model, seed,
+                               batch_size, n_injections)
+    completed = dict(journal.completed) if journal is not None else {}
+    pending = [
+        (index, size, batch_seed)
+        for index, (size, batch_seed) in enumerate(zip(sizes, seeds))
+        if index not in completed]
+    completed.update(_execute_batches(
+        app, model, pending, n_jobs, injector, timeout, journal))
+    if not completed:
+        return PVFReport(app_name=app.name, model_name=model.name)
+    return PVFReport.merge(
+        [completed[index] for index in sorted(completed)])
 
 
 def run_pvf_until(app, model: FaultModel,
@@ -96,31 +372,50 @@ def run_pvf_until(app, model: FaultModel,
                   min_injections: int = 100,
                   max_injections: int = 50_000,
                   seed: int = 0,
-                  injector: Optional[SoftwareInjector] = None
-                  ) -> PVFReport:
+                  injector: Optional[SoftwareInjector] = None,
+                  n_jobs: int = 1,
+                  timeout: Optional[float] = None) -> PVFReport:
     """Inject until the PVF confidence interval is tight enough.
 
     The paper sizes its campaigns so the 95% confidence interval stays
     below 5 percentage points; this runner does that adaptively: it
-    injects in batches until the Wilson interval's half-width drops under
-    *target_halfwidth* (or *max_injections* is reached).
+    injects in batches of *min_injections* until the Wilson interval's
+    half-width drops under *target_halfwidth* (or *max_injections* is
+    reached).  With ``n_jobs > 1`` each adaptive round launches one batch
+    per worker, so the campaign grows ``n_jobs`` batches at a time; batch
+    seeds keep following the global child-seed index, making any run
+    reproducible for a fixed ``(seed, min_injections, n_jobs)``.
     """
     if not 0 < target_halfwidth < 1:
         raise ValueError("target_halfwidth must be in (0, 1)")
     if min_injections < 10:
         raise ValueError("min_injections must be at least 10")
-    injector = injector or SoftwareInjector(app)
-    rng = make_rng(seed)
+    if n_jobs < 1:
+        raise CampaignError("n_jobs must be at least 1")
+    if n_jobs > 1 and injector is not None:
+        raise CampaignError(
+            "a shared injector cannot be used with parallel workers")
+    if n_jobs == 1:
+        injector = injector or SoftwareInjector(app)
     report = PVFReport(app_name=app.name, model_name=model.name)
+    next_index = 0
     while report.n_injections < max_injections:
-        batch = min(min_injections,
-                    max_injections - report.n_injections)
-        for _ in range(batch):
-            report.add(injector.inject_one(model, rng))
+        batches: List[Tuple[int, int, int]] = []
+        scheduled = report.n_injections
+        round_seeds = spawn_seed_range(seed, next_index, n_jobs)
+        for offset in range(n_jobs):
+            size = min(min_injections, max_injections - scheduled)
+            if size <= 0:
+                break
+            batches.append((next_index + offset, size,
+                            round_seeds[offset]))
+            scheduled += size
+        done = _execute_batches(app, model, batches, n_jobs, injector,
+                                timeout, checkpoint=None)
+        next_index += len(batches)
+        for index in sorted(done):
+            report.merge_in(done[index])
         low, high = report.confidence_interval(confidence)
         if (high - low) / 2 <= target_halfwidth:
             break
     return report
-
-
-__all__.append("run_pvf_until")

@@ -5,18 +5,24 @@ SASS histogram) and injected — one randomly selected dynamic instruction's
 output corrupted by a fault model, then run to completion and classified
 as Masked / SDC / DUE, exactly the flow of the adapted NVBitFI in
 Sec. IV-B.
+
+The golden pass runs through an un-targeted :class:`SassOps`, which counts
+every dynamic instruction as a side effect, so one execution yields both
+the reference output and the Figure 3 profile.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ReproError
 from ..gpu.isa import Opcode
-from ..rng import make_rng
 from ..rtl.classify import Outcome
 from .models import FaultModel
 from .ops import SassOps
@@ -25,7 +31,38 @@ __all__ = ["AppHangError", "InjectionResult", "SoftwareInjector"]
 
 
 class AppHangError(ReproError):
-    """An application exceeded its iteration guard (a software DUE)."""
+    """An application exceeded its iteration or wall-clock guard (a DUE)."""
+
+
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float]):
+    """Abort the enclosed block with :class:`AppHangError` after *seconds*.
+
+    Uses an interval timer (SIGALRM), which covers runaway numpy loops a
+    pure iteration guard cannot interrupt.  Degrades to a no-op when no
+    limit is requested or signals are unavailable (non-main thread,
+    platforms without SIGALRM) — worker processes run injections on their
+    main thread, so the guard is active there.
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if (not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise AppHangError(
+            f"wall-clock guard: injected run exceeded {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass(frozen=True)
@@ -36,6 +73,9 @@ class InjectionResult:
     opcode: Optional[Opcode]
     target: int
     detail: str = ""
+    #: every opcode the injection span corrupted, in execution order
+    #: (more than one iff a multi-thread span crossed an op boundary)
+    corrupted_opcodes: Tuple[Opcode, ...] = field(default=())
 
 
 class SoftwareInjector:
@@ -49,31 +89,41 @@ class SoftwareInjector:
 
     # -- reference passes ----------------------------------------------------
     def run_golden(self):
-        """Fault-free output, cached."""
+        """Fault-free output, cached; captures the profile as it runs."""
         if self._golden is None:
             ops = SassOps()
             self._golden = self.app.run(ops)
+            self._profile_counts = ops.profile()
+            self._injectable_total = ops.injectable_total
         return self._golden
 
     def run_profile(self) -> Dict[Opcode, int]:
-        """Dynamic SASS instruction histogram (Figure 3)."""
+        """Dynamic SASS instruction histogram (Figure 3).
+
+        The histogram falls out of the golden pass — the un-targeted
+        :class:`SassOps` counts every instruction it executes — so the app
+        is run at most once for both reference artefacts.
+        """
         if self._profile_counts is None:
-            ops = SassOps()
-            self.app.run(ops)
-            self._profile_counts = ops.profile()
-            self._injectable_total = ops.injectable_total
+            self.run_golden()
         return self._profile_counts
 
     @property
     def injectable_total(self) -> int:
         if self._injectable_total is None:
-            self.run_profile()
+            self.run_golden()
         return self._injectable_total
 
     # -- injection ----------------------------------------------------------------
     def inject_one(self, model: FaultModel,
-                   rng: np.random.Generator) -> InjectionResult:
-        """Corrupt one random dynamic instruction and classify the run."""
+                   rng: np.random.Generator,
+                   timeout: Optional[float] = None) -> InjectionResult:
+        """Corrupt one random dynamic instruction and classify the run.
+
+        ``timeout`` bounds the injected run's wall-clock seconds; a run
+        that exceeds it is classified as a DUE (the hang the paper's
+        watchdog would reset) instead of stalling the campaign.
+        """
         golden = self.run_golden()
         total = self.injectable_total
         if total == 0:
@@ -83,12 +133,17 @@ class SoftwareInjector:
         span = model.sample_span(rng)
         ops = SassOps(target=target, corruptor=model(rng), span=span)
         try:
-            observed = self.app.run(ops)
+            with _wall_clock_limit(timeout):
+                observed = self.app.run(ops)
         except (AppHangError, FloatingPointError, ZeroDivisionError,
                 IndexError, ValueError, OverflowError) as exc:
             return InjectionResult(
                 Outcome.DUE, ops.injected, target,
-                detail=f"{type(exc).__name__}: {exc}")
+                detail=f"{type(exc).__name__}: {exc}",
+                corrupted_opcodes=tuple(ops.corrupted_opcodes))
+        corrupted = tuple(ops.corrupted_opcodes)
         if self.app.is_sdc(golden, observed):
-            return InjectionResult(Outcome.SDC, ops.injected, target)
-        return InjectionResult(Outcome.MASKED, ops.injected, target)
+            return InjectionResult(Outcome.SDC, ops.injected, target,
+                                   corrupted_opcodes=corrupted)
+        return InjectionResult(Outcome.MASKED, ops.injected, target,
+                               corrupted_opcodes=corrupted)

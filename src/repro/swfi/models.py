@@ -125,12 +125,25 @@ class RelativeErrorSyndrome(FaultModel):
 
     def corrupt(self, opcode: Opcode, golden, operands: Sequence,
                 is_float: bool, rng: np.random.Generator):
+        return self._corrupt_with_module(
+            opcode, golden, operands, is_float, rng, self.module)
+
+    def _corrupt_with_module(self, opcode: Opcode, golden,
+                             operands: Sequence, is_float: bool,
+                             rng: np.random.Generator,
+                             module: Optional[str]):
+        """Corrupt pinned to *module* without touching instance state.
+
+        The selected module is threaded through as an argument so that one
+        model instance can serve several injectors (including concurrent
+        worker processes) without stateful cross-talk.
+        """
         magnitude = max(
             (abs(float(op)) for op in operands if _is_number(op)),
             default=abs(float(golden)),
         )
         entry = self.database.lookup(
-            opcode.value, range_for_value(magnitude), self.module)
+            opcode.value, range_for_value(magnitude), module)
         relative = entry.sample_relative_error(rng)
         sign = 1.0 if rng.random() < 0.5 else -1.0
         if is_float:
@@ -183,17 +196,14 @@ class ModuleWeightedSyndrome(RelativeErrorSyndrome):
                 is_float: bool, rng: np.random.Generator):
         modules = [m for m in self.database.modules_for(opcode.value)
                    if self.weights.get(m, 0) > 0]
+        module = None
         if modules:
             weights = np.array([self.weights[m] for m in modules],
                                dtype=float)
             weights /= weights.sum()
-            self.module = modules[int(rng.choice(len(modules), p=weights))]
-        else:
-            self.module = None
-        try:
-            return super().corrupt(opcode, golden, operands, is_float, rng)
-        finally:
-            self.module = None
+            module = modules[int(rng.choice(len(modules), p=weights))]
+        return self._corrupt_with_module(
+            opcode, golden, operands, is_float, rng, module)
 
 
 def _is_number(value) -> bool:

@@ -20,7 +20,7 @@ would (numpy single-precision semantics).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -65,7 +65,13 @@ class SassOps:
         #: span > 1 models the multi-thread corruption the RTL campaigns
         #: attribute to scheduler/pipeline control faults
         self.span = span
+        #: opcode of the *targeted* instruction (the one at ``target``);
+        #: a span crossing an op boundary corrupts later ops too, but the
+        #: injection is attributed to the first
         self.injected: Optional[Opcode] = None
+        #: every opcode that had at least one element corrupted, in
+        #: execution order (len > 1 iff the span crossed an op boundary)
+        self.corrupted_opcodes: List[Opcode] = []
         self.n_corrupted = 0
 
     # -- bookkeeping ------------------------------------------------------------
@@ -109,7 +115,9 @@ class SassOps:
             flat[index] = self.corruptor(
                 opcode, flat[index].item(), element_operands, is_float)
             self.n_corrupted += 1
-        self.injected = opcode
+        self.corrupted_opcodes.append(opcode)
+        if self.injected is None:
+            self.injected = opcode
         return result
 
     # -- float32 arithmetic -----------------------------------------------------------

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.gpu import Opcode
@@ -12,6 +14,22 @@ from repro.rtl import (
     run_campaign,
 )
 from repro.syndrome import build_database
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "multicore: needs more than one CPU (process-pool campaigns)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if (os.cpu_count() or 1) > 1:
+        return
+    skip = pytest.mark.skip(
+        reason="multicore test skipped on a single-CPU runner")
+    for item in items:
+        if "multicore" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -50,3 +50,22 @@ class TestCommands:
         assert main(["profile", "--app", "Quicksort"]) == 0
         out = capsys.readouterr().out
         assert "Quicksort" in out and "Control" in out
+
+    def test_pvf_with_checkpoint_and_resume(self, capsys, tmp_path):
+        journal = tmp_path / "mxm.jsonl"
+        argv = ["pvf", "--app", "MxM", "--model", "bitflip",
+                "--injections", "60", "--batch-size", "20",
+                "--checkpoint", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "PVF" in first and journal.exists()
+        # resume replays the journal without re-running any batch
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_pvf_resume_requires_checkpoint(self):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            main(["pvf", "--app", "MxM", "--model", "bitflip",
+                  "--injections", "20", "--resume"])
