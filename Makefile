@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-swfi db examples clean
+.PHONY: install test bench bench-swfi bench-rtl db examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,10 @@ bench:
 
 bench-swfi:
 	$(PYTHON) -m pytest benchmarks/bench_swfi_parallel.py \
+		--benchmark-only -q
+
+bench-rtl:
+	$(PYTHON) -m pytest benchmarks/bench_rtl_parallel.py \
 		--benchmark-only -q
 
 db:

@@ -1,0 +1,94 @@
+"""Parallel RTL campaign-grid throughput — serial vs. multi-worker.
+
+The paper's RTL characterisation injects thousands of faults per
+(instruction, input range, module) cell — months of ModelSim time that
+its fault-injection server spreads over many nodes.  This benchmark
+measures injected faults/second for a small instruction grid on the
+shared campaign engine, serially and with 4 worker processes, and checks
+the merged reports are bit-identical: intra-cell fault batches are
+seed-sharded by batch index, so the fan-out is invisible in the numbers.
+
+Emits ``BENCH_rtl_parallel.json`` under ``benchmarks/output/`` with the
+raw timings; on hosts with >= 4 CPUs it asserts a >= 2x speedup (RTL
+cells are coarser than SWFI injections, so the pool amortises less).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.gpu import Opcode
+from repro.rtl import run_grid
+
+from conftest import OUTPUT_DIR, emit, scaled
+
+JOBS = 4
+
+#: Two opcodes x two ranges over their modules: enough cells and batches
+#: to occupy four workers without dominating the suite's runtime.
+OPCODES = (Opcode.FADD, Opcode.IADD)
+RANGES = ("S", "M")
+
+
+def _grid(n_faults, **kwargs):
+    return run_grid(opcodes=OPCODES, input_ranges=RANGES,
+                    n_faults=n_faults, seed=2021, batch_size=50, **kwargs)
+
+
+@pytest.mark.multicore
+def test_rtl_parallel_throughput(benchmark):
+    n_faults = scaled(300, minimum=100)
+
+    start = time.perf_counter()
+    serial = _grid(n_faults)
+    serial_s = time.perf_counter() - start
+    n_cells = len(serial)
+    total = sum(r.n_injections for r in serial)
+
+    timing = {}
+
+    def _parallel():
+        t0 = time.perf_counter()
+        reports = _grid(n_faults, n_jobs=JOBS)
+        timing["seconds"] = time.perf_counter() - t0
+        return reports
+
+    parallel = benchmark.pedantic(_parallel, rounds=1, iterations=1)
+    parallel_s = timing["seconds"]
+
+    # merge determinism: same grid, any job count, same bits
+    assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
+
+    speedup = serial_s / parallel_s
+    record = {
+        "opcodes": [o.value for o in OPCODES],
+        "input_ranges": list(RANGES),
+        "n_cells": n_cells,
+        "faults_per_cell": n_faults,
+        "total_faults": total,
+        "jobs": JOBS,
+        "cpus": os.cpu_count(),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "serial_faults_per_second": round(total / serial_s, 1),
+        "parallel_faults_per_second": round(total / parallel_s, 1),
+        "speedup": round(speedup, 2),
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_rtl_parallel.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    text = (
+        f"RTL grid throughput — {n_cells} cells, "
+        f"{n_faults} faults/cell ({total} total)\n"
+        f"  serial   {total / serial_s:8.1f} faults/s  ({serial_s:.2f}s)\n"
+        f"  {JOBS} workers{total / parallel_s:8.1f} faults/s  "
+        f"({parallel_s:.2f}s)\n"
+        f"  speedup  {speedup:.2f}x on {os.cpu_count()} CPUs "
+        f"(reports bit-identical)")
+    emit("bench_rtl_parallel", text)
+
+    if (os.cpu_count() or 1) >= JOBS:
+        assert speedup >= 2.0, record

@@ -29,6 +29,34 @@ __all__ = [
 ]
 
 
+#: Canonical CLI/pipeline names for every application (paper Table III
+#: plus the extension benchmarks).
+APP_FACTORIES = {
+    "MxM": MatrixMultiply,
+    "LUD": LUDecomposition,
+    "Quicksort": Quicksort,
+    "Lava": LavaMD,
+    "Gaussian": GaussianElimination,
+    "Hotspot": Hotspot,
+    "LeNET": LeNetApp,
+    "YoloV3": YoloApp,
+    "BFS": BreadthFirstSearch,
+    "NW": NeedlemanWunsch,
+    "Pathfinder": Pathfinder,
+}
+
+
+def make_application(name: str, seed: int = 0) -> GPUApplication:
+    """Instantiate a registered application by its canonical name."""
+    try:
+        factory = APP_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; "
+            f"choose from {sorted(APP_FACTORIES)}")
+    return factory(seed=seed)
+
+
 def all_applications(seed: int = 0):
     """The Table III application set, default-sized."""
     return [
@@ -43,4 +71,4 @@ def all_applications(seed: int = 0):
     ]
 
 
-__all__.append("all_applications")
+__all__ += ["APP_FACTORIES", "all_applications", "make_application"]

@@ -1,0 +1,37 @@
+"""Level-agnostic campaign engine shared by the RTL and software levels.
+
+``engine`` executes deterministic seed-indexed work units over worker
+processes with checkpoint/resume and merge-in-order semantics;
+``checkpoint`` is the JSONL journal; ``progress`` the unified reporter;
+``pipeline`` chains RTL grid -> syndrome database -> SWFI PVF into one
+resumable end-to-end run.
+"""
+
+from .checkpoint import CampaignCheckpoint
+from .engine import (
+    DEFAULT_BATCH_SIZE,
+    Mergeable,
+    UnitTimeout,
+    WorkUnit,
+    merge_ordered,
+    plan_batches,
+    plan_units,
+    run_units,
+    wall_clock_limit,
+)
+from .progress import ProgressReporter, make_progress
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "CampaignCheckpoint",
+    "Mergeable",
+    "ProgressReporter",
+    "UnitTimeout",
+    "WorkUnit",
+    "make_progress",
+    "merge_ordered",
+    "plan_batches",
+    "plan_units",
+    "run_units",
+    "wall_clock_limit",
+]

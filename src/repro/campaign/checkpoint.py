@@ -1,0 +1,117 @@
+"""Level-agnostic JSONL checkpoint journal for batched campaigns.
+
+Line one is a header identifying the campaign (level, seed, batch plan,
+whatever the caller puts in it); every further line is one completed work
+unit's report keyed by unit index.  Resuming validates the header and
+replays completed units, so an interrupted multi-hour campaign — an RTL
+grid just as much as a 6000-injection SWFI run — restarts where it
+stopped instead of from scratch.
+
+A journal written by a killed process may end in a truncated line; such
+lines (and any other line that fails to parse or decode) are skipped
+with a :class:`UserWarning` rather than aborting the resume — the unit
+they described simply re-runs.  When damage is detected the journal is
+compacted on load so it does not warn again on the next resume.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..errors import CampaignError
+
+__all__ = ["CampaignCheckpoint"]
+
+
+class CampaignCheckpoint:
+    """Append-only JSONL journal of finished campaign work units.
+
+    ``decode`` turns a journaled report dict back into the caller's
+    report object (e.g. ``PVFReport.from_dict``); when omitted the raw
+    dict is returned.  Reports are journaled via their ``to_dict``.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Union[str, Path], header: dict,
+                 decode: Optional[Callable[[dict], Any]] = None,
+                 resume: bool = False) -> None:
+        self.path = Path(path)
+        self.header = dict(header, version=self.VERSION)
+        self.decode = decode
+        self.completed: Dict[int, Any] = {}
+        if resume and self.path.exists():
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("w") as fh:
+                fh.write(json.dumps(
+                    {"kind": "header", **self.header}) + "\n")
+
+    def _load(self) -> None:
+        records = []
+        damaged = False
+        with self.path.open() as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    damaged = True
+                    warnings.warn(
+                        f"{self.path}:{lineno}: skipping corrupt "
+                        "checkpoint line (truncated write?); its batch "
+                        "will re-run")
+        if not records or records[0].get("kind") != "header":
+            raise CampaignError(
+                f"{self.path} is not a campaign checkpoint")
+        stored = {k: v for k, v in records[0].items() if k != "kind"}
+        if stored != self.header:
+            raise CampaignError(
+                f"checkpoint {self.path} belongs to a different campaign: "
+                f"stored {stored}, requested {self.header}")
+        raw: Dict[int, dict] = {}
+        for record in records[1:]:
+            if record.get("kind") != "batch":
+                continue
+            try:
+                index = int(record["index"])
+                report = record["report"]
+                decoded = self.decode(report) if self.decode else report
+            except (KeyError, TypeError, ValueError) as exc:
+                damaged = True
+                warnings.warn(
+                    f"{self.path}: skipping undecodable batch record "
+                    f"({type(exc).__name__}: {exc}); its batch will "
+                    "re-run")
+                continue
+            raw[index] = report
+            self.completed[index] = decoded
+        if damaged:
+            self._rewrite(raw)
+
+    def _rewrite(self, raw: Dict[int, dict]) -> None:
+        """Compact the journal to header + valid batches only."""
+        with self.path.open("w") as fh:
+            fh.write(json.dumps({"kind": "header", **self.header}) + "\n")
+            for index in sorted(raw):
+                fh.write(json.dumps({
+                    "kind": "batch",
+                    "index": index,
+                    "report": raw[index],
+                }) + "\n")
+
+    def record(self, index: int, report: Any) -> None:
+        """Journal one finished unit (``report`` must offer ``to_dict``)."""
+        self.completed[index] = report
+        payload = report.to_dict() if hasattr(report, "to_dict") else report
+        with self.path.open("a") as fh:
+            fh.write(json.dumps({
+                "kind": "batch",
+                "index": index,
+                "report": payload,
+            }) + "\n")

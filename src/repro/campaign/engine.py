@@ -1,0 +1,334 @@
+"""Level-agnostic campaign execution engine.
+
+Both fault-injection levels of the paper share one execution problem:
+a campaign is a long list of independent, seeded work units (a batch of
+RTL faults against one grid cell, a batch of software injections into
+one application) whose results must merge into a report that is
+bit-identical no matter how the units were scheduled.  The paper solved
+it with a 12-node ModelSim server; this module is the reusable software
+equivalent, so neither ``repro.rtl`` nor ``repro.swfi`` owns its own
+pool/checkpoint/guard machinery.
+
+The engine owns:
+
+* **Deterministic seed-indexed sharding** — a :class:`WorkUnit` carries
+  the child seed derived from its global index, so randomness never
+  depends on the worker count, completion order, or checkpoint
+  boundaries (:func:`plan_batches` + :func:`repro.rng.spawn_seed_range`).
+* **Process-pool execution with worker-local state** — each worker
+  process builds its own simulator/injector once via a picklable
+  ``state_factory`` and amortises it over every unit it executes.
+* **JSONL checkpoint/resume** — completed units are journaled through a
+  :class:`~repro.campaign.checkpoint.CampaignCheckpoint` and skipped on
+  resume.
+* **Per-unit wall-clock DUE guards** — :func:`wall_clock_limit` converts
+  a runaway unit into a diagnosable timeout instead of a hung campaign.
+* **Mergeable-report protocol** — reports implement
+  :class:`Mergeable` (``merge_in``/``merge``/``to_dict``/``from_dict``);
+  :func:`merge_ordered` folds per-unit reports in index order, which is
+  what makes the merged report equal to the serial run's bit for bit.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:  # pragma: no cover - always present on python >= 3.8
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore
+
+    def runtime_checkable(cls):  # type: ignore
+        return cls
+
+from ..errors import CampaignError, ReproError
+from ..rng import spawn_seed_range
+from .checkpoint import CampaignCheckpoint
+from .progress import ProgressReporter
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "Mergeable",
+    "UnitTimeout",
+    "WorkUnit",
+    "merge_ordered",
+    "plan_batches",
+    "plan_units",
+    "run_units",
+    "wall_clock_limit",
+]
+
+#: Units per batch when the caller does not choose: small enough to
+#: checkpoint / load-balance at a useful granularity, large enough that
+#: a worker amortises its reference pass over many injections.
+DEFAULT_BATCH_SIZE = 50
+
+
+# -- report protocol ---------------------------------------------------------
+@runtime_checkable
+class Mergeable(Protocol):
+    """What the engine requires of a campaign report.
+
+    ``merge_in`` folds another report's tallies into this one (raising
+    on incompatible reports); ``to_dict``/``from_dict`` round-trip the
+    report through the JSONL checkpoint.  Classes usually add a
+    ``merge`` classmethod on top; :func:`merge_ordered` uses it when
+    present.
+    """
+
+    def merge_in(self, other: Any) -> None: ...
+
+    def to_dict(self) -> dict: ...
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> Any: ...
+
+
+def merge_ordered(results: Mapping[int, Any]) -> Any:
+    """Merge per-unit reports in unit-index order.
+
+    Merging in index order — never completion order — is the invariant
+    that makes a sharded campaign's merged report bit-identical to the
+    serial run's for a fixed seed.
+    """
+    if not results:
+        raise CampaignError("cannot merge an empty result set")
+    ordered = [results[index] for index in sorted(results)]
+    cls = type(ordered[0])
+    if hasattr(cls, "merge"):
+        return cls.merge(ordered)
+    merged = cls.from_dict(ordered[0].to_dict())  # do not mutate inputs
+    for report in ordered[1:]:
+        merged.merge_in(report)
+    return merged
+
+
+# -- batch planning ----------------------------------------------------------
+def plan_batches(total: int, batch_size: Optional[int] = None) -> List[int]:
+    """Split *total* units of work into deterministic batch sizes.
+
+    The plan depends only on ``(total, batch_size)`` — never on the
+    worker count — so serial and parallel executions of the same
+    campaign share one batch/seed layout.
+    """
+    if total < 0:
+        raise CampaignError("n_injections must be non-negative")
+    size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+    if size < 1:
+        raise CampaignError("batch_size must be at least 1")
+    sizes = [size] * (total // size)
+    if total % size:
+        sizes.append(total % size)
+    return sizes
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable slice of a campaign.
+
+    ``index`` is the unit's global position in the campaign plan (and
+    its merge rank); ``seed`` is the deterministic child seed its
+    randomness must come from; ``size`` is how many injections/faults it
+    covers; ``spec`` is an arbitrary picklable payload telling the unit
+    runner *what* to run (cell coordinates, bench spec, ...).
+    """
+
+    index: int
+    size: int
+    seed: int
+    spec: Any = None
+    label: str = ""
+
+
+def plan_units(total: int, seed: int,
+               batch_size: Optional[int] = None,
+               spec: Any = None,
+               base_index: int = 0,
+               label: str = "") -> List[WorkUnit]:
+    """Shard *total* units of work into seed-indexed :class:`WorkUnit`\\ s.
+
+    Unit ``base_index + i`` draws from child seed ``base_index + i`` of
+    *seed* — the contract that keeps any contiguous re-planning (resume,
+    parallel fan-out, adaptive growth) on the same random streams.
+    """
+    sizes = plan_batches(total, batch_size)
+    seeds = spawn_seed_range(seed, base_index, len(sizes))
+    return [
+        WorkUnit(index=base_index + i, size=size, seed=unit_seed,
+                 spec=spec,
+                 label=label or f"batch {base_index + i}")
+        for i, (size, unit_seed) in enumerate(zip(sizes, seeds))
+    ]
+
+
+# -- wall-clock guard --------------------------------------------------------
+class UnitTimeout(ReproError):
+    """A work unit exceeded its wall-clock budget."""
+
+
+@contextmanager
+def wall_clock_limit(seconds: Optional[float],
+                     make_exception: Optional[
+                         Callable[[float], BaseException]] = None):
+    """Abort the enclosed block after *seconds* of wall-clock time.
+
+    Uses an interval timer (SIGALRM), which covers runaway numpy loops a
+    pure iteration guard cannot interrupt.  Degrades to a no-op when no
+    limit is requested or signals are unavailable (non-main thread,
+    platforms without SIGALRM) — worker processes run units on their
+    main thread, so the guard is active there.  ``make_exception`` maps
+    the budget to the exception to raise (default :class:`UnitTimeout`).
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if (not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        if make_exception is not None:
+            raise make_exception(seconds)
+        raise UnitTimeout(
+            f"wall-clock guard: work unit exceeded {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# -- worker-process plumbing -------------------------------------------------
+# One state per worker process: the expensive reference artefact (an SM
+# model, a golden+profile pass) is built once per *worker*, not once per
+# unit or — worse — per injection.
+_WORKER_STATE: Any = None
+_WORKER_RUN: Optional[Callable[[Any, WorkUnit], Any]] = None
+
+
+def _worker_init(state_factory: Optional[Callable[[], Any]],
+                 run_unit: Callable[[Any, WorkUnit], Any]) -> None:
+    global _WORKER_STATE, _WORKER_RUN
+    _WORKER_STATE = state_factory() if state_factory is not None else None
+    _WORKER_RUN = run_unit
+
+
+def _worker_call(unit: WorkUnit) -> Tuple[int, Any]:
+    return unit.index, _WORKER_RUN(_WORKER_STATE, unit)
+
+
+class _OrderedEmitter:
+    """Deliver results to a consumer in unit-index order.
+
+    Parallel units complete out of order; buffering the out-of-order
+    window and flushing sequentially gives downstream consumers (the
+    streaming syndrome-database builder) a deterministic input order
+    while keeping memory bounded by the reorder window, not the
+    campaign.
+    """
+
+    def __init__(self, indices: Sequence[int],
+                 consume: Callable[[int, Any], None]) -> None:
+        self._pending = sorted(indices)
+        self._cursor = 0
+        self._buffer: Dict[int, Any] = {}
+        self._consume = consume
+
+    def offer(self, index: int, report: Any) -> None:
+        self._buffer[index] = report
+        while (self._cursor < len(self._pending)
+               and self._pending[self._cursor] in self._buffer):
+            ready = self._pending[self._cursor]
+            self._consume(ready, self._buffer.pop(ready))
+            self._cursor += 1
+
+
+# -- the engine --------------------------------------------------------------
+def run_units(
+    units: Sequence[WorkUnit],
+    run_unit: Callable[[Any, WorkUnit], Any],
+    *,
+    n_jobs: int = 1,
+    state_factory: Optional[Callable[[], Any]] = None,
+    state: Any = None,
+    checkpoint: Optional[CampaignCheckpoint] = None,
+    consume: Optional[Callable[[int, Any], None]] = None,
+    progress: Optional[ProgressReporter] = None,
+    collect: bool = True,
+) -> Dict[int, Any]:
+    """Execute campaign work units serially or on a process pool.
+
+    ``run_unit(state, unit)`` produces one report per unit; it and
+    ``state_factory`` must be picklable (module-level callables or
+    ``functools.partial`` of them) when ``n_jobs > 1``.  Serial runs use
+    *state* if given, else lazily call ``state_factory`` once.
+
+    Units already present in *checkpoint* are replayed, not re-run; new
+    completions are journaled as they land.  ``consume`` receives every
+    unit's report **in index order** (replayed ones included) — the
+    streaming hook for per-batch downstream processing.  ``collect=False``
+    drops reports after checkpoint/consume, bounding memory on huge
+    campaigns.
+
+    Returns ``{unit index: report}`` (empty when ``collect=False``).
+    """
+    if n_jobs < 1:
+        raise CampaignError("n_jobs must be at least 1")
+    replayed = dict(checkpoint.completed) if checkpoint is not None else {}
+    pending = [unit for unit in units if unit.index not in replayed]
+    labels = {unit.index: unit.label for unit in units}
+    results: Dict[int, Any] = {}
+    emitter = (_OrderedEmitter([u.index for u in units], consume)
+               if consume is not None else None)
+
+    def _finish(index: int, report: Any, cached: bool) -> None:
+        if checkpoint is not None and not cached:
+            checkpoint.record(index, report)
+        if emitter is not None:
+            emitter.offer(index, report)
+        if collect:
+            results[index] = report
+        if progress is not None:
+            progress.advance(labels.get(index, str(index)), cached=cached)
+
+    for unit in units:  # replayed units first, in plan order
+        if unit.index in replayed:
+            _finish(unit.index, replayed[unit.index], cached=True)
+
+    if not pending:
+        return results
+    if n_jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(pending)),
+                initializer=_worker_init,
+                initargs=(state_factory, run_unit)) as pool:
+            futures = [pool.submit(_worker_call, unit) for unit in pending]
+            for future in as_completed(futures):
+                index, report = future.result()
+                _finish(index, report, cached=False)
+        return results
+
+    if state is None and state_factory is not None:
+        state = state_factory()  # built once, only when work remains
+    for unit in pending:
+        _finish(unit.index, run_unit(state, unit), cached=False)
+    return results

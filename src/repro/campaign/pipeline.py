@@ -1,0 +1,205 @@
+"""End-to-end two-level pipeline: RTL grid -> syndrome DB -> SWFI PVF.
+
+This is the paper's whole methodology as one resumable run
+(``python -m repro pipeline``): the RTL instruction grid and the t-MxM
+tile campaigns execute on the shared campaign engine, their per-batch
+reports stream straight into a
+:class:`~repro.syndrome.builder.StreamingDatabaseBuilder`, the distilled
+database is saved as JSON, and the software-level PVF campaigns then
+inject that database's syndromes (plus the single-bit-flip baseline)
+into the selected applications.
+
+Every stage journals to *workdir* and resumes from whatever is already
+there:
+
+* ``rtl_grid.jsonl`` / ``tmxm.jsonl`` — engine checkpoints; a killed
+  grid restarts at the first unfinished fault batch.
+* ``syndrome_db.json`` — once it exists the RTL stages are skipped
+  entirely and the database is loaded back.
+* ``pvf_<app>_<model>.jsonl`` — per-campaign engine checkpoints.
+* ``pipeline_summary.json`` — final metrics, written last.
+
+Because batch randomness is seed-indexed, the pipeline's outputs are
+bit-identical for a fixed seed no matter how often it was interrupted or
+how many workers ran it (``--jobs``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import CampaignError
+from .progress import ProgressReporter, make_progress
+
+__all__ = ["PIPELINE_SEED", "run_pipeline"]
+
+#: Default campaign seed (the paper's publication year, as in datafiles).
+PIPELINE_SEED = 2021
+
+_MODEL_NAMES = ("bitflip", "syndrome")
+
+
+def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
+                input_ranges, grid_faults: int, tmxm_faults: int,
+                n_jobs: int, batch_size: Optional[int],
+                timeout: Optional[float], fresh: bool,
+                quiet: bool) -> None:
+    """Stage 1+2: RTL instruction grid and t-MxM tiles, streamed."""
+    from ..rtl.campaign import run_grid, run_tmxm_grid
+    from ..rtl.injector import RTLInjector
+
+    injector = RTLInjector() if n_jobs == 1 else None
+    grid_journal = workdir / "rtl_grid.jsonl"
+    tmxm_journal = workdir / "tmxm.jsonl"
+    progress = make_progress(None, "rtl", quiet=quiet)
+    progress.status(
+        f"[stage 1/3] RTL grid ({grid_faults} faults/cell)"
+        + (" [resuming]" if not fresh and grid_journal.exists() else ""))
+    run_grid(
+        opcodes=opcodes, input_ranges=input_ranges, n_faults=grid_faults,
+        seed=seed, injector=injector, n_jobs=n_jobs,
+        batch_size=batch_size, timeout=timeout,
+        checkpoint=grid_journal, resume=not fresh and grid_journal.exists(),
+        progress=progress,
+        consume=lambda index, report: builder.add_report(report),
+        collect=False)
+    progress = make_progress(None, "tmxm", quiet=quiet)
+    progress.status(
+        f"[stage 1/3] t-MxM tiles ({tmxm_faults} faults/cell)"
+        + (" [resuming]" if not fresh and tmxm_journal.exists() else ""))
+    run_tmxm_grid(
+        n_faults=tmxm_faults, seed=seed + 1, injector=injector,
+        n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
+        checkpoint=tmxm_journal, resume=not fresh and tmxm_journal.exists(),
+        progress=progress,
+        consume=lambda index, report: builder.add_tmxm_report(report),
+        collect=False)
+
+
+def _make_model(name: str, database):
+    from ..swfi.models import RelativeErrorSyndrome, SingleBitFlip
+
+    if name == "bitflip":
+        return SingleBitFlip()
+    if name == "syndrome":
+        return RelativeErrorSyndrome(database)
+    raise CampaignError(
+        f"unknown fault model {name!r}; choose from {_MODEL_NAMES}")
+
+
+def run_pipeline(workdir: Union[str, Path],
+                 seed: int = PIPELINE_SEED,
+                 opcodes: Optional[Iterable] = None,
+                 input_ranges: Sequence[str] = ("S", "M", "L"),
+                 grid_faults: int = 200,
+                 tmxm_faults: int = 200,
+                 apps: Sequence[str] = ("MxM",),
+                 models: Sequence[str] = _MODEL_NAMES,
+                 injections: int = 300,
+                 n_jobs: int = 1,
+                 batch_size: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 fresh: bool = False,
+                 quiet: bool = False) -> Dict:
+    """Run RTL campaigns, distil the database, measure application PVFs.
+
+    Returns the summary dict (also written to
+    ``workdir/pipeline_summary.json``).  Re-invoking with the same
+    *workdir* resumes: finished RTL batches replay from their journals, a
+    finished database skips the RTL stages, and finished PVF batches
+    replay from theirs.  ``fresh=True`` discards all prior state.
+    """
+    from ..apps import APP_FACTORIES, make_application
+    from ..rtl.campaign import CHARACTERIZED_OPCODES
+    from ..swfi.campaign import run_pvf_campaign
+    from ..syndrome.builder import StreamingDatabaseBuilder
+    from ..syndrome.database import SyndromeDatabase
+
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    if opcodes is None:
+        opcodes = CHARACTERIZED_OPCODES
+    opcodes = list(opcodes)
+    app_names = list(apps)
+    model_names = list(models)
+    # fail on bad names before hours of RTL campaigning, not after
+    for name in model_names:
+        if name not in _MODEL_NAMES:
+            raise CampaignError(
+                f"unknown fault model {name!r}; choose from {_MODEL_NAMES}")
+    for name in app_names:
+        if name not in APP_FACTORIES:
+            raise KeyError(
+                f"unknown application {name!r}; "
+                f"choose from {sorted(APP_FACTORIES)}")
+
+    status = make_progress(None, "", quiet=quiet)
+    db_path = workdir / "syndrome_db.json"
+    if db_path.exists() and not fresh:
+        status.status(f"[stage 1/3] syndrome database exists, "
+                      f"skipping RTL campaigns ({db_path})")
+        database = SyndromeDatabase.load(db_path)
+    else:
+        builder = StreamingDatabaseBuilder()
+        _grid_stage(workdir, builder, seed=seed, opcodes=opcodes,
+                    input_ranges=input_ranges, grid_faults=grid_faults,
+                    tmxm_faults=tmxm_faults, n_jobs=n_jobs,
+                    batch_size=batch_size, timeout=timeout, fresh=fresh,
+                    quiet=quiet)
+        database = builder.build()
+        database.save(db_path)
+        status.status(f"[stage 2/3] syndrome database saved to {db_path} "
+                      f"({len(database.entries())} entries, "
+                      f"{len(database.tmxm_entries())} t-MxM entries)")
+
+    pvf_results: List[Dict] = []
+    for app_name in app_names:
+        for model_name in model_names:
+            app = make_application(app_name, seed=seed)
+            model = _make_model(model_name, database)
+            journal = workdir / f"pvf_{app_name}_{model_name}.jsonl"
+            progress = make_progress(
+                None, f"pvf {app_name}/{model_name}", quiet=quiet)
+            progress.status(
+                f"[stage 3/3] PVF: {app_name} under {model_name} "
+                f"({injections} injections)"
+                + (" [resuming]" if not fresh and journal.exists() else ""))
+            report = run_pvf_campaign(
+                app, model, injections, seed=seed, n_jobs=n_jobs,
+                batch_size=batch_size, timeout=timeout,
+                checkpoint=journal,
+                resume=not fresh and journal.exists(),
+                progress=progress)
+            low, high = report.confidence_interval()
+            pvf_results.append({
+                "app": app_name,
+                "model": report.model_name,
+                "pvf": report.pvf,
+                "due_rate": report.due_rate,
+                "n_injections": report.n_injections,
+                "ci95": [low, high],
+            })
+
+    summary = {
+        "seed": int(seed),
+        "config": {
+            "opcodes": [getattr(o, "value", str(o)) for o in opcodes],
+            "input_ranges": list(input_ranges),
+            "grid_faults": int(grid_faults),
+            "tmxm_faults": int(tmxm_faults),
+            "injections": int(injections),
+            "batch_size": None if batch_size is None else int(batch_size),
+        },
+        "database": {
+            "path": str(db_path),
+            "entries": len(database.entries()),
+            "tmxm_entries": len(database.tmxm_entries()),
+        },
+        "pvf": pvf_results,
+    }
+    (workdir / "pipeline_summary.json").write_text(
+        json.dumps(summary, indent=2) + "\n")
+    status.status(f"pipeline complete: {workdir / 'pipeline_summary.json'}")
+    return summary

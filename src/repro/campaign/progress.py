@@ -1,0 +1,70 @@
+"""Unified campaign progress reporting.
+
+Every long-running campaign — RTL grids, t-MxM cells, SWFI PVF runs and
+the end-to-end pipeline — reports through one interface instead of
+ad-hoc ``print`` calls: the executing engine calls
+:meth:`ProgressReporter.advance` once per completed work unit, and the
+stage orchestrators call :meth:`ProgressReporter.status` at stage
+boundaries.  Output goes to *stderr* (stdout stays parseable) and is
+suppressed entirely by ``--quiet`` / ``enabled=False``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["ProgressReporter", "make_progress"]
+
+
+class ProgressReporter:
+    """Counts completed work units and emits one line per event.
+
+    The reporter is deliberately dumb — a counter plus a formatter — so
+    the execution engine never needs to know whether output is enabled,
+    where it goes, or what the campaign is called.
+    """
+
+    def __init__(self, total: Optional[int] = None, prefix: str = "",
+                 stream: Optional[TextIO] = None,
+                 enabled: bool = True) -> None:
+        self.total = total
+        self.prefix = prefix
+        self.done = 0
+        self.enabled = enabled
+        self._stream = stream
+
+    @property
+    def stream(self) -> TextIO:
+        # resolved lazily so reporters survive pytest's stderr swapping
+        return self._stream if self._stream is not None else sys.stderr
+
+    def advance(self, label: str = "", cached: bool = False) -> None:
+        """Record one finished unit (``cached`` = replayed, not re-run)."""
+        self.done += 1
+        if not self.enabled:
+            return
+        count = (f"[{self.done}/{self.total}]" if self.total is not None
+                 else f"[{self.done}]")
+        parts = [count]
+        if self.prefix:
+            parts.append(self.prefix)
+        if label:
+            parts.append(label)
+        if cached:
+            parts.append("(cached)")
+        print(" ".join(parts), file=self.stream, flush=True)
+
+    def status(self, message: str) -> None:
+        """Emit a stage-level announcement (no counter)."""
+        if self.enabled:
+            print(message, file=self.stream, flush=True)
+
+
+def make_progress(total: Optional[int] = None, prefix: str = "",
+                  quiet: bool = False,
+                  stream: Optional[TextIO] = None) -> ProgressReporter:
+    """Build a reporter; ``quiet=True`` silences it without branching
+    at every call site."""
+    return ProgressReporter(total=total, prefix=prefix, stream=stream,
+                            enabled=not quiet)

@@ -7,19 +7,25 @@
     python -m repro profile --app MxM
     python -m repro pvf --app Hotspot --model both --injections 300
     python -m repro build-db --grid-faults 1500
+    python -m repro pipeline --workdir runs/full --seed 7
     python -m repro inventory
+
+Campaign commands print their results on *stdout*; progress lines go to
+*stderr* and are silenced by ``--quiet``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.attribution import attribute_outcomes, render_attribution
 from .analysis.figures import render_fig3
 from .analysis.stats import margin_of_error
 from .analysis.tables import render_table1
+from .campaign.progress import make_progress
 from .gpu import Opcode
 from .rtl import (
     RTLInjector,
@@ -31,33 +37,11 @@ from .syndrome.builder import tmxm_entry_from_report
 
 __all__ = ["main"]
 
-_APP_FACTORIES = {}
-
 
 def _apps():
-    if not _APP_FACTORIES:
-        from .apps import (
-            GaussianElimination,
-            Hotspot,
-            LavaMD,
-            LeNetApp,
-            LUDecomposition,
-            MatrixMultiply,
-            Quicksort,
-            YoloApp,
-        )
+    from .apps import APP_FACTORIES
 
-        _APP_FACTORIES.update({
-            "MxM": MatrixMultiply,
-            "LUD": LUDecomposition,
-            "Quicksort": Quicksort,
-            "Lava": LavaMD,
-            "Gaussian": GaussianElimination,
-            "Hotspot": Hotspot,
-            "LeNET": LeNetApp,
-            "YoloV3": YoloApp,
-        })
-    return _APP_FACTORIES
+    return APP_FACTORIES
 
 
 def _cmd_inventory(args: argparse.Namespace) -> int:
@@ -67,11 +51,14 @@ def _cmd_inventory(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    injector = RTLInjector()
+    injector = RTLInjector() if args.jobs == 1 else None
     bench = make_microbenchmark(Opcode(args.opcode), args.range,
                                 seed=args.seed)
     report = run_campaign(bench, args.module, args.faults, seed=args.seed,
-                          injector=injector)
+                          injector=injector, n_jobs=args.jobs,
+                          batch_size=args.batch_size,
+                          progress=make_progress(
+                              None, "campaign", quiet=args.quiet))
     print(f"{args.opcode} x {args.module} ({args.range} inputs, "
           f"{args.faults} faults, seed {args.seed})")
     print(f"  masked {report.n_masked}  SDC {report.n_sdc} "
@@ -86,10 +73,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_tmxm(args: argparse.Namespace) -> int:
-    injector = RTLInjector()
+    injector = RTLInjector() if args.jobs == 1 else None
     bench = make_tmxm_bench(args.tile, seed=args.seed)
     report = run_campaign(bench, args.module, args.faults, seed=args.seed,
-                          injector=injector)
+                          injector=injector, n_jobs=args.jobs,
+                          batch_size=args.batch_size,
+                          progress=make_progress(
+                              None, "tmxm", quiet=args.quiet))
     entry = tmxm_entry_from_report(report)
     print(f"t-MxM ({args.tile} tile) x {args.module}: "
           f"masked {report.n_masked}  SDC {report.n_sdc}  "
@@ -135,7 +125,9 @@ def _cmd_pvf(args: argparse.Namespace) -> int:
             app, model, args.injections, seed=args.seed,
             injector=injector, n_jobs=args.jobs,
             batch_size=args.batch_size, timeout=args.timeout,
-            checkpoint=checkpoint, resume=args.resume)
+            checkpoint=checkpoint, resume=args.resume,
+            progress=make_progress(
+                None, f"pvf {model.name}", quiet=args.quiet))
         low, high = report.confidence_interval()
         print(f"{app.name} under {model.name}: PVF {report.pvf:.3f} "
               f"(95% CI [{low:.3f}, {high:.3f}], "
@@ -148,11 +140,40 @@ def _cmd_build_db(args: argparse.Namespace) -> int:
     from . import datafiles
 
     database = datafiles.build_full_database(
-        args.grid_faults, args.tmxm_faults, args.seed, verbose=True)
-    path = args.output or datafiles.default_database_path()
+        args.grid_faults, args.tmxm_faults, args.seed,
+        n_jobs=args.jobs, batch_size=args.batch_size,
+        progress=make_progress(None, "build-db", quiet=args.quiet))
+    path = Path(args.output) if args.output else \
+        datafiles.default_database_path()
     path.parent.mkdir(parents=True, exist_ok=True)
     database.save(path)
     print(f"saved {path}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from .campaign.pipeline import run_pipeline
+
+    models = ([args.model] if args.model != "both"
+              else ["bitflip", "syndrome"])
+    opcodes = None
+    if args.opcodes:
+        opcodes = [Opcode(name) for name in args.opcodes]
+    summary = run_pipeline(
+        args.workdir, seed=args.seed, opcodes=opcodes,
+        grid_faults=args.grid_faults, tmxm_faults=args.tmxm_faults,
+        apps=args.apps, models=models, injections=args.injections,
+        n_jobs=args.jobs, batch_size=args.batch_size,
+        timeout=args.timeout, fresh=args.fresh, quiet=args.quiet)
+    db = summary["database"]
+    print(f"syndrome database: {db['entries']} entries, "
+          f"{db['tmxm_entries']} t-MxM entries")
+    for row in summary["pvf"]:
+        low, high = row["ci95"]
+        print(f"{row['app']} under {row['model']}: PVF {row['pvf']:.3f} "
+              f"(95% CI [{low:.3f}, {high:.3f}], "
+              f"DUE rate {row['due_rate']:.3f}, "
+              f"{row['n_injections']} injections)")
     return 0
 
 
@@ -184,12 +205,24 @@ def build_parser() -> argparse.ArgumentParser:
         description="Two-level (RTL + software) GPU fault injection")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # options shared by every campaign-running subcommand
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--quiet", action="store_true",
+                        help="suppress progress output (stderr)")
+    common.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (work is seed-sharded; "
+                             "results are identical for any job count)")
+    common.add_argument("--batch-size", type=int, default=None,
+                        help="work units per batch (default: one unit "
+                             "per campaign cell; PVF campaigns: 50)")
+
     inventory = sub.add_parser(
         "inventory", help="print the Table I module inventory")
     inventory.set_defaults(func=_cmd_inventory)
 
     campaign = sub.add_parser(
-        "campaign", help="run one RTL micro-benchmark campaign")
+        "campaign", parents=[common],
+        help="run one RTL micro-benchmark campaign")
     campaign.add_argument("--opcode", default="FADD",
                           choices=[o.value for o in Opcode
                                    if o.value not in ("MOV", "NOP",
@@ -202,7 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the per-register attribution")
     campaign.set_defaults(func=_cmd_campaign)
 
-    tmxm = sub.add_parser("tmxm", help="run one t-MxM RTL campaign")
+    tmxm = sub.add_parser("tmxm", parents=[common],
+                          help="run one t-MxM RTL campaign")
     tmxm.add_argument("--tile", default="Random",
                       choices=["Max", "Zero", "Random"])
     tmxm.add_argument("--module", default="scheduler",
@@ -219,18 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile.set_defaults(func=_cmd_profile)
 
     pvf = sub.add_parser(
-        "pvf", help="measure an application's PVF under a fault model")
+        "pvf", parents=[common],
+        help="measure an application's PVF under a fault model")
     pvf.add_argument("--app", default="MxM", choices=sorted(_apps()))
     pvf.add_argument("--model", default="both",
                      choices=["bitflip", "syndrome", "both"])
     pvf.add_argument("--injections", type=int, default=300)
     pvf.add_argument("--seed", type=int, default=0)
-    pvf.add_argument("--jobs", type=int, default=1,
-                     help="worker processes for the campaign (batches are "
-                          "seed-sharded; the merged report is identical "
-                          "for any job count)")
-    pvf.add_argument("--batch-size", type=int, default=None,
-                     help="injections per batch (default 50)")
     pvf.add_argument("--timeout", type=float, default=None,
                      help="wall-clock seconds per injected run before it "
                           "is classified as a DUE")
@@ -247,12 +276,40 @@ def build_parser() -> argparse.ArgumentParser:
     db_info.set_defaults(func=_cmd_db_info)
 
     build_db = sub.add_parser(
-        "build-db", help="rebuild the shipped syndrome database")
+        "build-db", parents=[common],
+        help="rebuild the shipped syndrome database")
     build_db.add_argument("--grid-faults", type=int, default=1500)
     build_db.add_argument("--tmxm-faults", type=int, default=6000)
     build_db.add_argument("--seed", type=int, default=2021)
-    build_db.add_argument("--output", type=None, default=None)
+    build_db.add_argument("--output", default=None)
     build_db.set_defaults(func=_cmd_build_db)
+
+    pipeline = sub.add_parser(
+        "pipeline", parents=[common],
+        help="end-to-end run: RTL grid -> syndrome DB -> application PVF "
+             "(resumable per stage; re-run with the same --workdir to "
+             "continue)")
+    pipeline.add_argument("--workdir", required=True,
+                          help="directory for checkpoints, the database "
+                               "and the final summary")
+    pipeline.add_argument("--seed", type=int, default=2021)
+    pipeline.add_argument("--opcodes", nargs="+", default=None,
+                          metavar="OPCODE",
+                          help="restrict the RTL grid to these opcodes "
+                               "(default: all characterised)")
+    pipeline.add_argument("--grid-faults", type=int, default=200)
+    pipeline.add_argument("--tmxm-faults", type=int, default=200)
+    pipeline.add_argument("--apps", nargs="+", default=["MxM"],
+                          choices=sorted(_apps()))
+    pipeline.add_argument("--model", default="both",
+                          choices=["bitflip", "syndrome", "both"])
+    pipeline.add_argument("--injections", type=int, default=300)
+    pipeline.add_argument("--timeout", type=float, default=None,
+                          help="wall-clock seconds per injected run")
+    pipeline.add_argument("--fresh", action="store_true",
+                          help="ignore existing checkpoints and database "
+                               "in --workdir and start over")
+    pipeline.set_defaults(func=_cmd_pipeline)
 
     return parser
 

@@ -15,11 +15,10 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional
 
-from .rng import spawn_seeds
-from .rtl.campaign import run_campaign, run_grid
+from .campaign.progress import ProgressReporter, make_progress
+from .rtl.campaign import run_grid, run_tmxm_grid
 from .rtl.injector import RTLInjector
-from .rtl.tmxm import TILE_KINDS, make_tmxm_bench
-from .syndrome.builder import build_database
+from .syndrome.builder import StreamingDatabaseBuilder
 from .syndrome.database import SyndromeDatabase
 
 __all__ = [
@@ -44,28 +43,37 @@ def default_database_path() -> Path:
 def build_full_database(grid_faults: int = DEFAULT_GRID_FAULTS,
                         tmxm_faults: int = DEFAULT_TMXM_FAULTS,
                         seed: int = DEFAULT_SEED,
-                        verbose: bool = False) -> SyndromeDatabase:
-    """Run the full RTL campaign grid and distil the syndrome database."""
-    injector = RTLInjector()
-    if verbose:
-        print(f"running campaign grid ({grid_faults} faults/cell)...")
-    reports = run_grid(n_faults=grid_faults, seed=seed, injector=injector)
-    if verbose:
-        total = sum(r.n_injections for r in reports)
-        print(f"  {len(reports)} cells, {total} faults")
-    tmxm_reports = []
-    cells = [(kind, module) for kind in TILE_KINDS
-             for module in ("scheduler", "pipeline")]
-    for (kind, module), cell_seed in zip(
-            cells, spawn_seeds(seed + 1, len(cells))):
-        if verbose:
-            print(f"t-MxM campaign: {kind} tile, {module} "
-                  f"({tmxm_faults} faults)...")
-        bench = make_tmxm_bench(kind, seed=cell_seed)
-        tmxm_reports.append(
-            run_campaign(bench, module, tmxm_faults, seed=cell_seed,
-                         injector=injector))
-    return build_database(reports, tmxm_reports)
+                        verbose: bool = False,
+                        n_jobs: int = 1,
+                        batch_size: Optional[int] = None,
+                        progress: Optional[ProgressReporter] = None
+                        ) -> SyndromeDatabase:
+    """Run the full RTL campaign grid and distil the syndrome database.
+
+    Cell reports stream straight into a
+    :class:`~repro.syndrome.builder.StreamingDatabaseBuilder` as they
+    complete (in deterministic cell order), so the full grid never sits
+    in memory at once.  ``n_jobs``/``batch_size`` parallelise the
+    campaigns without changing the resulting database: the t-MxM cells
+    keep their historical seeds (children of ``seed + 1``).
+    """
+    injector = None if n_jobs > 1 else RTLInjector()
+    if progress is None:
+        progress = make_progress(0, "rtl", quiet=not verbose)
+    builder = StreamingDatabaseBuilder()
+    progress.status(f"running campaign grid ({grid_faults} faults/cell)")
+    run_grid(n_faults=grid_faults, seed=seed, injector=injector,
+             n_jobs=n_jobs, batch_size=batch_size, progress=progress,
+             consume=lambda index, report: builder.add_report(report),
+             collect=False)
+    progress.status(f"running t-MxM campaigns ({tmxm_faults} faults/cell)")
+    progress.total, progress.done = None, 0  # fresh counter per stage
+    run_tmxm_grid(n_faults=tmxm_faults, seed=seed + 1, injector=injector,
+                  n_jobs=n_jobs, batch_size=batch_size, progress=progress,
+                  consume=lambda index, report:
+                      builder.add_tmxm_report(report),
+                  collect=False)
+    return builder.build()
 
 
 def load_database(path: Optional[Path] = None,

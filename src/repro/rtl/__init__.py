@@ -2,9 +2,11 @@
 
 from .campaign import (
     MODULE_INSTRUCTIONS,
+    TMXM_MODULES,
     modules_for_opcode,
     run_campaign,
     run_grid,
+    run_tmxm_grid,
 )
 from .classify import CorruptedValue, Outcome, RunClassification, classify_run
 from .faultlist import exhaustive_fault_list, generate_fault_list
@@ -33,9 +35,11 @@ from .tmxm import (
 
 __all__ = [
     "MODULE_INSTRUCTIONS",
+    "TMXM_MODULES",
     "modules_for_opcode",
     "run_campaign",
     "run_grid",
+    "run_tmxm_grid",
     "CorruptedValue",
     "Outcome",
     "RunClassification",

@@ -7,12 +7,43 @@ grid covers 12 instructions x 3 input ranges x the modules each
 instruction exercises (functional units only for arithmetic opcodes,
 scheduler and pipeline for all of them — FUs are idle during GLD/GST/BRA/
 ISET, so they are not injected there).
+
+Execution is delegated to the level-agnostic engine in
+:mod:`repro.campaign.engine`: campaigns shard into deterministic
+seed-indexed fault batches (cell-level by default; intra-cell with
+``batch_size``, so one 12 000-fault cell cannot serialise a worker
+pool), fan out over ``n_jobs`` worker processes each owning its own SM
+model, journal completed batches to a JSONL checkpoint, and merge
+per-batch reports in batch order — bit-identical to the serial run for
+a fixed ``(seed, batch_size)``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from ..campaign.checkpoint import CampaignCheckpoint
+from ..campaign.engine import (
+    UnitTimeout,
+    WorkUnit,
+    plan_batches,
+    run_units,
+    wall_clock_limit,
+)
+from ..campaign.progress import ProgressReporter
 from ..errors import CampaignError
 from ..gpu.fault_plane import ModuleName
 from ..gpu.isa import (
@@ -22,17 +53,22 @@ from ..gpu.isa import (
     Opcode,
     SFU_OPCODES,
 )
-from ..rng import spawn_seeds
+from ..gpu.sm import SMConfig
+from ..rng import spawn_seed_range, spawn_seeds
+from .classify import Outcome, RunClassification
 from .faultlist import generate_fault_list
 from .injector import RTLInjector
 from .microbench import INPUT_RANGES, Microbenchmark, make_microbenchmark
 from .reports import CampaignReport
+from .tmxm import TILE_KINDS, make_tmxm_bench
 
 __all__ = [
     "modules_for_opcode",
     "run_campaign",
     "run_grid",
+    "run_tmxm_grid",
     "MODULE_INSTRUCTIONS",
+    "TMXM_MODULES",
 ]
 
 #: Table I's "Instructions" column: which opcodes exercise each module.
@@ -48,6 +84,9 @@ MODULE_INSTRUCTIONS: Dict[str, Tuple[Opcode, ...]] = {
     "register_file": CHARACTERIZED_OPCODES,
 }
 
+#: Modules the t-MxM mini-app characterises (paper Fig. 7).
+TMXM_MODULES: Tuple[str, ...] = (ModuleName.SCHEDULER, ModuleName.PIPELINE)
+
 
 def modules_for_opcode(opcode: Opcode) -> List[str]:
     """Modules whose campaign grid includes *opcode*."""
@@ -58,21 +97,147 @@ def modules_for_opcode(opcode: Opcode) -> List[str]:
     ]
 
 
-def run_campaign(
-    bench: Microbenchmark,
-    module: str,
-    n_faults: int,
-    seed: int = 0,
-    injector: Optional[RTLInjector] = None,
-    kind: Optional[str] = None,
-) -> CampaignReport:
-    """Run one fault-injection campaign cell and return its report.
+# -- work-unit specs ---------------------------------------------------------
+@dataclass(frozen=True)
+class _BenchSpec:
+    """Picklable recipe for rebuilding a workload inside a worker.
 
-    ``kind`` restricts the fault list to ``"data"`` or ``"control"``
-    flip-flops (used by ablation studies); the default samples both.
+    ``micro``/``tmxm`` specs carry factory arguments (cheap to rebuild,
+    deterministic); ``bench`` specs ship a prebuilt
+    :class:`Microbenchmark` verbatim — the path custom workloads take.
     """
-    if n_faults <= 0:
-        raise CampaignError("n_faults must be positive")
+
+    kind: str                       # "micro" | "tmxm" | "bench"
+    opcode: str = ""                # micro
+    input_range: str = ""           # micro
+    tile: str = ""                  # tmxm
+    use_shared: bool = False        # tmxm
+    seed: int = 0                   # micro / tmxm construction seed
+    bench: Optional[Microbenchmark] = None  # bench
+
+    def build(self) -> Microbenchmark:
+        if self.kind == "micro":
+            return make_microbenchmark(Opcode(self.opcode),
+                                       self.input_range, seed=self.seed)
+        if self.kind == "tmxm":
+            return make_tmxm_bench(self.tile, seed=self.seed,
+                                   use_shared_memory=self.use_shared)
+        return self.bench
+
+    @property
+    def cache_key(self) -> Tuple:
+        if self.kind == "bench":
+            return ("bench", self.bench.name)
+        return (self.kind, self.opcode, self.input_range, self.tile,
+                self.use_shared, self.seed)
+
+
+@dataclass(frozen=True)
+class _CellSpec:
+    """What one RTL work unit injects into: a workload x module pair."""
+
+    bench: _BenchSpec
+    module: str
+    fault_kind: Optional[str] = None  # "data" | "control" | None (both)
+
+
+# -- worker-local state ------------------------------------------------------
+class _RTLWorkerState:
+    """One SM model per worker, with golden runs cached per workload.
+
+    A worker executes many fault batches, often of the same cell; the
+    golden (fault-free) pass — which also fixes the fault list's cycle
+    domain — runs once per workload per worker, not once per batch.
+    """
+
+    def __init__(self, injector: Optional[RTLInjector] = None,
+                 config: Optional[SMConfig] = None) -> None:
+        self.injector = injector or RTLInjector(config=config)
+        self._golden: Dict[Tuple, Tuple[Microbenchmark, Any]] = {}
+
+    def bench_and_golden(self, spec: _BenchSpec):
+        key = spec.cache_key
+        if key not in self._golden:
+            bench = spec.build()
+            self._golden[key] = (bench, self.injector.run_golden(bench))
+        return self._golden[key]
+
+
+def _rtl_state(config: Optional[SMConfig] = None) -> _RTLWorkerState:
+    """Picklable worker-state factory (``functools.partial`` target)."""
+    return _RTLWorkerState(config=config)
+
+
+def _run_rtl_unit(state: _RTLWorkerState, unit: WorkUnit,
+                  timeout: Optional[float] = None) -> CampaignReport:
+    """Engine unit runner: one fault batch against one campaign cell."""
+    spec: _CellSpec = unit.spec
+    bench, golden = state.bench_and_golden(spec.bench)
+    faults = generate_fault_list(
+        state.injector.plane, spec.module, unit.size, golden.cycles,
+        seed=unit.seed, kind=spec.fault_kind)
+    report = CampaignReport(
+        instruction=bench.opcode.value,
+        input_range=bench.input_range,
+        module=spec.module,
+    )
+    for fault in faults:
+        try:
+            with wall_clock_limit(timeout):
+                classification = state.injector.inject(bench, golden,
+                                                       fault)
+        except UnitTimeout:
+            classification = RunClassification(
+                Outcome.DUE,
+                due_reason=f"wall-clock guard: injection exceeded "
+                           f"{timeout:g}s",
+                fault_fired=bool(getattr(fault, "fired", False)),
+            )
+        report.add(
+            state.injector.describe(fault),
+            classification,
+            opcode=bench.opcode.value,
+            value_kind=bench.value_kind,
+        )
+    return report
+
+
+# -- cell batch planning -----------------------------------------------------
+def _plan_cell_units(spec: _CellSpec, n_faults: int, seed: int,
+                     batch_size: Optional[int], base_index: int,
+                     label: str) -> List[WorkUnit]:
+    """Shard one cell's fault list into seed-indexed work units.
+
+    With ``batch_size=None`` the cell is a single unit drawing its
+    faults directly from the cell seed — byte-compatible with the
+    historical serial campaign.  With a batch size, batch *i* draws from
+    child seed *i* of the cell seed, so any worker count or resume
+    boundary reproduces the same fault stream.
+    """
+    if batch_size is None:
+        return [WorkUnit(index=base_index, size=n_faults, seed=seed,
+                         spec=spec, label=label)]
+    sizes = plan_batches(n_faults, batch_size)
+    seeds = spawn_seed_range(seed, 0, len(sizes))
+    return [
+        WorkUnit(index=base_index + i, size=size, seed=batch_seed,
+                 spec=spec, label=f"{label} [{i + 1}/{len(sizes)}]")
+        for i, (size, batch_seed) in enumerate(zip(sizes, seeds))
+    ]
+
+
+def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
+                     header: dict) -> Optional[CampaignCheckpoint]:
+    if path is None:
+        if resume:
+            raise CampaignError("resume=True requires a checkpoint path")
+        return None
+    return CampaignCheckpoint(path, header,
+                              decode=CampaignReport.from_dict,
+                              resume=resume)
+
+
+def _validate_bench_module(bench: Microbenchmark, module: str) -> None:
     if module not in MODULE_INSTRUCTIONS:
         raise CampaignError(f"unknown module {module!r}")
     # the module must be exercised by at least one opcode the program
@@ -82,33 +247,129 @@ def run_campaign(
         raise CampaignError(
             f"{module} is idle while executing {bench.name}; the paper "
             "does not inject there")
-    injector = injector or RTLInjector()
-    golden = injector.run_golden(bench)
-    faults = generate_fault_list(
-        injector.plane, module, n_faults, golden.cycles, seed=seed,
-        kind=kind)
-    report = CampaignReport(
-        instruction=bench.opcode.value,
-        input_range=bench.input_range,
-        module=module,
+
+
+def _check_jobs(n_jobs: int, injector: Optional[RTLInjector]) -> None:
+    if n_jobs < 1:
+        raise CampaignError("n_jobs must be at least 1")
+    if n_jobs > 1 and injector is not None:
+        raise CampaignError(
+            "a shared injector cannot be used with parallel workers")
+
+
+# -- single-cell campaigns ---------------------------------------------------
+def run_campaign(
+    bench: Microbenchmark,
+    module: str,
+    n_faults: int,
+    seed: int = 0,
+    injector: Optional[RTLInjector] = None,
+    kind: Optional[str] = None,
+    *,
+    n_jobs: int = 1,
+    batch_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressReporter] = None,
+    config: Optional[SMConfig] = None,
+) -> CampaignReport:
+    """Run one fault-injection campaign cell and return its report.
+
+    ``kind`` restricts the fault list to ``"data"`` or ``"control"``
+    flip-flops (used by ablation studies); the default samples both.
+    ``batch_size`` shards the fault list into deterministic seed-indexed
+    batches that ``n_jobs`` worker processes execute concurrently (each
+    worker builds its own SM from *config*; *injector* must be None);
+    ``checkpoint``/``resume`` journal finished batches, ``timeout``
+    converts a runaway injection into a DUE.  For a fixed
+    ``(seed, batch_size)`` the merged report is bit-identical across any
+    ``n_jobs`` and any kill/resume boundary.
+    """
+    if n_faults <= 0:
+        raise CampaignError("n_faults must be positive")
+    _validate_bench_module(bench, module)
+    _check_jobs(n_jobs, injector)
+    spec = _CellSpec(bench=_BenchSpec(kind="bench", bench=bench),
+                     module=module, fault_kind=kind)
+    units = _plan_cell_units(spec, n_faults, seed, batch_size,
+                             base_index=0, label=f"{bench.name}/{module}")
+    journal = _open_checkpoint(checkpoint, resume, {
+        "campaign": "rtl-cell",
+        "bench": bench.name,
+        "module": module,
+        "fault_kind": kind,
+        "n_faults": int(n_faults),
+        "seed": int(seed),
+        "batch_size": None if batch_size is None else int(batch_size),
+    })
+    state = None
+    if n_jobs == 1:
+        state = _RTLWorkerState(injector=injector, config=config)
+    results = run_units(
+        units,
+        partial(_run_rtl_unit, timeout=timeout),
+        n_jobs=n_jobs,
+        state_factory=partial(_rtl_state, config),
+        state=state,
+        checkpoint=journal,
+        progress=progress,
     )
-    for fault in faults:
-        classification = injector.inject(bench, golden, fault)
-        report.add(
-            injector.describe(fault),
-            classification,
-            opcode=bench.opcode.value,
-            value_kind=bench.value_kind,
-        )
-    return report
+    return CampaignReport.merge([results[i] for i in sorted(results)])
 
 
-def _run_cell(args: Tuple[str, str, str, int, int]) -> CampaignReport:
-    """Worker entry point: one campaign cell in a fresh process."""
-    opcode_value, range_key, module, n_faults, cell_seed = args
-    bench = make_microbenchmark(Opcode(opcode_value), range_key,
-                                seed=cell_seed)
-    return run_campaign(bench, module, n_faults, seed=cell_seed)
+# -- campaign grids ----------------------------------------------------------
+def _run_cell_grid(
+    cells: Sequence[Tuple[_CellSpec, str]],
+    cell_seeds: Sequence[int],
+    n_faults: int,
+    header: dict,
+    *,
+    n_jobs: int,
+    batch_size: Optional[int],
+    timeout: Optional[float],
+    checkpoint: Optional[Union[str, Path]],
+    resume: bool,
+    progress: Optional[ProgressReporter],
+    consume: Optional[Callable[[int, CampaignReport], None]],
+    collect: bool,
+    injector: Optional[RTLInjector],
+    config: Optional[SMConfig],
+) -> List[CampaignReport]:
+    """Shared grid executor: plan units per cell, run, merge per cell."""
+    units: List[WorkUnit] = []
+    unit_cell: Dict[int, int] = {}
+    for cell_index, ((spec, label), cell_seed) in enumerate(
+            zip(cells, cell_seeds)):
+        cell_units = _plan_cell_units(spec, n_faults, cell_seed,
+                                      batch_size, base_index=len(units),
+                                      label=label)
+        for unit in cell_units:
+            unit_cell[unit.index] = cell_index
+        units.extend(cell_units)
+    if progress is not None and progress.total is None:
+        progress.total = len(units)
+    journal = _open_checkpoint(checkpoint, resume, header)
+    state = None
+    if n_jobs == 1:
+        state = _RTLWorkerState(injector=injector, config=config)
+    results = run_units(
+        units,
+        partial(_run_rtl_unit, timeout=timeout),
+        n_jobs=n_jobs,
+        state_factory=partial(_rtl_state, config),
+        state=state,
+        checkpoint=journal,
+        consume=consume,
+        progress=progress,
+        collect=collect,
+    )
+    if not collect:
+        return []
+    per_cell: Dict[int, List[CampaignReport]] = {}
+    for index in sorted(results):
+        per_cell.setdefault(unit_cell[index], []).append(results[index])
+    return [CampaignReport.merge(per_cell[c]) for c in sorted(per_cell)]
 
 
 def run_grid(
@@ -119,47 +380,124 @@ def run_grid(
     seed: int = 0,
     injector: Optional[RTLInjector] = None,
     n_jobs: int = 1,
+    *,
+    batch_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressReporter] = None,
+    consume: Optional[Callable[[int, CampaignReport], None]] = None,
+    collect: bool = True,
+    config: Optional[SMConfig] = None,
 ) -> List[CampaignReport]:
     """Run the full campaign grid; returns one report per cell.
 
     Cells pair every opcode and input range with the modules that opcode
     exercises (optionally filtered by *modules*).  Each cell receives an
     independent child seed so the grid is reproducible yet uncorrelated
-    — and, like the paper's 12-node fault-injection server, independent
-    cells can run in parallel: ``n_jobs > 1`` fans them out over worker
-    processes (each builds its own SM model; *injector* must be None).
+    — and, like the paper's 12-node fault-injection server, the work
+    fans out over ``n_jobs`` worker processes (each builds its own SM
+    model; *injector* must be None).  ``batch_size`` additionally shards
+    *within* cells so one large cell cannot serialise the pool;
+    ``checkpoint``/``resume`` journal finished batches to JSONL;
+    ``consume`` streams per-batch reports (in deterministic unit order)
+    to a downstream builder, and ``collect=False`` drops them afterwards
+    to bound memory on huge grids.
     """
     opcodes = list(opcodes)
     input_ranges = list(input_ranges)
     for key in input_ranges:
         if key not in INPUT_RANGES:
             raise CampaignError(f"unknown input range {key!r}")
-    if n_jobs < 1:
-        raise CampaignError("n_jobs must be at least 1")
-    if n_jobs > 1 and injector is not None:
-        raise CampaignError(
-            "a shared injector cannot be used with parallel workers")
-    cells: List[Tuple[Opcode, str, str]] = []
+    _check_jobs(n_jobs, injector)
+    cells: List[Tuple[_CellSpec, str]] = []
+    cell_coords: List[Tuple[Opcode, str, str]] = []
     for opcode in opcodes:
         for range_key in input_ranges:
             for module in modules_for_opcode(opcode):
                 if modules is not None and module not in modules:
                     continue
-                cells.append((opcode, range_key, module))
-    seeds = spawn_seeds(seed, len(cells))
-    if n_jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
+                cell_coords.append((opcode, range_key, module))
+    cell_seeds = spawn_seeds(seed, len(cell_coords))
+    for (opcode, range_key, module), cell_seed in zip(cell_coords,
+                                                      cell_seeds):
+        spec = _CellSpec(
+            bench=_BenchSpec(kind="micro", opcode=opcode.value,
+                             input_range=range_key, seed=cell_seed),
+            module=module)
+        cells.append((spec, f"{opcode.value}/{range_key}/{module}"))
+    header = {
+        "campaign": "rtl-grid",
+        "opcodes": [o.value for o in opcodes],
+        "input_ranges": list(input_ranges),
+        "modules": None if modules is None else list(modules),
+        "n_faults": int(n_faults),
+        "seed": int(seed),
+        "batch_size": None if batch_size is None else int(batch_size),
+    }
+    return _run_cell_grid(
+        cells, cell_seeds, n_faults, header,
+        n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
+        checkpoint=checkpoint, resume=resume, progress=progress,
+        consume=consume, collect=collect, injector=injector,
+        config=config)
 
-        work = [(opcode.value, range_key, module, n_faults, cell_seed)
-                for (opcode, range_key, module), cell_seed
-                in zip(cells, seeds)]
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            return list(pool.map(_run_cell, work))
-    injector = injector or RTLInjector()
-    reports: List[CampaignReport] = []
-    for (opcode, range_key, module), cell_seed in zip(cells, seeds):
-        bench = make_microbenchmark(opcode, range_key, seed=cell_seed)
-        reports.append(
-            run_campaign(bench, module, n_faults, seed=cell_seed,
-                         injector=injector))
-    return reports
+
+def run_tmxm_grid(
+    tile_kinds: Iterable[str] = TILE_KINDS,
+    modules: Iterable[str] = TMXM_MODULES,
+    n_faults: int = 200,
+    seed: int = 0,
+    injector: Optional[RTLInjector] = None,
+    n_jobs: int = 1,
+    *,
+    use_shared_memory: bool = False,
+    batch_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressReporter] = None,
+    consume: Optional[Callable[[int, CampaignReport], None]] = None,
+    collect: bool = True,
+    config: Optional[SMConfig] = None,
+) -> List[CampaignReport]:
+    """Run the t-MxM tile campaigns (tile kind x module, paper Fig. 7).
+
+    The mini-app mirrors :func:`run_grid`'s execution semantics —
+    seed-per-cell, optional intra-cell fault batching, process-pool
+    fan-out, JSONL checkpoint/resume and streaming ``consume`` — so the
+    expensive 6000-fault tile cells parallelise and resume exactly like
+    the instruction grid.
+    """
+    tile_kinds = list(tile_kinds)
+    modules = list(modules)
+    for kind in tile_kinds:
+        if kind not in TILE_KINDS:
+            raise CampaignError(f"unknown tile kind {kind!r}")
+    _check_jobs(n_jobs, injector)
+    cell_coords = [(kind, module) for kind in tile_kinds
+                   for module in modules]
+    cell_seeds = spawn_seeds(seed, len(cell_coords))
+    cells: List[Tuple[_CellSpec, str]] = []
+    for (kind, module), cell_seed in zip(cell_coords, cell_seeds):
+        spec = _CellSpec(
+            bench=_BenchSpec(kind="tmxm", tile=kind,
+                             use_shared=use_shared_memory,
+                             seed=cell_seed),
+            module=module)
+        cells.append((spec, f"tmxm/{kind}/{module}"))
+    header = {
+        "campaign": "rtl-tmxm",
+        "tiles": tile_kinds,
+        "modules": modules,
+        "use_shared_memory": bool(use_shared_memory),
+        "n_faults": int(n_faults),
+        "seed": int(seed),
+        "batch_size": None if batch_size is None else int(batch_size),
+    }
+    return _run_cell_grid(
+        cells, cell_seeds, n_faults, header,
+        n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
+        checkpoint=checkpoint, resume=resume, progress=progress,
+        consume=consume, collect=collect, injector=injector,
+        config=config)

@@ -15,6 +15,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import CampaignError
 from .classify import CorruptedValue, Outcome, RunClassification
 
 __all__ = [
@@ -102,6 +103,41 @@ class CampaignReport:
                     value_kind=value_kind,
                     corrupted=tuple(classification.corrupted),
                 ))
+
+    # -- combination -------------------------------------------------------------
+    def merge_in(self, other: "CampaignReport") -> None:
+        """Fold *other*'s records into this report (same campaign cell)."""
+        if (other.instruction != self.instruction
+                or other.input_range != self.input_range
+                or other.module != self.module):
+            raise CampaignError(
+                f"cannot merge report for {other.instruction}/"
+                f"{other.input_range}/{other.module} into "
+                f"{self.instruction}/{self.input_range}/{self.module}")
+        self.n_injections += other.n_injections
+        self.general.extend(other.general)
+        self.detailed.extend(other.detailed)
+
+    @classmethod
+    def merge(cls, reports: Sequence["CampaignReport"]) -> "CampaignReport":
+        """Combine per-batch reports of one cell into one campaign report.
+
+        Merging the fault-batch reports of a sharded cell *in batch
+        order* yields a report bit-identical to the serial run's,
+        because batch randomness depends only on the batch index (never
+        on the executing worker or completion order).
+        """
+        reports = list(reports)
+        if not reports:
+            raise CampaignError("cannot merge an empty report list")
+        merged = cls(
+            instruction=reports[0].instruction,
+            input_range=reports[0].input_range,
+            module=reports[0].module,
+        )
+        for report in reports:
+            merged.merge_in(report)
+        return merged
 
     # -- aggregate metrics -------------------------------------------------------
     def count(self, outcome: Outcome) -> int:

@@ -9,26 +9,38 @@ single-bit-flip model and the RTL relative-error syndrome model
 confidence intervals under 5%.
 
 Campaigns at that size are embarrassingly parallel — every injection
-re-runs the whole application — so the runner here shards ``n_injections``
+re-runs the whole application — so the runner shards ``n_injections``
 into deterministic batches: batch *i* always draws its randomness from
 child seed *i* of the campaign seed (:func:`repro.rng.spawn_seed_range`),
 no matter whether it executes serially, on one of ``n_jobs`` worker
-processes (the software analogue of the paper's 12-node fault-injection
-server), or in a resumed run.  Merging the per-batch reports in batch
+processes, or in a resumed run.  Merging the per-batch reports in batch
 order therefore reproduces the serial report bit for bit.
 
-Long campaigns can additionally journal every finished batch to a JSONL
-checkpoint; a resumed run replays the journal and only executes the
-batches still missing.
+Pool execution, JSONL checkpoint/resume and the in-order merge are all
+owned by the shared level-agnostic engine
+(:mod:`repro.campaign.engine`); this module contributes only the
+SWFI-specific pieces — the report type, the per-batch injection loop,
+and the worker state (one :class:`SoftwareInjector` whose
+golden+profile pass runs once per worker).
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, dataclass, field
+from functools import partial
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
+from ..campaign.checkpoint import CampaignCheckpoint
+from ..campaign.engine import (
+    DEFAULT_BATCH_SIZE,
+    WorkUnit,
+    merge_ordered,
+    plan_batches,
+    plan_units,
+    run_units,
+)
+from ..campaign.progress import ProgressReporter
 from ..errors import CampaignError
 from ..rng import make_rng, spawn_seed_range
 from ..rtl.classify import Outcome
@@ -44,11 +56,6 @@ __all__ = [
     "run_pvf_campaign",
     "run_pvf_until",
 ]
-
-#: Injections per batch when the caller does not choose: small enough to
-#: checkpoint / load-balance at a useful granularity, large enough that a
-#: worker amortises its golden+profile pass over many injections.
-DEFAULT_BATCH_SIZE = 50
 
 
 @dataclass
@@ -158,26 +165,6 @@ class PVFReport:
         return self.per_opcode_sdc.get(opcode, 0) / injections
 
 
-# -- batch planning ---------------------------------------------------------
-def plan_batches(n_injections: int,
-                 batch_size: Optional[int] = None) -> List[int]:
-    """Split *n_injections* into the campaign's deterministic batch sizes.
-
-    The plan depends only on ``(n_injections, batch_size)`` — never on the
-    worker count — so serial and parallel executions of the same campaign
-    share one batch/seed layout.
-    """
-    if n_injections < 0:
-        raise CampaignError("n_injections must be non-negative")
-    size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
-    if size < 1:
-        raise CampaignError("batch_size must be at least 1")
-    sizes = [size] * (n_injections // size)
-    if n_injections % size:
-        sizes.append(n_injections % size)
-    return sizes
-
-
 def run_pvf_batch(app, model: FaultModel, size: int, seed: int,
                   injector: Optional[SoftwareInjector] = None,
                   timeout: Optional[float] = None) -> PVFReport:
@@ -190,118 +177,30 @@ def run_pvf_batch(app, model: FaultModel, size: int, seed: int,
     return report
 
 
-# -- checkpoint journal ------------------------------------------------------
-class CampaignCheckpoint:
-    """Append-only JSONL journal of finished campaign batches.
+# -- engine adapters ---------------------------------------------------------
+class _SwfiState:
+    """Worker-local state: one injector whose golden pass is amortised."""
 
-    Line one is a header identifying the campaign (app, model, seed and
-    batch plan); every further line is one completed batch's report keyed
-    by batch index.  Resuming validates the header and replays completed
-    batches, so an interrupted 6000-injection campaign restarts where it
-    stopped instead of from scratch.
-    """
-
-    VERSION = 1
-
-    def __init__(self, path: Union[str, Path], header: dict,
-                 resume: bool = False) -> None:
-        self.path = Path(path)
-        self.header = dict(header, version=self.VERSION)
-        self.completed: Dict[int, PVFReport] = {}
-        if resume and self.path.exists():
-            self._load()
-        else:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("w") as fh:
-                fh.write(json.dumps(
-                    {"kind": "header", **self.header}) + "\n")
-
-    def _load(self) -> None:
-        with self.path.open() as fh:
-            lines = [json.loads(line) for line in fh if line.strip()]
-        if not lines or lines[0].get("kind") != "header":
-            raise CampaignError(
-                f"{self.path} is not a campaign checkpoint")
-        stored = {k: v for k, v in lines[0].items() if k != "kind"}
-        if stored != self.header:
-            raise CampaignError(
-                f"checkpoint {self.path} belongs to a different campaign: "
-                f"stored {stored}, requested {self.header}")
-        for line in lines[1:]:
-            if line.get("kind") != "batch":
-                continue
-            self.completed[int(line["index"])] = (
-                PVFReport.from_dict(line["report"]))
-
-    def record(self, index: int, report: PVFReport) -> None:
-        self.completed[index] = report
-        with self.path.open("a") as fh:
-            fh.write(json.dumps({
-                "kind": "batch",
-                "index": index,
-                "report": report.to_dict(),
-            }) + "\n")
+    def __init__(self, app, model: FaultModel,
+                 injector: Optional[SoftwareInjector] = None,
+                 eager_golden: bool = False) -> None:
+        self.app = app
+        self.model = model
+        self.injector = injector or SoftwareInjector(app)
+        if eager_golden:
+            self.injector.run_golden()  # pay the reference pass up front
 
 
-# -- worker-process plumbing -------------------------------------------------
-# One injector per worker process: the golden run (which also captures the
-# dynamic-instruction profile) executes once per *worker*, not once per
-# batch or — worse — per injection.
-_WORKER_INJECTOR: Optional[SoftwareInjector] = None
-_WORKER_MODEL: Optional[FaultModel] = None
+def _swfi_state(app, model: FaultModel) -> _SwfiState:
+    """Picklable worker-state factory (``functools.partial`` target)."""
+    return _SwfiState(app, model, eager_golden=True)
 
 
-def _init_worker(app, model: FaultModel) -> None:
-    global _WORKER_INJECTOR, _WORKER_MODEL
-    _WORKER_INJECTOR = SoftwareInjector(app)
-    _WORKER_MODEL = model
-    _WORKER_INJECTOR.run_golden()  # pay the reference pass up front
-
-
-def _run_batch(task: Tuple[int, int, int, Optional[float]]
-               ) -> Tuple[int, PVFReport]:
-    index, size, batch_seed, timeout = task
-    report = run_pvf_batch(
-        _WORKER_INJECTOR.app, _WORKER_MODEL, size, batch_seed,
-        injector=_WORKER_INJECTOR, timeout=timeout)
-    return index, report
-
-
-def _execute_batches(app, model: FaultModel,
-                     batches: Sequence[Tuple[int, int, int]],
-                     n_jobs: int,
-                     injector: Optional[SoftwareInjector],
-                     timeout: Optional[float],
-                     checkpoint: Optional[CampaignCheckpoint]
-                     ) -> Dict[int, PVFReport]:
-    """Run ``(index, size, seed)`` batches, serially or on worker processes."""
-    done: Dict[int, PVFReport] = {}
-    if not batches:
-        return done
-    if n_jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-
-        with ProcessPoolExecutor(
-                max_workers=n_jobs,
-                initializer=_init_worker,
-                initargs=(app, model)) as pool:
-            futures = [
-                pool.submit(_run_batch, (index, size, seed, timeout))
-                for index, size, seed in batches]
-            for future in as_completed(futures):
-                index, report = future.result()
-                done[index] = report
-                if checkpoint is not None:
-                    checkpoint.record(index, report)
-        return done
-    injector = injector or SoftwareInjector(app)
-    for index, size, seed in batches:
-        report = run_pvf_batch(app, model, size, seed,
-                               injector=injector, timeout=timeout)
-        done[index] = report
-        if checkpoint is not None:
-            checkpoint.record(index, report)
-    return done
+def _run_swfi_unit(state: _SwfiState, unit: WorkUnit,
+                   timeout: Optional[float] = None) -> PVFReport:
+    """Engine unit runner: one batch of software injections."""
+    return run_pvf_batch(state.app, state.model, unit.size, unit.seed,
+                         injector=state.injector, timeout=timeout)
 
 
 def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
@@ -321,7 +220,16 @@ def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
                           else batch_size),
         "n_injections": None if n_injections is None else int(n_injections),
     }
-    return CampaignCheckpoint(path, header, resume=resume)
+    return CampaignCheckpoint(path, header, decode=PVFReport.from_dict,
+                              resume=resume)
+
+
+def _check_jobs(n_jobs: int, injector: Optional[SoftwareInjector]) -> None:
+    if n_jobs < 1:
+        raise CampaignError("n_jobs must be at least 1")
+    if n_jobs > 1 and injector is not None:
+        raise CampaignError(
+            "a shared injector cannot be used with parallel workers")
 
 
 # -- campaign runners --------------------------------------------------------
@@ -332,7 +240,9 @@ def run_pvf_campaign(app, model: FaultModel, n_injections: int,
                      batch_size: Optional[int] = None,
                      timeout: Optional[float] = None,
                      checkpoint: Optional[Union[str, Path]] = None,
-                     resume: bool = False) -> PVFReport:
+                     resume: bool = False,
+                     progress: Optional[ProgressReporter] = None
+                     ) -> PVFReport:
     """Inject *n_injections* faults into *app* under *model*.
 
     The campaign is sharded into deterministic batches (seed of batch *i*
@@ -344,26 +254,25 @@ def run_pvf_campaign(app, model: FaultModel, n_injections: int,
     JSONL file and skip them on restart; ``timeout`` bounds each injected
     run's wall-clock seconds, converting runaways into DUEs.
     """
-    if n_jobs < 1:
-        raise CampaignError("n_jobs must be at least 1")
-    if n_jobs > 1 and injector is not None:
-        raise CampaignError(
-            "a shared injector cannot be used with parallel workers")
-    sizes = plan_batches(n_injections, batch_size)
-    seeds = spawn_seed_range(seed, 0, len(sizes))
+    _check_jobs(n_jobs, injector)
+    units = plan_units(n_injections, seed, batch_size)
     journal = _open_checkpoint(checkpoint, resume, app, model, seed,
                                batch_size, n_injections)
-    completed = dict(journal.completed) if journal is not None else {}
-    pending = [
-        (index, size, batch_seed)
-        for index, (size, batch_seed) in enumerate(zip(sizes, seeds))
-        if index not in completed]
-    completed.update(_execute_batches(
-        app, model, pending, n_jobs, injector, timeout, journal))
-    if not completed:
+    state = None
+    if n_jobs == 1:
+        state = _SwfiState(app, model, injector=injector)
+    results = run_units(
+        units,
+        partial(_run_swfi_unit, timeout=timeout),
+        n_jobs=n_jobs,
+        state_factory=partial(_swfi_state, app, model),
+        state=state,
+        checkpoint=journal,
+        progress=progress,
+    )
+    if not results:
         return PVFReport(app_name=app.name, model_name=model.name)
-    return PVFReport.merge(
-        [completed[index] for index in sorted(completed)])
+    return merge_ordered(results)
 
 
 def run_pvf_until(app, model: FaultModel,
@@ -374,7 +283,9 @@ def run_pvf_until(app, model: FaultModel,
                   seed: int = 0,
                   injector: Optional[SoftwareInjector] = None,
                   n_jobs: int = 1,
-                  timeout: Optional[float] = None) -> PVFReport:
+                  timeout: Optional[float] = None,
+                  progress: Optional[ProgressReporter] = None
+                  ) -> PVFReport:
     """Inject until the PVF confidence interval is tight enough.
 
     The paper sizes its campaigns so the 95% confidence interval stays
@@ -390,29 +301,34 @@ def run_pvf_until(app, model: FaultModel,
         raise ValueError("target_halfwidth must be in (0, 1)")
     if min_injections < 10:
         raise ValueError("min_injections must be at least 10")
-    if n_jobs < 1:
-        raise CampaignError("n_jobs must be at least 1")
-    if n_jobs > 1 and injector is not None:
-        raise CampaignError(
-            "a shared injector cannot be used with parallel workers")
+    _check_jobs(n_jobs, injector)
+    state = None
     if n_jobs == 1:
-        injector = injector or SoftwareInjector(app)
+        state = _SwfiState(app, model, injector=injector)
     report = PVFReport(app_name=app.name, model_name=model.name)
     next_index = 0
     while report.n_injections < max_injections:
-        batches: List[Tuple[int, int, int]] = []
+        units = []
         scheduled = report.n_injections
         round_seeds = spawn_seed_range(seed, next_index, n_jobs)
         for offset in range(n_jobs):
             size = min(min_injections, max_injections - scheduled)
             if size <= 0:
                 break
-            batches.append((next_index + offset, size,
-                            round_seeds[offset]))
+            units.append(WorkUnit(
+                index=next_index + offset, size=size,
+                seed=round_seeds[offset],
+                label=f"batch {next_index + offset}"))
             scheduled += size
-        done = _execute_batches(app, model, batches, n_jobs, injector,
-                                timeout, checkpoint=None)
-        next_index += len(batches)
+        done = run_units(
+            units,
+            partial(_run_swfi_unit, timeout=timeout),
+            n_jobs=n_jobs,
+            state_factory=partial(_swfi_state, app, model),
+            state=state,
+            progress=progress,
+        )
+        next_index += len(units)
         for index in sorted(done):
             report.merge_in(done[index])
         low, high = report.confidence_interval(confidence)

@@ -13,14 +13,12 @@ the reference output and the Figure 3 profile.
 
 from __future__ import annotations
 
-import signal
-import threading
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..campaign.engine import wall_clock_limit
 from ..errors import ReproError
 from ..gpu.isa import Opcode
 from ..rtl.classify import Outcome
@@ -34,35 +32,15 @@ class AppHangError(ReproError):
     """An application exceeded its iteration or wall-clock guard (a DUE)."""
 
 
-@contextmanager
+def _hang_after(seconds: float) -> AppHangError:
+    return AppHangError(
+        f"wall-clock guard: injected run exceeded {seconds:g}s")
+
+
 def _wall_clock_limit(seconds: Optional[float]):
-    """Abort the enclosed block with :class:`AppHangError` after *seconds*.
-
-    Uses an interval timer (SIGALRM), which covers runaway numpy loops a
-    pure iteration guard cannot interrupt.  Degrades to a no-op when no
-    limit is requested or signals are unavailable (non-main thread,
-    platforms without SIGALRM) — worker processes run injections on their
-    main thread, so the guard is active there.
-    """
-    if not seconds or seconds <= 0:
-        yield
-        return
-    if (not hasattr(signal, "SIGALRM")
-            or threading.current_thread() is not threading.main_thread()):
-        yield
-        return
-
-    def _timed_out(signum, frame):
-        raise AppHangError(
-            f"wall-clock guard: injected run exceeded {seconds:g}s")
-
-    previous = signal.signal(signal.SIGALRM, _timed_out)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+    """SIGALRM guard around an injected run (shared engine implementation),
+    raising :class:`AppHangError` so the run classifies as a DUE."""
+    return wall_clock_limit(seconds, make_exception=_hang_after)
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,11 @@
 """Fault-syndrome modelling: the paper's RTL fault-model database."""
 
-from .builder import build_database, entry_from_report, tmxm_entry_from_report
+from .builder import (
+    StreamingDatabaseBuilder,
+    build_database,
+    entry_from_report,
+    tmxm_entry_from_report,
+)
 from .database import SyndromeDatabase, range_for_value
 from .export import export_csv, import_csv
 from .modelcmp import (
@@ -20,6 +25,7 @@ from .records import PatternStats, SyndromeEntry, SyndromeKey, TmxmEntry
 from .spatial import SpatialPattern, classify_pattern, generate_pattern
 
 __all__ = [
+    "StreamingDatabaseBuilder",
     "build_database",
     "export_csv",
     "import_csv",

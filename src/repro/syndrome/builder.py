@@ -5,12 +5,20 @@ reports (golden/faulty values per corrupted thread) are reduced to
 relative-error samples, power-law fits and spatial-pattern statistics,
 producing the :class:`~repro.syndrome.database.SyndromeDatabase` the
 software injector consumes.
+
+Reports can be distilled in one shot (:func:`build_database`) or fed
+incrementally (:class:`StreamingDatabaseBuilder`) as campaign batches
+finish, which is how the end-to-end pipeline streams an RTL grid into a
+database without holding every detailed report in memory.  Because the
+campaign engine delivers batch reports in unit-index order, the
+accumulated sample lists — and therefore the saved database — are
+bit-identical no matter how many workers produced them.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 from ..rtl.reports import CampaignReport
 from ..rtl.tmxm import TILE_DIM
@@ -18,7 +26,12 @@ from .database import SyndromeDatabase
 from .records import SyndromeEntry, SyndromeKey, TmxmEntry
 from .spatial import classify_pattern
 
-__all__ = ["build_database", "entry_from_report", "tmxm_entry_from_report"]
+__all__ = [
+    "StreamingDatabaseBuilder",
+    "build_database",
+    "entry_from_report",
+    "tmxm_entry_from_report",
+]
 
 #: Relative errors beyond this are recorded as-is but excluded from the
 #: power-law fit domain cap; non-finite observations (NaN/Inf outputs)
@@ -39,13 +52,26 @@ def _clean(errors: Iterable[float]) -> List[float]:
     return cleaned
 
 
+def _accumulate(entry: SyndromeEntry, report: CampaignReport) -> None:
+    for record in report.detailed:
+        entry.relative_errors.extend(_clean(record.relative_errors()))
+        entry.thread_counts.append(record.n_corrupted_threads)
+
+
+def _observe_tmxm(entry: TmxmEntry, report: CampaignReport,
+                  dim: int) -> None:
+    for record in report.detailed:
+        coords = [(c.thread // dim, c.thread % dim)
+                  for c in record.corrupted]
+        pattern = classify_pattern(coords, dim)
+        entry.add_observation(pattern, _clean(record.relative_errors()))
+
+
 def entry_from_report(report: CampaignReport) -> SyndromeEntry:
     """Aggregate a micro-benchmark campaign report into one entry."""
     entry = SyndromeEntry(
         SyndromeKey(report.instruction, report.input_range, report.module))
-    for record in report.detailed:
-        entry.relative_errors.extend(_clean(record.relative_errors()))
-        entry.thread_counts.append(record.n_corrupted_threads)
+    _accumulate(entry, report)
     entry.finalize()
     return entry
 
@@ -59,22 +85,74 @@ def tmxm_entry_from_report(report: CampaignReport,
     Fig. 8 spatial patterns.
     """
     entry = TmxmEntry(tile_kind=report.input_range, module=report.module)
-    for record in report.detailed:
-        coords = [(c.thread // dim, c.thread % dim)
-                  for c in record.corrupted]
-        pattern = classify_pattern(coords, dim)
-        entry.add_observation(pattern, _clean(record.relative_errors()))
+    _observe_tmxm(entry, report, dim)
     entry.finalize()
     return entry
+
+
+class StreamingDatabaseBuilder:
+    """Accumulate campaign reports incrementally into one database.
+
+    Feed micro-benchmark reports with :meth:`add_report` and t-MxM
+    reports with :meth:`add_tmxm_report` — in any interleaving, batch by
+    batch — then call :meth:`build` once.  Samples are appended raw and
+    the expensive per-entry statistics (power-law fits, pattern
+    probabilities) are finalized a single time at build, so streaming N
+    batch reports costs the same as one merged report.
+
+    Designed as a ``consume`` sink for the campaign engine: pass
+    ``lambda index, report: builder.add_report(report)`` (with
+    ``collect=False``) and the grid's detailed records flow straight
+    into the database without an intermediate all-reports list.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str, str], SyndromeEntry] = {}
+        self._tmxm: Dict[Tuple[str, str], TmxmEntry] = {}
+        self.n_reports = 0
+
+    def add_report(self, report: CampaignReport) -> None:
+        """Fold one micro-benchmark (or partial-cell) report in."""
+        key = SyndromeKey(
+            report.instruction, report.input_range, report.module)
+        entry = self._entries.get(key.as_tuple())
+        if entry is None:
+            entry = self._entries[key.as_tuple()] = SyndromeEntry(key)
+        _accumulate(entry, report)
+        self.n_reports += 1
+
+    def add_tmxm_report(self, report: CampaignReport,
+                        dim: int = TILE_DIM) -> None:
+        """Fold one t-MxM (or partial-cell) report in."""
+        key = (report.input_range, report.module)
+        entry = self._tmxm.get(key)
+        if entry is None:
+            entry = self._tmxm[key] = TmxmEntry(
+                tile_kind=report.input_range, module=report.module)
+        _observe_tmxm(entry, report, dim)
+        self.n_reports += 1
+
+    def build(self) -> SyndromeDatabase:
+        """Finalize every entry and assemble the database."""
+        db = SyndromeDatabase()
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            entry.finalize()
+            db.add(entry)
+        for key in sorted(self._tmxm):
+            entry = self._tmxm[key]
+            entry.finalize()
+            db.add_tmxm(entry)
+        return db
 
 
 def build_database(reports: Iterable[CampaignReport],
                    tmxm_reports: Iterable[CampaignReport] = (),
                    ) -> SyndromeDatabase:
     """Build the full syndrome database from campaign reports."""
-    db = SyndromeDatabase()
+    builder = StreamingDatabaseBuilder()
     for report in reports:
-        db.add(entry_from_report(report))
+        builder.add_report(report)
     for report in tmxm_reports:
-        db.add_tmxm(tmxm_entry_from_report(report))
-    return db
+        builder.add_tmxm_report(report)
+    return builder.build()

@@ -1,0 +1,127 @@
+"""End-to-end pipeline: streaming build, stage-boundary resume."""
+
+import json
+
+import pytest
+
+from repro.campaign.pipeline import run_pipeline
+from repro.errors import CampaignError
+from repro.gpu import Opcode
+
+#: Small but family-complete config: FADD covers the float datapath,
+#: IADD the integer one (whose family includes the memory/control ops),
+#: so the distilled database can serve every opcode the apps execute.
+CONFIG = dict(
+    seed=7,
+    opcodes=[Opcode.FADD, Opcode.IADD],
+    grid_faults=30,
+    tmxm_faults=20,
+    apps=["MxM"],
+    injections=40,
+    quiet=True,
+)
+
+
+@pytest.fixture(scope="module")
+def finished(tmp_path_factory):
+    """One completed pipeline run shared by the resume tests."""
+    workdir = tmp_path_factory.mktemp("pipeline")
+    summary = run_pipeline(workdir, **CONFIG)
+    return workdir, summary
+
+
+class TestEndToEnd:
+    def test_produces_all_artifacts(self, finished):
+        workdir, summary = finished
+        for name in ("rtl_grid.jsonl", "tmxm.jsonl", "syndrome_db.json",
+                     "pvf_MxM_bitflip.jsonl", "pvf_MxM_syndrome.jsonl",
+                     "pipeline_summary.json"):
+            assert (workdir / name).exists(), name
+
+    def test_summary_contents(self, finished):
+        workdir, summary = finished
+        assert summary["seed"] == 7
+        assert summary["database"]["entries"] > 0
+        assert summary["database"]["tmxm_entries"] == 6
+        models = {row["model"] for row in summary["pvf"]}
+        assert models == {"single-bit-flip", "relative-error"}
+        for row in summary["pvf"]:
+            assert row["n_injections"] == 40
+            assert 0.0 <= row["pvf"] <= 1.0
+        on_disk = json.loads(
+            (workdir / "pipeline_summary.json").read_text())
+        assert on_disk == summary
+
+    def test_rerun_replays_everything(self, finished):
+        workdir, summary = finished
+        again = run_pipeline(workdir, **CONFIG)
+        assert again == summary
+
+    def test_existing_database_skips_rtl_stages(self, finished):
+        workdir, summary = finished
+        # wreck the RTL journals: with the database present they must
+        # not even be opened
+        grid_text = (workdir / "rtl_grid.jsonl").read_text()
+        tmxm_text = (workdir / "tmxm.jsonl").read_text()
+        try:
+            (workdir / "rtl_grid.jsonl").write_text("garbage\n")
+            (workdir / "tmxm.jsonl").write_text("garbage\n")
+            again = run_pipeline(workdir, **CONFIG)
+        finally:
+            (workdir / "rtl_grid.jsonl").write_text(grid_text)
+            (workdir / "tmxm.jsonl").write_text(tmxm_text)
+        assert again == summary
+
+
+class TestStageResume:
+    def test_resumes_mid_rtl_grid(self, finished, tmp_path):
+        _, summary = finished
+        workdir = tmp_path / "resume"
+        workdir.mkdir()
+        # simulate a kill during the RTL grid: a partial journal
+        done_grid = finished[0] / "rtl_grid.jsonl"
+        lines = done_grid.read_text().splitlines()
+        assert len(lines) > 3
+        (workdir / "rtl_grid.jsonl").write_text(
+            "\n".join(lines[:3]) + "\n")
+        resumed = run_pipeline(workdir, **CONFIG)
+        assert resumed["pvf"] == summary["pvf"]
+        assert resumed["database"]["entries"] == \
+            summary["database"]["entries"]
+
+    def test_resumes_after_database_stage(self, finished, tmp_path):
+        _, summary = finished
+        workdir = tmp_path / "post-db"
+        workdir.mkdir()
+        db_text = (finished[0] / "syndrome_db.json").read_text()
+        (workdir / "syndrome_db.json").write_text(db_text)
+        resumed = run_pipeline(workdir, **CONFIG)
+        assert resumed["pvf"] == summary["pvf"]
+        assert not (workdir / "rtl_grid.jsonl").exists()
+
+    def test_fresh_discards_state(self, finished, tmp_path):
+        _, summary = finished
+        workdir = tmp_path / "fresh"
+        workdir.mkdir()
+        (workdir / "syndrome_db.json").write_text("{}")  # stale/empty
+        config = dict(CONFIG, fresh=True)
+        fresh = run_pipeline(workdir, **config)
+        # identical up to the workdir-dependent database path
+        assert fresh["pvf"] == summary["pvf"]
+        assert fresh["database"]["entries"] == \
+            summary["database"]["entries"]
+        assert fresh["database"]["tmxm_entries"] == \
+            summary["database"]["tmxm_entries"]
+
+
+class TestValidation:
+    def test_unknown_model_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            run_pipeline(tmp_path, models=["voodoo"], quiet=True)
+
+    def test_unknown_app_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_pipeline(tmp_path / "w", seed=1,
+                         opcodes=[Opcode.FADD, Opcode.IADD],
+                         grid_faults=10, tmxm_faults=10,
+                         apps=["NoSuchApp"], injections=10, quiet=True)

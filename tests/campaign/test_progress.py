@@ -1,0 +1,46 @@
+"""Unified progress reporting."""
+
+import io
+
+from repro.campaign import ProgressReporter, make_progress
+
+
+class TestProgressReporter:
+    def test_advance_counts_and_formats(self):
+        out = io.StringIO()
+        progress = ProgressReporter(total=3, prefix="rtl", stream=out)
+        progress.advance("cell a")
+        progress.advance("cell b", cached=True)
+        lines = out.getvalue().splitlines()
+        assert lines[0] == "[1/3] rtl cell a"
+        assert lines[1] == "[2/3] rtl cell b (cached)"
+        assert progress.done == 2
+
+    def test_unknown_total(self):
+        out = io.StringIO()
+        progress = ProgressReporter(prefix="", stream=out)
+        progress.advance("x")
+        assert out.getvalue() == "[1] x\n"
+
+    def test_status_line(self):
+        out = io.StringIO()
+        ProgressReporter(stream=out).status("stage 1")
+        assert out.getvalue() == "stage 1\n"
+
+    def test_disabled_still_counts(self):
+        out = io.StringIO()
+        progress = ProgressReporter(total=2, stream=out, enabled=False)
+        progress.advance("a")
+        progress.status("quiet")
+        assert out.getvalue() == ""
+        assert progress.done == 1
+
+    def test_make_progress_quiet(self):
+        out = io.StringIO()
+        progress = make_progress(5, "pvf", quiet=True, stream=out)
+        progress.advance("batch 0")
+        assert out.getvalue() == ""
+        assert progress.done == 1
+
+    def test_stderr_default(self):
+        assert make_progress().stream is not None

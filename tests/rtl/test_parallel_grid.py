@@ -1,10 +1,22 @@
-"""Parallel campaign-grid tests."""
+"""Parallel / checkpointed campaign-grid tests.
+
+Mirrors the SWFI suite's invariant on the RTL side: cell and fault-batch
+randomness depend only on the unit index (child seed of the campaign
+seed), so a grid's reports are bit-identical whether its units ran
+serially, across worker processes, or split over a checkpoint/resume
+boundary.
+"""
 
 import pytest
 
 from repro.errors import CampaignError
 from repro.gpu import Opcode
-from repro.rtl import RTLInjector, run_grid
+from repro.rtl import RTLInjector, run_campaign, run_grid, run_tmxm_grid
+from repro.rtl.classify import Outcome
+from repro.rtl.microbench import make_microbenchmark
+
+GRID = dict(opcodes=[Opcode.FADD, Opcode.IADD], input_ranges=["M"],
+            modules=["scheduler"], n_faults=60, seed=6)
 
 
 class TestParallelGrid:
@@ -27,3 +39,115 @@ class TestParallelGrid:
     def test_invalid_job_count(self):
         with pytest.raises(CampaignError):
             run_grid(opcodes=[Opcode.IADD], n_faults=10, n_jobs=0)
+
+
+class TestBatchSharding:
+    def test_batched_parallel_bit_identical(self):
+        """Intra-cell fault batches merge back to the serial report."""
+        serial = run_grid(batch_size=20, **GRID)
+        parallel = run_grid(batch_size=20, n_jobs=2, **GRID)
+        assert [r.to_dict() for r in serial] == \
+            [r.to_dict() for r in parallel]
+
+    def test_unbatched_default_matches_historical_campaign(self, injector):
+        """batch_size=None keeps the exact PR-1 fault streams."""
+        reports = run_grid(opcodes=[Opcode.FADD], input_ranges=["M"],
+                           modules=["fp32"], n_faults=40, seed=3,
+                           injector=injector)
+        from repro.rng import spawn_seeds
+
+        cell_seed = spawn_seeds(3, 1)[0]
+        bench = make_microbenchmark(Opcode.FADD, "M", seed=cell_seed)
+        single = run_campaign(bench, "fp32", 40, seed=cell_seed,
+                              injector=injector)
+        assert reports[0].to_dict() == single.to_dict()
+
+    def test_single_campaign_batched_matches_unbatched_total(self,
+                                                             injector):
+        bench = make_microbenchmark(Opcode.IADD, "M", seed=1)
+        report = run_campaign(bench, "int", 50, seed=1, injector=injector,
+                              batch_size=20)
+        assert report.n_injections == 50
+        assert report.n_sdc + report.n_due + report.n_masked == 50
+
+
+class TestCheckpointResume:
+    def test_truncated_journal_resumes_bit_identical(self, tmp_path):
+        path = tmp_path / "grid.jsonl"
+        full = run_grid(batch_size=20, checkpoint=path, **GRID)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + 6  # header + 3 batches per cell
+        # kill after the first two batches, then resume
+        path.write_text("\n".join(lines[:3]) + "\n")
+        resumed = run_grid(batch_size=20, checkpoint=path, resume=True,
+                           **GRID)
+        assert [r.to_dict() for r in resumed] == \
+            [r.to_dict() for r in full]
+
+    @pytest.mark.multicore
+    def test_parallel_resume_bit_identical(self, tmp_path):
+        """The acceptance bar: kill -> resume with n_jobs=4 == serial."""
+        path = tmp_path / "grid.jsonl"
+        serial = run_grid(batch_size=20, **GRID)
+        run_grid(batch_size=20, checkpoint=path, **GRID)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:4]) + "\n")
+        resumed = run_grid(batch_size=20, checkpoint=path, resume=True,
+                           n_jobs=4, **GRID)
+        assert [r.to_dict() for r in resumed] == \
+            [r.to_dict() for r in serial]
+
+    def test_corrupt_trailing_line_warns_and_reruns(self, tmp_path):
+        path = tmp_path / "grid.jsonl"
+        full = run_grid(batch_size=20, checkpoint=path, **GRID)
+        text = path.read_text()
+        path.write_text(text[:len(text) - 30])  # torn final write
+        with pytest.warns(UserWarning, match="corrupt checkpoint line"):
+            resumed = run_grid(batch_size=20, checkpoint=path,
+                               resume=True, **GRID)
+        assert [r.to_dict() for r in resumed] == \
+            [r.to_dict() for r in full]
+
+    def test_resume_rejects_different_grid(self, tmp_path):
+        path = tmp_path / "grid.jsonl"
+        run_grid(batch_size=20, checkpoint=path, **GRID)
+        other = dict(GRID, seed=7)
+        with pytest.raises(CampaignError):
+            run_grid(batch_size=20, checkpoint=path, resume=True, **other)
+
+    def test_resume_requires_path(self):
+        with pytest.raises(CampaignError):
+            run_grid(resume=True, **GRID)
+
+
+class TestTmxmGrid:
+    def test_runs_all_cells(self, injector):
+        reports = run_tmxm_grid(tile_kinds=["Random"], n_faults=30,
+                                seed=2, injector=injector)
+        assert [(r.input_range, r.module) for r in reports] == \
+            [("Random", "scheduler"), ("Random", "pipeline")]
+
+    def test_checkpoint_roundtrip(self, tmp_path, injector):
+        path = tmp_path / "tmxm.jsonl"
+        kwargs = dict(tile_kinds=["Random"], n_faults=30, seed=2,
+                      batch_size=10)
+        full = run_tmxm_grid(checkpoint=path, injector=injector, **kwargs)
+        resumed = run_tmxm_grid(checkpoint=path, resume=True,
+                                injector=injector, **kwargs)
+        assert [r.to_dict() for r in resumed] == \
+            [r.to_dict() for r in full]
+
+    def test_rejects_unknown_tile(self):
+        with pytest.raises(CampaignError):
+            run_tmxm_grid(tile_kinds=["Diagonal"], n_faults=10)
+
+
+class TestWallClockGuard:
+    def test_timeout_classifies_as_due(self, injector):
+        bench = make_microbenchmark(Opcode.FADD, "M", seed=0)
+        report = run_campaign(bench, "fp32", 5, seed=0, injector=injector,
+                              timeout=1e-6)
+        assert report.n_due == 5
+        assert all("wall-clock guard" in (r.due_reason or "")
+                   for r in report.general)
+        assert all(r.outcome is Outcome.DUE for r in report.general)

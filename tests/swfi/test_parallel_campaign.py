@@ -176,6 +176,22 @@ class TestCheckpoint:
         with pytest.raises(CampaignError):
             run_pvf_campaign(MixedApp(), SingleBitFlip(), 10, resume=True)
 
+    def test_corrupt_trailing_line_warns_and_reruns(self, tmp_path):
+        """A journal torn by a mid-write kill resumes, minus one batch."""
+        app, model = MixedApp(), SingleBitFlip()
+        path = tmp_path / "campaign.jsonl"
+        full = run_pvf_campaign(app, model, 100, seed=5, batch_size=25,
+                                checkpoint=path)
+        text = path.read_text()
+        path.write_text(text[:len(text) - 30])  # chop the final record
+        with pytest.warns(UserWarning, match="corrupt checkpoint line"):
+            resumed = run_pvf_campaign(app, model, 100, seed=5,
+                                       batch_size=25, checkpoint=path,
+                                       resume=True)
+        assert resumed.to_dict() == full.to_dict()
+        # the damaged journal was compacted and re-completed
+        assert len(path.read_text().splitlines()) == 1 + 4
+
     def test_fresh_run_overwrites_stale_journal(self, tmp_path):
         path = tmp_path / "campaign.jsonl"
         run_pvf_campaign(MixedApp(), SingleBitFlip(), 20, seed=5,

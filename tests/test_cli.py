@@ -11,7 +11,7 @@ class TestParser:
         actions = {a.dest: a for a in parser._actions}
         choices = actions["command"].choices
         assert set(choices) >= {"inventory", "campaign", "tmxm",
-                                "profile", "pvf", "build-db"}
+                                "profile", "pvf", "build-db", "pipeline"}
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -69,3 +69,31 @@ class TestCommands:
         with pytest.raises(CampaignError):
             main(["pvf", "--app", "MxM", "--model", "bitflip",
                   "--injections", "20", "--resume"])
+
+    def test_quiet_silences_progress(self, capsys):
+        assert main(["campaign", "--opcode", "IADD", "--module", "int",
+                     "--faults", "40", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "AVF" in captured.out
+        assert captured.err == ""
+
+    def test_progress_goes_to_stderr(self, capsys):
+        assert main(["campaign", "--opcode", "IADD", "--module", "int",
+                     "--faults", "40", "--batch-size", "20"]) == 0
+        captured = capsys.readouterr()
+        assert "AVF" in captured.out
+        assert "[2/2]" in captured.err  # two fault batches reported
+
+    def test_pipeline_end_to_end_and_rerun(self, capsys, tmp_path):
+        workdir = tmp_path / "pipe"
+        argv = ["pipeline", "--workdir", str(workdir), "--seed", "7",
+                "--opcodes", "FADD", "IADD", "--grid-faults", "25",
+                "--tmxm-faults", "15", "--apps", "MxM", "--model",
+                "bitflip", "--injections", "30", "--quiet"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "syndrome database" in first and "PVF" in first
+        assert (workdir / "pipeline_summary.json").exists()
+        # second invocation resumes from the finished artefacts
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
