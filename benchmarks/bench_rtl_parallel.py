@@ -8,9 +8,12 @@ shared campaign engine, serially and with 4 worker processes, and checks
 the merged reports are bit-identical: intra-cell fault batches are
 seed-sharded by batch index, so the fan-out is invisible in the numbers.
 
-Emits ``BENCH_rtl_parallel.json`` under ``benchmarks/output/`` with the
-raw timings; on hosts with >= 4 CPUs it asserts a >= 2x speedup (RTL
-cells are coarser than SWFI injections, so the pool amortises less).
+Emits ``BENCH_rtl_parallel.json`` under ``benchmarks/output/`` in the
+shared ``campaign-metrics`` schema (the parallel run's per-unit
+telemetry, with the serial/parallel comparison under a ``bench`` key, so
+``python -m repro stats`` renders it); on hosts with >= 4 CPUs it
+asserts a >= 2x speedup (RTL cells are coarser than SWFI injections, so
+the pool amortises less).
 """
 
 import json
@@ -19,6 +22,7 @@ import time
 
 import pytest
 
+from repro.campaign import CampaignMetrics, validate_metrics
 from repro.gpu import Opcode
 from repro.rtl import run_grid
 
@@ -48,10 +52,13 @@ def test_rtl_parallel_throughput(benchmark):
     total = sum(r.n_injections for r in serial)
 
     timing = {}
+    metrics = CampaignMetrics("bench/rtl-parallel",
+                              meta={"opcodes": [o.value for o in OPCODES],
+                                    "input_ranges": list(RANGES)})
 
     def _parallel():
         t0 = time.perf_counter()
-        reports = _grid(n_faults, n_jobs=JOBS)
+        reports = _grid(n_faults, n_jobs=JOBS, metrics=metrics)
         timing["seconds"] = time.perf_counter() - t0
         return reports
 
@@ -62,20 +69,23 @@ def test_rtl_parallel_throughput(benchmark):
     assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
 
     speedup = serial_s / parallel_s
-    record = {
-        "opcodes": [o.value for o in OPCODES],
-        "input_ranges": list(RANGES),
-        "n_cells": n_cells,
-        "faults_per_cell": n_faults,
-        "total_faults": total,
-        "jobs": JOBS,
-        "cpus": os.cpu_count(),
-        "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
-        "serial_faults_per_second": round(total / serial_s, 1),
-        "parallel_faults_per_second": round(total / parallel_s, 1),
-        "speedup": round(speedup, 2),
-    }
+    record = validate_metrics({
+        **metrics.to_dict(),
+        "bench": {
+            "opcodes": [o.value for o in OPCODES],
+            "input_ranges": list(RANGES),
+            "n_cells": n_cells,
+            "faults_per_cell": n_faults,
+            "total_faults": total,
+            "jobs": JOBS,
+            "cpus": os.cpu_count(),
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": round(parallel_s, 3),
+            "serial_faults_per_second": round(total / serial_s, 1),
+            "parallel_faults_per_second": round(total / parallel_s, 1),
+            "speedup": round(speedup, 2),
+        },
+    })
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / "BENCH_rtl_parallel.json").write_text(
         json.dumps(record, indent=2) + "\n")
@@ -91,4 +101,4 @@ def test_rtl_parallel_throughput(benchmark):
     emit("bench_rtl_parallel", text)
 
     if (os.cpu_count() or 1) >= JOBS:
-        assert speedup >= 2.0, record
+        assert speedup >= 2.0, record["bench"]

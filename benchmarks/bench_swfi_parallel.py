@@ -7,9 +7,11 @@ exists to parallelise.  This benchmark measures injections/second for the
 sharded campaign runner on MxM, serially and with 4 worker processes, and
 checks the two configurations produce bit-identical reports.
 
-Emits ``BENCH_swfi_parallel.json`` under ``benchmarks/output/`` with the
-raw timings; on hosts with >= 4 CPUs it asserts the >= 2.5x speedup the
-sharded runner is built for.
+Emits ``BENCH_swfi_parallel.json`` under ``benchmarks/output/`` in the
+shared ``campaign-metrics`` schema (the parallel run's per-unit
+telemetry, with the serial/parallel comparison under a ``bench`` key, so
+``python -m repro stats`` renders it); on hosts with >= 4 CPUs it
+asserts the >= 2.5x speedup the sharded runner is built for.
 """
 
 import json
@@ -19,6 +21,7 @@ import time
 import pytest
 
 from repro.apps import MatrixMultiply
+from repro.campaign import CampaignMetrics, validate_metrics
 from repro.swfi import SingleBitFlip, run_pvf_campaign
 
 from conftest import OUTPUT_DIR, emit, scaled
@@ -41,10 +44,13 @@ def test_swfi_parallel_throughput(benchmark):
     serial_s = time.perf_counter() - start
 
     timing = {}
+    metrics = CampaignMetrics("bench/swfi-parallel",
+                              meta={"app": "MxM",
+                                    "model": "single-bit-flip"})
 
     def _parallel():
         t0 = time.perf_counter()
-        report = _campaign(n, n_jobs=JOBS)
+        report = _campaign(n, n_jobs=JOBS, metrics=metrics)
         timing["seconds"] = time.perf_counter() - t0
         return report
 
@@ -55,19 +61,22 @@ def test_swfi_parallel_throughput(benchmark):
     assert serial.to_dict() == parallel.to_dict()
 
     speedup = serial_s / parallel_s
-    record = {
-        "app": "MxM",
-        "model": "single-bit-flip",
-        "n_injections": n,
-        "jobs": JOBS,
-        "cpus": os.cpu_count(),
-        "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
-        "serial_injections_per_second": round(n / serial_s, 1),
-        "parallel_injections_per_second": round(n / parallel_s, 1),
-        "speedup": round(speedup, 2),
-        "pvf": serial.pvf,
-    }
+    record = validate_metrics({
+        **metrics.to_dict(),
+        "bench": {
+            "app": "MxM",
+            "model": "single-bit-flip",
+            "n_injections": n,
+            "jobs": JOBS,
+            "cpus": os.cpu_count(),
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": round(parallel_s, 3),
+            "serial_injections_per_second": round(n / serial_s, 1),
+            "parallel_injections_per_second": round(n / parallel_s, 1),
+            "speedup": round(speedup, 2),
+            "pvf": serial.pvf,
+        },
+    })
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / "BENCH_swfi_parallel.json").write_text(
         json.dumps(record, indent=2) + "\n")
@@ -83,4 +92,4 @@ def test_swfi_parallel_throughput(benchmark):
     emit("bench_swfi_parallel", text)
 
     if (os.cpu_count() or 1) >= JOBS:
-        assert speedup >= 2.5, record
+        assert speedup >= 2.5, record["bench"]

@@ -3,8 +3,9 @@
 ``engine`` executes deterministic seed-indexed work units over worker
 processes with checkpoint/resume and merge-in-order semantics;
 ``checkpoint`` is the JSONL journal; ``progress`` the unified reporter;
-``pipeline`` chains RTL grid -> syndrome database -> SWFI PVF into one
-resumable end-to-end run.
+``telemetry`` the per-unit timing/counter collector behind
+``metrics.json`` and ``python -m repro stats``; ``pipeline`` chains RTL
+grid -> syndrome database -> SWFI PVF into one resumable end-to-end run.
 """
 
 from .checkpoint import CampaignCheckpoint
@@ -20,18 +21,34 @@ from .engine import (
     wall_clock_limit,
 )
 from .progress import ProgressReporter, make_progress
+from .telemetry import (
+    CampaignMetrics,
+    UnitRecord,
+    discover_metrics,
+    load_metrics,
+    metrics_path_for,
+    render_stats,
+    validate_metrics,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "CampaignCheckpoint",
+    "CampaignMetrics",
     "Mergeable",
     "ProgressReporter",
+    "UnitRecord",
     "UnitTimeout",
     "WorkUnit",
+    "discover_metrics",
+    "load_metrics",
     "make_progress",
     "merge_ordered",
+    "metrics_path_for",
     "plan_batches",
     "plan_units",
+    "render_stats",
     "run_units",
+    "validate_metrics",
     "wall_clock_limit",
 ]

@@ -31,8 +31,10 @@ The engine owns:
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -58,6 +60,7 @@ from ..errors import CampaignError, ReproError
 from ..rng import spawn_seed_range
 from .checkpoint import CampaignCheckpoint
 from .progress import ProgressReporter
+from .telemetry import CampaignMetrics
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -97,14 +100,19 @@ class Mergeable(Protocol):
     def from_dict(cls, payload: dict) -> Any: ...
 
 
-def merge_ordered(results: Mapping[int, Any]) -> Any:
+def merge_ordered(results: Mapping[int, Any],
+                  empty: Optional[Callable[[], Any]] = None) -> Any:
     """Merge per-unit reports in unit-index order.
 
     Merging in index order — never completion order — is the invariant
     that makes a sharded campaign's merged report bit-identical to the
-    serial run's for a fixed seed.
+    serial run's for a fixed seed.  A zero-unit campaign (``total=0``)
+    produces an empty result set: *empty* supplies the empty merged
+    report for that case; without it the merge raises.
     """
     if not results:
+        if empty is not None:
+            return empty()
         raise CampaignError("cannot merge an empty result set")
     ordered = [results[index] for index in sorted(results)]
     cls = type(ordered[0])
@@ -191,6 +199,12 @@ def wall_clock_limit(seconds: Optional[float],
     platforms without SIGALRM) — worker processes run units on their
     main thread, so the guard is active there.  ``make_exception`` maps
     the budget to the exception to raise (default :class:`UnitTimeout`).
+
+    Guards nest: an inner guard saves the outer guard's remaining
+    budget and re-arms it on exit, so a pipeline-level guard wrapped
+    around per-unit guards still fires.  While the inner guard is armed
+    the outer one is suspended — an outer deadline that passes inside
+    the inner block fires immediately after the inner guard exits.
     """
     if not seconds or seconds <= 0:
         yield
@@ -207,12 +221,22 @@ def wall_clock_limit(seconds: Optional[float],
             f"wall-clock guard: work unit exceeded {seconds:g}s")
 
     previous = signal.signal(signal.SIGALRM, _timed_out)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    # setitimer returns the outer guard's remaining (delay, interval):
+    # that budget — minus the time this block consumes — must be
+    # restored on exit, not cleared.
+    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL,
+                                          float(seconds))
+    entered = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_remaining > 0.0:
+            elapsed = time.monotonic() - entered
+            # an already-expired outer budget fires as soon as possible
+            signal.setitimer(signal.ITIMER_REAL,
+                             max(outer_remaining - elapsed, 1e-6))
 
 
 # -- worker-process plumbing -------------------------------------------------
@@ -230,8 +254,19 @@ def _worker_init(state_factory: Optional[Callable[[], Any]],
     _WORKER_RUN = run_unit
 
 
-def _worker_call(unit: WorkUnit) -> Tuple[int, Any]:
-    return unit.index, _WORKER_RUN(_WORKER_STATE, unit)
+def _worker_call(unit: WorkUnit) -> Tuple[int, Any, Dict[str, float]]:
+    # time.time() is comparable across processes on one host, so the
+    # parent can derive queue wait from its own submit timestamp;
+    # perf_counter deltas stay within this process.
+    started_wall = time.time()
+    started = time.perf_counter()
+    report = _WORKER_RUN(_WORKER_STATE, unit)
+    timing = {
+        "seconds": time.perf_counter() - started,
+        "started_wall": started_wall,
+        "worker": os.getpid(),
+    }
+    return unit.index, report, timing
 
 
 class _OrderedEmitter:
@@ -271,6 +306,7 @@ def run_units(
     checkpoint: Optional[CampaignCheckpoint] = None,
     consume: Optional[Callable[[int, Any], None]] = None,
     progress: Optional[ProgressReporter] = None,
+    metrics: Optional[CampaignMetrics] = None,
     collect: bool = True,
 ) -> Dict[int, Any]:
     """Execute campaign work units serially or on a process pool.
@@ -285,7 +321,9 @@ def run_units(
     unit's report **in index order** (replayed ones included) — the
     streaming hook for per-batch downstream processing.  ``collect=False``
     drops reports after checkpoint/consume, bounding memory on huge
-    campaigns.
+    campaigns.  ``metrics`` collects per-unit telemetry (duration,
+    queue wait, worker id, cached flag, outcome tallies) and feeds the
+    progress heartbeat; it never touches the campaign's randomness.
 
     Returns ``{unit index: report}`` (empty when ``collect=False``).
     """
@@ -294,41 +332,71 @@ def run_units(
     replayed = dict(checkpoint.completed) if checkpoint is not None else {}
     pending = [unit for unit in units if unit.index not in replayed]
     labels = {unit.index: unit.label for unit in units}
+    sizes = {unit.index: unit.size for unit in units}
     results: Dict[int, Any] = {}
     emitter = (_OrderedEmitter([u.index for u in units], consume)
                if consume is not None else None)
+    if metrics is not None and metrics.total_units is None:
+        metrics.total_units = len(units)
 
-    def _finish(index: int, report: Any, cached: bool) -> None:
+    def _finish(index: int, report: Any, cached: bool,
+                seconds: float = 0.0, queue_wait: float = 0.0,
+                worker: Optional[int] = None) -> None:
         if checkpoint is not None and not cached:
             checkpoint.record(index, report)
         if emitter is not None:
             emitter.offer(index, report)
         if collect:
             results[index] = report
+        detail = ""
+        if metrics is not None:
+            metrics.record_unit(index, labels.get(index, ""),
+                                sizes.get(index, 0), report,
+                                seconds=seconds, queue_wait=queue_wait,
+                                cached=cached, worker=worker)
+            detail = metrics.heartbeat()
         if progress is not None:
-            progress.advance(labels.get(index, str(index)), cached=cached)
+            progress.advance(labels.get(index, str(index)), cached=cached,
+                             detail=detail)
 
-    for unit in units:  # replayed units first, in plan order
-        if unit.index in replayed:
-            _finish(unit.index, replayed[unit.index], cached=True)
+    try:
+        for unit in units:  # replayed units first, in plan order
+            if unit.index in replayed:
+                _finish(unit.index, replayed[unit.index], cached=True)
 
-    if not pending:
+        if not pending:
+            return results
+        if n_jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+
+            with ProcessPoolExecutor(
+                    max_workers=min(n_jobs, len(pending)),
+                    initializer=_worker_init,
+                    initargs=(state_factory, run_unit)) as pool:
+                submitted: Dict[int, float] = {}
+                futures = []
+                for unit in pending:
+                    submitted[unit.index] = time.time()
+                    futures.append(pool.submit(_worker_call, unit))
+                for future in as_completed(futures):
+                    index, report, timing = future.result()
+                    _finish(index, report, cached=False,
+                            seconds=timing["seconds"],
+                            queue_wait=(timing["started_wall"]
+                                        - submitted[index]),
+                            worker=int(timing["worker"]))
+            return results
+
+        if state is None and state_factory is not None:
+            state = state_factory()  # built once, only when work remains
+        for unit in pending:
+            started = time.perf_counter()
+            report = run_unit(state, unit)
+            _finish(unit.index, report, cached=False,
+                    seconds=time.perf_counter() - started)
         return results
-    if n_jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-
-        with ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(pending)),
-                initializer=_worker_init,
-                initargs=(state_factory, run_unit)) as pool:
-            futures = [pool.submit(_worker_call, unit) for unit in pending]
-            for future in as_completed(futures):
-                index, report = future.result()
-                _finish(index, report, cached=False)
-        return results
-
-    if state is None and state_factory is not None:
-        state = state_factory()  # built once, only when work remains
-    for unit in pending:
-        _finish(unit.index, run_unit(state, unit), cached=False)
-    return results
+    finally:
+        if metrics is not None:
+            metrics.finish()
+        if checkpoint is not None:
+            checkpoint.close()  # flush + fsync: the journal is durable

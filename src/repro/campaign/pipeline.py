@@ -17,6 +17,9 @@ there:
 * ``syndrome_db.json`` — once it exists the RTL stages are skipped
   entirely and the database is loaded back.
 * ``pvf_<app>_<model>.jsonl`` — per-campaign engine checkpoints.
+* ``<journal>.metrics.json`` — per-stage campaign telemetry (unit
+  durations, queue waits, cached counts, outcome tallies), plus the
+  combined ``metrics.json`` rendered by ``python -m repro stats``.
 * ``pipeline_summary.json`` — final metrics, written last.
 
 Because batch randomness is seed-indexed, the pipeline's outputs are
@@ -32,6 +35,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..errors import CampaignError
 from .progress import ProgressReporter, make_progress
+from .telemetry import (
+    PIPELINE_KIND,
+    SCHEMA_VERSION,
+    CampaignMetrics,
+    load_metrics,
+    metrics_path_for,
+    validate_metrics,
+)
 
 __all__ = ["PIPELINE_SEED", "run_pipeline"]
 
@@ -45,7 +56,7 @@ def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
                 input_ranges, grid_faults: int, tmxm_faults: int,
                 n_jobs: int, batch_size: Optional[int],
                 timeout: Optional[float], fresh: bool,
-                quiet: bool) -> None:
+                quiet: bool) -> List[CampaignMetrics]:
     """Stage 1+2: RTL instruction grid and t-MxM tiles, streamed."""
     from ..rtl.campaign import run_grid, run_tmxm_grid
     from ..rtl.injector import RTLInjector
@@ -53,6 +64,8 @@ def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
     injector = RTLInjector() if n_jobs == 1 else None
     grid_journal = workdir / "rtl_grid.jsonl"
     tmxm_journal = workdir / "tmxm.jsonl"
+    grid_metrics = CampaignMetrics("rtl-grid")
+    tmxm_metrics = CampaignMetrics("rtl-tmxm")
     progress = make_progress(None, "rtl", quiet=quiet)
     progress.status(
         f"[stage 1/3] RTL grid ({grid_faults} faults/cell)"
@@ -62,7 +75,7 @@ def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
         seed=seed, injector=injector, n_jobs=n_jobs,
         batch_size=batch_size, timeout=timeout,
         checkpoint=grid_journal, resume=not fresh and grid_journal.exists(),
-        progress=progress,
+        progress=progress, metrics=grid_metrics,
         consume=lambda index, report: builder.add_report(report),
         collect=False)
     progress = make_progress(None, "tmxm", quiet=quiet)
@@ -73,9 +86,10 @@ def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
         n_faults=tmxm_faults, seed=seed + 1, injector=injector,
         n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
         checkpoint=tmxm_journal, resume=not fresh and tmxm_journal.exists(),
-        progress=progress,
+        progress=progress, metrics=tmxm_metrics,
         consume=lambda index, report: builder.add_tmxm_report(report),
         collect=False)
+    return [grid_metrics, tmxm_metrics]
 
 
 def _make_model(name: str, database):
@@ -136,18 +150,30 @@ def run_pipeline(workdir: Union[str, Path],
                 f"choose from {sorted(APP_FACTORIES)}")
 
     status = make_progress(None, "", quiet=quiet)
+    stage_metrics: List[Dict] = []
     db_path = workdir / "syndrome_db.json"
     if db_path.exists() and not fresh:
         status.status(f"[stage 1/3] syndrome database exists, "
                       f"skipping RTL campaigns ({db_path})")
         database = SyndromeDatabase.load(db_path)
+        # keep the RTL stages' telemetry from the run that built the
+        # database, so the combined metrics file stays complete
+        for journal in ("rtl_grid.jsonl", "tmxm.jsonl"):
+            metrics_file = metrics_path_for(workdir / journal)
+            if metrics_file.exists():
+                try:
+                    stage_metrics.append(load_metrics(metrics_file))
+                except CampaignError:
+                    pass  # stale/foreign file: drop, do not abort
     else:
         builder = StreamingDatabaseBuilder()
-        _grid_stage(workdir, builder, seed=seed, opcodes=opcodes,
-                    input_ranges=input_ranges, grid_faults=grid_faults,
-                    tmxm_faults=tmxm_faults, n_jobs=n_jobs,
-                    batch_size=batch_size, timeout=timeout, fresh=fresh,
-                    quiet=quiet)
+        rtl_metrics = _grid_stage(
+            workdir, builder, seed=seed, opcodes=opcodes,
+            input_ranges=input_ranges, grid_faults=grid_faults,
+            tmxm_faults=tmxm_faults, n_jobs=n_jobs,
+            batch_size=batch_size, timeout=timeout, fresh=fresh,
+            quiet=quiet)
+        stage_metrics.extend(m.to_dict() for m in rtl_metrics)
         database = builder.build()
         database.save(db_path)
         status.status(f"[stage 2/3] syndrome database saved to {db_path} "
@@ -166,12 +192,15 @@ def run_pipeline(workdir: Union[str, Path],
                 f"[stage 3/3] PVF: {app_name} under {model_name} "
                 f"({injections} injections)"
                 + (" [resuming]" if not fresh and journal.exists() else ""))
+            pvf_metrics = CampaignMetrics(
+                f"pvf/{app_name}/{model_name}")
             report = run_pvf_campaign(
                 app, model, injections, seed=seed, n_jobs=n_jobs,
                 batch_size=batch_size, timeout=timeout,
                 checkpoint=journal,
                 resume=not fresh and journal.exists(),
-                progress=progress)
+                progress=progress, metrics=pvf_metrics)
+            stage_metrics.append(pvf_metrics.to_dict())
             low, high = report.confidence_interval()
             pvf_results.append({
                 "app": app_name,
@@ -199,6 +228,11 @@ def run_pipeline(workdir: Union[str, Path],
         },
         "pvf": pvf_results,
     }
+    (workdir / "metrics.json").write_text(json.dumps({
+        "kind": PIPELINE_KIND,
+        "version": SCHEMA_VERSION,
+        "stages": [validate_metrics(payload) for payload in stage_metrics],
+    }, indent=2) + "\n")
     (workdir / "pipeline_summary.json").write_text(
         json.dumps(summary, indent=2) + "\n")
     status.status(f"pipeline complete: {workdir / 'pipeline_summary.json'}")

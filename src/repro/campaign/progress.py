@@ -39,8 +39,14 @@ class ProgressReporter:
         # resolved lazily so reporters survive pytest's stderr swapping
         return self._stream if self._stream is not None else sys.stderr
 
-    def advance(self, label: str = "", cached: bool = False) -> None:
-        """Record one finished unit (``cached`` = replayed, not re-run)."""
+    def advance(self, label: str = "", cached: bool = False,
+                detail: str = "") -> None:
+        """Record one finished unit (``cached`` = replayed, not re-run).
+
+        ``detail`` is a live telemetry suffix — typically
+        :meth:`~repro.campaign.telemetry.CampaignMetrics.heartbeat`
+        (units/s, ETA, Masked/SDC/DUE tally) — appended after a ``|``.
+        """
         self.done += 1
         if not self.enabled:
             return
@@ -53,6 +59,8 @@ class ProgressReporter:
             parts.append(label)
         if cached:
             parts.append("(cached)")
+        if detail:
+            parts.append(f"| {detail}")
         print(" ".join(parts), file=self.stream, flush=True)
 
     def status(self, message: str) -> None:

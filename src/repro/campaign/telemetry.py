@@ -1,0 +1,499 @@
+"""Campaign telemetry: per-unit timing, counters and throughput.
+
+The paper ran >1.5M RTL faults on a 12-node ModelSim cluster and
+thousands of NVBitFI runs per application; at that scale a campaign is
+only trustworthy if you can *watch* it — where the wall-clock goes,
+which cells stall, how much of a resume was replayed from the journal
+rather than re-run.  :class:`CampaignMetrics` is the collector the
+execution engine feeds: one :class:`UnitRecord` per completed work unit
+(duration, queue wait, worker id, cached flag, outcome tallies), plus
+stage-level aggregates (units/s, injections/s, Masked/SDC/DUE running
+totals, ETA).
+
+The serialised form — ``kind: "campaign-metrics"`` — is one schema for
+every producer: campaign runners write ``<journal>.metrics.json`` next
+to each checkpoint, the pipeline additionally writes a combined
+``metrics.json`` (``kind: "pipeline-metrics"``) per workdir, and the
+``benchmarks/bench_*_parallel`` benchmarks emit their ``BENCH_*.json``
+trajectories in the same format.  ``python -m repro stats <path>``
+renders any of them.
+
+Telemetry is strictly an observer: it never touches the campaign's
+random streams, so merged reports stay bit-identical with metrics
+enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import CampaignError
+
+__all__ = [
+    "SCHEMA_KIND",
+    "SCHEMA_VERSION",
+    "CampaignMetrics",
+    "UnitRecord",
+    "discover_metrics",
+    "emit_metrics",
+    "load_metrics",
+    "metrics_path_for",
+    "render_stats",
+    "resolve_metrics",
+    "validate_metrics",
+]
+
+SCHEMA_KIND = "campaign-metrics"
+PIPELINE_KIND = "pipeline-metrics"
+SCHEMA_VERSION = 1
+
+#: Outcome attribute names sniffed off any report type that carries them
+#: (both :class:`~repro.rtl.reports.CampaignReport` and
+#: :class:`~repro.swfi.campaign.PVFReport` do).
+_OUTCOME_ATTRS = (("masked", "n_masked"), ("sdc", "n_sdc"),
+                  ("due", "n_due"))
+
+
+@dataclass
+class UnitRecord:
+    """Telemetry of one completed work unit."""
+
+    index: int
+    label: str = ""
+    size: int = 0
+    seconds: float = 0.0        # wall-clock spent executing the unit
+    queue_wait: float = 0.0     # submit -> execution start (pool lag)
+    cached: bool = False        # replayed from the journal, not re-run
+    worker: int = 0             # executing process id (0 = unknown)
+    timeouts: int = 0           # wall-clock-guard DUEs inside the unit
+    retries: int = 0            # reserved: engine does not retry yet
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    injections: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": int(self.index),
+            "label": self.label,
+            "size": int(self.size),
+            "seconds": round(float(self.seconds), 6),
+            "queue_wait": round(float(self.queue_wait), 6),
+            "cached": bool(self.cached),
+            "worker": int(self.worker),
+            "timeouts": int(self.timeouts),
+            "retries": int(self.retries),
+            "outcomes": {k: int(v) for k, v in sorted(self.outcomes.items())},
+            "injections": int(self.injections),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "UnitRecord":
+        return cls(
+            index=int(payload["index"]),
+            label=str(payload.get("label", "")),
+            size=int(payload.get("size", 0)),
+            seconds=float(payload.get("seconds", 0.0)),
+            queue_wait=float(payload.get("queue_wait", 0.0)),
+            cached=bool(payload.get("cached", False)),
+            worker=int(payload.get("worker", 0)),
+            timeouts=int(payload.get("timeouts", 0)),
+            retries=int(payload.get("retries", 0)),
+            outcomes=dict(payload.get("outcomes", {})),
+            injections=int(payload.get("injections", 0)),
+        )
+
+    @property
+    def cell(self) -> str:
+        """Cell key: the unit label minus its intra-cell batch suffix."""
+        return self.label.split(" [")[0] if self.label else str(self.index)
+
+
+def _sniff_outcomes(report: Any) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for key, attr in _OUTCOME_ATTRS:
+        value = getattr(report, attr, None)
+        if isinstance(value, int):
+            out[key] = value
+    return out
+
+
+def _sniff_timeouts(report: Any) -> int:
+    """Count wall-clock-guard DUEs in reports that keep per-record data."""
+    count = 0
+    for record in getattr(report, "general", ()) or ():
+        reason = getattr(record, "due_reason", None)
+        if reason and "wall-clock" in reason:
+            count += 1
+    return count
+
+
+class CampaignMetrics:
+    """Accumulates per-unit telemetry for one campaign stage.
+
+    The engine calls :meth:`record_unit` once per completed unit (cached
+    replays included); everything else — rates, ETA, outcome totals,
+    serialisation — is derived.  ``total_units`` is filled in by the
+    engine when the plan is known.
+    """
+
+    def __init__(self, stage: str, total_units: Optional[int] = None,
+                 meta: Optional[dict] = None) -> None:
+        self.stage = stage
+        self.total_units = total_units
+        self.meta = dict(meta or {})
+        self.units: List[UnitRecord] = []
+        self._started = time.perf_counter()
+        self._wall: Optional[float] = None
+
+    # -- collection ---------------------------------------------------------
+    def record_unit(self, index: int, label: str = "", size: int = 0,
+                    report: Any = None, *, seconds: float = 0.0,
+                    queue_wait: float = 0.0, cached: bool = False,
+                    worker: Optional[int] = None) -> UnitRecord:
+        """Record one finished unit, sniffing tallies off its report."""
+        self._wall = None  # live again: un-freeze the wall-clock
+        record = UnitRecord(
+            index=index, label=label, size=size,
+            seconds=max(0.0, seconds), queue_wait=max(0.0, queue_wait),
+            cached=cached,
+            worker=os.getpid() if worker is None else worker,
+            timeouts=_sniff_timeouts(report) if report is not None else 0,
+            outcomes=_sniff_outcomes(report) if report is not None else {},
+            injections=int(getattr(report, "n_injections", 0) or 0),
+        )
+        self.units.append(record)
+        return record
+
+    def finish(self) -> None:
+        """Stamp the stage wall-clock.
+
+        Restamps on every call (always measuring from construction), so
+        a collector reused across engine rounds — the adaptive PVF
+        runner — keeps a wall-clock that covers all of them.
+        """
+        self._wall = time.perf_counter() - self._started
+
+    # -- aggregates ---------------------------------------------------------
+    @property
+    def units_done(self) -> int:
+        return len(self.units)
+
+    @property
+    def units_cached(self) -> int:
+        return sum(1 for u in self.units if u.cached)
+
+    @property
+    def units_run(self) -> int:
+        return self.units_done - self.units_cached
+
+    def wall_seconds(self) -> float:
+        if self._wall is not None:
+            return self._wall
+        return time.perf_counter() - self._started
+
+    def outcome_totals(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for unit in self.units:
+            for key, value in unit.outcomes.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def injections_total(self) -> int:
+        return sum(u.injections for u in self.units)
+
+    def timeouts_total(self) -> int:
+        return sum(u.timeouts for u in self.units)
+
+    def units_per_second(self) -> float:
+        elapsed = self.wall_seconds()
+        return self.units_done / elapsed if elapsed > 0 else 0.0
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining wall-clock estimate; None before any rate exists."""
+        if self.total_units is None or not self.units_done:
+            return None
+        rate = self.units_per_second()
+        if rate <= 0:
+            return None
+        return max(0, self.total_units - self.units_done) / rate
+
+    def heartbeat(self) -> str:
+        """One-line live telemetry for the progress stream."""
+        parts = [f"{self.units_per_second():.1f} units/s"]
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        totals = self.outcome_totals()
+        if totals:
+            parts.append("M/S/D {masked}/{sdc}/{due}".format(
+                masked=totals.get("masked", 0), sdc=totals.get("sdc", 0),
+                due=totals.get("due", 0)))
+        return " ".join(parts)
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> dict:
+        # rates derive from the *serialised* (rounded) wall-clock so a
+        # from_dict clone re-serialises to the identical payload
+        wall = round(self.wall_seconds(), 6)
+        payload = {
+            "kind": SCHEMA_KIND,
+            "version": SCHEMA_VERSION,
+            "stage": self.stage,
+            "total_units": (None if self.total_units is None
+                            else int(self.total_units)),
+            "units_done": self.units_done,
+            "units_run": self.units_run,
+            "units_cached": self.units_cached,
+            "injections": self.injections_total(),
+            "timeouts": self.timeouts_total(),
+            "wall_seconds": wall,
+            "units_per_second": round(self.units_done / wall, 3)
+            if wall > 0 else 0.0,
+            "injections_per_second": round(self.injections_total() / wall, 3)
+            if wall > 0 else 0.0,
+            "outcomes": self.outcome_totals(),
+            "units": [u.to_dict() for u in self.units],
+        }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignMetrics":
+        payload = validate_metrics(payload)
+        metrics = cls(stage=payload["stage"],
+                      total_units=payload.get("total_units"),
+                      meta=payload.get("meta"))
+        metrics.units = [UnitRecord.from_dict(u)
+                         for u in payload.get("units", [])]
+        metrics._wall = float(payload.get("wall_seconds", 0.0))
+        return metrics
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the stage's ``metrics.json`` (schema-validated)."""
+        self.finish()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(validate_metrics(self.to_dict()),
+                                   indent=2) + "\n")
+        return path
+
+
+# -- schema -------------------------------------------------------------------
+_REQUIRED_FIELDS = {
+    "stage": str,
+    "units_done": int,
+    "units_run": int,
+    "units_cached": int,
+    "injections": int,
+    "wall_seconds": (int, float),
+    "units_per_second": (int, float),
+    "outcomes": dict,
+    "units": list,
+}
+
+_REQUIRED_UNIT_FIELDS = {
+    "index": int,
+    "seconds": (int, float),
+    "queue_wait": (int, float),
+    "cached": bool,
+    "outcomes": dict,
+}
+
+
+def validate_metrics(payload: dict) -> dict:
+    """Check a ``campaign-metrics`` payload against the schema.
+
+    Returns the payload unchanged on success so callers can chain it;
+    raises :class:`~repro.errors.CampaignError` naming the offending
+    field otherwise.  Extra keys are allowed — benchmarks attach their
+    own ``bench`` section on top of the shared spine.
+    """
+    if not isinstance(payload, dict):
+        raise CampaignError("metrics payload must be a JSON object")
+    if payload.get("kind") != SCHEMA_KIND:
+        raise CampaignError(
+            f"not a campaign-metrics payload (kind={payload.get('kind')!r})")
+    if payload.get("version") != SCHEMA_VERSION:
+        raise CampaignError(
+            f"unsupported campaign-metrics version "
+            f"{payload.get('version')!r}")
+    for name, types in _REQUIRED_FIELDS.items():
+        if name not in payload:
+            raise CampaignError(f"metrics payload missing field {name!r}")
+        if not isinstance(payload[name], types) or isinstance(
+                payload[name], bool):
+            raise CampaignError(
+                f"metrics field {name!r} has wrong type "
+                f"{type(payload[name]).__name__}")
+    for i, unit in enumerate(payload["units"]):
+        if not isinstance(unit, dict):
+            raise CampaignError(f"metrics unit #{i} is not an object")
+        for name, types in _REQUIRED_UNIT_FIELDS.items():
+            if name not in unit:
+                raise CampaignError(
+                    f"metrics unit #{i} missing field {name!r}")
+            if name != "cached" and isinstance(unit[name], bool):
+                raise CampaignError(
+                    f"metrics unit #{i} field {name!r} has wrong type bool")
+            if not isinstance(unit[name], types):
+                raise CampaignError(
+                    f"metrics unit #{i} field {name!r} has wrong type "
+                    f"{type(unit[name]).__name__}")
+    return payload
+
+
+def resolve_metrics(metrics: Optional["CampaignMetrics"],
+                    checkpoint: Optional[Union[str, Path]],
+                    stage: str) -> Optional["CampaignMetrics"]:
+    """Checkpointed campaigns get telemetry by default (opt-in otherwise)."""
+    if metrics is None and checkpoint is not None:
+        return CampaignMetrics(stage=stage)
+    return metrics
+
+
+def emit_metrics(metrics: Optional["CampaignMetrics"],
+                 checkpoint: Optional[Union[str, Path]]) -> None:
+    """Write ``<journal>.metrics.json`` next to the checkpoint journal."""
+    if metrics is not None and checkpoint is not None:
+        metrics.save(metrics_path_for(checkpoint))
+
+
+def metrics_path_for(journal: Union[str, Path]) -> Path:
+    """Where a campaign's metrics land: next to its checkpoint journal.
+
+    ``rtl_grid.jsonl`` -> ``rtl_grid.metrics.json``.
+    """
+    journal = Path(journal)
+    stem = journal.name
+    for suffix in (".jsonl", ".json"):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+            break
+    return journal.with_name(stem + ".metrics.json")
+
+
+def load_metrics(path: Union[str, Path]) -> dict:
+    """Load and validate one ``campaign-metrics`` JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CampaignError(f"cannot load metrics from {path}: {exc}")
+    return validate_metrics(payload)
+
+
+def discover_metrics(target: Union[str, Path]) -> List[dict]:
+    """Collect every stage-metrics payload under *target*.
+
+    *target* may be a single metrics file (campaign or pipeline kind),
+    a checkpoint journal (its sibling metrics file is used), or a
+    workdir — in which case the combined ``metrics.json`` is preferred
+    and ``*.metrics.json`` stage files are the fallback.
+    """
+    target = Path(target)
+    if target.is_dir():
+        combined = target / "metrics.json"
+        if combined.exists():
+            return discover_metrics(combined)
+        stage_files = sorted(target.glob("*.metrics.json"))
+        if not stage_files:
+            raise CampaignError(
+                f"no metrics.json or *.metrics.json under {target}")
+        return [load_metrics(p) for p in stage_files]
+    if not target.exists():
+        raise CampaignError(f"no such metrics file or workdir: {target}")
+    if target.suffix == ".jsonl":
+        return discover_metrics(metrics_path_for(target))
+    try:
+        payload = json.loads(target.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CampaignError(f"cannot load metrics from {target}: {exc}")
+    if isinstance(payload, dict) and payload.get("kind") == PIPELINE_KIND:
+        return [validate_metrics(stage)
+                for stage in payload.get("stages", [])]
+    return [validate_metrics(payload)]
+
+
+# -- rendering ----------------------------------------------------------------
+def _fmt_rate(value: float) -> str:
+    return f"{value:.1f}" if value < 1000 else f"{value:.0f}"
+
+
+def _stage_row(payload: dict) -> List[str]:
+    outcomes = payload.get("outcomes", {})
+    return [
+        payload["stage"],
+        str(payload["units_done"]),
+        str(payload["units_cached"]),
+        str(payload["injections"]),
+        f"{payload['wall_seconds']:.2f}",
+        _fmt_rate(payload["units_per_second"]),
+        _fmt_rate(payload.get("injections_per_second", 0.0)),
+        str(outcomes.get("masked", 0)),
+        str(outcomes.get("sdc", 0)),
+        str(outcomes.get("due", 0)),
+    ]
+
+
+def _render_table(headers: List[str], rows: List[List[str]],
+                  indent: str = "") -> List[str]:
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              if rows else len(headers[i]) for i in range(len(headers))]
+    lines = [indent + "  ".join(h.ljust(widths[i]) if i == 0 else
+                                h.rjust(widths[i])
+                                for i, h in enumerate(headers))]
+    for row in rows:
+        lines.append(indent + "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)))
+    return lines
+
+
+def render_stats(payloads: List[dict], per_cell: bool = True) -> str:
+    """Render stage-summary and per-cell throughput tables."""
+    headers = ["stage", "units", "cached", "inj", "wall s",
+               "units/s", "inj/s", "masked", "sdc", "due"]
+    lines = _render_table(headers, [_stage_row(p) for p in payloads])
+    if per_cell:
+        for payload in payloads:
+            units = [UnitRecord.from_dict(u)
+                     for u in payload.get("units", [])]
+            if not units:
+                continue
+            cells: Dict[str, List[UnitRecord]] = {}
+            for unit in units:
+                cells.setdefault(unit.cell, []).append(unit)
+            if len(cells) <= 1 and len(units) <= 1:
+                continue
+            rows = []
+            for cell in sorted(cells):
+                group = cells[cell]
+                seconds = sum(u.seconds for u in group)
+                injections = sum(u.injections for u in group)
+                totals: Dict[str, int] = {}
+                for unit in group:
+                    for key, value in unit.outcomes.items():
+                        totals[key] = totals.get(key, 0) + value
+                rows.append([
+                    cell,
+                    str(len(group)),
+                    str(sum(1 for u in group if u.cached)),
+                    str(injections),
+                    f"{seconds:.2f}",
+                    _fmt_rate(injections / seconds) if seconds > 0
+                    else "-",
+                    str(totals.get("masked", 0)),
+                    str(totals.get("sdc", 0)),
+                    str(totals.get("due", 0)),
+                ])
+            lines.append("")
+            lines.append(f"{payload['stage']} — per-cell throughput")
+            lines.extend(_render_table(
+                ["cell", "units", "cached", "inj", "exec s", "inj/s",
+                 "masked", "sdc", "due"], rows, indent="  "))
+    return "\n".join(lines)

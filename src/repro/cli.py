@@ -8,6 +8,7 @@
     python -m repro pvf --app Hotspot --model both --injections 300
     python -m repro build-db --grid-faults 1500
     python -m repro pipeline --workdir runs/full --seed 7
+    python -m repro stats runs/full
     python -m repro inventory
 
 Campaign commands print their results on *stdout*; progress lines go to
@@ -64,8 +65,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"  masked {report.n_masked}  SDC {report.n_sdc} "
           f"(single {report.n_sdc_single} / multi {report.n_sdc_multiple})"
           f"  DUE {report.n_due}")
-    print(f"  AVF {report.avf():.4f}  "
-          f"margin +/-{margin_of_error(args.faults):.1%}")
+    margin = (f"+/-{margin_of_error(args.faults):.1%}"
+              if args.faults > 0 else "n/a")
+    print(f"  AVF {report.avf():.4f}  margin {margin}")
     if args.attribution:
         print()
         print(render_attribution(attribute_outcomes([report])))
@@ -177,6 +179,14 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .campaign.telemetry import discover_metrics, render_stats
+
+    payloads = discover_metrics(args.target)
+    print(render_stats(payloads, per_cell=not args.no_cells))
+    return 0
+
+
 def _cmd_db_info(args: argparse.Namespace) -> int:
     from .datafiles import load_database
 
@@ -270,6 +280,18 @@ def build_parser() -> argparse.ArgumentParser:
     pvf.add_argument("--resume", action="store_true",
                      help="skip batches already recorded in --checkpoint")
     pvf.set_defaults(func=_cmd_pvf)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render campaign telemetry (metrics.json) as throughput "
+             "tables")
+    stats.add_argument("target",
+                       help="pipeline workdir, metrics.json file, or a "
+                            "campaign journal (.jsonl) with a sibling "
+                            "metrics file")
+    stats.add_argument("--no-cells", action="store_true",
+                       help="skip the per-cell throughput breakdown")
+    stats.set_defaults(func=_cmd_stats)
 
     db_info = sub.add_parser(
         "db-info", help="summarise the shipped syndrome database")

@@ -44,6 +44,11 @@ from ..campaign.engine import (
     wall_clock_limit,
 )
 from ..campaign.progress import ProgressReporter
+from ..campaign.telemetry import (
+    CampaignMetrics,
+    emit_metrics,
+    resolve_metrics,
+)
 from ..errors import CampaignError
 from ..gpu.fault_plane import ModuleName
 from ..gpu.isa import (
@@ -272,6 +277,7 @@ def run_campaign(
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressReporter] = None,
+    metrics: Optional[CampaignMetrics] = None,
     config: Optional[SMConfig] = None,
 ) -> CampaignReport:
     """Run one fault-injection campaign cell and return its report.
@@ -284,12 +290,17 @@ def run_campaign(
     ``checkpoint``/``resume`` journal finished batches, ``timeout``
     converts a runaway injection into a DUE.  For a fixed
     ``(seed, batch_size)`` the merged report is bit-identical across any
-    ``n_jobs`` and any kill/resume boundary.
+    ``n_jobs`` and any kill/resume boundary.  ``metrics`` collects
+    per-batch telemetry (created automatically for checkpointed runs and
+    written next to the journal); ``n_faults=0`` yields an empty report.
     """
-    if n_faults <= 0:
-        raise CampaignError("n_faults must be positive")
+    if n_faults < 0:
+        raise CampaignError("n_faults must be non-negative")
     _validate_bench_module(bench, module)
     _check_jobs(n_jobs, injector)
+    if n_faults == 0:
+        return CampaignReport(instruction=bench.opcode.value,
+                              input_range=bench.input_range, module=module)
     spec = _CellSpec(bench=_BenchSpec(kind="bench", bench=bench),
                      module=module, fault_kind=kind)
     units = _plan_cell_units(spec, n_faults, seed, batch_size,
@@ -303,6 +314,7 @@ def run_campaign(
         "seed": int(seed),
         "batch_size": None if batch_size is None else int(batch_size),
     })
+    metrics = resolve_metrics(metrics, checkpoint, "rtl-cell")
     state = None
     if n_jobs == 1:
         state = _RTLWorkerState(injector=injector, config=config)
@@ -314,7 +326,9 @@ def run_campaign(
         state=state,
         checkpoint=journal,
         progress=progress,
+        metrics=metrics,
     )
+    emit_metrics(metrics, checkpoint)
     return CampaignReport.merge([results[i] for i in sorted(results)])
 
 
@@ -331,6 +345,7 @@ def _run_cell_grid(
     checkpoint: Optional[Union[str, Path]],
     resume: bool,
     progress: Optional[ProgressReporter],
+    metrics: Optional[CampaignMetrics],
     consume: Optional[Callable[[int, CampaignReport], None]],
     collect: bool,
     injector: Optional[RTLInjector],
@@ -350,6 +365,7 @@ def _run_cell_grid(
     if progress is not None and progress.total is None:
         progress.total = len(units)
     journal = _open_checkpoint(checkpoint, resume, header)
+    metrics = resolve_metrics(metrics, checkpoint, header["campaign"])
     state = None
     if n_jobs == 1:
         state = _RTLWorkerState(injector=injector, config=config)
@@ -362,8 +378,10 @@ def _run_cell_grid(
         checkpoint=journal,
         consume=consume,
         progress=progress,
+        metrics=metrics,
         collect=collect,
     )
+    emit_metrics(metrics, checkpoint)
     if not collect:
         return []
     per_cell: Dict[int, List[CampaignReport]] = {}
@@ -386,6 +404,7 @@ def run_grid(
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressReporter] = None,
+    metrics: Optional[CampaignMetrics] = None,
     consume: Optional[Callable[[int, CampaignReport], None]] = None,
     collect: bool = True,
     config: Optional[SMConfig] = None,
@@ -439,8 +458,8 @@ def run_grid(
         cells, cell_seeds, n_faults, header,
         n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
         checkpoint=checkpoint, resume=resume, progress=progress,
-        consume=consume, collect=collect, injector=injector,
-        config=config)
+        metrics=metrics, consume=consume, collect=collect,
+        injector=injector, config=config)
 
 
 def run_tmxm_grid(
@@ -457,6 +476,7 @@ def run_tmxm_grid(
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressReporter] = None,
+    metrics: Optional[CampaignMetrics] = None,
     consume: Optional[Callable[[int, CampaignReport], None]] = None,
     collect: bool = True,
     config: Optional[SMConfig] = None,
@@ -499,5 +519,5 @@ def run_tmxm_grid(
         cells, cell_seeds, n_faults, header,
         n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
         checkpoint=checkpoint, resume=resume, progress=progress,
-        consume=consume, collect=collect, injector=injector,
-        config=config)
+        metrics=metrics, consume=consume, collect=collect,
+        injector=injector, config=config)

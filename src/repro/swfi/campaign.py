@@ -41,6 +41,11 @@ from ..campaign.engine import (
     run_units,
 )
 from ..campaign.progress import ProgressReporter
+from ..campaign.telemetry import (
+    CampaignMetrics,
+    emit_metrics,
+    resolve_metrics,
+)
 from ..errors import CampaignError
 from ..rng import make_rng, spawn_seed_range
 from ..rtl.classify import Outcome
@@ -154,7 +159,13 @@ class PVFReport:
 
     def confidence_interval(self, confidence: float = 0.95
                             ) -> "tuple[float, float]":
-        """CI half-width bounds on the PVF (paper: 95% CI < 5%)."""
+        """CI half-width bounds on the PVF (paper: 95% CI < 5%).
+
+        A zero-injection report has no interval; (0, 0) keeps empty
+        campaigns (``--injections 0``) renderable.
+        """
+        if self.n_injections == 0:
+            return (0.0, 0.0)
         return proportion_confidence_interval(
             self.n_sdc, self.n_injections, confidence)
 
@@ -241,7 +252,8 @@ def run_pvf_campaign(app, model: FaultModel, n_injections: int,
                      timeout: Optional[float] = None,
                      checkpoint: Optional[Union[str, Path]] = None,
                      resume: bool = False,
-                     progress: Optional[ProgressReporter] = None
+                     progress: Optional[ProgressReporter] = None,
+                     metrics: Optional[CampaignMetrics] = None
                      ) -> PVFReport:
     """Inject *n_injections* faults into *app* under *model*.
 
@@ -252,14 +264,19 @@ def run_pvf_campaign(app, model: FaultModel, n_injections: int,
     ``(seed, batch_size)`` the merged report is bit-identical across any
     ``n_jobs``.  ``checkpoint``/``resume`` journal completed batches to a
     JSONL file and skip them on restart; ``timeout`` bounds each injected
-    run's wall-clock seconds, converting runaways into DUEs.
+    run's wall-clock seconds, converting runaways into DUEs.  ``metrics``
+    collects per-batch telemetry (created automatically for checkpointed
+    runs and written next to the journal); ``n_injections=0`` yields an
+    empty report.
     """
     _check_jobs(n_jobs, injector)
     units = plan_units(n_injections, seed, batch_size)
     journal = _open_checkpoint(checkpoint, resume, app, model, seed,
                                batch_size, n_injections)
+    metrics = resolve_metrics(metrics, checkpoint,
+                              f"pvf/{app.name}/{model.name}")
     state = None
-    if n_jobs == 1:
+    if n_jobs == 1 and units:
         state = _SwfiState(app, model, injector=injector)
     results = run_units(
         units,
@@ -269,10 +286,11 @@ def run_pvf_campaign(app, model: FaultModel, n_injections: int,
         state=state,
         checkpoint=journal,
         progress=progress,
+        metrics=metrics,
     )
-    if not results:
-        return PVFReport(app_name=app.name, model_name=model.name)
-    return merge_ordered(results)
+    emit_metrics(metrics, checkpoint)
+    return merge_ordered(results, empty=lambda: PVFReport(
+        app_name=app.name, model_name=model.name))
 
 
 def run_pvf_until(app, model: FaultModel,
@@ -284,7 +302,8 @@ def run_pvf_until(app, model: FaultModel,
                   injector: Optional[SoftwareInjector] = None,
                   n_jobs: int = 1,
                   timeout: Optional[float] = None,
-                  progress: Optional[ProgressReporter] = None
+                  progress: Optional[ProgressReporter] = None,
+                  metrics: Optional[CampaignMetrics] = None
                   ) -> PVFReport:
     """Inject until the PVF confidence interval is tight enough.
 
@@ -327,7 +346,10 @@ def run_pvf_until(app, model: FaultModel,
             state_factory=partial(_swfi_state, app, model),
             state=state,
             progress=progress,
+            metrics=metrics,
         )
+        if metrics is not None:
+            metrics.total_units = None  # adaptive: total is unknowable
         next_index += len(units)
         for index in sorted(done):
             report.merge_in(done[index])

@@ -65,10 +65,13 @@ class SyndromeDatabase:
         self._entries: Dict[Tuple[str, str, str], SyndromeEntry] = {}
         self._tmxm: Dict[Tuple[str, str], TmxmEntry] = {}
         self._pooled: Dict[Tuple[str, str], SyndromeEntry] = {}
+        # opcode -> entries in key order; rebuilt lazily after add()
+        self._by_opcode: Optional[Dict[str, List[SyndromeEntry]]] = None
 
     # -- population ---------------------------------------------------------
     def add(self, entry: SyndromeEntry) -> None:
         self._pooled.clear()
+        self._by_opcode = None
         existing = self._entries.get(entry.key.as_tuple())
         if existing is None:
             self._entries[entry.key.as_tuple()] = entry
@@ -175,7 +178,19 @@ class SyndromeDatabase:
         return entry.sample_relative_error(rng)
 
     def _candidates(self, opcode: str) -> List[SyndromeEntry]:
-        return [e for e in self.entries() if e.key.opcode == opcode]
+        """Entries for *opcode*, in the same key order ``entries()`` uses.
+
+        ``lookup`` runs once per injected instruction in the SWFI hot
+        loop, so candidates come from an opcode index instead of a
+        full sorted scan of every entry; ``add`` invalidates the index
+        (alongside the pooled-entry cache).
+        """
+        if self._by_opcode is None:
+            index: Dict[str, List[SyndromeEntry]] = {}
+            for key in sorted(self._entries):
+                index.setdefault(key[0], []).append(self._entries[key])
+            self._by_opcode = index
+        return list(self._by_opcode.get(opcode, ()))
 
     # -- persistence ---------------------------------------------------------------
     def to_dict(self) -> dict:

@@ -49,9 +49,17 @@ class PowerLawFit:
         return sample_power_law(self.alpha, self.x_min, rng, size)
 
     def cdf(self, x: np.ndarray) -> np.ndarray:
-        """Model CDF for ``x >= x_min``."""
+        """Model CDF: 0 below the tail, ``1 - (x/x_min)^(1-alpha)`` above.
+
+        The power law only models the tail ``x >= x_min``; below it the
+        CDF is clamped to 0 rather than extrapolated negative (and the
+        power is never evaluated there, so ``x <= 0`` cannot produce
+        NaNs).
+        """
         x = np.asarray(x, dtype=float)
-        return 1.0 - np.power(x / self.x_min, 1.0 - self.alpha)
+        safe = np.maximum(x, self.x_min)
+        tail = 1.0 - np.power(safe / self.x_min, 1.0 - self.alpha)
+        return np.where(x < self.x_min, 0.0, tail)
 
     def to_dict(self) -> dict:
         return {"alpha": self.alpha, "x_min": self.x_min,

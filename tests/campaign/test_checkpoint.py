@@ -110,3 +110,65 @@ class TestDamageTolerance:
             fh.write("\n\n")
         resumed = CampaignCheckpoint(path, HEADER, resume=True)
         assert sorted(resumed.completed) == [0]
+
+
+class TestDurability:
+    def test_records_survive_a_hard_kill(self, tmp_path):
+        """A SIGKILLed writer loses no *completed* record (issue fix).
+
+        Before per-record flushing, records sat in the stdio buffer and
+        a hard kill lost every unit since the last drain.
+        """
+        import subprocess
+        import sys
+
+        path = tmp_path / "c.jsonl"
+        script = (
+            "import os, sys\n"
+            "sys.path.insert(0, %r)\n"
+            "from repro.campaign import CampaignCheckpoint\n"
+            "ckpt = CampaignCheckpoint(%r, {'campaign': 'test', 'seed': 1})\n"
+            "for index in range(5):\n"
+            "    ckpt.record(index, {'value': index})\n"
+            "os._exit(1)  # hard kill: no close(), no atexit, no GC\n"
+        ) % (str((__import__('pathlib').Path(__file__).resolve()
+                  .parents[2] / 'src')), str(path))
+        proc = subprocess.run([sys.executable, "-c", script])
+        assert proc.returncode == 1
+        resumed = CampaignCheckpoint(path, HEADER, resume=True)
+        assert sorted(resumed.completed) == [0, 1, 2, 3, 4]
+
+    def test_record_flushes_immediately(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        ckpt = CampaignCheckpoint(path, HEADER)
+        ckpt.record(0, {"value": 0})
+        # visible to an independent reader before any close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["index"] == 0
+
+    def test_close_is_idempotent_and_record_reopens(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        ckpt = CampaignCheckpoint(path, HEADER)
+        ckpt.record(0, {"value": 0})
+        ckpt.close()
+        ckpt.close()
+        ckpt.record(1, {"value": 1})  # lazily reopens in append mode
+        ckpt.close()
+        resumed = CampaignCheckpoint(path, HEADER, resume=True)
+        assert sorted(resumed.completed) == [0, 1]
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignCheckpoint(path, HEADER) as ckpt:
+            ckpt.record(0, {"value": 0})
+        assert ckpt._fh.closed
+
+    def test_resume_then_record_appends(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        _journal(path, n_batches=2)
+        resumed = CampaignCheckpoint(path, HEADER, resume=True)
+        resumed.record(2, {"value": 2})
+        resumed.close()
+        again = CampaignCheckpoint(path, HEADER, resume=True)
+        assert sorted(again.completed) == [0, 1, 2]

@@ -233,3 +233,78 @@ class TestWallClock:
             pass
         with wall_clock_limit(0):
             pass
+
+    def test_inner_guard_restores_outer_budget(self):
+        # issue: the inner guard used to cancel the outer timer outright
+        with pytest.raises(UnitTimeout):
+            with wall_clock_limit(0.4):
+                with wall_clock_limit(5):
+                    time.sleep(0.05)  # well inside the inner budget
+                time.sleep(5)  # the restored outer guard must fire here
+
+    def test_inner_timeout_leaves_outer_armed(self):
+        with pytest.raises(UnitTimeout):
+            with wall_clock_limit(0.5):
+                with pytest.raises(UnitTimeout):
+                    with wall_clock_limit(0.1):
+                        time.sleep(5)
+                time.sleep(5)  # outer still armed after the inner fired
+
+    def test_outer_deadline_passed_inside_inner_fires_immediately(self):
+        start = time.perf_counter()
+        with pytest.raises(UnitTimeout):
+            with wall_clock_limit(0.1):
+                with wall_clock_limit(5):
+                    time.sleep(0.3)  # outlives the suspended outer budget
+                time.sleep(5)  # must be interrupted almost at once
+        assert time.perf_counter() - start < 2.0
+
+
+class TestMetricsThreading:
+    def test_serial_run_records_every_unit(self):
+        from repro.campaign import CampaignMetrics
+
+        units = plan_units(100, seed=4, batch_size=40)
+        metrics = CampaignMetrics("tally")
+        run_units(units, run_tally, metrics=metrics)
+        assert metrics.total_units == 3
+        assert metrics.units_done == 3
+        assert metrics.units_run == 3
+        assert all(u.seconds >= 0 for u in metrics.units)
+        assert all(u.worker > 0 for u in metrics.units)
+        assert metrics.wall_seconds() > 0
+
+    def test_replayed_units_marked_cached(self, tmp_path):
+        from repro.campaign import CampaignMetrics
+
+        units = plan_units(60, seed=8, batch_size=30)
+        header = {"campaign": "tally"}
+        path = tmp_path / "units.jsonl"
+        run_units(units, run_tally,
+                  checkpoint=CampaignCheckpoint(
+                      path, header, decode=TallyReport.from_dict))
+        metrics = CampaignMetrics("tally")
+        run_units(units, run_tally, metrics=metrics,
+                  checkpoint=CampaignCheckpoint(
+                      path, header, resume=True,
+                      decode=TallyReport.from_dict))
+        assert metrics.units_done == 2
+        assert metrics.units_cached == 2
+        assert metrics.units_run == 0
+
+    @pytest.mark.multicore
+    def test_parallel_metrics_and_identical_reports(self):
+        from repro.campaign import CampaignMetrics
+
+        units = plan_units(200, seed=11, batch_size=25)
+        serial = run_units(units, run_tally)
+        metrics = CampaignMetrics("tally")
+        parallel = run_units(units, run_tally, n_jobs=3,
+                             state_factory=make_state, metrics=metrics)
+        # telemetry observes, never perturbs: reports stay bit-identical
+        assert merge_ordered(serial).to_dict() == \
+            merge_ordered(parallel).to_dict()
+        assert metrics.units_done == len(units)
+        workers = {u.worker for u in metrics.units}
+        assert workers and all(w > 0 for w in workers)
+        assert all(u.queue_wait >= 0 for u in metrics.units)

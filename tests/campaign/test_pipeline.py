@@ -125,3 +125,52 @@ class TestValidation:
                          opcodes=[Opcode.FADD, Opcode.IADD],
                          grid_faults=10, tmxm_faults=10,
                          apps=["NoSuchApp"], injections=10, quiet=True)
+
+
+class TestTelemetryArtifacts:
+    def test_per_stage_metrics_written(self, finished):
+        from repro.campaign import load_metrics
+
+        workdir, _ = finished
+        for name, stage in (("rtl_grid", "rtl-grid"),
+                            ("tmxm", "rtl-tmxm"),
+                            ("pvf_MxM_bitflip", "pvf/MxM/bitflip"),
+                            ("pvf_MxM_syndrome", "pvf/MxM/syndrome")):
+            payload = load_metrics(workdir / f"{name}.metrics.json")
+            assert payload["stage"] == stage
+            assert payload["units_done"] > 0
+            assert payload["injections"] > 0
+
+    def test_combined_metrics_schema(self, finished):
+        from repro.campaign import validate_metrics
+        from repro.campaign.telemetry import PIPELINE_KIND
+
+        workdir, _ = finished
+        combined = json.loads((workdir / "metrics.json").read_text())
+        assert combined["kind"] == PIPELINE_KIND
+        stages = [validate_metrics(s) for s in combined["stages"]]
+        assert [s["stage"] for s in stages] == [
+            "rtl-grid", "rtl-tmxm", "pvf/MxM/bitflip", "pvf/MxM/syndrome"]
+        # grid telemetry covers the whole instruction grid
+        grid = stages[0]
+        assert grid["injections"] == sum(
+            u["injections"] for u in grid["units"])
+
+    def test_rerun_keeps_rtl_stages_in_combined_metrics(self, finished):
+        # DB exists -> RTL skipped, but its prior telemetry is retained
+        workdir, summary = finished
+        run_pipeline(workdir, **CONFIG)
+        combined = json.loads((workdir / "metrics.json").read_text())
+        stages = [s["stage"] for s in combined["stages"]]
+        assert stages[:2] == ["rtl-grid", "rtl-tmxm"]
+        # the replayed PVF stages report their units as cached
+        for stage in combined["stages"][2:]:
+            assert stage["units_cached"] == stage["units_done"]
+
+    def test_stats_renders_workdir(self, finished):
+        from repro.campaign import discover_metrics, render_stats
+
+        workdir, _ = finished
+        text = render_stats(discover_metrics(workdir))
+        assert "rtl-grid" in text and "pvf/MxM/syndrome" in text
+        assert "units/s" in text

@@ -54,9 +54,16 @@ class TestRunCampaign:
     def test_bad_faults_rejected(self, injector):
         bench = make_microbenchmark(Opcode.FADD, "M", seed=1)
         with pytest.raises(CampaignError):
-            run_campaign(bench, "fp32", 0, injector=injector)
+            run_campaign(bench, "fp32", -1, injector=injector)
         with pytest.raises(CampaignError):
             run_campaign(bench, "alu9000", 10, injector=injector)
+
+    def test_zero_faults_yields_empty_report(self, injector):
+        bench = make_microbenchmark(Opcode.FADD, "M", seed=1)
+        report = run_campaign(bench, "fp32", 0, injector=injector)
+        assert report.n_injections == 0
+        assert report.instruction == "FADD"
+        assert report.avf() == 0.0
 
     def test_seed_reproducibility(self, injector):
         bench = make_microbenchmark(Opcode.FMUL, "M", seed=1)

@@ -124,3 +124,31 @@ class TestPersistence:
         path.write_text("{not json")
         with pytest.raises(SyndromeDatabaseError):
             SyndromeDatabase.load(path)
+
+
+class TestOpcodeIndex:
+    def test_candidates_match_entries_order(self, db):
+        # the index must preserve the sorted-key order entries() uses
+        assert db._candidates("FADD") == [
+            e for e in db.entries() if e.key.opcode == "FADD"]
+
+    def test_add_invalidates_index(self, db):
+        first = db.lookup("FADD", "M", module="fp32")
+        assert first.key.module == "fp32"
+        db.add(_entry("FADD", "M", "scheduler", 0.9))
+        # a post-index add must be visible to the next lookup
+        assert db.lookup("FADD", "M", module="scheduler").key.module == \
+            "scheduler"
+        assert {e.key.module for e in db._candidates("FADD")} == \
+            {"fp32", "pipeline", "scheduler"}
+
+    def test_add_to_existing_key_refreshes_index(self, db):
+        before = db.lookup("IADD", "L", module="int").n_samples
+        db.add(_entry("IADD", "L", "int", 3.0))
+        assert db.lookup("IADD", "L", module="int").n_samples == \
+            before + 20
+
+    def test_index_results_are_copies(self, db):
+        candidates = db._candidates("FADD")
+        candidates.clear()  # mutating the return must not corrupt it
+        assert db._candidates("FADD")

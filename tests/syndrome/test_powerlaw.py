@@ -107,3 +107,24 @@ class TestGaussianCheck:
     def test_requires_three_samples(self):
         with pytest.raises(ReproError):
             is_gaussian([1.0, 2.0])
+
+
+class TestCdf:
+    def test_clamped_to_zero_below_xmin(self):
+        fit = PowerLawFit(alpha=2.5, x_min=1.0, n_tail=100, ks=0.01)
+        below = fit.cdf(np.array([0.0, 0.5, 0.999]))
+        assert np.all(below == 0.0)
+
+    def test_no_nan_for_nonpositive_inputs(self):
+        fit = PowerLawFit(alpha=2.5, x_min=1.0, n_tail=100, ks=0.01)
+        values = fit.cdf(np.array([-3.0, -1e-9, 0.0]))
+        assert not np.any(np.isnan(values))
+        assert np.all(values == 0.0)
+
+    def test_monotone_and_bounded(self):
+        fit = PowerLawFit(alpha=2.5, x_min=1.0, n_tail=100, ks=0.01)
+        xs = np.linspace(0.0, 50.0, 500)
+        cdf = fit.cdf(xs)
+        assert np.all(np.diff(cdf) >= 0)
+        assert np.all((cdf >= 0.0) & (cdf < 1.0))
+        assert fit.cdf(np.array([1.0]))[0] == 0.0  # continuous at x_min

@@ -11,7 +11,8 @@ class TestParser:
         actions = {a.dest: a for a in parser._actions}
         choices = actions["command"].choices
         assert set(choices) >= {"inventory", "campaign", "tmxm",
-                                "profile", "pvf", "build-db", "pipeline"}
+                                "profile", "pvf", "build-db", "pipeline",
+                                "stats"}
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -97,3 +98,48 @@ class TestCommands:
         # second invocation resumes from the finished artefacts
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+class TestZeroInjections:
+    def test_campaign_faults_zero(self, capsys):
+        assert main(["campaign", "--opcode", "FADD", "--module", "fp32",
+                     "--faults", "0", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "masked 0" in out and "margin n/a" in out
+
+    def test_pvf_injections_zero(self, capsys):
+        assert main(["pvf", "--app", "MxM", "--model", "bitflip",
+                     "--injections", "0", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "PVF 0.000" in out
+
+
+class TestStats:
+    def test_stats_on_checkpointed_pvf_journal(self, capsys, tmp_path):
+        journal = tmp_path / "pvf.jsonl"
+        assert main(["pvf", "--app", "MxM", "--model", "bitflip",
+                     "--injections", "30", "--checkpoint", str(journal),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        # the campaign wrote pvf.metrics.json next to its journal
+        assert main(["stats", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "units/s" in out and "pvf/MxM" in out
+
+    def test_stats_on_workdir_and_no_cells(self, capsys, tmp_path):
+        from repro.campaign import CampaignMetrics
+
+        metrics = CampaignMetrics("rtl-grid")
+        metrics.record_unit(0, "FADD/M/fp32 [0]", size=5)
+        metrics.record_unit(1, "FADD/M/fp32 [1]", size=5)
+        metrics.save(tmp_path / "rtl_grid.metrics.json")
+        assert main(["stats", str(tmp_path)]) == 0
+        assert "per-cell" in capsys.readouterr().out
+        assert main(["stats", str(tmp_path), "--no-cells"]) == 0
+        assert "per-cell" not in capsys.readouterr().out
+
+    def test_stats_missing_target_raises(self, tmp_path):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            main(["stats", str(tmp_path / "nowhere")])
