@@ -29,6 +29,7 @@ Quickstart::
 from . import analysis, apps, gpu, rtl, swfi, syndrome
 from .datafiles import build_full_database, load_database
 from .errors import (
+    CampaignCancelled,
     CampaignError,
     FaultDecayedError,
     GpuHangError,
@@ -38,6 +39,7 @@ from .errors import (
     MemoryFaultError,
     RegisterFaultError,
     ReproError,
+    ServiceError,
     SyndromeDatabaseError,
 )
 
@@ -52,6 +54,7 @@ __all__ = [
     "syndrome",
     "build_full_database",
     "load_database",
+    "CampaignCancelled",
     "CampaignError",
     "FaultDecayedError",
     "GpuHangError",
@@ -61,6 +64,7 @@ __all__ = [
     "MemoryFaultError",
     "RegisterFaultError",
     "ReproError",
+    "ServiceError",
     "SyndromeDatabaseError",
     "__version__",
 ]

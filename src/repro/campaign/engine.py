@@ -56,7 +56,7 @@ except ImportError:  # pragma: no cover
     def runtime_checkable(cls):  # type: ignore
         return cls
 
-from ..errors import CampaignError, ReproError
+from ..errors import CampaignCancelled, CampaignError, ReproError
 from ..rng import spawn_seed_range
 from .checkpoint import CampaignCheckpoint
 from .progress import ProgressReporter
@@ -308,6 +308,7 @@ def run_units(
     progress: Optional[ProgressReporter] = None,
     metrics: Optional[CampaignMetrics] = None,
     collect: bool = True,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> Dict[int, Any]:
     """Execute campaign work units serially or on a process pool.
 
@@ -324,6 +325,15 @@ def run_units(
     campaigns.  ``metrics`` collects per-unit telemetry (duration,
     queue wait, worker id, cached flag, outcome tallies) and feeds the
     progress heartbeat; it never touches the campaign's randomness.
+
+    ``cancel`` is polled between work units (never inside one); when it
+    returns true the campaign stops with :class:`CampaignCancelled`.
+    Completed units are already journaled at that point, so a cancelled
+    checkpointed campaign resumes where it stopped — the hook the
+    campaign service's job cancellation and wall-clock budgets use.
+    A :class:`KeyboardInterrupt` gets the same durability treatment: the
+    journal is closed, metrics are flushed, and the interrupt is
+    re-raised with a resume hint.
 
     Returns ``{unit index: report}`` (empty when ``collect=False``).
     """
@@ -359,6 +369,18 @@ def run_units(
             progress.advance(labels.get(index, str(index)), cached=cached,
                              detail=detail)
 
+    def _cancelled() -> bool:
+        return cancel is not None and bool(cancel())
+
+    def _cancellation() -> CampaignCancelled:
+        done = len(results) if collect else (
+            metrics.units_done if metrics is not None else 0)
+        where = (f"; completed units are journaled in {checkpoint.path}"
+                 if checkpoint is not None else "")
+        return CampaignCancelled(
+            f"campaign cancelled after {done}/{len(units)} work "
+            f"units{where}")
+
     try:
         for unit in units:  # replayed units first, in plan order
             if unit.index in replayed:
@@ -385,16 +407,31 @@ def run_units(
                             queue_wait=(timing["started_wall"]
                                         - submitted[index]),
                             worker=int(timing["worker"]))
+                    if _cancelled():
+                        # not-yet-started units never run; in-flight
+                        # ones finish but stay unjournaled past here
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise _cancellation()
             return results
 
         if state is None and state_factory is not None:
             state = state_factory()  # built once, only when work remains
         for unit in pending:
+            if _cancelled():
+                raise _cancellation()
             started = time.perf_counter()
             report = run_unit(state, unit)
             _finish(unit.index, report, cached=False,
                     seconds=time.perf_counter() - started)
         return results
+    except KeyboardInterrupt:
+        # the finally below closes the journal and flushes metrics; the
+        # re-raise tells the operator the work so far is not lost
+        hint = ""
+        if checkpoint is not None:
+            hint = (f": completed units are journaled in "
+                    f"{checkpoint.path} — resume with --resume")
+        raise KeyboardInterrupt(f"campaign interrupted{hint}") from None
     finally:
         if metrics is not None:
             metrics.finish()

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..errors import CampaignError
 from .progress import ProgressReporter, make_progress
@@ -56,7 +56,9 @@ def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
                 input_ranges, grid_faults: int, tmxm_faults: int,
                 n_jobs: int, batch_size: Optional[int],
                 timeout: Optional[float], fresh: bool,
-                quiet: bool) -> List[CampaignMetrics]:
+                quiet: bool,
+                cancel: Optional[Callable[[], bool]] = None
+                ) -> List[CampaignMetrics]:
     """Stage 1+2: RTL instruction grid and t-MxM tiles, streamed."""
     from ..rtl.campaign import run_grid, run_tmxm_grid
     from ..rtl.injector import RTLInjector
@@ -75,7 +77,7 @@ def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
         seed=seed, injector=injector, n_jobs=n_jobs,
         batch_size=batch_size, timeout=timeout,
         checkpoint=grid_journal, resume=not fresh and grid_journal.exists(),
-        progress=progress, metrics=grid_metrics,
+        progress=progress, metrics=grid_metrics, cancel=cancel,
         consume=lambda index, report: builder.add_report(report),
         collect=False)
     progress = make_progress(None, "tmxm", quiet=quiet)
@@ -86,7 +88,7 @@ def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
         n_faults=tmxm_faults, seed=seed + 1, injector=injector,
         n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
         checkpoint=tmxm_journal, resume=not fresh and tmxm_journal.exists(),
-        progress=progress, metrics=tmxm_metrics,
+        progress=progress, metrics=tmxm_metrics, cancel=cancel,
         consume=lambda index, report: builder.add_tmxm_report(report),
         collect=False)
     return [grid_metrics, tmxm_metrics]
@@ -116,7 +118,8 @@ def run_pipeline(workdir: Union[str, Path],
                  batch_size: Optional[int] = None,
                  timeout: Optional[float] = None,
                  fresh: bool = False,
-                 quiet: bool = False) -> Dict:
+                 quiet: bool = False,
+                 cancel: Optional[Callable[[], bool]] = None) -> Dict:
     """Run RTL campaigns, distil the database, measure application PVFs.
 
     Returns the summary dict (also written to
@@ -124,6 +127,10 @@ def run_pipeline(workdir: Union[str, Path],
     *workdir* resumes: finished RTL batches replay from their journals, a
     finished database skips the RTL stages, and finished PVF batches
     replay from theirs.  ``fresh=True`` discards all prior state.
+    ``cancel`` is polled between work units of every stage; a true
+    return aborts the pipeline with
+    :class:`~repro.errors.CampaignCancelled`, leaving the journals
+    resumable (the campaign service's cancellation hook).
     """
     from ..apps import APP_FACTORIES, make_application
     from ..rtl.campaign import CHARACTERIZED_OPCODES
@@ -199,7 +206,7 @@ def run_pipeline(workdir: Union[str, Path],
                 batch_size=batch_size, timeout=timeout,
                 checkpoint=journal,
                 resume=not fresh and journal.exists(),
-                progress=progress, metrics=pvf_metrics)
+                progress=progress, metrics=pvf_metrics, cancel=cancel)
             stage_metrics.append(pvf_metrics.to_dict())
             low, high = report.confidence_interval()
             pvf_results.append({

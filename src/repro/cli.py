@@ -11,6 +11,14 @@
     python -m repro stats runs/full
     python -m repro inventory
 
+Service mode (campaign-as-a-service)::
+
+    python -m repro serve --workdir runs/service --port 8765
+    python -m repro submit --kind pvf --app MxM --injections 600 --wait
+    python -m repro jobs
+    python -m repro fetch 1 report --output report.json
+    python -m repro cancel 1
+
 Campaign commands print their results on *stdout*; progress lines go to
 *stderr* and are silenced by ``--quiet``.
 """
@@ -27,6 +35,7 @@ from .analysis.figures import render_fig3
 from .analysis.stats import margin_of_error
 from .analysis.tables import render_table1
 from .campaign.progress import make_progress
+from .errors import ServiceError
 from .gpu import Opcode
 from .rtl import (
     RTLInjector,
@@ -43,6 +52,18 @@ def _apps():
     from .apps import APP_FACTORIES
 
     return APP_FACTORIES
+
+
+def _version() -> str:
+    """Installed distribution version, else the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
 
 
 def _cmd_inventory(args: argparse.Namespace) -> int:
@@ -181,9 +202,128 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .campaign.telemetry import discover_metrics, render_stats
+    from .errors import CampaignError
 
-    payloads = discover_metrics(args.target)
+    try:
+        payloads = discover_metrics(args.target)
+    except CampaignError as exc:
+        print(f"repro stats: {exc}", file=sys.stderr)
+        print("hint: point it at a campaign workdir (after at least one "
+              "checkpointed run), a metrics.json file, or a .jsonl "
+              "journal with a sibling metrics file", file=sys.stderr)
+        return 2
     print(render_stats(payloads, per_cell=not args.no_cells))
+    return 0
+
+
+# -- service verbs ------------------------------------------------------------
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8765"
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    serve(args.workdir, host=args.host, port=args.port,
+          poll_interval=args.poll_interval, quiet=args.quiet)
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+#: submit flags forwarded verbatim as job parameters when provided
+_SUBMIT_PARAMS = ("seed", "jobs", "batch_size", "timeout", "budget",
+                  "app", "model", "injections", "opcode", "module",
+                  "range", "faults", "apps", "models", "opcodes",
+                  "grid_faults", "tmxm_faults")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _client(args)
+    params = {name: getattr(args, name) for name in _SUBMIT_PARAMS
+              if getattr(args, name) is not None}
+    job = client.submit(args.kind, **params)
+    if args.id_only:
+        print(job["id"])
+    else:
+        print(f"job {job['id']} ({job['kind']}) {job['state']}")
+    if args.wait is not None:
+        job = client.wait(job["id"], timeout=args.wait)
+        if not args.id_only:
+            print(f"job {job['id']} finished: {job['state']}")
+        if job["state"] != "done":
+            if job.get("error"):
+                print(job["error"], file=sys.stderr)
+            return 1
+    return 0
+
+
+def _format_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    client = _client(args)
+    if args.id is not None:
+        print(_json.dumps(client.job(args.id), indent=2))
+        return 0
+    jobs = client.jobs(state=args.state)
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'id':>5}  {'kind':<9}{'state':<11}{'age':>6}  summary")
+    now = _time.time()
+    for job in jobs:
+        result = job.get("result") or {}
+        if job["kind"] == "pvf":
+            summary = (f"{job['params'].get('app')}/"
+                       f"{job['params'].get('model')}")
+            if "pvf" in result:
+                summary += f" PVF {result['pvf']:.3f}"
+        elif job["kind"] == "rtl":
+            summary = (f"{job['params'].get('opcode')} x "
+                       f"{job['params'].get('module')}")
+            if "avf" in result:
+                summary += f" AVF {result['avf']:.3f}"
+        else:
+            summary = ",".join(job["params"].get("apps", []))
+        if job.get("error"):
+            summary += f"  [{job['error'].splitlines()[0][:40]}]"
+        age = _format_age(now - job["submitted_at"])
+        print(f"{job['id']:>5}  {job['kind']:<9}{job['state']:<11}"
+              f"{age:>6}  {summary}")
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    client = _client(args)
+    body, _ = client.artifact(args.id, args.artifact)
+    if args.output:
+        Path(args.output).write_bytes(body or b"")
+        print(f"saved {args.output}")
+    else:
+        sys.stdout.write((body or b"").decode())
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    client = _client(args)
+    job = client.cancel(args.id)
+    if job["state"] == "cancelled":
+        print(f"job {job['id']} cancelled")
+    else:
+        print(f"job {job['id']} cancellation requested "
+              f"(currently {job['state']}; stops at the next work unit)")
     return 0
 
 
@@ -213,6 +353,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Two-level (RTL + software) GPU fault injection")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     # options shared by every campaign-running subcommand
@@ -333,13 +475,115 @@ def build_parser() -> argparse.ArgumentParser:
                                "in --workdir and start over")
     pipeline.set_defaults(func=_cmd_pipeline)
 
+    # -- service verbs --------------------------------------------------------
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service daemon (durable job queue + "
+             "HTTP API + artifact registry)")
+    serve.add_argument("--workdir", required=True,
+                       help="directory for the job store, per-job "
+                            "journals and artifacts")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks a free one; see "
+                            "<workdir>/service.json)")
+    serve.add_argument("--poll-interval", type=float, default=0.5,
+                       help="seconds the scheduler sleeps when the "
+                            "queue is empty")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress request logging and job progress")
+    serve.set_defaults(func=_cmd_serve)
+
+    client = argparse.ArgumentParser(add_help=False)
+    client.add_argument("--url", default=DEFAULT_SERVICE_URL,
+                        help=f"service base URL "
+                             f"(default {DEFAULT_SERVICE_URL})")
+
+    submit = sub.add_parser(
+        "submit", parents=[client],
+        help="submit a campaign job to a running service")
+    submit.add_argument("--kind", required=True,
+                        choices=["pvf", "rtl", "pipeline"])
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the job's campaign")
+    submit.add_argument("--batch-size", type=int, default=None)
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock seconds per injected run")
+    submit.add_argument("--budget", type=float, default=None,
+                        help="wall-clock seconds for the whole job; an "
+                             "over-budget job fails (requeue to resume)")
+    submit.add_argument("--app", default=None, help="pvf jobs")
+    submit.add_argument("--model", default=None,
+                        choices=["bitflip", "syndrome"],
+                        help="pvf jobs (default bitflip)")
+    submit.add_argument("--injections", type=int, default=None,
+                        help="pvf / pipeline jobs")
+    submit.add_argument("--opcode", default=None, help="rtl jobs")
+    submit.add_argument("--module", default=None, help="rtl jobs")
+    submit.add_argument("--range", default=None, choices=["S", "M", "L"],
+                        help="rtl jobs")
+    submit.add_argument("--faults", type=int, default=None,
+                        help="rtl jobs")
+    submit.add_argument("--apps", nargs="+", default=None,
+                        help="pipeline jobs")
+    submit.add_argument("--models", nargs="+", default=None,
+                        choices=["bitflip", "syndrome"],
+                        help="pipeline jobs")
+    submit.add_argument("--opcodes", nargs="+", default=None,
+                        help="pipeline jobs")
+    submit.add_argument("--grid-faults", type=int, default=None,
+                        help="pipeline jobs")
+    submit.add_argument("--tmxm-faults", type=int, default=None,
+                        help="pipeline jobs")
+    submit.add_argument("--wait", type=float, nargs="?", const=3600.0,
+                        default=None, metavar="SECONDS",
+                        help="poll until the job finishes (non-zero "
+                             "exit unless it lands in 'done')")
+    submit.add_argument("--id-only", action="store_true",
+                        help="print only the job id (for scripting)")
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser("jobs", parents=[client],
+                          help="list service jobs (or show one)")
+    jobs.add_argument("id", nargs="?", default=None,
+                      help="job id: print the full record incl. live "
+                           "telemetry")
+    jobs.add_argument("--state", default=None,
+                      choices=["queued", "running", "done", "failed",
+                               "cancelled"])
+    jobs.set_defaults(func=_cmd_jobs)
+
+    fetch = sub.add_parser(
+        "fetch", parents=[client],
+        help="download a job artifact from the registry")
+    fetch.add_argument("id", help="job id")
+    fetch.add_argument("artifact",
+                       choices=["report", "metrics", "syndromes"])
+    fetch.add_argument("--output", "-o", default=None,
+                       help="write to this file instead of stdout")
+    fetch.set_defaults(func=_cmd_fetch)
+
+    cancel = sub.add_parser("cancel", parents=[client],
+                            help="cancel a queued or running job")
+    cancel.add_argument("id", help="job id")
+    cancel.set_defaults(func=_cmd_cancel)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ServiceError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt as exc:
+        # campaigns re-raise with a journal path + "--resume" hint
+        print(f"repro: {exc or 'interrupted'}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,8 @@ __all__ = [
     "MemoryFaultError",
     "RegisterFaultError",
     "CampaignError",
+    "CampaignCancelled",
+    "ServiceError",
     "SyndromeDatabaseError",
 ]
 
@@ -60,6 +62,18 @@ class FaultDecayedError(ReproError):
 
 class CampaignError(ReproError):
     """A fault-injection campaign was misconfigured."""
+
+
+class CampaignCancelled(CampaignError):
+    """A campaign was stopped between work units by a cancellation hook.
+
+    Completed units are already journaled when a checkpoint is attached,
+    so a cancelled campaign resumes exactly where it stopped.
+    """
+
+
+class ServiceError(ReproError):
+    """A campaign-service request was invalid or could not be served."""
 
 
 class SyndromeDatabaseError(ReproError):

@@ -278,6 +278,7 @@ def run_campaign(
     resume: bool = False,
     progress: Optional[ProgressReporter] = None,
     metrics: Optional[CampaignMetrics] = None,
+    cancel: Optional[Callable[[], bool]] = None,
     config: Optional[SMConfig] = None,
 ) -> CampaignReport:
     """Run one fault-injection campaign cell and return its report.
@@ -327,6 +328,7 @@ def run_campaign(
         checkpoint=journal,
         progress=progress,
         metrics=metrics,
+        cancel=cancel,
     )
     emit_metrics(metrics, checkpoint)
     return CampaignReport.merge([results[i] for i in sorted(results)])
@@ -350,6 +352,7 @@ def _run_cell_grid(
     collect: bool,
     injector: Optional[RTLInjector],
     config: Optional[SMConfig],
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> List[CampaignReport]:
     """Shared grid executor: plan units per cell, run, merge per cell."""
     units: List[WorkUnit] = []
@@ -380,6 +383,7 @@ def _run_cell_grid(
         progress=progress,
         metrics=metrics,
         collect=collect,
+        cancel=cancel,
     )
     emit_metrics(metrics, checkpoint)
     if not collect:
@@ -407,6 +411,7 @@ def run_grid(
     metrics: Optional[CampaignMetrics] = None,
     consume: Optional[Callable[[int, CampaignReport], None]] = None,
     collect: bool = True,
+    cancel: Optional[Callable[[], bool]] = None,
     config: Optional[SMConfig] = None,
 ) -> List[CampaignReport]:
     """Run the full campaign grid; returns one report per cell.
@@ -459,7 +464,7 @@ def run_grid(
         n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
         checkpoint=checkpoint, resume=resume, progress=progress,
         metrics=metrics, consume=consume, collect=collect,
-        injector=injector, config=config)
+        injector=injector, config=config, cancel=cancel)
 
 
 def run_tmxm_grid(
@@ -479,6 +484,7 @@ def run_tmxm_grid(
     metrics: Optional[CampaignMetrics] = None,
     consume: Optional[Callable[[int, CampaignReport], None]] = None,
     collect: bool = True,
+    cancel: Optional[Callable[[], bool]] = None,
     config: Optional[SMConfig] = None,
 ) -> List[CampaignReport]:
     """Run the t-MxM tile campaigns (tile kind x module, paper Fig. 7).
@@ -520,4 +526,4 @@ def run_tmxm_grid(
         n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
         checkpoint=checkpoint, resume=resume, progress=progress,
         metrics=metrics, consume=consume, collect=collect,
-        injector=injector, config=config)
+        injector=injector, config=config, cancel=cancel)

@@ -1,0 +1,54 @@
+"""Campaign-as-a-service: durable job queue, HTTP API, artifact registry.
+
+The paper's experiments ran as fleet-style campaigns on a 12-node
+server; this package is the reproduction's equivalent of that fleet
+controller.  A daemon (``python -m repro serve``) owns a workdir with a
+SQLite-backed job queue, executes submitted campaigns (RTL cells, SWFI
+PVF runs, full pipelines) through the shared campaign engine with
+checkpoint/resume and live telemetry, and serves results over a
+stdlib-only HTTP API:
+
+* :mod:`repro.service.store` — the durable :class:`JobStore`
+  (``queued/running/done/failed/cancelled``; survives SIGKILL).
+* :mod:`repro.service.scheduler` — claims jobs, executes them with
+  cooperative cancellation and wall-clock budgets, resumes interrupted
+  jobs on daemon restart.
+* :mod:`repro.service.api` — ``POST /jobs``, ``GET /jobs[/<id>]``,
+  ``POST /jobs/<id>/cancel``, ``GET /artifacts/<id>/...`` with
+  ETag-based caching; :class:`ServiceDaemon` bundles everything.
+* :mod:`repro.service.client` — the thin :class:`ServiceClient` behind
+  ``python -m repro submit/jobs/fetch/cancel``.
+
+Because jobs execute through the exact campaign runners the synchronous
+CLI uses, a job's merged report is bit-identical to the direct run's for
+the same seed — however many times the daemon was killed and restarted
+in between.
+"""
+
+from .api import (
+    ApiError,
+    CampaignService,
+    ServiceDaemon,
+    content_etag,
+    serve,
+)
+from .client import ServiceClient
+from .scheduler import JOB_KINDS, Scheduler, execute_job, normalize_params
+from .store import JOB_STATES, TERMINAL_STATES, Job, JobStore
+
+__all__ = [
+    "ApiError",
+    "CampaignService",
+    "Job",
+    "JobStore",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceDaemon",
+    "TERMINAL_STATES",
+    "content_etag",
+    "execute_job",
+    "normalize_params",
+    "serve",
+]

@@ -1,0 +1,369 @@
+"""HTTP API and artifact registry over the job store and scheduler.
+
+Endpoints (all JSON unless noted):
+
+* ``POST /jobs`` — submit ``{"kind": "pvf"|"rtl"|"pipeline",
+  "params": {...}}``; parameters are validated up front (400 on error).
+* ``GET /jobs`` (``?state=queued|running|done|failed|cancelled``) —
+  list jobs.
+* ``GET /jobs/<id>`` — one job, plus ``telemetry``: the live
+  ``metrics.json`` heartbeat its campaign is writing (per-stage
+  summaries; per-unit records are available via the artifact).
+* ``POST /jobs/<id>/cancel`` — immediate for queued jobs, cooperative
+  (between work units) for running ones.
+* ``POST /jobs/<id>/requeue`` — put a failed/cancelled job back in the
+  queue; its journals make the re-run resume, not restart.
+* ``GET /artifacts/<id>/report`` — the job's merged campaign report.
+* ``GET /artifacts/<id>/metrics`` — full telemetry incl. per-unit rows.
+* ``GET /artifacts/<id>/syndromes`` — a pipeline job's distilled
+  syndrome database as flat CSV (``text/csv``).
+
+Artifact responses carry a strong ``ETag`` (content SHA-256); a request
+whose ``If-None-Match`` matches gets ``304 Not Modified`` with no body —
+polling clients re-download nothing that has not changed.
+
+:class:`ServiceDaemon` bundles the pieces: it recovers interrupted jobs,
+runs the scheduler loop on one thread and a
+:class:`~http.server.ThreadingHTTPServer` on another, and records its
+bound address in ``<workdir>/service.json`` so clients (and tests using
+``--port 0``) can find it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import CampaignError, ServiceError
+from .scheduler import JOB_KINDS, Scheduler, normalize_params
+from .store import JOB_STATES, JobStore
+
+__all__ = ["ApiError", "CampaignService", "ServiceDaemon", "serve"]
+
+
+class ApiError(ServiceError):
+    """A request error with the HTTP status it maps to."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+#: artifact name -> (file name inside the job directory, content type)
+_ARTIFACTS = {
+    "report": ("report.json", "application/json"),
+    "metrics": ("metrics.json", "application/json"),
+    "syndromes": ("syndromes.csv", "text/csv"),
+}
+
+
+def content_etag(body: bytes) -> str:
+    """Strong ETag for an artifact body: quoted content SHA-256."""
+    return '"' + hashlib.sha256(body).hexdigest() + '"'
+
+
+class CampaignService:
+    """Transport-independent request handling.
+
+    Every method returns plain JSON-ready data or raises
+    :class:`ApiError`; the HTTP handler (and any future transport) is a
+    thin shell around it.
+    """
+
+    def __init__(self, store: JobStore, scheduler: Scheduler) -> None:
+        self.store = store
+        self.scheduler = scheduler
+
+    # -- jobs ---------------------------------------------------------------
+    def submit(self, payload: dict) -> dict:
+        if not isinstance(payload, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        kind = payload.get("kind")
+        try:
+            params = normalize_params(kind, payload.get("params"))
+        except ServiceError as exc:
+            raise ApiError(400, str(exc))
+        job = self.store.submit(kind, params)
+        return job.to_dict()
+
+    def jobs(self, state: Optional[str] = None) -> List[dict]:
+        try:
+            return [job.to_dict() for job in self.store.list_jobs(state)]
+        except ServiceError as exc:
+            raise ApiError(400, str(exc))
+
+    def job(self, job_id: int) -> dict:
+        job = self._get(job_id)
+        payload = job.to_dict()
+        payload["telemetry"] = self._telemetry(job_id)
+        return payload
+
+    def cancel(self, job_id: int) -> dict:
+        self._get(job_id)  # 404 before 409
+        try:
+            return self.store.request_cancel(job_id).to_dict()
+        except ServiceError as exc:
+            raise ApiError(409, str(exc))
+
+    def requeue(self, job_id: int) -> dict:
+        self._get(job_id)
+        try:
+            return self.store.requeue(job_id).to_dict()
+        except ServiceError as exc:
+            raise ApiError(409, str(exc))
+
+    def health(self) -> dict:
+        counts: Dict[str, int] = {state: 0 for state in JOB_STATES}
+        for job in self.store.list_jobs():
+            counts[job.state] += 1
+        return {"status": "ok", "kinds": list(JOB_KINDS), "jobs": counts}
+
+    # -- artifacts ----------------------------------------------------------
+    def artifact(self, job_id: int, name: str) -> Tuple[bytes, str]:
+        """Return (body, content type) for one artifact; 404 if absent."""
+        job = self._get(job_id)
+        if name not in _ARTIFACTS:
+            raise ApiError(
+                404, f"unknown artifact {name!r}; "
+                     f"choose from {sorted(_ARTIFACTS)}")
+        jobdir = self.scheduler.jobdir(job.id)
+        filename, content_type = _ARTIFACTS[name]
+        path = jobdir / filename
+        if name == "syndromes" and not path.exists():
+            self._export_syndromes(jobdir)
+        if not path.exists():
+            raise ApiError(
+                404, f"job {job_id} has no {name} artifact yet "
+                     f"(state: {job.state})")
+        return path.read_bytes(), content_type
+
+    def _export_syndromes(self, jobdir: Path) -> None:
+        from ..syndrome.export import export_database_file
+
+        db_path = jobdir / "syndrome_db.json"
+        if not db_path.exists():
+            return  # only pipeline jobs distil a database
+        export_database_file(db_path, jobdir)
+
+    # -- internals ----------------------------------------------------------
+    def _get(self, job_id: int):
+        try:
+            return self.store.get(job_id)
+        except ServiceError as exc:
+            raise ApiError(404, str(exc))
+
+    def _telemetry(self, job_id: int) -> Optional[List[dict]]:
+        """Stage-level metrics summaries (no per-unit rows) for a job."""
+        from ..campaign.telemetry import discover_metrics
+
+        jobdir = self.scheduler.jobdir(job_id)
+        if not jobdir.exists():
+            return None
+        try:
+            payloads = discover_metrics(jobdir)
+        except CampaignError:
+            return None
+        return [{k: v for k, v in payload.items() if k != "units"}
+                for payload in payloads]
+
+
+# -- HTTP plumbing ------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    @property
+    def service(self) -> CampaignService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    # -- helpers ------------------------------------------------------------
+    def _send(self, status: int, body: bytes, content_type: str,
+              extra: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _send_json(self, status: int, payload) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self._send(status, body, "application/json")
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ApiError(400, f"invalid JSON body: {exc}")
+
+    def _job_id(self, token: str) -> int:
+        try:
+            return int(token)
+        except ValueError:
+            raise ApiError(404, f"no such job: {token}")
+
+    def _route(self) -> None:
+        path, _, query = self.path.partition("?")
+        parts = [p for p in path.split("/") if p]
+        params = dict(
+            pair.partition("=")[::2] for pair in query.split("&") if pair)
+        try:
+            self._dispatch(parts, params)
+        except ApiError as exc:
+            self._send_error_json(exc.status, str(exc))
+        except Exception as exc:  # never leak a traceback as HTML
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    def _dispatch(self, parts: List[str], params: Dict[str, str]) -> None:
+        service = self.service
+        if self.command == "GET":
+            if parts == ["health"]:
+                return self._send_json(200, service.health())
+            if parts == ["jobs"]:
+                state = params.get("state") or None
+                return self._send_json(200, service.jobs(state))
+            if len(parts) == 2 and parts[0] == "jobs":
+                return self._send_json(
+                    200, service.job(self._job_id(parts[1])))
+            if len(parts) == 3 and parts[0] == "artifacts":
+                body, content_type = service.artifact(
+                    self._job_id(parts[1]), parts[2])
+                etag = content_etag(body)
+                if self.headers.get("If-None-Match") == etag:
+                    return self._send(304, b"", content_type,
+                                      {"ETag": etag})
+                return self._send(200, body, content_type, {"ETag": etag})
+        elif self.command == "POST":
+            if parts == ["jobs"]:
+                return self._send_json(201,
+                                       service.submit(self._read_json()))
+            if len(parts) == 3 and parts[0] == "jobs":
+                job_id = self._job_id(parts[1])
+                if parts[2] == "cancel":
+                    return self._send_json(200, service.cancel(job_id))
+                if parts[2] == "requeue":
+                    return self._send_json(200, service.requeue(job_id))
+        raise ApiError(404, f"no such endpoint: {self.command} {self.path}")
+
+    do_GET = do_POST = _route
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: CampaignService,
+                 quiet: bool = True) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+
+class ServiceDaemon:
+    """The campaign service: scheduler loop + HTTP server + job store.
+
+    ``port=0`` binds an ephemeral port; the effective address is exposed
+    as :attr:`url` and recorded in ``<workdir>/service.json``.
+    """
+
+    def __init__(self, workdir: Union[str, Path],
+                 host: str = "127.0.0.1", port: int = 8765,
+                 poll_interval: float = 0.5, quiet: bool = True) -> None:
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.store = JobStore(self.workdir / "jobs.sqlite3")
+        self.scheduler = Scheduler(self.store, self.workdir,
+                                   poll_interval=poll_interval,
+                                   quiet=quiet)
+        self.service = CampaignService(self.store, self.scheduler)
+        self.quiet = quiet
+        self._httpd = _Server((host, port), self.service, quiet=quiet)
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceDaemon":
+        """Recover interrupted jobs, then serve HTTP + run the queue."""
+        recovered = self.scheduler.recover()
+        if recovered and not self.quiet:
+            ids = ", ".join(str(job.id) for job in recovered)
+            print(f"recovered interrupted job(s): {ids}", flush=True)
+        (self.workdir / "service.json").write_text(json.dumps({
+            "url": self.url,
+            "host": self.address[0],
+            "port": self.address[1],
+            "pid": os.getpid(),
+        }, indent=2) + "\n")
+        self._threads = [
+            threading.Thread(target=self._httpd.serve_forever,
+                             name="repro-service-http", daemon=True),
+            threading.Thread(target=self.scheduler.run_forever,
+                             args=(self._stop,),
+                             name="repro-service-scheduler", daemon=True),
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting work and shut the HTTP server down."""
+        self._stop.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        for thread in self._threads:
+            thread.join(timeout=10)
+
+    def wait(self) -> None:
+        """Block until interrupted (the CLI foreground mode)."""
+        try:
+            while not self._stop.is_set():
+                self._stop.wait(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ServiceDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(workdir: Union[str, Path], host: str = "127.0.0.1",
+          port: int = 8765, poll_interval: float = 0.5,
+          quiet: bool = False) -> None:
+    """Run the campaign service in the foreground until interrupted."""
+    daemon = ServiceDaemon(workdir, host=host, port=port,
+                           poll_interval=poll_interval, quiet=quiet)
+    daemon.start()
+    print(f"repro service listening on {daemon.url} "
+          f"(workdir {daemon.workdir})", flush=True)
+    daemon.wait()

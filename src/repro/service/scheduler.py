@@ -1,0 +1,400 @@
+"""Scheduler: claims queued jobs and executes them via the engine.
+
+One :class:`Scheduler` drains the :class:`~repro.service.store.JobStore`
+one job at a time.  Each job owns a directory
+(``<workdir>/jobs/<id>/``) holding its campaign journals, live
+``metrics.json`` telemetry, and the final ``report.json`` artifact —
+everything the HTTP API serves.
+
+Three properties connect the service to the campaign engine:
+
+* **Checkpoint everything** — every job runs with an engine journal in
+  its job directory and ``resume=True`` whenever that journal already
+  exists, so a re-queued job (daemon restart, explicit requeue)
+  continues instead of restarting.
+* **Cooperative cancellation** — the engine polls the job's
+  ``cancel_requested`` flag (and the job's wall-clock budget) between
+  work units via the ``cancel=`` hook; a stop lands the job in
+  ``cancelled`` (or ``failed`` for a blown budget) with all completed
+  units journaled.
+* **Bit-identical results** — execution goes through the exact same
+  runners the synchronous CLI uses, with the same seed-indexed batch
+  plan, so a job's merged report equals the direct
+  ``python -m repro`` run's for the same parameters, no matter how
+  often the daemon died in between.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from ..campaign.progress import make_progress
+from ..campaign.telemetry import CampaignMetrics
+from ..errors import CampaignCancelled, ServiceError
+from .store import Job, JobStore
+
+__all__ = ["JOB_KINDS", "Scheduler", "execute_job", "normalize_params"]
+
+#: The campaign shapes the service runs.
+JOB_KINDS = ("pvf", "rtl", "pipeline")
+
+#: Seconds between ``cancel_requested`` polls of the store; between
+#: polls the cached answer is reused, keeping the per-unit overhead off
+#: the SQLite file.
+_CANCEL_POLL_SECONDS = 0.25
+
+
+# -- parameter validation -----------------------------------------------------
+def _require_int(params: dict, key: str, default: Optional[int],
+                 minimum: int = 0) -> Optional[int]:
+    value = params.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(f"parameter {key!r} must be an integer")
+    if value < minimum:
+        raise ServiceError(f"parameter {key!r} must be >= {minimum}")
+    return value
+
+
+def _require_number(params: dict, key: str) -> Optional[float]:
+    value = params.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServiceError(f"parameter {key!r} must be a number")
+    if value <= 0:
+        raise ServiceError(f"parameter {key!r} must be positive")
+    return float(value)
+
+
+def _canonical_app(name, factories) -> str:
+    match = {key.lower(): key for key in factories}.get(
+        str(name).lower())
+    if match is None:
+        raise ServiceError(
+            f"unknown application {name!r}; "
+            f"choose from {sorted(factories)}")
+    return match
+
+
+_COMMON_KEYS = {"seed", "jobs", "batch_size", "timeout", "budget"}
+_KIND_KEYS = {
+    "pvf": _COMMON_KEYS | {"app", "model", "injections"},
+    "rtl": _COMMON_KEYS | {"opcode", "module", "range", "faults"},
+    "pipeline": _COMMON_KEYS | {"apps", "models", "opcodes",
+                                "grid_faults", "tmxm_faults",
+                                "injections"},
+}
+
+
+def normalize_params(kind: str, params: Optional[dict]) -> dict:
+    """Validate a submission and fill in defaults.
+
+    Runs at submit time — a bad app name or negative injection count is
+    a 400 at the API, not a ``failed`` job hours later.  Returns the
+    normalized parameter dict that is stored with the job.
+    """
+    from ..apps import APP_FACTORIES
+    from ..gpu.isa import Opcode
+    from ..rtl.campaign import MODULE_INSTRUCTIONS
+
+    if kind not in JOB_KINDS:
+        raise ServiceError(
+            f"unknown job kind {kind!r}; choose from {JOB_KINDS}")
+    params = dict(params or {})
+    unknown = set(params) - _KIND_KEYS[kind]
+    if unknown:
+        raise ServiceError(
+            f"unknown parameter(s) for {kind} jobs: {sorted(unknown)}")
+
+    out: Dict = {
+        "seed": _require_int(params, "seed", 0),
+        "jobs": _require_int(params, "jobs", 1, minimum=1),
+        "batch_size": _require_int(params, "batch_size", None, minimum=1),
+        "timeout": _require_number(params, "timeout"),
+        "budget": _require_number(params, "budget"),
+    }
+    if kind == "pvf":
+        app = _canonical_app(params.get("app"), APP_FACTORIES)
+        model = params.get("model", "bitflip")
+        if model not in ("bitflip", "syndrome"):
+            raise ServiceError(
+                f"unknown fault model {model!r}; choose from "
+                f"('bitflip', 'syndrome')")
+        out.update(app=app, model=model,
+                   injections=_require_int(params, "injections", 300))
+    elif kind == "rtl":
+        opcode = params.get("opcode", "FADD")
+        try:
+            opcode = Opcode(str(opcode).upper()).value
+        except ValueError:
+            raise ServiceError(f"unknown opcode {opcode!r}")
+        module = params.get("module", "fp32")
+        if module not in MODULE_INSTRUCTIONS:
+            raise ServiceError(f"unknown module {module!r}")
+        input_range = str(params.get("range", "M")).upper()
+        if input_range not in ("S", "M", "L"):
+            raise ServiceError(
+                f"unknown input range {input_range!r}; "
+                f"choose from ('S', 'M', 'L')")
+        out.update(opcode=opcode, module=module, range=input_range,
+                   faults=_require_int(params, "faults", 500))
+    else:  # pipeline
+        apps = params.get("apps", ["MxM"])
+        if not isinstance(apps, list) or not apps:
+            raise ServiceError("parameter 'apps' must be a non-empty list")
+        apps = [_canonical_app(app, APP_FACTORIES) for app in apps]
+        models = params.get("models", ["bitflip", "syndrome"])
+        if not isinstance(models, list) or not models:
+            raise ServiceError(
+                "parameter 'models' must be a non-empty list")
+        for model in models:
+            if model not in ("bitflip", "syndrome"):
+                raise ServiceError(f"unknown fault model {model!r}")
+        opcodes = params.get("opcodes")
+        if opcodes is not None:
+            if not isinstance(opcodes, list) or not opcodes:
+                raise ServiceError(
+                    "parameter 'opcodes' must be a non-empty list")
+            checked = []
+            for name in opcodes:
+                try:
+                    checked.append(Opcode(name).value)
+                except ValueError:
+                    raise ServiceError(f"unknown opcode {name!r}")
+            opcodes = checked
+        out.update(
+            apps=apps, models=models, opcodes=opcodes,
+            grid_faults=_require_int(params, "grid_faults", 200),
+            tmxm_faults=_require_int(params, "tmxm_faults", 200),
+            injections=_require_int(params, "injections", 300))
+    return out
+
+
+# -- live telemetry -----------------------------------------------------------
+class _LiveMetrics(CampaignMetrics):
+    """Campaign metrics that persist themselves while the job runs.
+
+    The engine records one unit at a time; saving (throttled) after each
+    record is what turns the job directory's ``metrics.json`` into the
+    live heartbeat ``GET /jobs/<id>`` serves mid-run.
+    """
+
+    def __init__(self, stage: str, path: Path,
+                 interval: float = 1.0) -> None:
+        super().__init__(stage)
+        self._path = path
+        self._interval = interval
+        self._last_save = 0.0
+
+    def record_unit(self, *args, **kwargs):
+        record = super().record_unit(*args, **kwargs)
+        now = time.monotonic()
+        if now - self._last_save >= self._interval:
+            self._last_save = now
+            self.save(self._path)
+        return record
+
+    def save(self, path=None) -> Path:
+        return super().save(self._path if path is None else path)
+
+
+# -- job execution ------------------------------------------------------------
+def _run_pvf_job(params: dict, jobdir: Path, cancel, progress,
+                 metrics) -> dict:
+    from ..apps import make_application
+    from ..datafiles import load_database
+    from ..swfi.campaign import run_pvf_campaign
+    from ..swfi.models import RelativeErrorSyndrome, SingleBitFlip
+
+    app = make_application(params["app"], seed=params["seed"])
+    model = (SingleBitFlip() if params["model"] == "bitflip"
+             else RelativeErrorSyndrome(load_database()))
+    journal = jobdir / "pvf.jsonl"
+    report = run_pvf_campaign(
+        app, model, params["injections"], seed=params["seed"],
+        n_jobs=params["jobs"], batch_size=params["batch_size"],
+        timeout=params["timeout"], checkpoint=journal,
+        resume=journal.exists(), progress=progress, metrics=metrics,
+        cancel=cancel)
+    low, high = report.confidence_interval()
+    return {
+        "kind": "pvf",
+        "app": params["app"],
+        "model": report.model_name,
+        "pvf": report.pvf,
+        "due_rate": report.due_rate,
+        "n_injections": report.n_injections,
+        "ci95": [low, high],
+        "report": report.to_dict(),
+    }
+
+
+def _run_rtl_job(params: dict, jobdir: Path, cancel, progress,
+                 metrics) -> dict:
+    from ..gpu.isa import Opcode
+    from ..rtl.campaign import run_campaign
+    from ..rtl.microbench import make_microbenchmark
+
+    bench = make_microbenchmark(Opcode(params["opcode"]), params["range"],
+                                seed=params["seed"])
+    journal = jobdir / "rtl.jsonl"
+    report = run_campaign(
+        bench, params["module"], params["faults"], seed=params["seed"],
+        n_jobs=params["jobs"], batch_size=params["batch_size"],
+        timeout=params["timeout"], checkpoint=journal,
+        resume=journal.exists(), progress=progress, metrics=metrics,
+        cancel=cancel)
+    return {
+        "kind": "rtl",
+        "opcode": params["opcode"],
+        "module": params["module"],
+        "range": params["range"],
+        "avf": report.avf(),
+        "n_faults": len(report.general),
+        "n_masked": report.n_masked,
+        "n_sdc": report.n_sdc,
+        "n_due": report.n_due,
+        "report": report.to_dict(),
+    }
+
+
+def _run_pipeline_job(params: dict, jobdir: Path, cancel, progress,
+                      metrics) -> dict:
+    from ..campaign.pipeline import run_pipeline
+    from ..gpu.isa import Opcode
+
+    opcodes = params["opcodes"]
+    if opcodes is not None:
+        opcodes = [Opcode(name) for name in opcodes]
+    # the job directory *is* the pipeline workdir: journals, the
+    # database, per-stage metrics and the combined metrics.json all
+    # land where the artifact registry looks for them
+    summary = run_pipeline(
+        jobdir, seed=params["seed"], opcodes=opcodes,
+        grid_faults=params["grid_faults"],
+        tmxm_faults=params["tmxm_faults"], apps=params["apps"],
+        models=params["models"], injections=params["injections"],
+        n_jobs=params["jobs"], batch_size=params["batch_size"],
+        timeout=params["timeout"], quiet=not progress.enabled,
+        cancel=cancel)
+    return {"kind": "pipeline", **summary}
+
+
+_RUNNERS = {
+    "pvf": _run_pvf_job,
+    "rtl": _run_rtl_job,
+    "pipeline": _run_pipeline_job,
+}
+
+
+def execute_job(job: Job, jobdir: Union[str, Path],
+                store: Optional[JobStore] = None,
+                quiet: bool = True) -> dict:
+    """Execute one claimed job; returns its result payload.
+
+    Raises :class:`~repro.errors.CampaignCancelled` when the store's
+    cancellation flag (or the job's ``budget``) stops the run, and
+    whatever the campaign raised on failure.  The caller owns the store
+    state transition.  Exposed separately from :class:`Scheduler` so
+    tests (and one-shot tools) can run a job without a daemon.
+    """
+    params = job.params
+    jobdir = Path(jobdir)
+    jobdir.mkdir(parents=True, exist_ok=True)
+    started = time.monotonic()
+    budget = params.get("budget")
+    state = {"last_poll": 0.0, "cancelled": False, "why": ""}
+
+    def cancel() -> bool:
+        if state["cancelled"]:
+            return True
+        if budget is not None and time.monotonic() - started > budget:
+            state.update(cancelled=True, why="budget")
+            return True
+        now = time.monotonic()
+        if (store is not None
+                and now - state["last_poll"] >= _CANCEL_POLL_SECONDS):
+            state["last_poll"] = now
+            if store.cancel_requested(job.id):
+                state.update(cancelled=True, why="cancel")
+                return True
+        return False
+
+    progress = make_progress(None, f"job {job.id}", quiet=quiet)
+    metrics = None
+    if job.kind != "pipeline":
+        # pipeline jobs write their own (multi-stage) metrics.json
+        metrics = _LiveMetrics(f"{job.kind}/job-{job.id}",
+                               jobdir / "metrics.json")
+    try:
+        result = _RUNNERS[job.kind](params, jobdir, cancel, progress,
+                                    metrics)
+    except CampaignCancelled as exc:
+        if state["why"] == "budget":
+            raise ServiceError(
+                f"job {job.id} exceeded its wall-clock budget of "
+                f"{budget:g}s; completed units are journaled — requeue "
+                f"to continue") from exc
+        raise
+    finally:
+        if metrics is not None:
+            metrics.save()
+    (jobdir / "report.json").write_text(json.dumps(result, indent=2)
+                                        + "\n")
+    return result
+
+
+class Scheduler:
+    """Claims jobs from the store and executes them, one at a time."""
+
+    def __init__(self, store: JobStore, workdir: Union[str, Path],
+                 poll_interval: float = 0.5, quiet: bool = True) -> None:
+        self.store = store
+        self.workdir = Path(workdir)
+        self.poll_interval = poll_interval
+        self.quiet = quiet
+
+    def jobdir(self, job_id: int) -> Path:
+        return self.workdir / "jobs" / str(int(job_id))
+
+    def recover(self) -> List[Job]:
+        """Re-queue jobs interrupted by a daemon death (startup hook)."""
+        return self.store.recover()
+
+    def run_once(self) -> Optional[Job]:
+        """Claim and execute at most one job; returns it (or None)."""
+        job = self.store.claim_next()
+        if job is None:
+            return None
+        try:
+            result = execute_job(job, self.jobdir(job.id),
+                                 store=self.store, quiet=self.quiet)
+        except CampaignCancelled as exc:
+            return self.store.finish(job.id, "cancelled", error=str(exc))
+        except ServiceError as exc:  # wall-clock budget exceeded
+            return self.store.finish(job.id, "failed", error=str(exc))
+        except Exception as exc:
+            detail = traceback.format_exc(limit=8)
+            return self.store.finish(
+                job.id, "failed",
+                error=f"{type(exc).__name__}: {exc}\n{detail}")
+        return self.store.finish(job.id, "done", result=result)
+
+    def run_forever(self, stop: Optional[threading.Event] = None,
+                    idle_hook: Optional[Callable[[], None]] = None
+                    ) -> None:
+        """Drain the queue until *stop* is set, sleeping while idle."""
+        stop = stop or threading.Event()
+        while not stop.is_set():
+            job = self.run_once()
+            if job is None:
+                if idle_hook is not None:
+                    idle_hook()
+                stop.wait(self.poll_interval)

@@ -1,0 +1,278 @@
+"""Durable SQLite-backed queue of campaign jobs.
+
+The store is the service's single source of truth: every submitted
+campaign (RTL cell, SWFI PVF, full pipeline) is one row whose lifecycle
+walks ``queued -> running -> done | failed | cancelled``.  SQLite gives
+the two properties a long-lived injection fleet needs with zero
+dependencies:
+
+* **Durability** — the daemon can be SIGKILLed at any instant; on
+  restart :meth:`JobStore.recover` re-queues every job caught mid-run,
+  and the job's campaign journals (owned by the scheduler) make the
+  re-run resume instead of restart.
+* **Atomic claiming** — :meth:`JobStore.claim_next` flips exactly one
+  ``queued`` row to ``running`` inside an ``IMMEDIATE`` transaction, so
+  several scheduler threads (or a future multi-daemon setup sharing one
+  store file) never execute the same job twice.
+
+Every public method opens its own connection, so one :class:`JobStore`
+can be shared freely between the HTTP handler threads and the scheduler
+loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..errors import ServiceError
+
+__all__ = ["Job", "JobStore", "JOB_STATES", "TERMINAL_STATES"]
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves (except via an explicit :meth:`requeue`).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind TEXT NOT NULL,
+    params TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    submitted_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    error TEXT,
+    result TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, id);
+"""
+
+
+@dataclass
+class Job:
+    """One campaign job as stored (and served over the HTTP API)."""
+
+    id: int
+    kind: str
+    params: Dict = field(default_factory=dict)
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    cancel_requested: bool = False
+    error: Optional[str] = None
+    result: Optional[Dict] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "params": self.params,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+            "result": self.result,
+        }
+
+    @classmethod
+    def _from_row(cls, row: sqlite3.Row) -> "Job":
+        return cls(
+            id=int(row["id"]),
+            kind=row["kind"],
+            params=json.loads(row["params"]),
+            state=row["state"],
+            submitted_at=float(row["submitted_at"]),
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            attempts=int(row["attempts"]),
+            cancel_requested=bool(row["cancel_requested"]),
+            error=row["error"],
+            result=(json.loads(row["result"])
+                    if row["result"] is not None else None),
+        )
+
+
+class JobStore:
+    """SQLite-backed durable job queue (thread- and process-safe)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            conn.row_factory = sqlite3.Row
+            # WAL lets HTTP reads proceed while the scheduler writes
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            yield conn
+            conn.commit()
+        finally:
+            conn.close()
+
+    # -- submission / lookup -------------------------------------------------
+    def submit(self, kind: str, params: Optional[dict] = None) -> Job:
+        """Enqueue a job and return it (state ``queued``)."""
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "INSERT INTO jobs (kind, params, state, submitted_at) "
+                "VALUES (?, ?, 'queued', ?)",
+                (kind, json.dumps(params or {}), time.time()))
+            job_id = cursor.lastrowid
+        return self.get(job_id)
+
+    def get(self, job_id: int) -> Job:
+        with self._connect() as conn:
+            row = conn.execute("SELECT * FROM jobs WHERE id = ?",
+                               (int(job_id),)).fetchone()
+        if row is None:
+            raise ServiceError(f"no such job: {job_id}")
+        return Job._from_row(row)
+
+    def list_jobs(self, state: Optional[str] = None) -> List[Job]:
+        if state is not None and state not in JOB_STATES:
+            raise ServiceError(
+                f"unknown job state {state!r}; choose from {JOB_STATES}")
+        query, args = "SELECT * FROM jobs", ()
+        if state is not None:
+            query += " WHERE state = ?"
+            args = (state,)
+        with self._connect() as conn:
+            rows = conn.execute(query + " ORDER BY id", args).fetchall()
+        return [Job._from_row(row) for row in rows]
+
+    # -- scheduler interface -------------------------------------------------
+    def claim_next(self) -> Optional[Job]:
+        """Atomically flip the oldest ``queued`` job to ``running``."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT id FROM jobs WHERE state = 'queued' "
+                "ORDER BY id LIMIT 1").fetchone()
+            if row is None:
+                conn.execute("COMMIT")
+                return None
+            conn.execute(
+                "UPDATE jobs SET state = 'running', started_at = ?, "
+                "attempts = attempts + 1 WHERE id = ?",
+                (time.time(), row["id"]))
+            conn.execute("COMMIT")
+            job_id = int(row["id"])
+        return self.get(job_id)
+
+    def finish(self, job_id: int, state: str,
+               result: Optional[dict] = None,
+               error: Optional[str] = None) -> Job:
+        """Move a job to a terminal state with its result or error."""
+        if state not in TERMINAL_STATES:
+            raise ServiceError(
+                f"finish() requires a terminal state, not {state!r}")
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
+                "result = ? WHERE id = ?",
+                (state, time.time(), error,
+                 None if result is None else json.dumps(result),
+                 int(job_id)))
+        return self.get(job_id)
+
+    def recover(self) -> List[Job]:
+        """Re-queue jobs caught ``running`` by a daemon death.
+
+        Called once at daemon startup, before the scheduler claims
+        anything.  A job whose cancellation was requested before the
+        crash lands in ``cancelled`` instead of re-running.  Returns the
+        jobs whose state changed.
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            rows = conn.execute("SELECT id, cancel_requested FROM jobs "
+                                "WHERE state = 'running'").fetchall()
+            now = time.time()
+            for row in rows:
+                if row["cancel_requested"]:
+                    conn.execute(
+                        "UPDATE jobs SET state = 'cancelled', "
+                        "finished_at = ?, error = ? WHERE id = ?",
+                        (now, "cancelled while the daemon was down",
+                         row["id"]))
+                else:
+                    conn.execute(
+                        "UPDATE jobs SET state = 'queued', "
+                        "started_at = NULL WHERE id = ?", (row["id"],))
+            conn.execute("COMMIT")
+        return [self.get(int(row["id"])) for row in rows]
+
+    # -- cancellation --------------------------------------------------------
+    def request_cancel(self, job_id: int) -> Job:
+        """Cancel a job: immediately if queued, cooperatively if running.
+
+        A running job's executor polls :meth:`cancel_requested` between
+        work units; completed units stay journaled, so a cancelled job
+        that is later re-queued resumes rather than restarts.
+        Cancelling a job already in a terminal state raises.
+        """
+        job = self.get(job_id)
+        if job.state in TERMINAL_STATES:
+            raise ServiceError(
+                f"job {job_id} is already {job.state}; nothing to cancel")
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute("SELECT state FROM jobs WHERE id = ?",
+                               (int(job_id),)).fetchone()
+            if row["state"] == "queued":
+                conn.execute(
+                    "UPDATE jobs SET state = 'cancelled', "
+                    "finished_at = ?, error = 'cancelled before start', "
+                    "cancel_requested = 1 WHERE id = ?",
+                    (time.time(), int(job_id)))
+            else:
+                conn.execute(
+                    "UPDATE jobs SET cancel_requested = 1 WHERE id = ?",
+                    (int(job_id),))
+            conn.execute("COMMIT")
+        return self.get(job_id)
+
+    def cancel_requested(self, job_id: int) -> bool:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?",
+                (int(job_id),)).fetchone()
+        return bool(row and row["cancel_requested"])
+
+    def requeue(self, job_id: int) -> Job:
+        """Put a ``failed``/``cancelled`` job back in the queue.
+
+        The job keeps its id and parameters, so its journals (and
+        therefore all completed work) are reused by the next run.
+        """
+        job = self.get(job_id)
+        if job.state not in ("failed", "cancelled"):
+            raise ServiceError(
+                f"only failed/cancelled jobs can be re-queued; "
+                f"job {job_id} is {job.state}")
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE jobs SET state = 'queued', started_at = NULL, "
+                "finished_at = NULL, error = NULL, cancel_requested = 0 "
+                "WHERE id = ?", (int(job_id),))
+        return self.get(job_id)

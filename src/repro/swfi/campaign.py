@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from functools import partial
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from ..campaign.checkpoint import CampaignCheckpoint
 from ..campaign.engine import (
@@ -253,7 +253,8 @@ def run_pvf_campaign(app, model: FaultModel, n_injections: int,
                      checkpoint: Optional[Union[str, Path]] = None,
                      resume: bool = False,
                      progress: Optional[ProgressReporter] = None,
-                     metrics: Optional[CampaignMetrics] = None
+                     metrics: Optional[CampaignMetrics] = None,
+                     cancel: Optional[Callable[[], bool]] = None
                      ) -> PVFReport:
     """Inject *n_injections* faults into *app* under *model*.
 
@@ -287,6 +288,7 @@ def run_pvf_campaign(app, model: FaultModel, n_injections: int,
         checkpoint=journal,
         progress=progress,
         metrics=metrics,
+        cancel=cancel,
     )
     emit_metrics(metrics, checkpoint)
     return merge_ordered(results, empty=lambda: PVFReport(

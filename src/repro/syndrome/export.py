@@ -17,7 +17,7 @@ from .database import SyndromeDatabase
 from .records import SyndromeEntry, SyndromeKey, TmxmEntry
 from .spatial import SpatialPattern
 
-__all__ = ["export_csv", "import_csv"]
+__all__ = ["export_csv", "export_database_file", "import_csv"]
 
 _SYNDROME_HEADER = ("opcode", "input_range", "module", "relative_error")
 _TMXM_HEADER = ("tile_kind", "module", "pattern", "relative_error")
@@ -51,6 +51,21 @@ def export_csv(database: SyndromeDatabase, directory: Union[str, Path]
                     writer.writerow((entry.tile_kind, entry.module,
                                      pattern.value, repr(float(error))))
     return syndromes_path, tmxm_path
+
+
+def export_database_file(db_path: Union[str, Path],
+                         directory: Union[str, Path]
+                         ) -> "tuple[Path, Path]":
+    """Export a saved JSON database straight to the CSV interchange form.
+
+    Convenience for consumers that hold a database *file* rather than a
+    loaded object — the campaign service's artifact registry uses it to
+    serve a pipeline job's distilled database as flat CSV.
+    """
+    db_path = Path(db_path)
+    if not db_path.exists():
+        raise SyndromeDatabaseError(f"missing database file {db_path}")
+    return export_csv(SyndromeDatabase.load(db_path), directory)
 
 
 def import_csv(directory: Union[str, Path]) -> SyndromeDatabase:

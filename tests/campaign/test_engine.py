@@ -308,3 +308,73 @@ class TestMetricsThreading:
         workers = {u.worker for u in metrics.units}
         assert workers and all(w > 0 for w in workers)
         assert all(u.queue_wait >= 0 for u in metrics.units)
+
+
+def raise_interrupt(state, unit):
+    raise KeyboardInterrupt
+
+
+class TestCancellation:
+    def test_serial_cancel_before_first_unit(self):
+        from repro.errors import CampaignCancelled
+
+        units = plan_units(40, seed=1, batch_size=10)
+        with pytest.raises(CampaignCancelled, match="0/4 work units"):
+            run_units(units, run_tally, cancel=lambda: True)
+
+    def test_serial_cancel_keeps_journal_and_resumes(self, tmp_path):
+        from repro.errors import CampaignCancelled
+
+        units = plan_units(40, seed=1, batch_size=10)
+        header = {"campaign": "tally"}
+        path = tmp_path / "units.jsonl"
+        answers = iter([False, False, True])
+        with pytest.raises(CampaignCancelled) as excinfo:
+            run_units(units, run_tally,
+                      checkpoint=CampaignCheckpoint(
+                          path, header, decode=TallyReport.from_dict),
+                      cancel=lambda: next(answers))
+        assert "2/4" in str(excinfo.value)
+        assert str(path) in str(excinfo.value)
+        # the two completed units are journaled; a resume runs the rest
+        executed = []
+
+        def counting_run(state, unit):
+            executed.append(unit.index)
+            return run_tally(state, unit)
+
+        resumed = run_units(
+            units, counting_run,
+            checkpoint=CampaignCheckpoint(path, header, resume=True,
+                                          decode=TallyReport.from_dict))
+        assert executed == [2, 3]
+        assert merge_ordered(resumed).to_dict() == \
+            merge_ordered(run_units(units, run_tally)).to_dict()
+
+    @pytest.mark.multicore
+    def test_parallel_cancel_stops_pool(self):
+        from repro.errors import CampaignCancelled
+
+        units = plan_units(200, seed=3, batch_size=10)
+        start = time.perf_counter()
+        with pytest.raises(CampaignCancelled):
+            run_units(units, run_tally, n_jobs=2,
+                      state_factory=make_state, cancel=lambda: True)
+        assert time.perf_counter() - start < 30
+
+    def test_keyboard_interrupt_mentions_resume(self, tmp_path):
+        units = plan_units(20, seed=1, batch_size=10)
+        path = tmp_path / "units.jsonl"
+        with pytest.raises(KeyboardInterrupt) as excinfo:
+            run_units(units, raise_interrupt,
+                      checkpoint=CampaignCheckpoint(
+                          path, {"campaign": "tally"},
+                          decode=TallyReport.from_dict))
+        assert "resume with --resume" in str(excinfo.value)
+        assert str(path) in str(excinfo.value)
+
+    def test_keyboard_interrupt_without_checkpoint_is_bare(self):
+        units = plan_units(20, seed=1, batch_size=10)
+        with pytest.raises(KeyboardInterrupt) as excinfo:
+            run_units(units, raise_interrupt)
+        assert "--resume" not in str(excinfo.value)

@@ -20,6 +20,9 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "multicore: needs more than one CPU (process-pool campaigns)")
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-second end-to-end test (daemon subprocesses)")
 
 
 def pytest_collection_modifyitems(config, items):

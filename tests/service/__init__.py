@@ -1,0 +1,1 @@
+"""Campaign service: job store, scheduler, HTTP API."""

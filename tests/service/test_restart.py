@@ -1,0 +1,92 @@
+"""The durability acceptance test: SIGKILL the daemon mid-campaign.
+
+A real daemon subprocess (``python -m repro serve``) is killed without
+warning while a job is running; a second daemon started on the same
+workdir must resume the job from its journal and finish with a report
+bit-identical to the synchronous CLI run.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient
+
+pytestmark = pytest.mark.slow
+
+
+def _spawn_daemon(workdir: Path) -> "tuple[subprocess.Popen, str]":
+    (workdir / "service.json").unlink(missing_ok=True)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--workdir",
+         str(workdir), "--port", "0", "--quiet"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if (workdir / "service.json").exists():
+            try:
+                payload = json.loads(
+                    (workdir / "service.json").read_text())
+                return process, payload["url"]
+            except (json.JSONDecodeError, KeyError):
+                pass  # written halfway; retry
+        if process.poll() is not None:
+            raise RuntimeError("daemon died during startup")
+        time.sleep(0.1)
+    process.kill()
+    raise RuntimeError("daemon never wrote service.json")
+
+
+def test_sigkill_mid_job_then_restart_resumes_bit_identical(tmp_path):
+    from repro.apps import make_application
+    from repro.swfi.campaign import run_pvf_campaign
+    from repro.swfi.models import SingleBitFlip
+
+    workdir = tmp_path / "service"
+    workdir.mkdir()
+    process, url = _spawn_daemon(workdir)
+    journal = workdir / "jobs" / "1" / "pvf.jsonl"
+    try:
+        client = ServiceClient(url, timeout=30)
+        job = client.submit("pvf", app="MxM", injections=400, seed=11,
+                            batch_size=20)
+
+        # wait until at least one work unit is journaled, but the
+        # campaign (20 units) is still far from done -- then SIGKILL
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if journal.exists() and \
+                    len(journal.read_text().splitlines()) >= 2:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("job never journaled a unit")
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+
+        units_before = len(journal.read_text().splitlines()) - 1
+        assert units_before >= 1
+
+        # restart on the same workdir: recover() re-queues the job and
+        # the journal turns the re-run into a resume
+        process, url = _spawn_daemon(workdir)
+        client = ServiceClient(url, timeout=30)
+        done = client.wait(job["id"], timeout=180, poll=0.2)
+        assert done["state"] == "done"
+        assert done["attempts"] == 2
+        assert done["result"]["n_injections"] == 400
+
+        body, _ = client.artifact(job["id"], "report")
+        direct = run_pvf_campaign(
+            make_application("MxM", seed=11), SingleBitFlip(), 400,
+            seed=11, batch_size=20)
+        assert json.loads(body)["report"] == direct.to_dict()
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)

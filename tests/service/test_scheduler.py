@@ -1,0 +1,244 @@
+"""Job validation and execution: budgets, cancellation, resume, parity."""
+
+import json
+
+import pytest
+
+from repro.errors import CampaignCancelled, ServiceError
+from repro.service import JobStore, Scheduler, execute_job, normalize_params
+
+
+class TestNormalizeParams:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            normalize_params("fuzz", {})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ServiceError, match="unknown parameter"):
+            normalize_params("pvf", {"app": "MxM", "warp": 3})
+
+    def test_pvf_defaults_and_canonical_app(self):
+        params = normalize_params("pvf", {"app": "mxm"})
+        assert params["app"] == "MxM"  # case-insensitive lookup
+        assert params["model"] == "bitflip"
+        assert params["injections"] == 300
+        assert params["seed"] == 0
+        assert params["jobs"] == 1
+        assert params["budget"] is None
+
+    def test_pvf_rejects_unknown_app_and_model(self):
+        with pytest.raises(ServiceError, match="unknown application"):
+            normalize_params("pvf", {"app": "nosuch"})
+        with pytest.raises(ServiceError, match="unknown fault model"):
+            normalize_params("pvf", {"app": "MxM", "model": "gamma"})
+
+    def test_rtl_uppercases_opcode_and_range(self):
+        params = normalize_params("rtl", {"opcode": "fadd", "range": "l"})
+        assert params["opcode"] == "FADD"
+        assert params["range"] == "L"
+        assert params["module"] == "fp32"
+        assert params["faults"] == 500
+
+    def test_rtl_rejects_bad_opcode_module_range(self):
+        with pytest.raises(ServiceError, match="unknown opcode"):
+            normalize_params("rtl", {"opcode": "FNORD"})
+        with pytest.raises(ServiceError, match="unknown module"):
+            normalize_params("rtl", {"module": "fp128"})
+        with pytest.raises(ServiceError, match="unknown input range"):
+            normalize_params("rtl", {"range": "XL"})
+
+    def test_pipeline_defaults(self):
+        params = normalize_params("pipeline", {"apps": ["mxm", "lava"]})
+        assert params["apps"] == ["MxM", "Lava"]
+        assert params["models"] == ["bitflip", "syndrome"]
+        assert params["opcodes"] is None
+        assert params["grid_faults"] == 200
+
+    def test_pipeline_rejects_empty_lists(self):
+        with pytest.raises(ServiceError, match="non-empty list"):
+            normalize_params("pipeline", {"apps": []})
+        with pytest.raises(ServiceError, match="non-empty list"):
+            normalize_params("pipeline", {"models": []})
+
+    def test_type_checks(self):
+        with pytest.raises(ServiceError, match="must be an integer"):
+            normalize_params("pvf", {"app": "MxM", "injections": "many"})
+        with pytest.raises(ServiceError, match="must be a number"):
+            normalize_params("pvf", {"app": "MxM", "budget": "later"})
+        with pytest.raises(ServiceError, match="must be positive"):
+            normalize_params("pvf", {"app": "MxM", "budget": -1})
+        with pytest.raises(ServiceError, match=">= 1"):
+            normalize_params("pvf", {"app": "MxM", "jobs": 0})
+
+
+def _submit_and_claim(store, kind, params):
+    store.submit(kind, normalize_params(kind, params))
+    return store.claim_next()
+
+
+class TestExecuteJob:
+    def test_pvf_job_writes_report_and_metrics(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        job = _submit_and_claim(store, "pvf", {
+            "app": "MxM", "injections": 20, "seed": 7, "batch_size": 10})
+        jobdir = tmp_path / "jobs" / "1"
+        result = execute_job(job, jobdir, store=store)
+        assert result["kind"] == "pvf"
+        assert result["n_injections"] == 20
+        assert 0.0 <= result["pvf"] <= 1.0
+        report = json.loads((jobdir / "report.json").read_text())
+        assert report == result
+        metrics = json.loads((jobdir / "metrics.json").read_text())
+        assert metrics["kind"] == "campaign-metrics"
+        assert metrics["units_done"] == 2
+
+    def test_result_bit_identical_to_direct_run(self, tmp_path):
+        from repro.apps import make_application
+        from repro.swfi.campaign import run_pvf_campaign
+        from repro.swfi.models import SingleBitFlip
+
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        job = _submit_and_claim(store, "pvf", {
+            "app": "MxM", "injections": 30, "seed": 5, "batch_size": 10})
+        result = execute_job(job, tmp_path / "jobs" / "1", store=store)
+        direct = run_pvf_campaign(
+            make_application("MxM", seed=5), SingleBitFlip(), 30,
+            seed=5, batch_size=10)
+        assert result["report"] == direct.to_dict()
+
+    def test_rtl_job_runs(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        job = _submit_and_claim(store, "rtl", {
+            "opcode": "FADD", "faults": 30, "seed": 3, "batch_size": 15})
+        result = execute_job(job, tmp_path / "jobs" / "1", store=store)
+        assert result["kind"] == "rtl"
+        assert result["n_faults"] == 30
+        assert result["n_masked"] + result["n_sdc"] + result["n_due"] == 30
+
+    def test_budget_exceeded_fails_with_requeue_hint(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        job = _submit_and_claim(store, "pvf", {
+            "app": "MxM", "injections": 40, "seed": 1, "batch_size": 10,
+            "budget": 1e-9})
+        with pytest.raises(ServiceError, match="wall-clock budget"):
+            execute_job(job, tmp_path / "jobs" / "1", store=store)
+
+    def test_cancel_requested_stops_between_units(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        job = _submit_and_claim(store, "pvf", {
+            "app": "MxM", "injections": 40, "seed": 1, "batch_size": 10})
+        store.request_cancel(job.id)
+        with pytest.raises(CampaignCancelled):
+            execute_job(job, tmp_path / "jobs" / "1", store=store)
+
+    def test_cancel_mid_run_then_resume_is_bit_identical(
+            self, tmp_path, monkeypatch):
+        from repro.apps import make_application
+        from repro.service import scheduler as scheduler_module
+        from repro.swfi.campaign import run_pvf_campaign
+        from repro.swfi.models import SingleBitFlip
+
+        monkeypatch.setattr(scheduler_module, "_CANCEL_POLL_SECONDS", 0.0)
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        job = _submit_and_claim(store, "pvf", {
+            "app": "MxM", "injections": 30, "seed": 5, "batch_size": 10})
+        jobdir = tmp_path / "jobs" / "1"
+
+        class FlipStore:
+            """Allows the first poll through, cancels on the second."""
+
+            polls = 0
+
+            def cancel_requested(self, job_id):
+                self.polls += 1
+                return self.polls > 1
+
+        with pytest.raises(CampaignCancelled):
+            execute_job(job, jobdir, store=FlipStore())
+        journal = (jobdir / "pvf.jsonl").read_text().splitlines()
+        assert 1 <= len(journal) - 1 < 3  # header + partial units
+
+        result = execute_job(job, jobdir, store=store)  # resumes
+        direct = run_pvf_campaign(
+            make_application("MxM", seed=5), SingleBitFlip(), 30,
+            seed=5, batch_size=10)
+        assert result["report"] == direct.to_dict()
+
+
+class TestSchedulerLifecycle:
+    def test_run_once_full_lifecycle(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        scheduler = Scheduler(store, tmp_path)
+        store.submit("pvf", normalize_params("pvf", {
+            "app": "MxM", "injections": 10, "seed": 2}))
+        job = scheduler.run_once()
+        assert job.state == "done"
+        assert job.result["n_injections"] == 10
+        assert (scheduler.jobdir(job.id) / "report.json").exists()
+
+    def test_run_once_empty_queue_returns_none(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        assert Scheduler(store, tmp_path).run_once() is None
+
+    def test_budget_failure_then_requeue_completes(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        scheduler = Scheduler(store, tmp_path)
+        store.submit("pvf", normalize_params("pvf", {
+            "app": "MxM", "injections": 20, "seed": 4, "batch_size": 10,
+            "budget": 1e-9}))
+        job = scheduler.run_once()
+        assert job.state == "failed"
+        assert "wall-clock budget" in job.error
+
+        # lift the budget and requeue: the journal makes it resume
+        params = dict(job.params, budget=None)
+        with store._connect() as conn:
+            conn.execute("UPDATE jobs SET params = ? WHERE id = ?",
+                         (json.dumps(params), job.id))
+        store.requeue(job.id)
+        job = scheduler.run_once()
+        assert job.state == "done"
+        assert job.attempts == 2
+
+    def test_cancelled_job_lands_in_cancelled(self, tmp_path, monkeypatch):
+        from repro.service import scheduler as scheduler_module
+
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        scheduler = Scheduler(store, tmp_path)
+        store.submit("pvf", normalize_params("pvf", {"app": "MxM"}))
+
+        def fake_execute(job, jobdir, store=None, quiet=True):
+            raise CampaignCancelled("stopped for the test")
+
+        monkeypatch.setattr(scheduler_module, "execute_job", fake_execute)
+        job = scheduler.run_once()
+        assert job.state == "cancelled"
+        assert "stopped for the test" in job.error
+
+    def test_unexpected_failure_records_traceback(self, tmp_path,
+                                                  monkeypatch):
+        from repro.service import scheduler as scheduler_module
+
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        scheduler = Scheduler(store, tmp_path)
+        store.submit("pvf", normalize_params("pvf", {"app": "MxM"}))
+
+        def fake_execute(job, jobdir, store=None, quiet=True):
+            raise RuntimeError("worker exploded")
+
+        monkeypatch.setattr(scheduler_module, "execute_job", fake_execute)
+        job = scheduler.run_once()
+        assert job.state == "failed"
+        assert "RuntimeError: worker exploded" in job.error
+
+    def test_recover_requeues_interrupted_job(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        store.submit("pvf", normalize_params("pvf", {
+            "app": "MxM", "injections": 10, "seed": 2}))
+        store.claim_next()  # daemon "dies" here
+        scheduler = Scheduler(store, tmp_path)
+        recovered = scheduler.recover()
+        assert [j.state for j in recovered] == ["queued"]
+        job = scheduler.run_once()
+        assert job.state == "done"
+        assert job.attempts == 2

@@ -138,8 +138,22 @@ class TestStats:
         assert main(["stats", str(tmp_path), "--no-cells"]) == 0
         assert "per-cell" not in capsys.readouterr().out
 
-    def test_stats_missing_target_raises(self, tmp_path):
-        from repro.errors import CampaignError
+    def test_stats_missing_target_exits_2(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nowhere")]) == 2
+        err = capsys.readouterr().err
+        assert "repro stats:" in err and "nowhere" in err
+        assert "hint:" in err
 
-        with pytest.raises(CampaignError):
-            main(["stats", str(tmp_path / "nowhere")])
+    def test_stats_empty_workdir_exits_2(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "repro stats:" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
