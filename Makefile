@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-swfi bench-rtl db examples clean
+.PHONY: install test bench bench-swfi bench-rtl bench-artifacts db \
+	examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +20,10 @@ bench-swfi:
 
 bench-rtl:
 	$(PYTHON) -m pytest benchmarks/bench_rtl_parallel.py \
+		--benchmark-only -q
+
+bench-artifacts:
+	$(PYTHON) -m pytest benchmarks/bench_artifacts.py \
 		--benchmark-only -q
 
 db:

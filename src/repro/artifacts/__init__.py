@@ -1,0 +1,64 @@
+"""Versioned, validated serialisation for every campaign artifact.
+
+The package has three layers:
+
+* :mod:`~repro.artifacts.serde` — composable dataclass <-> dict codecs
+  (the single serde implementation behind every ``to_dict``/``from_dict``
+  in the code base);
+* :mod:`~repro.artifacts.registry` — the named, versioned schema
+  registry with validation, migrations and envelope handling;
+* :mod:`~repro.artifacts.columnar` — numpy-structured-array record
+  storage backing :class:`~repro.rtl.reports.CampaignReport` at
+  paper scale (>1.5 M faults).
+
+The built-in kinds (``rtl-report``, ``pvf-report``, ``syndrome-db``,
+``campaign-journal``, ``campaign-metrics``, ``job-record``) register
+lazily on first use from :mod:`~repro.artifacts.schemas`.
+"""
+
+from .columnar import DetailedColumns, GeneralColumns, StringPool
+from .registry import (
+    ArtifactSchema,
+    all_fingerprints,
+    dump_artifact,
+    dump_body,
+    get_schema,
+    load_artifact,
+    load_artifact_file,
+    register_schema,
+    registered_kinds,
+    save_artifact,
+    schema_fingerprint,
+    validate_artifact,
+)
+
+__all__ = [
+    "ArtifactSchema",
+    "DetailedColumns",
+    "GeneralColumns",
+    "StringPool",
+    "all_fingerprints",
+    "codec_for",
+    "dump_artifact",
+    "dump_body",
+    "get_schema",
+    "load_artifact",
+    "load_artifact_file",
+    "register_schema",
+    "registered_kinds",
+    "save_artifact",
+    "schema_fingerprint",
+    "validate_artifact",
+]
+
+
+def codec_for(cls: type):
+    """The registered field codec for a sub-artifact dataclass.
+
+    Covers the types that serialise *inside* a top-level artifact
+    (records, fits, syndrome entries, telemetry units); the six
+    top-level kinds go through :func:`dump_body`/:func:`load_artifact`.
+    """
+    from . import schemas
+
+    return schemas.codec(cls)

@@ -1,0 +1,408 @@
+"""Built-in artifact schemas: the six kinds the framework persists.
+
+===================  =======  ==================================================
+kind                 version  payload
+===================  =======  ==================================================
+``rtl-report``       1        one RTL campaign cell's general + detailed records
+``pvf-report``       1        one SWFI campaign's PVF tallies
+``syndrome-db``      1        the distilled fault-syndrome database
+``campaign-journal`` 1        a checkpoint journal's header line
+``campaign-metrics`` 1        per-unit campaign telemetry
+``job-record``       1        one service job row
+===================  =======  ==================================================
+
+Version 1 of every kind is **defined as** the byte format the
+pre-registry code wrote (the golden fixtures under
+``tests/fixtures/artifacts/`` pin it), which is why the dumps here
+reproduce the legacy key orders and coercions exactly.  Bump a version
+by changing the schema's ``dump``/``load`` to the new shape and
+registering a ``migrations[old_version]`` step that lifts an old payload
+one version up — never by editing the old shape in place.
+
+This module is imported lazily by the registry (first ``dump_body``/
+``load_artifact`` call), so the domain modules it imports can themselves
+delegate to the registry without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..campaign import telemetry
+from ..campaign.checkpoint import CampaignCheckpoint
+from ..errors import CampaignError
+from ..outcomes import Outcome
+from ..rtl.classify import CorruptedValue
+from ..rtl.reports import (
+    CampaignReport,
+    DetailedRecord,
+    FaultDescriptor,
+    GeneralRecord,
+)
+from ..service.store import Job
+from ..swfi.campaign import PVFReport
+from ..syndrome.database import SyndromeDatabase
+from ..syndrome.powerlaw import PowerLawFit
+from ..syndrome.records import (
+    PatternStats,
+    SyndromeEntry,
+    SyndromeKey,
+    TmxmEntry,
+)
+from ..syndrome.spatial import SpatialPattern
+from .registry import ArtifactSchema, register_schema
+from .serde import (
+    Codec,
+    Coerced,
+    Rounded,
+    SequenceCodec,
+    SortedIntMapCodec,
+    derive,
+)
+
+__all__ = ["CODECS", "codec"]
+
+
+# -- field codecs shared across kinds -----------------------------------------
+class _SyndromeKeyCodec(Codec):
+    """``SyndromeKey`` <-> its ``as_tuple()`` triple."""
+
+    def dump(self, value: SyndromeKey) -> tuple:
+        return value.as_tuple()
+
+    def load(self, data) -> SyndromeKey:
+        return SyndromeKey(*data)
+
+
+class _PatternMapCodec(Codec):
+    """``TmxmEntry.patterns`` dict <-> the legacy list-of-stats layout.
+
+    The dict is keyed by each stats' own ``pattern``, so only the values
+    are serialised; load rebuilds the keys (insertion order preserved,
+    exactly as the legacy loader did).
+    """
+
+    def __init__(self, stats_codec: Codec) -> None:
+        self.stats_codec = stats_codec
+
+    def dump(self, value: Dict[SpatialPattern, PatternStats]) -> list:
+        return [self.stats_codec.dump(stats) for stats in value.values()]
+
+    def load(self, data) -> Dict[SpatialPattern, PatternStats]:
+        patterns: Dict[SpatialPattern, PatternStats] = {}
+        for item in data:
+            stats = self.stats_codec.load(item)
+            patterns[stats.pattern] = stats
+        return patterns
+
+
+#: Relative errors are float()-coerced on dump (numpy floats reach the
+#: payload) and stored raw on load, as the legacy dumps did.
+_FLOAT_LIST = SequenceCodec(Coerced(float, None), list)
+
+_FAULT = derive(FaultDescriptor)
+_CORRUPTED = derive(CorruptedValue)
+_GENERAL = derive(GeneralRecord, registry={FaultDescriptor: _FAULT})
+_DETAILED = derive(DetailedRecord, registry={FaultDescriptor: _FAULT,
+                                             CorruptedValue: _CORRUPTED})
+_PVF = derive(PVFReport)
+_POWER_LAW = derive(PowerLawFit)
+_SYNDROME_ENTRY = derive(
+    SyndromeEntry,
+    registry={SyndromeKey: _SyndromeKeyCodec(), PowerLawFit: _POWER_LAW},
+    overrides={"relative_errors": _FLOAT_LIST})
+_PATTERN_STATS = derive(
+    PatternStats,
+    registry={PowerLawFit: _POWER_LAW},
+    overrides={"relative_errors": _FLOAT_LIST})
+_TMXM = derive(
+    TmxmEntry,
+    overrides={"patterns": _PatternMapCodec(_PATTERN_STATS)})
+_UNIT_RECORD = derive(
+    telemetry.UnitRecord,
+    overrides={"seconds": Rounded(6), "queue_wait": Rounded(6),
+               "outcomes": SortedIntMapCodec()})
+_JOB = derive(Job)
+
+#: Codec lookup for the sub-object types whose ``to_dict``/``from_dict``
+#: delegate here (everything below the six top-level kinds).
+CODECS: Dict[type, Codec] = {
+    FaultDescriptor: _FAULT,
+    CorruptedValue: _CORRUPTED,
+    GeneralRecord: _GENERAL,
+    DetailedRecord: _DETAILED,
+    PowerLawFit: _POWER_LAW,
+    SyndromeKey: _SyndromeKeyCodec(),
+    SyndromeEntry: _SYNDROME_ENTRY,
+    PatternStats: _PATTERN_STATS,
+    TmxmEntry: _TMXM,
+    telemetry.UnitRecord: _UNIT_RECORD,
+    Job: _JOB,
+}
+
+
+def codec(cls: type) -> Codec:
+    return CODECS[cls]
+
+
+# -- rtl-report ---------------------------------------------------------------
+def _dump_rtl_report(report: CampaignReport) -> dict:
+    return {
+        "instruction": report.instruction,
+        "input_range": report.input_range,
+        "module": report.module,
+        "n_injections": report.n_injections,
+        "general": [_GENERAL.dump(r) for r in report.general],
+        "detailed": [_DETAILED.dump(r) for r in report.detailed],
+    }
+
+
+def _load_rtl_report(data: dict) -> CampaignReport:
+    report = CampaignReport(
+        instruction=data["instruction"],
+        input_range=data["input_range"],
+        module=data["module"],
+        n_injections=data["n_injections"],
+    )
+    for item in data["general"]:
+        report.general.append(_GENERAL.load(item))
+    for item in data["detailed"]:
+        report.detailed.append(_DETAILED.load(item))
+    return report
+
+
+def _sample_rtl_report() -> CampaignReport:
+    report = CampaignReport("FADD", "M", "fp32", n_injections=3)
+    faults = [FaultDescriptor("fp32", "unpack.a_mant", lane=i, bit=7 + i,
+                              cycle=30 + i, kind="data") for i in range(3)]
+    report.general.append(GeneralRecord(faults[0], Outcome.MASKED, 0, True))
+    report.general.append(GeneralRecord(faults[1], Outcome.SDC, 2, True))
+    report.general.append(GeneralRecord(
+        faults[2], Outcome.DUE, 0, True,
+        due_reason="wall-clock guard: injection exceeded 1s"))
+    report.detailed.append(DetailedRecord(
+        fault=faults[1], opcode="FADD", input_range="M", value_kind="f32",
+        corrupted=(CorruptedValue(0, 64, 0x3F800000, 0x3F800001),
+                   CorruptedValue(1, 65, 0x40000000, 0x00000000))))
+    return report
+
+
+# -- pvf-report ---------------------------------------------------------------
+def _sample_pvf_report() -> PVFReport:
+    return PVFReport(
+        app_name="MxM", model_name="bitflip", n_injections=4,
+        n_sdc=1, n_due=1, n_masked=2,
+        per_opcode_sdc={"FADD": 1},
+        per_opcode_injections={"FADD": 2, "FMUL": 2})
+
+
+# -- syndrome-db --------------------------------------------------------------
+def _dump_syndrome_db(db: SyndromeDatabase) -> dict:
+    return {
+        "entries": [_SYNDROME_ENTRY.dump(e) for e in db.entries()],
+        "tmxm": [_TMXM.dump(e) for e in db.tmxm_entries()],
+    }
+
+
+def _load_syndrome_db(data: dict) -> SyndromeDatabase:
+    db = SyndromeDatabase()
+    for item in data.get("entries", []):
+        entry = _SYNDROME_ENTRY.load(item)
+        entry.finalize()
+        db.add(entry)
+    for item in data.get("tmxm", []):
+        entry = _TMXM.load(item)
+        entry.finalize()
+        db.add_tmxm(entry)
+    return db
+
+
+def _sample_syndrome_db() -> SyndromeDatabase:
+    db = SyndromeDatabase()
+    entry = SyndromeEntry(
+        key=SyndromeKey("FADD", "M", "fp32"),
+        relative_errors=[0.5, 1.0, 2.0, 0.25],
+        thread_counts=[1, 1, 2, 1],
+        fit=PowerLawFit(alpha=2.5, x_min=0.25, n_tail=4, ks=0.08))
+    db.add(entry)
+    tmxm = TmxmEntry(tile_kind="t4", module="scheduler")
+    tmxm.patterns[SpatialPattern.SINGLE] = PatternStats(
+        pattern=SpatialPattern.SINGLE, occurrences=3,
+        relative_errors=[0.5, 1.5, 4.0])
+    db.add_tmxm(tmxm)
+    return db
+
+
+# -- campaign-journal ---------------------------------------------------------
+def _sample_journal_header() -> dict:
+    return {
+        "campaign": "rtl-cell", "bench": "fadd_M", "module": "fp32",
+        "fault_kind": None, "n_faults": 40, "seed": 5, "batch_size": 10,
+        "schema": "rtl-report", "version": CampaignCheckpoint.VERSION,
+    }
+
+
+# -- campaign-metrics ---------------------------------------------------------
+_METRICS_REQUIRED_FIELDS = {
+    "stage": str,
+    "units_done": int,
+    "units_run": int,
+    "units_cached": int,
+    "injections": int,
+    "wall_seconds": (int, float),
+    "units_per_second": (int, float),
+    "outcomes": dict,
+    "units": list,
+}
+
+_METRICS_REQUIRED_UNIT_FIELDS = {
+    "index": int,
+    "seconds": (int, float),
+    "queue_wait": (int, float),
+    "cached": bool,
+    "outcomes": dict,
+}
+
+
+def _validate_metrics(payload: dict) -> dict:
+    """The ``campaign-metrics`` v1 validator (see telemetry docs).
+
+    Raises :class:`~repro.errors.CampaignError` (not ArtifactError) so
+    every pre-registry caller's exception handling keeps working.
+    """
+    if not isinstance(payload, dict):
+        raise CampaignError("metrics payload must be a JSON object")
+    if payload.get("kind") != telemetry.SCHEMA_KIND:
+        raise CampaignError(
+            f"not a campaign-metrics payload (kind={payload.get('kind')!r})")
+    if payload.get("version") != telemetry.SCHEMA_VERSION:
+        raise CampaignError(
+            f"unsupported campaign-metrics version "
+            f"{payload.get('version')!r}")
+    for name, types in _METRICS_REQUIRED_FIELDS.items():
+        if name not in payload:
+            raise CampaignError(f"metrics payload missing field {name!r}")
+        if not isinstance(payload[name], types) or isinstance(
+                payload[name], bool):
+            raise CampaignError(
+                f"metrics field {name!r} has wrong type "
+                f"{type(payload[name]).__name__}")
+    for i, unit in enumerate(payload["units"]):
+        if not isinstance(unit, dict):
+            raise CampaignError(f"metrics unit #{i} is not an object")
+        for name, types in _METRICS_REQUIRED_UNIT_FIELDS.items():
+            if name not in unit:
+                raise CampaignError(
+                    f"metrics unit #{i} missing field {name!r}")
+            if name != "cached" and isinstance(unit[name], bool):
+                raise CampaignError(
+                    f"metrics unit #{i} field {name!r} has wrong type bool")
+            if not isinstance(unit[name], types):
+                raise CampaignError(
+                    f"metrics unit #{i} field {name!r} has wrong type "
+                    f"{type(unit[name]).__name__}")
+    return payload
+
+
+def _dump_metrics(metrics: "telemetry.CampaignMetrics") -> dict:
+    # rates derive from the *serialised* (rounded) wall-clock so a
+    # from_dict clone re-serialises to the identical payload
+    wall = round(metrics.wall_seconds(), 6)
+    payload = {
+        "kind": telemetry.SCHEMA_KIND,
+        "version": telemetry.SCHEMA_VERSION,
+        "stage": metrics.stage,
+        "total_units": (None if metrics.total_units is None
+                        else int(metrics.total_units)),
+        "units_done": metrics.units_done,
+        "units_run": metrics.units_run,
+        "units_cached": metrics.units_cached,
+        "injections": metrics.injections_total(),
+        "timeouts": metrics.timeouts_total(),
+        "wall_seconds": wall,
+        "units_per_second": round(metrics.units_done / wall, 3)
+        if wall > 0 else 0.0,
+        "injections_per_second": round(metrics.injections_total() / wall, 3)
+        if wall > 0 else 0.0,
+        "outcomes": metrics.outcome_totals(),
+        "units": [_UNIT_RECORD.dump(u) for u in metrics.units],
+    }
+    if metrics.meta:
+        payload["meta"] = dict(metrics.meta)
+    return payload
+
+
+def _load_metrics(payload: dict) -> "telemetry.CampaignMetrics":
+    payload = _validate_metrics(payload)
+    metrics = telemetry.CampaignMetrics(
+        stage=payload["stage"],
+        total_units=payload.get("total_units"),
+        meta=payload.get("meta"))
+    metrics.units = [_UNIT_RECORD.load(u)
+                     for u in payload.get("units", [])]
+    metrics._wall = float(payload.get("wall_seconds", 0.0))
+    return metrics
+
+
+def _sample_metrics() -> "telemetry.CampaignMetrics":
+    metrics = telemetry.CampaignMetrics(stage="rtl-cell", total_units=2)
+    metrics.units = [
+        telemetry.UnitRecord(
+            index=0, label="fadd_M/fp32 [1/2]", size=5, seconds=0.25,
+            queue_wait=0.0, cached=False, worker=4242,
+            outcomes={"masked": 4, "sdc": 1}, injections=5),
+        telemetry.UnitRecord(
+            index=1, label="fadd_M/fp32 [2/2]", size=5, seconds=0.26,
+            queue_wait=0.0, cached=True, worker=4242, timeouts=1,
+            outcomes={"due": 1, "masked": 4}, injections=5),
+    ]
+    metrics._wall = 1.0
+    return metrics
+
+
+# -- job-record ---------------------------------------------------------------
+def _sample_job() -> Job:
+    return Job(
+        id=1, kind="pvf",
+        params={"app": "MxM", "injections": 60, "seed": 13},
+        state="done", submitted_at=1722500000.0,
+        started_at=1722500010.0, finished_at=1722500060.0, attempts=1,
+        cancel_requested=False, error=None,
+        result={"pvf": 0.25, "n_injections": 60})
+
+
+# -- registration -------------------------------------------------------------
+register_schema(ArtifactSchema(
+    kind="rtl-report", version=1,
+    dump=_dump_rtl_report, load=_load_rtl_report,
+    sample=_sample_rtl_report))
+
+register_schema(ArtifactSchema(
+    kind="pvf-report", version=1,
+    dump=_PVF.dump, load=_PVF.load,
+    sample=_sample_pvf_report))
+
+register_schema(ArtifactSchema(
+    kind="syndrome-db", version=1,
+    dump=_dump_syndrome_db, load=_load_syndrome_db,
+    sample=_sample_syndrome_db))
+
+register_schema(ArtifactSchema(
+    kind="campaign-journal", version=CampaignCheckpoint.VERSION,
+    dump=dict, load=dict,
+    sniff_version=lambda payload: int(payload.get("version", 1)),
+    self_enveloped=True,
+    sample=_sample_journal_header))
+
+register_schema(ArtifactSchema(
+    kind="campaign-metrics", version=telemetry.SCHEMA_VERSION,
+    dump=_dump_metrics, load=_load_metrics,
+    validate=_validate_metrics,
+    sniff_version=lambda payload: int(payload.get("version", 1)),
+    self_enveloped=True,
+    sample=_sample_metrics))
+
+register_schema(ArtifactSchema(
+    kind="job-record", version=1,
+    dump=_JOB.dump, load=_JOB.load,
+    sample=_sample_job))

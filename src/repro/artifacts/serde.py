@@ -1,0 +1,240 @@
+"""One serde layer for every artifact dataclass.
+
+Before this module each serialisable type hand-rolled its own
+``to_dict``/``from_dict`` pair — thirteen of them across the RTL, SWFI,
+syndrome, campaign and service layers, each re-inventing enum/tuple/
+optional handling and numeric coercion.  Here the same behaviour is
+expressed once as composable codecs plus :func:`derive`, which builds a
+:class:`DataclassCodec` from a dataclass's type hints.
+
+Byte-compatibility is the design constraint, not a side effect: a
+derived codec dumps fields **in dataclass declaration order** (the
+insertion order every legacy ``to_dict`` used) and loads missing keys by
+falling back to the dataclass default (the legacy ``payload.get(...)``
+idiom), so payloads written before the refactor re-serialise without a
+single changed byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Type
+
+from ..errors import ArtifactError
+
+__all__ = [
+    "Codec",
+    "Coerced",
+    "DataclassCodec",
+    "EnumCodec",
+    "MappingCodec",
+    "OptionalCodec",
+    "Rounded",
+    "SequenceCodec",
+    "SortedIntMapCodec",
+    "derive",
+    "BOOL",
+    "FLOAT",
+    "INT",
+    "RAW",
+    "STR",
+]
+
+
+class Codec:
+    """dump: object field -> JSON-ready value; load: the inverse."""
+
+    def dump(self, value: Any) -> Any:
+        raise NotImplementedError
+
+    def load(self, data: Any) -> Any:
+        raise NotImplementedError
+
+
+class Coerced(Codec):
+    """Scalar codec applying an optional coercion on each direction."""
+
+    def __init__(self, dump_fn: Optional[Callable] = None,
+                 load_fn: Optional[Callable] = None) -> None:
+        self._dump = dump_fn
+        self._load = load_fn
+
+    def dump(self, value: Any) -> Any:
+        return value if self._dump is None else self._dump(value)
+
+    def load(self, data: Any) -> Any:
+        return data if self._load is None else self._load(data)
+
+
+#: Scalar codecs mirroring the legacy coercions: ints and bools were
+#: coerced on both directions, strings on load, floats passed through
+#: raw on dump (so a stored value's repr never changes) and coerced on
+#: load.
+RAW = Coerced()
+INT = Coerced(int, int)
+BOOL = Coerced(bool, bool)
+STR = Coerced(str, str)
+FLOAT = Coerced(None, float)
+
+
+class Rounded(Codec):
+    """Float rounded to *ndigits* on dump (telemetry's second fields)."""
+
+    def __init__(self, ndigits: int) -> None:
+        self.ndigits = ndigits
+
+    def dump(self, value: Any) -> float:
+        return round(float(value), self.ndigits)
+
+    def load(self, data: Any) -> float:
+        return float(data)
+
+
+class EnumCodec(Codec):
+    """Enum member <-> its ``.value``."""
+
+    def __init__(self, enum_cls: Type[enum.Enum]) -> None:
+        self.enum_cls = enum_cls
+
+    def dump(self, value: enum.Enum) -> Any:
+        return value.value
+
+    def load(self, data: Any) -> enum.Enum:
+        return self.enum_cls(data)
+
+
+class OptionalCodec(Codec):
+    """None passes through; anything else goes to the inner codec."""
+
+    def __init__(self, inner: Codec) -> None:
+        self.inner = inner
+
+    def dump(self, value: Any) -> Any:
+        return None if value is None else self.inner.dump(value)
+
+    def load(self, data: Any) -> Any:
+        return None if data is None else self.inner.load(data)
+
+
+class SequenceCodec(Codec):
+    """Homogeneous sequence; *container* rebuilds the runtime type."""
+
+    def __init__(self, inner: Codec, container: Callable = list) -> None:
+        self.inner = inner
+        self.container = container
+
+    def dump(self, value: Sequence) -> list:
+        return [self.inner.dump(v) for v in value]
+
+    def load(self, data: Sequence) -> Any:
+        return self.container(self.inner.load(v) for v in data)
+
+
+class MappingCodec(Codec):
+    """Shallow-copied dict of scalars (per-opcode tallies, params)."""
+
+    def dump(self, value: Dict) -> dict:
+        return dict(value)
+
+    def load(self, data: Dict) -> dict:
+        return dict(data)
+
+
+class SortedIntMapCodec(Codec):
+    """str -> int map dumped key-sorted with int-coerced values."""
+
+    def dump(self, value: Dict) -> dict:
+        return {k: int(v) for k, v in sorted(value.items())}
+
+    def load(self, data: Dict) -> dict:
+        return dict(data)
+
+
+class DataclassCodec(Codec):
+    """Field-order-preserving dataclass <-> dict codec.
+
+    ``load`` omits absent optional fields from the constructor call so
+    dataclass defaults (and ``default_factory`` results) apply exactly
+    as the legacy ``payload.get(name, default)`` loaders did; absent
+    *required* fields raise ``KeyError`` like the legacy ``payload[name]``
+    lookups.
+    """
+
+    def __init__(self, cls: type,
+                 fields: Sequence[Tuple[str, Codec, bool]]) -> None:
+        self.cls = cls
+        self.fields = tuple(fields)
+
+    def dump(self, obj: Any) -> dict:
+        return {name: codec.dump(getattr(obj, name))
+                for name, codec, _ in self.fields}
+
+    def load(self, data: Dict) -> Any:
+        kwargs = {}
+        for name, codec, has_default in self.fields:
+            if has_default and name not in data:
+                continue
+            kwargs[name] = codec.load(data[name])
+        return self.cls(**kwargs)
+
+
+def _codec_for(hint: Any, registry: Dict[type, Codec]) -> Codec:
+    """Map one type hint onto a codec (nested dataclasses via *registry*)."""
+    origin = typing.get_origin(hint)
+    args = typing.get_args(hint)
+    if origin is typing.Union:
+        non_none = [a for a in args if a is not type(None)]
+        if len(non_none) != 1:
+            raise ArtifactError(f"cannot derive a codec for union {hint}")
+        return OptionalCodec(_codec_for(non_none[0], registry))
+    if origin in (list, typing.List):
+        return SequenceCodec(_codec_for(args[0], registry), list)
+    if origin in (tuple, typing.Tuple):
+        if len(args) != 2 or args[1] is not Ellipsis:
+            raise ArtifactError(
+                f"only homogeneous Tuple[X, ...] hints derive: {hint}")
+        return SequenceCodec(_codec_for(args[0], registry), tuple)
+    if origin in (dict, typing.Dict):
+        return MappingCodec()
+    if isinstance(hint, type):
+        if hint in registry:
+            return registry[hint]
+        if issubclass(hint, enum.Enum):
+            return EnumCodec(hint)
+        if dataclasses.is_dataclass(hint):
+            return derive(hint, registry=registry)
+        if hint is bool:
+            return BOOL
+        if hint is int:
+            return INT
+        if hint is float:
+            return FLOAT
+        if hint is str:
+            return STR
+    raise ArtifactError(f"cannot derive a codec for type hint {hint!r}")
+
+
+def derive(cls: type, registry: Optional[Dict[type, Codec]] = None,
+           overrides: Optional[Dict[str, Codec]] = None) -> DataclassCodec:
+    """Build a :class:`DataclassCodec` from *cls*'s fields and hints.
+
+    *registry* maps nested dataclass/other types to prebuilt codecs;
+    *overrides* pins specific fields to a custom codec (rounded floats,
+    sorted maps, values-of-a-dict layouts).
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise ArtifactError(f"{cls!r} is not a dataclass")
+    registry = registry or {}
+    overrides = overrides or {}
+    hints = typing.get_type_hints(cls)
+    fields = []
+    for field in dataclasses.fields(cls):
+        codec = overrides.get(field.name)
+        if codec is None:
+            codec = _codec_for(hints[field.name], registry)
+        has_default = (field.default is not dataclasses.MISSING
+                       or field.default_factory is not dataclasses.MISSING)
+        fields.append((field.name, codec, has_default))
+    return DataclassCodec(cls, fields)

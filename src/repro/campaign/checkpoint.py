@@ -30,9 +30,14 @@ __all__ = ["CampaignCheckpoint"]
 class CampaignCheckpoint:
     """Append-only JSONL journal of finished campaign work units.
 
-    ``decode`` turns a journaled report dict back into the caller's
-    report object (e.g. ``PVFReport.from_dict``); when omitted the raw
-    dict is returned.  Reports are journaled via their ``to_dict``.
+    ``kind`` names the artifact schema of the journaled reports (e.g.
+    ``"pvf-report"``); it is stamped into the header as ``schema`` and,
+    unless an explicit ``decode`` is given, batch payloads are decoded
+    through :func:`repro.artifacts.load_artifact` for that kind — so a
+    journal written before a schema bump replays through the kind's
+    migration chain.  ``decode`` (a ``dict -> report`` callable) still
+    overrides for non-artifact payloads; with neither, raw dicts are
+    returned.  Reports are journaled via their ``to_dict``.
 
     Durability: every :meth:`record` is flushed to the OS immediately,
     so a hard-killed process loses at most the torn final line — never
@@ -45,9 +50,17 @@ class CampaignCheckpoint:
 
     def __init__(self, path: Union[str, Path], header: dict,
                  decode: Optional[Callable[[dict], Any]] = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 kind: Optional[str] = None) -> None:
         self.path = Path(path)
+        self.kind = kind
         self.header = dict(header, version=self.VERSION)
+        if kind is not None:
+            self.header["schema"] = kind
+        if decode is None and kind is not None:
+            from ..artifacts import load_artifact
+
+            decode = lambda payload: load_artifact(kind, payload)  # noqa: E731
         self.decode = decode
         self.completed: Dict[int, Any] = {}
         self._fh = None
@@ -78,8 +91,14 @@ class CampaignCheckpoint:
         if not records or records[0].get("kind") != "header":
             raise CampaignError(
                 f"{self.path} is not a campaign checkpoint")
-        stored = {k: v for k, v in records[0].items() if k != "kind"}
-        if stored != self.header:
+        # rejects journals from a newer release with an explicit message
+        from ..artifacts import load_artifact
+        header_record = load_artifact("campaign-journal", records[0])
+        stored = {k: v for k, v in header_record.items() if k != "kind"}
+        # the "schema" stamp is ours, not the campaign's identity —
+        # pre-artifact-layer journals (which lack it) must keep resuming
+        if ({k: v for k, v in stored.items() if k != "schema"}
+                != {k: v for k, v in self.header.items() if k != "schema"}):
             raise CampaignError(
                 f"checkpoint {self.path} belongs to a different campaign: "
                 f"stored {stored}, requested {self.header}")

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..errors import CampaignError
+from ..outcomes import outcome_attrs
 
 __all__ = [
     "SCHEMA_KIND",
@@ -54,9 +55,9 @@ SCHEMA_VERSION = 1
 
 #: Outcome attribute names sniffed off any report type that carries them
 #: (both :class:`~repro.rtl.reports.CampaignReport` and
-#: :class:`~repro.swfi.campaign.PVFReport` do).
-_OUTCOME_ATTRS = (("masked", "n_masked"), ("sdc", "n_sdc"),
-                  ("due", "n_due"))
+#: :class:`~repro.swfi.campaign.PVFReport` do).  Derived from the shared
+#: :class:`~repro.outcomes.Outcome` taxonomy, in enum order.
+_OUTCOME_ATTRS = outcome_attrs()
 
 
 @dataclass
@@ -76,35 +77,15 @@ class UnitRecord:
     injections: int = 0
 
     def to_dict(self) -> dict:
-        return {
-            "index": int(self.index),
-            "label": self.label,
-            "size": int(self.size),
-            "seconds": round(float(self.seconds), 6),
-            "queue_wait": round(float(self.queue_wait), 6),
-            "cached": bool(self.cached),
-            "worker": int(self.worker),
-            "timeouts": int(self.timeouts),
-            "retries": int(self.retries),
-            "outcomes": {k: int(v) for k, v in sorted(self.outcomes.items())},
-            "injections": int(self.injections),
-        }
+        from ..artifacts import codec_for
+
+        return codec_for(UnitRecord).dump(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "UnitRecord":
-        return cls(
-            index=int(payload["index"]),
-            label=str(payload.get("label", "")),
-            size=int(payload.get("size", 0)),
-            seconds=float(payload.get("seconds", 0.0)),
-            queue_wait=float(payload.get("queue_wait", 0.0)),
-            cached=bool(payload.get("cached", False)),
-            worker=int(payload.get("worker", 0)),
-            timeouts=int(payload.get("timeouts", 0)),
-            retries=int(payload.get("retries", 0)),
-            outcomes=dict(payload.get("outcomes", {})),
-            injections=int(payload.get("injections", 0)),
-        )
+        from ..artifacts import codec_for
+
+        return codec_for(UnitRecord).load(payload)
 
     @property
     def cell(self) -> str:
@@ -123,6 +104,10 @@ def _sniff_outcomes(report: Any) -> Dict[str, int]:
 
 def _sniff_timeouts(report: Any) -> int:
     """Count wall-clock-guard DUEs in reports that keep per-record data."""
+    counter = getattr(report, "count_timeouts", None)
+    if callable(counter):
+        # columnar reports answer without materialising any record
+        return int(counter())
     count = 0
     for record in getattr(report, "general", ()) or ():
         reason = getattr(record, "due_reason", None)
@@ -236,42 +221,15 @@ class CampaignMetrics:
 
     # -- serialisation ------------------------------------------------------
     def to_dict(self) -> dict:
-        # rates derive from the *serialised* (rounded) wall-clock so a
-        # from_dict clone re-serialises to the identical payload
-        wall = round(self.wall_seconds(), 6)
-        payload = {
-            "kind": SCHEMA_KIND,
-            "version": SCHEMA_VERSION,
-            "stage": self.stage,
-            "total_units": (None if self.total_units is None
-                            else int(self.total_units)),
-            "units_done": self.units_done,
-            "units_run": self.units_run,
-            "units_cached": self.units_cached,
-            "injections": self.injections_total(),
-            "timeouts": self.timeouts_total(),
-            "wall_seconds": wall,
-            "units_per_second": round(self.units_done / wall, 3)
-            if wall > 0 else 0.0,
-            "injections_per_second": round(self.injections_total() / wall, 3)
-            if wall > 0 else 0.0,
-            "outcomes": self.outcome_totals(),
-            "units": [u.to_dict() for u in self.units],
-        }
-        if self.meta:
-            payload["meta"] = dict(self.meta)
-        return payload
+        from ..artifacts import dump_body
+
+        return dump_body(SCHEMA_KIND, self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CampaignMetrics":
-        payload = validate_metrics(payload)
-        metrics = cls(stage=payload["stage"],
-                      total_units=payload.get("total_units"),
-                      meta=payload.get("meta"))
-        metrics.units = [UnitRecord.from_dict(u)
-                         for u in payload.get("units", [])]
-        metrics._wall = float(payload.get("wall_seconds", 0.0))
-        return metrics
+        from ..artifacts import load_artifact
+
+        return load_artifact(SCHEMA_KIND, payload)
 
     def save(self, path: Union[str, Path]) -> Path:
         """Write the stage's ``metrics.json`` (schema-validated)."""
@@ -284,67 +242,18 @@ class CampaignMetrics:
 
 
 # -- schema -------------------------------------------------------------------
-_REQUIRED_FIELDS = {
-    "stage": str,
-    "units_done": int,
-    "units_run": int,
-    "units_cached": int,
-    "injections": int,
-    "wall_seconds": (int, float),
-    "units_per_second": (int, float),
-    "outcomes": dict,
-    "units": list,
-}
-
-_REQUIRED_UNIT_FIELDS = {
-    "index": int,
-    "seconds": (int, float),
-    "queue_wait": (int, float),
-    "cached": bool,
-    "outcomes": dict,
-}
-
-
 def validate_metrics(payload: dict) -> dict:
     """Check a ``campaign-metrics`` payload against the schema.
 
     Returns the payload unchanged on success so callers can chain it;
     raises :class:`~repro.errors.CampaignError` naming the offending
     field otherwise.  Extra keys are allowed — benchmarks attach their
-    own ``bench`` section on top of the shared spine.
+    own ``bench`` section on top of the shared spine.  The schema itself
+    lives in the :mod:`repro.artifacts` registry under this kind.
     """
-    if not isinstance(payload, dict):
-        raise CampaignError("metrics payload must be a JSON object")
-    if payload.get("kind") != SCHEMA_KIND:
-        raise CampaignError(
-            f"not a campaign-metrics payload (kind={payload.get('kind')!r})")
-    if payload.get("version") != SCHEMA_VERSION:
-        raise CampaignError(
-            f"unsupported campaign-metrics version "
-            f"{payload.get('version')!r}")
-    for name, types in _REQUIRED_FIELDS.items():
-        if name not in payload:
-            raise CampaignError(f"metrics payload missing field {name!r}")
-        if not isinstance(payload[name], types) or isinstance(
-                payload[name], bool):
-            raise CampaignError(
-                f"metrics field {name!r} has wrong type "
-                f"{type(payload[name]).__name__}")
-    for i, unit in enumerate(payload["units"]):
-        if not isinstance(unit, dict):
-            raise CampaignError(f"metrics unit #{i} is not an object")
-        for name, types in _REQUIRED_UNIT_FIELDS.items():
-            if name not in unit:
-                raise CampaignError(
-                    f"metrics unit #{i} missing field {name!r}")
-            if name != "cached" and isinstance(unit[name], bool):
-                raise CampaignError(
-                    f"metrics unit #{i} field {name!r} has wrong type bool")
-            if not isinstance(unit[name], types):
-                raise CampaignError(
-                    f"metrics unit #{i} field {name!r} has wrong type "
-                    f"{type(unit[name]).__name__}")
-    return payload
+    from ..artifacts import validate_artifact
+
+    return validate_artifact(SCHEMA_KIND, payload)
 
 
 def resolve_metrics(metrics: Optional["CampaignMetrics"],

@@ -349,6 +349,35 @@ def _cmd_db_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schemas(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .artifacts import get_schema, registered_kinds, schema_fingerprint
+
+    rows = []
+    for kind in registered_kinds():
+        schema = get_schema(kind)
+        try:
+            fingerprint = schema_fingerprint(kind)
+        except Exception:
+            fingerprint = None
+        rows.append({"kind": kind, "version": schema.version,
+                     "migrations": sorted(schema.migrations),
+                     "fingerprint": fingerprint})
+    if args.json:
+        print(_json.dumps(rows, indent=2))
+        return 0
+    print(f"{'kind':<20}{'version':>8}  {'migrations':<12}fingerprint")
+    for row in rows:
+        steps = (",".join(f"{v}->{v + 1}" for v in row["migrations"])
+                 or "-")
+        fingerprint = (row["fingerprint"][:16]
+                       if row["fingerprint"] else "-")
+        print(f"{row['kind']:<20}{row['version']:>8}  {steps:<12}"
+              f"{fingerprint}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -371,6 +400,14 @@ def build_parser() -> argparse.ArgumentParser:
     inventory = sub.add_parser(
         "inventory", help="print the Table I module inventory")
     inventory.set_defaults(func=_cmd_inventory)
+
+    schemas = sub.add_parser(
+        "schemas",
+        help="list the registered artifact schemas (kind, version, "
+             "migrations, fingerprint)")
+    schemas.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    schemas.set_defaults(func=_cmd_schemas)
 
     campaign = sub.add_parser(
         "campaign", parents=[common],

@@ -16,6 +16,7 @@ __all__ = [
     "IllegalInstructionError",
     "MemoryFaultError",
     "RegisterFaultError",
+    "ArtifactError",
     "CampaignError",
     "CampaignCancelled",
     "ServiceError",
@@ -70,6 +71,10 @@ class CampaignCancelled(CampaignError):
     Completed units are already journaled when a checkpoint is attached,
     so a cancelled campaign resumes exactly where it stopped.
     """
+
+
+class ArtifactError(ReproError):
+    """An artifact payload failed schema validation, versioning or serde."""
 
 
 class ServiceError(ReproError):

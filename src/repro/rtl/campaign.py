@@ -237,8 +237,7 @@ def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
         if resume:
             raise CampaignError("resume=True requires a checkpoint path")
         return None
-    return CampaignCheckpoint(path, header,
-                              decode=CampaignReport.from_dict,
+    return CampaignCheckpoint(path, header, kind="rtl-report",
                               resume=resume)
 
 

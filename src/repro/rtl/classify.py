@@ -9,22 +9,13 @@ condition (hang, illegal PC/opcode, out-of-range access).
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..gpu.bits import bit_diff, bits_to_float, bits_to_int, relative_error
+from ..outcomes import Outcome  # re-exported: the taxonomy lives above RTL
 
 __all__ = ["Outcome", "CorruptedValue", "RunClassification", "classify_run"]
-
-
-class Outcome(enum.Enum):
-    MASKED = "masked"
-    SDC = "sdc"
-    DUE = "due"
-
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return self.value
 
 
 @dataclass(frozen=True)

@@ -7,14 +7,25 @@ and target module, from which the AVF is computed — and, for each SDC, a
 number of affected bits and threads, the spatial distribution of wrong
 elements, and the memory addresses.  The detailed reports are what the
 syndrome database is distilled from.
+
+Records are held columnar (:mod:`repro.artifacts.columnar`): numpy
+structured arrays with interned strings, so a paper-scale 1.5 M-fault
+report costs tens of bytes per record instead of a boxed object graph,
+and merges/outcome counts run vectorised.  ``report.general`` and
+``report.detailed`` stay ``Sequence``-shaped — indexing or iterating
+materialises the frozen record dataclasses below on demand.
+Serialisation delegates to the ``rtl-report`` schema in
+:mod:`repro.artifacts` (versioned, migration-aware); payload bytes are
+identical to the historical hand-rolled format.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..artifacts.columnar import DetailedColumns, GeneralColumns
 from ..errors import CampaignError
 from .classify import CorruptedValue, Outcome, RunClassification
 
@@ -79,8 +90,21 @@ class CampaignReport:
     input_range: str
     module: str
     n_injections: int = 0
-    general: List[GeneralRecord] = field(default_factory=list)
-    detailed: List[DetailedRecord] = field(default_factory=list)
+    general: GeneralColumns = field(default_factory=GeneralColumns)
+    detailed: DetailedColumns = field(default_factory=DetailedColumns)
+
+    def __post_init__(self) -> None:
+        # record lists (tests, ad-hoc construction) convert transparently
+        if not isinstance(self.general, GeneralColumns):
+            columns = GeneralColumns()
+            for record in self.general:
+                columns.append(record)
+            self.general = columns
+        if not isinstance(self.detailed, DetailedColumns):
+            columns = DetailedColumns()
+            for record in self.detailed:
+                columns.append(record)
+            self.detailed = columns
 
     # -- accumulation --------------------------------------------------------
     def add(self, fault: FaultDescriptor, classification: RunClassification,
@@ -141,7 +165,11 @@ class CampaignReport:
 
     # -- aggregate metrics -------------------------------------------------------
     def count(self, outcome: Outcome) -> int:
-        return sum(1 for r in self.general if r.outcome is outcome)
+        return self.general.count(outcome)
+
+    def count_timeouts(self) -> int:
+        """Wall-clock-guard DUEs (vectorised; telemetry's sniff path)."""
+        return self.general.count_due_containing("wall-clock")
 
     @property
     def n_sdc(self) -> int:
@@ -157,13 +185,11 @@ class CampaignReport:
 
     @property
     def n_sdc_single(self) -> int:
-        return sum(1 for r in self.general
-                   if r.outcome is Outcome.SDC and r.n_corrupted_threads == 1)
+        return self.general.count_sdc(multiple=False)
 
     @property
     def n_sdc_multiple(self) -> int:
-        return sum(1 for r in self.general
-                   if r.outcome is Outcome.SDC and r.n_corrupted_threads > 1)
+        return self.general.count_sdc(multiple=True)
 
     def avf(self, outcome: Optional[Outcome] = None) -> float:
         """Architectural Vulnerability Factor: errors / injected faults.
@@ -181,72 +207,22 @@ class CampaignReport:
 
     def mean_corrupted_threads(self) -> float:
         """Average corrupted-thread count over SDC runs (paper Sec. V-B)."""
-        sdc_counts = [r.n_corrupted_threads for r in self.general
-                      if r.outcome is Outcome.SDC]
-        if not sdc_counts:
-            return 0.0
-        return sum(sdc_counts) / len(sdc_counts)
+        return self.general.mean_threads_sdc()
 
     # -- (de)serialisation ------------------------------------------------------
     def to_dict(self) -> Dict:
-        return {
-            "instruction": self.instruction,
-            "input_range": self.input_range,
-            "module": self.module,
-            "n_injections": self.n_injections,
-            "general": [
-                {
-                    "fault": asdict(r.fault),
-                    "outcome": r.outcome.value,
-                    "n_corrupted_threads": r.n_corrupted_threads,
-                    "fault_fired": r.fault_fired,
-                    "due_reason": r.due_reason,
-                }
-                for r in self.general
-            ],
-            "detailed": [
-                {
-                    "fault": asdict(r.fault),
-                    "opcode": r.opcode,
-                    "input_range": r.input_range,
-                    "value_kind": r.value_kind,
-                    "corrupted": [asdict(c) for c in r.corrupted],
-                }
-                for r in self.detailed
-            ],
-        }
+        from ..artifacts import dump_body
+
+        return dump_body("rtl-report", self)
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CampaignReport":
-        report = cls(
-            instruction=data["instruction"],
-            input_range=data["input_range"],
-            module=data["module"],
-            n_injections=data["n_injections"],
-        )
-        for r in data["general"]:
-            report.general.append(
-                GeneralRecord(
-                    fault=FaultDescriptor(**r["fault"]),
-                    outcome=Outcome(r["outcome"]),
-                    n_corrupted_threads=r["n_corrupted_threads"],
-                    fault_fired=r["fault_fired"],
-                    due_reason=r.get("due_reason"),
-                ))
-        for r in data["detailed"]:
-            report.detailed.append(
-                DetailedRecord(
-                    fault=FaultDescriptor(**r["fault"]),
-                    opcode=r["opcode"],
-                    input_range=r["input_range"],
-                    value_kind=r["value_kind"],
-                    corrupted=tuple(
-                        CorruptedValue(**c) for c in r["corrupted"]),
-                ))
-        return report
+        from ..artifacts import load_artifact
+
+        return load_artifact("rtl-report", data)
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignReport":

@@ -20,7 +20,10 @@ Endpoints (all JSON unless noted):
 
 Artifact responses carry a strong ``ETag`` (content SHA-256); a request
 whose ``If-None-Match`` matches gets ``304 Not Modified`` with no body —
-polling clients re-download nothing that has not changed.
+polling clients re-download nothing that has not changed.  They also
+carry ``X-Artifact-Schema`` and ``X-Artifact-Version`` headers naming
+the payload's :mod:`repro.artifacts` schema, so clients can pick a
+decoder (and detect version skew) without sniffing the body.
 
 :class:`ServiceDaemon` bundles the pieces: it recovers interrupted jobs,
 runs the scheduler loop on one thread and a
@@ -124,8 +127,14 @@ class CampaignService:
         return {"status": "ok", "kinds": list(JOB_KINDS), "jobs": counts}
 
     # -- artifacts ----------------------------------------------------------
-    def artifact(self, job_id: int, name: str) -> Tuple[bytes, str]:
-        """Return (body, content type) for one artifact; 404 if absent."""
+    def artifact(self, job_id: int, name: str
+                 ) -> Tuple[bytes, str, Dict[str, str]]:
+        """Return (body, content type, schema headers); 404 if absent.
+
+        The headers name the artifact's schema so clients can pick a
+        decoder without sniffing: ``X-Artifact-Schema`` /
+        ``X-Artifact-Version`` (see :mod:`repro.artifacts`).
+        """
         job = self._get(job_id)
         if name not in _ARTIFACTS:
             raise ApiError(
@@ -140,7 +149,42 @@ class CampaignService:
             raise ApiError(
                 404, f"job {job_id} has no {name} artifact yet "
                      f"(state: {job.state})")
-        return path.read_bytes(), content_type
+        body = path.read_bytes()
+        return body, content_type, self._schema_headers(name, body)
+
+    @staticmethod
+    def _schema_headers(name: str, body: bytes) -> Dict[str, str]:
+        """``X-Artifact-Schema``/``X-Artifact-Version`` for a body."""
+        from ..artifacts import get_schema
+        from ..errors import ArtifactError
+
+        if name == "syndromes":
+            # CSV projection of the syndrome database; versioned with it
+            return {"X-Artifact-Schema": "syndrome-csv",
+                    "X-Artifact-Version":
+                        str(get_schema("syndrome-db").version)}
+        try:
+            payload = json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        kind = payload.get("kind")
+        if name == "report":
+            # report.json is the job-result wrapper; its "kind" is the
+            # job kind, which maps onto the embedded report's schema
+            kind = {"pvf": "pvf-report", "rtl": "rtl-report",
+                    "pipeline": "pipeline-summary"}.get(kind, kind)
+        if not isinstance(kind, str):
+            return {}
+        version = payload.get("version")
+        if version is None:
+            try:
+                version = get_schema(kind).version
+            except ArtifactError:
+                version = 1
+        return {"X-Artifact-Schema": kind,
+                "X-Artifact-Version": str(version)}
 
     def _export_syndromes(self, jobdir: Path) -> None:
         from ..syndrome.export import export_database_file
@@ -244,13 +288,12 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._send_json(
                     200, service.job(self._job_id(parts[1])))
             if len(parts) == 3 and parts[0] == "artifacts":
-                body, content_type = service.artifact(
+                body, content_type, schema = service.artifact(
                     self._job_id(parts[1]), parts[2])
-                etag = content_etag(body)
-                if self.headers.get("If-None-Match") == etag:
-                    return self._send(304, b"", content_type,
-                                      {"ETag": etag})
-                return self._send(200, body, content_type, {"ETag": etag})
+                extra = {"ETag": content_etag(body), **schema}
+                if self.headers.get("If-None-Match") == extra["ETag"]:
+                    return self._send(304, b"", content_type, extra)
+                return self._send(200, body, content_type, extra)
         elif self.command == "POST":
             if parts == ["jobs"]:
                 return self._send_json(201,

@@ -75,19 +75,15 @@ class Job:
     result: Optional[Dict] = None
 
     def to_dict(self) -> dict:
-        return {
-            "id": self.id,
-            "kind": self.kind,
-            "params": self.params,
-            "state": self.state,
-            "submitted_at": self.submitted_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "attempts": self.attempts,
-            "cancel_requested": self.cancel_requested,
-            "error": self.error,
-            "result": self.result,
-        }
+        from ..artifacts import dump_body
+
+        return dump_body("job-record", self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Job":
+        from ..artifacts import load_artifact
+
+        return load_artifact("job-record", payload)
 
     @classmethod
     def _from_row(cls, row: sqlite3.Row) -> "Job":

@@ -26,7 +26,7 @@ golden+profile pass runs once per worker).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
@@ -128,20 +128,15 @@ class PVFReport:
         return merged
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        from ..artifacts import dump_body
+
+        return dump_body("pvf-report", self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "PVFReport":
-        return cls(
-            app_name=payload["app_name"],
-            model_name=payload["model_name"],
-            n_injections=int(payload["n_injections"]),
-            n_sdc=int(payload["n_sdc"]),
-            n_due=int(payload["n_due"]),
-            n_masked=int(payload["n_masked"]),
-            per_opcode_sdc=dict(payload["per_opcode_sdc"]),
-            per_opcode_injections=dict(payload["per_opcode_injections"]),
-        )
+        from ..artifacts import load_artifact
+
+        return load_artifact("pvf-report", payload)
 
     # -- statistics ---------------------------------------------------------
     @property
@@ -231,7 +226,7 @@ def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
                           else batch_size),
         "n_injections": None if n_injections is None else int(n_injections),
     }
-    return CampaignCheckpoint(path, header, decode=PVFReport.from_dict,
+    return CampaignCheckpoint(path, header, kind="pvf-report",
                               resume=resume)
 
 

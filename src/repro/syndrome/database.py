@@ -194,32 +194,34 @@ class SyndromeDatabase:
 
     # -- persistence ---------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
-            "entries": [e.to_dict() for e in self.entries()],
-            "tmxm": [e.to_dict() for e in self.tmxm_entries()],
-        }
+        from ..artifacts import dump_body
+
+        return dump_body("syndrome-db", self)
 
     def save(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(json.dumps(self.to_dict()))
+        """Write the database as an enveloped ``syndrome-db`` artifact."""
+        from ..artifacts import save_artifact
+
+        save_artifact(path, "syndrome-db", self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "SyndromeDatabase":
-        db = cls()
-        for item in data.get("entries", []):
-            entry = SyndromeEntry.from_dict(item)
-            entry.finalize()
-            db.add(entry)
-        for item in data.get("tmxm", []):
-            entry = TmxmEntry.from_dict(item)
-            entry.finalize()
-            db.add_tmxm(entry)
-        return db
+        from ..artifacts import load_artifact
+
+        return load_artifact("syndrome-db", data)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SyndromeDatabase":
+        """Load an enveloped or bare pre-envelope database file."""
+        from ..errors import ArtifactError
+
         try:
             data = json.loads(Path(path).read_text())
         except (OSError, json.JSONDecodeError) as exc:
             raise SyndromeDatabaseError(
                 f"cannot load syndrome database from {path}: {exc}")
-        return cls.from_dict(data)
+        try:
+            return cls.from_dict(data)
+        except ArtifactError as exc:
+            raise SyndromeDatabaseError(
+                f"cannot load syndrome database from {path}: {exc}")

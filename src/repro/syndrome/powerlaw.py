@@ -62,13 +62,15 @@ class PowerLawFit:
         return np.where(x < self.x_min, 0.0, tail)
 
     def to_dict(self) -> dict:
-        return {"alpha": self.alpha, "x_min": self.x_min,
-                "n_tail": self.n_tail, "ks": self.ks}
+        from ..artifacts import codec_for
+
+        return codec_for(PowerLawFit).dump(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "PowerLawFit":
-        return cls(alpha=data["alpha"], x_min=data["x_min"],
-                   n_tail=data["n_tail"], ks=data["ks"])
+        from ..artifacts import codec_for
+
+        return codec_for(PowerLawFit).load(data)
 
 
 def sample_power_law(alpha: float, x_min: float,

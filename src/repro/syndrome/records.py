@@ -87,23 +87,15 @@ class SyndromeEntry:
         return list(counts / len(data))
 
     def to_dict(self) -> dict:
-        return {
-            "key": self.key.as_tuple(),
-            "relative_errors": [float(e) for e in self.relative_errors],
-            "thread_counts": list(self.thread_counts),
-            "fit": self.fit.to_dict() if self.fit else None,
-        }
+        from ..artifacts import codec_for
+
+        return codec_for(SyndromeEntry).dump(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "SyndromeEntry":
-        entry = cls(
-            key=SyndromeKey(*data["key"]),
-            relative_errors=list(data["relative_errors"]),
-            thread_counts=list(data["thread_counts"]),
-        )
-        if data.get("fit"):
-            entry.fit = PowerLawFit.from_dict(data["fit"])
-        return entry
+        from ..artifacts import codec_for
+
+        return codec_for(SyndromeEntry).load(data)
 
 
 @dataclass
@@ -122,23 +114,15 @@ class PatternStats:
             self.fit = fit_power_law(positive)
 
     def to_dict(self) -> dict:
-        return {
-            "pattern": self.pattern.value,
-            "occurrences": self.occurrences,
-            "relative_errors": [float(e) for e in self.relative_errors],
-            "fit": self.fit.to_dict() if self.fit else None,
-        }
+        from ..artifacts import codec_for
+
+        return codec_for(PatternStats).dump(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "PatternStats":
-        stats = cls(
-            pattern=SpatialPattern(data["pattern"]),
-            occurrences=data["occurrences"],
-            relative_errors=list(data["relative_errors"]),
-        )
-        if data.get("fit"):
-            stats.fit = PowerLawFit.from_dict(data["fit"])
-        return stats
+        from ..artifacts import codec_for
+
+        return codec_for(PatternStats).load(data)
 
 
 @dataclass
@@ -215,16 +199,12 @@ class TmxmEntry:
             int(rng.integers(len(stats.relative_errors)))])
 
     def to_dict(self) -> dict:
-        return {
-            "tile_kind": self.tile_kind,
-            "module": self.module,
-            "patterns": [s.to_dict() for s in self.patterns.values()],
-        }
+        from ..artifacts import codec_for
+
+        return codec_for(TmxmEntry).dump(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "TmxmEntry":
-        entry = cls(tile_kind=data["tile_kind"], module=data["module"])
-        for item in data["patterns"]:
-            stats = PatternStats.from_dict(item)
-            entry.patterns[stats.pattern] = stats
-        return entry
+        from ..artifacts import codec_for
+
+        return codec_for(TmxmEntry).load(data)

@@ -1,0 +1,144 @@
+"""Golden-fixture compatibility: pre-refactor artifacts must keep loading.
+
+The files under ``tests/fixtures/artifacts/`` were produced by the
+hand-rolled serialisers that predate :mod:`repro.artifacts`.  They are
+the compatibility contract of the artifact layer:
+
+* every kind still loads, and re-serialises **byte-identically**;
+* pre-refactor checkpoint journals still resume, and the reports merged
+  from them equal the report fixtures bit for bit;
+* the schema fingerprints pinned in ``schema_fingerprints.json`` match —
+  a mismatch means a schema's bytes changed without a version bump and
+  a migration (see the CI ``schema-compat`` job).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.artifacts import (
+    all_fingerprints,
+    dump_body,
+    load_artifact,
+    load_artifact_file,
+)
+from repro.campaign.checkpoint import CampaignCheckpoint
+from repro.rtl.reports import CampaignReport
+from repro.swfi.campaign import PVFReport
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "artifacts"
+
+
+def _fixture_text(name: str) -> str:
+    return (FIXTURES / name).read_text()
+
+
+class TestByteIdentity:
+    """Load each fixture, dump it back, compare bytes."""
+
+    @pytest.mark.parametrize("kind, name, fmt", [
+        ("rtl-report", "rtl_report.json",
+         lambda p: json.dumps(p) + "\n"),
+        ("pvf-report", "pvf_report.json",
+         lambda p: json.dumps(p) + "\n"),
+        ("syndrome-db", "syndrome_db.json",
+         lambda p: json.dumps(p)),
+        ("campaign-metrics", "campaign_metrics.json",
+         lambda p: json.dumps(p, indent=2) + "\n"),
+        ("job-record", "job_record.json",
+         lambda p: json.dumps(p, indent=2) + "\n"),
+    ])
+    def test_round_trip(self, kind, name, fmt):
+        raw = _fixture_text(name)
+        obj = load_artifact(kind, json.loads(raw))
+        assert fmt(dump_body(kind, obj)) == raw
+
+    def test_rtl_report_aggregates_survive(self):
+        report = CampaignReport.from_json(_fixture_text("rtl_report.json"))
+        assert report.n_injections == 40
+        assert (report.n_masked + report.n_sdc + report.n_due
+                == len(report.general))
+        assert len(report.detailed) == report.n_sdc
+
+    def test_journal_header_loads(self):
+        header = json.loads(
+            _fixture_text("rtl_journal.jsonl").splitlines()[0])
+        assert load_artifact("campaign-journal", header) == header
+
+
+class TestJournalResume:
+    """Pre-refactor journals resume and merge bit-identically."""
+
+    def _resume(self, tmp_path, name, header_keys, kind):
+        journal = tmp_path / name
+        journal.write_text(_fixture_text(name))
+        header = json.loads(journal.read_text().splitlines()[0])
+        wanted = {k: header[k] for k in header_keys}
+        checkpoint = CampaignCheckpoint(journal, wanted, kind=kind,
+                                        resume=True)
+        assert checkpoint.completed, "fixture journal has batches"
+        return checkpoint
+
+    def test_rtl_journal_merges_to_fixture_report(self, tmp_path):
+        checkpoint = self._resume(
+            tmp_path, "rtl_journal.jsonl",
+            ["campaign", "bench", "module", "fault_kind", "n_faults",
+             "seed", "batch_size"], "rtl-report")
+        merged = CampaignReport.merge(
+            [checkpoint.completed[i]
+             for i in sorted(checkpoint.completed)])
+        assert (json.dumps(merged.to_dict()) + "\n"
+                == _fixture_text("rtl_report.json"))
+
+    def test_pvf_journal_merges_to_fixture_report(self, tmp_path):
+        checkpoint = self._resume(
+            tmp_path, "pvf_journal.jsonl",
+            ["app", "model", "seed", "batch_size", "n_injections"],
+            "pvf-report")
+        merged = PVFReport.merge(
+            [checkpoint.completed[i]
+             for i in sorted(checkpoint.completed)])
+        assert (json.dumps(merged.to_dict()) + "\n"
+                == _fixture_text("pvf_report.json"))
+
+    def test_new_journal_with_schema_stamp_resumes(self, tmp_path):
+        """A post-refactor journal (stamped header) also resumes."""
+        lines = _fixture_text("rtl_journal.jsonl").splitlines(keepends=True)
+        header = json.loads(lines[0])
+        wanted = {k: v for k, v in header.items()
+                  if k not in ("kind", "version")}
+        journal = tmp_path / "stamped.jsonl"
+        header["schema"] = "rtl-report"
+        journal.write_text(json.dumps(header) + "\n" + "".join(lines[1:]))
+        checkpoint = CampaignCheckpoint(journal, wanted, kind="rtl-report",
+                                        resume=True)
+        assert sorted(checkpoint.completed) == [0, 1, 2, 3]
+
+
+class TestEnvelopedFiles:
+    def test_syndrome_db_file_round_trips_via_envelope(self, tmp_path):
+        from repro.syndrome.database import SyndromeDatabase
+
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(_fixture_text("syndrome_db.json"))
+        db = SyndromeDatabase.load(legacy)        # bare pre-envelope file
+        saved = tmp_path / "db.json"
+        db.save(saved)                            # now enveloped
+        payload = json.loads(saved.read_text())
+        assert payload["kind"] == "syndrome-db"
+        assert payload["version"] == 1
+        reloaded = SyndromeDatabase.load(saved)
+        assert reloaded.to_dict() == db.to_dict()
+        assert load_artifact_file(saved).to_dict() == db.to_dict()
+
+
+class TestFingerprints:
+    def test_pinned_fingerprints_match(self):
+        pinned = json.loads(_fixture_text("schema_fingerprints.json"))
+        current = all_fingerprints()
+        assert current == pinned, (
+            "artifact schema bytes changed without a version bump; "
+            "register a migration and re-pin schema_fingerprints.json")

@@ -1,0 +1,143 @@
+"""Regenerate the golden artifact fixtures.
+
+These fixtures were produced by the **pre-refactor** serialisers (the
+hand-rolled ``to_dict`` implementations that predate ``repro.artifacts``)
+and are checked in as the compatibility contract: every future version of
+the artifact layer must keep loading them, and reports merged from the
+journal fixtures must stay bit-identical to the report fixtures.
+
+Running this script against any later code therefore MUST reproduce the
+checked-in files byte for byte (except ``campaign_metrics.json`` timing
+fields, which are pinned below).  A diff after regeneration means an
+artifact schema changed without a version bump + migration.
+
+Usage::
+
+    PYTHONPATH=src python tests/fixtures/artifacts/make_fixtures.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+#: Small-but-representative campaign parameters.  DO NOT change them:
+#: the fixtures exist to pin the historical byte format.
+RTL = dict(opcode="FADD", input_range="M", module="fp32", n_faults=40,
+           seed=5, batch_size=10)
+PVF = dict(app="MxM", injections=60, seed=13, batch_size=20)
+DB = dict(opcodes=("FADD", "IADD"), grid_faults=30, tmxm_faults=20,
+          seed=7)
+
+
+def _write(name: str, text: str) -> None:
+    path = HERE / name
+    path.write_text(text)
+    print(f"wrote {path} ({len(text)} bytes)")
+
+
+def _strip_schema_stamp(journal: Path) -> None:
+    """Rewrite a journal's header to its pre-artifact-layer form.
+
+    Checkpoints now stamp ``"schema": <kind>`` into their header; the
+    journal fixtures pin the *older* header (without the stamp) so
+    resuming pre-refactor journals stays covered.  Batch lines are
+    already byte-identical across the refactor.
+    """
+    lines = journal.read_text().splitlines(keepends=True)
+    header = json.loads(lines[0])
+    header.pop("schema", None)
+    lines[0] = json.dumps(header) + "\n"
+    journal.write_text("".join(lines))
+
+
+def rtl_fixtures() -> None:
+    from repro.gpu.isa import Opcode
+    from repro.rtl.campaign import run_campaign
+    from repro.rtl.microbench import make_microbenchmark
+
+    bench = make_microbenchmark(Opcode(RTL["opcode"]), RTL["input_range"],
+                                seed=RTL["seed"])
+    journal = HERE / "rtl_journal.jsonl"
+    report = run_campaign(bench, RTL["module"], RTL["n_faults"],
+                          seed=RTL["seed"], batch_size=RTL["batch_size"],
+                          checkpoint=journal)
+    (HERE / "rtl_journal.metrics.json").unlink(missing_ok=True)
+    _strip_schema_stamp(journal)
+    _write("rtl_report.json", json.dumps(report.to_dict()) + "\n")
+    print(f"wrote {journal}")
+
+
+def pvf_fixtures() -> None:
+    from repro.apps import make_application
+    from repro.swfi.campaign import run_pvf_campaign
+    from repro.swfi.models import SingleBitFlip
+
+    app = make_application(PVF["app"], seed=PVF["seed"])
+    journal = HERE / "pvf_journal.jsonl"
+    metrics_sidecar = HERE / "pvf_journal.metrics.json"
+    report = run_pvf_campaign(app, SingleBitFlip(), PVF["injections"],
+                              seed=PVF["seed"],
+                              batch_size=PVF["batch_size"],
+                              checkpoint=journal)
+    _strip_schema_stamp(journal)
+    _write("pvf_report.json", json.dumps(report.to_dict()) + "\n")
+    print(f"wrote {journal}")
+
+    # campaign-metrics fixture: real collector output with the
+    # non-deterministic timing fields pinned so regeneration is stable
+    payload = json.loads(metrics_sidecar.read_text())
+    metrics_sidecar.unlink()
+    payload["wall_seconds"] = 1.0
+    payload["units_per_second"] = round(payload["units_done"] / 1.0, 3)
+    payload["injections_per_second"] = round(payload["injections"] / 1.0, 3)
+    for i, unit in enumerate(payload["units"]):
+        unit["seconds"] = round(0.25 + 0.01 * i, 6)
+        unit["queue_wait"] = 0.0
+        unit["worker"] = 4242
+    # one load/dump pass makes the fixture a round-trip fixed point
+    # (per-unit outcome keys serialise sorted, so a reloaded collector
+    # aggregates its totals in that order too)
+    from repro.campaign.telemetry import CampaignMetrics
+    payload = CampaignMetrics.from_dict(payload).to_dict()
+    _write("campaign_metrics.json", json.dumps(payload, indent=2) + "\n")
+
+
+def syndrome_fixture() -> None:
+    from repro.gpu.isa import Opcode
+    from repro.rtl.campaign import run_grid, run_tmxm_grid
+    from repro.syndrome.builder import build_database
+
+    reports = run_grid(opcodes=[Opcode(o) for o in DB["opcodes"]],
+                       n_faults=DB["grid_faults"], seed=DB["seed"])
+    tmxm = run_tmxm_grid(n_faults=DB["tmxm_faults"], seed=DB["seed"] + 1)
+    database = build_database(reports, tmxm)
+    _write("syndrome_db.json", json.dumps(database.to_dict()))
+
+
+def job_fixture() -> None:
+    import tempfile
+
+    from repro.service.store import JobStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = JobStore(Path(tmp) / "jobs.sqlite3")
+        store.submit("pvf", {"app": "MxM", "injections": 60, "seed": 13})
+        job = store.finish(1, "done", result={"pvf": 0.25,
+                                              "n_injections": 60})
+    payload = job.to_dict()
+    payload["submitted_at"] = 1722500000.0   # pin wall-clock stamps
+    payload["finished_at"] = 1722500060.0
+    _write("job_record.json", json.dumps(payload, indent=2) + "\n")
+
+
+def main() -> None:
+    rtl_fixtures()
+    pvf_fixtures()
+    syndrome_fixture()
+    job_fixture()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,23 @@ class TestHttpApi:
         assert again is None
         assert same_etag == etag
 
+    def test_artifact_responses_announce_their_schema(self, daemon,
+                                                      client):
+        from urllib.request import urlopen
+
+        job = client.submit("pvf", app="MxM", injections=10, seed=3,
+                            batch_size=5)
+        client.wait(job["id"], timeout=120)
+        with urlopen(f"{daemon.url}/artifacts/{job['id']}/report",
+                     timeout=30) as response:
+            assert response.headers["X-Artifact-Schema"] == "pvf-report"
+            assert response.headers["X-Artifact-Version"] == "1"
+        with urlopen(f"{daemon.url}/artifacts/{job['id']}/metrics",
+                     timeout=30) as response:
+            assert (response.headers["X-Artifact-Schema"]
+                    == "campaign-metrics")
+            assert response.headers["X-Artifact-Version"] == "1"
+
     def test_metrics_artifact_has_per_unit_rows(self, daemon, client):
         job = client.submit("pvf", app="MxM", injections=20, seed=9,
                             batch_size=10)

@@ -12,7 +12,7 @@ class TestParser:
         choices = actions["command"].choices
         assert set(choices) >= {"inventory", "campaign", "tmxm",
                                 "profile", "pvf", "build-db", "pipeline",
-                                "stats"}
+                                "stats", "schemas"}
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -28,6 +28,23 @@ class TestCommands:
         assert main(["inventory"]) == 0
         out = capsys.readouterr().out
         assert "Table I" in out and "pipeline" in out
+
+    def test_schemas(self, capsys):
+        assert main(["schemas"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("rtl-report", "pvf-report", "syndrome-db",
+                     "campaign-journal", "campaign-metrics",
+                     "job-record"):
+            assert kind in out
+
+    def test_schemas_json(self, capsys):
+        import json
+
+        assert main(["schemas", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entries = {row["kind"]: row for row in payload}
+        assert entries["rtl-report"]["version"] == 1
+        assert entries["rtl-report"]["fingerprint"]
 
     def test_campaign(self, capsys):
         assert main(["campaign", "--opcode", "IADD", "--module", "int",
