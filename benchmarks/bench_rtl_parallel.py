@@ -14,6 +14,15 @@ telemetry, with the serial/parallel comparison under a ``bench`` key, so
 ``python -m repro stats`` renders it); on hosts with >= 4 CPUs it
 asserts a >= 2x speedup (RTL cells are coarser than SWFI injections, so
 the pool amortises less).
+
+A second benchmark measures the orthogonal axis: the trace-driven
+fault-parallel engine (``vectorize=True``) against the historical
+one-simulation-per-fault path on the functional-unit modules, where
+every fired fault replays vectorized.  It emits
+``BENCH_rtl_vectorized.json`` and asserts the >= 10x single-process
+speedup the engine is designed for.  The process-pool benchmark above
+pins ``vectorize=False`` so its numbers keep measuring scalar-engine
+scaling across releases.
 """
 
 import json
@@ -36,7 +45,14 @@ OPCODES = (Opcode.FADD, Opcode.IADD)
 RANGES = ("S", "M")
 
 
+#: Functional-unit cells for the vectorized-engine benchmark: these are
+#: the modules whose fired faults replay through the numpy engine.
+FU_OPCODES = (Opcode.FADD, Opcode.FMUL, Opcode.IADD, Opcode.IMUL)
+FU_MODULES = ("fp32", "int")
+
+
 def _grid(n_faults, **kwargs):
+    kwargs.setdefault("vectorize", False)
     return run_grid(opcodes=OPCODES, input_ranges=RANGES,
                     n_faults=n_faults, seed=2021, batch_size=50, **kwargs)
 
@@ -102,3 +118,68 @@ def test_rtl_parallel_throughput(benchmark):
 
     if (os.cpu_count() or 1) >= JOBS:
         assert speedup >= 2.0, record["bench"]
+
+
+def test_rtl_vectorized_throughput(benchmark):
+    n_faults = scaled(400, minimum=200)
+
+    def _fu_grid(**kwargs):
+        return run_grid(opcodes=FU_OPCODES, input_ranges=("M",),
+                        modules=FU_MODULES, n_faults=n_faults,
+                        seed=2021, **kwargs)
+
+    start = time.perf_counter()
+    scalar = _fu_grid(vectorize=False)
+    scalar_s = time.perf_counter() - start
+    total = sum(r.n_injections for r in scalar)
+
+    timing = {}
+    metrics = CampaignMetrics(
+        "bench/rtl-vectorized",
+        meta={"opcodes": [o.value for o in FU_OPCODES],
+              "modules": list(FU_MODULES)})
+
+    def _vectorized():
+        t0 = time.perf_counter()
+        reports = _fu_grid(vectorize=True, metrics=metrics)
+        timing["seconds"] = time.perf_counter() - t0
+        return reports
+
+    vectorized = benchmark.pedantic(_vectorized, rounds=1, iterations=1)
+    vectorized_s = timing["seconds"]
+
+    # the engine's contract: same seed, same bits, any execution strategy
+    assert [r.to_dict() for r in scalar] == [r.to_dict() for r in vectorized]
+
+    speedup = scalar_s / vectorized_s
+    record = validate_metrics({
+        **metrics.to_dict(),
+        "bench": {
+            "opcodes": [o.value for o in FU_OPCODES],
+            "modules": list(FU_MODULES),
+            "n_cells": len(scalar),
+            "faults_per_cell": n_faults,
+            "total_faults": total,
+            "scalar_seconds": round(scalar_s, 3),
+            "vectorized_seconds": round(vectorized_s, 3),
+            "scalar_faults_per_second": round(total / scalar_s, 1),
+            "vectorized_faults_per_second": round(total / vectorized_s, 1),
+            "speedup": round(speedup, 2),
+        },
+    })
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_rtl_vectorized.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    text = (
+        f"RTL fault-parallel engine — {len(scalar)} FU cells, "
+        f"{n_faults} faults/cell ({total} total)\n"
+        f"  scalar      {total / scalar_s:8.1f} faults/s  "
+        f"({scalar_s:.2f}s)\n"
+        f"  vectorized  {total / vectorized_s:8.1f} faults/s  "
+        f"({vectorized_s:.2f}s)\n"
+        f"  speedup     {speedup:.2f}x single-process "
+        f"(reports bit-identical)")
+    emit("bench_rtl_vectorized", text)
+
+    assert speedup >= 10.0, record["bench"]

@@ -118,6 +118,14 @@ class FaultPlane:
         self._armed: Optional[TransientFault] = None
         self._armed_key: Optional[Tuple[str, str, int]] = None
         self._expired_fault: Optional[TransientFault] = None
+        self._recorder = None
+        #: Fast-path flag consulted by every module's ``_latch`` wrapper:
+        #: while True nothing (no armed transient, no recorder) can observe
+        #: a latch, so modules skip the :meth:`latch` dispatch entirely.
+        #: A plain attribute, not a property — the guard runs once per
+        #: stage-register write in the model, and a bound-property call is
+        #: measurably slower than an attribute load on that path.
+        self.passive = True
 
     # -- inventory --------------------------------------------------------
     def declare(self, flipflop: FlipFlop) -> FlipFlop:
@@ -165,6 +173,7 @@ class FaultPlane:
             armed.expired = True
             self._armed = None
             self._expired_fault = armed
+            self.passive = self._recorder is None
 
     def reset_time(self) -> None:
         self.cycle = 0
@@ -174,17 +183,54 @@ class FaultPlane:
         """Arm a single transient fault; the paper injects one per run."""
         if self._armed is not None:
             raise RuntimeError("a fault is already armed on this plane")
+        if self._recorder is not None:
+            raise RuntimeError(
+                "cannot arm a fault while a golden-trace recorder is "
+                "attached")
         if fault.flipflop.key not in self._flipflops:
             raise KeyError(f"unknown flip-flop {fault.flipflop.key}")
         self._armed = fault
         self._armed_key = fault.flipflop.key
+        self.passive = False
 
     def disarm(self) -> Optional[TransientFault]:
         fault = self._armed or self._expired_fault
         self._armed = None
         self._armed_key = None
         self._expired_fault = None
+        self.passive = self._recorder is None
         return fault
+
+    # -- golden-trace recording -------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Route every latch through *recorder* (golden-trace capture).
+
+        While a recorder is attached the plane is no longer passive:
+        modules dispatch every stage-register write through :meth:`latch`
+        (which logs it and returns the value unchanged), and
+        :meth:`pending_for` reports True so conditionally-skipped latches
+        (pipeline bubbles, shadow banks) are captured too.  The recorded
+        latch schedule is therefore a superset of what any single faulted
+        run performs before its transient fires — the property the
+        vectorized injector's fault-firing resolution relies on.
+        """
+        if self._armed is not None:
+            raise RuntimeError(
+                "cannot attach a recorder while a fault is armed")
+        if self._recorder is not None:
+            raise RuntimeError("a recorder is already attached")
+        self._recorder = recorder
+        self.passive = False
+
+    def detach_recorder(self):
+        recorder = self._recorder
+        self._recorder = None
+        self.passive = self._armed is None
+        return recorder
+
+    @property
+    def recorder(self):
+        return self._recorder
 
     @property
     def armed_fault(self) -> Optional[TransientFault]:
@@ -202,7 +248,14 @@ class FaultPlane:
         return armed is not None and armed.fired_cycle is None
 
     def pending_for(self, module: str) -> bool:
-        """True while a not-yet-landed transient targets *module*."""
+        """True while a not-yet-landed transient targets *module*.
+
+        Also True while a golden-trace recorder is attached, so that
+        latches normally skipped when no flip can land (bubble slots,
+        shadow banks) are still captured in the trace.
+        """
+        if self._recorder is not None:
+            return True
         armed = self._armed
         return (armed is not None and armed.fired_cycle is None
                 and armed.flipflop.module == module)
@@ -223,6 +276,9 @@ class FaultPlane:
         Called for every stage-register write in the model, so it stays as
         cheap as possible in the common (no matching fault) case.
         """
+        if self._recorder is not None:
+            self._recorder.on_latch(module, name, lane, self.cycle)
+            return value
         armed = self._armed
         if armed is None:
             return value
@@ -236,6 +292,10 @@ class FaultPlane:
             armed.expired = True
             self._armed = None
             self._expired_fault = armed
+            self.passive = self._recorder is None
             return value
         armed.fired_cycle = self.cycle
+        # once fired the transient is spent: nothing downstream can observe
+        # another latch, so the plane drops back to the passive fast path
+        self.passive = self._recorder is None
         return value ^ armed.mask

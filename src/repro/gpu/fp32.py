@@ -108,7 +108,7 @@ class FP32Unit:
     # -- latch helper ------------------------------------------------------
     def _latch(self, name: str, value: int, lane: int, width: int) -> int:
         mask = (1 << width) - 1
-        if self.plane.armed_fault is None:  # hot path: nothing to intercept
+        if self.plane.passive:  # hot path: nothing to intercept
             return value & mask
         return self.plane.latch(self.module, name, value & mask, lane) & mask
 
@@ -217,8 +217,8 @@ class FP32Unit:
         if prod is None:
             if _is_special(c_exp):  # finite product + Inf addend
                 return pack_fp32(c_sign, FP32_EXP_MASK, 0)
-            if c_exp == 0:  # product + (-)0: exact product path, zero addend
-                return None
+            # finite addend (including +-0): take the exact fused path,
+            # which handles a zero addend as c_val == 0
             return None
         if prod == _QNAN:
             return _QNAN
@@ -287,22 +287,29 @@ class FP32Unit:
                     "round.result", pack_fp32(0, 0, 0), lane, 32)
             raw = 1  # fault-corrupted total cancellation: keep the fraction
 
-        # normalise: bring the leading one to bit 26 (1.23+GRS format)
+        # normalise: bring the leading one to bit 26 (1.23+GRS format).
+        # The shift amount is computed first, flows through its own stage
+        # register, and only the *latched* value feeds the barrel shifter —
+        # a transient on norm.shift therefore mis-normalises the sum and
+        # propagates into the packed result.
         shift = 0
         if raw >> 27:
             sticky |= raw & 1
             raw >>= 1
             result_exp += 1
+            norm_right = True
         else:
-            while not (raw >> 26) and shift < 28:
-                raw <<= 1
+            while not ((raw << shift) >> 26) and shift < 28:
                 shift += 1
+            norm_right = False
+        shift = self._latch("norm.shift", min(shift, 31), lane, 5)
+        if not norm_right:
+            raw <<= shift
             result_exp -= shift
         # a >1-bit left shift only happens when exp_diff <= 2, where the
         # alignment was exact (sticky == 0), so OR-ing the sticky into the
         # lowest kept bit after normalisation preserves round-to-nearest-even
         raw |= sticky
-        shift = self._latch("norm.shift", min(shift, 31), lane, 5)
         raw = self._latch("norm.mant", raw, lane, 27)
         result_exp = self._latch("norm.exp", result_exp & 0x3FF, lane, 10)
         return self._round_pack(result_sign, result_exp, raw, lane)

@@ -47,7 +47,7 @@ class IntUnit:
 
     def _latch(self, name: str, value: int, lane: int, width: int) -> int:
         mask = (1 << width) - 1
-        if self.plane.armed_fault is None:  # hot path: nothing to intercept
+        if self.plane.passive:  # hot path: nothing to intercept
             return value & mask
         return self.plane.latch(self.module, name, value & mask, lane) & mask
 

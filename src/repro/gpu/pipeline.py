@@ -129,14 +129,14 @@ class PipelineRegisters:
 
     def _latch(self, name: str, value: int, lane: int, width: int) -> int:
         mask = (1 << width) - 1
-        if self.plane.armed_fault is None:
+        if self.plane.passive:
             return value & mask
         return self.plane.latch(
             self.module, name, value & mask, lane) & mask
 
     def _latch_ctrl(self, name: str, value: int, width: int) -> int:
         mask = (1 << width) - 1
-        if self.plane.armed_fault is None:
+        if self.plane.passive:
             return value & mask
         latched = self.plane.latch(self.module, name, value & mask, -1) & mask
         if self.plane.pending_for(self.module):
@@ -203,8 +203,16 @@ class PipelineRegisters:
         warp_id = self._latch_ctrl("de.warp_id", warp_id, 4)
         pc = self._latch_ctrl("de.pc", pc, 12)
         warp_mask = self._latch_ctrl("de.warp_mask", warp_mask, 32)
-        self._latch_ctrl("de.valid", 1, 1)
+        valid = self._latch_ctrl("de.valid", 1, 1)
+        # de.stage_ctrl models the stage-enable shift chain; its contents
+        # are consumed by clock gating below this abstraction level, so the
+        # read-back is intentionally unused (flips there decay harmlessly).
         self._latch_ctrl("de.stage_ctrl", 0b100001, 6)
+        if not valid:
+            # a cleared valid bit squashes the decoded word into a bubble:
+            # execute sees a NOP with writes disabled
+            opcode = Opcode.NOP
+            wen = 0
 
         compare = COMPARE_DECODING.get(cmp_sel) if inst.compare else None
         return DecodedControl(

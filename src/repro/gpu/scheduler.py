@@ -93,7 +93,7 @@ class WarpScheduler:
 
     def _latch(self, name: str, value: int, lane: int, width: int) -> int:
         mask = (1 << width) - 1
-        if self.plane.armed_fault is None:  # hot path
+        if self.plane.passive:  # hot path
             return value & mask
         return self.plane.latch(self.module, name, value & mask, lane) & mask
 
@@ -119,6 +119,10 @@ class WarpScheduler:
         ctx.state = self._latch("warp.state", ctx.state, wid, 2)
         ctx.thread_base = self._latch("warp.thread_base", ctx.thread_base,
                                       wid, 8)
+        # warp.mem_base models the per-warp address-generation base; the
+        # simplified memory path below computes addresses from thread ids
+        # directly, so the register is write-only by design (flips there
+        # decay unread, diluting scheduler AVF like real spare state).
         self._latch("warp.mem_base", wid << 8, wid, 16)
 
     # -- scheduling -------------------------------------------------------------

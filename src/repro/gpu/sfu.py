@@ -106,7 +106,7 @@ class SfuDatapath:
 
     def _latch(self, name: str, value: int, width: int) -> int:
         mask = (1 << width) - 1
-        if self.plane.armed_fault is None:  # hot path
+        if self.plane.passive:  # hot path
             return value & mask
         return self.plane.latch(self.module, name, value & mask, self.unit) & mask
 
@@ -128,8 +128,11 @@ class SfuDatapath:
 
         x_fixed = _signed34(self._latch("dp.x", _to_fixed(x), 34))
         acc = 0
-        for stage, coeff in enumerate(coeffs):
-            self._latch("dp.stage", stage, 4)
+        for stage in range(len(coeffs)):
+            # the stage counter addresses the coefficient ROM, so a flipped
+            # dp.stage selects the wrong coefficient (out-of-range -> zero)
+            stage = self._latch("dp.stage", stage, 4)
+            coeff = coeffs[stage] if stage < len(coeffs) else 0
             coeff = _signed34(self._latch("dp.coeff", coeff, 34))
             acc = coeff + ((acc * x_fixed) >> _FRAC_BITS)
             acc = _signed34(self._latch("dp.acc", acc, 34))
@@ -164,11 +167,15 @@ class SfuDatapath:
                                         >> _FRAC_BITS)
         acc = _signed34(self._latch("dp.acc", acc, 34))
         two = _to_fixed(2.0)
-        for stage in range(3):
-            self._latch("dp.stage", stage, 4)
+        # the stage counter sequences the Newton iterations; a flipped
+        # dp.stage cuts iterations short (inaccurate result) or repeats
+        # converged ones (masked)
+        stage = self._latch("dp.stage", 0, 4)
+        while stage < 3:
             my = (m_fixed * acc) >> _FRAC_BITS
             acc = (acc * (two - my)) >> _FRAC_BITS
             acc = _signed34(self._latch("dp.acc", acc, 34))
+            stage = self._latch("dp.stage", stage + 1, 4)
         self.plane.tick()
         value = math.copysign(
             math.ldexp(_from_fixed(acc), -exponent), x)
@@ -203,6 +210,8 @@ class SfuController:
 
     def _latch(self, name: str, value: int, width: int) -> int:
         mask = (1 << width) - 1
+        if self.plane.passive:  # hot path: nothing to intercept
+            return value & mask
         return self.plane.latch(self.module, name, value & mask, -1) & mask
 
     def execute(self, opcode: Opcode, inputs: Sequence[Tuple[int, int]]

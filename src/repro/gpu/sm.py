@@ -35,6 +35,7 @@ from .scheduler import WarpContext, WarpScheduler, WarpState
 from .fp32 import FP32Unit
 from .intu import IntUnit
 from .sfu import SfuController
+from .trace import GoldenTraceRecorder
 
 __all__ = ["SMConfig", "KernelResult", "StreamingMultiprocessor",
            "TraceEntry"]
@@ -107,6 +108,7 @@ class StreamingMultiprocessor:
         self._memory: Optional[GlobalMemory] = None
         self._n_threads = 0
         self._trace: Optional[List[TraceEntry]] = None
+        self._recorder: Optional[GoldenTraceRecorder] = None
 
     # -- kernel launch ------------------------------------------------------------
     def launch(
@@ -118,6 +120,7 @@ class StreamingMultiprocessor:
         fault: Optional[TransientFault] = None,
         max_cycles: int = 100_000,
         trace: bool = False,
+        recorder: Optional[GoldenTraceRecorder] = None,
     ) -> KernelResult:
         """Run *program* over *n_threads* threads and return the result.
 
@@ -128,6 +131,10 @@ class StreamingMultiprocessor:
         ``fault`` optionally arms one transient on the fault plane for the
         duration of this run.  GPU-detectable errors propagate as
         :class:`~repro.errors.GpuHardwareError` (the campaign's DUE).
+
+        ``recorder`` attaches a :class:`GoldenTraceRecorder` for the
+        duration of the (necessarily fault-free) run, capturing the latch
+        and dispatch schedule the vectorized fault engine replays.
         """
         cfg = self.config
         if n_threads <= 0 or n_threads > cfg.max_warps * cfg.warp_size:
@@ -152,12 +159,24 @@ class StreamingMultiprocessor:
 
         self.plane.reset_time()
         self._trace: Optional[List[TraceEntry]] = [] if trace else None
+        if recorder is not None:
+            if fault is not None:
+                raise ValueError(
+                    "golden-trace recording requires a fault-free run")
+            self._recorder = recorder
+            self.plane.attach_recorder(recorder)
         if fault is not None:
             self.plane.arm(fault)
         try:
             cycles = self._run(max_cycles)
+            if recorder is not None:
+                recorder.finish(cycles)
         finally:
-            self.plane.disarm()
+            if recorder is not None:
+                self._recorder = None
+                self.plane.detach_recorder()
+            else:
+                self.plane.disarm()
         return KernelResult(self._memory, cycles, n_threads,
                             self._registers, self._trace)
 
@@ -203,6 +222,11 @@ class StreamingMultiprocessor:
                 self._trace.append(TraceEntry(
                     self.plane.cycle, ctx.warp_id, ctx.pc,
                     program[ctx.pc].opcode.value))
+            if self._recorder is not None:
+                inst = program[ctx.pc]
+                self._recorder.begin_step(
+                    ctx.warp_id, ctx.pc, inst.opcode.value,
+                    inst.predicate is not None)
             self._execute(ctx, program[ctx.pc])
             self.plane.tick()
             steps += 1
@@ -222,6 +246,8 @@ class StreamingMultiprocessor:
             program.resolve(inst.target) if inst.opcode is Opcode.BRA else 0)
         ctrl = self.pipeline.latch_decode(
             inst, ctx.warp_id, ctx.pc, branch_target, ctx.active_mask)
+        if self._recorder is not None:
+            self._recorder.record_ctrl(ctrl)
         opcode = ctrl.opcode
 
         if opcode is Opcode.EXIT:
@@ -253,13 +279,18 @@ class StreamingMultiprocessor:
             return
         taken: List[int] = []
         not_taken: List[int] = []
+        votes: List["tuple[int, bool]"] = []
         for tid, bit in threads:
             if not ctx.active_mask >> bit & 1:
                 continue
             value = self._registers.read_predicate(tid, ctrl.pred_idx)
             if ctrl.pred_negated:
                 value = not value
+            votes.append((tid, bool(value)))
             (taken if value else not_taken).append(bit)
+        if self._recorder is not None:
+            self._recorder.record_branch(
+                ctrl.pred_idx, ctrl.pred_negated, votes)
         if not taken and not not_taken:
             # no live thread voted (mask corrupted to zero): fall through
             self.scheduler.advance(ctx, ctx.pc + 1)
@@ -293,7 +324,10 @@ class StreamingMultiprocessor:
                       ctrl: DecodedControl) -> None:
         cfg = self.config
         opcode = ctrl.opcode
+        recorder = self._recorder
         for group_start in range(0, cfg.warp_size, cfg.n_lanes):
+            if recorder is not None:
+                recorder.begin_beat(group_start // cfg.n_lanes)
             lanes: List[Optional[int]] = []  # thread id per lane (or None)
             group_mask = 0
             for lane in range(cfg.n_lanes):
@@ -316,9 +350,15 @@ class StreamingMultiprocessor:
                 lanes, group_mask, ctrl, group_start)
             results = self._compute_group(
                 opcode, ctrl, lanes, group_mask, operands)
+            if recorder is not None:
+                recorder.record_beat(group_start // cfg.n_lanes,
+                                     group_start, lanes, group_mask,
+                                     operands, results)
             self._writeback_group(
                 ctx, ctrl, lanes, group_mask, results, group_start)
             self.plane.tick()
+        if recorder is not None:
+            recorder.end_beat()
 
     def _predicate_allows(self, tid: int, inst: Instruction,
                           ctrl: DecodedControl) -> bool:

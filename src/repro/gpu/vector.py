@@ -1,0 +1,162 @@
+"""Vectorized (numpy) golden-mode datapaths for fault-parallel replay.
+
+The vectorized RTL engine (:mod:`repro.rtl.vectorized`) replays many
+faulty universes through the golden instruction stream at once.  Lanes
+whose operands still match the golden trace reuse the recorded result;
+*dirty* lanes — operands corrupted by an earlier fault — must be
+recomputed with exactly the semantics of the scalar functional units in
+their passive (no armed transient) mode.  This module provides those
+recomputations as elementwise numpy kernels over ``uint32`` bit-pattern
+arrays, one element per faulty universe.
+
+The contract is **bit-identity with the scalar units**, not merely with
+IEEE-754: FP results follow the G80 behaviour the scalar
+:class:`~repro.gpu.fp32.FP32Unit` implements (round-to-nearest-even,
+denormals flushed to signed zero on input and output, every NaN
+canonicalised to ``0x7FC00000``).  The differential fuzz suite drives
+both implementations over the same operand streams — including raw
+random bit patterns — to enforce the contract.
+
+FFMA has no vector path: a single-rounding fused multiply-add cannot be
+reproduced with numpy's double-rounded ``float64`` arithmetic, so dirty
+FFMA lanes fall back to the scalar unit (they are rare — one corrupted
+thread per universe is the common case).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .isa import CompareOp, Opcode
+
+__all__ = ["vector_compute", "VECTOR_OPCODES"]
+
+_QNAN = np.uint32(0x7FC00000)
+_SIGN = np.uint32(0x80000000)
+_EXP = np.uint32(0x7F800000)
+_MANT = np.uint32(0x007FFFFF)
+_MASK32 = np.uint32(0xFFFFFFFF)
+
+
+def _as_u32(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.uint32)
+
+
+def _flush_inputs(bits: np.ndarray) -> np.ndarray:
+    """G80 FTZ: denormal inputs collapse to signed zero."""
+    denormal = (bits & _EXP) == 0
+    return np.where(denormal, bits & _SIGN, bits)
+
+
+def _canonical_result(bits: np.ndarray) -> np.ndarray:
+    """Canonical QNAN for every NaN; flush denormal outputs to signed zero."""
+    is_nan = ((bits & _EXP) == _EXP) & ((bits & _MANT) != 0)
+    bits = np.where(is_nan, _QNAN, bits)
+    denormal = ((bits & _EXP) == 0) & ((bits & _MANT) != 0)
+    return np.where(denormal, bits & _SIGN, bits)
+
+
+def _fadd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    with np.errstate(all="ignore"):
+        af = _flush_inputs(a).view(np.float32)
+        bf = _flush_inputs(b).view(np.float32)
+        result = (af + bf).view(np.uint32)
+    return _canonical_result(result)
+
+
+def _fmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    with np.errstate(all="ignore"):
+        af = _flush_inputs(a).view(np.float32)
+        bf = _flush_inputs(b).view(np.float32)
+        result = (af * bf).view(np.uint32)
+    return _canonical_result(result)
+
+
+def _f2i(a: np.ndarray) -> np.ndarray:
+    """CUDA F2I: truncate toward zero, saturate NaN/overflow to 0x80000000."""
+    f = a.view(np.float32).astype(np.float64)
+    out = np.full(a.shape, 0x80000000, dtype=np.uint32)
+    ok = np.isfinite(f) & (np.abs(f) < 2.0**31)
+    out[ok] = np.trunc(f[ok]).astype(np.int64).astype(np.uint32)
+    return out
+
+
+def _i2f(a: np.ndarray) -> np.ndarray:
+    return a.view(np.int32).astype(np.float32).view(np.uint32)
+
+
+def _iset(compare: Optional[CompareOp], a: np.ndarray, b: np.ndarray
+          ) -> np.ndarray:
+    ai = a.view(np.int32)
+    bi = b.view(np.int32)
+    if compare is CompareOp.EQ:
+        result = ai == bi
+    elif compare is CompareOp.NE:
+        result = ai != bi
+    elif compare is CompareOp.LT:
+        result = ai < bi
+    elif compare is CompareOp.LE:
+        result = ai <= bi
+    elif compare is CompareOp.GT:
+        result = ai > bi
+    elif compare is CompareOp.GE:
+        result = ai >= bi
+    else:  # unknown selector compares as False (matches the scalar SM)
+        result = np.zeros(a.shape, dtype=bool)
+    return result.astype(np.uint32)
+
+
+#: Opcodes with a vector recompute path (everything else — FFMA, memory,
+#: SFU, control — is handled scalar or structurally by the replay engine).
+VECTOR_OPCODES = frozenset({
+    Opcode.FADD, Opcode.FMUL, Opcode.IADD, Opcode.IMUL, Opcode.IMAD,
+    Opcode.MOV, Opcode.ISET, Opcode.SHL, Opcode.SHR,
+    Opcode.LOP_AND, Opcode.LOP_OR, Opcode.LOP_XOR,
+    Opcode.F2I, Opcode.I2F,
+})
+
+
+def vector_compute(opcode: Opcode, compare: Optional[CompareOp],
+                   a, b, c) -> Optional[np.ndarray]:
+    """Golden-mode execute of *opcode* over per-universe operand arrays.
+
+    ``a``/``b``/``c`` are ``uint32`` bit patterns (arrays or scalars, and
+    are broadcast).  Returns the per-universe result bit patterns, or
+    None when the opcode has no vector path and the caller must fall
+    back to the scalar unit.
+    """
+    a = _as_u32(a)
+    b = _as_u32(b)
+    c = _as_u32(c)
+    if opcode is Opcode.FADD:
+        return _fadd(a, b)
+    if opcode is Opcode.FMUL:
+        return _fmul(a, b)
+    with np.errstate(all="ignore"):
+        if opcode is Opcode.IADD:
+            return a + b
+        if opcode is Opcode.IMUL:
+            return a * b
+        if opcode is Opcode.IMAD:
+            return a * b + c
+        if opcode is Opcode.MOV:
+            return a & _MASK32
+        if opcode is Opcode.ISET:
+            return _iset(compare, a, b)
+        if opcode is Opcode.SHL:
+            return a << (b & np.uint32(31))
+        if opcode is Opcode.SHR:
+            return a >> (b & np.uint32(31))
+        if opcode is Opcode.LOP_AND:
+            return a & b
+        if opcode is Opcode.LOP_OR:
+            return a | b
+        if opcode is Opcode.LOP_XOR:
+            return a ^ b
+        if opcode is Opcode.F2I:
+            return _f2i(a)
+        if opcode is Opcode.I2F:
+            return _i2f(a)
+    return None

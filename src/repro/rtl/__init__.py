@@ -32,6 +32,11 @@ from .tmxm import (
     make_tmxm_bench,
     tmxm_reference,
 )
+from .vectorized import (
+    REPLAY_MODULES,
+    PreparedWorkload,
+    VectorizedRTLInjector,
+)
 
 __all__ = [
     "MODULE_INSTRUCTIONS",
@@ -63,4 +68,7 @@ __all__ = [
     "make_tile_pair",
     "make_tmxm_bench",
     "tmxm_reference",
+    "REPLAY_MODULES",
+    "PreparedWorkload",
+    "VectorizedRTLInjector",
 ]

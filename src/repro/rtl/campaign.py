@@ -50,7 +50,7 @@ from ..campaign.telemetry import (
     resolve_metrics,
 )
 from ..errors import CampaignError
-from ..gpu.fault_plane import ModuleName
+from ..gpu.fault_plane import FaultPlane, ModuleName
 from ..gpu.isa import (
     CHARACTERIZED_OPCODES,
     FP32_OPCODES,
@@ -159,6 +159,8 @@ class _RTLWorkerState:
                  config: Optional[SMConfig] = None) -> None:
         self.injector = injector or RTLInjector(config=config)
         self._golden: Dict[Tuple, Tuple[Microbenchmark, Any]] = {}
+        self._vectorized = None
+        self._prepared: Dict[Tuple, Any] = {}
 
     def bench_and_golden(self, spec: _BenchSpec):
         key = spec.cache_key
@@ -167,16 +169,84 @@ class _RTLWorkerState:
             self._golden[key] = (bench, self.injector.run_golden(bench))
         return self._golden[key]
 
+    def vectorized(self):
+        """Lazily built batch engine sharing this worker's SM model."""
+        if self._vectorized is None:
+            from .vectorized import VectorizedRTLInjector
+            self._vectorized = VectorizedRTLInjector(self.injector)
+        return self._vectorized
+
+    def prepared(self, spec: _BenchSpec):
+        """Golden trace of one workload, recorded once per worker.
+
+        The instrumented run doubles as the golden reference, so it also
+        seeds :meth:`bench_and_golden`'s cache (recording never changes
+        architectural results).
+        """
+        key = spec.cache_key
+        if key not in self._prepared:
+            if key in self._golden:
+                bench = self._golden[key][0]
+            else:
+                bench = spec.build()
+            workload = self.vectorized().prepare(bench)
+            self._prepared[key] = workload
+            self._golden.setdefault(key, (bench, workload.golden))
+        return self._prepared[key]
+
 
 def _rtl_state(config: Optional[SMConfig] = None) -> _RTLWorkerState:
     """Picklable worker-state factory (``functools.partial`` target)."""
     return _RTLWorkerState(config=config)
 
 
+def _vectorized_unit(module: str, vectorize,
+                     timeout: Optional[float] = None) -> bool:
+    """Resolve the campaign's ``vectorize`` switch for one cell.
+
+    ``False`` forces the historical scalar path.  ``True`` and ``"auto"``
+    route every trace-resolvable module through the batch engine (which
+    itself falls back to scalar per fault when a fired transient is
+    outside its replayable set); ``register_file`` SRAM faults bypass
+    ``plane.latch`` and therefore always run scalar.  With a wall-clock
+    ``timeout``, ``"auto"`` also stays scalar: the replay engine is
+    schedule-bounded and never trips the per-simulation guard, so only
+    an explicit ``vectorize=True`` opts into its
+    guarded-scalar-fallback-only timeout semantics.
+    """
+    if not vectorize:
+        return False
+    if timeout is not None and vectorize == "auto":
+        return False
+    return module not in FaultPlane.PERSISTENT_STATE_MODULES
+
+
 def _run_rtl_unit(state: _RTLWorkerState, unit: WorkUnit,
-                  timeout: Optional[float] = None) -> CampaignReport:
+                  timeout: Optional[float] = None,
+                  vectorize="auto") -> CampaignReport:
     """Engine unit runner: one fault batch against one campaign cell."""
     spec: _CellSpec = unit.spec
+    if _vectorized_unit(spec.module, vectorize, timeout):
+        workload = state.prepared(spec.bench)
+        bench, golden = workload.bench, workload.golden
+        faults = generate_fault_list(
+            state.injector.plane, spec.module, unit.size, golden.cycles,
+            seed=unit.seed, kind=spec.fault_kind)
+        classifications = state.vectorized().inject_batch(
+            workload, faults, timeout=timeout)
+        report = CampaignReport(
+            instruction=bench.opcode.value,
+            input_range=bench.input_range,
+            module=spec.module,
+        )
+        for fault, classification in zip(faults, classifications):
+            report.add(
+                state.injector.describe(fault),
+                classification,
+                opcode=bench.opcode.value,
+                value_kind=bench.value_kind,
+            )
+        return report
     bench, golden = state.bench_and_golden(spec.bench)
     faults = generate_fault_list(
         state.injector.plane, spec.module, unit.size, golden.cycles,
@@ -279,11 +349,21 @@ def run_campaign(
     metrics: Optional[CampaignMetrics] = None,
     cancel: Optional[Callable[[], bool]] = None,
     config: Optional[SMConfig] = None,
+    vectorize="auto",
 ) -> CampaignReport:
     """Run one fault-injection campaign cell and return its report.
 
     ``kind`` restricts the fault list to ``"data"`` or ``"control"``
     flip-flops (used by ablation studies); the default samples both.
+    ``vectorize`` selects the fault-parallel batch engine
+    (:mod:`repro.rtl.vectorized`): ``"auto"``/``True`` resolve and
+    replay each batch against one recorded golden trace — bit-identical
+    to the scalar path for a fixed seed — while ``False`` forces the
+    historical one-simulation-per-fault execution.  ``"auto"`` reverts
+    to scalar when ``timeout`` is set (the replay engine is
+    schedule-bounded, so the per-simulation wall-clock guard only
+    applies to its scalar fallbacks; pass ``vectorize=True`` to keep
+    the batch engine anyway).
     ``batch_size`` shards the fault list into deterministic seed-indexed
     batches that ``n_jobs`` worker processes execute concurrently (each
     worker builds its own SM from *config*; *injector* must be None);
@@ -320,7 +400,7 @@ def run_campaign(
         state = _RTLWorkerState(injector=injector, config=config)
     results = run_units(
         units,
-        partial(_run_rtl_unit, timeout=timeout),
+        partial(_run_rtl_unit, timeout=timeout, vectorize=vectorize),
         n_jobs=n_jobs,
         state_factory=partial(_rtl_state, config),
         state=state,
@@ -352,6 +432,7 @@ def _run_cell_grid(
     injector: Optional[RTLInjector],
     config: Optional[SMConfig],
     cancel: Optional[Callable[[], bool]] = None,
+    vectorize="auto",
 ) -> List[CampaignReport]:
     """Shared grid executor: plan units per cell, run, merge per cell."""
     units: List[WorkUnit] = []
@@ -373,7 +454,7 @@ def _run_cell_grid(
         state = _RTLWorkerState(injector=injector, config=config)
     results = run_units(
         units,
-        partial(_run_rtl_unit, timeout=timeout),
+        partial(_run_rtl_unit, timeout=timeout, vectorize=vectorize),
         n_jobs=n_jobs,
         state_factory=partial(_rtl_state, config),
         state=state,
@@ -412,6 +493,7 @@ def run_grid(
     collect: bool = True,
     cancel: Optional[Callable[[], bool]] = None,
     config: Optional[SMConfig] = None,
+    vectorize="auto",
 ) -> List[CampaignReport]:
     """Run the full campaign grid; returns one report per cell.
 
@@ -425,7 +507,10 @@ def run_grid(
     ``checkpoint``/``resume`` journal finished batches to JSONL;
     ``consume`` streams per-batch reports (in deterministic unit order)
     to a downstream builder, and ``collect=False`` drops them afterwards
-    to bound memory on huge grids.
+    to bound memory on huge grids.  ``vectorize`` (default ``"auto"``)
+    runs each unit's fault batch through the trace-driven fault-parallel
+    engine, whose merged reports are bit-identical to ``vectorize=False``
+    for the same seed.
     """
     opcodes = list(opcodes)
     input_ranges = list(input_ranges)
@@ -463,7 +548,8 @@ def run_grid(
         n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
         checkpoint=checkpoint, resume=resume, progress=progress,
         metrics=metrics, consume=consume, collect=collect,
-        injector=injector, config=config, cancel=cancel)
+        injector=injector, config=config, cancel=cancel,
+        vectorize=vectorize)
 
 
 def run_tmxm_grid(
@@ -485,6 +571,7 @@ def run_tmxm_grid(
     collect: bool = True,
     cancel: Optional[Callable[[], bool]] = None,
     config: Optional[SMConfig] = None,
+    vectorize="auto",
 ) -> List[CampaignReport]:
     """Run the t-MxM tile campaigns (tile kind x module, paper Fig. 7).
 
@@ -525,4 +612,5 @@ def run_tmxm_grid(
         n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,
         checkpoint=checkpoint, resume=resume, progress=progress,
         metrics=metrics, consume=consume, collect=collect,
-        injector=injector, config=config, cancel=cancel)
+        injector=injector, config=config, cancel=cancel,
+        vectorize=vectorize)

@@ -1,0 +1,493 @@
+"""Vectorized fault-parallel RTL injection.
+
+The scalar :class:`~repro.rtl.injector.RTLInjector` re-simulates the
+whole SM once per fault — thousands of Python ``_latch`` calls per run,
+almost all of them recomputing values the golden run already produced.
+This engine amortises that interpreter overhead across a whole fault
+batch:
+
+1. **One instrumented golden run** per workload records the latch and
+   dispatch schedule (:class:`~repro.gpu.trace.GoldenTraceRecorder`).
+2. **Firing resolution is a table lookup.**  Every ``plane.tick`` in the
+   model is unconditional, so a faulted run's cycle schedule equals the
+   golden one up to the instant its transient fires.  Whether a fault
+   fires — and at which dispatch step / execute beat — follows from the
+   recorded schedule alone.  Faults that never meet a latch of their
+   register inside the injection window decay unconsumed and classify as
+   Masked (not fired) without any simulation; in practice that is the
+   majority of a uniformly-sampled fault list.
+3. **Fired faults replay in lockstep.**  Each fired fault becomes one
+   row ("universe") of a numpy structured state block — registers,
+   predicates, global and shared memory — that advances through the
+   *golden* instruction stream.  A universe is bit-identical to golden
+   until its fault fires, so the corrupted value is reproduced by
+   re-executing just that one op on a scratch SM with the transient
+   armed (the unit registers latch exactly once per op, pinning the
+   firing to a unique invocation).  After the fire, clean lanes reuse
+   recorded golden results; *dirty* lanes — operands that differ from
+   the recording — are recomputed with :mod:`repro.gpu.vector` numpy
+   kernels (scalar unit fallback for FFMA).
+4. **Divergence ejects to the scalar path.**  Anything the lockstep
+   replay cannot express — a predicate vote that changes control flow, a
+   predicate activating a lane the golden run never executed — falls
+   back to :meth:`RTLInjector.inject`, preserving bit-identical
+   classifications by construction rather than by approximation.
+
+Out-of-bounds addresses computed from corrupted operands classify as
+DUE with exactly the scalar run's ``MemoryFaultError`` message; faults
+in ``register_file`` (SRAM semantics that bypass ``plane.latch``) never
+take the vectorized path at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..campaign.engine import UnitTimeout, wall_clock_limit
+from ..gpu.fault_plane import FaultPlane, TransientFault
+from ..gpu.isa import Opcode
+from ..gpu.sm import StreamingMultiprocessor
+from ..gpu.trace import GoldenTraceRecorder
+from ..gpu.vector import vector_compute
+from .classify import Outcome, RunClassification, classify_run
+from .injector import GoldenRun, RTLInjector
+from .microbench import Microbenchmark
+
+__all__ = ["PreparedWorkload", "VectorizedRTLInjector", "REPLAY_MODULES"]
+
+#: Modules whose *fired* transients the lockstep replay reproduces: their
+#: registers latch exactly once per functional-unit invocation, so a
+#: firing event identifies one op whose corrupted result a scratch
+#: re-execution recovers.  Fired faults elsewhere (shared controllers,
+#: scheduler, pipeline control) run scalar; *unfired* faults in any
+#: plane-latched module still resolve instantly from the trace.
+REPLAY_MODULES = frozenset({"fp32", "int"})
+
+#: Universes replayed per numpy state block (bounds the transient
+#: memory footprint: 64 universes x 64Ki words of global memory = 16MB).
+_SUBBATCH = 64
+
+_MEM_OPS = frozenset({Opcode.GLD, Opcode.GST, Opcode.SLD, Opcode.SST})
+_SFU_OPS = frozenset({Opcode.FSIN, Opcode.FEXP, Opcode.RCP})
+_CTRL_OPS = frozenset({Opcode.EXIT, Opcode.NOP, Opcode.BAR})
+_NO_REG = 0xFF
+
+
+@dataclass
+class PreparedWorkload:
+    """Golden trace + initial numpy state of one workload."""
+
+    bench: Microbenchmark
+    golden: GoldenRun
+    recorder: GoldenTraceRecorder
+    init_regs: np.ndarray   # [n_threads, n_registers] uint32
+    init_mem: np.ndarray    # [memory_words] uint32
+    init_smem: np.ndarray   # [shared_memory_words] uint32
+
+
+class _Universe:
+    """Book-keeping for one fault row of a replay block."""
+
+    __slots__ = ("index", "fault", "fire_cycle", "step", "beat")
+
+    def __init__(self, index: int, fault: TransientFault,
+                 site: Tuple[int, int, int]) -> None:
+        self.index = index
+        self.fault = fault
+        self.fire_cycle, self.step, self.beat = site
+
+
+class VectorizedRTLInjector:
+    """Batch fault executor returning scalar-bit-identical classifications."""
+
+    def __init__(self, injector: Optional[RTLInjector] = None) -> None:
+        self.injector = injector or RTLInjector()
+        # scratch SM for single-op re-execution: fire-site corruption and
+        # dirty-lane ops without a numpy kernel (FFMA, SFU polynomials)
+        self._scratch = StreamingMultiprocessor(self.injector.sm.config)
+
+    # -- golden capture ----------------------------------------------------
+    def prepare(self, bench: Microbenchmark) -> PreparedWorkload:
+        """Run *bench* fault-free once, recording the replayable trace."""
+        recorder = GoldenTraceRecorder()
+        result = self.injector.sm.launch(
+            bench.program,
+            bench.n_threads,
+            memory_image=bench.memory_image,
+            initial_registers=bench.initial_registers,
+            recorder=recorder,
+        )
+        golden = GoldenRun(result.cycles,
+                           RTLInjector._snapshot(result, bench))
+        cfg = self.injector.sm.config
+        init_regs = np.zeros((bench.n_threads, cfg.n_registers),
+                             dtype=np.uint32)
+        init_regs[:, 0] = np.arange(bench.n_threads, dtype=np.uint32)
+        if bench.initial_registers:
+            for reg, values in bench.initial_registers.items():
+                n = min(bench.n_threads, len(values))
+                init_regs[:n, reg] = np.array(
+                    [v & 0xFFFFFFFF for v in list(values)[:n]],
+                    dtype=np.uint32)
+        init_mem = np.zeros(cfg.memory_words, dtype=np.uint32)
+        if bench.memory_image:
+            for base, words in bench.memory_image.items():
+                init_mem[base:base + len(words)] = np.array(
+                    [w & 0xFFFFFFFF for w in words], dtype=np.uint32)
+        init_smem = np.zeros(cfg.shared_memory_words, dtype=np.uint32)
+        return PreparedWorkload(bench, golden, recorder,
+                                init_regs, init_mem, init_smem)
+
+    # -- batch injection ---------------------------------------------------
+    def inject_batch(self, prepared: PreparedWorkload,
+                     faults: Sequence[TransientFault],
+                     timeout: Optional[float] = None,
+                     ) -> List[RunClassification]:
+        """Classify every fault; results are in fault-list order.
+
+        ``timeout`` guards the scalar-fallback runs exactly as the scalar
+        campaign path does (lockstep replay itself is bounded by the
+        recorded schedule and needs no guard).
+        """
+        out: List[Optional[RunClassification]] = [None] * len(faults)
+        recorder = prepared.recorder
+        replayable: List[_Universe] = []
+        scalar: List[int] = []
+        for i, fault in enumerate(faults):
+            ff = fault.flipflop
+            fault.fired_cycle = None
+            fault.expired = False
+            if ff.module in FaultPlane.PERSISTENT_STATE_MODULES:
+                # SRAM fault semantics read the armed fault directly,
+                # bypassing plane.latch: the trace cannot resolve them
+                scalar.append(i)
+                continue
+            site = recorder.first_latch_at_or_after(ff.key, fault.cycle)
+            if site is None or site[0] > fault.cycle + fault.window:
+                # no latch of this register inside the window: the
+                # transient decays unconsumed, exactly the scalar run's
+                # FaultDecayedError / never-latched-to-the-end paths
+                fault.expired = True
+                out[i] = RunClassification(Outcome.MASKED,
+                                           fault_fired=False)
+                continue
+            if (ff.module in REPLAY_MODULES
+                    and site[2] != GoldenTraceRecorder.NO_BEAT):
+                replayable.append(_Universe(i, fault, site))
+            else:
+                scalar.append(i)
+        for start in range(0, len(replayable), _SUBBATCH):
+            block = replayable[start:start + _SUBBATCH]
+            for index, classification in self._replay_block(prepared,
+                                                            block):
+                if classification is None:
+                    scalar.append(index)
+                else:
+                    out[index] = classification
+        for i in scalar:
+            out[i] = self._inject_scalar(prepared, faults[i], timeout)
+        return out  # type: ignore[return-value]
+
+    def _inject_scalar(self, prepared: PreparedWorkload,
+                       fault: TransientFault,
+                       timeout: Optional[float]) -> RunClassification:
+        try:
+            with wall_clock_limit(timeout):
+                return self.injector.inject(prepared.bench,
+                                            prepared.golden, fault)
+        except UnitTimeout:
+            return RunClassification(
+                Outcome.DUE,
+                due_reason=f"wall-clock guard: injection exceeded "
+                           f"{timeout:g}s",
+                fault_fired=bool(getattr(fault, "fired", False)),
+            )
+
+    # -- lockstep replay ---------------------------------------------------
+    def _replay_block(self, prepared: PreparedWorkload,
+                      block: List[_Universe],
+                      ) -> List[Tuple[int, Optional[RunClassification]]]:
+        """Advance one block of fired-fault universes through the trace.
+
+        Returns ``(fault_index, classification)`` pairs; a None
+        classification marks a universe that diverged from the golden
+        schedule and must re-run scalar.
+        """
+        cfg = self.injector.sm.config
+        bench = prepared.bench
+        n_threads = bench.n_threads
+        n_universes = len(block)
+        regs = np.repeat(prepared.init_regs[None, :, :], n_universes,
+                         axis=0)
+        preds = np.zeros((n_universes, n_threads, 8), dtype=bool)
+        gmem = np.repeat(prepared.init_mem[None, :], n_universes, axis=0)
+        smem = np.repeat(prepared.init_smem[None, :], n_universes, axis=0)
+        alive = np.ones(n_universes, dtype=bool)
+        ejected = np.zeros(n_universes, dtype=bool)
+        due: Dict[int, str] = {}
+        fires: Dict[Tuple[int, int], List[Tuple[int, _Universe]]] = {}
+        for u, universe in enumerate(block):
+            fires.setdefault((universe.step, universe.beat),
+                             []).append((u, universe))
+        rows = np.arange(n_universes)
+        n_beats = cfg.warp_size // cfg.n_lanes
+
+        for step in prepared.recorder.steps:
+            if not alive.any():
+                break
+            ctrl = step.ctrl
+            opcode = ctrl.opcode
+            if opcode in _CTRL_OPS:
+                continue
+            if opcode is Opcode.BRA:
+                branch = step.branch
+                if branch is None:  # unconditional: golden schedule holds
+                    continue
+                for tid, decision in branch.votes:
+                    vote = preds[:, tid, branch.pred_idx]
+                    if branch.negated:
+                        vote = ~vote
+                    mismatch = alive & (vote != decision)
+                    ejected |= mismatch
+                    alive &= ~mismatch
+                continue
+
+            for beat in range(n_beats):
+                beat_record = step.beats.get(beat)
+                if beat_record is None:
+                    if step.predicated:
+                        self._eject_activated(step, ctrl, beat, cfg,
+                                              n_threads, preds, alive,
+                                              ejected)
+                    continue
+                if step.predicated:
+                    self._eject_divergent(beat_record, ctrl, preds,
+                                          alive, ejected)
+                if not alive.any():
+                    continue
+                beat_fires = fires.get((step.index, beat), ())
+                if opcode in _MEM_OPS:
+                    mem = gmem if opcode in (Opcode.GLD, Opcode.GST) \
+                        else smem
+                    self._replay_mem_beat(opcode, ctrl, beat_record, mem,
+                                          regs, preds, rows, alive, due)
+                elif opcode in _SFU_OPS:
+                    self._replay_sfu_beat(opcode, ctrl, beat_record,
+                                          regs, preds, alive)
+                else:
+                    self._replay_alu_beat(opcode, ctrl, beat_record,
+                                          beat_fires, regs, preds, alive,
+                                          ejected)
+
+        results: List[Tuple[int, Optional[RunClassification]]] = []
+        bases = [base for base, _ in bench.output_regions]
+        for u, universe in enumerate(block):
+            universe.fault.fired_cycle = universe.fire_cycle
+            universe.fault.expired = False
+            if u in due:
+                results.append((universe.index, RunClassification(
+                    Outcome.DUE, due_reason=due[u], fault_fired=True)))
+            elif ejected[u]:
+                results.append((universe.index, None))
+            else:
+                regions = tuple(
+                    tuple(int(word)
+                          for word in gmem[u, base:base + count])
+                    for base, count in bench.output_regions)
+                results.append((universe.index, classify_run(
+                    prepared.golden.regions, regions, bases,
+                    fault_fired=True)))
+        return results
+
+    # -- beat replay helpers -----------------------------------------------
+    @staticmethod
+    def _eject_activated(step, ctrl, beat, cfg, n_threads, preds, alive,
+                         ejected) -> None:
+        """Golden skipped this beat entirely; eject universes whose
+        predicates would activate a lane in it."""
+        group_start = beat * cfg.n_lanes
+        for lane in range(cfg.n_lanes):
+            bit = group_start + lane
+            tid = step.warp_id * cfg.warp_size + bit
+            if tid >= n_threads or not ctrl.warp_mask >> bit & 1:
+                continue
+            allow = preds[:, tid, ctrl.pred_idx]
+            if ctrl.pred_negated:
+                allow = ~allow
+            activated = alive & allow
+            ejected |= activated
+            alive &= ~activated
+
+    @staticmethod
+    def _eject_divergent(beat_record, ctrl, preds, alive, ejected) -> None:
+        """Eject universes whose predicate state would change which lanes
+        of a recorded beat execute."""
+        for lane, tid in enumerate(beat_record.lanes):
+            bit = beat_record.group_start + lane
+            if tid is None or not ctrl.warp_mask >> bit & 1:
+                continue
+            golden_active = bool(beat_record.group_mask >> lane & 1)
+            allow = preds[:, tid, ctrl.pred_idx]
+            if ctrl.pred_negated:
+                allow = ~allow
+            mismatch = alive & (allow != golden_active)
+            ejected |= mismatch
+            alive &= ~mismatch
+
+    @staticmethod
+    def _operand_column(regs, tid, src, ctrl) -> Optional[np.ndarray]:
+        """Per-universe values of one source operand, or None when the
+        operand is a constant (immediate / no register) for every
+        universe."""
+        if ctrl.src_is_imm[src]:
+            return None
+        sel = ctrl.src_sel[src]
+        if sel == _NO_REG:
+            return None
+        return regs[:, tid, sel]
+
+    def _replay_alu_beat(self, opcode, ctrl, beat_record, beat_fires,
+                         regs, preds, alive, ejected) -> None:
+        writebacks: List[Tuple[int, np.ndarray]] = []
+        for lane, tid in enumerate(beat_record.lanes):
+            if tid is None or not beat_record.group_mask >> lane & 1:
+                continue
+            golden = beat_record.operands[lane]
+            columns = [self._operand_column(regs, tid, src, ctrl)
+                       for src in range(3)]
+            dirty = np.zeros(alive.shape, dtype=bool)
+            for src, column in enumerate(columns):
+                if column is not None:
+                    dirty |= column != np.uint32(golden[src])
+            dirty &= alive
+            result = np.full(alive.shape, beat_record.results[lane],
+                             dtype=np.uint32)
+            if dirty.any():
+                operands = [
+                    column[dirty] if column is not None
+                    else np.full(int(dirty.sum()), golden[src],
+                                 dtype=np.uint32)
+                    for src, column in enumerate(columns)
+                ]
+                vectored = vector_compute(opcode, ctrl.compare, *operands)
+                if vectored is not None:
+                    result[dirty] = vectored
+                else:  # FFMA: no single-rounding numpy path
+                    for row, a, b, c in zip(np.nonzero(dirty)[0],
+                                            *operands):
+                        result[row] = self._scratch_compute(
+                            opcode, ctrl, lane, int(a), int(b), int(c))
+            for u, universe in beat_fires:
+                if universe.fault.flipflop.lane != lane or not alive[u]:
+                    continue
+                fired = self._scratch_fire(opcode, ctrl, universe, golden)
+                if fired is None:  # did not reproduce: re-run scalar
+                    ejected[u] = True
+                    alive[u] = False
+                else:
+                    result[u] = np.uint32(fired)
+            writebacks.append((lane, result))
+        self._writeback(ctrl, beat_record, writebacks, regs, preds, alive)
+
+    def _replay_mem_beat(self, opcode, ctrl, beat_record, mem, regs,
+                         preds, rows, alive, due) -> None:
+        n_words = mem.shape[1]
+        offset = 0 if ctrl.src_is_imm[0] else ctrl.imm
+        is_store = opcode in (Opcode.GST, Opcode.SST)
+        writebacks: List[Tuple[int, np.ndarray]] = []
+        for lane, tid in enumerate(beat_record.lanes):
+            if tid is None or not beat_record.group_mask >> lane & 1:
+                continue
+            golden = beat_record.operands[lane]
+            address_column = self._operand_column(regs, tid, 0, ctrl)
+            if address_column is None:
+                address = np.full(alive.shape, golden[0], dtype=np.uint32)
+            else:
+                address = address_column.copy()
+            address += np.uint32(offset & 0xFFFFFFFF)
+            out_of_bounds = alive & (address >= n_words)
+            if out_of_bounds.any():
+                # first offending lane kills the universe, with the
+                # scalar path's exact MemoryFaultError message
+                for u in np.nonzero(out_of_bounds)[0]:
+                    due[int(u)] = (
+                        f"MemoryFaultError: access to word address "
+                        f"{int(address[u]):#x} outside the {n_words}-word "
+                        f"global memory")
+                alive &= ~out_of_bounds
+            if is_store:
+                value_column = self._operand_column(regs, tid, 1, ctrl)
+                if value_column is None:
+                    value_column = np.full(alive.shape, golden[1],
+                                           dtype=np.uint32)
+                mem[alive, address[alive]] = value_column[alive]
+            else:
+                safe = np.minimum(address, np.uint32(n_words - 1))
+                writebacks.append((lane, mem[rows, safe]))
+        if not is_store:
+            self._writeback(ctrl, beat_record, writebacks, regs, preds,
+                            alive)
+
+    def _replay_sfu_beat(self, opcode, ctrl, beat_record, regs, preds,
+                         alive) -> None:
+        """SFU beats: golden results unless the input operand is dirty, in
+        which case the deterministic datapath recomputes it (controller
+        routing stays golden — controller faults never reach replay)."""
+        writebacks: List[Tuple[int, np.ndarray]] = []
+        datapath = self._scratch.sfu.units[0]
+        for lane, tid in enumerate(beat_record.lanes):
+            if tid is None or not beat_record.group_mask >> lane & 1:
+                continue
+            golden = beat_record.operands[lane]
+            column = self._operand_column(regs, tid, 0, ctrl)
+            result = np.full(alive.shape, beat_record.results[lane],
+                             dtype=np.uint32)
+            if column is not None:
+                dirty = alive & (column != np.uint32(golden[0]))
+                for u in np.nonzero(dirty)[0]:
+                    result[u] = np.uint32(
+                        datapath.compute(opcode, int(column[u])))
+            writebacks.append((lane, result))
+        self._writeback(ctrl, beat_record, writebacks, regs, preds, alive)
+
+    @staticmethod
+    def _writeback(ctrl, beat_record, writebacks, regs, preds,
+                   alive) -> None:
+        if not ctrl.write_enable:
+            return
+        dest = ctrl.dest
+        for lane, result in writebacks:
+            tid = beat_record.lanes[lane]
+            if ctrl.dest_is_predicate:
+                preds[alive, tid, dest] = result[alive] != 0
+            else:
+                regs[alive, tid, dest] = result[alive]
+
+    # -- scratch single-op execution ---------------------------------------
+    def _scratch_compute(self, opcode, ctrl, lane: int, a: int, b: int,
+                         c: int) -> int:
+        """Golden-mode scalar recompute on the passive scratch SM."""
+        return self._scratch._compute_lane(opcode, ctrl, lane, a, b, c)
+
+    def _scratch_fire(self, opcode, ctrl, universe: _Universe,
+                      operands: Tuple[int, int, int]) -> Optional[int]:
+        """Re-execute the firing op with the transient armed on the
+        scratch plane, reproducing the corrupted result bit-for-bit."""
+        fault = universe.fault
+        plane = self._scratch.plane
+        plane.cycle = universe.fire_cycle
+        copy = TransientFault(fault.flipflop, fault.bit, fault.cycle,
+                              window=fault.window, n_bits=fault.n_bits)
+        plane.arm(copy)
+        try:
+            a, b, c = operands
+            value = self._scratch_compute(opcode, ctrl,
+                                          fault.flipflop.lane, a, b, c)
+        finally:
+            plane.disarm()
+        if not copy.fired:
+            return None
+        return value & 0xFFFFFFFF

@@ -1,0 +1,322 @@
+"""Seeded differential fuzz of the functional-unit datapaths.
+
+Three oracles pin the golden-mode datapath semantics:
+
+* ``FP32Unit.fadd``/``fmul`` against numpy ``float32`` arithmetic with
+  the unit's G80 conventions applied (FTZ on input and output, every
+  NaN canonicalised to ``0x7FC00000``);
+* ``FP32Unit.ffma`` against an exact :mod:`fractions`-based
+  single-rounding fused multiply-add — numpy cannot express this, which
+  is exactly why the fused path deserves its own oracle;
+* ``IntUnit`` ops against wrapping numpy ``uint32`` arithmetic.
+
+The same operand streams then validate the vectorized numpy kernels
+(:mod:`repro.gpu.vector`) element-by-element against the scalar units —
+the bit-identity contract the fault-parallel replay engine relies on
+for dirty-lane recomputation.
+
+Operands are raw 32-bit patterns with a forced share of specials
+(Inf/NaN exponents, denormals, zeros), not just well-behaved floats.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.gpu.bits import float_to_bits
+from repro.gpu.fault_plane import FaultPlane
+from repro.gpu.fp32 import FP32Unit
+from repro.gpu.intu import IntUnit
+from repro.gpu.isa import CompareOp, Opcode
+from repro.gpu.vector import VECTOR_OPCODES, vector_compute
+
+N_CASES = 2500
+_QNAN = 0x7FC00000
+_EXP = 0x7F800000
+_MANT = 0x007FFFFF
+_SIGN = 0x80000000
+
+
+def _operands(seed, n=N_CASES):
+    """Raw uint32 operand stream with ~1/2 specials mixed in."""
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 1 << 32, size=n, dtype=np.uint32)
+    shape = rng.integers(0, 4, size=n)
+    bits = np.where(shape == 1, (bits & 0x807FFFFF) | _EXP, bits)  # Inf/NaN
+    bits = np.where(shape == 2, bits & 0x807FFFFF, bits)           # denorm/0
+    return bits
+
+
+def _units():
+    plane = FaultPlane()
+    return FP32Unit(plane, 8), IntUnit(plane, 8)
+
+
+# -- numpy float32 reference (G80 conventions) -------------------------------
+def _np_f32(op, a_bits, b_bits):
+    def flush(bits):
+        return np.where((bits & _EXP) == 0, bits & _SIGN, bits)
+
+    with np.errstate(all="ignore"):
+        a = flush(a_bits).view(np.float32)
+        b = flush(b_bits).view(np.float32)
+        out = (a + b if op is Opcode.FADD else a * b).view(np.uint32)
+    nan = ((out & _EXP) == _EXP) & ((out & _MANT) != 0)
+    out = np.where(nan, np.uint32(_QNAN), out)
+    denormal = ((out & _EXP) == 0) & ((out & _MANT) != 0)
+    return np.where(denormal, out & _SIGN, out)
+
+
+# -- exact fused multiply-add reference --------------------------------------
+def _decompose(bits):
+    sign = bits >> 31
+    exp = bits >> 23 & 0xFF
+    mant = bits & _MANT
+    if exp == 0xFF:
+        return ("nan" if mant else "inf", sign, None)
+    if exp == 0:  # FTZ input
+        return ("num", sign, Fraction(0))
+    return ("num", sign,
+            Fraction((1 << 23) | mant, 1 << 23) * Fraction(2) ** (exp - 127))
+
+
+def _round_f32(sign, magnitude):
+    """Round a positive Fraction to float32 bits: RNE, FTZ, Inf overflow."""
+    exp = 0
+    while Fraction(2) ** exp > magnitude:
+        exp -= 1
+    while Fraction(2) ** (exp + 1) <= magnitude:
+        exp += 1
+    if exp < -126:
+        # denormal range: round on the denormal grid, then flush to zero
+        q = magnitude / Fraction(2) ** -149
+        integer = int(q)
+        rem = q - integer
+        if rem > Fraction(1, 2) or (rem == Fraction(1, 2) and integer & 1):
+            integer += 1
+        if integer >= 1 << 23:  # rounded up into the smallest normal
+            return (sign << 31) | (1 << 23)
+        return sign << 31
+    q = magnitude / Fraction(2) ** (exp - 23)
+    integer = int(q)
+    rem = q - integer
+    if rem > Fraction(1, 2) or (rem == Fraction(1, 2) and integer & 1):
+        integer += 1
+    if integer >= 1 << 24:
+        integer >>= 1
+        exp += 1
+    if exp > 127:
+        return (sign << 31) | _EXP
+    return (sign << 31) | ((exp + 127) << 23) | (integer & _MANT)
+
+
+def exact_fma(a_bits, b_bits, c_bits):
+    """Single-rounding float32 FMA with G80 FTZ/NaN conventions."""
+    da, db, dc = (_decompose(x) for x in (a_bits, b_bits, c_bits))
+    if "nan" in (da[0], db[0], dc[0]):
+        return _QNAN
+    if da[0] == "inf" or db[0] == "inf":
+        other = db if da[0] == "inf" else da
+        if other[0] == "num" and other[2] == 0:
+            return _QNAN  # Inf x 0
+        product_sign = da[1] ^ db[1]
+        if dc[0] == "inf" and dc[1] != product_sign:
+            return _QNAN  # Inf - Inf
+        return (product_sign << 31) | _EXP
+    if dc[0] == "inf":
+        return (dc[1] << 31) | _EXP
+    product = (-1) ** da[1] * da[2] * (-1) ** db[1] * db[2]
+    addend = (-1) ** dc[1] * dc[2]
+    exact = product + addend
+    if exact == 0:
+        if product == 0 and addend == 0:
+            # both zero: IEEE keeps -0 only when every term is negative
+            return (da[1] ^ db[1]) & dc[1] and _SIGN or 0
+        return 0  # exact cancellation rounds to +0 in round-to-nearest
+    sign = 0 if exact > 0 else 1
+    return _round_f32(sign, abs(exact))
+
+
+# -- the fuzz ----------------------------------------------------------------
+class TestFp32DifferentialFuzz:
+    def test_fadd_matches_numpy_float32(self):
+        fp32, _ = _units()
+        a, b = _operands(11), _operands(12)
+        want = _np_f32(Opcode.FADD, a, b)
+        for i in range(N_CASES):
+            assert fp32.fadd(int(a[i]), int(b[i]), 0) == int(want[i]), \
+                f"fadd({int(a[i]):#010x}, {int(b[i]):#010x})"
+
+    def test_fmul_matches_numpy_float32(self):
+        fp32, _ = _units()
+        a, b = _operands(21), _operands(22)
+        want = _np_f32(Opcode.FMUL, a, b)
+        for i in range(N_CASES):
+            assert fp32.fmul(int(a[i]), int(b[i]), 0) == int(want[i]), \
+                f"fmul({int(a[i]):#010x}, {int(b[i]):#010x})"
+
+    def test_ffma_matches_exact_single_rounding(self):
+        fp32, _ = _units()
+        a, b, c = _operands(31), _operands(32), _operands(33)
+        for i in range(N_CASES):
+            got = fp32.ffma(int(a[i]), int(b[i]), int(c[i]), 0)
+            want = exact_fma(int(a[i]), int(b[i]), int(c[i]))
+            assert got == want, (
+                f"ffma({int(a[i]):#010x}, {int(b[i]):#010x}, "
+                f"{int(c[i]):#010x}): unit {got:#010x} != exact "
+                f"{want:#010x}")
+
+
+class TestIntDifferentialFuzz:
+    def test_int_ops_match_numpy_uint32(self):
+        _, intu = _units()
+        a, b, c = _operands(41), _operands(42), _operands(43)
+        with np.errstate(all="ignore"):
+            refs = {
+                "iadd": a + b,
+                "imul": a * b,
+                "imad": a * b + c,
+                "shl": a << (b & np.uint32(31)),
+                "shr": a >> (b & np.uint32(31)),
+                "and": a & b,
+                "or": a | b,
+                "xor": a ^ b,
+            }
+        for i in range(N_CASES):
+            x, y, z = int(a[i]), int(b[i]), int(c[i])
+            assert intu.iadd(x, y, 0) == int(refs["iadd"][i])
+            assert intu.imul(x, y, 0) == int(refs["imul"][i])
+            assert intu.imad(x, y, z, 0) == int(refs["imad"][i])
+            assert intu.shl(x, y, 0) == int(refs["shl"][i])
+            assert intu.shr(x, y, 0) == int(refs["shr"][i])
+            for lop in ("and", "or", "xor"):
+                assert intu.lop(lop.upper(), x, y, 0) == int(refs[lop][i])
+
+
+class TestVectorKernelsMatchScalarUnits:
+    """The vector kernels must be bit-identical to the scalar units —
+    the replay engine substitutes one for the other on dirty lanes."""
+
+    def test_fadd_fmul_elementwise(self):
+        fp32, _ = _units()
+        a, b = _operands(51), _operands(52)
+        for op, fn in ((Opcode.FADD, fp32.fadd), (Opcode.FMUL, fp32.fmul)):
+            vec = vector_compute(op, None, a, b, b)
+            for i in range(N_CASES):
+                assert fn(int(a[i]), int(b[i]), 0) == int(vec[i]), \
+                    f"{op} diverges at {int(a[i]):#010x}, {int(b[i]):#010x}"
+
+    def test_int_ops_elementwise(self):
+        _, intu = _units()
+        a, b, c = _operands(61), _operands(62), _operands(63)
+        scalar = {
+            Opcode.IADD: lambda x, y, z: intu.iadd(x, y, 0),
+            Opcode.IMUL: lambda x, y, z: intu.imul(x, y, 0),
+            Opcode.IMAD: lambda x, y, z: intu.imad(x, y, z, 0),
+            Opcode.SHL: lambda x, y, z: intu.shl(x, y, 0),
+            Opcode.SHR: lambda x, y, z: intu.shr(x, y, 0),
+            Opcode.LOP_AND: lambda x, y, z: intu.lop("AND", x, y, 0),
+            Opcode.LOP_OR: lambda x, y, z: intu.lop("OR", x, y, 0),
+            Opcode.LOP_XOR: lambda x, y, z: intu.lop("XOR", x, y, 0),
+        }
+        for op, fn in scalar.items():
+            vec = vector_compute(op, None, a, b, c)
+            for i in range(0, N_CASES, 3):
+                assert fn(int(a[i]), int(b[i]), int(c[i])) == int(vec[i])
+
+    def test_mov_iset_f2i_i2f_elementwise(self):
+        a, b = _operands(71), _operands(72)
+        mov = vector_compute(Opcode.MOV, None, a, b, b)
+        assert (mov == a).all()
+        for compare in CompareOp:
+            vec = vector_compute(Opcode.ISET, compare, a, b, b)
+            ai = a.view(np.int32)
+            bi = b.view(np.int32)
+            for i in range(0, N_CASES, 5):
+                want = {
+                    CompareOp.EQ: ai[i] == bi[i],
+                    CompareOp.NE: ai[i] != bi[i],
+                    CompareOp.LT: ai[i] < bi[i],
+                    CompareOp.LE: ai[i] <= bi[i],
+                    CompareOp.GT: ai[i] > bi[i],
+                    CompareOp.GE: ai[i] >= bi[i],
+                }[compare]
+                assert int(vec[i]) == int(want)
+        # F2I: scalar SM semantics (trunc toward zero, saturate to
+        # 0x80000000 on NaN / |v| >= 2^31); I2F: int32 -> float32 RNE
+        edge = np.array([
+            float_to_bits(float("nan")), float_to_bits(float("inf")),
+            float_to_bits(float("-inf")), float_to_bits(2.0**31),
+            float_to_bits(-2.0**31), float_to_bits(2.0**31 - 128),
+            float_to_bits(-0.0), float_to_bits(0.5), float_to_bits(-1.5),
+        ], dtype=np.uint32)
+        stream = np.concatenate([a, edge])
+        f2i = vector_compute(Opcode.F2I, None, stream, stream, stream)
+        i2f = vector_compute(Opcode.I2F, None, stream, stream, stream)
+        for i in range(len(stream)):
+            bits = int(stream[i])
+            fval = float(np.uint32(bits).view(np.float32))
+            if fval != fval or abs(fval) >= 2**31:
+                want_f2i = 0x80000000
+            else:
+                want_f2i = int(fval) & 0xFFFFFFFF
+            assert int(f2i[i]) == want_f2i, f"F2I({bits:#010x})"
+            signed = bits - (1 << 32) if bits & _SIGN else bits
+            assert int(i2f[i]) == float_to_bits(float(np.float32(signed)))
+
+    def test_unsupported_opcodes_return_none(self):
+        a = _operands(81, 8)
+        for op in (Opcode.FFMA, Opcode.GLD, Opcode.GST, Opcode.FSIN,
+                   Opcode.RCP, Opcode.BRA):
+            assert op not in VECTOR_OPCODES
+            assert vector_compute(op, None, a, a, a) is None
+
+
+class TestFfmaSpecialCases:
+    """Pinned FFMA special-value semantics (the collapsed dead branch in
+    ``_fma_special`` made ``c_exp == 0`` addends take the fused path)."""
+
+    @staticmethod
+    def _ffma(a, b, c):
+        fp32, _ = _units()
+        return fp32.ffma(float_to_bits(a) if isinstance(a, float) else a,
+                         float_to_bits(b) if isinstance(b, float) else b,
+                         float_to_bits(c) if isinstance(c, float) else c, 0)
+
+    def test_zero_addend_takes_fused_path(self):
+        # a*b + (+-0) must equal the rounded product, not zero
+        assert self._ffma(1.5, 2.0, 0.0) == float_to_bits(3.0)
+        assert self._ffma(1.5, 2.0, -0.0) == float_to_bits(3.0)
+        assert self._ffma(-1.5, 2.0, 0.0) == float_to_bits(-3.0)
+
+    def test_zero_times_anything_plus_addend(self):
+        assert self._ffma(0.0, 123.25, 7.5) == float_to_bits(7.5)
+        # (+0)*(x) + (-0): product +0, addend -0 -> +0 under RN
+        assert self._ffma(0.0, 123.25, -0.0) == float_to_bits(0.0)
+        # (-0)*(x) + (-0): product -0, addend -0 -> -0
+        assert self._ffma(-0.0, 123.25, -0.0) == float_to_bits(-0.0)
+
+    def test_inf_times_zero_is_qnan(self):
+        assert self._ffma(float("inf"), 0.0, 1.0) == _QNAN
+        assert self._ffma(0.0, float("-inf"), 1.0) == _QNAN
+
+    def test_inf_product_with_opposite_inf_addend_is_qnan(self):
+        assert self._ffma(float("inf"), 2.0, float("-inf")) == _QNAN
+        assert self._ffma(float("-inf"), 2.0, float("inf")) == _QNAN
+        # same-signed infinities accumulate
+        assert self._ffma(float("inf"), 2.0, float("inf")) == \
+            float_to_bits(float("inf"))
+
+    def test_finite_product_with_inf_addend(self):
+        assert self._ffma(3.0, 4.0, float("-inf")) == \
+            float_to_bits(float("-inf"))
+
+    def test_specials_agree_with_exact_oracle(self):
+        specials = [float_to_bits(v) for v in
+                    (0.0, -0.0, 1.0, -1.0, float("inf"), float("-inf"),
+                     float("nan"), 2.0**-126, 3.5)]
+        fp32, _ = _units()
+        for a in specials:
+            for b in specials:
+                for c in specials:
+                    assert fp32.ffma(a, b, c, 0) == exact_fma(a, b, c)
