@@ -11,6 +11,7 @@ from .mxm import MatrixMultiply
 from .nw import NeedlemanWunsch
 from .pathfinder import Pathfinder
 from .quicksort import Quicksort
+from .transformer import TransformerBlockApp
 from .yolo_app import YoloApp
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "LUDecomposition",
     "MatrixMultiply",
     "Quicksort",
+    "TransformerBlockApp",
     "YoloApp",
 ]
 
@@ -43,17 +45,32 @@ APP_FACTORIES = {
     "BFS": BreadthFirstSearch,
     "NW": NeedlemanWunsch,
     "Pathfinder": Pathfinder,
+    "Transformer": TransformerBlockApp,
 }
 
 
-def make_application(name: str, seed: int = 0) -> GPUApplication:
-    """Instantiate a registered application by its canonical name."""
+def make_application(name: str, seed: int = 0,
+                     precision: str = "fp32") -> GPUApplication:
+    """Instantiate a registered application by its canonical name.
+
+    ``precision`` selects the float storage format for applications that
+    support mixed precision (currently the transformer block); asking a
+    fixed-fp32 workload for a reduced format is an error rather than a
+    silent fallback.
+    """
     try:
         factory = APP_FACTORIES[name]
     except KeyError:
         raise KeyError(
             f"unknown application {name!r}; "
             f"choose from {sorted(APP_FACTORIES)}")
+    if precision != "fp32":
+        import inspect
+        if "precision" not in inspect.signature(factory).parameters:
+            raise ValueError(
+                f"application {name!r} runs fp32 only; "
+                f"precision={precision!r} is not supported")
+        return factory(seed=seed, precision=precision)
     return factory(seed=seed)
 
 

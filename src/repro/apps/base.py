@@ -26,6 +26,9 @@ class GPUApplication(ABC):
     name: str = "app"
     domain: str = ""
     size_label: str = ""
+    #: float format of the operand streams ("fp32"/"fp16"/"bf16");
+    #: injectors read this to match their arithmetic to the app's
+    precision: str = "fp32"
 
     @abstractmethod
     def run(self, ops: SassOps) -> np.ndarray:
@@ -33,7 +36,7 @@ class GPUApplication(ABC):
 
     def golden(self) -> np.ndarray:
         """Convenience fault-free execution."""
-        return self.run(SassOps())
+        return self.run(SassOps(precision=self.precision))
 
     def is_sdc(self, golden: np.ndarray, observed: np.ndarray) -> bool:
         """True when the outputs mismatch (the paper's SDC criterion).

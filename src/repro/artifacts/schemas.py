@@ -5,7 +5,9 @@ kind                 version  payload
 ===================  =======  ==================================================
 ``rtl-report``       1        one RTL campaign cell's general + detailed records
 ``pvf-report``       1        one SWFI campaign's PVF tallies
-``syndrome-db``      1        the distilled fault-syndrome database
+``syndrome-db``      2        the distilled fault-syndrome database
+                              (v2: precision-keyed entries; v1 keys
+                              migrate to ``fp32``)
 ``campaign-journal`` 1        a checkpoint journal's header line
 ``campaign-metrics`` 1        per-unit campaign telemetry
 ``job-record``       1        one service job row
@@ -147,7 +149,7 @@ def codec(cls: type) -> Codec:
 
 # -- rtl-report ---------------------------------------------------------------
 def _dump_rtl_report(report: CampaignReport) -> dict:
-    return {
+    payload = {
         "instruction": report.instruction,
         "input_range": report.input_range,
         "module": report.module,
@@ -155,6 +157,11 @@ def _dump_rtl_report(report: CampaignReport) -> dict:
         "general": [_GENERAL.dump(r) for r in report.general],
         "detailed": [_DETAILED.dump(r) for r in report.detailed],
     }
+    # mixed-precision campaigns annotate their format; fp32 reports omit
+    # the key so their payloads stay byte-identical to the v1 fixtures
+    if report.precision != "fp32":
+        payload["precision"] = report.precision
+    return payload
 
 
 def _load_rtl_report(data: dict) -> CampaignReport:
@@ -163,6 +170,7 @@ def _load_rtl_report(data: dict) -> CampaignReport:
         input_range=data["input_range"],
         module=data["module"],
         n_injections=data["n_injections"],
+        precision=data.get("precision", "fp32"),
     )
     for item in data["general"]:
         report.general.append(_GENERAL.load(item))
@@ -215,6 +223,40 @@ def _load_syndrome_db(data: dict) -> SyndromeDatabase:
         entry.finalize()
         db.add_tmxm(entry)
     return db
+
+
+def _migrate_syndrome_db_v1(payload: dict) -> dict:
+    """syndrome-db v1 -> v2: entry keys gain a precision element.
+
+    Every pre-precision database was characterised on the binary32
+    datapath, so each 3-element ``(opcode, range, module)`` key becomes
+    ``(opcode, range, module, "fp32")``.  Samples, fits and t-MxM
+    statistics are untouched, which keeps every lookup bit-identical.
+    """
+    migrated = dict(payload)
+    entries = []
+    for item in payload.get("entries", []):
+        item = dict(item)
+        key = list(item.get("key", ()))
+        if len(key) == 3:
+            key.append("fp32")
+        item["key"] = key
+        entries.append(item)
+    migrated["entries"] = entries
+    return migrated
+
+
+def _sniff_syndrome_db(payload: dict) -> int:
+    """Version-detect a bare (envelope-less) syndrome-db payload.
+
+    v1 entry keys are 3-element triples, v2 keys carry the precision as
+    a 4th element.  An empty database sniffs as v2 (the migration is a
+    no-op for it either way).
+    """
+    for item in payload.get("entries", []):
+        if len(item.get("key", ())) < 4:
+            return 1
+    return 2
 
 
 def _sample_syndrome_db() -> SyndromeDatabase:
@@ -383,8 +425,10 @@ register_schema(ArtifactSchema(
     sample=_sample_pvf_report))
 
 register_schema(ArtifactSchema(
-    kind="syndrome-db", version=1,
+    kind="syndrome-db", version=2,
     dump=_dump_syndrome_db, load=_load_syndrome_db,
+    migrations={1: _migrate_syndrome_db_v1},
+    sniff_version=_sniff_syndrome_db,
     sample=_sample_syndrome_db))
 
 register_schema(ArtifactSchema(

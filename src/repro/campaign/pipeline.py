@@ -56,7 +56,7 @@ def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
                 input_ranges, grid_faults: int, tmxm_faults: int,
                 n_jobs: int, batch_size: Optional[int],
                 timeout: Optional[float], fresh: bool,
-                quiet: bool,
+                quiet: bool, precision: str = "fp32",
                 cancel: Optional[Callable[[], bool]] = None
                 ) -> List[CampaignMetrics]:
     """Stage 1+2: RTL instruction grid and t-MxM tiles, streamed."""
@@ -79,7 +79,7 @@ def _grid_stage(workdir: Path, builder, *, seed: int, opcodes,
         checkpoint=grid_journal, resume=not fresh and grid_journal.exists(),
         progress=progress, metrics=grid_metrics, cancel=cancel,
         consume=lambda index, report: builder.add_report(report),
-        collect=False)
+        collect=False, precision=precision)
     progress = make_progress(None, "tmxm", quiet=quiet)
     progress.status(
         f"[stage 1/3] t-MxM tiles ({tmxm_faults} faults/cell)"
@@ -119,6 +119,7 @@ def run_pipeline(workdir: Union[str, Path],
                  timeout: Optional[float] = None,
                  fresh: bool = False,
                  quiet: bool = False,
+                 precision: str = "fp32",
                  cancel: Optional[Callable[[], bool]] = None) -> Dict:
     """Run RTL campaigns, distil the database, measure application PVFs.
 
@@ -127,6 +128,10 @@ def run_pipeline(workdir: Union[str, Path],
     *workdir* resumes: finished RTL batches replay from their journals, a
     finished database skips the RTL stages, and finished PVF batches
     replay from theirs.  ``fresh=True`` discards all prior state.
+    ``precision`` selects the float datapath end to end: the RTL grid
+    characterises the matching reduced-precision unit, the syndrome
+    database keys its entries by format, and the applications (which
+    must support the format) run their operand streams through it.
     ``cancel`` is polled between work units of every stage; a true
     return aborts the pipeline with
     :class:`~repro.errors.CampaignCancelled`, leaving the journals
@@ -155,6 +160,14 @@ def run_pipeline(workdir: Union[str, Path],
             raise KeyError(
                 f"unknown application {name!r}; "
                 f"choose from {sorted(APP_FACTORIES)}")
+    if precision not in ("fp32", "fp16", "bf16"):
+        raise CampaignError(
+            f"unknown float precision {precision!r}; "
+            "choose from ('fp32', 'fp16', 'bf16')")
+    if precision != "fp32":
+        # fail on fp32-only apps before hours of RTL campaigning
+        for name in app_names:
+            make_application(name, seed=seed, precision=precision)
 
     status = make_progress(None, "", quiet=quiet)
     stage_metrics: List[Dict] = []
@@ -179,7 +192,7 @@ def run_pipeline(workdir: Union[str, Path],
             input_ranges=input_ranges, grid_faults=grid_faults,
             tmxm_faults=tmxm_faults, n_jobs=n_jobs,
             batch_size=batch_size, timeout=timeout, fresh=fresh,
-            quiet=quiet)
+            quiet=quiet, precision=precision)
         stage_metrics.extend(m.to_dict() for m in rtl_metrics)
         database = builder.build()
         database.save(db_path)
@@ -190,7 +203,8 @@ def run_pipeline(workdir: Union[str, Path],
     pvf_results: List[Dict] = []
     for app_name in app_names:
         for model_name in model_names:
-            app = make_application(app_name, seed=seed)
+            app = make_application(app_name, seed=seed,
+                                   precision=precision)
             model = _make_model(model_name, database)
             journal = workdir / f"pvf_{app_name}_{model_name}.jsonl"
             progress = make_progress(
@@ -227,6 +241,7 @@ def run_pipeline(workdir: Union[str, Path],
             "tmxm_faults": int(tmxm_faults),
             "injections": int(injections),
             "batch_size": None if batch_size is None else int(batch_size),
+            "precision": precision,
         },
         "database": {
             "path": str(db_path),

@@ -75,13 +75,17 @@ def _cmd_inventory(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     injector = RTLInjector() if args.jobs == 1 else None
     bench = make_microbenchmark(Opcode(args.opcode), args.range,
-                                seed=args.seed)
-    report = run_campaign(bench, args.module, args.faults, seed=args.seed,
+                                seed=args.seed, precision=args.precision)
+    module = args.module
+    if module == "fp32" and args.precision != "fp32":
+        # follow the float datapath the precision selects
+        module = args.precision
+    report = run_campaign(bench, module, args.faults, seed=args.seed,
                           injector=injector, n_jobs=args.jobs,
                           batch_size=args.batch_size,
                           progress=make_progress(
                               None, "campaign", quiet=args.quiet))
-    print(f"{args.opcode} x {args.module} ({args.range} inputs, "
+    print(f"{args.opcode} x {module} ({args.range} inputs, "
           f"{args.faults} faults, seed {args.seed})")
     print(f"  masked {report.n_masked}  SDC {report.n_sdc} "
           f"(single {report.n_sdc_single} / multi {report.n_sdc_multiple})"
@@ -115,9 +119,11 @@ def _cmd_tmxm(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from .apps import make_application
     from .swfi import profile_application
 
-    app = _apps()[args.app](seed=args.seed)
+    app = make_application(args.app, seed=args.seed,
+                           precision=args.precision)
     profile = profile_application(app)
     print(render_fig3([profile]))
     return 0
@@ -132,7 +138,10 @@ def _cmd_pvf(args: argparse.Namespace) -> int:
         run_pvf_campaign,
     )
 
-    app = _apps()[args.app](seed=args.seed)
+    from .apps import make_application
+
+    app = make_application(args.app, seed=args.seed,
+                           precision=args.precision)
     injector = SoftwareInjector(app) if args.jobs == 1 else None
     models = []
     if args.model in ("bitflip", "both"):
@@ -187,7 +196,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         grid_faults=args.grid_faults, tmxm_faults=args.tmxm_faults,
         apps=args.apps, models=models, injections=args.injections,
         n_jobs=args.jobs, batch_size=args.batch_size,
-        timeout=args.timeout, fresh=args.fresh, quiet=args.quiet)
+        timeout=args.timeout, fresh=args.fresh, quiet=args.quiet,
+        precision=args.precision)
     db = summary["database"]
     print(f"syndrome database: {db['entries']} entries, "
           f"{db['tmxm_entries']} t-MxM entries")
@@ -238,7 +248,7 @@ def _client(args: argparse.Namespace):
 _SUBMIT_PARAMS = ("seed", "jobs", "batch_size", "timeout", "budget",
                   "app", "model", "injections", "opcode", "module",
                   "range", "faults", "apps", "models", "opcodes",
-                  "grid_faults", "tmxm_faults")
+                  "grid_faults", "tmxm_faults", "precision")
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -397,6 +407,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="work units per batch (default: one unit "
                              "per campaign cell; PVF campaigns: 50)")
 
+    # float datapath selector shared by precision-aware subcommands
+    precision_opt = argparse.ArgumentParser(add_help=False)
+    precision_opt.add_argument(
+        "--precision", default="fp32",
+        choices=["fp32", "fp16", "bf16"],
+        help="float datapath / operand storage format (default fp32)")
+
     inventory = sub.add_parser(
         "inventory", help="print the Table I module inventory")
     inventory.set_defaults(func=_cmd_inventory)
@@ -410,7 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     schemas.set_defaults(func=_cmd_schemas)
 
     campaign = sub.add_parser(
-        "campaign", parents=[common],
+        "campaign", parents=[common, precision_opt],
         help="run one RTL micro-benchmark campaign")
     campaign.add_argument("--opcode", default="FADD",
                           choices=[o.value for o in Opcode
@@ -435,14 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
     tmxm.set_defaults(func=_cmd_tmxm)
 
     profile = sub.add_parser(
-        "profile", help="print an application's dynamic SASS profile")
+        "profile", parents=[precision_opt],
+        help="print an application's dynamic SASS profile")
     profile.add_argument("--app", default="MxM",
                          choices=sorted(_apps()))
     profile.add_argument("--seed", type=int, default=0)
     profile.set_defaults(func=_cmd_profile)
 
     pvf = sub.add_parser(
-        "pvf", parents=[common],
+        "pvf", parents=[common, precision_opt],
         help="measure an application's PVF under a fault model")
     pvf.add_argument("--app", default="MxM", choices=sorted(_apps()))
     pvf.add_argument("--model", default="both",
@@ -486,7 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     build_db.set_defaults(func=_cmd_build_db)
 
     pipeline = sub.add_parser(
-        "pipeline", parents=[common],
+        "pipeline", parents=[common, precision_opt],
         help="end-to-end run: RTL grid -> syndrome DB -> application PVF "
              "(resumable per stage; re-run with the same --workdir to "
              "continue)")
@@ -573,6 +591,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pipeline jobs")
     submit.add_argument("--tmxm-faults", type=int, default=None,
                         help="pipeline jobs")
+    submit.add_argument("--precision", default=None,
+                        choices=["fp32", "fp16", "bf16"],
+                        help="float datapath (pvf / rtl / pipeline jobs)")
     submit.add_argument("--wait", type=float, nargs="?", const=3600.0,
                         default=None, metavar="SECONDS",
                         help="poll until the job finishes (non-zero "

@@ -9,7 +9,14 @@ fault per run.
 """
 
 from .asm import AssemblyError, assemble, disassemble
-from .bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits
+from .bits import (
+    FloatFormat,
+    bits_to_float,
+    bits_to_int,
+    float_format,
+    float_to_bits,
+    int_to_bits,
+)
 from .fault_plane import FaultPlane, FlipFlop, ModuleName, TransientFault
 from .isa import (
     CHARACTERIZED_OPCODES,
@@ -27,8 +34,10 @@ __all__ = [
     "AssemblyError",
     "assemble",
     "disassemble",
+    "FloatFormat",
     "bits_to_float",
     "bits_to_int",
+    "float_format",
     "float_to_bits",
     "int_to_bits",
     "FaultPlane",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 import struct
+from dataclasses import dataclass
 
 __all__ = [
     "MASK32",
@@ -34,6 +35,12 @@ __all__ = [
     "FP32_EXP_BIAS",
     "unpack_fp32",
     "pack_fp32",
+    "FloatFormat",
+    "FP32",
+    "FP16",
+    "BF16",
+    "FLOAT_FORMATS",
+    "float_format",
 ]
 
 MASK32 = 0xFFFFFFFF
@@ -148,6 +155,157 @@ def pack_fp32(sign: int, exp: int, mant: int) -> int:
     return ((sign & 1) << FP32_SIGN_BIT) | ((exp & FP32_EXP_MASK) << FP32_EXP_SHIFT) | (
         mant & FP32_MANT_MASK
     )
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A binary floating-point storage format the datapath can implement.
+
+    The RTL float unit is parameterised by the exponent/mantissa field
+    widths; every stage-register width and datapath constant derives from
+    the two field widths, so one description covers binary32, binary16 and
+    bfloat16 alike.  All formats share the G80 conventions the paper's
+    campaigns characterised: round-to-nearest-even, denormals flushed to
+    zero (FTZ) on inputs and outputs, and a canonical quiet NaN.
+    """
+
+    name: str
+    exp_bits: int
+    mant_bits: int
+
+    # -- derived field geometry ---------------------------------------------
+    @property
+    def width(self) -> int:
+        """Total storage width in bits (1 sign + exponent + mantissa)."""
+        return 1 + self.exp_bits + self.mant_bits
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def sign_bit(self) -> int:
+        return self.width - 1
+
+    @property
+    def exp_shift(self) -> int:
+        return self.mant_bits
+
+    @property
+    def exp_mask(self) -> int:
+        return (1 << self.exp_bits) - 1
+
+    @property
+    def mant_mask(self) -> int:
+        return (1 << self.mant_bits) - 1
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def qnan(self) -> int:
+        """Canonical quiet-NaN pattern (sign 0, MSB of the mantissa set)."""
+        return self.pack(0, self.exp_mask, 1 << (self.mant_bits - 1))
+
+    @property
+    def plus_inf(self) -> int:
+        return self.pack(0, self.exp_mask, 0)
+
+    @property
+    def minus_inf(self) -> int:
+        return self.pack(1, self.exp_mask, 0)
+
+    @property
+    def max_finite(self) -> float:
+        """Largest finite magnitude representable in the format."""
+        return (2.0 - 2.0 ** -self.mant_bits) * 2.0 ** (
+            self.exp_mask - 1 - self.bias)
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude (FTZ flushes below this)."""
+        return 2.0 ** (1 - self.bias)
+
+    # -- bit-field marshalling ----------------------------------------------
+    def unpack(self, bits: int) -> "tuple[int, int, int]":
+        """Split a pattern into (sign, biased exponent, mantissa field)."""
+        bits &= self.mask
+        sign = (bits >> self.sign_bit) & 1
+        exp = (bits >> self.exp_shift) & self.exp_mask
+        mant = bits & self.mant_mask
+        return sign, exp, mant
+
+    def pack(self, sign: int, exp: int, mant: int) -> int:
+        """Assemble a pattern from (sign, biased exponent, mantissa)."""
+        return (((sign & 1) << self.sign_bit)
+                | ((exp & self.exp_mask) << self.exp_shift)
+                | (mant & self.mant_mask))
+
+    def is_nan(self, bits: int) -> bool:
+        sign, exp, mant = self.unpack(bits)
+        return exp == self.exp_mask and mant != 0
+
+    def is_inf(self, bits: int) -> bool:
+        sign, exp, mant = self.unpack(bits)
+        return exp == self.exp_mask and mant == 0
+
+    # -- value <-> pattern conversion ----------------------------------------
+    def encode(self, value: float) -> int:
+        """Round *value* to the format (nearest-even) and return its bits.
+
+        binary32/binary16 round directly from the Python double via the
+        IEEE interchange codecs; bfloat16 is defined here as binary32
+        rounded to the top 16 bits with ties-to-even, which is the
+        truncated-single-precision convention mixed-precision GPUs use.
+        """
+        if self.name == "fp32":
+            return float_to_bits(value)
+        if self.name == "fp16":
+            try:
+                raw = struct.pack("<e", value)
+            except OverflowError:
+                raw = struct.pack("<e", math.inf if value > 0 else -math.inf)
+            return struct.unpack("<H", raw)[0]
+        if self.name == "bf16":
+            bits32 = float_to_bits(value)
+            if is_nan_bits(bits32):
+                return self.qnan
+            # round-to-nearest-even on the low 16 bits being dropped
+            rounding = 0x7FFF + ((bits32 >> 16) & 1)
+            return ((bits32 + rounding) >> 16) & 0xFFFF
+        raise ValueError(f"no encoder for float format {self.name!r}")
+
+    def decode(self, bits: int) -> float:
+        """Decode a pattern of this format to a Python float."""
+        bits &= self.mask
+        if self.name == "fp32":
+            return bits_to_float(bits)
+        if self.name == "fp16":
+            return struct.unpack("<e", struct.pack("<H", bits))[0]
+        if self.name == "bf16":
+            return bits_to_float(bits << 16)
+        raise ValueError(f"no decoder for float format {self.name!r}")
+
+
+#: IEEE-754 binary32 — the G80's native single-precision format.
+FP32 = FloatFormat("fp32", exp_bits=8, mant_bits=23)
+#: IEEE-754 binary16 (half precision).
+FP16 = FloatFormat("fp16", exp_bits=5, mant_bits=10)
+#: bfloat16 — binary32's exponent range at 8 total significand bits.
+BF16 = FloatFormat("bf16", exp_bits=8, mant_bits=7)
+
+FLOAT_FORMATS = {"fp32": FP32, "fp16": FP16, "bf16": BF16}
+
+
+def float_format(precision: str) -> FloatFormat:
+    """Look up a :class:`FloatFormat` by its canonical precision name."""
+    try:
+        return FLOAT_FORMATS[precision]
+    except KeyError:
+        raise ValueError(
+            f"unknown float precision {precision!r}; "
+            f"expected one of {sorted(FLOAT_FORMATS)}") from None
 
 
 def relative_error(expected: float, observed: float) -> float:

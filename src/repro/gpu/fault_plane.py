@@ -21,7 +21,13 @@ __all__ = ["FlipFlop", "TransientFault", "FaultPlane", "ModuleName"]
 
 
 class ModuleName:
-    """Canonical module identifiers (paper Table I)."""
+    """Canonical module identifiers (paper Table I).
+
+    ``ALL`` stays exactly the paper's six characterised modules so default
+    campaign grids (and the Table I report) are unchanged; the reduced-
+    precision float datapaths are additional modules selected explicitly
+    by precision-aware campaigns.
+    """
 
     FP32 = "fp32"
     INT = "int"
@@ -29,8 +35,13 @@ class ModuleName:
     SFU_CONTROLLER = "sfu_controller"
     SCHEDULER = "scheduler"
     PIPELINE = "pipeline"
+    FP16 = "fp16"
+    BF16 = "bf16"
 
     ALL = (FP32, INT, SFU, SFU_CONTROLLER, SCHEDULER, PIPELINE)
+
+    #: The float datapath module implementing each precision.
+    FLOAT_BY_PRECISION = {"fp32": FP32, "fp16": FP16, "bf16": BF16}
 
 
 @dataclass(frozen=True)

@@ -27,11 +27,19 @@ __all__ = ["Program", "ProgramBuilder"]
 
 @dataclass(frozen=True)
 class Program:
-    """An immutable, label-resolved SASS program."""
+    """An immutable, label-resolved SASS program.
+
+    ``float_precision`` names the format the kernel's float arithmetic
+    executes in ("fp32", "fp16" or "bf16") — the software analogue of a
+    compiler emitting HADD2/HFMA2 instead of FADD/FFMA.  The SM routes
+    FADD/FMUL/FFMA through the matching datapath at launch; every other
+    opcode is precision-independent.
+    """
 
     instructions: "tuple[Instruction, ...]"
     labels: "Dict[str, int]"
     name: str = "kernel"
+    float_precision: str = "fp32"
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -80,8 +88,10 @@ class ProgramBuilder:
         program = b.build()
     """
 
-    def __init__(self, name: str = "kernel") -> None:
+    def __init__(self, name: str = "kernel",
+                 float_precision: str = "fp32") -> None:
         self.name = name
+        self.float_precision = float_precision
         self._instructions: List[Instruction] = []
         self._labels: Dict[str, int] = {}
 
@@ -234,7 +244,8 @@ class ProgramBuilder:
         for inst in instructions:
             if inst.opcode is Opcode.BRA and inst.target not in self._labels:
                 raise ValueError(f"undefined branch target {inst.target!r}")
-        return Program(instructions, dict(self._labels), self.name)
+        return Program(instructions, dict(self._labels), self.name,
+                       self.float_precision)
 
 
 def _as_operand(value) -> Operand:

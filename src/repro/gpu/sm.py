@@ -32,7 +32,7 @@ from .memory import GlobalMemory, RegisterFile
 from .pipeline import DecodedControl, PipelineRegisters
 from .program import Program
 from .scheduler import WarpContext, WarpScheduler, WarpState
-from .fp32 import FP32Unit
+from .fp32 import BF16Unit, FP16Unit, FP32Unit
 from .intu import IntUnit
 from .sfu import SfuController
 from .trace import GoldenTraceRecorder
@@ -101,6 +101,14 @@ class StreamingMultiprocessor:
         self.pipeline = PipelineRegisters(self.plane, cfg.n_lanes,
                                           cfg.warp_size)
         self.fp32 = FP32Unit(self.plane, cfg.n_lanes)
+        self.fp16 = FP16Unit(self.plane, cfg.n_lanes)
+        self.bf16 = BF16Unit(self.plane, cfg.n_lanes)
+        #: the datapath FADD/FMUL/FFMA route through; selected per launch
+        #: from ``Program.float_precision`` (fp32 unless the kernel says
+        #: otherwise, so single-precision runs are unchanged)
+        self.float_units = {"fp32": self.fp32, "fp16": self.fp16,
+                            "bf16": self.bf16}
+        self.float_unit = self.fp32
         self.intu = IntUnit(self.plane, cfg.n_lanes)
         self.sfu = SfuController(self.plane, cfg.n_sfus)
         self._program: Optional[Program] = None
@@ -141,6 +149,7 @@ class StreamingMultiprocessor:
             raise ValueError(
                 f"n_threads must be in [1, {cfg.max_warps * cfg.warp_size}]")
         self._program = program
+        self.select_float_unit(program.float_precision)
         self._n_threads = n_threads
         self._registers = RegisterFile(
             n_threads, cfg.n_registers,
@@ -179,6 +188,20 @@ class StreamingMultiprocessor:
                 self.plane.disarm()
         return KernelResult(self._memory, cycles, n_threads,
                             self._registers, self._trace)
+
+    def select_float_unit(self, precision: str) -> None:
+        """Route FADD/FMUL/FFMA through the datapath for *precision*.
+
+        ``launch`` calls this from ``Program.float_precision``; the
+        vectorized replay engine calls it directly because its scratch SM
+        computes lanes without going through a kernel launch.
+        """
+        try:
+            self.float_unit = self.float_units[precision]
+        except KeyError:
+            raise ValueError(
+                f"unknown float precision {precision!r}; expected one of "
+                f"{sorted(self.float_units)}") from None
 
     # -- main loop -------------------------------------------------------------------
     def _run(self, max_cycles: int) -> int:
@@ -418,11 +441,11 @@ class StreamingMultiprocessor:
     def _compute_lane(self, opcode: Opcode, ctrl: DecodedControl, lane: int,
                       a: int, b: int, c: int) -> int:
         if opcode is Opcode.FADD:
-            return self.fp32.fadd(a, b, lane)
+            return self.float_unit.fadd(a, b, lane)
         if opcode is Opcode.FMUL:
-            return self.fp32.fmul(a, b, lane)
+            return self.float_unit.fmul(a, b, lane)
         if opcode is Opcode.FFMA:
-            return self.fp32.ffma(a, b, c, lane)
+            return self.float_unit.ffma(a, b, c, lane)
         if opcode is Opcode.IADD:
             return self.intu.iadd(a, b, lane)
         if opcode is Opcode.IMUL:

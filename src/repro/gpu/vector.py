@@ -11,11 +11,19 @@ arrays, one element per faulty universe.
 
 The contract is **bit-identity with the scalar units**, not merely with
 IEEE-754: FP results follow the G80 behaviour the scalar
-:class:`~repro.gpu.fp32.FP32Unit` implements (round-to-nearest-even,
+:class:`~repro.gpu.fp32.FloatUnit` implements (round-to-nearest-even,
 denormals flushed to signed zero on input and output, every NaN
-canonicalised to ``0x7FC00000``).  The differential fuzz suite drives
-both implementations over the same operand streams — including raw
-random bit patterns — to enforce the contract.
+canonicalised — ``0x7FC00000``/``0x7E00``/``0x7FC0`` for
+fp32/fp16/bf16).  The differential fuzz suite drives both
+implementations over the same operand streams — including raw random
+bit patterns — to enforce the contract.
+
+Reduced-precision kernels operate on the low 16 bits of each universe
+word (scalar units likewise ignore the upper operand bits).  The fp16
+path computes through ``np.float16``, whose add/mul are single-rounded
+(both fit a binary32 significand exactly); the bf16 path computes in
+binary32 and rounds the top half to nearest-even — also single-rounded,
+for the same reason.
 
 FFMA has no vector path: a single-rounding fused multiply-add cannot be
 reproduced with numpy's double-rounded ``float64`` arithmetic, so dirty
@@ -74,6 +82,77 @@ def _fmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return _canonical_result(result)
 
 
+# -- reduced-precision kernels -------------------------------------------
+_F16_QNAN = np.uint32(0x7E00)
+_F16_SIGN = np.uint32(0x8000)
+_F16_EXP = np.uint32(0x7C00)
+_F16_MANT = np.uint32(0x03FF)
+
+_BF16_QNAN = np.uint32(0x7FC0)
+_BF16_SIGN = np.uint32(0x8000)
+_BF16_EXP = np.uint32(0x7F80)
+_BF16_MANT = np.uint32(0x007F)
+
+_LOW16 = np.uint32(0xFFFF)
+
+
+def _flush16(bits: np.ndarray, exp_mask: np.uint32,
+             sign_mask: np.uint32) -> np.ndarray:
+    """FTZ a 16-bit field: zero-exponent encodings collapse to signed zero."""
+    denormal = (bits & exp_mask) == 0
+    return np.where(denormal, bits & sign_mask, bits)
+
+
+def _canonical16(bits: np.ndarray, exp_mask: np.uint32,
+                 mant_mask: np.uint32, sign_mask: np.uint32,
+                 qnan: np.uint32) -> np.ndarray:
+    is_nan = ((bits & exp_mask) == exp_mask) & ((bits & mant_mask) != 0)
+    bits = np.where(is_nan, qnan, bits)
+    denormal = ((bits & exp_mask) == 0) & ((bits & mant_mask) != 0)
+    return np.where(denormal, bits & sign_mask, bits)
+
+
+def _f16_arith(a: np.ndarray, b: np.ndarray, multiply: bool) -> np.ndarray:
+    ah = _flush16(a & _LOW16, _F16_EXP, _F16_SIGN)
+    bh = _flush16(b & _LOW16, _F16_EXP, _F16_SIGN)
+    with np.errstate(all="ignore"):
+        af = ah.astype(np.uint16).view(np.float16)
+        bf = bh.astype(np.uint16).view(np.float16)
+        result = (af * bf) if multiply else (af + bf)
+        bits = result.view(np.uint16).astype(np.uint32)
+    return _canonical16(bits, _F16_EXP, _F16_MANT, _F16_SIGN, _F16_QNAN)
+
+
+def _bf16_round(bits32: np.ndarray) -> np.ndarray:
+    """Round binary32 bit patterns to bfloat16 (nearest-even, top half)."""
+    is_nan = ((bits32 & _EXP) == _EXP) & ((bits32 & _MANT) != 0)
+    rounding = np.uint32(0x7FFF) + ((bits32 >> np.uint32(16)) & np.uint32(1))
+    with np.errstate(all="ignore"):
+        rounded = ((bits32 + rounding) >> np.uint32(16)) & _LOW16
+    return np.where(is_nan, _BF16_QNAN, rounded)
+
+
+def _bf16_arith(a: np.ndarray, b: np.ndarray, multiply: bool) -> np.ndarray:
+    ah = _flush16(a & _LOW16, _BF16_EXP, _BF16_SIGN)
+    bh = _flush16(b & _LOW16, _BF16_EXP, _BF16_SIGN)
+    with np.errstate(all="ignore"):
+        af = (ah << np.uint32(16)).view(np.float32)
+        bf = (bh << np.uint32(16)).view(np.float32)
+        result = (af * bf) if multiply else (af + bf)
+        bits = _bf16_round(result.view(np.uint32))
+    return _canonical16(bits, _BF16_EXP, _BF16_MANT, _BF16_SIGN, _BF16_QNAN)
+
+
+_FLOAT_KERNELS = {
+    ("fp32", False): _fadd,
+    ("fp32", True): _fmul,
+    ("fp16", False): lambda a, b: _f16_arith(a, b, False),
+    ("fp16", True): lambda a, b: _f16_arith(a, b, True),
+    ("bf16", False): lambda a, b: _bf16_arith(a, b, False),
+    ("bf16", True): lambda a, b: _bf16_arith(a, b, True),
+}
+
+
 def _f2i(a: np.ndarray) -> np.ndarray:
     """CUDA F2I: truncate toward zero, saturate NaN/overflow to 0x80000000."""
     f = a.view(np.float32).astype(np.float64)
@@ -119,21 +198,25 @@ VECTOR_OPCODES = frozenset({
 
 
 def vector_compute(opcode: Opcode, compare: Optional[CompareOp],
-                   a, b, c) -> Optional[np.ndarray]:
+                   a, b, c, precision: str = "fp32",
+                   ) -> Optional[np.ndarray]:
     """Golden-mode execute of *opcode* over per-universe operand arrays.
 
     ``a``/``b``/``c`` are ``uint32`` bit patterns (arrays or scalars, and
-    are broadcast).  Returns the per-universe result bit patterns, or
-    None when the opcode has no vector path and the caller must fall
-    back to the scalar unit.
+    are broadcast).  ``precision`` selects the float datapath the FADD/
+    FMUL kernels reproduce (other opcodes are precision-agnostic).
+    Returns the per-universe result bit patterns, or None when the
+    opcode has no vector path and the caller must fall back to the
+    scalar unit.
     """
     a = _as_u32(a)
     b = _as_u32(b)
     c = _as_u32(c)
-    if opcode is Opcode.FADD:
-        return _fadd(a, b)
-    if opcode is Opcode.FMUL:
-        return _fmul(a, b)
+    if opcode is Opcode.FADD or opcode is Opcode.FMUL:
+        kernel = _FLOAT_KERNELS.get((precision, opcode is Opcode.FMUL))
+        if kernel is None:
+            raise ValueError(f"unknown float precision {precision!r}")
+        return kernel(a, b)
     with np.errstate(all="ignore"):
         if opcode is Opcode.IADD:
             return a + b

@@ -87,19 +87,37 @@ MODULE_INSTRUCTIONS: Dict[str, Tuple[Opcode, ...]] = {
     ModuleName.SCHEDULER: CHARACTERIZED_OPCODES,
     ModuleName.PIPELINE: CHARACTERIZED_OPCODES,
     "register_file": CHARACTERIZED_OPCODES,
+    # reduced-precision float datapaths: exercised by the same float
+    # opcodes, selected by precision-aware campaigns instead of ALL
+    ModuleName.FP16: FP32_OPCODES,
+    ModuleName.BF16: FP32_OPCODES,
 }
 
-#: Modules the t-MxM mini-app characterises (paper Fig. 7).
+#: Modules the t-MxM mini-app characterises (paper Fig. 7).  The tile
+#: campaigns stay fp32: they target the scheduler and pipeline, whose
+#: fault behaviour is precision-agnostic.
 TMXM_MODULES: Tuple[str, ...] = (ModuleName.SCHEDULER, ModuleName.PIPELINE)
 
 
-def modules_for_opcode(opcode: Opcode) -> List[str]:
-    """Modules whose campaign grid includes *opcode*."""
-    return [
-        module
-        for module in ModuleName.ALL
-        if opcode in MODULE_INSTRUCTIONS[module]
-    ]
+def modules_for_opcode(opcode: Opcode,
+                       precision: str = "fp32") -> List[str]:
+    """Modules whose campaign grid includes *opcode*.
+
+    A reduced *precision* substitutes its float datapath for the fp32
+    unit — float opcodes then stress the fp16/bf16 module while the
+    integer/SFU/scheduler/pipeline cells are unchanged.
+    """
+    try:
+        float_module = ModuleName.FLOAT_BY_PRECISION[precision]
+    except KeyError:
+        raise CampaignError(f"unknown float precision {precision!r}")
+    modules = []
+    for module in ModuleName.ALL:
+        if module == ModuleName.FP32:
+            module = float_module
+        if opcode in MODULE_INSTRUCTIONS[module]:
+            modules.append(module)
+    return modules
 
 
 # -- work-unit specs ---------------------------------------------------------
@@ -119,11 +137,13 @@ class _BenchSpec:
     use_shared: bool = False        # tmxm
     seed: int = 0                   # micro / tmxm construction seed
     bench: Optional[Microbenchmark] = None  # bench
+    precision: str = "fp32"         # micro float format
 
     def build(self) -> Microbenchmark:
         if self.kind == "micro":
             return make_microbenchmark(Opcode(self.opcode),
-                                       self.input_range, seed=self.seed)
+                                       self.input_range, seed=self.seed,
+                                       precision=self.precision)
         if self.kind == "tmxm":
             return make_tmxm_bench(self.tile, seed=self.seed,
                                    use_shared_memory=self.use_shared)
@@ -134,7 +154,7 @@ class _BenchSpec:
         if self.kind == "bench":
             return ("bench", self.bench.name)
         return (self.kind, self.opcode, self.input_range, self.tile,
-                self.use_shared, self.seed)
+                self.use_shared, self.seed, self.precision)
 
 
 @dataclass(frozen=True)
@@ -238,6 +258,7 @@ def _run_rtl_unit(state: _RTLWorkerState, unit: WorkUnit,
             instruction=bench.opcode.value,
             input_range=bench.input_range,
             module=spec.module,
+            precision=bench.precision,
         )
         for fault, classification in zip(faults, classifications):
             report.add(
@@ -255,6 +276,7 @@ def _run_rtl_unit(state: _RTLWorkerState, unit: WorkUnit,
         instruction=bench.opcode.value,
         input_range=bench.input_range,
         module=spec.module,
+        precision=bench.precision,
     )
     for fault in faults:
         try:
@@ -380,12 +402,13 @@ def run_campaign(
     _check_jobs(n_jobs, injector)
     if n_faults == 0:
         return CampaignReport(instruction=bench.opcode.value,
-                              input_range=bench.input_range, module=module)
+                              input_range=bench.input_range, module=module,
+                              precision=bench.precision)
     spec = _CellSpec(bench=_BenchSpec(kind="bench", bench=bench),
                      module=module, fault_kind=kind)
     units = _plan_cell_units(spec, n_faults, seed, batch_size,
                              base_index=0, label=f"{bench.name}/{module}")
-    journal = _open_checkpoint(checkpoint, resume, {
+    header = {
         "campaign": "rtl-cell",
         "bench": bench.name,
         "module": module,
@@ -393,7 +416,11 @@ def run_campaign(
         "n_faults": int(n_faults),
         "seed": int(seed),
         "batch_size": None if batch_size is None else int(batch_size),
-    })
+    }
+    # fp32 headers stay byte-identical so pre-precision journals resume
+    if bench.precision != "fp32":
+        header["precision"] = bench.precision
+    journal = _open_checkpoint(checkpoint, resume, header)
     metrics = resolve_metrics(metrics, checkpoint, "rtl-cell")
     state = None
     if n_jobs == 1:
@@ -494,6 +521,7 @@ def run_grid(
     cancel: Optional[Callable[[], bool]] = None,
     config: Optional[SMConfig] = None,
     vectorize="auto",
+    precision: str = "fp32",
 ) -> List[CampaignReport]:
     """Run the full campaign grid; returns one report per cell.
 
@@ -510,7 +538,10 @@ def run_grid(
     to bound memory on huge grids.  ``vectorize`` (default ``"auto"``)
     runs each unit's fault batch through the trace-driven fault-parallel
     engine, whose merged reports are bit-identical to ``vectorize=False``
-    for the same seed.
+    for the same seed.  ``precision`` re-runs the float-opcode cells in
+    a reduced format: micro-benchmarks sample that format's own S/M/L
+    ranges, programs execute on the fp16/bf16 datapath, and its module
+    replaces ``fp32`` in the grid — non-float cells are unaffected.
     """
     opcodes = list(opcodes)
     input_ranges = list(input_ranges)
@@ -522,7 +553,7 @@ def run_grid(
     cell_coords: List[Tuple[Opcode, str, str]] = []
     for opcode in opcodes:
         for range_key in input_ranges:
-            for module in modules_for_opcode(opcode):
+            for module in modules_for_opcode(opcode, precision):
                 if modules is not None and module not in modules:
                     continue
                 cell_coords.append((opcode, range_key, module))
@@ -531,7 +562,8 @@ def run_grid(
                                                       cell_seeds):
         spec = _CellSpec(
             bench=_BenchSpec(kind="micro", opcode=opcode.value,
-                             input_range=range_key, seed=cell_seed),
+                             input_range=range_key, seed=cell_seed,
+                             precision=precision),
             module=module)
         cells.append((spec, f"{opcode.value}/{range_key}/{module}"))
     header = {
@@ -543,6 +575,9 @@ def run_grid(
         "seed": int(seed),
         "batch_size": None if batch_size is None else int(batch_size),
     }
+    # fp32 headers stay byte-identical so pre-precision journals resume
+    if precision != "fp32":
+        header["precision"] = precision
     return _run_cell_grid(
         cells, cell_seeds, n_faults, header,
         n_jobs=n_jobs, batch_size=batch_size, timeout=timeout,

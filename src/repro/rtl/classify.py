@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..gpu.bits import bit_diff, bits_to_float, bits_to_int, relative_error
+from ..gpu.bits import (
+    bit_diff,
+    bits_to_float,
+    bits_to_int,
+    float_format,
+    relative_error,
+)
 from ..outcomes import Outcome  # re-exported: the taxonomy lives above RTL
 
 __all__ = ["Outcome", "CorruptedValue", "RunClassification", "classify_run"]
@@ -48,9 +54,19 @@ class CorruptedValue:
             return float(abs(faulty))
         return abs(golden - faulty) / abs(golden)
 
+    def relative_error_float(self, precision: str) -> float:
+        """Relative error decoding the words in a reduced float format."""
+        fmt = float_format(precision)
+        return relative_error(
+            fmt.decode(self.golden_bits), fmt.decode(self.faulty_bits))
+
     def relative_error_value(self, value_kind: str) -> float:
         if value_kind == "f32":
             return self.relative_error_f32()
+        if value_kind == "f16":
+            return self.relative_error_float("fp16")
+        if value_kind == "bf16":
+            return self.relative_error_float("bf16")
         return self.relative_error_int()
 
 

@@ -25,13 +25,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..rng import make_rng
-from ..gpu.bits import float_to_bits, int_to_bits
+from ..gpu.bits import float_format, float_to_bits, int_to_bits
 from ..gpu.isa import CompareOp, Opcode, Predicate
 from ..gpu.program import Program, ProgramBuilder
 
 __all__ = [
     "InputRange",
     "INPUT_RANGES",
+    "FLOAT_INPUT_RANGES",
     "Microbenchmark",
     "make_microbenchmark",
     "all_microbenchmarks",
@@ -74,6 +75,26 @@ INPUT_RANGES: Dict[str, InputRange] = {
     "L": InputRange("L", "Large", 3.8e9, 12.5e9),
 }
 
+#: Per-precision float operand ranges.  The paper's S/M/L boundaries are
+#: picked relative to binary32's dynamic range; the reduced-precision
+#: campaigns keep the same *intent* (near-FTZ-small / everyday / near-
+#: overflow-large) rescaled into each format's representable span.  bf16
+#: shares binary32's exponent range, so its boundaries are unchanged;
+#: fp16's Small sits just above its 6.1e-5 FTZ threshold and its Large
+#: just below the 65504 overflow ceiling.
+FLOAT_INPUT_RANGES: Dict[str, Dict[str, InputRange]] = {
+    "fp32": INPUT_RANGES,
+    "bf16": INPUT_RANGES,
+    "fp16": {
+        "S": InputRange("S", "Small", 6.8e-4, 7.3e-4),
+        "M": InputRange("M", "Medium", 1.8, 59.4),
+        "L": InputRange("L", "Large", 3.8e3, 1.25e4),
+    },
+}
+
+#: ``Microbenchmark.value_kind`` for each float precision.
+_VALUE_KINDS = {"fp32": "f32", "fp16": "f16", "bf16": "bf16"}
+
 #: SFU operational range (paper: [0, pi/2], no range reduction).  The three
 #: "ranges" select different sub-intervals so the S/M/L campaign grid stays
 #: uniform across opcodes.
@@ -94,8 +115,10 @@ class Microbenchmark:
     program: Program
     memory_image: Dict[int, Tuple[int, ...]]
     output_regions: Tuple[Tuple[int, int], ...]
-    value_kind: str  # "f32" or "u32": how output words are interpreted
+    value_kind: str  # "f32"/"f16"/"bf16"/"u32": output-word interpretation
     n_threads: int = N_THREADS
+    #: float precision the kernel's arithmetic executes in
+    precision: str = "fp32"
     #: launch-ABI registers beyond R0=tid (e.g. t-MxM's row/col indices,
     #: the hardware-provided threadIdx.x/y special registers)
     initial_registers: Optional[Dict[int, Tuple[int, ...]]] = None
@@ -106,13 +129,21 @@ class Microbenchmark:
 
 
 def make_microbenchmark(opcode: Opcode, input_range: str = "M",
-                        seed: int = 0) -> Microbenchmark:
-    """Build the micro-benchmark for one characterised opcode."""
+                        seed: int = 0,
+                        precision: str = "fp32") -> Microbenchmark:
+    """Build the micro-benchmark for one characterised opcode.
+
+    ``precision`` selects the float format FADD/FMUL/FFMA execute in;
+    integer, SFU, memory and control benchmarks are precision-independent
+    and ignore it (their kernels contain no float-datapath arithmetic).
+    """
     if input_range not in INPUT_RANGES:
         raise ValueError(f"unknown input range {input_range!r}")
+    if precision not in FLOAT_INPUT_RANGES:
+        raise ValueError(f"unknown float precision {precision!r}")
     rng = make_rng(seed)
     if opcode in (Opcode.FADD, Opcode.FMUL, Opcode.FFMA):
-        return _float_arith_bench(opcode, input_range, rng)
+        return _float_arith_bench(opcode, input_range, rng, precision)
     if opcode in (Opcode.IADD, Opcode.IMUL, Opcode.IMAD):
         return _int_arith_bench(opcode, input_range, rng)
     if opcode in (Opcode.FSIN, Opcode.FEXP):
@@ -140,25 +171,33 @@ def all_microbenchmarks(input_range: str = "M", seed: int = 0
 # -- builders ------------------------------------------------------------------
 
 
-def _float_arith_bench(opcode: Opcode, range_key: str, rng) -> Microbenchmark:
-    rng_spec = INPUT_RANGES[range_key]
+def _float_arith_bench(opcode: Opcode, range_key: str, rng,
+                       precision: str = "fp32") -> Microbenchmark:
+    rng_spec = FLOAT_INPUT_RANGES[precision][range_key]
+    fmt = float_format(precision)
     a = rng_spec.sample_floats(rng, N_THREADS)
     b = rng_spec.sample_floats(rng, N_THREADS)
     c = rng_spec.sample_floats(rng, N_THREADS)
+    # operands are stored pre-rounded to the kernel's format: a 16-bit
+    # pattern occupies the low half of its 32-bit memory word, exactly as
+    # a GPU register holds a half-precision value
     image = {
-        ADDR_A: tuple(float_to_bits(v) for v in a),
-        ADDR_B: tuple(float_to_bits(v) for v in b),
-        ADDR_C: tuple(float_to_bits(v) for v in c),
+        ADDR_A: tuple(fmt.encode(v) for v in a),
+        ADDR_B: tuple(fmt.encode(v) for v in b),
+        ADDR_C: tuple(fmt.encode(v) for v in c),
     }
-    program = _arith_program(opcode, ternary=opcode is Opcode.FFMA)
+    program = _arith_program(opcode, ternary=opcode is Opcode.FFMA,
+                             precision=precision)
+    suffix = "" if precision == "fp32" else f"_{precision}"
     return Microbenchmark(
-        name=f"{opcode.value.lower()}_{range_key}",
+        name=f"{opcode.value.lower()}_{range_key}{suffix}",
         opcode=opcode,
         input_range=range_key,
         program=program,
         memory_image=image,
         output_regions=((ADDR_OUT, N_THREADS),),
-        value_kind="f32",
+        value_kind=_VALUE_KINDS[precision],
+        precision=precision,
     )
 
 
@@ -184,7 +223,8 @@ def _int_arith_bench(opcode: Opcode, range_key: str, rng) -> Microbenchmark:
     )
 
 
-def _arith_program(opcode: Opcode, ternary: bool) -> Program:
+def _arith_program(opcode: Opcode, ternary: bool,
+                   precision: str = "fp32") -> Program:
     """Load operand(s), execute *opcode* once per thread, store the result.
 
     Addresses use the SASS ``[R0 + imm]`` form so the characterised opcode
@@ -192,7 +232,8 @@ def _arith_program(opcode: Opcode, ternary: bool) -> Program:
     paper's requirement that, e.g., FP32 campaigns observe only FADD on
     the FP32 datapath.
     """
-    b = ProgramBuilder(f"{opcode.value.lower()}_ubench")
+    b = ProgramBuilder(f"{opcode.value.lower()}_ubench",
+                       float_precision=precision)
     b.gld(2, 0, offset=ADDR_A)
     b.gld(3, 0, offset=ADDR_B)
     if ternary:

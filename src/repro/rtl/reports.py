@@ -92,6 +92,9 @@ class CampaignReport:
     n_injections: int = 0
     general: GeneralColumns = field(default_factory=GeneralColumns)
     detailed: DetailedColumns = field(default_factory=DetailedColumns)
+    #: float precision of the characterisation kernel; "fp32" reports
+    #: serialise without the field, byte-identical to the legacy format
+    precision: str = "fp32"
 
     def __post_init__(self) -> None:
         # record lists (tests, ad-hoc construction) convert transparently
@@ -133,11 +136,13 @@ class CampaignReport:
         """Fold *other*'s records into this report (same campaign cell)."""
         if (other.instruction != self.instruction
                 or other.input_range != self.input_range
-                or other.module != self.module):
+                or other.module != self.module
+                or other.precision != self.precision):
             raise CampaignError(
                 f"cannot merge report for {other.instruction}/"
-                f"{other.input_range}/{other.module} into "
-                f"{self.instruction}/{self.input_range}/{self.module}")
+                f"{other.input_range}/{other.module}/{other.precision} into "
+                f"{self.instruction}/{self.input_range}/{self.module}/"
+                f"{self.precision}")
         self.n_injections += other.n_injections
         self.general.extend(other.general)
         self.detailed.extend(other.detailed)
@@ -158,6 +163,7 @@ class CampaignReport:
             instruction=reports[0].instruction,
             input_range=reports[0].input_range,
             module=reports[0].module,
+            precision=reports[0].precision,
         )
         for report in reports:
             merged.merge_in(report)

@@ -61,10 +61,12 @@ __all__ = ["PreparedWorkload", "VectorizedRTLInjector", "REPLAY_MODULES"]
 #: Modules whose *fired* transients the lockstep replay reproduces: their
 #: registers latch exactly once per functional-unit invocation, so a
 #: firing event identifies one op whose corrupted result a scratch
-#: re-execution recovers.  Fired faults elsewhere (shared controllers,
-#: scheduler, pipeline control) run scalar; *unfired* faults in any
-#: plane-latched module still resolve instantly from the trace.
-REPLAY_MODULES = frozenset({"fp32", "int"})
+#: re-execution recovers.  The reduced-precision float datapaths share
+#: the fp32 unit's latch discipline, so they replay too.  Fired faults
+#: elsewhere (shared controllers, scheduler, pipeline control) run
+#: scalar; *unfired* faults in any plane-latched module still resolve
+#: instantly from the trace.
+REPLAY_MODULES = frozenset({"fp32", "int", "fp16", "bf16"})
 
 #: Universes replayed per numpy state block (bounds the transient
 #: memory footprint: 64 universes x 64Ki words of global memory = 16MB).
@@ -218,6 +220,10 @@ class VectorizedRTLInjector:
         """
         cfg = self.injector.sm.config
         bench = prepared.bench
+        precision = bench.program.float_precision
+        # the scratch SM computes single ops without a launch, so the
+        # float datapath is selected explicitly per workload
+        self._scratch.select_float_unit(precision)
         n_threads = bench.n_threads
         n_universes = len(block)
         regs = np.repeat(prepared.init_regs[None, :, :], n_universes,
@@ -280,7 +286,7 @@ class VectorizedRTLInjector:
                 else:
                     self._replay_alu_beat(opcode, ctrl, beat_record,
                                           beat_fires, regs, preds, alive,
-                                          ejected)
+                                          ejected, precision)
 
         results: List[Tuple[int, Optional[RunClassification]]] = []
         bases = [base for base, _ in bench.output_regions]
@@ -350,7 +356,8 @@ class VectorizedRTLInjector:
         return regs[:, tid, sel]
 
     def _replay_alu_beat(self, opcode, ctrl, beat_record, beat_fires,
-                         regs, preds, alive, ejected) -> None:
+                         regs, preds, alive, ejected,
+                         precision: str = "fp32") -> None:
         writebacks: List[Tuple[int, np.ndarray]] = []
         for lane, tid in enumerate(beat_record.lanes):
             if tid is None or not beat_record.group_mask >> lane & 1:
@@ -372,7 +379,8 @@ class VectorizedRTLInjector:
                                  dtype=np.uint32)
                     for src, column in enumerate(columns)
                 ]
-                vectored = vector_compute(opcode, ctrl.compare, *operands)
+                vectored = vector_compute(opcode, ctrl.compare, *operands,
+                                          precision=precision)
                 if vectored is not None:
                     result[dirty] = vectored
                 else:  # FFMA: no single-rounding numpy path

@@ -83,7 +83,8 @@ def _canonical_app(name, factories) -> str:
     return match
 
 
-_COMMON_KEYS = {"seed", "jobs", "batch_size", "timeout", "budget"}
+_COMMON_KEYS = {"seed", "jobs", "batch_size", "timeout", "budget",
+                "precision"}
 _KIND_KEYS = {
     "pvf": _COMMON_KEYS | {"app", "model", "injections"},
     "rtl": _COMMON_KEYS | {"opcode", "module", "range", "faults"},
@@ -91,6 +92,29 @@ _KIND_KEYS = {
                                 "grid_faults", "tmxm_faults",
                                 "injections"},
 }
+
+_PRECISIONS = ("fp32", "fp16", "bf16")
+
+
+def _require_precision(params: dict) -> str:
+    value = params.get("precision", "fp32")
+    if value not in _PRECISIONS:
+        raise ServiceError(
+            f"unknown float precision {value!r}; "
+            f"choose from {_PRECISIONS}")
+    return value
+
+
+def _check_app_precision(app: str, precision: str, factories) -> None:
+    """Reject fp32-only apps at submit time, not hours into the job."""
+    if precision == "fp32":
+        return
+    import inspect
+
+    if "precision" not in inspect.signature(factories[app]).parameters:
+        raise ServiceError(
+            f"application {app!r} runs fp32 only; "
+            f"precision={precision!r} is not supported")
 
 
 def normalize_params(kind: str, params: Optional[dict]) -> dict:
@@ -119,9 +143,12 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
         "batch_size": _require_int(params, "batch_size", None, minimum=1),
         "timeout": _require_number(params, "timeout"),
         "budget": _require_number(params, "budget"),
+        "precision": _require_precision(params),
     }
+    precision = out["precision"]
     if kind == "pvf":
         app = _canonical_app(params.get("app"), APP_FACTORIES)
+        _check_app_precision(app, precision, APP_FACTORIES)
         model = params.get("model", "bitflip")
         if model not in ("bitflip", "syndrome"):
             raise ServiceError(
@@ -135,7 +162,9 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
             opcode = Opcode(str(opcode).upper()).value
         except ValueError:
             raise ServiceError(f"unknown opcode {opcode!r}")
-        module = params.get("module", "fp32")
+        # the float datapath module follows the precision by default
+        module = params.get(
+            "module", precision if precision != "fp32" else "fp32")
         if module not in MODULE_INSTRUCTIONS:
             raise ServiceError(f"unknown module {module!r}")
         input_range = str(params.get("range", "M")).upper()
@@ -150,6 +179,8 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
         if not isinstance(apps, list) or not apps:
             raise ServiceError("parameter 'apps' must be a non-empty list")
         apps = [_canonical_app(app, APP_FACTORIES) for app in apps]
+        for app in apps:
+            _check_app_precision(app, precision, APP_FACTORIES)
         models = params.get("models", ["bitflip", "syndrome"])
         if not isinstance(models, list) or not models:
             raise ServiceError(
@@ -213,7 +244,8 @@ def _run_pvf_job(params: dict, jobdir: Path, cancel, progress,
     from ..swfi.campaign import run_pvf_campaign
     from ..swfi.models import RelativeErrorSyndrome, SingleBitFlip
 
-    app = make_application(params["app"], seed=params["seed"])
+    app = make_application(params["app"], seed=params["seed"],
+                           precision=params.get("precision", "fp32"))
     model = (SingleBitFlip() if params["model"] == "bitflip"
              else RelativeErrorSyndrome(load_database()))
     journal = jobdir / "pvf.jsonl"
@@ -243,7 +275,8 @@ def _run_rtl_job(params: dict, jobdir: Path, cancel, progress,
     from ..rtl.microbench import make_microbenchmark
 
     bench = make_microbenchmark(Opcode(params["opcode"]), params["range"],
-                                seed=params["seed"])
+                                seed=params["seed"],
+                                precision=params.get("precision", "fp32"))
     journal = jobdir / "rtl.jsonl"
     report = run_campaign(
         bench, params["module"], params["faults"], seed=params["seed"],
@@ -283,7 +316,7 @@ def _run_pipeline_job(params: dict, jobdir: Path, cancel, progress,
         models=params["models"], injections=params["injections"],
         n_jobs=params["jobs"], batch_size=params["batch_size"],
         timeout=params["timeout"], quiet=not progress.enabled,
-        cancel=cancel)
+        precision=params.get("precision", "fp32"), cancel=cancel)
     return {"kind": "pipeline", **summary}
 
 

@@ -61,6 +61,9 @@ class SoftwareInjector:
 
     def __init__(self, app) -> None:
         self.app = app
+        #: float format of the app's operand streams; apps without an
+        #: explicit ``precision`` attribute are the fp32 baseline
+        self.precision: str = getattr(app, "precision", "fp32")
         self._golden = None
         self._profile_counts: Optional[Dict[Opcode, int]] = None
         self._injectable_total: Optional[int] = None
@@ -69,7 +72,7 @@ class SoftwareInjector:
     def run_golden(self):
         """Fault-free output, cached; captures the profile as it runs."""
         if self._golden is None:
-            ops = SassOps()
+            ops = SassOps(precision=self.precision)
             self._golden = self.app.run(ops)
             self._profile_counts = ops.profile()
             self._injectable_total = ops.injectable_total
@@ -109,7 +112,9 @@ class SoftwareInjector:
                 f"{self.app.name} executes no injectable instructions")
         target = int(rng.integers(total))
         span = model.sample_span(rng)
-        ops = SassOps(target=target, corruptor=model(rng), span=span)
+        ops = SassOps(target=target,
+                      corruptor=model(rng, precision=self.precision),
+                      span=span, precision=self.precision)
         try:
             with _wall_clock_limit(timeout):
                 observed = self.app.run(ops)

@@ -15,7 +15,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..gpu.bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits
+from ..gpu.bits import (
+    bits_to_int,
+    float_format,
+    int_to_bits,
+)
 from ..gpu.isa import Opcode
 from ..syndrome.database import SyndromeDatabase, range_for_value
 
@@ -35,8 +39,13 @@ class FaultModel(ABC):
 
     @abstractmethod
     def corrupt(self, opcode: Opcode, golden, operands: Sequence,
-                is_float: bool, rng: np.random.Generator):
-        """Return the corrupted output value."""
+                is_float: bool, rng: np.random.Generator,
+                precision: str = "fp32"):
+        """Return the corrupted output value.
+
+        ``precision`` names the float format of the targeted operand
+        stream ("fp32"/"fp16"/"bf16"); integer outputs ignore it.
+        """
 
     def sample_span(self, rng: np.random.Generator) -> int:
         """Dynamic instructions (== SIMT threads) corrupted per injection.
@@ -47,11 +56,34 @@ class FaultModel(ABC):
         """
         return 1
 
-    def __call__(self, rng: np.random.Generator):
-        """Bind the model to a generator, yielding the ops-layer corruptor."""
+    def __call__(self, rng: np.random.Generator, precision: str = "fp32"):
+        """Bind the model to a generator, yielding the ops-layer corruptor.
+
+        The ops-layer corruptor protocol stays four-positional
+        (``opcode, golden, operands, is_float``); the app's float
+        precision is baked into the closure at bind time.
+        """
         def corruptor(opcode, golden, operands, is_float):
-            return self.corrupt(opcode, golden, operands, is_float, rng)
+            return self.corrupt(opcode, golden, operands, is_float, rng,
+                                precision=precision)
         return corruptor
+
+
+def _cast_float(value: float, precision: str):
+    """Coerce a corrupted float to the operand stream's storage dtype.
+
+    bf16 streams are stored as binary32 arrays holding bf16-rounded
+    values, so the corrupted value is re-rounded through the format.
+    """
+    if math.isnan(value):
+        value = float("inf")  # keep arrays NaN-free deterministically
+    with np.errstate(all="ignore"):  # corrupted values overflow freely
+        if precision == "fp16":
+            return np.float16(value)
+        if precision == "bf16":
+            fmt = float_format("bf16")
+            return np.float32(fmt.decode(fmt.encode(value)))
+        return np.float32(value)
 
 
 class SingleBitFlip(FaultModel):
@@ -63,19 +95,22 @@ class SingleBitFlip(FaultModel):
         self.n_bits = n_bits
 
     def corrupt(self, opcode: Opcode, golden, operands: Sequence,
-                is_float: bool, rng: np.random.Generator):
+                is_float: bool, rng: np.random.Generator,
+                precision: str = "fp32"):
         if is_float:
-            bits = float_to_bits(float(golden))
+            # flip within the operand's storage word: a register holding
+            # a half-precision value has 16 architectural bits, not 32
+            fmt = float_format(precision)
+            bits = fmt.encode(float(golden))
+            width = fmt.width
         else:
             bits = int_to_bits(int(golden))
-        positions = rng.choice(32, size=self.n_bits, replace=False)
+            width = 32
+        positions = rng.choice(width, size=self.n_bits, replace=False)
         for bit in positions:
             bits ^= 1 << int(bit)
         if is_float:
-            value = bits_to_float(bits)
-            if math.isnan(value):
-                value = float("inf")  # keep arrays NaN-free deterministically
-            return np.float32(value)
+            return _cast_float(fmt.decode(bits), precision)
         return np.int32(bits_to_int(bits))
 
 
@@ -124,35 +159,40 @@ class RelativeErrorSyndrome(FaultModel):
             int(rng.integers(len(self._thread_counts)))])
 
     def corrupt(self, opcode: Opcode, golden, operands: Sequence,
-                is_float: bool, rng: np.random.Generator):
+                is_float: bool, rng: np.random.Generator,
+                precision: str = "fp32"):
         return self._corrupt_with_module(
-            opcode, golden, operands, is_float, rng, self.module)
+            opcode, golden, operands, is_float, rng, self.module,
+            precision)
 
     def _corrupt_with_module(self, opcode: Opcode, golden,
                              operands: Sequence, is_float: bool,
                              rng: np.random.Generator,
-                             module: Optional[str]):
+                             module: Optional[str],
+                             precision: str = "fp32"):
         """Corrupt pinned to *module* without touching instance state.
 
         The selected module is threaded through as an argument so that one
         model instance can serve several injectors (including concurrent
-        worker processes) without stateful cross-talk.
+        worker processes) without stateful cross-talk.  ``precision``
+        selects the operand range boundaries and the syndrome entries of
+        the matching float format (falling back to the fp32
+        characterisation when the database predates mixed precision).
         """
         magnitude = max(
             (abs(float(op)) for op in operands if _is_number(op)),
             default=abs(float(golden)),
         )
         entry = self.database.lookup(
-            opcode.value, range_for_value(magnitude), module)
+            opcode.value, range_for_value(magnitude, precision), module,
+            precision=precision)
         relative = entry.sample_relative_error(rng)
         sign = 1.0 if rng.random() < 0.5 else -1.0
         if is_float:
             golden_f = float(golden)
             base = golden_f if golden_f != 0.0 else 1.0
             corrupted = golden_f + sign * relative * abs(base)
-            if math.isnan(corrupted):
-                corrupted = float("inf")
-            return np.float32(corrupted)
+            return _cast_float(corrupted, precision)
         golden_i = int(golden)
         base = golden_i if golden_i != 0 else 1
         delta = int(round(relative * abs(base)))
@@ -176,7 +216,10 @@ class ModuleWeightedSyndrome(RelativeErrorSyndrome):
 
     name = "module-weighted"
 
-    #: Paper Table I flip-flop counts, the default area weights.
+    #: Paper Table I flip-flop counts, the default area weights.  The
+    #: reduced-precision datapaths scale the fp32 count by their stage-
+    #: register bit totals (267/505 and 248/505 bits per lane for the
+    #: fp16/bf16 units of :mod:`repro.gpu.fp32`).
     DEFAULT_WEIGHTS = {
         "fp32": 4451,
         "int": 1542,
@@ -184,6 +227,8 @@ class ModuleWeightedSyndrome(RelativeErrorSyndrome):
         "sfu_controller": 190,
         "scheduler": 3358,
         "pipeline": 10949,
+        "fp16": 2353,
+        "bf16": 2186,
     }
 
     def __init__(self, database: SyndromeDatabase,
@@ -193,7 +238,8 @@ class ModuleWeightedSyndrome(RelativeErrorSyndrome):
         self.weights = dict(weights or self.DEFAULT_WEIGHTS)
 
     def corrupt(self, opcode: Opcode, golden, operands: Sequence,
-                is_float: bool, rng: np.random.Generator):
+                is_float: bool, rng: np.random.Generator,
+                precision: str = "fp32"):
         modules = [m for m in self.database.modules_for(opcode.value)
                    if self.weights.get(m, 0) > 0]
         module = None
@@ -203,7 +249,7 @@ class ModuleWeightedSyndrome(RelativeErrorSyndrome):
             weights /= weights.sum()
             module = modules[int(rng.choice(len(modules), p=weights))]
         return self._corrupt_with_module(
-            opcode, golden, operands, is_float, rng, module)
+            opcode, golden, operands, is_float, rng, module, precision)
 
 
 def _is_number(value) -> bool:

@@ -15,7 +15,12 @@ method, which
   — precisely NVBitFI's observable semantics.
 
 Fault-free, every op computes the same float32/int32 result a GPU kernel
-would (numpy single-precision semantics).
+would (numpy single-precision semantics).  Reduced-precision apps
+construct the layer with ``precision="fp16"`` or ``"bf16"``: float ops
+then compute in that format (fp16 through ``np.float16``; bf16 as
+binary32 arrays re-rounded to the top 16 bits after every op, the way
+mixed-precision tensor kernels accumulate), while integer and control
+ops are unchanged.
 """
 
 from __future__ import annotations
@@ -47,14 +52,22 @@ class SassOps:
     ``(opcode, golden_value, operands, is_float) -> corrupted_value``
     applied to the single targeted dynamic instruction.  ``target`` is the
     global dynamic-instruction index (over injectable opcodes only) whose
-    output gets corrupted.
+    output gets corrupted.  ``precision`` selects the float format the
+    arithmetic ops compute in; corruptors receive their precision at
+    model-bind time (:meth:`repro.swfi.models.FaultModel.__call__`), so
+    the corruptor protocol itself is unchanged.
     """
 
     def __init__(self, target: Optional[int] = None,
                  corruptor: Optional[Callable] = None,
-                 span: int = 1) -> None:
+                 span: int = 1, precision: str = "fp32") -> None:
         if span < 1:
             raise ValueError("span must be at least 1")
+        if precision not in ("fp32", "fp16", "bf16"):
+            raise ValueError(f"unknown float precision {precision!r}")
+        self.precision = precision
+        self._float_dtype = (np.float16 if precision == "fp16"
+                             else np.float32)
         self.counts: Dict[Opcode, int] = {op: 0 for op in Opcode}
         self.other_count = 0
         self.dynamic_index = 0  # position over injectable opcodes
@@ -120,23 +133,47 @@ class SassOps:
             self.injected = opcode
         return result
 
-    # -- float32 arithmetic -----------------------------------------------------------
+    # -- float coercion and rounding ------------------------------------------------
+    def _fp(self, value: ArrayLike) -> np.ndarray:
+        """Coerce an operand into the layer's float storage format."""
+        with np.errstate(all="ignore"):  # corrupted values overflow freely
+            if self.precision == "bf16":
+                return _bf16_quantize(np.asarray(value, dtype=np.float32))
+            return np.asarray(value, dtype=self._float_dtype)
+
+    def _fq(self, result: np.ndarray) -> np.ndarray:
+        """Round a float op result to the storage format (bf16 only —
+        fp16/fp32 results are already produced in their dtype)."""
+        if self.precision == "bf16":
+            return _bf16_quantize(result)
+        return result
+
+    # -- float arithmetic -----------------------------------------------------------
     # (corrupted values legitimately overflow or turn NaN downstream, so
     # IEEE exception flags are suppressed — the GPU doesn't trap either)
     def fadd(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
-        a, b = _f32(a), _f32(b)
+        a, b = self._fp(a), self._fp(b)
         with np.errstate(all="ignore"):
-            return self._record(Opcode.FADD, a + b, (a, b), True)
+            return self._record(Opcode.FADD, self._fq(a + b), (a, b), True)
 
     def fmul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
-        a, b = _f32(a), _f32(b)
+        a, b = self._fp(a), self._fp(b)
         with np.errstate(all="ignore"):
-            return self._record(Opcode.FMUL, a * b, (a, b), True)
+            return self._record(Opcode.FMUL, self._fq(a * b), (a, b), True)
 
     def ffma(self, a: ArrayLike, b: ArrayLike, c: ArrayLike) -> np.ndarray:
-        a, b, c = _f32(a), _f32(b), _f32(c)
+        a, b, c = self._fp(a), self._fp(b), self._fp(c)
         with np.errstate(all="ignore"):
-            return self._record(Opcode.FFMA, a * b + c, (a, b, c), True)
+            if self.precision == "fp16":
+                # fused: the binary32 product+sum is exact enough that
+                # the final cast is the single rounding (2p+2 <= 24)
+                result = (a.astype(np.float32) * b.astype(np.float32)
+                          + c.astype(np.float32)).astype(np.float16)
+            else:
+                # bf16 FMA accumulates in binary32 and rounds once, the
+                # way tensor-core mixed-precision kernels do
+                result = self._fq(a * b + c)
+            return self._record(Opcode.FFMA, result, (a, b, c), True)
 
     # -- int32 arithmetic ----------------------------------------------------------------
     def iadd(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
@@ -153,15 +190,15 @@ class SassOps:
 
     # -- special functions ------------------------------------------------------------------
     def fsin(self, a: ArrayLike) -> np.ndarray:
-        a = _f32(a)
+        a = self._fp(a)
         with np.errstate(all="ignore"):
-            return self._record(
-                Opcode.FSIN, np.sin(a, dtype=np.float32), (a,), True)
+            result = self._fq(np.sin(a, dtype=self._float_dtype))
+            return self._record(Opcode.FSIN, result, (a,), True)
 
     def fexp(self, a: ArrayLike) -> np.ndarray:
-        a = _f32(a)
+        a = self._fp(a)
         with np.errstate(all="ignore"):
-            result = np.exp(a, dtype=np.float32)
+            result = self._fq(np.exp(a, dtype=self._float_dtype))
         return self._record(Opcode.FEXP, result, (a,), True)
 
     # -- memory movement -----------------------------------------------------------------------
@@ -191,10 +228,11 @@ class SassOps:
 
     def rcp(self, a: ArrayLike) -> np.ndarray:
         """MUFU.RCP: reciprocal on the SFU path."""
-        a = _f32(a)
+        a = self._fp(a)
         with np.errstate(all="ignore"):
-            return self._record_extended(
-                Opcode.RCP, (np.float32(1.0) / a).astype(np.float32))
+            result = (np.float32(1.0) / a.astype(np.float32)).astype(
+                self._float_dtype)
+            return self._record_extended(Opcode.RCP, self._fq(result))
 
     def shl(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
         a, b = _i32(a), _i32(b)
@@ -216,14 +254,14 @@ class SassOps:
         return self._record_extended(Opcode.LOP_XOR, _i32(a) ^ _i32(b))
 
     def f2i(self, a: ArrayLike) -> np.ndarray:
-        a = _f32(a)
+        a = self._fp(a)
         with np.errstate(all="ignore"):
             return self._record_extended(
                 Opcode.F2I, np.nan_to_num(a).astype(np.int32))
 
     def i2f(self, a: ArrayLike) -> np.ndarray:
         return self._record_extended(
-            Opcode.I2F, _i32(a).astype(np.float32))
+            Opcode.I2F, self._fq(_i32(a).astype(self._float_dtype)))
 
     # -- control flow ------------------------------------------------------------------------------
     def iset(self, a: ArrayLike, b: ArrayLike, op: str = "lt") -> np.ndarray:
@@ -235,7 +273,7 @@ class SassOps:
 
     def fset(self, a: ArrayLike, b: ArrayLike, op: str = "lt") -> np.ndarray:
         """Float comparison producing int32 flags (counted as ISET)."""
-        a, b = _f32(a), _f32(b)
+        a, b = self._fp(a), self._fp(b)
         compare = _COMPARATORS[op]
         flags = compare(a, b).astype(np.int32)
         return self._record(Opcode.ISET, flags, (a, b), False)
@@ -253,6 +291,21 @@ def _f32(value: ArrayLike) -> np.ndarray:
 
 def _i32(value: ArrayLike) -> np.ndarray:
     return np.asarray(value, dtype=np.int64).astype(np.int32)
+
+
+def _bf16_quantize(values: np.ndarray) -> np.ndarray:
+    """Round binary32 values to bfloat16, kept in a binary32 array.
+
+    Nearest-even on the top 16 bits, the storage convention mixed-
+    precision kernels use for bf16 tensors on hardware without a native
+    numpy dtype.  NaNs map to the canonical quiet NaN.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    bits = values.view(np.uint32)
+    rounding = np.uint32(0x7FFF) + ((bits >> np.uint32(16)) & np.uint32(1))
+    rounded = (bits + rounding) & np.uint32(0xFFFF0000)
+    rounded = np.where(np.isnan(values), np.uint32(0x7FC00000), rounded)
+    return rounded.view(np.float32).reshape(values.shape)
 
 
 def _element(operand: np.ndarray, offset: int):

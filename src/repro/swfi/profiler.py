@@ -80,7 +80,7 @@ class InstructionProfile:
 
 def profile_application(app) -> InstructionProfile:
     """Run *app* once in profile mode and return its instruction mix."""
-    ops = SassOps()
+    ops = SassOps(precision=getattr(app, "precision", "fp32"))
     app.run(ops)
     return InstructionProfile(
         app_name=app.name,

@@ -20,6 +20,7 @@ from ..rng import make_rng
 from ..syndrome.database import SyndromeDatabase
 from ..syndrome.records import TmxmEntry
 from ..syndrome.spatial import SpatialPattern, generate_pattern
+from .models import _cast_float
 from .ops import SassOps
 
 __all__ = ["TmxmInjectionResult", "TmxmReport", "TmxmInjector"]
@@ -84,6 +85,7 @@ class TmxmInjector:
                  module: str = "scheduler",
                  multi_only: bool = True) -> None:
         self.app = app
+        self.precision: str = getattr(app, "precision", "fp32")
         self.tile_kind = tile_kind
         self.module = module
         #: single-element tile effects duplicate what instruction-output
@@ -95,7 +97,7 @@ class TmxmInjector:
 
     def run_golden(self) -> np.ndarray:
         if self._golden is None:
-            self._golden = self.app.run(SassOps())
+            self._golden = self.app.run(SassOps(precision=self.precision))
         return self._golden
 
     def inject_one(self, rng: np.random.Generator) -> TmxmInjectionResult:
@@ -126,11 +128,12 @@ class TmxmInjector:
                 value = float(corrupted[row, col])
                 base = value if value != 0.0 else 1.0
                 sign = -1.0 if flip else 1.0
-                corrupted[row, col] = np.float32(
-                    value + sign * rel * abs(base))
+                corrupted[row, col] = _cast_float(
+                    value + sign * rel * abs(base), self.precision)
             return corrupted
 
-        observed = self.app.run(SassOps(), tile_hook=tile_hook)
+        observed = self.app.run(SassOps(precision=self.precision),
+                                tile_hook=tile_hook)
         is_sdc = self.app.is_sdc(golden, observed)
         is_critical = is_sdc and self.app.is_critical(golden, observed)
         return TmxmInjectionResult(is_sdc, is_critical, pattern, layer)

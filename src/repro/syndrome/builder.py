@@ -70,7 +70,8 @@ def _observe_tmxm(entry: TmxmEntry, report: CampaignReport,
 def entry_from_report(report: CampaignReport) -> SyndromeEntry:
     """Aggregate a micro-benchmark campaign report into one entry."""
     entry = SyndromeEntry(
-        SyndromeKey(report.instruction, report.input_range, report.module))
+        SyndromeKey(report.instruction, report.input_range, report.module,
+                    report.precision))
     _accumulate(entry, report)
     entry.finalize()
     return entry
@@ -107,14 +108,15 @@ class StreamingDatabaseBuilder:
     """
 
     def __init__(self) -> None:
-        self._entries: Dict[Tuple[str, str, str], SyndromeEntry] = {}
+        self._entries: Dict[Tuple[str, str, str, str], SyndromeEntry] = {}
         self._tmxm: Dict[Tuple[str, str], TmxmEntry] = {}
         self.n_reports = 0
 
     def add_report(self, report: CampaignReport) -> None:
         """Fold one micro-benchmark (or partial-cell) report in."""
         key = SyndromeKey(
-            report.instruction, report.input_range, report.module)
+            report.instruction, report.input_range, report.module,
+            report.precision)
         entry = self._entries.get(key.as_tuple())
         if entry is None:
             entry = self._entries[key.as_tuple()] = SyndromeEntry(key)

@@ -25,18 +25,35 @@ __all__ = ["SyndromeDatabase", "range_for_value"]
 _SMALL_HI = 7.3e-6
 _LARGE_LO = 3.8e9
 
+#: Per-precision (small-high, large-low) boundaries.  binary32's
+#: boundaries are the paper's; bfloat16 spans the same exponent range so
+#: it keeps them; binary16's are rescaled into its representable span
+#: (just above the FTZ threshold / just below the 65504 ceiling),
+#: matching ``repro.rtl.microbench.FLOAT_INPUT_RANGES``.
+_RANGE_BOUNDS = {
+    "fp32": (_SMALL_HI, _LARGE_LO),
+    "bf16": (_SMALL_HI, _LARGE_LO),
+    "fp16": (7.3e-4, 3.8e3),
+}
 
-def range_for_value(value: float) -> str:
+
+def range_for_value(value: float, precision: str = "fp32") -> str:
     """Map an operand magnitude onto the S/M/L syndrome ranges.
 
     Per Sec. V-A: "any instruction with an input smaller than S (bigger
     than L) receives the S (L) syndrome, values in between receive the M
-    syndrome".
+    syndrome".  The boundaries are evaluated in the operand's precision so
+    a half-precision value near its own overflow ceiling draws the Large
+    syndrome even though the same magnitude is mid-range in binary32.
     """
+    try:
+        small_hi, large_lo = _RANGE_BOUNDS[precision]
+    except KeyError:
+        raise ValueError(f"unknown float precision {precision!r}") from None
     magnitude = abs(value)
-    if magnitude <= _SMALL_HI:
+    if magnitude <= small_hi:
         return "S"
-    if magnitude >= _LARGE_LO:
+    if magnitude >= large_lo:
         return "L"
     return "M"
 
@@ -62,9 +79,9 @@ class SyndromeDatabase:
     """Queryable store of RTL fault syndromes."""
 
     def __init__(self) -> None:
-        self._entries: Dict[Tuple[str, str, str], SyndromeEntry] = {}
+        self._entries: Dict[Tuple[str, str, str, str], SyndromeEntry] = {}
         self._tmxm: Dict[Tuple[str, str], TmxmEntry] = {}
-        self._pooled: Dict[Tuple[str, str], SyndromeEntry] = {}
+        self._pooled: Dict[Tuple[str, str, str], SyndromeEntry] = {}
         # opcode -> entries in key order; rebuilt lazily after add()
         self._by_opcode: Optional[Dict[str, List[SyndromeEntry]]] = None
 
@@ -101,13 +118,18 @@ class SyndromeDatabase:
         return [self._tmxm[k] for k in sorted(self._tmxm)]
 
     def lookup(self, opcode: str, input_range: str,
-               module: Optional[str] = None) -> SyndromeEntry:
+               module: Optional[str] = None,
+               precision: str = "fp32") -> SyndromeEntry:
         """Find the most suitable entry with graceful fallbacks.
 
-        Exact (opcode, range, module) first; if *module* is None, entries
-        for any module are pooled by preferring the module order the paper
-        highlights as SDC sources (functional units first).  Falls back to
-        other input ranges before failing.
+        Exact (opcode, range, module, precision) first; if *module* is
+        None, entries for any module are pooled by preferring the module
+        order the paper highlights as SDC sources (functional units
+        first).  Falls back to other input ranges before failing.  A
+        precision with no entries of its own borrows the full candidate
+        set (in practice: the fp32 characterisation), so databases built
+        before the mixed-precision campaigns keep answering every lookup
+        exactly as they always did.
         """
         candidates = self._candidates(opcode)
         if not candidates:
@@ -120,6 +142,10 @@ class SyndromeDatabase:
             raise SyndromeDatabaseError(
                 f"no syndromes recorded for opcode {opcode!r} "
                 "(nor any same-family sibling)")
+        exact_precision = [e for e in candidates
+                           if e.key.precision == precision]
+        if exact_precision:
+            candidates = exact_precision
         ordered_ranges = [input_range] + [
             r for r in ("M", "S", "L") if r != input_range]
         for range_key in ordered_ranges:
@@ -131,27 +157,29 @@ class SyndromeDatabase:
                     return exact[0]
                 continue
             if matches:
-                return self._pool(matches)
+                return self._pool(matches, precision)
         if module is not None:
             raise SyndromeDatabaseError(
                 f"no syndrome for opcode {opcode!r}, module {module!r}")
-        return self._pool(candidates)
+        return self._pool(candidates, precision)
 
-    def _pool(self, entries: List[SyndromeEntry]) -> SyndromeEntry:
+    def _pool(self, entries: List[SyndromeEntry],
+              precision: str = "fp32") -> SyndromeEntry:
         """Merge same-opcode entries across modules (the paper's cocktail).
 
         With no module pinned the paper injects "a cocktail of fault
         syndromes": each observed SDC — whatever module produced it — is
         an equally likely sample.  Pooled entries are cached per
-        (opcode, range).
+        (opcode, range, precision).
         """
         if len(entries) == 1:
             return entries[0]
-        key = (entries[0].key.opcode, entries[0].key.input_range)
+        key = (entries[0].key.opcode, entries[0].key.input_range, precision)
         cached = self._pooled.get(key)
         if cached is not None:
             return cached
-        pooled = SyndromeEntry(SyndromeKey(key[0], key[1], "pooled"))
+        pooled = SyndromeEntry(
+            SyndromeKey(key[0], key[1], "pooled", precision))
         for entry in sorted(entries, key=lambda e: e.key.as_tuple()):
             pooled.relative_errors.extend(entry.relative_errors)
             pooled.thread_counts.extend(entry.thread_counts)
@@ -172,9 +200,12 @@ class SyndromeDatabase:
 
     def sample(self, opcode: str, operand_value: float,
                rng: np.random.Generator,
-               module: Optional[str] = None) -> float:
+               module: Optional[str] = None,
+               precision: str = "fp32") -> float:
         """One-call convenience: map the operand to a range and draw."""
-        entry = self.lookup(opcode, range_for_value(operand_value), module)
+        entry = self.lookup(
+            opcode, range_for_value(operand_value, precision), module,
+            precision=precision)
         return entry.sample_relative_error(rng)
 
     def _candidates(self, opcode: str) -> List[SyndromeEntry]:

@@ -19,7 +19,8 @@ from .spatial import SpatialPattern
 
 __all__ = ["export_csv", "export_database_file", "import_csv"]
 
-_SYNDROME_HEADER = ("opcode", "input_range", "module", "relative_error")
+_SYNDROME_HEADER = ("opcode", "input_range", "module", "precision",
+                    "relative_error")
 _TMXM_HEADER = ("tile_kind", "module", "pattern", "relative_error")
 
 
@@ -39,7 +40,8 @@ def export_csv(database: SyndromeDatabase, directory: Union[str, Path]
         for entry in database.entries():
             for error in entry.relative_errors:
                 writer.writerow((entry.key.opcode, entry.key.input_range,
-                                 entry.key.module, repr(float(error))))
+                                 entry.key.module, entry.key.precision,
+                                 repr(float(error))))
     tmxm_path = directory / "tmxm_patterns.csv"
     with tmxm_path.open("w", newline="") as handle:
         writer = csv.writer(handle)
@@ -88,8 +90,10 @@ def import_csv(directory: Union[str, Path]) -> SyndromeDatabase:
     with syndromes_path.open(newline="") as handle:
         reader = csv.DictReader(handle)
         for row in reader:
+            # pre-precision CSVs lack the column: those samples are fp32
             key = SyndromeKey(row["opcode"], row["input_range"],
-                              row["module"])
+                              row["module"],
+                              row.get("precision") or "fp32")
             entry = entries.setdefault(key.as_tuple(), SyndromeEntry(key))
             entry.relative_errors.append(float(row["relative_error"]))
             entry.thread_counts.append(1)

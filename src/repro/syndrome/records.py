@@ -22,14 +22,21 @@ __all__ = ["SyndromeKey", "SyndromeEntry", "PatternStats", "TmxmEntry"]
 
 @dataclass(frozen=True, order=True)
 class SyndromeKey:
-    """Lookup key for a syndrome entry."""
+    """Lookup key for a syndrome entry.
+
+    ``precision`` names the float format the characterisation kernel ran
+    in; legacy (pre-precision) databases migrate their keys to ``fp32``,
+    which is also what every integer/memory/control cell records since
+    those kernels carry no reduced-precision arithmetic.
+    """
 
     opcode: str
     input_range: str
     module: str
+    precision: str = "fp32"
 
-    def as_tuple(self) -> Tuple[str, str, str]:
-        return (self.opcode, self.input_range, self.module)
+    def as_tuple(self) -> Tuple[str, str, str, str]:
+        return (self.opcode, self.input_range, self.module, self.precision)
 
 
 @dataclass

@@ -44,8 +44,6 @@ class TestByteIdentity:
          lambda p: json.dumps(p) + "\n"),
         ("pvf-report", "pvf_report.json",
          lambda p: json.dumps(p) + "\n"),
-        ("syndrome-db", "syndrome_db.json",
-         lambda p: json.dumps(p)),
         ("campaign-metrics", "campaign_metrics.json",
          lambda p: json.dumps(p, indent=2) + "\n"),
         ("job-record", "job_record.json",
@@ -55,6 +53,21 @@ class TestByteIdentity:
         raw = _fixture_text(name)
         obj = load_artifact(kind, json.loads(raw))
         assert fmt(dump_body(kind, obj)) == raw
+
+    def test_syndrome_db_v1_migrates_then_round_trips(self):
+        """The pre-precision fixture loads via the v1->v2 migration.
+
+        Re-dumping must equal the fixture with every 3-element entry key
+        extended by ``"fp32"`` — and nothing else changed.
+        """
+        raw = json.loads(_fixture_text("syndrome_db.json"))
+        db = load_artifact("syndrome-db", raw)
+        expected = dict(raw)
+        expected["entries"] = [
+            {**e, "key": list(e["key"]) + ["fp32"]}
+            for e in raw["entries"]]
+        assert (json.dumps(dump_body("syndrome-db", db))
+                == json.dumps(expected))
 
     def test_rtl_report_aggregates_survive(self):
         report = CampaignReport.from_json(_fixture_text("rtl_report.json"))
@@ -126,13 +139,50 @@ class TestEnvelopedFiles:
         legacy.write_text(_fixture_text("syndrome_db.json"))
         db = SyndromeDatabase.load(legacy)        # bare pre-envelope file
         saved = tmp_path / "db.json"
-        db.save(saved)                            # now enveloped
+        db.save(saved)                            # now enveloped, current
         payload = json.loads(saved.read_text())
         assert payload["kind"] == "syndrome-db"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         reloaded = SyndromeDatabase.load(saved)
         assert reloaded.to_dict() == db.to_dict()
         assert load_artifact_file(saved).to_dict() == db.to_dict()
+
+
+class TestSyndromeDbMigration:
+    """Pre-precision (v1) databases keep answering lookups identically."""
+
+    def _load(self):
+        from repro.syndrome.database import SyndromeDatabase
+
+        return SyndromeDatabase.from_dict(
+            json.loads(_fixture_text("syndrome_db.json")))
+
+    def test_legacy_entries_load_as_fp32(self):
+        db = self._load()
+        assert db.entries(), "fixture database has entries"
+        assert {e.key.precision for e in db.entries()} == {"fp32"}
+
+    def test_legacy_lookups_bit_identical(self):
+        """Every lookup a pre-precision caller made returns the same
+        entry — same samples, same fit — through the migrated keys,
+        and an fp16 lookup falls back to the fp32 characterisation."""
+        import numpy as np
+
+        db = self._load()
+        raw = json.loads(_fixture_text("syndrome_db.json"))
+        for item in raw["entries"]:
+            opcode, input_range, module = item["key"]
+            entry = db.lookup(opcode, input_range, module)
+            assert entry.relative_errors == item["relative_errors"]
+            assert entry.thread_counts == item["thread_counts"]
+        # deterministic draws match a hand-built fp32-keyed database
+        entry = db.lookup("FADD", "M")
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        draws_a = [entry.sample_relative_error(rng_a) for _ in range(32)]
+        fallback = db.lookup("FADD", "M", precision="fp16")
+        draws_b = [fallback.sample_relative_error(rng_b) for _ in range(32)]
+        assert draws_a == draws_b
 
 
 class TestFingerprints:

@@ -174,3 +174,58 @@ class TestTelemetryArtifacts:
         text = render_stats(discover_metrics(workdir))
         assert "rtl-grid" in text and "pvf/MxM/syndrome" in text
         assert "units/s" in text
+
+
+class TestPrecisionPipeline:
+    """--precision fp16 end to end: reduced-precision RTL grid,
+    precision-keyed syndromes, PVF of a mixed-precision workload."""
+
+    @pytest.fixture(scope="class")
+    def fp16_run(self, tmp_path_factory):
+        workdir = tmp_path_factory.mktemp("pipeline-fp16")
+        summary = run_pipeline(
+            workdir, seed=7, opcodes=[Opcode.FADD, Opcode.IADD],
+            grid_faults=20, tmxm_faults=15, apps=["Transformer"],
+            models=["bitflip", "syndrome"], injections=8, quiet=True,
+            precision="fp16")
+        return workdir, summary
+
+    def test_summary_records_precision(self, fp16_run):
+        _, summary = fp16_run
+        assert summary["config"]["precision"] == "fp16"
+        assert {row["app"] for row in summary["pvf"]} == {"Transformer"}
+        assert {row["model"] for row in summary["pvf"]} == {
+            "single-bit-flip", "relative-error"}
+
+    def test_database_keys_carry_precision(self, fp16_run):
+        from repro.syndrome.database import SyndromeDatabase
+
+        workdir, _ = fp16_run
+        db = SyndromeDatabase.load(workdir / "syndrome_db.json")
+        precisions = {e.key.precision for e in db.entries()}
+        modules = {e.key.module for e in db.entries()}
+        # float cells characterise the fp16 unit; integer/scheduler/
+        # pipeline cells stay precision-agnostic fp32
+        assert "fp16" in precisions
+        assert "fp16" in modules and "fp32" not in modules
+        for entry in db.entries():
+            if entry.key.module == "fp16":
+                assert entry.key.precision == "fp16"
+
+    def test_saved_database_is_schema_v2(self, fp16_run):
+        workdir, _ = fp16_run
+        payload = json.loads((workdir / "syndrome_db.json").read_text())
+        version = payload.get("version")
+        if version is not None:  # enveloped dumps announce the bump
+            assert version == 2
+
+    def test_unknown_precision_fails_fast(self, tmp_path):
+        with pytest.raises(CampaignError, match="precision"):
+            run_pipeline(tmp_path, apps=["MxM"], precision="fp8",
+                         quiet=True)
+
+    def test_fp32_only_app_fails_before_rtl(self, tmp_path):
+        with pytest.raises(ValueError, match="fp32 only"):
+            run_pipeline(tmp_path, apps=["MxM"], precision="fp16",
+                         quiet=True)
+        assert not (tmp_path / "rtl_grid.jsonl").exists()

@@ -24,6 +24,40 @@ class TestCsvInterchange:
             twin = restored.lookup_tmxm(entry.tile_kind, entry.module)
             assert set(twin.patterns) == set(entry.patterns)
 
+    def test_precision_keys_roundtrip(self, tmp_path):
+        from repro.syndrome.database import SyndromeDatabase
+        from repro.syndrome.records import SyndromeEntry, SyndromeKey
+
+        database = SyndromeDatabase()
+        for precision, errors in (("fp32", [0.25, 0.5]),
+                                  ("fp16", [0.75, 1.0])):
+            entry = SyndromeEntry(
+                SyndromeKey("FADD", "M", "fp32" if precision == "fp32"
+                            else precision, precision))
+            entry.relative_errors.extend(errors)
+            entry.thread_counts.extend([1] * len(errors))
+            entry.finalize()
+            database.add(entry)
+        export_csv(database, tmp_path)
+        header = (tmp_path / "syndromes.csv").read_text().splitlines()[0]
+        assert "precision" in header.split(",")
+        restored = import_csv(tmp_path)
+        fp16 = restored.lookup("FADD", "M", precision="fp16")
+        assert fp16.key.precision == "fp16"
+        assert sorted(fp16.relative_errors) == [0.75, 1.0]
+        fp32 = restored.lookup("FADD", "M", precision="fp32")
+        assert sorted(fp32.relative_errors) == [0.25, 0.5]
+
+    def test_legacy_csv_without_precision_column(self, tmp_path):
+        (tmp_path / "syndromes.csv").write_text(
+            "opcode,input_range,module,relative_error\n"
+            "FMUL,S,fp32,0.5\n"
+            "FMUL,S,fp32,0.125\n")
+        restored = import_csv(tmp_path)
+        entry = restored.lookup("FMUL", "S")
+        assert entry.key.precision == "fp32"
+        assert sorted(entry.relative_errors) == [0.125, 0.5]
+
     def test_missing_directory_rejected(self, tmp_path):
         with pytest.raises(SyndromeDatabaseError):
             import_csv(tmp_path / "nothing")
