@@ -10,7 +10,9 @@ kind                 version  payload
                               migrate to ``fp32``)
 ``campaign-journal`` 1        a checkpoint journal's header line
 ``campaign-metrics`` 1        per-unit campaign telemetry
-``job-record``       1        one service job row
+``job-record``       2        one service job row (v2: priority, worker
+                              identity and lease expiry; v1 rows migrate
+                              to the leaseless defaults)
 ===================  =======  ==================================================
 
 Version 1 of every kind is **defined as** the byte format the
@@ -403,6 +405,24 @@ def _sample_metrics() -> "telemetry.CampaignMetrics":
 
 
 # -- job-record ---------------------------------------------------------------
+def _migrate_job_v1(payload: dict) -> dict:
+    """job-record v1 -> v2: leases, priorities and worker identity.
+
+    Pre-fabric job rows had no notion of a claiming worker: they were
+    executed by the daemon's own scheduler thread.  The v2 defaults say
+    exactly that — default priority, no worker, no lease.
+    """
+    migrated = dict(payload)
+    migrated.setdefault("priority", 0)
+    migrated.setdefault("worker", None)
+    migrated.setdefault("lease_expires_at", None)
+    return migrated
+
+
+def _sniff_job(payload: dict) -> int:
+    return 2 if "priority" in payload else 1
+
+
 def _sample_job() -> Job:
     return Job(
         id=1, kind="pvf",
@@ -410,7 +430,9 @@ def _sample_job() -> Job:
         state="done", submitted_at=1722500000.0,
         started_at=1722500010.0, finished_at=1722500060.0, attempts=1,
         cancel_requested=False, error=None,
-        result={"pvf": 0.25, "n_injections": 60})
+        result={"pvf": 0.25, "n_injections": 60},
+        priority=2, worker="node01-4242",
+        lease_expires_at=None)
 
 
 # -- registration -------------------------------------------------------------
@@ -447,6 +469,8 @@ register_schema(ArtifactSchema(
     sample=_sample_metrics))
 
 register_schema(ArtifactSchema(
-    kind="job-record", version=1,
+    kind="job-record", version=2,
     dump=_JOB.dump, load=_JOB.load,
+    migrations={1: _migrate_job_v1},
+    sniff_version=_sniff_job,
     sample=_sample_job))

@@ -232,12 +232,21 @@ class CampaignMetrics:
         return load_artifact(SCHEMA_KIND, payload)
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the stage's ``metrics.json`` (schema-validated)."""
+        """Write the stage's ``metrics.json`` (schema-validated).
+
+        The write goes through a sibling temp file + ``os.replace`` so
+        concurrent readers — the service's HTTP handlers poll this file
+        while the campaign runs — always see a complete JSON document,
+        never a torn half-write.
+        """
         self.finish()
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(validate_metrics(self.to_dict()),
-                                   indent=2) + "\n")
+        payload = json.dumps(validate_metrics(self.to_dict()),
+                             indent=2) + "\n"
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
         return path
 
 

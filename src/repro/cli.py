@@ -19,6 +19,12 @@ Service mode (campaign-as-a-service)::
     python -m repro fetch 1 report --output report.json
     python -m repro cancel 1
 
+Fleet mode (coordinator + lease-based pull workers)::
+
+    python -m repro serve --workdir runs/fleet --no-scheduler
+    python -m repro worker --url http://127.0.0.1:8765
+    python -m repro workers --url http://127.0.0.1:8765
+
 Campaign commands print their results on *stdout*; progress lines go to
 *stderr* and are silenced by ``--quiet``.
 """
@@ -234,7 +240,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
 
     serve(args.workdir, host=args.host, port=args.port,
-          poll_interval=args.poll_interval, quiet=args.quiet)
+          poll_interval=args.poll_interval, quiet=args.quiet,
+          execute_jobs=not args.no_scheduler,
+          max_queue_depth=args.max_queue)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .service import CampaignWorker
+
+    worker = CampaignWorker(args.url, name=args.name,
+                            lease_seconds=args.lease,
+                            poll_interval=args.poll,
+                            quiet=not args.verbose)
+    try:
+        claims = worker.run_forever(drain=args.drain,
+                                    max_claims=args.max_claims)
+    except KeyboardInterrupt:
+        print(f"worker {worker.name}: interrupted", file=sys.stderr)
+        return 130
+    print(f"worker {worker.name}: {claims} shard"
+          f"{'s' if claims != 1 else ''} claimed")
+    return 0
+
+
+def _cmd_workers(args: argparse.Namespace) -> int:
+    import time as _time
+
+    client = _client(args)
+    workers = client.workers()
+    if not workers:
+        print("no workers have claimed from this service")
+        return 0
+    now = _time.time()
+    print(f"{'worker':<28}{'alive':<7}{'last seen':>10}"
+          f"{'claims':>8}{'units':>7}")
+    for row in workers:
+        age = _format_age(max(0.0, now - row["last_seen"]))
+        alive = "yes" if row.get("alive") else "no"
+        print(f"{row['id']:<28}{alive:<7}{age:>10}"
+              f"{row['jobs_claimed']:>8}{row['units_done']:>7}")
     return 0
 
 
@@ -248,14 +293,15 @@ def _client(args: argparse.Namespace):
 _SUBMIT_PARAMS = ("seed", "jobs", "batch_size", "timeout", "budget",
                   "app", "model", "injections", "opcode", "module",
                   "range", "faults", "apps", "models", "opcodes",
-                  "grid_faults", "tmxm_faults", "precision")
+                  "grid_faults", "tmxm_faults", "precision",
+                  "units_per_claim")
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     client = _client(args)
     params = {name: getattr(args, name) for name in _SUBMIT_PARAMS
               if getattr(args, name) is not None}
-    job = client.submit(args.kind, **params)
+    job = client.submit(args.kind, priority=args.priority, **params)
     if args.id_only:
         print(job["id"])
     else:
@@ -531,6 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.set_defaults(func=_cmd_pipeline)
 
     # -- service verbs --------------------------------------------------------
+    client = argparse.ArgumentParser(add_help=False)
+    client.add_argument("--url", default=DEFAULT_SERVICE_URL,
+                        help=f"service base URL "
+                             f"(default {DEFAULT_SERVICE_URL})")
+
     serve = sub.add_parser(
         "serve",
         help="run the campaign service daemon (durable job queue + "
@@ -547,12 +598,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "queue is empty")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress request logging and job progress")
+    serve.add_argument("--no-scheduler", action="store_true",
+                       help="coordinator mode: queue, lease and merge "
+                            "only — jobs execute on pull workers "
+                            "('repro worker')")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="reject submissions (HTTP 429) once this "
+                            "many jobs are queued")
     serve.set_defaults(func=_cmd_serve)
 
-    client = argparse.ArgumentParser(add_help=False)
-    client.add_argument("--url", default=DEFAULT_SERVICE_URL,
-                        help=f"service base URL "
-                             f"(default {DEFAULT_SERVICE_URL})")
+    worker = sub.add_parser(
+        "worker", parents=[client],
+        help="join a service's injection fleet: claim, execute and "
+             "deliver unit shards over plain HTTP")
+    worker.add_argument("--name", default=None,
+                        help="worker identity (default <hostname>-<pid>)")
+    worker.add_argument("--lease", type=float, default=30.0,
+                        help="lease seconds per claim; renewed between "
+                             "work units (default 30)")
+    worker.add_argument("--poll", type=float, default=1.0,
+                        help="seconds between claims when the queue is "
+                             "empty (default 1)")
+    worker.add_argument("--drain", action="store_true",
+                        help="exit once a claim comes back empty")
+    worker.add_argument("--max-claims", type=int, default=None,
+                        help="exit after this many shards")
+    worker.add_argument("--verbose", action="store_true",
+                        help="log claims, deliveries and lease events")
+    worker.set_defaults(func=_cmd_worker)
+
+    workers = sub.add_parser(
+        "workers", parents=[client],
+        help="list the workers known to a service (liveness, claim and "
+             "unit counts)")
+    workers.set_defaults(func=_cmd_workers)
 
     submit = sub.add_parser(
         "submit", parents=[client],
@@ -594,6 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--precision", default=None,
                         choices=["fp32", "fp16", "bf16"],
                         help="float datapath (pvf / rtl / pipeline jobs)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="claim order: higher first, FIFO within a "
+                             "priority (default 0)")
+    submit.add_argument("--units-per-claim", type=int, default=None,
+                        help="unit-shard size workers claim (pvf / rtl "
+                             "jobs; default: quarter of the job's units)")
     submit.add_argument("--wait", type=float, nargs="?", const=3600.0,
                         default=None, metavar="SECONDS",
                         help="poll until the job finishes (non-zero "

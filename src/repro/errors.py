@@ -17,6 +17,7 @@ __all__ = [
     "MemoryFaultError",
     "RegisterFaultError",
     "ArtifactError",
+    "BudgetExceeded",
     "CampaignError",
     "CampaignCancelled",
     "ServiceError",
@@ -79,6 +80,16 @@ class ArtifactError(ReproError):
 
 class ServiceError(ReproError):
     """A campaign-service request was invalid or could not be served."""
+
+
+class BudgetExceeded(ServiceError):
+    """A job blew through its wall-clock budget.
+
+    Deliberately a distinct type: schedulers must not mistake a store or
+    validation :class:`ServiceError` for "the budget ran out" — only this
+    exception means the job's completed units are journaled and a
+    requeue will resume it.
+    """
 
 
 class SyndromeDatabaseError(ReproError):

@@ -68,8 +68,10 @@ from .reports import CampaignReport
 from .tmxm import TILE_KINDS, make_tmxm_bench
 
 __all__ = [
+    "cell_checkpoint_header",
     "modules_for_opcode",
     "run_campaign",
+    "run_campaign_units",
     "run_grid",
     "run_tmxm_grid",
     "MODULE_INSTRUCTIONS",
@@ -323,6 +325,29 @@ def _plan_cell_units(spec: _CellSpec, n_faults: int, seed: int,
     ]
 
 
+def cell_checkpoint_header(bench: Microbenchmark, module: str,
+                           fault_kind: Optional[str], n_faults: int,
+                           seed: int, batch_size: Optional[int]) -> dict:
+    """The journal header identifying one cell campaign's unit plan.
+
+    Shared between :func:`run_campaign` and the service daemon's
+    shard-ingest path so both write/resume the same journal.
+    """
+    header = {
+        "campaign": "rtl-cell",
+        "bench": bench.name,
+        "module": module,
+        "fault_kind": fault_kind,
+        "n_faults": int(n_faults),
+        "seed": int(seed),
+        "batch_size": None if batch_size is None else int(batch_size),
+    }
+    # fp32 headers stay byte-identical so pre-precision journals resume
+    if bench.precision != "fp32":
+        header["precision"] = bench.precision
+    return header
+
+
 def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
                      header: dict) -> Optional[CampaignCheckpoint]:
     if path is None:
@@ -408,18 +433,8 @@ def run_campaign(
                      module=module, fault_kind=kind)
     units = _plan_cell_units(spec, n_faults, seed, batch_size,
                              base_index=0, label=f"{bench.name}/{module}")
-    header = {
-        "campaign": "rtl-cell",
-        "bench": bench.name,
-        "module": module,
-        "fault_kind": kind,
-        "n_faults": int(n_faults),
-        "seed": int(seed),
-        "batch_size": None if batch_size is None else int(batch_size),
-    }
-    # fp32 headers stay byte-identical so pre-precision journals resume
-    if bench.precision != "fp32":
-        header["precision"] = bench.precision
+    header = cell_checkpoint_header(bench, module, kind, n_faults, seed,
+                                    batch_size)
     journal = _open_checkpoint(checkpoint, resume, header)
     metrics = resolve_metrics(metrics, checkpoint, "rtl-cell")
     state = None
@@ -438,6 +453,51 @@ def run_campaign(
     )
     emit_metrics(metrics, checkpoint)
     return CampaignReport.merge([results[i] for i in sorted(results)])
+
+
+def run_campaign_units(
+    bench: Microbenchmark,
+    module: str,
+    n_faults: int,
+    lo: int,
+    hi: int,
+    seed: int = 0,
+    kind: Optional[str] = None,
+    *,
+    batch_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    cancel: Optional[Callable[[], bool]] = None,
+    config: Optional[SMConfig] = None,
+    vectorize="auto",
+) -> Dict[int, CampaignReport]:
+    """Run only units ``[lo, hi)`` of one cell's deterministic plan.
+
+    The distributed-worker entry point: the unit plan depends only on
+    ``(n_faults, seed, batch_size)``, so any worker handed a ``(lo,
+    hi)`` shard regenerates exactly the fault batches the serial
+    :func:`run_campaign` would execute at those indices — merging all
+    shards in unit-index order is bit-identical to the serial report.
+    Returns ``{unit index: batch report}``.
+    """
+    if n_faults < 0:
+        raise CampaignError("n_faults must be non-negative")
+    _validate_bench_module(bench, module)
+    spec = _CellSpec(bench=_BenchSpec(kind="bench", bench=bench),
+                     module=module, fault_kind=kind)
+    units = _plan_cell_units(spec, n_faults, seed, batch_size,
+                             base_index=0, label=f"{bench.name}/{module}")
+    if not 0 <= lo < hi <= len(units):
+        raise CampaignError(
+            f"unit range [{lo}, {hi}) is outside the campaign's "
+            f"{len(units)}-unit plan")
+    done = run_units(
+        units[lo:hi],
+        partial(_run_rtl_unit, timeout=timeout, vectorize=vectorize),
+        n_jobs=1,
+        state=_RTLWorkerState(config=config),
+        cancel=cancel,
+    )
+    return dict(done)
 
 
 # -- campaign grids ----------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Campaign-as-a-service: durable job queue, HTTP API, artifact registry.
+"""Campaign-as-a-service: durable job queue, HTTP API, worker fleet.
 
 The paper's experiments ran as fleet-style campaigns on a 12-node
 server; this package is the reproduction's equivalent of that fleet
@@ -9,20 +9,28 @@ checkpoint/resume and live telemetry, and serves results over a
 stdlib-only HTTP API:
 
 * :mod:`repro.service.store` — the durable :class:`JobStore`
-  (``queued/running/done/failed/cancelled``; survives SIGKILL).
+  (``queued/running/done/failed/cancelled``; survives SIGKILL), with
+  job priorities, worker leases and per-job unit shards.
 * :mod:`repro.service.scheduler` — claims jobs, executes them with
   cooperative cancellation and wall-clock budgets, resumes interrupted
-  jobs on daemon restart.
+  jobs on daemon restart, reaps expired worker leases and merges
+  finished shards.
 * :mod:`repro.service.api` — ``POST /jobs``, ``GET /jobs[/<id>]``,
   ``POST /jobs/<id>/cancel``, ``GET /artifacts/<id>/...`` with
-  ETag-based caching; :class:`ServiceDaemon` bundles everything.
+  ETag-based caching, plus the worker protocol (``POST /claim``,
+  ``POST /jobs/<id>/heartbeat``, ``POST /jobs/<id>/units``,
+  ``GET /workers``); :class:`ServiceDaemon` bundles everything.
 * :mod:`repro.service.client` — the thin :class:`ServiceClient` behind
   ``python -m repro submit/jobs/fetch/cancel``.
+* :mod:`repro.service.worker` — :class:`CampaignWorker`, the
+  lease-based pull loop behind ``python -m repro worker``: any machine
+  with this package joins the fleet over plain HTTP, no shared
+  filesystem.
 
 Because jobs execute through the exact campaign runners the synchronous
 CLI uses, a job's merged report is bit-identical to the direct run's for
 the same seed — however many times the daemon was killed and restarted
-in between.
+in between, and however many workers shared the job's unit shards.
 """
 
 from .api import (
@@ -33,12 +41,22 @@ from .api import (
     serve,
 )
 from .client import ServiceClient
-from .scheduler import JOB_KINDS, Scheduler, execute_job, normalize_params
+from .scheduler import (
+    JOB_KINDS,
+    Scheduler,
+    execute_job,
+    finalize_sharded_job,
+    normalize_params,
+    plan_job_units,
+    run_job_units,
+)
 from .store import JOB_STATES, TERMINAL_STATES, Job, JobStore
+from .worker import CampaignWorker, default_worker_name
 
 __all__ = [
     "ApiError",
     "CampaignService",
+    "CampaignWorker",
     "Job",
     "JobStore",
     "JOB_KINDS",
@@ -48,7 +66,11 @@ __all__ = [
     "ServiceDaemon",
     "TERMINAL_STATES",
     "content_etag",
+    "default_worker_name",
     "execute_job",
+    "finalize_sharded_job",
     "normalize_params",
+    "plan_job_units",
+    "run_job_units",
     "serve",
 ]

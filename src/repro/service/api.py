@@ -3,12 +3,15 @@
 Endpoints (all JSON unless noted):
 
 * ``POST /jobs`` — submit ``{"kind": "pvf"|"rtl"|"pipeline",
-  "params": {...}}``; parameters are validated up front (400 on error).
+  "params": {...}, "priority": 0}``; parameters are validated up front
+  (400 on error), and a saturated queue answers 429 when the daemon
+  was started with a queue-depth limit.
 * ``GET /jobs`` (``?state=queued|running|done|failed|cancelled``) —
   list jobs.
 * ``GET /jobs/<id>`` — one job, plus ``telemetry``: the live
   ``metrics.json`` heartbeat its campaign is writing (per-stage
-  summaries; per-unit records are available via the artifact).
+  summaries; per-unit records are available via the artifact) and
+  ``shards``: the unit-shard table of a multi-worker job.
 * ``POST /jobs/<id>/cancel`` — immediate for queued jobs, cooperative
   (between work units) for running ones.
 * ``POST /jobs/<id>/requeue`` — put a failed/cancelled job back in the
@@ -17,6 +20,22 @@ Endpoints (all JSON unless noted):
 * ``GET /artifacts/<id>/metrics`` — full telemetry incl. per-unit rows.
 * ``GET /artifacts/<id>/syndromes`` — a pipeline job's distilled
   syndrome database as flat CSV (``text/csv``).
+
+Worker protocol (remote machines joining with zero shared filesystem):
+
+* ``POST /claim`` — ``{"worker": "name", "lease_seconds": 30}``; 200
+  with ``{"job": ..., "units": [lo, hi], "lease_seconds": ...}`` leases
+  the next unit shard of a claimable pvf/rtl job, 204 means no work.
+* ``POST /jobs/<id>/heartbeat`` — renew the worker's lease between
+  units; the response carries ``cancel_requested`` (cooperative
+  cancellation) and 409 means the lease expired — drop the results.
+* ``POST /jobs/<id>/units`` — deliver a finished shard's per-unit
+  reports (``{"worker": ..., "lo": ..., "reports": {index: payload}}``),
+  hand a shard back unfinished (``"release": true``) or fail the job
+  (``"error": "..."``).  The daemon journals the units and, when the
+  last shard lands, merges them in unit-index order — bit-identical to
+  a single-process run.
+* ``GET /workers`` — every worker ever seen, with liveness.
 
 Artifact responses carry a strong ``ETag`` (content SHA-256); a request
 whose ``If-None-Match`` matches gets ``304 Not Modified`` with no body —
@@ -43,10 +62,21 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import CampaignError, ServiceError
-from .scheduler import JOB_KINDS, Scheduler, normalize_params
+from .scheduler import (
+    JOB_KINDS,
+    Scheduler,
+    finalize_sharded_job,
+    normalize_params,
+    open_shard_journal,
+    plan_job_units,
+)
 from .store import JOB_STATES, JobStore
 
-__all__ = ["ApiError", "CampaignService", "ServiceDaemon", "serve"]
+__all__ = ["ApiError", "CampaignService", "ServiceDaemon", "serve",
+           "DEFAULT_LEASE_SECONDS"]
+
+#: Lease a claim stamps when the worker does not ask for a specific one.
+DEFAULT_LEASE_SECONDS = 30.0
 
 
 class ApiError(ServiceError):
@@ -78,20 +108,34 @@ class CampaignService:
     thin shell around it.
     """
 
-    def __init__(self, store: JobStore, scheduler: Scheduler) -> None:
+    def __init__(self, store: JobStore, scheduler: Scheduler,
+                 max_queue_depth: Optional[int] = None) -> None:
         self.store = store
         self.scheduler = scheduler
+        self.max_queue_depth = max_queue_depth
+        # serialises shard-unit ingest: journals are append-only JSONL
+        # and two workers may deliver shards of one job concurrently
+        self._ingest_lock = threading.Lock()
 
     # -- jobs ---------------------------------------------------------------
     def submit(self, payload: dict) -> dict:
         if not isinstance(payload, dict):
             raise ApiError(400, "request body must be a JSON object")
         kind = payload.get("kind")
+        priority = payload.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ApiError(400, "priority must be an integer")
         try:
             params = normalize_params(kind, payload.get("params"))
         except ServiceError as exc:
             raise ApiError(400, str(exc))
-        job = self.store.submit(kind, params)
+        if self.max_queue_depth is not None:
+            depth = self.store.count_states()["queued"]
+            if depth >= self.max_queue_depth:
+                raise ApiError(
+                    429, f"queue is saturated ({depth} job(s) queued, "
+                         f"limit {self.max_queue_depth}); retry later")
+        job = self.store.submit(kind, params, priority=priority)
         return job.to_dict()
 
     def jobs(self, state: Optional[str] = None) -> List[dict]:
@@ -104,6 +148,9 @@ class CampaignService:
         job = self._get(job_id)
         payload = job.to_dict()
         payload["telemetry"] = self._telemetry(job_id)
+        shards = self.store.shards(job_id)
+        if shards:
+            payload["shards"] = shards
         return payload
 
     def cancel(self, job_id: int) -> dict:
@@ -121,10 +168,181 @@ class CampaignService:
             raise ApiError(409, str(exc))
 
     def health(self) -> dict:
-        counts: Dict[str, int] = {state: 0 for state in JOB_STATES}
-        for job in self.store.list_jobs():
-            counts[job.state] += 1
-        return {"status": "ok", "kinds": list(JOB_KINDS), "jobs": counts}
+        # one GROUP BY, never a per-row scan: /health is polled and must
+        # stay cheap no matter how many finished jobs the store holds
+        counts = self.store.count_states()
+        workers = self.store.list_workers()
+        return {
+            "status": "ok",
+            "kinds": list(JOB_KINDS),
+            "jobs": counts,
+            "queue_depth": counts["queued"],
+            "max_queue_depth": self.max_queue_depth,
+            "workers": {
+                "known": len(workers),
+                "alive": sum(1 for w in workers if w["alive"]),
+            },
+        }
+
+    # -- worker protocol ----------------------------------------------------
+    @staticmethod
+    def _worker_name(payload: dict) -> str:
+        worker = payload.get("worker")
+        if not worker or not isinstance(worker, str):
+            raise ApiError(400, "a non-empty 'worker' name is required")
+        return worker
+
+    @staticmethod
+    def _lease_seconds(payload: dict) -> float:
+        lease = payload.get("lease_seconds", DEFAULT_LEASE_SECONDS)
+        if isinstance(lease, bool) or not isinstance(lease, (int, float)):
+            raise ApiError(400, "lease_seconds must be a number")
+        if lease <= 0:
+            raise ApiError(400, "lease_seconds must be positive")
+        return float(lease)
+
+    def claim(self, payload: dict) -> Optional[dict]:
+        """Lease the next unit shard; ``None`` means no claimable work."""
+        if not isinstance(payload, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        worker = self._worker_name(payload)
+        lease = self._lease_seconds(payload)
+        claimed = self.store.claim_shard(worker, lease, plan_job_units)
+        if claimed is None:
+            return None
+        job, (lo, hi) = claimed
+        return {
+            "job": job.to_dict(),
+            "units": [lo, hi],
+            "lease_seconds": lease,
+        }
+
+    def heartbeat(self, job_id: int, payload: dict) -> dict:
+        """Renew a worker's lease; 409 once the lease has been lost."""
+        self._get(job_id)  # 404 before 409
+        if not isinstance(payload, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        worker = self._worker_name(payload)
+        lease = self._lease_seconds(payload)
+        try:
+            job = self.store.heartbeat(job_id, worker, lease)
+        except ServiceError as exc:
+            raise ApiError(409, str(exc))
+        return {
+            "id": job.id,
+            "state": job.state,
+            "cancel_requested": job.cancel_requested,
+            "lease_seconds": lease,
+        }
+
+    def workers(self) -> List[dict]:
+        return self.store.list_workers()
+
+    def post_units(self, job_id: int, payload: dict) -> dict:
+        """Ingest a shard's unit reports (or a release / worker error).
+
+        The delivery path of the pull protocol: reports are validated
+        through the artifact registry, journaled into the job's regular
+        campaign checkpoint (so requeues and in-process runs resume
+        from them), and the shard is marked done — the worker that
+        lands the job's last shard triggers the in-order merge.
+        """
+        job = self._get(job_id)
+        if not isinstance(payload, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        worker = self._worker_name(payload)
+        lo = payload.get("lo")
+        if isinstance(lo, bool) or not isinstance(lo, int):
+            raise ApiError(400, "'lo' (the shard's first unit) is "
+                                "required and must be an integer")
+        if payload.get("error"):
+            return self._fail_shard(job, lo, worker,
+                                    str(payload["error"]))
+        if payload.get("release"):
+            try:
+                self.store.release_shard(job.id, lo, worker)
+            except ServiceError as exc:
+                raise ApiError(409, str(exc))
+            return {"id": job.id, "released": lo}
+        reports = payload.get("reports")
+        if not isinstance(reports, dict) or not reports:
+            raise ApiError(400, "'reports' must be a non-empty object "
+                                "of {unit index: report payload}")
+        from ..artifacts import load_artifact
+        from ..errors import ArtifactError
+
+        schema = "pvf-report" if job.kind == "pvf" else "rtl-report"
+        decoded = {}
+        try:
+            for key, body in reports.items():
+                decoded[int(key)] = load_artifact(schema, body)
+        except (ArtifactError, ValueError) as exc:
+            raise ApiError(400, f"undecodable unit report: {exc}")
+        jobdir = self.scheduler.jobdir(job.id)
+        with self._ingest_lock:
+            # journal first, then mark the shard done: a crash in
+            # between costs a duplicate delivery (deduped by unit
+            # index on load), never a done-shard with missing units
+            journal = open_shard_journal(job, jobdir)
+            try:
+                for index in sorted(decoded):
+                    if index not in journal.completed:
+                        journal.record(index, decoded[index])
+            finally:
+                journal.close()
+            try:
+                last = self.store.complete_shard(job.id, lo, worker,
+                                                 units=len(decoded))
+            except ServiceError as exc:
+                raise ApiError(409, str(exc))
+            self._record_shard_metrics(job, jobdir)
+            if last:
+                try:
+                    finalize_sharded_job(self.store, job, jobdir)
+                except ServiceError:
+                    # lost the finalize race (scheduler maintenance
+                    # pass) or a unit gap: maintenance retries/settles
+                    pass
+        fresh = self._get(job_id)
+        return {"id": fresh.id, "state": fresh.state,
+                "shard": lo, "units_recorded": len(decoded)}
+
+    def _fail_shard(self, job, lo: int, worker: str,
+                    message: str) -> dict:
+        """A worker hit a non-transient execution error: fail the job."""
+        try:
+            self.store.release_shard(job.id, lo, worker)
+        except ServiceError as exc:
+            raise ApiError(409, str(exc))
+        try:
+            failed = self.store.finish(
+                job.id, "failed",
+                error=f"worker {worker!r}: {message}")
+        except ServiceError as exc:  # another path settled it first
+            raise ApiError(409, str(exc))
+        return failed.to_dict()
+
+    def _record_shard_metrics(self, job, jobdir: Path) -> None:
+        """Keep the job's live ``metrics.json`` heartbeat current.
+
+        Rebuilt from the journal on every delivery instead of patched
+        incrementally — unit ordering and duplicate suppression come
+        for free, and the journal is the ground truth anyway.
+        """
+        from ..campaign.telemetry import CampaignMetrics
+
+        layout = plan_job_units(job)
+        metrics = CampaignMetrics(
+            f"{job.kind}/job-{job.id}",
+            total_units=None if layout is None else layout[0])
+        journal = open_shard_journal(job, jobdir)
+        journal.close()
+        for index in sorted(journal.completed):
+            report = journal.completed[index]
+            metrics.record_unit(index, label=f"unit {index}",
+                                size=getattr(report, "n_injections", 0),
+                                report=report, worker=0)
+        metrics.save(jobdir / "metrics.json")
 
     # -- artifacts ----------------------------------------------------------
     def artifact(self, job_id: int, name: str
@@ -210,7 +428,10 @@ class CampaignService:
             return None
         try:
             payloads = discover_metrics(jobdir)
-        except CampaignError:
+        except (CampaignError, ValueError):
+            # ValueError covers json.JSONDecodeError: a torn or
+            # half-written metrics file must degrade to "no telemetry",
+            # never 500 the job endpoint
             return None
         return [{k: v for k, v in payload.items() if k != "units"}
                 for payload in payloads]
@@ -281,6 +502,8 @@ class _Handler(BaseHTTPRequestHandler):
         if self.command == "GET":
             if parts == ["health"]:
                 return self._send_json(200, service.health())
+            if parts == ["workers"]:
+                return self._send_json(200, service.workers())
             if parts == ["jobs"]:
                 state = params.get("state") or None
                 return self._send_json(200, service.jobs(state))
@@ -298,12 +521,24 @@ class _Handler(BaseHTTPRequestHandler):
             if parts == ["jobs"]:
                 return self._send_json(201,
                                        service.submit(self._read_json()))
+            if parts == ["claim"]:
+                claimed = service.claim(self._read_json())
+                if claimed is None:
+                    return self._send(204, b"", "application/json")
+                return self._send_json(200, claimed)
             if len(parts) == 3 and parts[0] == "jobs":
                 job_id = self._job_id(parts[1])
                 if parts[2] == "cancel":
                     return self._send_json(200, service.cancel(job_id))
                 if parts[2] == "requeue":
                     return self._send_json(200, service.requeue(job_id))
+                if parts[2] == "heartbeat":
+                    return self._send_json(
+                        200, service.heartbeat(job_id, self._read_json()))
+                if parts[2] == "units":
+                    return self._send_json(
+                        200, service.post_units(job_id,
+                                                self._read_json()))
         raise ApiError(404, f"no such endpoint: {self.command} {self.path}")
 
     do_GET = do_POST = _route
@@ -329,14 +564,21 @@ class ServiceDaemon:
 
     def __init__(self, workdir: Union[str, Path],
                  host: str = "127.0.0.1", port: int = 8765,
-                 poll_interval: float = 0.5, quiet: bool = True) -> None:
+                 poll_interval: float = 0.5, quiet: bool = True,
+                 execute_jobs: bool = True,
+                 max_queue_depth: Optional[int] = None) -> None:
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.store = JobStore(self.workdir / "jobs.sqlite3")
+        # execute_jobs=False: coordinator mode — the scheduler thread
+        # only reaps leases and merges finished shards; remote
+        # ``repro worker`` processes do all the executing
         self.scheduler = Scheduler(self.store, self.workdir,
                                    poll_interval=poll_interval,
-                                   quiet=quiet)
-        self.service = CampaignService(self.store, self.scheduler)
+                                   quiet=quiet,
+                                   execute_jobs=execute_jobs)
+        self.service = CampaignService(self.store, self.scheduler,
+                                       max_queue_depth=max_queue_depth)
         self.quiet = quiet
         self._httpd = _Server((host, port), self.service, quiet=quiet)
         self._threads: List[threading.Thread] = []
@@ -402,10 +644,13 @@ class ServiceDaemon:
 
 def serve(workdir: Union[str, Path], host: str = "127.0.0.1",
           port: int = 8765, poll_interval: float = 0.5,
-          quiet: bool = False) -> None:
+          quiet: bool = False, execute_jobs: bool = True,
+          max_queue_depth: Optional[int] = None) -> None:
     """Run the campaign service in the foreground until interrupted."""
     daemon = ServiceDaemon(workdir, host=host, port=port,
-                           poll_interval=poll_interval, quiet=quiet)
+                           poll_interval=poll_interval, quiet=quiet,
+                           execute_jobs=execute_jobs,
+                           max_queue_depth=max_queue_depth)
     daemon.start()
     print(f"repro service listening on {daemon.url} "
           f"(workdir {daemon.workdir})", flush=True)

@@ -60,18 +60,22 @@ class ServiceClient:
                 f"cannot reach service at {self.base_url}: {exc.reason}")
 
     def _json(self, method: str, path: str,
-              payload: Optional[dict] = None) -> dict:
-        _, _, raw = self._request(method, path, payload)
+              payload: Optional[dict] = None):
+        status, _, raw = self._request(method, path, payload)
+        if status == 204 or not raw:
+            return None
         return json.loads(raw)
 
     # -- API ----------------------------------------------------------------
     def health(self) -> dict:
         return self._json("GET", "/health")
 
-    def submit(self, kind: str, **params) -> dict:
+    def submit(self, kind: str, priority: int = 0, **params) -> dict:
         """Submit a campaign job; returns the created job record."""
-        return self._json("POST", "/jobs",
-                          {"kind": kind, "params": params})
+        body = {"kind": kind, "params": params}
+        if priority:
+            body["priority"] = priority
+        return self._json("POST", "/jobs", body)
 
     def jobs(self, state: Optional[str] = None) -> List[dict]:
         query = f"?state={state}" if state else ""
@@ -85,6 +89,45 @@ class ServiceClient:
 
     def requeue(self, job_id: Union[int, str]) -> dict:
         return self._json("POST", f"/jobs/{job_id}/requeue")
+
+    # -- worker protocol -----------------------------------------------------
+    def claim(self, worker: str,
+              lease_seconds: Optional[float] = None) -> Optional[dict]:
+        """Lease the next unit shard; ``None`` when there is no work."""
+        payload = {"worker": worker}
+        if lease_seconds is not None:
+            payload["lease_seconds"] = lease_seconds
+        return self._json("POST", "/claim", payload)
+
+    def heartbeat(self, job_id: Union[int, str], worker: str,
+                  lease_seconds: Optional[float] = None) -> dict:
+        """Renew a lease; raises :class:`ServiceError` once it is lost."""
+        payload = {"worker": worker}
+        if lease_seconds is not None:
+            payload["lease_seconds"] = lease_seconds
+        return self._json("POST", f"/jobs/{job_id}/heartbeat", payload)
+
+    def post_units(self, job_id: Union[int, str], worker: str, lo: int,
+                   reports: dict) -> dict:
+        """Deliver a finished shard's ``{unit index: report payload}``."""
+        return self._json("POST", f"/jobs/{job_id}/units", {
+            "worker": worker, "lo": lo,
+            "reports": {str(k): v for k, v in reports.items()}})
+
+    def release_shard(self, job_id: Union[int, str], worker: str,
+                      lo: int) -> dict:
+        """Hand a leased shard back unfinished (cooperative cancel)."""
+        return self._json("POST", f"/jobs/{job_id}/units",
+                          {"worker": worker, "lo": lo, "release": True})
+
+    def fail_job(self, job_id: Union[int, str], worker: str, lo: int,
+                 message: str) -> dict:
+        """Report a non-transient worker error; fails the job."""
+        return self._json("POST", f"/jobs/{job_id}/units",
+                          {"worker": worker, "lo": lo, "error": message})
+
+    def workers(self) -> List[dict]:
+        return self._json("GET", "/workers")
 
     def wait(self, job_id: Union[int, str], timeout: float = 300.0,
              poll: float = 0.2) -> dict:

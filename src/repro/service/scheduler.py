@@ -27,18 +27,24 @@ Three properties connect the service to the campaign engine:
 from __future__ import annotations
 
 import json
+import math
+import sqlite3
+import sys
 import threading
 import time
 import traceback
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..campaign.checkpoint import CampaignCheckpoint
 from ..campaign.progress import make_progress
 from ..campaign.telemetry import CampaignMetrics
-from ..errors import CampaignCancelled, ServiceError
+from ..errors import BudgetExceeded, CampaignCancelled, ServiceError
 from .store import Job, JobStore
 
-__all__ = ["JOB_KINDS", "Scheduler", "execute_job", "normalize_params"]
+__all__ = ["JOB_KINDS", "Scheduler", "execute_job",
+           "finalize_sharded_job", "normalize_params",
+           "open_shard_journal", "plan_job_units", "run_job_units"]
 
 #: The campaign shapes the service runs.
 JOB_KINDS = ("pvf", "rtl", "pipeline")
@@ -47,6 +53,13 @@ JOB_KINDS = ("pvf", "rtl", "pipeline")
 #: polls the cached answer is reused, keeping the per-unit overhead off
 #: the SQLite file.
 _CANCEL_POLL_SECONDS = 0.25
+
+#: Ceiling on the retry backoff after a transient store error (e.g.
+#: SQLite "database is locked" under heavy worker contention).
+_MAX_BACKOFF_SECONDS = 10.0
+
+#: Service model keys -> the fault-model names reports carry.
+_MODEL_NAMES = {"bitflip": "single-bit-flip", "syndrome": "relative-error"}
 
 
 # -- parameter validation -----------------------------------------------------
@@ -85,9 +98,13 @@ def _canonical_app(name, factories) -> str:
 
 _COMMON_KEYS = {"seed", "jobs", "batch_size", "timeout", "budget",
                 "precision"}
+#: pvf/rtl jobs are claimable in unit shards by remote workers;
+#: ``units_per_claim`` caps how many units one claim hands out.
 _KIND_KEYS = {
-    "pvf": _COMMON_KEYS | {"app", "model", "injections"},
-    "rtl": _COMMON_KEYS | {"opcode", "module", "range", "faults"},
+    "pvf": _COMMON_KEYS | {"app", "model", "injections",
+                           "units_per_claim"},
+    "rtl": _COMMON_KEYS | {"opcode", "module", "range", "faults",
+                           "units_per_claim"},
     "pipeline": _COMMON_KEYS | {"apps", "models", "opcodes",
                                 "grid_faults", "tmxm_faults",
                                 "injections"},
@@ -155,7 +172,9 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
                 f"unknown fault model {model!r}; choose from "
                 f"('bitflip', 'syndrome')")
         out.update(app=app, model=model,
-                   injections=_require_int(params, "injections", 300))
+                   injections=_require_int(params, "injections", 300),
+                   units_per_claim=_require_int(
+                       params, "units_per_claim", None, minimum=1))
     elif kind == "rtl":
         opcode = params.get("opcode", "FADD")
         try:
@@ -173,7 +192,9 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
                 f"unknown input range {input_range!r}; "
                 f"choose from ('S', 'M', 'L')")
         out.update(opcode=opcode, module=module, range=input_range,
-                   faults=_require_int(params, "faults", 500))
+                   faults=_require_int(params, "faults", 500),
+                   units_per_claim=_require_int(
+                       params, "units_per_claim", None, minimum=1))
     else:  # pipeline
         apps = params.get("apps", ["MxM"])
         if not isinstance(apps, list) or not apps:
@@ -237,24 +258,12 @@ class _LiveMetrics(CampaignMetrics):
 
 
 # -- job execution ------------------------------------------------------------
-def _run_pvf_job(params: dict, jobdir: Path, cancel, progress,
-                 metrics) -> dict:
-    from ..apps import make_application
-    from ..datafiles import load_database
-    from ..swfi.campaign import run_pvf_campaign
-    from ..swfi.models import RelativeErrorSyndrome, SingleBitFlip
+def _pvf_result(params: dict, report) -> dict:
+    """The ``report.json`` payload of one finished PVF job.
 
-    app = make_application(params["app"], seed=params["seed"],
-                           precision=params.get("precision", "fp32"))
-    model = (SingleBitFlip() if params["model"] == "bitflip"
-             else RelativeErrorSyndrome(load_database()))
-    journal = jobdir / "pvf.jsonl"
-    report = run_pvf_campaign(
-        app, model, params["injections"], seed=params["seed"],
-        n_jobs=params["jobs"], batch_size=params["batch_size"],
-        timeout=params["timeout"], checkpoint=journal,
-        resume=journal.exists(), progress=progress, metrics=metrics,
-        cancel=cancel)
+    Shared between the in-process runner and the sharded-job finalizer
+    so both execution paths land byte-identical results.
+    """
     low, high = report.confidence_interval()
     return {
         "kind": "pvf",
@@ -268,22 +277,8 @@ def _run_pvf_job(params: dict, jobdir: Path, cancel, progress,
     }
 
 
-def _run_rtl_job(params: dict, jobdir: Path, cancel, progress,
-                 metrics) -> dict:
-    from ..gpu.isa import Opcode
-    from ..rtl.campaign import run_campaign
-    from ..rtl.microbench import make_microbenchmark
-
-    bench = make_microbenchmark(Opcode(params["opcode"]), params["range"],
-                                seed=params["seed"],
-                                precision=params.get("precision", "fp32"))
-    journal = jobdir / "rtl.jsonl"
-    report = run_campaign(
-        bench, params["module"], params["faults"], seed=params["seed"],
-        n_jobs=params["jobs"], batch_size=params["batch_size"],
-        timeout=params["timeout"], checkpoint=journal,
-        resume=journal.exists(), progress=progress, metrics=metrics,
-        cancel=cancel)
+def _rtl_result(params: dict, report) -> dict:
+    """The ``report.json`` payload of one finished RTL job."""
     return {
         "kind": "rtl",
         "opcode": params["opcode"],
@@ -296,6 +291,57 @@ def _run_rtl_job(params: dict, jobdir: Path, cancel, progress,
         "n_due": report.n_due,
         "report": report.to_dict(),
     }
+
+
+def _pvf_workload(params: dict):
+    from ..apps import make_application
+    from ..datafiles import load_database
+    from ..swfi.models import RelativeErrorSyndrome, SingleBitFlip
+
+    app = make_application(params["app"], seed=params["seed"],
+                           precision=params.get("precision", "fp32"))
+    model = (SingleBitFlip() if params["model"] == "bitflip"
+             else RelativeErrorSyndrome(load_database()))
+    return app, model
+
+
+def _rtl_bench(params: dict):
+    from ..gpu.isa import Opcode
+    from ..rtl.microbench import make_microbenchmark
+
+    return make_microbenchmark(Opcode(params["opcode"]), params["range"],
+                               seed=params["seed"],
+                               precision=params.get("precision", "fp32"))
+
+
+def _run_pvf_job(params: dict, jobdir: Path, cancel, progress,
+                 metrics) -> dict:
+    from ..swfi.campaign import run_pvf_campaign
+
+    app, model = _pvf_workload(params)
+    journal = jobdir / "pvf.jsonl"
+    report = run_pvf_campaign(
+        app, model, params["injections"], seed=params["seed"],
+        n_jobs=params["jobs"], batch_size=params["batch_size"],
+        timeout=params["timeout"], checkpoint=journal,
+        resume=journal.exists(), progress=progress, metrics=metrics,
+        cancel=cancel)
+    return _pvf_result(params, report)
+
+
+def _run_rtl_job(params: dict, jobdir: Path, cancel, progress,
+                 metrics) -> dict:
+    from ..rtl.campaign import run_campaign
+
+    bench = _rtl_bench(params)
+    journal = jobdir / "rtl.jsonl"
+    report = run_campaign(
+        bench, params["module"], params["faults"], seed=params["seed"],
+        n_jobs=params["jobs"], batch_size=params["batch_size"],
+        timeout=params["timeout"], checkpoint=journal,
+        resume=journal.exists(), progress=progress, metrics=metrics,
+        cancel=cancel)
+    return _rtl_result(params, report)
 
 
 def _run_pipeline_job(params: dict, jobdir: Path, cancel, progress,
@@ -325,6 +371,139 @@ _RUNNERS = {
     "rtl": _run_rtl_job,
     "pipeline": _run_pipeline_job,
 }
+
+
+# -- unit sharding (multi-worker jobs) ----------------------------------------
+def plan_job_units(job: Job) -> Optional[Tuple[int, int]]:
+    """``(total units, units per claim)`` for a shardable job.
+
+    Returns ``None`` when the job cannot be claimed in shards by remote
+    workers — pipeline jobs (multi-stage, in-process only) and empty
+    campaigns (zero injections/faults), which the in-process scheduler
+    finishes trivially.  The unit count is exactly the engine's batch
+    plan for the job's parameters, so shard ``[lo, hi)`` always names
+    the same seed-indexed units on every worker.
+    """
+    from ..campaign.engine import plan_batches
+
+    params = job.params
+    if job.kind == "pvf":
+        n_units = len(plan_batches(params["injections"],
+                                   params["batch_size"]))
+    elif job.kind == "rtl":
+        if params["faults"] <= 0:
+            n_units = 0
+        elif params["batch_size"] is None:
+            n_units = 1  # one unit drawing straight from the cell seed
+        else:
+            n_units = len(plan_batches(params["faults"],
+                                       params["batch_size"]))
+    else:
+        return None
+    if n_units <= 0:
+        return None
+    per_claim = params.get("units_per_claim")
+    if per_claim is None:
+        # default: quarters, so a small worker fleet shares one job
+        per_claim = max(1, math.ceil(n_units / 4))
+    return n_units, int(per_claim)
+
+
+def run_job_units(kind: str, params: dict, lo: int, hi: int,
+                  cancel: Optional[Callable[[], bool]] = None
+                  ) -> Dict[int, dict]:
+    """Execute units ``[lo, hi)`` of a sharded job on this machine.
+
+    The worker-side half of the shard protocol: rebuilds the job's
+    workload from its (normalized) parameters and runs exactly the
+    engine units a single-process run would execute at those indices.
+    Returns ``{unit index: report payload}`` ready to POST back.
+    """
+    if kind == "pvf":
+        from ..swfi.campaign import run_pvf_units
+
+        app, model = _pvf_workload(params)
+        done = run_pvf_units(
+            app, model, params["injections"], lo, hi,
+            seed=params["seed"], batch_size=params["batch_size"],
+            timeout=params["timeout"], cancel=cancel)
+    elif kind == "rtl":
+        from ..rtl.campaign import run_campaign_units
+
+        done = run_campaign_units(
+            _rtl_bench(params), params["module"], params["faults"],
+            lo, hi, seed=params["seed"],
+            batch_size=params["batch_size"],
+            timeout=params["timeout"], cancel=cancel)
+    else:
+        raise ServiceError(
+            f"{kind} jobs cannot be sharded across workers")
+    return {index: report.to_dict() for index, report in done.items()}
+
+
+def open_shard_journal(job: Job, jobdir: Union[str, Path]
+                       ) -> CampaignCheckpoint:
+    """Open (resuming if present) a sharded job's unit journal.
+
+    Same path and header as the in-process runner's checkpoint, so a
+    job can move freely between sharded and in-process execution across
+    requeues and always resume from the units already delivered.
+    """
+    params = job.params
+    jobdir = Path(jobdir)
+    jobdir.mkdir(parents=True, exist_ok=True)
+    if job.kind == "pvf":
+        from ..swfi.campaign import pvf_checkpoint_header
+
+        header = pvf_checkpoint_header(
+            params["app"], _MODEL_NAMES[params["model"]],
+            params["seed"], params["batch_size"], params["injections"])
+        return CampaignCheckpoint(jobdir / "pvf.jsonl", header,
+                                  kind="pvf-report", resume=True)
+    if job.kind == "rtl":
+        from ..rtl.campaign import cell_checkpoint_header
+
+        header = cell_checkpoint_header(
+            _rtl_bench(params), params["module"], None,
+            params["faults"], params["seed"], params["batch_size"])
+        return CampaignCheckpoint(jobdir / "rtl.jsonl", header,
+                                  kind="rtl-report", resume=True)
+    raise ServiceError(f"{job.kind} jobs cannot be sharded across "
+                       f"workers")
+
+
+def finalize_sharded_job(store: JobStore, job: Job,
+                         jobdir: Union[str, Path]) -> Job:
+    """Merge a sharded job's journaled units into its final result.
+
+    Runs on the daemon once every shard is done: replays the journal,
+    merges the per-unit reports in index order (bit-identical to the
+    serial run), writes ``report.json`` and lands the job in ``done``.
+    Raises when units are missing — the journal is the ground truth,
+    not the shard table.
+    """
+    from ..campaign.engine import merge_ordered
+
+    layout = plan_job_units(job)
+    if layout is None:
+        raise ServiceError(f"job {job.id} is not a sharded job")
+    n_units = layout[0]
+    jobdir = Path(jobdir)
+    journal = open_shard_journal(job, jobdir)
+    journal.close()
+    missing = [i for i in range(n_units) if i not in journal.completed]
+    if missing:
+        raise ServiceError(
+            f"job {job.id} journal is missing unit(s) "
+            f"{missing[:8]}{'...' if len(missing) > 8 else ''}; "
+            f"cannot merge")
+    reports = {i: journal.completed[i] for i in range(n_units)}
+    merged = merge_ordered(reports)
+    builder = _pvf_result if job.kind == "pvf" else _rtl_result
+    result = builder(job.params, merged)
+    (jobdir / "report.json").write_text(json.dumps(result, indent=2)
+                                        + "\n")
+    return store.finish(job.id, "done", result=result)
 
 
 def execute_job(job: Job, jobdir: Union[str, Path],
@@ -371,7 +550,7 @@ def execute_job(job: Job, jobdir: Union[str, Path],
                                     metrics)
     except CampaignCancelled as exc:
         if state["why"] == "budget":
-            raise ServiceError(
+            raise BudgetExceeded(
                 f"job {job.id} exceeded its wall-clock budget of "
                 f"{budget:g}s; completed units are journaled — requeue "
                 f"to continue") from exc
@@ -385,14 +564,25 @@ def execute_job(job: Job, jobdir: Union[str, Path],
 
 
 class Scheduler:
-    """Claims jobs from the store and executes them, one at a time."""
+    """Claims jobs from the store and executes them, one at a time.
+
+    Beyond executing queued jobs in-process, the scheduler loop is the
+    daemon's maintenance heartbeat: every pass it reaps expired worker
+    leases (re-queueing a SIGKILLed worker's work) and finalizes
+    sharded jobs whose every unit shard has been delivered.  With
+    ``execute_jobs=False`` the loop does *only* that — the mode a
+    coordinator daemon runs in when remote ``repro worker`` processes
+    do all the executing.
+    """
 
     def __init__(self, store: JobStore, workdir: Union[str, Path],
-                 poll_interval: float = 0.5, quiet: bool = True) -> None:
+                 poll_interval: float = 0.5, quiet: bool = True,
+                 execute_jobs: bool = True) -> None:
         self.store = store
         self.workdir = Path(workdir)
         self.poll_interval = poll_interval
         self.quiet = quiet
+        self.execute_jobs = execute_jobs
 
     def jobdir(self, job_id: int) -> Path:
         return self.workdir / "jobs" / str(int(job_id))
@@ -400,6 +590,27 @@ class Scheduler:
     def recover(self) -> List[Job]:
         """Re-queue jobs interrupted by a daemon death (startup hook)."""
         return self.store.recover()
+
+    def maintain(self) -> None:
+        """Reap expired leases; finalize fully-delivered sharded jobs."""
+        reaped = self.store.reap()
+        if not self.quiet:
+            for job_id in reaped["jobs"]:
+                print(f"[scheduler] lease expired: job {job_id} "
+                      f"re-queued", file=sys.stderr)
+            for job_id, lo in reaped["shards"]:
+                print(f"[scheduler] lease expired: job {job_id} shard "
+                      f"@{lo} re-queued", file=sys.stderr)
+        for job_id in self.store.sharded_jobs_ready():
+            try:
+                finalize_sharded_job(self.store, self.store.get(job_id),
+                                     self.jobdir(job_id))
+            except ServiceError as exc:
+                # lost race with another finalizer, or journal gap: the
+                # job stays running and the next pass retries
+                if not self.quiet:
+                    print(f"[scheduler] finalize of job {job_id} "
+                          f"deferred: {exc}", file=sys.stderr)
 
     def run_once(self) -> Optional[Job]:
         """Claim and execute at most one job; returns it (or None)."""
@@ -411,7 +622,7 @@ class Scheduler:
                                  store=self.store, quiet=self.quiet)
         except CampaignCancelled as exc:
             return self.store.finish(job.id, "cancelled", error=str(exc))
-        except ServiceError as exc:  # wall-clock budget exceeded
+        except BudgetExceeded as exc:
             return self.store.finish(job.id, "failed", error=str(exc))
         except Exception as exc:
             detail = traceback.format_exc(limit=8)
@@ -423,10 +634,29 @@ class Scheduler:
     def run_forever(self, stop: Optional[threading.Event] = None,
                     idle_hook: Optional[Callable[[], None]] = None
                     ) -> None:
-        """Drain the queue until *stop* is set, sleeping while idle."""
+        """Drain the queue until *stop* is set, sleeping while idle.
+
+        Transient store errors — SQLite's "database is locked" under
+        worker contention is the canonical one — must never kill the
+        loop: they are logged and retried with bounded exponential
+        backoff, and the backoff resets on the next clean pass.
+        """
         stop = stop or threading.Event()
+        initial = min(max(self.poll_interval, 0.05), _MAX_BACKOFF_SECONDS)
+        backoff = initial
         while not stop.is_set():
-            job = self.run_once()
+            try:
+                self.maintain()
+                job = self.run_once() if self.execute_jobs else None
+            except sqlite3.OperationalError as exc:
+                if not self.quiet:
+                    print(f"[scheduler] transient store error "
+                          f"({exc}); retrying in {backoff:.1f}s",
+                          file=sys.stderr)
+                stop.wait(backoff)
+                backoff = min(backoff * 2, _MAX_BACKOFF_SECONDS)
+                continue
+            backoff = initial
             if job is None:
                 if idle_hook is not None:
                     idle_hook()

@@ -1,19 +1,29 @@
-"""Durable SQLite-backed queue of campaign jobs.
+"""Durable SQLite-backed queue of campaign jobs (multi-worker capable).
 
 The store is the service's single source of truth: every submitted
 campaign (RTL cell, SWFI PVF, full pipeline) is one row whose lifecycle
 walks ``queued -> running -> done | failed | cancelled``.  SQLite gives
-the two properties a long-lived injection fleet needs with zero
+the properties a long-lived injection fleet needs with zero
 dependencies:
 
 * **Durability** — the daemon can be SIGKILLed at any instant; on
   restart :meth:`JobStore.recover` re-queues every job caught mid-run,
   and the job's campaign journals (owned by the scheduler) make the
   re-run resume instead of restart.
-* **Atomic claiming** — :meth:`JobStore.claim_next` flips exactly one
-  ``queued`` row to ``running`` inside an ``IMMEDIATE`` transaction, so
-  several scheduler threads (or a future multi-daemon setup sharing one
-  store file) never execute the same job twice.
+* **Atomic claiming** — :meth:`JobStore.claim_next` and
+  :meth:`JobStore.claim_shard` flip work to a claimant inside a
+  ``BEGIN IMMEDIATE`` transaction, so N scheduler threads, daemons, or
+  remote workers draining one store never execute the same work twice.
+* **Leases, not locks** — a claim by a named worker carries a lease
+  (``lease_expires_at``); the worker renews it via :meth:`heartbeat`
+  between work units.  A SIGKILLed worker simply stops renewing:
+  :meth:`reap` notices the expiry and puts the work back in the queue
+  for a surviving worker, which resumes from the job's journal.
+* **Unit shards** — large pvf/rtl jobs are claimable at sub-job
+  granularity: contiguous ranges of the engine's seed-indexed work
+  units (the ``shards`` table), so several machines execute one job
+  concurrently and the daemon merges their partial reports in unit
+  order — bit-identical to a single-process run.
 
 Every public method opens its own connection, so one :class:`JobStore`
 can be shared freely between the HTTP handler threads and the scheduler
@@ -28,17 +38,29 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..errors import ServiceError
 
-__all__ = ["Job", "JobStore", "JOB_STATES", "TERMINAL_STATES"]
+__all__ = ["Job", "JobStore", "JOB_STATES", "SHARD_STATES",
+           "TERMINAL_STATES"]
 
 #: Every state a job can be in, in lifecycle order.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 #: States a job never leaves (except via an explicit :meth:`requeue`).
 TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Lifecycle of one claimable unit range of a sharded job.
+SHARD_STATES = ("queued", "leased", "done")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -55,7 +77,32 @@ CREATE TABLE IF NOT EXISTS jobs (
     result TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, id);
+CREATE TABLE IF NOT EXISTS shards (
+    job_id INTEGER NOT NULL,
+    lo INTEGER NOT NULL,
+    hi INTEGER NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    worker TEXT,
+    lease_expires_at REAL,
+    PRIMARY KEY (job_id, lo)
+);
+CREATE INDEX IF NOT EXISTS shards_state ON shards (state, job_id, lo);
+CREATE TABLE IF NOT EXISTS workers (
+    id TEXT PRIMARY KEY,
+    first_seen REAL NOT NULL,
+    last_seen REAL NOT NULL,
+    jobs_claimed INTEGER NOT NULL DEFAULT 0,
+    units_done INTEGER NOT NULL DEFAULT 0
+);
 """
+
+#: Columns added after the first release; applied by ``ALTER TABLE`` on
+#: open so a pre-lease store file keeps working unchanged.
+_JOB_MIGRATIONS = (
+    ("priority", "INTEGER NOT NULL DEFAULT 0"),
+    ("worker", "TEXT"),
+    ("lease_expires_at", "REAL"),
+)
 
 
 @dataclass
@@ -73,6 +120,9 @@ class Job:
     cancel_requested: bool = False
     error: Optional[str] = None
     result: Optional[Dict] = None
+    priority: int = 0
+    worker: Optional[str] = None
+    lease_expires_at: Optional[float] = None
 
     def to_dict(self) -> dict:
         from ..artifacts import dump_body
@@ -100,6 +150,9 @@ class Job:
             error=row["error"],
             result=(json.loads(row["result"])
                     if row["result"] is not None else None),
+            priority=int(row["priority"]),
+            worker=row["worker"],
+            lease_expires_at=row["lease_expires_at"],
         )
 
 
@@ -111,6 +164,12 @@ class JobStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self._connect() as conn:
             conn.executescript(_SCHEMA)
+            present = {row["name"] for row in
+                       conn.execute("PRAGMA table_info(jobs)")}
+            for name, spec in _JOB_MIGRATIONS:
+                if name not in present:
+                    conn.execute(
+                        f"ALTER TABLE jobs ADD COLUMN {name} {spec}")
 
     @contextmanager
     def _connect(self) -> Iterator[sqlite3.Connection]:
@@ -126,13 +185,19 @@ class JobStore:
             conn.close()
 
     # -- submission / lookup -------------------------------------------------
-    def submit(self, kind: str, params: Optional[dict] = None) -> Job:
-        """Enqueue a job and return it (state ``queued``)."""
+    def submit(self, kind: str, params: Optional[dict] = None,
+               priority: int = 0) -> Job:
+        """Enqueue a job and return it (state ``queued``).
+
+        Higher *priority* jobs are claimed first; ties go to the older
+        submission.
+        """
         with self._connect() as conn:
             cursor = conn.execute(
-                "INSERT INTO jobs (kind, params, state, submitted_at) "
-                "VALUES (?, ?, 'queued', ?)",
-                (kind, json.dumps(params or {}), time.time()))
+                "INSERT INTO jobs (kind, params, state, submitted_at, "
+                "priority) VALUES (?, ?, 'queued', ?, ?)",
+                (kind, json.dumps(params or {}), time.time(),
+                 int(priority)))
             job_id = cursor.lastrowid
         return self.get(job_id)
 
@@ -156,53 +221,144 @@ class JobStore:
             rows = conn.execute(query + " ORDER BY id", args).fetchall()
         return [Job._from_row(row) for row in rows]
 
+    def count_states(self) -> Dict[str, int]:
+        """``{state: job count}`` in one aggregate query.
+
+        Never loads a row's params/result blobs — this backs the
+        ``/health`` endpoint, which is polled, so it must stay O(index)
+        however many finished jobs the store accumulates.
+        """
+        counts = {state: 0 for state in JOB_STATES}
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs "
+                "GROUP BY state").fetchall()
+        for row in rows:
+            if row["state"] in counts:
+                counts[row["state"]] = int(row["n"])
+        return counts
+
     # -- scheduler interface -------------------------------------------------
-    def claim_next(self) -> Optional[Job]:
-        """Atomically flip the oldest ``queued`` job to ``running``."""
+    def claim_next(self, worker: Optional[str] = None,
+                   lease_seconds: Optional[float] = None) -> Optional[Job]:
+        """Atomically flip the best ``queued`` job to ``running``.
+
+        "Best" is highest priority, then oldest.  *worker* names the
+        claimant (recorded on the job and in the worker registry);
+        *lease_seconds* stamps a lease the claimant must renew via
+        :meth:`heartbeat` — without one the claim never expires and only
+        :meth:`recover` (daemon restart) can re-queue it.
+        """
+        now = time.time()
         with self._connect() as conn:
             conn.execute("BEGIN IMMEDIATE")
             row = conn.execute(
                 "SELECT id FROM jobs WHERE state = 'queued' "
-                "ORDER BY id LIMIT 1").fetchone()
+                "ORDER BY priority DESC, id LIMIT 1").fetchone()
             if row is None:
                 conn.execute("COMMIT")
                 return None
+            lease = None if lease_seconds is None else now + lease_seconds
             conn.execute(
                 "UPDATE jobs SET state = 'running', started_at = ?, "
-                "attempts = attempts + 1 WHERE id = ?",
-                (time.time(), row["id"]))
+                "attempts = attempts + 1, worker = ?, "
+                "lease_expires_at = ? WHERE id = ?",
+                (now, worker, lease, row["id"]))
+            if worker is not None:
+                self._touch_worker(conn, worker, now, claimed=1)
             conn.execute("COMMIT")
             job_id = int(row["id"])
+        return self.get(job_id)
+
+    def heartbeat(self, job_id: int, worker: str,
+                  lease_seconds: float) -> Job:
+        """Renew *worker*'s lease(s) on a running job.
+
+        Renews the whole-job lease and/or every shard lease the worker
+        holds; raises :class:`ServiceError` when the worker holds
+        neither — the lease expired and the work was re-queued, so the
+        worker must drop its in-flight results.  Returns the fresh job
+        row (callers read ``cancel_requested`` off it, which is how
+        cooperative cancellation reaches remote workers).
+        """
+        now = time.time()
+        expiry = now + float(lease_seconds)
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute("SELECT state, worker FROM jobs "
+                               "WHERE id = ?", (int(job_id),)).fetchone()
+            if row is None:
+                raise ServiceError(f"no such job: {job_id}")
+            renewed = 0
+            if row["state"] == "running" and row["worker"] == worker:
+                renewed += conn.execute(
+                    "UPDATE jobs SET lease_expires_at = ? "
+                    "WHERE id = ? AND lease_expires_at IS NOT NULL",
+                    (expiry, int(job_id))).rowcount
+            renewed += conn.execute(
+                "UPDATE shards SET lease_expires_at = ? "
+                "WHERE job_id = ? AND worker = ? AND state = 'leased'",
+                (expiry, int(job_id), worker)).rowcount
+            if renewed == 0:
+                raise ServiceError(
+                    f"worker {worker!r} holds no lease on job {job_id} "
+                    f"(state: {row['state']}); the lease expired and the "
+                    f"work was re-queued")
+            self._touch_worker(conn, worker, now)
+            conn.execute("COMMIT")
         return self.get(job_id)
 
     def finish(self, job_id: int, state: str,
                result: Optional[dict] = None,
                error: Optional[str] = None) -> Job:
-        """Move a job to a terminal state with its result or error."""
+        """Move a running/queued job to a terminal state.
+
+        Raises when the job is already terminal — two racing finalizers
+        (say, a scheduler thread and an HTTP unit-ingest thread) cannot
+        both land a result.
+        """
         if state not in TERMINAL_STATES:
             raise ServiceError(
                 f"finish() requires a terminal state, not {state!r}")
         with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute("SELECT state FROM jobs WHERE id = ?",
+                               (int(job_id),)).fetchone()
+            if row is None:
+                raise ServiceError(f"no such job: {job_id}")
+            if row["state"] in TERMINAL_STATES:
+                raise ServiceError(
+                    f"job {job_id} is already {row['state']}; "
+                    f"cannot finish it as {state}")
             conn.execute(
                 "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
-                "result = ? WHERE id = ?",
+                "result = ?, lease_expires_at = NULL WHERE id = ?",
                 (state, time.time(), error,
                  None if result is None else json.dumps(result),
                  int(job_id)))
+            conn.execute("COMMIT")
         return self.get(job_id)
 
     def recover(self) -> List[Job]:
-        """Re-queue jobs caught ``running`` by a daemon death.
+        """Re-queue in-process jobs caught ``running`` by a daemon death.
 
         Called once at daemon startup, before the scheduler claims
-        anything.  A job whose cancellation was requested before the
-        crash lands in ``cancelled`` instead of re-running.  Returns the
-        jobs whose state changed.
+        anything.  Only leaseless, unsharded claims are touched — those
+        are the daemon's own in-process executions, which its death
+        interrupted.  Leased jobs and shards belong to (possibly still
+        alive) remote workers; if their owners died too, the lease
+        expiry and :meth:`reap` re-queue them.  A job whose cancellation
+        was requested before the crash lands in ``cancelled`` instead of
+        re-running.  Returns the jobs whose state changed.
         """
         with self._connect() as conn:
             conn.execute("BEGIN IMMEDIATE")
-            rows = conn.execute("SELECT id, cancel_requested FROM jobs "
-                                "WHERE state = 'running'").fetchall()
+            rows = conn.execute(
+                "SELECT id, cancel_requested FROM jobs "
+                "WHERE state = 'running' AND lease_expires_at IS NULL "
+                "AND NOT EXISTS (SELECT 1 FROM shards "
+                "                WHERE shards.job_id = jobs.id)"
+            ).fetchall()
             now = time.time()
             for row in rows:
                 if row["cancel_requested"]:
@@ -214,27 +370,271 @@ class JobStore:
                 else:
                     conn.execute(
                         "UPDATE jobs SET state = 'queued', "
-                        "started_at = NULL WHERE id = ?", (row["id"],))
+                        "started_at = NULL, worker = NULL WHERE id = ?",
+                        (row["id"],))
             conn.execute("COMMIT")
         return [self.get(int(row["id"])) for row in rows]
+
+    # -- lease reaping -------------------------------------------------------
+    def reap(self, now: Optional[float] = None) -> Dict[str, list]:
+        """Re-queue every expired lease; settle cancelled sharded jobs.
+
+        Returns ``{"jobs": [...], "shards": [(job_id, lo), ...],
+        "cancelled": [...]}`` naming what changed, so callers can log
+        the takeover.  Safe to call from any thread at any time.
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            summary = self._reap_locked(conn, time.time()
+                                        if now is None else now)
+            conn.execute("COMMIT")
+        return summary
+
+    def _reap_locked(self, conn: sqlite3.Connection,
+                     now: float) -> Dict[str, list]:
+        # 1. shard leases that expired: back to the shard queue
+        released = [(int(r["job_id"]), int(r["lo"])) for r in conn.execute(
+            "SELECT job_id, lo FROM shards WHERE state = 'leased' "
+            "AND lease_expires_at < ?", (now,))]
+        conn.execute(
+            "UPDATE shards SET state = 'queued', worker = NULL, "
+            "lease_expires_at = NULL WHERE state = 'leased' "
+            "AND lease_expires_at < ?", (now,))
+        # 2. whole-job leases that expired: re-queue (or settle a cancel)
+        requeued, cancelled = [], []
+        rows = conn.execute(
+            "SELECT id, cancel_requested FROM jobs "
+            "WHERE state = 'running' AND lease_expires_at IS NOT NULL "
+            "AND lease_expires_at < ?", (now,)).fetchall()
+        for row in rows:
+            if row["cancel_requested"]:
+                cancelled.append(int(row["id"]))
+                conn.execute(
+                    "UPDATE jobs SET state = 'cancelled', "
+                    "finished_at = ?, error = ?, worker = NULL, "
+                    "lease_expires_at = NULL WHERE id = ?",
+                    (now, "cancelled after its worker's lease expired",
+                     row["id"]))
+            else:
+                requeued.append(int(row["id"]))
+                conn.execute(
+                    "UPDATE jobs SET state = 'queued', "
+                    "started_at = NULL, worker = NULL, "
+                    "lease_expires_at = NULL WHERE id = ?", (row["id"],))
+        # 3. cancelled sharded jobs whose workers have all let go: the
+        # job can settle once no shard lease is live and work remains
+        rows = conn.execute(
+            "SELECT id FROM jobs WHERE state = 'running' "
+            "AND cancel_requested = 1 "
+            "AND EXISTS (SELECT 1 FROM shards "
+            "            WHERE shards.job_id = jobs.id "
+            "            AND shards.state != 'done') "
+            "AND NOT EXISTS (SELECT 1 FROM shards "
+            "                WHERE shards.job_id = jobs.id "
+            "                AND shards.state = 'leased')").fetchall()
+        for row in rows:
+            cancelled.append(int(row["id"]))
+            conn.execute(
+                "UPDATE jobs SET state = 'cancelled', finished_at = ?, "
+                "error = ? WHERE id = ?",
+                (now, "cancelled between work units; completed units "
+                      "are journaled — requeue to continue", row["id"]))
+        return {"jobs": requeued, "shards": released,
+                "cancelled": cancelled}
+
+    # -- shard claiming ------------------------------------------------------
+    def claim_shard(self, worker: str, lease_seconds: float,
+                    plan: Callable[[Job], Optional[Tuple[int, int]]]
+                    ) -> Optional[Tuple[Job, Tuple[int, int]]]:
+        """Lease the next unit shard for a pull-based worker.
+
+        Preference order: an open shard of a job already running sharded
+        (so in-flight jobs finish before new ones start), else the best
+        ``queued`` job — *plan* maps it to ``(total_units,
+        units_per_claim)`` (or ``None``: not remotely claimable, e.g. a
+        pipeline job, which only the in-process scheduler runs) and its
+        shard rows are created on first claim.  Expired leases are
+        reaped first, so a dead worker's shard is handed out by the very
+        next claim.  Returns ``(job, (lo, hi))`` or ``None`` when no
+        claimable work exists.
+        """
+        now = time.time()
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            self._reap_locked(conn, now)
+            row = conn.execute(
+                "SELECT s.job_id, s.lo, s.hi FROM shards s "
+                "JOIN jobs j ON j.id = s.job_id "
+                "WHERE s.state = 'queued' AND j.state = 'running' "
+                "AND j.cancel_requested = 0 "
+                "ORDER BY j.priority DESC, j.id, s.lo LIMIT 1").fetchone()
+            if row is None:
+                row = self._shard_queued_job(conn, now, plan)
+            if row is None:
+                conn.execute("COMMIT")
+                return None
+            job_id, lo, hi = int(row["job_id"]), int(row["lo"]), \
+                int(row["hi"])
+            conn.execute(
+                "UPDATE shards SET state = 'leased', worker = ?, "
+                "lease_expires_at = ? WHERE job_id = ? AND lo = ?",
+                (worker, now + float(lease_seconds), job_id, lo))
+            self._touch_worker(conn, worker, now, claimed=1)
+            conn.execute("COMMIT")
+        return self.get(job_id), (lo, hi)
+
+    def _shard_queued_job(self, conn: sqlite3.Connection, now: float,
+                          plan: Callable[[Job], Optional[Tuple[int, int]]]
+                          ) -> Optional[sqlite3.Row]:
+        """Shard the best claimable queued job; return its first shard."""
+        for job_row in conn.execute(
+                "SELECT * FROM jobs WHERE state = 'queued' "
+                "ORDER BY priority DESC, id"):
+            layout = plan(Job._from_row(job_row))
+            if layout is None:
+                continue  # pipeline & co: in-process scheduler only
+            job_id = int(job_row["id"])
+            total, per_claim = int(layout[0]), max(1, int(layout[1]))
+            existing = conn.execute(
+                "SELECT COUNT(*) AS n FROM shards WHERE job_id = ?",
+                (job_id,)).fetchone()["n"]
+            if not existing:
+                for lo in range(0, total, per_claim):
+                    conn.execute(
+                        "INSERT INTO shards (job_id, lo, hi, state) "
+                        "VALUES (?, ?, ?, 'queued')",
+                        (job_id, lo, min(lo + per_claim, total)))
+            conn.execute(
+                "UPDATE jobs SET state = 'running', started_at = ?, "
+                "attempts = attempts + 1, worker = NULL, "
+                "lease_expires_at = NULL WHERE id = ?", (now, job_id))
+            # a re-queued sharded job reuses its rows: 'done' shards
+            # stay done (their units are journaled), the rest re-run
+            return conn.execute(
+                "SELECT job_id, lo, hi FROM shards WHERE job_id = ? "
+                "AND state = 'queued' ORDER BY lo LIMIT 1",
+                (job_id,)).fetchone()
+        return None
+
+    def complete_shard(self, job_id: int, lo: int, worker: str,
+                       units: int = 0) -> bool:
+        """Mark a leased shard done; True when it was the job's last.
+
+        Raises when the shard is no longer leased to *worker* — its
+        lease expired and another worker owns (or already finished) the
+        range, so the caller's results must be dropped, not merged.
+        """
+        now = time.time()
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT state, worker FROM shards "
+                "WHERE job_id = ? AND lo = ?",
+                (int(job_id), int(lo))).fetchone()
+            if row is None:
+                raise ServiceError(
+                    f"job {job_id} has no shard at unit {lo}")
+            if row["state"] != "leased" or row["worker"] != worker:
+                raise ServiceError(
+                    f"worker {worker!r} no longer holds the lease on "
+                    f"job {job_id} units [{lo}, ...); results dropped")
+            conn.execute(
+                "UPDATE shards SET state = 'done', lease_expires_at = "
+                "NULL WHERE job_id = ? AND lo = ?", (int(job_id), int(lo)))
+            self._touch_worker(conn, worker, now, units=units)
+            remaining = conn.execute(
+                "SELECT COUNT(*) AS n FROM shards WHERE job_id = ? "
+                "AND state != 'done'", (int(job_id),)).fetchone()["n"]
+            conn.execute("COMMIT")
+        return remaining == 0
+
+    def release_shard(self, job_id: int, lo: int, worker: str) -> None:
+        """Hand a leased shard back unfinished (cooperative cancel)."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            updated = conn.execute(
+                "UPDATE shards SET state = 'queued', worker = NULL, "
+                "lease_expires_at = NULL WHERE job_id = ? AND lo = ? "
+                "AND state = 'leased' AND worker = ?",
+                (int(job_id), int(lo), worker)).rowcount
+            conn.execute("COMMIT")
+        if not updated:
+            raise ServiceError(
+                f"worker {worker!r} holds no lease on job {job_id} "
+                f"units [{lo}, ...)")
+
+    def shards(self, job_id: int) -> List[dict]:
+        """The job's shard table (empty for unsharded jobs)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT lo, hi, state, worker, lease_expires_at "
+                "FROM shards WHERE job_id = ? ORDER BY lo",
+                (int(job_id),)).fetchall()
+        return [dict(row) for row in rows]
+
+    def sharded_jobs_ready(self) -> List[int]:
+        """Running sharded jobs whose every shard is done (merge now)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT id FROM jobs WHERE state = 'running' "
+                "AND EXISTS (SELECT 1 FROM shards "
+                "            WHERE shards.job_id = jobs.id) "
+                "AND NOT EXISTS (SELECT 1 FROM shards "
+                "                WHERE shards.job_id = jobs.id "
+                "                AND shards.state != 'done')").fetchall()
+        return [int(row["id"]) for row in rows]
+
+    # -- worker registry -----------------------------------------------------
+    @staticmethod
+    def _touch_worker(conn: sqlite3.Connection, worker: str, now: float,
+                      claimed: int = 0, units: int = 0) -> None:
+        conn.execute(
+            "INSERT INTO workers (id, first_seen, last_seen, "
+            "jobs_claimed, units_done) VALUES (?, ?, ?, ?, ?) "
+            "ON CONFLICT(id) DO UPDATE SET last_seen = ?, "
+            "jobs_claimed = jobs_claimed + ?, "
+            "units_done = units_done + ?",
+            (worker, now, now, claimed, units, now, claimed, units))
+
+    def list_workers(self, alive_within: float = 120.0,
+                     now: Optional[float] = None) -> List[dict]:
+        """Every worker ever seen, liveness-judged by last heartbeat."""
+        now = time.time() if now is None else now
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT * FROM workers ORDER BY id").fetchall()
+        return [{
+            "id": row["id"],
+            "first_seen": float(row["first_seen"]),
+            "last_seen": float(row["last_seen"]),
+            "jobs_claimed": int(row["jobs_claimed"]),
+            "units_done": int(row["units_done"]),
+            "alive": (now - float(row["last_seen"])) <= alive_within,
+        } for row in rows]
 
     # -- cancellation --------------------------------------------------------
     def request_cancel(self, job_id: int) -> Job:
         """Cancel a job: immediately if queued, cooperatively if running.
 
-        A running job's executor polls :meth:`cancel_requested` between
-        work units; completed units stay journaled, so a cancelled job
-        that is later re-queued resumes rather than restarts.
-        Cancelling a job already in a terminal state raises.
+        A running job's executor polls :meth:`cancel_requested` (or
+        :meth:`heartbeat`) between work units; completed units stay
+        journaled, so a cancelled job that is later re-queued resumes
+        rather than restarts.  Cancelling a job already in a terminal
+        state raises — the check happens inside the claiming
+        transaction, so a job finishing concurrently can never be
+        stamped ``cancel_requested`` after the fact (the caller gets the
+        409, not a silent no-op).
         """
-        job = self.get(job_id)
-        if job.state in TERMINAL_STATES:
-            raise ServiceError(
-                f"job {job_id} is already {job.state}; nothing to cancel")
         with self._connect() as conn:
             conn.execute("BEGIN IMMEDIATE")
             row = conn.execute("SELECT state FROM jobs WHERE id = ?",
                                (int(job_id),)).fetchone()
+            if row is None:
+                raise ServiceError(f"no such job: {job_id}")
+            if row["state"] in TERMINAL_STATES:
+                raise ServiceError(
+                    f"job {job_id} is already {row['state']}; "
+                    f"nothing to cancel")
             if row["state"] == "queued":
                 conn.execute(
                     "UPDATE jobs SET state = 'cancelled', "
@@ -259,7 +659,8 @@ class JobStore:
         """Put a ``failed``/``cancelled`` job back in the queue.
 
         The job keeps its id and parameters, so its journals (and
-        therefore all completed work) are reused by the next run.
+        therefore all completed work — including the unit shards other
+        workers already delivered) are reused by the next run.
         """
         job = self.get(job_id)
         if job.state not in ("failed", "cancelled"):
@@ -267,8 +668,17 @@ class JobStore:
                 f"only failed/cancelled jobs can be re-queued; "
                 f"job {job_id} is {job.state}")
         with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
             conn.execute(
                 "UPDATE jobs SET state = 'queued', started_at = NULL, "
-                "finished_at = NULL, error = NULL, cancel_requested = 0 "
+                "finished_at = NULL, error = NULL, cancel_requested = 0, "
+                "worker = NULL, lease_expires_at = NULL "
                 "WHERE id = ?", (int(job_id),))
+            # any stale shard lease dissolves with the requeue; 'done'
+            # shards keep their state (their units are journaled)
+            conn.execute(
+                "UPDATE shards SET state = 'queued', worker = NULL, "
+                "lease_expires_at = NULL WHERE job_id = ? "
+                "AND state = 'leased'", (int(job_id),))
+            conn.execute("COMMIT")
         return self.get(job_id)

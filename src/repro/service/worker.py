@@ -1,0 +1,187 @@
+"""Pull-based campaign worker: claims unit shards over plain HTTP.
+
+``python -m repro worker --url http://coordinator:8765`` turns any
+machine with this package into an injection-fleet member — the paper's
+12-node ModelSim cluster shape, with zero shared filesystem.  The
+protocol is lease-based pull:
+
+1. ``POST /claim`` leases the next unit shard ``[lo, hi)`` of a
+   claimable pvf/rtl job.
+2. The worker re-plans the job's deterministic seed-indexed units from
+   the job parameters alone (:func:`repro.service.scheduler.run_job_units`)
+   and executes only its shard.  Between units it heartbeats; the
+   response carries ``cancel_requested``, which is how cooperative
+   cancellation reaches remote machines.
+3. ``POST /jobs/<id>/units`` delivers the per-unit reports; the daemon
+   journals them and merges all shards in unit-index order — the merged
+   report is bit-identical to a single-process run.
+
+Crash story: a SIGKILLed worker simply stops heartbeating.  Its lease
+expires, the daemon's reaper hands the shard to a surviving worker, and
+because unit randomness depends only on the unit index, the re-executed
+shard produces the same bytes the dead worker would have.  A worker
+whose lease expired mid-shard (one unit outlasting the lease) finds out
+at delivery time: the daemon answers 409 and the stale results are
+dropped, never merged twice.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Optional
+
+from ..errors import CampaignCancelled, ServiceError
+from .client import ServiceClient
+from .scheduler import run_job_units
+
+__all__ = ["CampaignWorker", "default_worker_name"]
+
+
+def default_worker_name() -> str:
+    """``<hostname>-<pid>``: unique per process, stable for its life."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class CampaignWorker:
+    """One claim-execute-deliver loop against a campaign service.
+
+    ``lease_seconds`` must comfortably exceed one work unit's wall
+    clock: the lease is renewed between units, never during one.  An
+    undersized lease is safe — the shard is re-issued to another worker
+    and this one's late delivery is rejected with a 409 — but the work
+    is executed twice.
+    """
+
+    def __init__(self, url: str, name: Optional[str] = None,
+                 lease_seconds: float = 30.0,
+                 poll_interval: float = 1.0,
+                 quiet: bool = True,
+                 http_timeout: float = 30.0) -> None:
+        if lease_seconds <= 0:
+            raise ServiceError("lease_seconds must be positive")
+        self.client = ServiceClient(url, timeout=http_timeout)
+        self.name = name or default_worker_name()
+        self.lease_seconds = float(lease_seconds)
+        self.poll_interval = float(poll_interval)
+        self.quiet = quiet
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[worker {self.name}] {message}", flush=True)
+
+    # -- one claim ----------------------------------------------------------
+    def run_once(self) -> Optional[dict]:
+        """Claim and execute at most one shard.
+
+        Returns ``None`` when the service had no claimable work, else a
+        summary dict whose ``outcome`` is one of ``delivered``,
+        ``released`` (cooperative cancel), ``lease-lost`` (results
+        dropped), ``rejected`` (delivery refused — typically the lease
+        expired mid-shard) or ``failed`` (the campaign raised; the job
+        was failed via the service).
+        """
+        claim = self.client.claim(self.name, self.lease_seconds)
+        if claim is None:
+            return None
+        job = claim["job"]
+        job_id, (lo, hi) = job["id"], claim["units"]
+        summary = {"job": job_id, "worker": self.name, "units": [lo, hi]}
+        self._log(f"claimed job {job_id} units [{lo}, {hi})")
+
+        # heartbeat between units: renews the lease and carries the
+        # cancellation flag back; a lost lease aborts the shard
+        beat_every = max(0.2, self.lease_seconds / 3.0)
+        state = {"last_beat": time.monotonic(), "lost": False,
+                 "cancelled": False}
+
+        def cancel() -> bool:
+            if state["lost"] or state["cancelled"]:
+                return True
+            now = time.monotonic()
+            if now - state["last_beat"] < beat_every:
+                return False
+            state["last_beat"] = now
+            try:
+                beat = self.client.heartbeat(job_id, self.name,
+                                             self.lease_seconds)
+            except ServiceError as exc:
+                # 409 (lease re-issued elsewhere) or unreachable
+                # daemon: either way this shard's results are stale
+                self._log(f"lease lost on job {job_id}: {exc}")
+                state["lost"] = True
+                return True
+            if beat.get("cancel_requested"):
+                state["cancelled"] = True
+                return True
+            return False
+
+        try:
+            reports = run_job_units(job["kind"], job["params"], lo, hi,
+                                    cancel=cancel)
+        except CampaignCancelled:
+            if state["lost"]:
+                return dict(summary, outcome="lease-lost")
+            try:
+                self.client.release_shard(job_id, self.name, lo)
+            except ServiceError:
+                pass  # lease may have lapsed while we noticed the cancel
+            self._log(f"released job {job_id} units [{lo}, {hi}) "
+                      f"(cancelled)")
+            return dict(summary, outcome="released")
+        except Exception as exc:
+            try:
+                self.client.fail_job(job_id, self.name, lo,
+                                     f"{type(exc).__name__}: {exc}")
+            except ServiceError:
+                pass  # someone else already settled the job
+            self._log(f"job {job_id} failed: {exc}")
+            return dict(summary, outcome="failed", error=str(exc))
+        try:
+            delivered = self.client.post_units(job_id, self.name, lo,
+                                               reports)
+        except ServiceError as exc:
+            self._log(f"delivery rejected for job {job_id}: {exc}")
+            return dict(summary, outcome="rejected", error=str(exc))
+        self._log(f"delivered job {job_id} units [{lo}, {hi}) "
+                  f"(job state: {delivered.get('state')})")
+        return dict(summary, outcome="delivered",
+                    units_done=len(reports),
+                    job_state=delivered.get("state"))
+
+    # -- the loop -----------------------------------------------------------
+    def run_forever(self, stop: Optional[threading.Event] = None,
+                    drain: bool = False,
+                    max_claims: Optional[int] = None) -> int:
+        """Claim shards until *stop* is set; returns the claim count.
+
+        ``drain=True`` exits as soon as a claim comes back empty (batch
+        mode: process everything queued, then leave).  ``max_claims``
+        bounds the number of shards executed.  A transport error — the
+        daemon restarting, say — is retried with bounded backoff, never
+        fatal.
+        """
+        stop = stop or threading.Event()
+        claims = 0
+        backoff = self.poll_interval
+        while not stop.is_set():
+            if max_claims is not None and claims >= max_claims:
+                break
+            try:
+                summary = self.run_once()
+            except ServiceError as exc:
+                self._log(f"service unreachable ({exc}); retrying in "
+                          f"{backoff:.1f}s")
+                stop.wait(backoff)
+                backoff = min(backoff * 2, 30.0)
+                continue
+            backoff = self.poll_interval
+            if summary is None:
+                if drain:
+                    break
+                stop.wait(self.poll_interval)
+                continue
+            claims += 1
+        return claims

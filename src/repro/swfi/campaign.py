@@ -57,8 +57,10 @@ __all__ = [
     "PVFReport",
     "CampaignCheckpoint",
     "plan_batches",
+    "pvf_checkpoint_header",
     "run_pvf_batch",
     "run_pvf_campaign",
+    "run_pvf_units",
     "run_pvf_until",
 ]
 
@@ -209,6 +211,25 @@ def _run_swfi_unit(state: _SwfiState, unit: WorkUnit,
                          injector=state.injector, timeout=timeout)
 
 
+def pvf_checkpoint_header(app_name: str, model_name: str, seed: int,
+                          batch_size: Optional[int],
+                          n_injections: Optional[int]) -> dict:
+    """The journal header identifying one PVF campaign's unit plan.
+
+    Shared between the in-process runner and the service daemon's
+    shard-ingest path, so a journal written by either is resumable by
+    the other (the header is the campaign's identity check).
+    """
+    return {
+        "app": app_name,
+        "model": model_name,
+        "seed": int(seed),
+        "batch_size": int(DEFAULT_BATCH_SIZE if batch_size is None
+                          else batch_size),
+        "n_injections": None if n_injections is None else int(n_injections),
+    }
+
+
 def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
                      app, model: FaultModel, seed: int,
                      batch_size: Optional[int],
@@ -218,14 +239,8 @@ def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
         if resume:
             raise CampaignError("resume=True requires a checkpoint path")
         return None
-    header = {
-        "app": app.name,
-        "model": model.name,
-        "seed": int(seed),
-        "batch_size": int(DEFAULT_BATCH_SIZE if batch_size is None
-                          else batch_size),
-        "n_injections": None if n_injections is None else int(n_injections),
-    }
+    header = pvf_checkpoint_header(app.name, model.name, seed,
+                                   batch_size, n_injections)
     return CampaignCheckpoint(path, header, kind="pvf-report",
                               resume=resume)
 
@@ -288,6 +303,39 @@ def run_pvf_campaign(app, model: FaultModel, n_injections: int,
     emit_metrics(metrics, checkpoint)
     return merge_ordered(results, empty=lambda: PVFReport(
         app_name=app.name, model_name=model.name))
+
+
+def run_pvf_units(app, model: FaultModel, n_injections: int,
+                  lo: int, hi: int,
+                  seed: int = 0,
+                  batch_size: Optional[int] = None,
+                  timeout: Optional[float] = None,
+                  cancel: Optional[Callable[[], bool]] = None
+                  ) -> Dict[int, PVFReport]:
+    """Run only units ``[lo, hi)`` of the campaign's deterministic plan.
+
+    This is the distributed-worker entry point: the unit plan depends
+    only on ``(n_injections, seed, batch_size)``, so any worker handed a
+    ``(lo, hi)`` shard recomputes exactly the units (index, size, child
+    seed) the single-process run would have executed at those indices.
+    Merging all shards' reports in unit-index order (the daemon's job)
+    is therefore bit-identical to the serial campaign.  Returns
+    ``{unit index: batch report}``.
+    """
+    units = plan_units(n_injections, seed, batch_size)
+    if not 0 <= lo < hi <= len(units):
+        raise CampaignError(
+            f"unit range [{lo}, {hi}) is outside the campaign's "
+            f"{len(units)}-unit plan")
+    subset = units[lo:hi]
+    done = run_units(
+        subset,
+        partial(_run_swfi_unit, timeout=timeout),
+        n_jobs=1,
+        state=_SwfiState(app, model),
+        cancel=cancel,
+    )
+    return dict(done)
 
 
 def run_pvf_until(app, model: FaultModel,

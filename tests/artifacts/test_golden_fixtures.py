@@ -46,8 +46,6 @@ class TestByteIdentity:
          lambda p: json.dumps(p) + "\n"),
         ("campaign-metrics", "campaign_metrics.json",
          lambda p: json.dumps(p, indent=2) + "\n"),
-        ("job-record", "job_record.json",
-         lambda p: json.dumps(p, indent=2) + "\n"),
     ])
     def test_round_trip(self, kind, name, fmt):
         raw = _fixture_text(name)
@@ -68,6 +66,20 @@ class TestByteIdentity:
             for e in raw["entries"]]
         assert (json.dumps(dump_body("syndrome-db", db))
                 == json.dumps(expected))
+
+    def test_job_record_v1_migrates_then_round_trips(self):
+        """The pre-fabric fixture loads via the v1->v2 migration.
+
+        Re-dumping must equal the fixture with the three lease-fabric
+        fields appended at their leaseless defaults — and nothing else
+        changed.
+        """
+        raw = json.loads(_fixture_text("job_record.json"))
+        job = load_artifact("job-record", raw)
+        expected = dict(raw)
+        expected.update(priority=0, worker=None, lease_expires_at=None)
+        assert (json.dumps(dump_body("job-record", job), indent=2)
+                == json.dumps(expected, indent=2))
 
     def test_rtl_report_aggregates_survive(self):
         report = CampaignReport.from_json(_fixture_text("rtl_report.json"))

@@ -1,0 +1,116 @@
+"""The multi-worker acceptance test: SIGKILL a worker mid-campaign.
+
+A coordinator daemon (``--no-scheduler``: it only queues, leases and
+merges) and two real ``python -m repro worker`` subprocesses share one
+sharded PVF job.  One worker is SIGKILLed while it holds a shard lease;
+the lease expires, the daemon re-queues the shard, the survivor
+executes it, and the merged report must be byte-for-byte identical to
+the direct synchronous run.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient
+
+pytestmark = pytest.mark.slow
+
+LEASE_SECONDS = 4.0
+
+
+def _spawn_daemon(workdir: Path) -> "tuple[subprocess.Popen, str]":
+    (workdir / "service.json").unlink(missing_ok=True)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--workdir",
+         str(workdir), "--port", "0", "--quiet", "--no-scheduler",
+         "--poll-interval", "0.2"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if (workdir / "service.json").exists():
+            try:
+                payload = json.loads(
+                    (workdir / "service.json").read_text())
+                return process, payload["url"]
+            except (json.JSONDecodeError, KeyError):
+                pass  # written halfway; retry
+        if process.poll() is not None:
+            raise RuntimeError("daemon died during startup")
+        time.sleep(0.1)
+    process.kill()
+    raise RuntimeError("daemon never wrote service.json")
+
+
+def _spawn_worker(url: str, name: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--url", url,
+         "--name", name, "--lease", str(LEASE_SECONDS),
+         "--poll", "0.1"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def test_sigkill_worker_mid_campaign_merges_bit_identical(tmp_path):
+    from repro.apps import make_application
+    from repro.swfi.campaign import run_pvf_campaign
+    from repro.swfi.models import SingleBitFlip
+
+    workdir = tmp_path / "service"
+    workdir.mkdir()
+    daemon, url = _spawn_daemon(workdir)
+    workers = {}
+    try:
+        client = ServiceClient(url, timeout=30)
+        job = client.submit("pvf", app="MxM", injections=400, seed=11,
+                            batch_size=20, units_per_claim=2)
+        workers["w-dead"] = _spawn_worker(url, "w-dead")
+        workers["w-live"] = _spawn_worker(url, "w-live")
+
+        # wait until the doomed worker holds a shard lease, then
+        # SIGKILL it mid-shard: no release, no heartbeat, no delivery
+        held = None
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline:
+            shards = client.job(job["id"]).get("shards", [])
+            held = next((s for s in shards
+                         if s["state"] == "leased"
+                         and s["worker"] == "w-dead"), None)
+            if held is not None:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("w-dead never leased a shard")
+        workers["w-dead"].send_signal(signal.SIGKILL)
+        workers["w-dead"].wait(timeout=30)
+
+        # the survivor inherits the expired lease and finishes the job
+        done = client.wait(job["id"], timeout=300, poll=0.2)
+        assert done["state"] == "done"
+        assert done["result"]["n_injections"] == 400
+
+        # the killed worker's shard was observably re-claimed: every
+        # shard is done, and the dead worker had really claimed work
+        shards = client.job(job["id"])["shards"]
+        assert all(s["state"] == "done" for s in shards)
+        tallies = {w["id"]: w for w in client.workers()}
+        assert tallies["w-dead"]["jobs_claimed"] >= 1
+        assert tallies["w-live"]["units_done"] >= 1
+
+        body, _ = client.artifact(job["id"], "report")
+        direct = run_pvf_campaign(
+            make_application("MxM", seed=11), SingleBitFlip(), 400,
+            seed=11, batch_size=20)
+        assert json.loads(body)["report"] == direct.to_dict()
+    finally:
+        for process in workers.values():
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
