@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-swfi bench-rtl bench-artifacts db \
-	examples clean
+.PHONY: install test bench bench-swfi bench-rtl bench-artifacts \
+	bench-adaptive db examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +24,10 @@ bench-rtl:
 
 bench-artifacts:
 	$(PYTHON) -m pytest benchmarks/bench_artifacts.py \
+		--benchmark-only -q
+
+bench-adaptive:
+	$(PYTHON) -m pytest benchmarks/bench_adaptive.py \
 		--benchmark-only -q
 
 db:

@@ -1,0 +1,112 @@
+"""Adaptive sequential sampling vs the paper's one-size-fits-all sizing.
+
+The paper sizes every (opcode, range, module) campaign up front from
+the worst-case margin formula — "<3% margin with 12,000 faults"
+(Sec. V-B) assumes p=0.5, so cells whose SDC proportion converges
+quickly still burn the full budget.  This benchmark runs the FFMA grid
+both ways at the same interval-width target: the fixed baseline gets
+the worst-case fault count per cell (``required_trials`` at p=0.5,
+exactly the paper's sizing method), the adaptive grid stops each cell
+as soon as its actual Wilson interval meets the target.
+
+Emits ``BENCH_adaptive.json`` under ``benchmarks/output/`` and asserts
+the adaptive run spends **>= 30% fewer injections** while every cell's
+interval is at or under the same target — the fixed run's guarantee.
+
+Campaign size derives from the statistical target (not
+``REPRO_BENCH_SCALE``): scaling the fault count would break the
+equal-CI-width premise of the comparison.
+"""
+
+import json
+
+from repro.adaptive import (
+    AdaptiveConfig,
+    required_trials,
+    run_adaptive_grid,
+)
+from repro.analysis.stats import wilson_interval
+from repro.gpu import Opcode
+from repro.rtl import run_grid
+
+from conftest import OUTPUT_DIR, emit
+
+TARGET_CI = 0.12
+BATCH = 15
+RANGES = ("S", "M", "L")
+
+
+def test_adaptive_saves_injections_at_equal_ci(benchmark, injector):
+    config = AdaptiveConfig(target_ci=TARGET_CI, min_per_cell=30)
+    # the paper's sizing: enough trials for the target width even at
+    # p=0.5 (required_trials at tallies 1/2, whose smoothed p is 0.5)
+    n_fixed = required_trials(1, 2, config)
+
+    fixed = run_grid(opcodes=[Opcode.FFMA], input_ranges=RANGES,
+                     n_faults=n_fixed, seed=2021, batch_size=BATCH,
+                     injector=injector)
+    fixed_total = sum(r.n_injections for r in fixed)
+    fixed_cells = {}
+    for report in fixed:
+        low, high = wilson_interval(report.n_sdc, report.n_injections)
+        key = (f"{report.instruction}/{report.input_range}/"
+               f"{report.module}")
+        fixed_cells[key] = {"trials": report.n_injections,
+                            "ci_width": round(high - low, 4)}
+        # the baseline actually delivers the guarantee it was sized for
+        assert high - low <= TARGET_CI, (key, high - low)
+
+    outcome = benchmark.pedantic(
+        lambda: run_adaptive_grid(
+            opcodes=[Opcode.FFMA], input_ranges=RANGES,
+            n_faults=n_fixed, config=config, seed=2021,
+            batch_size=BATCH),
+        rounds=1, iterations=1)
+    adaptive_total = outcome.n_injections
+    reduction = 1.0 - adaptive_total / fixed_total
+
+    # equal CI width: every adaptive cell meets the fixed target too
+    assert outcome.converged
+    for entry in outcome.summary:
+        assert entry["ci_width"] <= TARGET_CI, entry
+
+    record = {
+        "kind": "bench-adaptive",
+        "seed": 2021,
+        "target_ci": TARGET_CI,
+        "confidence": config.confidence,
+        "min_per_cell": config.min_per_cell,
+        "cells": len(outcome.summary),
+        "fixed_injections_per_cell": n_fixed,
+        "fixed_injections": fixed_total,
+        "adaptive_injections": adaptive_total,
+        "reduction": round(reduction, 4),
+        "rounds": outcome.rounds,
+        "fixed": fixed_cells,
+        "adaptive": [
+            {"cell": entry["cell"], "trials": entry["trials"],
+             "ci_width": round(entry["ci_width"], 4),
+             "converged": entry["converged"]}
+            for entry in outcome.summary
+        ],
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_adaptive.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    lines = [
+        f"Adaptive stopping vs worst-case sizing — FFMA grid, "
+        f"target CI width {TARGET_CI}",
+        f"  fixed    {fixed_total:5d} injections "
+        f"({n_fixed}/cell, the paper's p=0.5 sizing)",
+        f"  adaptive {adaptive_total:5d} injections "
+        f"({outcome.rounds} rounds, every cell converged)",
+        f"  saved    {100 * reduction:.1f}% at equal-or-better "
+        f"interval width",
+    ]
+    for entry in outcome.summary:
+        lines.append(f"    {entry['cell']:<22} {entry['trials']:4d} "
+                     f"trials  width {entry['ci_width']:.4f}")
+    emit("bench_adaptive", "\n".join(lines))
+
+    assert reduction >= 0.30, record

@@ -1,0 +1,430 @@
+"""Adaptive campaign runners for both fault-injection levels.
+
+These wrap the sequential-sampling :class:`~repro.adaptive.controller.
+AdaptiveController` around the shared engine: each round the controller
+plans a batch of whole work units (always a prefix extension of the
+fixed seed-indexed plan), :func:`repro.campaign.engine.run_units`
+executes it with the controller as ``observer=``, and the loop repeats
+until every cell converged, exhausted its fixed plan, or spent the
+budget.
+
+Because the executed unit set is a prefix of the fixed plan and units
+merge in index order, the merged report of an adaptive run is
+bit-identical to a fixed-size run truncated at the same unit horizon —
+and a journaled adaptive run resumes to the same stop decision: the
+engine replays cached units through the observer, so the controller
+re-derives every round from the same tallies it saw the first time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from functools import partial
+
+from ..campaign.checkpoint import CampaignCheckpoint
+from ..campaign.engine import (
+    DEFAULT_BATCH_SIZE,
+    WorkUnit,
+    merge_ordered,
+    plan_units,
+    run_units,
+)
+from ..campaign.progress import ProgressReporter
+from ..campaign.telemetry import (
+    CampaignMetrics,
+    emit_metrics,
+    resolve_metrics,
+)
+from ..errors import CampaignError
+from ..rng import spawn_seeds
+from .controller import AdaptiveConfig, AdaptiveController
+
+__all__ = [
+    "AdaptiveResult",
+    "run_adaptive_campaign",
+    "run_adaptive_grid",
+    "run_adaptive_pvf_campaign",
+]
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of one adaptive campaign.
+
+    ``reports`` holds one merged report per registered cell (insertion
+    order — for the PVF runner that is a single report, exposed as
+    :attr:`report`); ``summary`` is the controller's per-cell decision
+    record (trials, Wilson interval, units executed vs planned,
+    converged/exhausted flags).
+    """
+
+    reports: List[Any]
+    summary: List[dict] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def report(self) -> Any:
+        """The single report of a one-cell (PVF) campaign."""
+        if len(self.reports) != 1:
+            raise CampaignError(
+                f"campaign has {len(self.reports)} cells, not 1")
+        return self.reports[0]
+
+    @property
+    def n_injections(self) -> int:
+        return sum(r.n_injections for r in self.reports)
+
+    @property
+    def converged(self) -> bool:
+        """True when every cell stopped on its interval, not its budget."""
+        return all(entry["converged"] for entry in self.summary)
+
+
+def _drive(controller: AdaptiveController,
+           run_round: Callable[[List[WorkUnit]], Dict[int, Any]],
+           metrics: Optional[CampaignMetrics]) -> Dict[int, Any]:
+    """Alternate controller rounds with engine runs until it stops."""
+    results: Dict[int, Any] = {}
+    while True:
+        round_units = controller.next_round()
+        if not round_units:
+            return results
+        results.update(run_round(round_units))
+        if metrics is not None:
+            metrics.total_units = None  # adaptive: total is unknowable
+
+
+def run_adaptive_pvf_campaign(
+    app,
+    model,
+    n_injections: int,
+    config: Optional[AdaptiveConfig] = None,
+    seed: int = 0,
+    *,
+    n_jobs: int = 1,
+    batch_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressReporter] = None,
+    metrics: Optional[CampaignMetrics] = None,
+    cancel: Optional[Callable[[], bool]] = None,
+) -> AdaptiveResult:
+    """Inject into *app* until the PVF interval converges (or the fixed
+    ``n_injections`` plan / the configured budget runs out).
+
+    The unit plan is exactly :func:`run_pvf_campaign`'s for the same
+    ``(n_injections, seed, batch_size)`` — the adaptive run executes a
+    prefix of it, so its merged report is bit-identical to a fixed-size
+    campaign truncated at the same unit horizon.  ``checkpoint`` uses
+    the same journal header as the fixed runner; resuming an
+    interrupted adaptive campaign replays the journal through the
+    controller and reaches the same stop decision.
+    """
+    from ..swfi.campaign import (
+        PVFReport,
+        _SwfiState,
+        _run_swfi_unit,
+        _swfi_state,
+        pvf_checkpoint_header,
+    )
+
+    config = config or AdaptiveConfig()
+    controller = AdaptiveController(config)
+    units = plan_units(n_injections, seed, batch_size)
+    controller.add_cell(f"{app.name}/{model.name}", units)
+
+    journal: Optional[CampaignCheckpoint] = None
+    if checkpoint is not None:
+        header = pvf_checkpoint_header(app.name, model.name, seed,
+                                       batch_size, n_injections)
+        journal = CampaignCheckpoint(checkpoint, header,
+                                     kind="pvf-report", resume=resume)
+    elif resume:
+        raise CampaignError("resume=True requires a checkpoint path")
+    metrics = resolve_metrics(metrics, checkpoint,
+                              f"adaptive-pvf/{app.name}/{model.name}")
+    state = None
+    if n_jobs == 1 and units:
+        state = _SwfiState(app, model)
+
+    def _round(round_units: List[WorkUnit]) -> Dict[int, Any]:
+        return run_units(
+            round_units,
+            partial(_run_swfi_unit, timeout=timeout),
+            n_jobs=n_jobs,
+            state_factory=partial(_swfi_state, app, model),
+            state=state,
+            checkpoint=journal,
+            observer=controller.observe,
+            progress=progress,
+            metrics=metrics,
+            cancel=cancel,
+        )
+
+    try:
+        results = _drive(controller, _round, metrics)
+    finally:
+        if journal is not None:
+            journal.close()
+    emit_metrics(metrics, checkpoint)
+    report = merge_ordered(results, empty=lambda: PVFReport(
+        app_name=app.name, model_name=model.name))
+    return AdaptiveResult(reports=[report],
+                          summary=controller.summary(),
+                          rounds=controller.rounds)
+
+
+def run_adaptive_campaign(
+    bench,
+    module: str,
+    n_faults: int,
+    config: Optional[AdaptiveConfig] = None,
+    seed: int = 0,
+    *,
+    kind: Optional[str] = None,
+    n_jobs: int = 1,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressReporter] = None,
+    metrics: Optional[CampaignMetrics] = None,
+    cancel: Optional[Callable[[], bool]] = None,
+    sm_config=None,
+    vectorize="auto",
+) -> AdaptiveResult:
+    """Adaptive single-cell RTL campaign: inject into one
+    ``(bench, module)`` cell until its SDC interval converges.
+
+    The unit plan, seeds and journal header are exactly
+    :func:`repro.rtl.campaign.run_campaign`'s for the same
+    ``(n_faults, seed, batch_size)`` — the adaptive run executes a
+    prefix, so its merged report is bit-identical to a fixed campaign
+    truncated at the same unit horizon.  ``batch_size`` defaults to
+    :data:`DEFAULT_BATCH_SIZE` rather than a single whole-campaign
+    unit, for the same reason as :func:`run_adaptive_grid`.
+    """
+    from ..rtl.campaign import (
+        _BenchSpec,
+        _CellSpec,
+        _plan_cell_units,
+        _rtl_state,
+        _run_rtl_unit,
+        _RTLWorkerState,
+        _validate_bench_module,
+        cell_checkpoint_header,
+    )
+    from ..rtl.reports import CampaignReport
+
+    config = config or AdaptiveConfig()
+    if n_faults < 0:
+        raise CampaignError("n_faults must be non-negative")
+    _validate_bench_module(bench, module)
+    spec = _CellSpec(bench=_BenchSpec(kind="bench", bench=bench),
+                     module=module, fault_kind=kind)
+    label = f"{bench.name}/{module}"
+    units = _plan_cell_units(spec, n_faults, seed, batch_size,
+                             base_index=0, label=label)
+    controller = AdaptiveController(config)
+    controller.add_cell(label, units)
+
+    journal: Optional[CampaignCheckpoint] = None
+    if checkpoint is not None:
+        header = cell_checkpoint_header(bench, module, kind, n_faults,
+                                        seed, batch_size)
+        journal = CampaignCheckpoint(checkpoint, header,
+                                     kind="rtl-report", resume=resume)
+    elif resume:
+        raise CampaignError("resume=True requires a checkpoint path")
+    metrics = resolve_metrics(metrics, checkpoint, f"adaptive-rtl/{label}")
+    state = None
+    if n_jobs == 1:
+        state = _RTLWorkerState(config=sm_config)
+
+    def _round(round_units: List[WorkUnit]) -> Dict[int, Any]:
+        return run_units(
+            round_units,
+            partial(_run_rtl_unit, timeout=timeout, vectorize=vectorize),
+            n_jobs=n_jobs,
+            state_factory=partial(_rtl_state, sm_config),
+            state=state,
+            checkpoint=journal,
+            observer=controller.observe,
+            progress=progress,
+            metrics=metrics,
+            cancel=cancel,
+        )
+
+    try:
+        results = _drive(controller, _round, metrics)
+    finally:
+        if journal is not None:
+            journal.close()
+    emit_metrics(metrics, checkpoint)
+    report = merge_ordered(results, empty=lambda: CampaignReport(
+        instruction=bench.opcode.value, input_range=bench.input_range,
+        module=module, precision=bench.precision))
+    return AdaptiveResult(reports=[report],
+                          summary=controller.summary(),
+                          rounds=controller.rounds)
+
+
+def run_adaptive_grid(
+    opcodes: Optional[Iterable] = None,
+    input_ranges: Iterable[str] = ("S", "M", "L"),
+    modules: Optional[Sequence[str]] = None,
+    n_faults: int = 200,
+    config: Optional[AdaptiveConfig] = None,
+    seed: int = 0,
+    *,
+    n_jobs: int = 1,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressReporter] = None,
+    metrics: Optional[CampaignMetrics] = None,
+    cancel: Optional[Callable[[], bool]] = None,
+    sm_config=None,
+    vectorize="auto",
+    precision: str = "fp32",
+) -> AdaptiveResult:
+    """Adaptive RTL campaign grid: per-cell sequential sampling.
+
+    Cells, seeds and the unit plan are exactly
+    :func:`repro.rtl.campaign.run_grid`'s for the same arguments —
+    ``n_faults`` is each cell's *maximum* (fixed-plan) fault count, of
+    which the controller executes a prefix.  ``batch_size`` defaults to
+    :data:`DEFAULT_BATCH_SIZE` rather than one-unit-per-cell: adaptive
+    stopping needs units finer than whole cells to have anything to
+    decide between rounds.  Per-cell merged reports are bit-identical
+    to a fixed grid truncated at the same unit horizons.
+    """
+    from ..gpu.isa import CHARACTERIZED_OPCODES
+    from ..rtl.campaign import (
+        _BenchSpec,
+        _CellSpec,
+        _plan_cell_units,
+        _rtl_state,
+        _run_rtl_unit,
+        _RTLWorkerState,
+        modules_for_opcode,
+    )
+    from ..rtl.microbench import INPUT_RANGES
+    from ..rtl.reports import CampaignReport
+
+    config = config or AdaptiveConfig()
+    if batch_size is not None and batch_size < 1:
+        raise CampaignError("batch_size must be at least 1")
+    opcodes = list(CHARACTERIZED_OPCODES if opcodes is None else opcodes)
+    input_ranges = list(input_ranges)
+    for key in input_ranges:
+        if key not in INPUT_RANGES:
+            raise CampaignError(f"unknown input range {key!r}")
+
+    cell_coords = []
+    for opcode in opcodes:
+        for range_key in input_ranges:
+            for module in modules_for_opcode(opcode, precision):
+                if modules is not None and module not in modules:
+                    continue
+                cell_coords.append((opcode, range_key, module))
+    cell_seeds = spawn_seeds(seed, len(cell_coords))
+
+    controller = AdaptiveController(config)
+    units: List[WorkUnit] = []
+    cell_keys: List[str] = []
+    cell_specs: List[_CellSpec] = []
+    for (opcode, range_key, module), cell_seed in zip(cell_coords,
+                                                      cell_seeds):
+        spec = _CellSpec(
+            bench=_BenchSpec(kind="micro", opcode=opcode.value,
+                             input_range=range_key, seed=cell_seed,
+                             precision=precision),
+            module=module)
+        label = f"{opcode.value}/{range_key}/{module}"
+        cell_units = _plan_cell_units(spec, n_faults, cell_seed,
+                                      batch_size, base_index=len(units),
+                                      label=label)
+        controller.add_cell(label, cell_units)
+        units.extend(cell_units)
+        cell_keys.append(label)
+        cell_specs.append(spec)
+    unit_cell = {}
+    for cell_index, key in enumerate(cell_keys):
+        for unit in controller._cells[key].units:
+            unit_cell[unit.index] = cell_index
+
+    journal: Optional[CampaignCheckpoint] = None
+    if checkpoint is not None:
+        header = {
+            "campaign": "rtl-grid",
+            "opcodes": [o.value for o in opcodes],
+            "input_ranges": list(input_ranges),
+            "modules": None if modules is None else list(modules),
+            "n_faults": int(n_faults),
+            "seed": int(seed),
+            "batch_size": None if batch_size is None else int(batch_size),
+        }
+        if precision != "fp32":
+            header["precision"] = precision
+        journal = CampaignCheckpoint(checkpoint, header,
+                                     kind="rtl-report", resume=resume)
+    elif resume:
+        raise CampaignError("resume=True requires a checkpoint path")
+    metrics = resolve_metrics(metrics, checkpoint, "adaptive-rtl-grid")
+    state = None
+    if n_jobs == 1:
+        state = _RTLWorkerState(config=sm_config)
+
+    def _round(round_units: List[WorkUnit]) -> Dict[int, Any]:
+        return run_units(
+            round_units,
+            partial(_run_rtl_unit, timeout=timeout, vectorize=vectorize),
+            n_jobs=n_jobs,
+            state_factory=partial(_rtl_state, sm_config),
+            state=state,
+            checkpoint=journal,
+            observer=controller.observe,
+            progress=progress,
+            metrics=metrics,
+            cancel=cancel,
+        )
+
+    try:
+        results = _drive(controller, _round, metrics)
+    finally:
+        if journal is not None:
+            journal.close()
+    emit_metrics(metrics, checkpoint)
+
+    per_cell: Dict[int, List[Any]] = {}
+    for index in sorted(results):
+        per_cell.setdefault(unit_cell[index], []).append(results[index])
+    reports: List[Any] = []
+    for cell_index, spec in enumerate(cell_specs):
+        merged = per_cell.get(cell_index)
+        if merged:
+            reports.append(CampaignReport.merge(merged))
+        else:  # budget spent before this cell's warm-up: empty report
+            bench = spec.bench
+            reports.append(CampaignReport(
+                instruction=bench.opcode, input_range=bench.input_range,
+                module=spec.module, precision=bench.precision))
+    return AdaptiveResult(reports=reports,
+                          summary=controller.summary(),
+                          rounds=controller.rounds)

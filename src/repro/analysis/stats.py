@@ -62,9 +62,19 @@ def proportion_confidence_interval(successes: int, trials: int,
 
 def wilson_interval(successes: int, trials: int,
                     confidence: float = 0.95) -> Tuple[float, float]:
-    """Wilson score interval — well-behaved near 0 and 1."""
-    if trials <= 0:
-        raise ValueError("trials must be positive")
+    """Wilson score interval — well-behaved near 0 and 1.
+
+    ``trials == 0`` yields the uninformative ``(0.0, 1.0)``: a cell with
+    no observations constrains the proportion not at all, which lets
+    adaptive controllers treat warm-up and empty cells uniformly instead
+    of special-casing them.
+    """
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if trials == 0:
+        if successes != 0:
+            raise ValueError("successes must be within [0, trials]")
+        return (0.0, 1.0)
     if not 0 <= successes <= trials:
         raise ValueError("successes must be within [0, trials]")
     z = float(_sps.norm.ppf(0.5 + confidence / 2.0))

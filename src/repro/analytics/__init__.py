@@ -1,0 +1,11 @@
+"""SDC pattern analytics over campaign reports.
+
+:func:`mine_patterns` turns a campaign report (either injection level)
+into a :class:`PatternReport`: spatial corrupted-value geometry,
+temporal fire-cycle clustering, and per-(opcode, range, module) SDC
+signatures, all computed vectorised on the columnar record arrays.
+"""
+
+from .patterns import PatternReport, mine_patterns
+
+__all__ = ["PatternReport", "mine_patterns"]

@@ -1,0 +1,300 @@
+"""Vectorized SDC pattern mining over campaign reports.
+
+The paper's detailed reports record, for every SDC, which output values
+were corrupted, their golden/faulty bit patterns and the fault's fire
+cycle — but the analysis in Sec. V only ever aggregates outcome counts.
+This module mines the structure the raw records actually carry:
+
+* **spatial** — per-SDC-event geometry of the corrupted addresses
+  (single value / contiguous run / local cluster / scattered), plus
+  bit-level shape of each corrupted value: single-bit vs multi-bit
+  flips, the flipped-bit histogram, and whether a multi-bit corruption
+  stays within one byte or one 32-bit word;
+* **temporal** — clustering of SDC fire cycles into equal-width bins
+  and contiguous non-empty runs of bins;
+* **signatures** — per-``(opcode, input range, module)`` SDC tallies,
+  the key the syndrome database is also distilled by.
+
+Everything runs on the columnar numpy arrays
+(:mod:`repro.artifacts.columnar`) — no per-record materialisation — so
+mining a paper-scale report is array passes, not Python loops.  A
+:class:`~repro.swfi.campaign.PVFReport` carries no per-value syndromes;
+its pattern report degrades to the per-opcode signature table.
+
+The result serialises as the ``pattern-report`` artifact (v1), served
+by the campaign service at ``GET /artifacts/<id>/patterns`` and printed
+by ``python -m repro patterns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import CampaignError
+
+__all__ = ["PatternReport", "mine_patterns"]
+
+#: Spatial span classes, in severity order.  ``single`` is one corrupted
+#: value; ``contiguous`` a dense run of adjacent addresses; ``local`` a
+#: cluster whose address extent stays within ``_LOCAL_WINDOW`` times the
+#: value count; anything wider is ``scattered``.
+SPAN_CLASSES = ("single", "contiguous", "local", "scattered")
+
+_LOCAL_WINDOW = 8
+
+#: Fire-cycle histogram resolution of the temporal clustering.
+_TEMPORAL_BINS = 8
+
+
+@dataclass
+class PatternReport:
+    """Mined SDC patterns of one campaign report.
+
+    ``source`` is the injection level the report came from (``"rtl"``
+    reports carry value-level syndromes; ``"pvf"`` reports only opcode
+    tallies, so their ``spatial``/``temporal`` sections are ``None``).
+    ``cell`` identifies the campaign (instruction/range/module/precision
+    for RTL, app/model for PVF).
+    """
+
+    source: str
+    cell: Dict[str, Any]
+    n_injections: int = 0
+    n_sdc: int = 0
+    spatial: Optional[Dict[str, Any]] = None
+    temporal: Optional[Dict[str, Any]] = None
+    signatures: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        from ..artifacts import dump_body
+
+        return dump_body("pattern-report", self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PatternReport":
+        from ..artifacts import load_artifact
+
+        return load_artifact("pattern-report", data)
+
+
+def _floor_log2(values: np.ndarray) -> np.ndarray:
+    """Per-element floor(log2) of positive uint64 values, exactly.
+
+    float64 cannot represent every 64-bit integer, so the log runs on
+    32-bit halves (each exact in float64) instead of the raw values.
+    """
+    hi = (values >> np.uint64(32)).astype(np.int64)
+    lo = (values & np.uint64(0xFFFFFFFF)).astype(np.int64)
+    out = np.zeros(len(values), dtype=np.int64)
+    mask = hi > 0
+    if mask.any():
+        out[mask] = 32 + np.floor(np.log2(hi[mask])).astype(np.int64)
+    low = ~mask & (lo > 0)
+    if low.any():
+        out[low] = np.floor(np.log2(lo[low])).astype(np.int64)
+    return out
+
+
+def _popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element set-bit count of a uint64 array."""
+    if not len(values):
+        return np.zeros(0, dtype=np.int64)
+    as_bytes = values.astype("<u8").view(np.uint8).reshape(-1, 8)
+    return np.unpackbits(as_bytes, axis=1).sum(axis=1).astype(np.int64)
+
+
+def _spatial_section(detailed) -> Dict[str, Any]:
+    """Span geometry + bit shape of every corrupted value / SDC event."""
+    rows = detailed.rows()
+    corrupted = detailed.corrupted_rows()
+
+    xor = corrupted["golden"] ^ corrupted["faulty"]
+    flipped = _popcount(xor)
+    changed = xor > 0
+    single_bit = flipped == 1
+    multi_bit = flipped > 1
+
+    # flipped-bit histogram of single-bit corruptions: the bit index of
+    # a one-hot pattern is exactly its floor(log2)
+    histogram: Dict[str, int] = {}
+    if single_bit.any():
+        bits = _floor_log2(xor[single_bit])
+        counts = np.bincount(bits)
+        histogram = {str(bit): int(count)
+                     for bit, count in enumerate(counts) if count}
+
+    # byte / 32-bit-word locality of multi-bit corruptions: do the
+    # lowest and highest flipped bits share a byte (word)?
+    byte_local = word_local = 0
+    if multi_bit.any():
+        multi = xor[multi_bit]
+        high = _floor_log2(multi)
+        lsb = multi & (~multi + np.uint64(1))  # isolate lowest set bit
+        low = _floor_log2(lsb)
+        byte_local = int(np.count_nonzero((high >> 3) == (low >> 3)))
+        word_local = int(np.count_nonzero((high >> 5) == (low >> 5)))
+
+    # per-event address-span geometry over the CSR corrupted spans
+    spans = {name: 0 for name in SPAN_CLASSES}
+    starts = rows["start"]
+    stops = rows["stop"]
+    sizes = (stops - starts).astype(np.int64)
+    occupied = sizes > 0
+    if occupied.any():
+        first = starts[occupied].astype(np.int64)
+        addresses = corrupted["address"]
+        lo = np.minimum.reduceat(addresses, first)
+        hi = np.maximum.reduceat(addresses, first)
+        extent = hi - lo
+        n = sizes[occupied]
+        single = n == 1
+        contiguous = ~single & (extent == n - 1)
+        local = ~single & ~contiguous & (extent < _LOCAL_WINDOW * n)
+        scattered = ~(single | contiguous | local)
+        spans = {
+            "single": int(np.count_nonzero(single)),
+            "contiguous": int(np.count_nonzero(contiguous)),
+            "local": int(np.count_nonzero(local)),
+            "scattered": int(np.count_nonzero(scattered)),
+        }
+
+    return {
+        "n_events": int(len(rows)),
+        "n_values": int(len(corrupted)),
+        "n_changed_values": int(np.count_nonzero(changed)),
+        "single_bit": int(np.count_nonzero(single_bit)),
+        "multi_bit": int(np.count_nonzero(multi_bit)),
+        "bit_histogram": histogram,
+        "byte_local_multi": byte_local,
+        "word_local_multi": word_local,
+        "mean_flipped_bits": (float(flipped.sum()) / len(flipped)
+                              if len(flipped) else 0.0),
+        "span": spans,
+    }
+
+
+def _temporal_section(general) -> Dict[str, Any]:
+    """Cluster SDC fire cycles into equal-width bins."""
+    from ..artifacts.columnar import _OUTCOME_CODE
+    from ..outcomes import Outcome
+
+    rows = general.rows()
+    sdc = rows["outcome"] == _OUTCOME_CODE[Outcome.SDC]
+    cycles = rows["cycle"][sdc].astype(np.int64)
+    if not len(cycles):
+        return {"n_events": 0, "cycle_min": None, "cycle_max": None,
+                "bins": [], "clusters": []}
+    lo, hi = int(cycles.min()), int(cycles.max())
+    if lo == hi:
+        bins = [int(len(cycles))]
+        edges = [lo, hi + 1]
+    else:
+        counts, edge_values = np.histogram(
+            cycles, bins=_TEMPORAL_BINS, range=(lo, hi + 1))
+        bins = [int(c) for c in counts]
+        edges = [float(e) for e in edge_values]
+    clusters: List[Dict[str, Any]] = []
+    run_start = None
+    for i, count in enumerate(bins + [0]):  # sentinel flushes last run
+        if count and run_start is None:
+            run_start = i
+        elif not count and run_start is not None:
+            clusters.append({
+                "cycle_lo": int(edges[run_start]),
+                "cycle_hi": int(np.ceil(edges[i])) - 1,
+                "events": int(sum(bins[run_start:i])),
+            })
+            run_start = None
+    return {"n_events": int(len(cycles)), "cycle_min": lo,
+            "cycle_max": hi, "bins": bins, "clusters": clusters}
+
+
+def _rtl_signatures(detailed) -> List[Dict[str, Any]]:
+    """Per-(opcode, input range, module) SDC signature table."""
+    rows = detailed.rows()
+    if not len(rows):
+        return []
+    keys = np.stack([rows["opcode"].astype(np.int64),
+                     rows["input_range"].astype(np.int64),
+                     rows["module"].astype(np.int64)], axis=1)
+    unique, inverse = np.unique(keys, axis=0, return_inverse=True)
+    events = np.bincount(inverse, minlength=len(unique))
+    values = np.bincount(
+        inverse, weights=(rows["stop"] - rows["start"]).astype(np.float64),
+        minlength=len(unique))
+    pool = detailed._pool
+    total = int(events.sum())
+    out = []
+    for i, (opcode_id, range_id, module_id) in enumerate(unique):
+        out.append({
+            "opcode": pool.value(int(opcode_id)),
+            "range": pool.value(int(range_id)),
+            "module": pool.value(int(module_id)),
+            "sdc": int(events[i]),
+            "corrupted_values": int(values[i]),
+            "share": float(events[i]) / total,
+        })
+    out.sort(key=lambda s: (-s["sdc"], str(s["opcode"]),
+                            str(s["range"]), str(s["module"])))
+    return out
+
+
+def _mine_rtl(report) -> PatternReport:
+    return PatternReport(
+        source="rtl",
+        cell={
+            "instruction": report.instruction,
+            "range": report.input_range,
+            "module": report.module,
+            "precision": report.precision,
+        },
+        n_injections=report.n_injections,
+        n_sdc=report.n_sdc,
+        spatial=_spatial_section(report.detailed),
+        temporal=_temporal_section(report.general),
+        signatures=_rtl_signatures(report.detailed),
+    )
+
+
+def _mine_pvf(report) -> PatternReport:
+    """PVF reports carry opcode tallies only: the degenerate mining."""
+    total = max(report.n_sdc, 1)
+    signatures = [
+        {
+            "opcode": opcode,
+            "range": None,
+            "module": None,
+            "sdc": int(sdc),
+            "injections": int(report.per_opcode_injections.get(opcode, 0)),
+            "share": int(sdc) / total,
+        }
+        for opcode, sdc in report.per_opcode_sdc.items()
+    ]
+    signatures.sort(key=lambda s: (-s["sdc"], str(s["opcode"])))
+    return PatternReport(
+        source="pvf",
+        cell={"app": report.app_name, "model": report.model_name},
+        n_injections=report.n_injections,
+        n_sdc=report.n_sdc,
+        spatial=None,
+        temporal=None,
+        signatures=signatures,
+    )
+
+
+def mine_patterns(report) -> PatternReport:
+    """Mine the SDC patterns of an RTL :class:`~repro.rtl.reports.
+    CampaignReport` or a SWFI :class:`~repro.swfi.campaign.PVFReport`."""
+    from ..rtl.reports import CampaignReport
+    from ..swfi.campaign import PVFReport
+
+    if isinstance(report, CampaignReport):
+        return _mine_rtl(report)
+    if isinstance(report, PVFReport):
+        return _mine_pvf(report)
+    raise CampaignError(
+        f"cannot mine patterns from {type(report).__name__}; "
+        f"expected CampaignReport or PVFReport")

@@ -1,10 +1,12 @@
-"""Built-in artifact schemas: the six kinds the framework persists.
+"""Built-in artifact schemas: the seven kinds the framework persists.
 
 ===================  =======  ==================================================
 kind                 version  payload
 ===================  =======  ==================================================
 ``rtl-report``       1        one RTL campaign cell's general + detailed records
 ``pvf-report``       1        one SWFI campaign's PVF tallies
+``pattern-report``   1        mined SDC patterns (spatial / temporal /
+                              signature sections) of one campaign report
 ``syndrome-db``      2        the distilled fault-syndrome database
                               (v2: precision-keyed entries; v1 keys
                               migrate to ``fp32``)
@@ -204,6 +206,39 @@ def _sample_pvf_report() -> PVFReport:
         n_sdc=1, n_due=1, n_masked=2,
         per_opcode_sdc={"FADD": 1},
         per_opcode_injections={"FADD": 2, "FMUL": 2})
+
+
+# -- pattern-report -----------------------------------------------------------
+def _dump_pattern_report(report) -> dict:
+    return {
+        "source": report.source,
+        "cell": dict(report.cell),
+        "n_injections": int(report.n_injections),
+        "n_sdc": int(report.n_sdc),
+        "spatial": report.spatial,
+        "temporal": report.temporal,
+        "signatures": list(report.signatures),
+    }
+
+
+def _load_pattern_report(data: dict):
+    from ..analytics.patterns import PatternReport
+
+    return PatternReport(
+        source=data["source"],
+        cell=dict(data["cell"]),
+        n_injections=int(data["n_injections"]),
+        n_sdc=int(data["n_sdc"]),
+        spatial=data.get("spatial"),
+        temporal=data.get("temporal"),
+        signatures=list(data.get("signatures", [])),
+    )
+
+
+def _sample_pattern_report():
+    from ..analytics.patterns import mine_patterns
+
+    return mine_patterns(_sample_rtl_report())
 
 
 # -- syndrome-db --------------------------------------------------------------
@@ -445,6 +480,11 @@ register_schema(ArtifactSchema(
     kind="pvf-report", version=1,
     dump=_PVF.dump, load=_PVF.load,
     sample=_sample_pvf_report))
+
+register_schema(ArtifactSchema(
+    kind="pattern-report", version=1,
+    dump=_dump_pattern_report, load=_load_pattern_report,
+    sample=_sample_pattern_report))
 
 register_schema(ArtifactSchema(
     kind="syndrome-db", version=2,

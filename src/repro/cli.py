@@ -159,18 +159,39 @@ def _cmd_pvf(args: argparse.Namespace) -> int:
         if checkpoint is not None and len(models) > 1:
             # one journal per model so "--model both" runs stay resumable
             checkpoint = f"{checkpoint}.{model.name}.jsonl"
-        report = run_pvf_campaign(
-            app, model, args.injections, seed=args.seed,
-            injector=injector, n_jobs=args.jobs,
-            batch_size=args.batch_size, timeout=args.timeout,
-            checkpoint=checkpoint, resume=args.resume,
-            progress=make_progress(
-                None, f"pvf {model.name}", quiet=args.quiet))
+        suffix = ""
+        if args.target_ci is not None:
+            from .adaptive import AdaptiveConfig, run_adaptive_pvf_campaign
+
+            config = AdaptiveConfig(target_ci=args.target_ci,
+                                    min_per_cell=args.min_per_cell)
+            outcome = run_adaptive_pvf_campaign(
+                app, model, args.injections, config, seed=args.seed,
+                n_jobs=args.jobs, batch_size=args.batch_size,
+                timeout=args.timeout, checkpoint=checkpoint,
+                resume=args.resume,
+                progress=make_progress(
+                    None, f"pvf {model.name}", quiet=args.quiet))
+            report = outcome.report
+            stop = ("converged" if outcome.converged
+                    else "plan exhausted")
+            suffix = (f"; adaptive: {report.n_injections}/"
+                      f"{args.injections} injections in "
+                      f"{outcome.rounds} round(s), {stop}")
+        else:
+            report = run_pvf_campaign(
+                app, model, args.injections, seed=args.seed,
+                injector=injector, n_jobs=args.jobs,
+                batch_size=args.batch_size, timeout=args.timeout,
+                checkpoint=checkpoint, resume=args.resume,
+                progress=make_progress(
+                    None, f"pvf {model.name}", quiet=args.quiet))
         low, high = report.confidence_interval()
         print(f"{app.name} under {model.name}: PVF {report.pvf:.3f} "
               f"(95% CI [{low:.3f}, {high:.3f}], "
               f"DUE rate {report.due_rate:.3f}, "
-              f"{args.jobs} job{'s' if args.jobs != 1 else ''})")
+              f"{args.jobs} job{'s' if args.jobs != 1 else ''})"
+              f"{suffix}")
     return 0
 
 
@@ -217,6 +238,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
     from .campaign.telemetry import discover_metrics, render_stats
     from .errors import CampaignError
 
@@ -228,7 +251,53 @@ def _cmd_stats(args: argparse.Namespace) -> int:
               "checkpointed run), a metrics.json file, or a .jsonl "
               "journal with a sibling metrics file", file=sys.stderr)
         return 2
+    if args.json:
+        print(_json.dumps(payloads, indent=2))
+        return 0
     print(render_stats(payloads, per_cell=not args.no_cells))
+    return 0
+
+
+def _cmd_patterns(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analytics import mine_patterns
+    from .artifacts import dump_artifact, load_artifact
+    from .errors import ReproError
+
+    try:
+        payload = _json.loads(Path(args.report).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"repro patterns: cannot read {args.report}: {exc}",
+              file=sys.stderr)
+        return 2
+    # accept a bare report, an enveloped artifact, or a service
+    # report.json wrapper (whose "report" key embeds the report body)
+    body = payload
+    if isinstance(payload.get("report"), dict):
+        body = payload["report"]
+    if body.get("kind") in ("pvf-report", "rtl-report"):
+        kind = body["kind"]
+    elif "instruction" in body:
+        kind = "rtl-report"
+    elif "app_name" in body:
+        kind = "pvf-report"
+    else:
+        print(f"repro patterns: {args.report} is not a pvf/rtl "
+              f"campaign report", file=sys.stderr)
+        return 2
+    try:
+        mined = mine_patterns(load_artifact(kind, body))
+    except ReproError as exc:
+        print(f"repro patterns: {exc}", file=sys.stderr)
+        return 2
+    text = _json.dumps(dump_artifact("pattern-report", mined),
+                       indent=2) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"saved {args.output}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -294,7 +363,8 @@ _SUBMIT_PARAMS = ("seed", "jobs", "batch_size", "timeout", "budget",
                   "app", "model", "injections", "opcode", "module",
                   "range", "faults", "apps", "models", "opcodes",
                   "grid_faults", "tmxm_faults", "precision",
-                  "units_per_claim")
+                  "units_per_claim", "target_ci", "strategy",
+                  "min_per_cell")
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -522,6 +592,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "from this path)")
     pvf.add_argument("--resume", action="store_true",
                      help="skip batches already recorded in --checkpoint")
+    pvf.add_argument("--target-ci", type=float, default=None,
+                     help="adaptive mode: stop once the 95%% Wilson "
+                          "interval on the PVF is at most this wide "
+                          "(--injections becomes the maximum)")
+    pvf.add_argument("--min-per-cell", type=int, default=100,
+                     help="adaptive warm-up injections before the stop "
+                          "rule may fire (default 100)")
     pvf.set_defaults(func=_cmd_pvf)
 
     stats = sub.add_parser(
@@ -534,7 +611,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "metrics file")
     stats.add_argument("--no-cells", action="store_true",
                        help="skip the per-cell throughput breakdown")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the raw metrics payloads as JSON "
+                            "(for scripting)")
     stats.set_defaults(func=_cmd_stats)
+
+    patterns = sub.add_parser(
+        "patterns",
+        help="mine SDC patterns (spatial/temporal/signatures) from a "
+             "campaign report")
+    patterns.add_argument("report",
+                          help="a pvf/rtl report JSON file — bare, "
+                               "enveloped, or a service report.json")
+    patterns.add_argument("--output", "-o", default=None,
+                          help="write the pattern report to this file "
+                               "instead of stdout")
+    patterns.set_defaults(func=_cmd_patterns)
 
     db_info = sub.add_parser(
         "db-info", help="summarise the shipped syndrome database")
@@ -679,6 +771,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--units-per-claim", type=int, default=None,
                         help="unit-shard size workers claim (pvf / rtl "
                              "jobs; default: quarter of the job's units)")
+    submit.add_argument("--target-ci", type=float, default=None,
+                        help="adaptive pvf/rtl jobs: stop once the "
+                             "Wilson interval is at most this wide "
+                             "(--injections/--faults become maxima)")
+    submit.add_argument("--strategy", default=None,
+                        choices=["neyman", "uniform"],
+                        help="adaptive budget-reallocation strategy")
+    submit.add_argument("--min-per-cell", type=int, default=None,
+                        help="adaptive warm-up injections before the "
+                             "stop rule may fire (default 100)")
     submit.add_argument("--wait", type=float, nargs="?", const=3600.0,
                         default=None, metavar="SECONDS",
                         help="poll until the job finishes (non-zero "
@@ -702,7 +804,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="download a job artifact from the registry")
     fetch.add_argument("id", help="job id")
     fetch.add_argument("artifact",
-                       choices=["report", "metrics", "syndromes"])
+                       choices=["report", "metrics", "syndromes",
+                                "patterns"])
     fetch.add_argument("--output", "-o", default=None,
                        help="write to this file instead of stdout")
     fetch.set_defaults(func=_cmd_fetch)

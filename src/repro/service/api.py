@@ -20,12 +20,17 @@ Endpoints (all JSON unless noted):
 * ``GET /artifacts/<id>/metrics`` — full telemetry incl. per-unit rows.
 * ``GET /artifacts/<id>/syndromes`` — a pipeline job's distilled
   syndrome database as flat CSV (``text/csv``).
+* ``GET /artifacts/<id>/patterns`` — the SDC pattern report mined from
+  a finished pvf/rtl job's merged report (``pattern-report`` schema),
+  generated lazily on first fetch.
 
 Worker protocol (remote machines joining with zero shared filesystem):
 
 * ``POST /claim`` — ``{"worker": "name", "lease_seconds": 30}``; 200
   with ``{"job": ..., "units": [lo, hi], "lease_seconds": ...}`` leases
   the next unit shard of a claimable pvf/rtl job, 204 means no work.
+  An optional ``"max_units"`` caps the claim (the shard is split and
+  the remainder re-queued) — workers pace it from units/s telemetry.
 * ``POST /jobs/<id>/heartbeat`` — renew the worker's lease between
   units; the response carries ``cancel_requested`` (cooperative
   cancellation) and 409 means the lease expired — drop the results.
@@ -92,6 +97,7 @@ _ARTIFACTS = {
     "report": ("report.json", "application/json"),
     "metrics": ("metrics.json", "application/json"),
     "syndromes": ("syndromes.csv", "text/csv"),
+    "patterns": ("patterns.json", "application/json"),
 }
 
 
@@ -207,7 +213,16 @@ class CampaignService:
             raise ApiError(400, "request body must be a JSON object")
         worker = self._worker_name(payload)
         lease = self._lease_seconds(payload)
-        claimed = self.store.claim_shard(worker, lease, plan_job_units)
+        max_units = payload.get("max_units")
+        if max_units is not None and (isinstance(max_units, bool)
+                                      or not isinstance(max_units, int)
+                                      or max_units < 1):
+            raise ApiError(400, "max_units must be a positive integer")
+        claimed = self.store.claim_shard(
+            worker, lease,
+            lambda job: plan_job_units(job,
+                                       self.scheduler.jobdir(job.id)),
+            max_units=max_units)
         if claimed is None:
             return None
         job, (lo, hi) = claimed
@@ -331,7 +346,7 @@ class CampaignService:
         """
         from ..campaign.telemetry import CampaignMetrics
 
-        layout = plan_job_units(job)
+        layout = plan_job_units(job, jobdir)
         metrics = CampaignMetrics(
             f"{job.kind}/job-{job.id}",
             total_units=None if layout is None else layout[0])
@@ -363,6 +378,8 @@ class CampaignService:
         path = jobdir / filename
         if name == "syndromes" and not path.exists():
             self._export_syndromes(jobdir)
+        if name == "patterns" and not path.exists():
+            self._export_patterns(jobdir)
         if not path.exists():
             raise ApiError(
                 404, f"job {job_id} has no {name} artifact yet "
@@ -411,6 +428,27 @@ class CampaignService:
         if not db_path.exists():
             return  # only pipeline jobs distil a database
         export_database_file(db_path, jobdir)
+
+    def _export_patterns(self, jobdir: Path) -> None:
+        """Mine ``patterns.json`` lazily from the finished report.
+
+        Pattern mining is a pure projection of ``report.json``, so it
+        runs on first fetch rather than on the job's critical path.
+        """
+        from ..analytics import mine_patterns
+        from ..artifacts import dump_artifact, load_artifact
+
+        report_path = jobdir / "report.json"
+        if not report_path.exists():
+            return
+        payload = json.loads(report_path.read_text())
+        kind = payload.get("kind")
+        if kind not in ("pvf", "rtl") or "report" not in payload:
+            return  # pipeline jobs carry no single minable report
+        report = load_artifact(f"{kind}-report", payload["report"])
+        mined = dump_artifact("pattern-report", mine_patterns(report))
+        (jobdir / "patterns.json").write_text(
+            json.dumps(mined, indent=2) + "\n")
 
     # -- internals ----------------------------------------------------------
     def _get(self, job_id: int):

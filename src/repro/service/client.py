@@ -92,11 +92,19 @@ class ServiceClient:
 
     # -- worker protocol -----------------------------------------------------
     def claim(self, worker: str,
-              lease_seconds: Optional[float] = None) -> Optional[dict]:
-        """Lease the next unit shard; ``None`` when there is no work."""
+              lease_seconds: Optional[float] = None,
+              max_units: Optional[int] = None) -> Optional[dict]:
+        """Lease the next unit shard; ``None`` when there is no work.
+
+        ``max_units`` caps the claim's width — the service splits a
+        wider shard and re-queues the remainder, so a slow worker can
+        size its claims to what fits inside one lease.
+        """
         payload = {"worker": worker}
         if lease_seconds is not None:
             payload["lease_seconds"] = lease_seconds
+        if max_units is not None:
+            payload["max_units"] = max_units
         return self._json("POST", "/claim", payload)
 
     def heartbeat(self, job_id: Union[int, str], worker: str,

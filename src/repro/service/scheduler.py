@@ -99,12 +99,16 @@ def _canonical_app(name, factories) -> str:
 _COMMON_KEYS = {"seed", "jobs", "batch_size", "timeout", "budget",
                 "precision"}
 #: pvf/rtl jobs are claimable in unit shards by remote workers;
-#: ``units_per_claim`` caps how many units one claim hands out.
+#: ``units_per_claim`` caps how many units one claim hands out, and the
+#: adaptive trio (``target_ci``/``strategy``/``min_per_cell``) switches
+#: the job to sequential sampling over a moving unit horizon.
 _KIND_KEYS = {
     "pvf": _COMMON_KEYS | {"app", "model", "injections",
-                           "units_per_claim"},
+                           "units_per_claim", "target_ci", "strategy",
+                           "min_per_cell"},
     "rtl": _COMMON_KEYS | {"opcode", "module", "range", "faults",
-                           "units_per_claim"},
+                           "units_per_claim", "target_ci", "strategy",
+                           "min_per_cell"},
     "pipeline": _COMMON_KEYS | {"apps", "models", "opcodes",
                                 "grid_faults", "tmxm_faults",
                                 "injections"},
@@ -132,6 +136,26 @@ def _check_app_precision(app: str, precision: str, factories) -> None:
         raise ServiceError(
             f"application {app!r} runs fp32 only; "
             f"precision={precision!r} is not supported")
+
+
+def _require_adaptive(params: dict) -> Dict:
+    """Validate the adaptive (sequential-sampling) parameter trio."""
+    from ..adaptive import STRATEGIES
+
+    target_ci = _require_number(params, "target_ci")
+    if target_ci is not None and target_ci >= 1.0:
+        raise ServiceError("parameter 'target_ci' must be in (0, 1)")
+    strategy = params.get("strategy")
+    if strategy is not None and strategy not in STRATEGIES:
+        raise ServiceError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+    min_per_cell = _require_int(params, "min_per_cell", None, minimum=1)
+    if target_ci is None and (strategy is not None
+                              or min_per_cell is not None):
+        raise ServiceError(
+            "parameters 'strategy'/'min_per_cell' require 'target_ci'")
+    return {"target_ci": target_ci, "strategy": strategy,
+            "min_per_cell": min_per_cell}
 
 
 def normalize_params(kind: str, params: Optional[dict]) -> dict:
@@ -174,7 +198,8 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
         out.update(app=app, model=model,
                    injections=_require_int(params, "injections", 300),
                    units_per_claim=_require_int(
-                       params, "units_per_claim", None, minimum=1))
+                       params, "units_per_claim", None, minimum=1),
+                   **_require_adaptive(params))
     elif kind == "rtl":
         opcode = params.get("opcode", "FADD")
         try:
@@ -194,7 +219,13 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
         out.update(opcode=opcode, module=module, range=input_range,
                    faults=_require_int(params, "faults", 500),
                    units_per_claim=_require_int(
-                       params, "units_per_claim", None, minimum=1))
+                       params, "units_per_claim", None, minimum=1),
+                   **_require_adaptive(params))
+        if out["target_ci"] is not None and out["batch_size"] is None:
+            # adaptive stopping needs units finer than the whole cell
+            from ..campaign.engine import DEFAULT_BATCH_SIZE
+
+            out["batch_size"] = DEFAULT_BATCH_SIZE
     else:  # pipeline
         apps = params.get("apps", ["MxM"])
         if not isinstance(apps, list) or not apps:
@@ -314,12 +345,38 @@ def _rtl_bench(params: dict):
                                precision=params.get("precision", "fp32"))
 
 
+def _adaptive_config(params: dict):
+    """The :class:`AdaptiveConfig` a job's normalized params describe."""
+    from ..adaptive import AdaptiveConfig
+
+    kwargs: Dict = {"target_ci": params["target_ci"]}
+    if params.get("strategy") is not None:
+        kwargs["strategy"] = params["strategy"]
+    if params.get("min_per_cell") is not None:
+        kwargs["min_per_cell"] = params["min_per_cell"]
+    return AdaptiveConfig(**kwargs)
+
+
 def _run_pvf_job(params: dict, jobdir: Path, cancel, progress,
                  metrics) -> dict:
     from ..swfi.campaign import run_pvf_campaign
 
     app, model = _pvf_workload(params)
     journal = jobdir / "pvf.jsonl"
+    if params.get("target_ci") is not None:
+        from ..adaptive import run_adaptive_pvf_campaign
+
+        outcome = run_adaptive_pvf_campaign(
+            app, model, params["injections"], _adaptive_config(params),
+            seed=params["seed"], n_jobs=params["jobs"],
+            batch_size=params["batch_size"], timeout=params["timeout"],
+            checkpoint=journal, resume=journal.exists(),
+            progress=progress, metrics=metrics, cancel=cancel)
+        result = _pvf_result(params, outcome.report)
+        result["adaptive"] = {"rounds": outcome.rounds,
+                              "converged": outcome.converged,
+                              "cells": outcome.summary}
+        return result
     report = run_pvf_campaign(
         app, model, params["injections"], seed=params["seed"],
         n_jobs=params["jobs"], batch_size=params["batch_size"],
@@ -335,6 +392,21 @@ def _run_rtl_job(params: dict, jobdir: Path, cancel, progress,
 
     bench = _rtl_bench(params)
     journal = jobdir / "rtl.jsonl"
+    if params.get("target_ci") is not None:
+        from ..adaptive import run_adaptive_campaign
+
+        outcome = run_adaptive_campaign(
+            bench, params["module"], params["faults"],
+            _adaptive_config(params), seed=params["seed"],
+            n_jobs=params["jobs"], batch_size=params["batch_size"],
+            timeout=params["timeout"], checkpoint=journal,
+            resume=journal.exists(), progress=progress,
+            metrics=metrics, cancel=cancel)
+        result = _rtl_result(params, outcome.report)
+        result["adaptive"] = {"rounds": outcome.rounds,
+                              "converged": outcome.converged,
+                              "cells": outcome.summary}
+        return result
     report = run_campaign(
         bench, params["module"], params["faults"], seed=params["seed"],
         n_jobs=params["jobs"], batch_size=params["batch_size"],
@@ -374,7 +446,64 @@ _RUNNERS = {
 
 
 # -- unit sharding (multi-worker jobs) ----------------------------------------
-def plan_job_units(job: Job) -> Optional[Tuple[int, int]]:
+def _job_plan_sizes(job: Job) -> Optional[List[int]]:
+    """The job's fixed seed-indexed unit-size plan (None: unshardable)."""
+    from ..campaign.engine import plan_batches
+
+    params = job.params
+    if job.kind == "pvf":
+        return plan_batches(params["injections"], params["batch_size"])
+    if job.kind == "rtl":
+        if params["faults"] <= 0:
+            return []
+        if params["batch_size"] is None:
+            return [params["faults"]]  # one unit from the raw cell seed
+        return plan_batches(params["faults"], params["batch_size"])
+    return None
+
+
+def _adaptive_horizon(job: Job, sizes: List[int],
+                      jobdir: Union[str, Path, None]
+                      ) -> Tuple[int, int, bool]:
+    """Replay journaled tallies through the pure stop rule.
+
+    Returns ``(horizon, rounds, settled)``: the unit horizon the
+    adaptive stop rule currently wants, how many decision rounds the
+    replay took, and whether the tallies were complete at that horizon
+    (``False`` means units are still in flight, so the horizon is the
+    standing decision, not a new one).  With no journal yet the horizon
+    is the warm-up prefix.  Every caller — shard planner, finalizer,
+    metrics — derives its answer from this one function, which is what
+    keeps the distributed stop decision identical to the in-process
+    controller's.
+    """
+    from ..adaptive import next_horizon
+
+    config = _adaptive_config(job.params)
+    completed: Dict[int, object] = {}
+    if jobdir is not None:
+        name = "pvf.jsonl" if job.kind == "pvf" else "rtl.jsonl"
+        if (Path(jobdir) / name).exists():
+            journal = open_shard_journal(job, jobdir)
+            journal.close()
+            completed = journal.completed
+    horizon = next_horizon(0, 0, 0, sizes, config)
+    rounds = 1 if horizon else 0
+    while True:
+        if any(i not in completed for i in range(horizon)):
+            return horizon, rounds, False
+        trials = sum(completed[i].n_injections for i in range(horizon))
+        successes = sum(completed[i].n_sdc for i in range(horizon))
+        extended = next_horizon(trials, successes, horizon, sizes,
+                                config)
+        if extended == horizon:
+            return horizon, rounds, True
+        horizon = extended
+        rounds += 1
+
+
+def plan_job_units(job: Job, jobdir: Union[str, Path, None] = None
+                   ) -> Optional[Tuple[int, int]]:
     """``(total units, units per claim)`` for a shardable job.
 
     Returns ``None`` when the job cannot be claimed in shards by remote
@@ -383,25 +512,22 @@ def plan_job_units(job: Job) -> Optional[Tuple[int, int]]:
     finishes trivially.  The unit count is exactly the engine's batch
     plan for the job's parameters, so shard ``[lo, hi)`` always names
     the same seed-indexed units on every worker.
-    """
-    from ..campaign.engine import plan_batches
 
+    For adaptive jobs (``target_ci`` set) the unit count is the current
+    **moving horizon**: the prefix of the fixed plan the stop rule wants
+    given the tallies journaled under *jobdir* so far (the warm-up
+    prefix when no results exist yet).  The finalizer extends the shard
+    table whenever new results push the horizon out.
+    """
     params = job.params
-    if job.kind == "pvf":
-        n_units = len(plan_batches(params["injections"],
-                                   params["batch_size"]))
-    elif job.kind == "rtl":
-        if params["faults"] <= 0:
-            n_units = 0
-        elif params["batch_size"] is None:
-            n_units = 1  # one unit drawing straight from the cell seed
-        else:
-            n_units = len(plan_batches(params["faults"],
-                                       params["batch_size"]))
-    else:
+    sizes = _job_plan_sizes(job)
+    if sizes is None or not sizes:
         return None
-    if n_units <= 0:
-        return None
+    n_units = len(sizes)
+    if params.get("target_ci") is not None:
+        n_units = _adaptive_horizon(job, sizes, jobdir)[0]
+        if n_units <= 0:
+            return None
     per_claim = params.get("units_per_claim")
     if per_claim is None:
         # default: quarters, so a small worker fleet shares one job
@@ -481,14 +607,28 @@ def finalize_sharded_job(store: JobStore, job: Job,
     serial run), writes ``report.json`` and lands the job in ``done``.
     Raises when units are missing — the journal is the ground truth,
     not the shard table.
+
+    For adaptive jobs the journal tallies may push the stop rule's
+    horizon past the units sharded so far; the finalizer then appends
+    queued shard rows for the extension and raises, deferring the merge
+    until workers have delivered the new prefix too.  Only a settled
+    horizon — stable under its own complete tallies — is merged.
     """
     from ..campaign.engine import merge_ordered
 
-    layout = plan_job_units(job)
+    jobdir = Path(jobdir)
+    layout = plan_job_units(job, jobdir)
     if layout is None:
         raise ServiceError(f"job {job.id} is not a sharded job")
-    n_units = layout[0]
-    jobdir = Path(jobdir)
+    n_units, per_claim = layout
+    if job.params.get("target_ci") is not None:
+        covered = max((s["hi"] for s in store.shards(job.id)),
+                      default=0)
+        if n_units > covered:
+            added = store.extend_shards(job.id, n_units, per_claim)
+            raise ServiceError(
+                f"job {job.id} adaptive horizon moved to {n_units} "
+                f"unit(s); {added} new shard(s) queued")
     journal = open_shard_journal(job, jobdir)
     journal.close()
     missing = [i for i in range(n_units) if i not in journal.completed]
@@ -501,9 +641,50 @@ def finalize_sharded_job(store: JobStore, job: Job,
     merged = merge_ordered(reports)
     builder = _pvf_result if job.kind == "pvf" else _rtl_result
     result = builder(job.params, merged)
+    if job.params.get("target_ci") is not None:
+        result["adaptive"] = _sharded_adaptive_summary(job, jobdir,
+                                                       merged)
     (jobdir / "report.json").write_text(json.dumps(result, indent=2)
                                         + "\n")
     return store.finish(job.id, "done", result=result)
+
+
+def _sharded_adaptive_summary(job: Job, jobdir: Path, merged) -> dict:
+    """Mirror the in-process runner's ``adaptive`` result section.
+
+    Recomputed from the merged report and the horizon replay so a job
+    that ran sharded across workers lands the same decision record an
+    in-process adaptive run would have written.
+    """
+    from ..analysis.stats import wilson_interval
+
+    sizes = _job_plan_sizes(job) or []
+    horizon, rounds, _ = _adaptive_horizon(job, sizes, jobdir)
+    config = _adaptive_config(job.params)
+    low, high = wilson_interval(merged.n_sdc, merged.n_injections,
+                                config.confidence)
+    converged = (merged.n_injections >= config.min_per_cell
+                 and high - low <= config.target_ci)
+    if job.kind == "pvf":
+        cell = f"{merged.app_name}/{merged.model_name}"
+    else:
+        cell = f"{_rtl_bench(job.params).name}/{job.params['module']}"
+    return {
+        "rounds": rounds,
+        "converged": converged,
+        "cells": [{
+            "cell": cell,
+            "trials": merged.n_injections,
+            "sdc": merged.n_sdc,
+            "ci_low": low,
+            "ci_high": high,
+            "ci_width": high - low,
+            "units": horizon,
+            "plan_units": len(sizes),
+            "converged": converged,
+            "exhausted": horizon >= len(sizes),
+        }],
+    }
 
 
 def execute_job(job: Job, jobdir: Union[str, Path],

@@ -444,7 +444,8 @@ class JobStore:
 
     # -- shard claiming ------------------------------------------------------
     def claim_shard(self, worker: str, lease_seconds: float,
-                    plan: Callable[[Job], Optional[Tuple[int, int]]]
+                    plan: Callable[[Job], Optional[Tuple[int, int]]],
+                    max_units: Optional[int] = None
                     ) -> Optional[Tuple[Job, Tuple[int, int]]]:
         """Lease the next unit shard for a pull-based worker.
 
@@ -455,8 +456,10 @@ class JobStore:
         pipeline job, which only the in-process scheduler runs) and its
         shard rows are created on first claim.  Expired leases are
         reaped first, so a dead worker's shard is handed out by the very
-        next claim.  Returns ``(job, (lo, hi))`` or ``None`` when no
-        claimable work exists.
+        next claim.  ``max_units`` caps the claim for workers that pace
+        themselves from units/s telemetry: a wider shard is split, the
+        remainder re-queued for the next claim.  Returns
+        ``(job, (lo, hi))`` or ``None`` when no claimable work exists.
         """
         now = time.time()
         with self._connect() as conn:
@@ -475,6 +478,15 @@ class JobStore:
                 return None
             job_id, lo, hi = int(row["job_id"]), int(row["lo"]), \
                 int(row["hi"])
+            if max_units is not None and hi - lo > max(1, int(max_units)):
+                split = lo + max(1, int(max_units))
+                conn.execute(
+                    "UPDATE shards SET hi = ? WHERE job_id = ? AND lo = ?",
+                    (split, job_id, lo))
+                conn.execute(
+                    "INSERT INTO shards (job_id, lo, hi, state) "
+                    "VALUES (?, ?, ?, 'queued')", (job_id, split, hi))
+                hi = split
             conn.execute(
                 "UPDATE shards SET state = 'leased', worker = ?, "
                 "lease_expires_at = ? WHERE job_id = ? AND lo = ?",
@@ -515,6 +527,34 @@ class JobStore:
                 "AND state = 'queued' ORDER BY lo LIMIT 1",
                 (job_id,)).fetchone()
         return None
+
+    def extend_shards(self, job_id: int, total: int,
+                      per_claim: int) -> int:
+        """Append queued shard rows covering ``[covered, total)``.
+
+        The moving-horizon half of adaptive sharded jobs: when the
+        journal tallies say the stop rule needs more units than the
+        shard table covers, new claimable rows are appended for the
+        extension.  Existing rows — done or in flight — are untouched,
+        and a *total* the table already covers is a no-op.  Returns the
+        number of rows added.
+        """
+        per_claim = max(1, int(per_claim))
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT MAX(hi) AS hi FROM shards WHERE job_id = ?",
+                (int(job_id),)).fetchone()
+            covered = int(row["hi"] or 0)
+            added = 0
+            for lo in range(covered, int(total), per_claim):
+                conn.execute(
+                    "INSERT INTO shards (job_id, lo, hi, state) "
+                    "VALUES (?, ?, ?, 'queued')",
+                    (int(job_id), lo, min(lo + per_claim, int(total))))
+                added += 1
+            conn.execute("COMMIT")
+        return added
 
     def complete_shard(self, job_id: int, lo: int, worker: str,
                        units: int = 0) -> bool:

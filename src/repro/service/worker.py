@@ -53,13 +53,20 @@ class CampaignWorker:
     undersized lease is safe — the shard is re-issued to another worker
     and this one's late delivery is rejected with a 409 — but the work
     is executed twice.
+
+    Claims are self-paced: after the first delivered shard the worker
+    knows its seconds-per-unit and caps every further claim
+    (``max_units``) so one claim spans about ``claim_seconds`` of work
+    — a slow machine claims narrow shards and stops starving faster
+    fleet members, see :meth:`target_units`.
     """
 
     def __init__(self, url: str, name: Optional[str] = None,
                  lease_seconds: float = 30.0,
                  poll_interval: float = 1.0,
                  quiet: bool = True,
-                 http_timeout: float = 30.0) -> None:
+                 http_timeout: float = 30.0,
+                 claim_seconds: Optional[float] = None) -> None:
         if lease_seconds <= 0:
             raise ServiceError("lease_seconds must be positive")
         self.client = ServiceClient(url, timeout=http_timeout)
@@ -67,10 +74,40 @@ class CampaignWorker:
         self.lease_seconds = float(lease_seconds)
         self.poll_interval = float(poll_interval)
         self.quiet = quiet
+        #: target wall clock per claim; claims are sized so
+        #: ``units * seconds-per-unit`` stays near it
+        self.claim_seconds = float(claim_seconds
+                                   if claim_seconds is not None
+                                   else lease_seconds)
+        #: EMA of seconds per work unit, from delivered shards
+        self._unit_seconds: Optional[float] = None
 
     def _log(self, message: str) -> None:
         if not self.quiet:
             print(f"[worker {self.name}] {message}", flush=True)
+
+    def target_units(self) -> Optional[int]:
+        """How many units the next claim should span (None: no cap yet).
+
+        Adapts the claim width to this machine's measured pace: until a
+        shard has been delivered there is no telemetry and the claim
+        takes whatever the service hands out; afterwards the cap keeps
+        one claim near ``claim_seconds`` of work, so slow units shrink
+        the claim (and fast ones let the service's shard width stand).
+        """
+        if not self._unit_seconds or self._unit_seconds <= 0:
+            return None
+        return max(1, int(self.claim_seconds / self._unit_seconds))
+
+    def _observe_units(self, units: int, elapsed: float) -> None:
+        """Fold one delivered shard into the units/s telemetry (EMA)."""
+        if units <= 0 or elapsed <= 0:
+            return
+        per_unit = elapsed / units
+        if self._unit_seconds is None:
+            self._unit_seconds = per_unit
+        else:
+            self._unit_seconds = (self._unit_seconds + per_unit) / 2.0
 
     # -- one claim ----------------------------------------------------------
     def run_once(self) -> Optional[dict]:
@@ -83,7 +120,8 @@ class CampaignWorker:
         expired mid-shard) or ``failed`` (the campaign raised; the job
         was failed via the service).
         """
-        claim = self.client.claim(self.name, self.lease_seconds)
+        claim = self.client.claim(self.name, self.lease_seconds,
+                                  max_units=self.target_units())
         if claim is None:
             return None
         job = claim["job"]
@@ -118,6 +156,7 @@ class CampaignWorker:
                 return True
             return False
 
+        started = time.monotonic()
         try:
             reports = run_job_units(job["kind"], job["params"], lo, hi,
                                     cancel=cancel)
@@ -139,6 +178,7 @@ class CampaignWorker:
                 pass  # someone else already settled the job
             self._log(f"job {job_id} failed: {exc}")
             return dict(summary, outcome="failed", error=str(exc))
+        self._observe_units(hi - lo, time.monotonic() - started)
         try:
             delivered = self.client.post_units(job_id, self.name, lo,
                                                reports)

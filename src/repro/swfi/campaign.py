@@ -158,11 +158,11 @@ class PVFReport:
                             ) -> "tuple[float, float]":
         """CI half-width bounds on the PVF (paper: 95% CI < 5%).
 
-        A zero-injection report has no interval; (0, 0) keeps empty
-        campaigns (``--injections 0``) renderable.
+        A zero-injection report yields the uninformative ``(0.0, 1.0)``
+        (from :func:`wilson_interval`), which keeps empty campaigns
+        (``--injections 0``) renderable and lets adaptive controllers
+        treat unwarmed cells without special-casing.
         """
-        if self.n_injections == 0:
-            return (0.0, 0.0)
         return proportion_confidence_interval(
             self.n_sdc, self.n_injections, confidence)
 

@@ -1,0 +1,1 @@
+"""Adaptive campaign control: sequential sampling, early stopping."""

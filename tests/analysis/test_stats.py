@@ -66,11 +66,17 @@ class TestWilson:
         lo, hi = proportion_confidence_interval(3000, 6000)
         assert hi - lo < 0.05
 
+    def test_zero_trials_uninformative(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        assert proportion_confidence_interval(0, 0) == (0.0, 1.0)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             wilson_interval(1, 0)
         with pytest.raises(ValueError):
             wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(0, -1)
 
 
 class TestLogHistogram:

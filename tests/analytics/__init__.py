@@ -1,0 +1,1 @@
+"""SDC pattern analytics over campaign reports."""

@@ -1,0 +1,151 @@
+"""SDC pattern mining: bit helpers, section invariants, degeneracy.
+
+The golden-fixture test (tests/artifacts) pins the exact mined bytes of
+the sample report; here the mining is checked structurally, against
+campaign reports produced by the real RTL engine and against the bit
+arithmetic's ground truth (Python's arbitrary-precision ints).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import PatternReport, mine_patterns
+from repro.analytics.patterns import (
+    SPAN_CLASSES,
+    _floor_log2,
+    _popcount,
+)
+from repro.apps import make_application
+from repro.errors import CampaignError
+from repro.gpu import Opcode
+from repro.rtl import make_microbenchmark, run_campaign
+from repro.rtl.reports import CampaignReport
+from repro.swfi.campaign import run_pvf_campaign
+from repro.swfi.models import SingleBitFlip
+
+
+class TestBitHelpers:
+    def test_popcount_matches_python_ints(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**64, size=256, dtype=np.uint64)
+        expected = [bin(int(v)).count("1") for v in values]
+        assert _popcount(values).tolist() == expected
+
+    def test_popcount_empty(self):
+        assert _popcount(np.zeros(0, dtype=np.uint64)).tolist() == []
+
+    def test_floor_log2_matches_bit_length(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(1, 2**64, size=256, dtype=np.uint64)
+        expected = [int(v).bit_length() - 1 for v in values]
+        assert _floor_log2(values).tolist() == expected
+
+    def test_floor_log2_exact_at_word_boundaries(self):
+        # float64 rounding would misplace these without the split-halves
+        # trick: 2^53+1 is the first integer float64 cannot represent
+        values = np.array([1, 2**31, 2**32, 2**53 + 1, 2**63,
+                           2**64 - 1], dtype=np.uint64)
+        assert _floor_log2(values).tolist() == [0, 31, 32, 53, 63, 63]
+
+
+@pytest.fixture(scope="module")
+def rtl_report():
+    bench = make_microbenchmark(Opcode.FADD, "M", seed=3)
+    return run_campaign(bench, "fp32", 120, seed=3, batch_size=30)
+
+
+class TestRTLMining:
+    def test_sections_are_consistent_with_the_report(self, rtl_report):
+        mined = mine_patterns(rtl_report)
+        assert mined.source == "rtl"
+        assert mined.cell == {
+            "instruction": rtl_report.instruction,
+            "range": rtl_report.input_range,
+            "module": rtl_report.module,
+            "precision": rtl_report.precision,
+        }
+        assert mined.n_injections == rtl_report.n_injections
+        assert mined.n_sdc == rtl_report.n_sdc
+
+    def test_spatial_tallies_add_up(self, rtl_report):
+        spatial = mine_patterns(rtl_report).spatial
+        assert spatial["n_events"] == rtl_report.n_sdc
+        # every changed value is single- or multi-bit, never both
+        assert spatial["single_bit"] + spatial["multi_bit"] == \
+            spatial["n_changed_values"]
+        assert spatial["n_changed_values"] <= spatial["n_values"]
+        assert sum(spatial["bit_histogram"].values()) == \
+            spatial["single_bit"]
+        # locality counters only cover multi-bit corruptions, and
+        # within-byte implies within-word
+        assert spatial["byte_local_multi"] <= spatial["word_local_multi"]
+        assert spatial["word_local_multi"] <= spatial["multi_bit"]
+        # the span classes partition the SDC events
+        assert set(spatial["span"]) == set(SPAN_CLASSES)
+        assert sum(spatial["span"].values()) == spatial["n_events"]
+        if spatial["n_changed_values"]:
+            assert spatial["mean_flipped_bits"] > 0.0
+
+    def test_temporal_bins_cover_every_sdc(self, rtl_report):
+        temporal = mine_patterns(rtl_report).temporal
+        assert temporal["n_events"] == rtl_report.n_sdc
+        assert sum(temporal["bins"]) == temporal["n_events"]
+        assert sum(c["events"] for c in temporal["clusters"]) == \
+            temporal["n_events"]
+        if temporal["n_events"]:
+            assert temporal["cycle_min"] <= temporal["cycle_max"]
+            for cluster in temporal["clusters"]:
+                assert cluster["cycle_lo"] <= cluster["cycle_hi"]
+
+    def test_signatures_share_sums_to_one(self, rtl_report):
+        signatures = mine_patterns(rtl_report).signatures
+        assert signatures, "the 120-fault FADD campaign must see SDCs"
+        assert sum(s["sdc"] for s in signatures) == rtl_report.n_sdc
+        assert sum(s["share"] for s in signatures) == pytest.approx(1.0)
+        # a single-cell campaign has a single signature key
+        (signature,) = signatures
+        assert signature["opcode"] == rtl_report.instruction
+        assert signature["range"] == rtl_report.input_range
+        assert signature["module"] == rtl_report.module
+
+    def test_round_trips_through_the_artifact_envelope(self, rtl_report):
+        mined = mine_patterns(rtl_report)
+        assert PatternReport.from_dict(mined.to_dict()) == mined
+
+    def test_empty_report_mines_to_zeros(self):
+        empty = CampaignReport(instruction="FADD", input_range="M",
+                               module="fp32", precision="fp32")
+        mined = mine_patterns(empty)
+        assert mined.n_sdc == 0
+        assert mined.spatial["n_events"] == 0
+        assert mined.spatial["bit_histogram"] == {}
+        assert mined.spatial["span"] == {name: 0
+                                         for name in SPAN_CLASSES}
+        assert mined.temporal == {"n_events": 0, "cycle_min": None,
+                                  "cycle_max": None, "bins": [],
+                                  "clusters": []}
+        assert mined.signatures == []
+
+
+class TestPVFMining:
+    def test_degrades_to_the_signature_table(self):
+        report = run_pvf_campaign(make_application("MxM", seed=5),
+                                  SingleBitFlip(), 30, seed=5,
+                                  batch_size=10)
+        mined = mine_patterns(report)
+        assert mined.source == "pvf"
+        assert mined.cell == {"app": "MxM", "model": "single-bit-flip"}
+        assert mined.spatial is None and mined.temporal is None
+        assert sum(s["sdc"] for s in mined.signatures) == report.n_sdc
+        by_opcode = {s["opcode"]: s for s in mined.signatures}
+        assert by_opcode.keys() == report.per_opcode_sdc.keys()
+        for opcode, signature in by_opcode.items():
+            assert signature["sdc"] == report.per_opcode_sdc[opcode]
+            assert signature["injections"] == \
+                report.per_opcode_injections.get(opcode, 0)
+            assert signature["range"] is None
+            assert signature["module"] is None
+
+    def test_unknown_report_type_rejected(self):
+        with pytest.raises(CampaignError):
+            mine_patterns({"not": "a report"})

@@ -88,6 +88,25 @@ class TestByteIdentity:
                 == len(report.general))
         assert len(report.detailed) == report.n_sdc
 
+    def test_pattern_report_fixture_matches_mining(self):
+        """Mining the rtl_report fixture reproduces the pinned pattern
+        report byte for byte — the analytics counterpart of the schema
+        fingerprint pin."""
+        from repro.analytics import mine_patterns
+        from repro.artifacts import dump_artifact
+
+        report = CampaignReport.from_json(_fixture_text("rtl_report.json"))
+        payload = dump_artifact("pattern-report", mine_patterns(report))
+        assert (json.dumps(payload) + "\n"
+                == _fixture_text("pattern_report.json"))
+
+    def test_pattern_report_round_trips(self):
+        from repro.artifacts import dump_artifact
+
+        raw = json.loads(_fixture_text("pattern_report.json"))
+        obj = load_artifact("pattern-report", raw)
+        assert dump_artifact("pattern-report", obj) == raw
+
     def test_journal_header_loads(self):
         header = json.loads(
             _fixture_text("rtl_journal.jsonl").splitlines()[0])

@@ -139,11 +139,24 @@ def job_fixture() -> None:
     _write("job_record.json", json.dumps(payload, indent=2) + "\n")
 
 
+def pattern_fixture() -> None:
+    """Pattern-report golden: mined from the rtl_report fixture."""
+    from repro.analytics import mine_patterns
+    from repro.artifacts import dump_artifact
+    from repro.rtl.reports import CampaignReport
+
+    report = CampaignReport.from_dict(
+        json.loads((HERE / "rtl_report.json").read_text()))
+    payload = dump_artifact("pattern-report", mine_patterns(report))
+    _write("pattern_report.json", json.dumps(payload) + "\n")
+
+
 def main() -> None:
     rtl_fixtures()
     pvf_fixtures()
     syndrome_fixture()
     job_fixture()
+    pattern_fixture()
 
 
 if __name__ == "__main__":

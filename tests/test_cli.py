@@ -165,6 +165,81 @@ class TestStats:
         assert main(["stats", str(tmp_path)]) == 2
         assert "repro stats:" in capsys.readouterr().err
 
+    def test_stats_json_emits_the_raw_payloads(self, capsys, tmp_path):
+        import json
+
+        from repro.campaign import CampaignMetrics
+
+        metrics = CampaignMetrics("rtl-grid")
+        metrics.record_unit(0, "FADD/M/fp32 [0]", size=5)
+        metrics.save(tmp_path / "rtl_grid.metrics.json")
+        assert main(["stats", str(tmp_path), "--json"]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert [p["stage"] for p in payloads] == ["rtl-grid"]
+        assert payloads[0]["units"][0]["index"] == 0
+
+
+class TestAdaptivePVF:
+    def test_target_ci_stops_early_and_reports_the_decision(
+            self, capsys):
+        assert main(["pvf", "--app", "MxM", "--model", "bitflip",
+                     "--injections", "100", "--target-ci", "0.9",
+                     "--min-per-cell", "30", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        # default batch size 50: the warm-up horizon is one whole unit
+        assert "adaptive: 50/100 injections in 1 round(s)" in out
+        assert "converged" in out
+
+
+class TestPatterns:
+    def _rtl_report_file(self, tmp_path):
+        import json
+
+        from repro.artifacts import dump_artifact
+        from repro.gpu import Opcode
+        from repro.rtl import make_microbenchmark, run_campaign
+
+        bench = make_microbenchmark(Opcode.FADD, "M", seed=3)
+        report = run_campaign(bench, "fp32", 60, seed=3, batch_size=20)
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(dump_artifact("rtl-report", report)))
+        return path, report
+
+    def test_patterns_mines_an_rtl_report(self, capsys, tmp_path):
+        import json
+
+        from repro.analytics import mine_patterns
+        from repro.artifacts import load_artifact
+
+        path, report = self._rtl_report_file(tmp_path)
+        assert main(["patterns", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "pattern-report"
+        assert load_artifact("pattern-report", payload) == \
+            mine_patterns(report)
+
+    def test_patterns_output_flag_writes_a_file(self, capsys, tmp_path):
+        import json
+
+        path, _ = self._rtl_report_file(tmp_path)
+        out_path = tmp_path / "patterns.json"
+        assert main(["patterns", str(path),
+                     "--output", str(out_path)]) == 0
+        assert "saved" in capsys.readouterr().out
+        assert json.loads(
+            out_path.read_text())["kind"] == "pattern-report"
+
+    def test_patterns_rejects_a_non_report(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{\"hello\": 1}")
+        assert main(["patterns", str(path)]) == 2
+        assert "not a pvf/rtl campaign report" in \
+            capsys.readouterr().err
+
+    def test_patterns_rejects_unreadable_input(self, capsys, tmp_path):
+        assert main(["patterns", str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
 
 class TestVersion:
     def test_version_flag(self, capsys):
