@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-swfi bench-rtl bench-artifacts \
-	bench-adaptive db examples clean
+	bench-adaptive bench-faultmodels db examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,10 @@ bench-artifacts:
 
 bench-adaptive:
 	$(PYTHON) -m pytest benchmarks/bench_adaptive.py \
+		--benchmark-only -q
+
+bench-faultmodels:
+	$(PYTHON) -m pytest benchmarks/bench_fault_models.py \
 		--benchmark-only -q
 
 db:

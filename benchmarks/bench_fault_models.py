@@ -1,0 +1,115 @@
+"""Fault-model throughput: transient vs stuck-at vs burst injection.
+
+The pluggable fault-model layer routes each model down a different
+engine path — transients ride the vectorized replay engine, bursts run
+guarded scalar simulations, and permanent stuck-at defects run one full
+simulation per (fault, application) pair with the plane interposing on
+every write.  This benchmark measures injected faults/second for each
+model on the scheduler module (the paper's hardest structural target)
+so regressions in any one path are visible in isolation.
+
+Emits ``BENCH_fault_models.json`` under ``benchmarks/output/`` with the
+per-model throughput table; the only hard assertions are determinism
+(same seed, same report) and that every model actually completed its
+campaign — relative speeds vary too much across hosts to pin.
+"""
+
+import json
+import time
+
+from repro.rtl import (
+    RTLInjector,
+    make_tmxm_bench,
+    run_campaign,
+    run_signature_campaign,
+)
+
+from conftest import OUTPUT_DIR, emit, scaled
+
+MODULE = "scheduler"
+TILE = "Random"
+SEED = 2021
+
+
+def _measure(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_fault_model_throughput(benchmark):
+    injector = RTLInjector()
+    bench = make_tmxm_bench(TILE, seed=SEED)
+    n_transient = scaled(150, minimum=60)
+    n_burst = scaled(150, minimum=60)
+    n_stuck = scaled(12, minimum=6)  # x len(app suite) simulations
+
+    transient, transient_s = _measure(lambda: run_campaign(
+        bench, MODULE, n_transient, seed=SEED, injector=injector))
+    burst, burst_s = _measure(lambda: run_campaign(
+        bench, MODULE, n_burst, seed=SEED, injector=injector,
+        fault_model="burst"))
+
+    timing = {}
+
+    def _stuck():
+        t0 = time.perf_counter()
+        report = run_signature_campaign(MODULE, n_stuck, seed=SEED,
+                                        injector=injector)
+        timing["seconds"] = time.perf_counter() - t0
+        return report
+
+    stuck = benchmark.pedantic(_stuck, rounds=1, iterations=1)
+    stuck_s = timing["seconds"]
+    stuck_units = stuck.n_records
+
+    # determinism: the benchmark must not perturb campaign output
+    again = run_signature_campaign(MODULE, n_stuck, seed=SEED,
+                                   injector=injector)
+    assert again.to_dict() == stuck.to_dict()
+    assert transient.n_injections == n_transient
+    assert burst.n_injections == n_burst
+
+    rows = {
+        "transient": {
+            "faults": n_transient,
+            "simulations": n_transient,
+            "seconds": round(transient_s, 3),
+            "faults_per_second": round(n_transient / transient_s, 1),
+        },
+        "stuck-at": {
+            "faults": n_stuck,
+            "apps": list(stuck.apps),
+            "simulations": stuck_units,
+            "seconds": round(stuck_s, 3),
+            "faults_per_second": round(n_stuck / stuck_s, 1),
+            "units_per_second": round(stuck_units / stuck_s, 1),
+        },
+        "burst": {
+            "faults": n_burst,
+            "simulations": n_burst,
+            "seconds": round(burst_s, 3),
+            "faults_per_second": round(n_burst / burst_s, 1),
+        },
+    }
+    record = {
+        "bench": "fault-models",
+        "module": MODULE,
+        "tile": TILE,
+        "seed": SEED,
+        "models": rows,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_fault_models.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    lines = [f"Fault-model throughput — {MODULE} module, seed {SEED}"]
+    for model, row in rows.items():
+        extra = (f" ({row['simulations']} sims, "
+                 f"{row.get('units_per_second', row['faults_per_second'])}"
+                 f" sims/s)" if model == "stuck-at" else "")
+        lines.append(
+            f"  {model:<10} {row['faults']:4d} faults in "
+            f"{row['seconds']:7.2f}s  "
+            f"{row['faults_per_second']:8.1f} faults/s{extra}")
+    emit("bench_fault_models", "\n".join(lines))

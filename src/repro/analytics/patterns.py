@@ -285,16 +285,64 @@ def _mine_pvf(report) -> PatternReport:
     )
 
 
+def _mine_signature(report) -> PatternReport:
+    """Permanent-fault signature reports mine into per-app tables.
+
+    A signature campaign has no fire cycles (the defect is always
+    active) and no raw corrupted words, so the spatial/temporal sections
+    degrade like PVF; the signature table is per application of the
+    suite, plus the cross-app outcome-tuple histogram — the
+    permanent-fault analogue of the per-cell SDC signature.
+    """
+    summary = report.per_app_summary()
+    total = max(sum(row["sdc"] for row in summary.values()), 1)
+    signatures = [
+        {
+            "opcode": None,
+            "range": None,
+            "module": report.module,
+            "app": app,
+            "sdc": int(row["sdc"]),
+            "due": int(row["due"]),
+            "masked": int(row["masked"]),
+            "corrupted_values": int(row["n_corrupted_values"]),
+            "share": int(row["sdc"]) / total,
+        }
+        for app, row in summary.items()
+    ]
+    signatures.sort(key=lambda s: (-s["sdc"], str(s["app"])))
+    spatial = {
+        "signature_histogram": [
+            {"outcomes": list(key), "faults": int(count)}
+            for key, count in sorted(report.distinct_signatures().items(),
+                                     key=lambda kv: (-kv[1], kv[0]))
+        ],
+    }
+    return PatternReport(
+        source="signature",
+        cell={"module": report.module, "fault_model": report.fault_model},
+        n_injections=report.n_records,
+        n_sdc=sum(row["sdc"] for row in summary.values()),
+        spatial=spatial,
+        temporal=None,
+        signatures=signatures,
+    )
+
+
 def mine_patterns(report) -> PatternReport:
     """Mine the SDC patterns of an RTL :class:`~repro.rtl.reports.
-    CampaignReport` or a SWFI :class:`~repro.swfi.campaign.PVFReport`."""
+    CampaignReport`, a SWFI :class:`~repro.swfi.campaign.PVFReport`, or
+    a permanent-fault :class:`~repro.rtl.signatures.SignatureReport`."""
     from ..rtl.reports import CampaignReport
+    from ..rtl.signatures import SignatureReport
     from ..swfi.campaign import PVFReport
 
     if isinstance(report, CampaignReport):
         return _mine_rtl(report)
     if isinstance(report, PVFReport):
         return _mine_pvf(report)
+    if isinstance(report, SignatureReport):
+        return _mine_signature(report)
     raise CampaignError(
         f"cannot mine patterns from {type(report).__name__}; "
-        f"expected CampaignReport or PVFReport")
+        f"expected CampaignReport, PVFReport or SignatureReport")

@@ -4,6 +4,8 @@
 kind                 version  payload
 ===================  =======  ==================================================
 ``rtl-report``       1        one RTL campaign cell's general + detailed records
+``signature-report`` 1        per-application error signatures of one
+                              permanent-fault campaign
 ``pvf-report``       1        one SWFI campaign's PVF tallies
 ``pattern-report``   1        mined SDC patterns (spatial / temporal /
                               signature sections) of one campaign report
@@ -45,6 +47,7 @@ from ..rtl.reports import (
     FaultDescriptor,
     GeneralRecord,
 )
+from ..rtl.signatures import SignatureRecord, SignatureReport
 from ..service.store import Job
 from ..swfi.campaign import PVFReport
 from ..syndrome.database import SyndromeDatabase
@@ -196,6 +199,81 @@ def _sample_rtl_report() -> CampaignReport:
         fault=faults[1], opcode="FADD", input_range="M", value_kind="f32",
         corrupted=(CorruptedValue(0, 64, 0x3F800000, 0x3F800001),
                    CorruptedValue(1, 65, 0x40000000, 0x00000000))))
+    return report
+
+
+# -- signature-report ---------------------------------------------------------
+def _dump_signature_record(record: SignatureRecord) -> dict:
+    return {
+        "fault_index": int(record.fault_index),
+        "app": record.app,
+        "fault": dict(record.fault),
+        "outcome": record.outcome.value,
+        "fault_fired": bool(record.fault_fired),
+        "due_reason": record.due_reason,
+        "n_corrupted_values": int(record.n_corrupted_values),
+        "n_corrupted_threads": int(record.n_corrupted_threads),
+        # JSON keys are strings; sorted so equal histograms dump equal
+        "corruption": {str(k): int(v) for k, v in
+                       sorted(record.corruption.items())},
+    }
+
+
+def _load_signature_record(data: dict) -> SignatureRecord:
+    return SignatureRecord(
+        fault_index=int(data["fault_index"]),
+        app=data["app"],
+        fault=dict(data["fault"]),
+        outcome=Outcome(data["outcome"]),
+        fault_fired=bool(data.get("fault_fired", True)),
+        due_reason=data.get("due_reason"),
+        n_corrupted_values=int(data.get("n_corrupted_values", 0)),
+        n_corrupted_threads=int(data.get("n_corrupted_threads", 0)),
+        corruption={int(k): int(v)
+                    for k, v in data.get("corruption", {}).items()},
+    )
+
+
+def _dump_signature_report(report: SignatureReport) -> dict:
+    return {
+        "module": report.module,
+        "fault_model": report.fault_model,
+        "n_faults": int(report.n_faults),
+        "apps": list(report.apps),
+        "seed": int(report.seed),
+        "records": [_dump_signature_record(r) for r in report.records],
+    }
+
+
+def _load_signature_report(data: dict) -> SignatureReport:
+    return SignatureReport(
+        module=data["module"],
+        fault_model=data["fault_model"],
+        n_faults=int(data["n_faults"]),
+        apps=list(data.get("apps", [])),
+        seed=int(data.get("seed", 0)),
+        records=[_load_signature_record(r)
+                 for r in data.get("records", [])],
+    )
+
+
+def _sample_signature_report() -> SignatureReport:
+    fault = {
+        "model": "stuck-at",
+        "flipflop": {"module": "scheduler", "name": "warp.state",
+                     "width": 8, "lane": -1, "kind": "control"},
+        "bit": 3, "stuck_at": 1, "n_bits": 1, "cycle": 0,
+    }
+    report = SignatureReport(module="scheduler", fault_model="stuck-at",
+                             n_faults=1, apps=["tmxm/Max", "FADD/M"],
+                             seed=7)
+    report.add(SignatureRecord(
+        fault_index=0, app="tmxm/Max", fault=fault, outcome=Outcome.SDC,
+        n_corrupted_values=3, n_corrupted_threads=2,
+        corruption={1: 2, 24: 1}))
+    report.add(SignatureRecord(
+        fault_index=0, app="FADD/M", fault=fault, outcome=Outcome.DUE,
+        due_reason="GpuHangError: watchdog expired"))
     return report
 
 
@@ -475,6 +553,11 @@ register_schema(ArtifactSchema(
     kind="rtl-report", version=1,
     dump=_dump_rtl_report, load=_load_rtl_report,
     sample=_sample_rtl_report))
+
+register_schema(ArtifactSchema(
+    kind="signature-report", version=1,
+    dump=_dump_signature_report, load=_load_signature_report,
+    sample=_sample_signature_report))
 
 register_schema(ArtifactSchema(
     kind="pvf-report", version=1,

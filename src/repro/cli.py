@@ -48,6 +48,7 @@ from .rtl import (
     make_microbenchmark,
     make_tmxm_bench,
     run_campaign,
+    run_signature_campaign,
 )
 from .syndrome.builder import tmxm_entry_from_report
 
@@ -80,18 +81,25 @@ def _cmd_inventory(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     injector = RTLInjector() if args.jobs == 1 else None
-    bench = make_microbenchmark(Opcode(args.opcode), args.range,
-                                seed=args.seed, precision=args.precision)
     module = args.module
     if module == "fp32" and args.precision != "fp32":
         # follow the float datapath the precision selects
         module = args.precision
+    if args.fault_model == "stuck-at":
+        return _run_signature_cli(args, module, injector)
+    bench = make_microbenchmark(Opcode(args.opcode), args.range,
+                                seed=args.seed, precision=args.precision)
     report = run_campaign(bench, module, args.faults, seed=args.seed,
                           injector=injector, n_jobs=args.jobs,
                           batch_size=args.batch_size,
+                          fault_model=args.fault_model,
+                          burst_width=args.burst_width,
+                          burst_window=args.burst_window,
                           progress=make_progress(
                               None, "campaign", quiet=args.quiet))
-    print(f"{args.opcode} x {module} ({args.range} inputs, "
+    label = ("" if args.fault_model == "transient"
+             else f" [{args.fault_model}]")
+    print(f"{args.opcode} x {module}{label} ({args.range} inputs, "
           f"{args.faults} faults, seed {args.seed})")
     print(f"  masked {report.n_masked}  SDC {report.n_sdc} "
           f"(single {report.n_sdc_single} / multi {report.n_sdc_multiple})"
@@ -102,6 +110,36 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.attribution:
         print()
         print(render_attribution(attribute_outcomes([report])))
+    return 0
+
+
+def _run_signature_cli(args: argparse.Namespace, module: str,
+                       injector) -> int:
+    report = run_signature_campaign(
+        module, args.faults, seed=args.seed, apps=args.apps,
+        injector=injector, n_jobs=args.jobs,
+        progress=make_progress(None, "signature", quiet=args.quiet))
+    print(f"stuck-at x {module} ({report.n_faults} faults x "
+          f"{len(report.apps)} apps, seed {args.seed})")
+    for app, row in report.per_app_summary().items():
+        print(f"  {app:<14} masked {row['masked']:>4}  "
+              f"SDC {row['sdc']:>4}  DUE {row['due']:>4}  "
+              f"corrupted values {row['n_corrupted_values']}")
+    print("  distinct signatures "
+          f"({' | '.join(report.apps)}):")
+    signatures = sorted(report.distinct_signatures().items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+    for outcomes, count in signatures:
+        print(f"    {count:>4} x {' | '.join(outcomes)}")
+    if args.output:
+        import json as _json
+
+        from .artifacts import dump_artifact
+
+        payload = dump_artifact("signature-report", report)
+        Path(args.output).write_text(
+            _json.dumps(payload, indent=2) + "\n")
+        print(f"  signature report -> {args.output}")
     return 0
 
 
@@ -363,6 +401,7 @@ _SUBMIT_PARAMS = ("seed", "jobs", "batch_size", "timeout", "budget",
                   "app", "model", "injections", "opcode", "module",
                   "range", "faults", "apps", "models", "opcodes",
                   "grid_faults", "tmxm_faults", "precision",
+                  "fault_model", "burst_width", "burst_window",
                   "units_per_claim", "target_ci", "strategy",
                   "min_per_cell")
 
@@ -553,6 +592,27 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--range", default="M", choices=["S", "M", "L"])
     campaign.add_argument("--faults", type=int, default=500)
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--fault-model", default="transient",
+                          choices=["transient", "stuck-at", "burst"],
+                          help="what each injected fault does: one-shot "
+                               "bit flips (default), permanent stuck-at "
+                               "defects (per-app error signatures), or "
+                               "multi-bit burst strikes")
+    campaign.add_argument("--apps", nargs="+", default=None,
+                          metavar="APP",
+                          help="stuck-at campaigns: the application "
+                               "suite characterising each defect "
+                               "('tmxm/<Tile>' or '<OPCODE>/<RANGE>'; "
+                               "default: the module's suite)")
+    campaign.add_argument("--burst-width", type=int, default=4,
+                          help="burst campaigns: bits flipped per "
+                               "strike (default 4)")
+    campaign.add_argument("--burst-window", type=int, default=4,
+                          help="burst campaigns: cycles the strike "
+                               "window stays open (default 4)")
+    campaign.add_argument("--output", "-o", default=None,
+                          help="stuck-at campaigns: also write the "
+                               "signature-report artifact here")
     campaign.add_argument("--attribution", action="store_true",
                           help="print the per-register attribution")
     campaign.set_defaults(func=_cmd_campaign)
@@ -751,8 +811,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rtl jobs")
     submit.add_argument("--faults", type=int, default=None,
                         help="rtl jobs")
+    submit.add_argument("--fault-model", default=None,
+                        choices=["transient", "stuck-at", "burst"],
+                        help="rtl jobs (default transient; stuck-at "
+                             "runs a per-app signature campaign)")
+    submit.add_argument("--burst-width", type=int, default=None,
+                        help="rtl burst jobs: bits per strike")
+    submit.add_argument("--burst-window", type=int, default=None,
+                        help="rtl burst jobs: strike window cycles")
     submit.add_argument("--apps", nargs="+", default=None,
-                        help="pipeline jobs")
+                        help="pipeline jobs; rtl stuck-at jobs "
+                             "('tmxm/<Tile>' or '<OPCODE>/<RANGE>')")
     submit.add_argument("--models", nargs="+", default=None,
                         choices=["bitflip", "syndrome"],
                         help="pipeline jobs")
@@ -805,7 +874,7 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("id", help="job id")
     fetch.add_argument("artifact",
                        choices=["report", "metrics", "syndromes",
-                                "patterns"])
+                                "patterns", "signature"])
     fetch.add_argument("--output", "-o", default=None,
                        help="write to this file instead of stdout")
     fetch.set_defaults(func=_cmd_fetch)

@@ -17,7 +17,9 @@ from .bits import (
     float_to_bits,
     int_to_bits,
 )
-from .fault_plane import FaultPlane, FlipFlop, ModuleName, TransientFault
+from .fault_plane import (FAULT_MODELS, FaultModel, FaultPlane, FlipFlop,
+                          ModuleName, StuckAtFault, TargetedBurst,
+                          TransientFault)
 from .isa import (
     CHARACTERIZED_OPCODES,
     CompareOp,
@@ -44,6 +46,10 @@ __all__ = [
     "FlipFlop",
     "ModuleName",
     "TransientFault",
+    "StuckAtFault",
+    "TargetedBurst",
+    "FaultModel",
+    "FAULT_MODELS",
     "CHARACTERIZED_OPCODES",
     "CompareOp",
     "Immediate",

@@ -26,7 +26,7 @@ from ..errors import (
     RegisterFaultError,
 )
 from .bits import MASK32, bits_to_float, bits_to_int, float_to_bits
-from .fault_plane import FaultPlane, TransientFault
+from .fault_plane import FaultModel, FaultPlane
 from .isa import CompareOp, Instruction, Opcode, OperandKind
 from .memory import GlobalMemory, RegisterFile
 from .pipeline import DecodedControl, PipelineRegisters
@@ -125,7 +125,7 @@ class StreamingMultiprocessor:
         n_threads: int,
         memory_image: Optional[Dict[int, Sequence[int]]] = None,
         initial_registers: Optional[Dict[int, Sequence[int]]] = None,
-        fault: Optional[TransientFault] = None,
+        fault: Optional[FaultModel] = None,
         max_cycles: int = 100_000,
         trace: bool = False,
         recorder: Optional[GoldenTraceRecorder] = None,

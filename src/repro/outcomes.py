@@ -13,9 +13,9 @@ definition; :mod:`repro.rtl.classify` re-exports it for compatibility.
 from __future__ import annotations
 
 import enum
-from typing import Tuple
+from typing import Dict, Iterable, Tuple
 
-__all__ = ["Outcome", "outcome_attrs"]
+__all__ = ["Outcome", "outcome_attrs", "tally_outcomes"]
 
 
 class Outcome(enum.Enum):
@@ -36,3 +36,15 @@ def outcome_attrs() -> Tuple[Tuple[str, str], ...]:
     of maintaining its own copy of the taxonomy.
     """
     return tuple((o.value, f"n_{o.value}") for o in Outcome)
+
+
+def tally_outcomes(outcomes: Iterable["Outcome"]) -> Dict[str, int]:
+    """Count outcomes into a complete ``{value: count}`` table.
+
+    Every taxonomy bucket is present (zero if unseen), in taxonomy
+    order, so tallies from different sources always align key-for-key.
+    """
+    tally = {o.value: 0 for o in Outcome}
+    for outcome in outcomes:
+        tally[outcome.value] += 1
+    return tally

@@ -8,11 +8,12 @@ child seeds for sub-campaigns without correlating their streams.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn_seeds", "spawn_seed_range"]
+__all__ = ["make_rng", "spawn_seeds", "spawn_seed_range", "namespace_seed"]
 
 
 def make_rng(seed: int) -> np.random.Generator:
@@ -44,3 +45,21 @@ def spawn_seed_range(seed: int, start: int, count: int) -> List[int]:
     seq = np.random.SeedSequence(seed)
     children = seq.spawn(start + count)[start:]
     return [int(s.generate_state(1)[0]) for s in children]
+
+
+def namespace_seed(seed: int, namespace: str) -> int:
+    """Derive a seed for *namespace* that is independent of the parent.
+
+    Namespaced streams live in a spawn-key branch of the parent
+    ``SeedSequence`` keyed by a hash of the namespace string, disjoint
+    from the indexed children of :func:`spawn_seeds`.  Samplers that
+    arrived later than an existing campaign family (e.g. stuck-at
+    fault-list generation next to the original transient lists) draw
+    from their own namespace, so adding them to a grid never shifts the
+    streams — and hence the byte-level reports — of the existing cells.
+    """
+    digest = hashlib.sha256(namespace.encode("utf-8")).digest()
+    spawn_key = tuple(
+        int.from_bytes(digest[i:i + 4], "little") for i in range(0, 16, 4))
+    seq = np.random.SeedSequence(seed, spawn_key=spawn_key)
+    return int(seq.generate_state(1)[0])

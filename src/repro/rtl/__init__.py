@@ -3,13 +3,20 @@
 from .campaign import (
     MODULE_INSTRUCTIONS,
     TMXM_MODULES,
+    default_signature_apps,
     modules_for_opcode,
     run_campaign,
     run_grid,
+    run_signature_campaign,
     run_tmxm_grid,
 )
 from .classify import CorruptedValue, Outcome, RunClassification, classify_run
-from .faultlist import exhaustive_fault_list, generate_fault_list
+from .faultlist import (
+    exhaustive_fault_list,
+    exhaustive_stuck_at_list,
+    generate_fault_list,
+    generate_model_fault_list,
+)
 from .injector import GoldenRun, RTLInjector
 from .microbench import (
     INPUT_RANGES,
@@ -18,6 +25,7 @@ from .microbench import (
     all_microbenchmarks,
     make_microbenchmark,
 )
+from .signatures import SignatureRecord, SignatureReport
 from .store import CampaignStore
 from .reports import (
     CampaignReport,
@@ -42,15 +50,21 @@ __all__ = [
     "MODULE_INSTRUCTIONS",
     "TMXM_MODULES",
     "modules_for_opcode",
+    "default_signature_apps",
     "run_campaign",
     "run_grid",
+    "run_signature_campaign",
     "run_tmxm_grid",
     "CorruptedValue",
     "Outcome",
     "RunClassification",
     "classify_run",
     "exhaustive_fault_list",
+    "exhaustive_stuck_at_list",
     "generate_fault_list",
+    "generate_model_fault_list",
+    "SignatureRecord",
+    "SignatureReport",
     "GoldenRun",
     "RTLInjector",
     "INPUT_RANGES",

@@ -50,7 +50,13 @@ from ..campaign.telemetry import (
     resolve_metrics,
 )
 from ..errors import CampaignError
-from ..gpu.fault_plane import FaultPlane, ModuleName
+from ..gpu.fault_plane import (
+    FAULT_MODELS,
+    FaultModel,
+    FaultPlane,
+    ModuleName,
+    fault_to_dict,
+)
 from ..gpu.isa import (
     CHARACTERIZED_OPCODES,
     FP32_OPCODES,
@@ -61,19 +67,23 @@ from ..gpu.isa import (
 from ..gpu.sm import SMConfig
 from ..rng import spawn_seed_range, spawn_seeds
 from .classify import Outcome, RunClassification
-from .faultlist import generate_fault_list
+from .faultlist import generate_model_fault_list
 from .injector import RTLInjector
 from .microbench import INPUT_RANGES, Microbenchmark, make_microbenchmark
 from .reports import CampaignReport
+from .signatures import SignatureRecord, SignatureReport
 from .tmxm import TILE_KINDS, make_tmxm_bench
 
 __all__ = [
     "cell_checkpoint_header",
+    "default_signature_apps",
     "modules_for_opcode",
     "run_campaign",
     "run_campaign_units",
     "run_grid",
+    "run_signature_campaign",
     "run_tmxm_grid",
+    "signature_checkpoint_header",
     "MODULE_INSTRUCTIONS",
     "TMXM_MODULES",
 ]
@@ -161,11 +171,41 @@ class _BenchSpec:
 
 @dataclass(frozen=True)
 class _CellSpec:
-    """What one RTL work unit injects into: a workload x module pair."""
+    """What one RTL work unit injects into: a workload x module pair.
+
+    ``fault_model`` selects the injected model (default transient — the
+    byte-compatible historical campaign); the burst parameters are only
+    consulted by ``fault_model="burst"`` cells.
+    """
 
     bench: _BenchSpec
     module: str
     fault_kind: Optional[str] = None  # "data" | "control" | None (both)
+    fault_model: str = "transient"
+    burst_width: int = 4
+    burst_window: int = 4
+
+
+@dataclass(frozen=True)
+class _SignatureSpec:
+    """One (fault, application) unit of a permanent-fault campaign.
+
+    The fault list is a deterministic function of ``(module, fault_model,
+    list_seed, n_faults, fault_kind)``, so every worker regenerates the
+    identical list and indexes it with ``fault_index`` — the same
+    regenerate-don't-ship contract the transient units use for their
+    fault batches.
+    """
+
+    bench: _BenchSpec
+    app: str
+    apps: Tuple[str, ...]
+    fault_index: int
+    module: str
+    fault_model: str
+    fault_kind: Optional[str]
+    n_faults: int
+    list_seed: int
 
 
 # -- worker-local state ------------------------------------------------------
@@ -183,6 +223,7 @@ class _RTLWorkerState:
         self._golden: Dict[Tuple, Tuple[Microbenchmark, Any]] = {}
         self._vectorized = None
         self._prepared: Dict[Tuple, Any] = {}
+        self._signature_lists: Dict[Tuple, List[FaultModel]] = {}
 
     def bench_and_golden(self, spec: _BenchSpec):
         key = spec.cache_key
@@ -215,6 +256,23 @@ class _RTLWorkerState:
             self._prepared[key] = workload
             self._golden.setdefault(key, (bench, workload.golden))
         return self._prepared[key]
+
+    def signature_fault(self, spec: _SignatureSpec) -> FaultModel:
+        """One fault of the campaign's deterministic permanent-fault list.
+
+        A worker executes many (fault, app) units of the same campaign;
+        the list is generated once per worker and indexed per unit.
+        Permanent faults are active from cycle 0, so the list needs no
+        golden-run cycle domain.
+        """
+        key = (spec.module, spec.fault_model, spec.list_seed,
+               spec.n_faults, spec.fault_kind)
+        if key not in self._signature_lists:
+            self._signature_lists[key] = generate_model_fault_list(
+                self.injector.plane, spec.module, spec.n_faults,
+                total_cycles=1, seed=spec.list_seed,
+                fault_model=spec.fault_model, kind=spec.fault_kind)
+        return self._signature_lists[key][spec.fault_index]
 
 
 def _rtl_state(config: Optional[SMConfig] = None) -> _RTLWorkerState:
@@ -251,9 +309,13 @@ def _run_rtl_unit(state: _RTLWorkerState, unit: WorkUnit,
     if _vectorized_unit(spec.module, vectorize, timeout):
         workload = state.prepared(spec.bench)
         bench, golden = workload.bench, workload.golden
-        faults = generate_fault_list(
+        faults = generate_model_fault_list(
             state.injector.plane, spec.module, unit.size, golden.cycles,
-            seed=unit.seed, kind=spec.fault_kind)
+            seed=unit.seed, fault_model=spec.fault_model,
+            kind=spec.fault_kind, burst_width=spec.burst_width,
+            burst_window=spec.burst_window)
+        # non-transient models are routed to the scalar interpreter
+        # inside inject_batch; the batch call stays uniform here
         classifications = state.vectorized().inject_batch(
             workload, faults, timeout=timeout)
         report = CampaignReport(
@@ -271,9 +333,11 @@ def _run_rtl_unit(state: _RTLWorkerState, unit: WorkUnit,
             )
         return report
     bench, golden = state.bench_and_golden(spec.bench)
-    faults = generate_fault_list(
+    faults = generate_model_fault_list(
         state.injector.plane, spec.module, unit.size, golden.cycles,
-        seed=unit.seed, kind=spec.fault_kind)
+        seed=unit.seed, fault_model=spec.fault_model,
+        kind=spec.fault_kind, burst_width=spec.burst_width,
+        burst_window=spec.burst_window)
     report = CampaignReport(
         instruction=bench.opcode.value,
         input_range=bench.input_range,
@@ -298,6 +362,35 @@ def _run_rtl_unit(state: _RTLWorkerState, unit: WorkUnit,
             opcode=bench.opcode.value,
             value_kind=bench.value_kind,
         )
+    return report
+
+
+def _run_signature_unit(state: _RTLWorkerState, unit: WorkUnit,
+                        timeout: Optional[float] = None
+                        ) -> SignatureReport:
+    """Engine unit runner: one (fault, application) signature exercise."""
+    spec: _SignatureSpec = unit.spec
+    bench, golden = state.bench_and_golden(spec.bench)
+    fault = state.signature_fault(spec)
+    try:
+        with wall_clock_limit(timeout):
+            classification = state.injector.inject(bench, golden, fault)
+    except UnitTimeout:
+        classification = RunClassification(
+            Outcome.DUE,
+            due_reason=f"wall-clock guard: injection exceeded "
+                       f"{timeout:g}s",
+            fault_fired=bool(getattr(fault, "fired", False)),
+        )
+    report = SignatureReport(
+        module=spec.module,
+        fault_model=spec.fault_model,
+        n_faults=spec.n_faults,
+        apps=list(spec.apps),
+        seed=spec.list_seed,
+    )
+    report.add(SignatureRecord.from_classification(
+        spec.fault_index, spec.app, fault_to_dict(fault), classification))
     return report
 
 
@@ -327,7 +420,8 @@ def _plan_cell_units(spec: _CellSpec, n_faults: int, seed: int,
 
 def cell_checkpoint_header(bench: Microbenchmark, module: str,
                            fault_kind: Optional[str], n_faults: int,
-                           seed: int, batch_size: Optional[int]) -> dict:
+                           seed: int, batch_size: Optional[int],
+                           fault_model: str = "transient") -> dict:
     """The journal header identifying one cell campaign's unit plan.
 
     Shared between :func:`run_campaign` and the service daemon's
@@ -345,7 +439,25 @@ def cell_checkpoint_header(bench: Microbenchmark, module: str,
     # fp32 headers stay byte-identical so pre-precision journals resume
     if bench.precision != "fp32":
         header["precision"] = bench.precision
+    # likewise transient headers predate the fault-model layer
+    if fault_model != "transient":
+        header["fault_model"] = fault_model
     return header
+
+
+def signature_checkpoint_header(module: str, fault_model: str,
+                                fault_kind: Optional[str], n_faults: int,
+                                apps: Sequence[str], seed: int) -> dict:
+    """The journal header identifying one signature campaign's plan."""
+    return {
+        "campaign": "rtl-signature",
+        "module": module,
+        "fault_model": fault_model,
+        "fault_kind": fault_kind,
+        "n_faults": int(n_faults),
+        "apps": list(apps),
+        "seed": int(seed),
+    }
 
 
 def _open_checkpoint(path: Optional[Union[str, Path]], resume: bool,
@@ -368,6 +480,13 @@ def _validate_bench_module(bench: Microbenchmark, module: str) -> None:
         raise CampaignError(
             f"{module} is idle while executing {bench.name}; the paper "
             "does not inject there")
+
+
+def _check_fault_model(fault_model: str) -> None:
+    if fault_model not in FAULT_MODELS:
+        raise CampaignError(
+            f"unknown fault model {fault_model!r}; "
+            f"choose from {sorted(FAULT_MODELS)}")
 
 
 def _check_jobs(n_jobs: int, injector: Optional[RTLInjector]) -> None:
@@ -397,8 +516,21 @@ def run_campaign(
     cancel: Optional[Callable[[], bool]] = None,
     config: Optional[SMConfig] = None,
     vectorize="auto",
+    fault_model: str = "transient",
+    burst_width: int = 4,
+    burst_window: int = 4,
 ) -> CampaignReport:
     """Run one fault-injection campaign cell and return its report.
+
+    ``fault_model`` selects what is injected: ``"transient"`` (the
+    paper's single-event upsets — the default, byte-identical to the
+    pre-fault-model engine), or ``"burst"`` (targeted multi-bit window
+    strikes of ``burst_width`` bits over ``burst_window`` cycles; the
+    sampled classifications still land in a :class:`CampaignReport`).
+    Permanent stuck-at campaigns characterise per-application error
+    signatures instead of per-injection outcomes — use
+    :func:`run_signature_campaign` for those (``"stuck-at"`` here runs
+    the single-workload sampling shape anyway if asked).
 
     ``kind`` restricts the fault list to ``"data"`` or ``"control"``
     flip-flops (used by ablation studies); the default samples both.
@@ -424,17 +556,20 @@ def run_campaign(
     if n_faults < 0:
         raise CampaignError("n_faults must be non-negative")
     _validate_bench_module(bench, module)
+    _check_fault_model(fault_model)
     _check_jobs(n_jobs, injector)
     if n_faults == 0:
         return CampaignReport(instruction=bench.opcode.value,
                               input_range=bench.input_range, module=module,
                               precision=bench.precision)
     spec = _CellSpec(bench=_BenchSpec(kind="bench", bench=bench),
-                     module=module, fault_kind=kind)
+                     module=module, fault_kind=kind,
+                     fault_model=fault_model, burst_width=burst_width,
+                     burst_window=burst_window)
     units = _plan_cell_units(spec, n_faults, seed, batch_size,
                              base_index=0, label=f"{bench.name}/{module}")
     header = cell_checkpoint_header(bench, module, kind, n_faults, seed,
-                                    batch_size)
+                                    batch_size, fault_model=fault_model)
     journal = _open_checkpoint(checkpoint, resume, header)
     metrics = resolve_metrics(metrics, checkpoint, "rtl-cell")
     state = None
@@ -469,21 +604,27 @@ def run_campaign_units(
     cancel: Optional[Callable[[], bool]] = None,
     config: Optional[SMConfig] = None,
     vectorize="auto",
+    fault_model: str = "transient",
+    burst_width: int = 4,
+    burst_window: int = 4,
 ) -> Dict[int, CampaignReport]:
     """Run only units ``[lo, hi)`` of one cell's deterministic plan.
 
     The distributed-worker entry point: the unit plan depends only on
-    ``(n_faults, seed, batch_size)``, so any worker handed a ``(lo,
-    hi)`` shard regenerates exactly the fault batches the serial
-    :func:`run_campaign` would execute at those indices — merging all
-    shards in unit-index order is bit-identical to the serial report.
-    Returns ``{unit index: batch report}``.
+    ``(n_faults, seed, batch_size)`` (and the fault-model parameters),
+    so any worker handed a ``(lo, hi)`` shard regenerates exactly the
+    fault batches the serial :func:`run_campaign` would execute at those
+    indices — merging all shards in unit-index order is bit-identical to
+    the serial report.  Returns ``{unit index: batch report}``.
     """
     if n_faults < 0:
         raise CampaignError("n_faults must be non-negative")
     _validate_bench_module(bench, module)
+    _check_fault_model(fault_model)
     spec = _CellSpec(bench=_BenchSpec(kind="bench", bench=bench),
-                     module=module, fault_kind=kind)
+                     module=module, fault_kind=kind,
+                     fault_model=fault_model, burst_width=burst_width,
+                     burst_window=burst_window)
     units = _plan_cell_units(spec, n_faults, seed, batch_size,
                              base_index=0, label=f"{bench.name}/{module}")
     if not 0 <= lo < hi <= len(units):
@@ -498,6 +639,141 @@ def run_campaign_units(
         cancel=cancel,
     )
     return dict(done)
+
+
+# -- permanent-fault signature campaigns -------------------------------------
+def default_signature_apps(module: str) -> List[str]:
+    """The default application suite characterising *module*.
+
+    Scheduler and pipeline defects are exercised by the three t-MxM tile
+    workloads (where the paper's control-logic effects concentrate);
+    functional-unit defects by the mid-range micro-benchmark of every
+    opcode the module executes.
+    """
+    if module in TMXM_MODULES:
+        return [f"tmxm/{kind}" for kind in TILE_KINDS]
+    if module not in MODULE_INSTRUCTIONS:
+        raise CampaignError(f"unknown module {module!r}")
+    return [f"{op.value}/M" for op in MODULE_INSTRUCTIONS[module]]
+
+
+def _signature_bench_spec(app: str, bench_seed: int) -> _BenchSpec:
+    """Parse one app-suite entry (``tmxm/<Tile>`` or ``<OPCODE>/<RANGE>``)."""
+    head, _, tail = app.partition("/")
+    if head == "tmxm":
+        if tail not in TILE_KINDS:
+            raise CampaignError(
+                f"unknown t-MxM tile {tail!r} in app {app!r}; "
+                f"choose from {list(TILE_KINDS)}")
+        return _BenchSpec(kind="tmxm", tile=tail, seed=bench_seed)
+    try:
+        opcode = Opcode(head)
+    except ValueError:
+        raise CampaignError(
+            f"unknown opcode {head!r} in app {app!r}") from None
+    range_key = tail or "M"
+    if range_key not in INPUT_RANGES:
+        raise CampaignError(
+            f"unknown input range {range_key!r} in app {app!r}")
+    return _BenchSpec(kind="micro", opcode=opcode.value,
+                      input_range=range_key, seed=bench_seed)
+
+
+def run_signature_campaign(
+    module: str,
+    n_faults: int,
+    seed: int = 0,
+    apps: Optional[Sequence[str]] = None,
+    fault_model: str = "stuck-at",
+    injector: Optional[RTLInjector] = None,
+    kind: Optional[str] = None,
+    *,
+    n_jobs: int = 1,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressReporter] = None,
+    metrics: Optional[CampaignMetrics] = None,
+    cancel: Optional[Callable[[], bool]] = None,
+    config: Optional[SMConfig] = None,
+) -> SignatureReport:
+    """Characterise *n_faults* permanent defects across an app suite.
+
+    A permanent fault has no single Masked/SDC/DUE outcome: the same
+    defect behaves differently per workload, so the campaign's unit is
+    one (fault, application) pair — the fault list is sampled once
+    (uniform over the module's flip-flop bits × stuck-at polarity, from
+    the fault-model seed namespace) and every fault is exercised by
+    every application of *apps* (``tmxm/<Tile>`` or ``<OPCODE>/<RANGE>``
+    entries; defaults to :func:`default_signature_apps`).  Units are
+    planned fault-major and merged in unit order, so the report is
+    bit-identical across any ``n_jobs`` and any checkpoint/resume
+    boundary, exactly like the transient campaigns.
+    """
+    _check_fault_model(fault_model)
+    if fault_model != "stuck-at":
+        raise CampaignError(
+            "signature campaigns characterise permanent faults; "
+            f"model {fault_model!r} samples per-injection outcomes — "
+            "use run_campaign for it")
+    if n_faults < 0:
+        raise CampaignError("n_faults must be non-negative")
+    if module not in MODULE_INSTRUCTIONS:
+        raise CampaignError(f"unknown module {module!r}")
+    _check_jobs(n_jobs, injector)
+    app_list = list(apps) if apps else default_signature_apps(module)
+    if not app_list:
+        raise CampaignError("the application suite must not be empty")
+    bench_seeds = spawn_seeds(seed, len(app_list))
+    bench_specs = []
+    for app, bench_seed in zip(app_list, bench_seeds):
+        spec = _signature_bench_spec(app, bench_seed)
+        _validate_bench_module(spec.build(), module)
+        bench_specs.append(spec)
+    if n_faults == 0:
+        return SignatureReport(module=module, fault_model=fault_model,
+                               n_faults=0, apps=app_list, seed=seed)
+    units: List[WorkUnit] = []
+    apps_tuple = tuple(app_list)
+    for fault_index in range(n_faults):
+        for app_index, (app, bench_spec) in enumerate(
+                zip(app_list, bench_specs)):
+            spec = _SignatureSpec(
+                bench=bench_spec, app=app, apps=apps_tuple,
+                fault_index=fault_index, module=module,
+                fault_model=fault_model, fault_kind=kind,
+                n_faults=n_faults, list_seed=seed)
+            units.append(WorkUnit(
+                index=fault_index * len(app_list) + app_index,
+                size=1, seed=seed, spec=spec,
+                label=f"{module}/{fault_model} "
+                      f"fault {fault_index + 1}/{n_faults} x {app}"))
+    header = signature_checkpoint_header(module, fault_model, kind,
+                                         n_faults, app_list, seed)
+    journal = None
+    if checkpoint is not None:
+        journal = CampaignCheckpoint(checkpoint, header,
+                                     kind="signature-report",
+                                     resume=resume)
+    elif resume:
+        raise CampaignError("resume=True requires a checkpoint path")
+    metrics = resolve_metrics(metrics, checkpoint, "rtl-signature")
+    state = None
+    if n_jobs == 1:
+        state = _RTLWorkerState(injector=injector, config=config)
+    results = run_units(
+        units,
+        partial(_run_signature_unit, timeout=timeout),
+        n_jobs=n_jobs,
+        state_factory=partial(_rtl_state, config),
+        state=state,
+        checkpoint=journal,
+        progress=progress,
+        metrics=metrics,
+        cancel=cancel,
+    )
+    emit_metrics(metrics, checkpoint)
+    return SignatureReport.merge([results[i] for i in sorted(results)])
 
 
 # -- campaign grids ----------------------------------------------------------

@@ -10,7 +10,7 @@ condition (hang, illegal PC/opcode, out-of-range access).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..gpu.bits import (
     bit_diff,
@@ -21,7 +21,13 @@ from ..gpu.bits import (
 )
 from ..outcomes import Outcome  # re-exported: the taxonomy lives above RTL
 
-__all__ = ["Outcome", "CorruptedValue", "RunClassification", "classify_run"]
+__all__ = [
+    "Outcome",
+    "CorruptedValue",
+    "RunClassification",
+    "classify_run",
+    "corruption_histogram",
+]
 
 
 @dataclass(frozen=True)
@@ -119,3 +125,19 @@ def classify_run(
     if not corrupted:
         return RunClassification(Outcome.MASKED, fault_fired=fault_fired)
     return RunClassification(Outcome.SDC, corrupted, fault_fired=fault_fired)
+
+
+def corruption_histogram(
+        corrupted: Sequence[CorruptedValue]) -> Dict[int, int]:
+    """Histogram ``{flipped bit count: corrupted words}`` of one run.
+
+    The per-kernel-output corruption shape — how many output words had 1
+    flipped bit, how many 2, ... — is the unit of the permanent-fault
+    *error signature*: one histogram per (fault, application) pair,
+    compared across the application suite.
+    """
+    histogram: Dict[int, int] = {}
+    for value in corrupted:
+        n = value.n_flipped_bits
+        histogram[n] = histogram.get(n, 0) + 1
+    return dict(sorted(histogram.items()))

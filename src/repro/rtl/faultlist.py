@@ -6,6 +6,14 @@ samples such lists from the fault plane's declared inventory: the target
 flip-flop is drawn with probability proportional to its width (every bit
 equally likely), the bit uniformly within the register, and the injection
 cycle uniformly over the golden run's duration.
+
+Beyond the paper's transients, :func:`generate_model_fault_list` samples
+lists for any registered fault model: permanent stuck-at campaigns draw
+uniformly over flip-flops × bit × polarity, and targeted bursts draw a
+multi-bit window strike.  Each non-transient model samples from its own
+spawn-key namespace (:func:`repro.rng.namespace_seed`), so adding a
+stuck-at cell to a grid never shifts the seed stream of the existing
+transient cells.
 """
 
 from __future__ import annotations
@@ -13,10 +21,22 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..errors import CampaignError
-from ..gpu.fault_plane import FaultPlane, FlipFlop, TransientFault
-from ..rng import make_rng
+from ..gpu.fault_plane import (
+    FAULT_MODELS,
+    FaultModel,
+    FaultPlane,
+    StuckAtFault,
+    TargetedBurst,
+    TransientFault,
+)
+from ..rng import make_rng, namespace_seed
 
-__all__ = ["generate_fault_list", "exhaustive_fault_list"]
+__all__ = [
+    "generate_fault_list",
+    "generate_model_fault_list",
+    "exhaustive_fault_list",
+    "exhaustive_stuck_at_list",
+]
 
 
 #: Fraction of transients that strike a *signal* feeding the register
@@ -28,6 +48,19 @@ DEFAULT_SIGNAL_FRACTION = 0.5
 
 #: Maximum burst width a signal strike captures.
 _MAX_BURST = 16
+
+
+def _weighted_flipflops(plane: FaultPlane, module: str,
+                        kind: Optional[str]):
+    flipflops = plane.flipflops(module)
+    if kind is not None:
+        flipflops = [ff for ff in flipflops if ff.kind == kind]
+    if not flipflops:
+        raise CampaignError(
+            f"module {module!r} declares no matching flip-flops")
+    weights = [ff.width for ff in flipflops]
+    total_bits = sum(weights)
+    return flipflops, [w / total_bits for w in weights]
 
 
 def generate_fault_list(
@@ -47,20 +80,12 @@ def generate_fault_list(
     of a multi-bit signal strike instead of a single-cell upset; set it
     to 0.0 for a pure single-bit-flip campaign.
     """
-    flipflops = plane.flipflops(module)
-    if kind is not None:
-        flipflops = [ff for ff in flipflops if ff.kind == kind]
-    if not flipflops:
-        raise CampaignError(
-            f"module {module!r} declares no matching flip-flops")
     if total_cycles <= 0:
         raise CampaignError("total_cycles must be positive")
     if not 0.0 <= signal_fraction <= 1.0:
         raise CampaignError("signal_fraction must be within [0, 1]")
+    flipflops, probabilities = _weighted_flipflops(plane, module, kind)
     rng = make_rng(seed)
-    weights = [ff.width for ff in flipflops]
-    total_bits = sum(weights)
-    probabilities = [w / total_bits for w in weights]
     faults: List[TransientFault] = []
     indices = rng.choice(len(flipflops), size=n_faults, p=probabilities)
     for idx in indices:
@@ -70,7 +95,69 @@ def generate_fault_list(
         n_bits = 1
         if ff.width > 1 and rng.random() < signal_fraction:
             n_bits = int(rng.integers(2, min(ff.width, _MAX_BURST) + 1))
+            # a signal strike near the register top captures fewer bits;
+            # clamping here (rather than in the mask) keeps spans valid
+            # by construction while drawing the same RNG stream
+            n_bits = min(n_bits, ff.width - bit)
         faults.append(TransientFault(ff, bit, cycle, n_bits=n_bits))
+    return faults
+
+
+def generate_model_fault_list(
+    plane: FaultPlane,
+    module: str,
+    n_faults: int,
+    total_cycles: int,
+    seed: int = 0,
+    fault_model: str = "transient",
+    kind: Optional[str] = None,
+    signal_fraction: float = DEFAULT_SIGNAL_FRACTION,
+    burst_width: int = 4,
+    burst_window: int = 4,
+) -> List[FaultModel]:
+    """Sample a fault list for any registered fault model.
+
+    ``"transient"`` delegates to :func:`generate_fault_list` unchanged —
+    same seed, same stream, same faults.  ``"stuck-at"`` draws uniformly
+    over the module's flip-flop bits × stuck-at polarity (activation
+    cycle 0: the defect is present for the whole run).  ``"burst"``
+    draws a ``burst_width``-bit contiguous strike at a uniform cycle
+    with a ``burst_window``-cycle corruption window.  Non-transient
+    models sample from a per-model spawn-key namespace of *seed*, so
+    their streams are independent of the transient stream.
+    """
+    if fault_model not in FAULT_MODELS:
+        raise CampaignError(
+            f"unknown fault model {fault_model!r}; "
+            f"choose from {sorted(FAULT_MODELS)}")
+    if fault_model == "transient":
+        return list(generate_fault_list(
+            plane, module, n_faults, total_cycles, seed=seed, kind=kind,
+            signal_fraction=signal_fraction))
+    flipflops, probabilities = _weighted_flipflops(plane, module, kind)
+    rng = make_rng(namespace_seed(seed, f"fault-model/{fault_model}"))
+    indices = rng.choice(len(flipflops), size=n_faults, p=probabilities)
+    faults: List[FaultModel] = []
+    if fault_model == "stuck-at":
+        for idx in indices:
+            ff = flipflops[int(idx)]
+            bit = int(rng.integers(0, ff.width))
+            stuck_at = int(rng.integers(0, 2))
+            faults.append(StuckAtFault(ff, bit, stuck_at=stuck_at))
+        return faults
+    if total_cycles <= 0:
+        raise CampaignError("total_cycles must be positive")
+    if burst_width < 1:
+        raise CampaignError("burst_width must be at least 1")
+    if burst_window < 0:
+        raise CampaignError("burst_window must be non-negative")
+    for idx in indices:
+        ff = flipflops[int(idx)]
+        bit = int(rng.integers(0, ff.width))
+        cycle = int(rng.integers(0, total_cycles))
+        n_bits = min(burst_width, ff.width - bit)
+        faults.append(TargetedBurst(
+            ff, bit, cycle, window=burst_window, n_bits=n_bits))
     return faults
 
 
@@ -89,4 +176,25 @@ def exhaustive_fault_list(
         for bit in range(ff.width):
             for cycle in cycles:
                 faults.append(TransientFault(ff, bit, cycle))
+    return faults
+
+
+def exhaustive_stuck_at_list(
+    plane: FaultPlane,
+    module: str,
+    kind: Optional[str] = None,
+) -> List[StuckAtFault]:
+    """Every (flip-flop, bit, polarity) stuck-at defect of a module.
+
+    The permanent-fault analogue of :func:`exhaustive_fault_list`:
+    2 × module-bit-count defects, deterministic and seed-free.
+    """
+    flipflops = plane.flipflops(module)
+    if kind is not None:
+        flipflops = [ff for ff in flipflops if ff.kind == kind]
+    faults: List[StuckAtFault] = []
+    for ff in flipflops:
+        for bit in range(ff.width):
+            for stuck_at in (0, 1):
+                faults.append(StuckAtFault(ff, bit, stuck_at=stuck_at))
     return faults

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..errors import FaultDecayedError, GpuHardwareError
-from ..gpu.fault_plane import TransientFault
+from ..gpu.fault_plane import FaultModel
 from ..gpu.sm import KernelResult, SMConfig, StreamingMultiprocessor
 from .classify import Outcome, RunClassification, classify_run
 from .microbench import Microbenchmark
@@ -62,10 +62,9 @@ class RTLInjector:
 
     # -- fault execution -----------------------------------------------------------
     def inject(self, bench: Microbenchmark, golden: GoldenRun,
-               fault: TransientFault) -> RunClassification:
-        """Run *bench* with one armed transient and classify the outcome."""
-        fault.fired_cycle = None  # allow fault-list reuse across runs
-        fault.expired = False
+               fault: FaultModel) -> RunClassification:
+        """Run *bench* with one armed fault model and classify the outcome."""
+        fault.reset()  # allow fault-list reuse across runs
         max_cycles = max(_WATCHDOG_FACTOR * golden.cycles, 2_000)
         try:
             result = self.sm.launch(
@@ -93,10 +92,10 @@ class RTLInjector:
         )
 
     @staticmethod
-    def describe(fault: TransientFault) -> FaultDescriptor:
+    def describe(fault: FaultModel) -> FaultDescriptor:
         ff = fault.flipflop
         return FaultDescriptor(ff.module, ff.name, ff.lane, fault.bit,
-                               fault.cycle, ff.kind)
+                               getattr(fault, "cycle", 0), ff.kind)
 
     @staticmethod
     def _snapshot(result: KernelResult, bench: Microbenchmark

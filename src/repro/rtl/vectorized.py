@@ -47,7 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..campaign.engine import UnitTimeout, wall_clock_limit
-from ..gpu.fault_plane import FaultPlane, TransientFault
+from ..gpu.fault_plane import FaultModel, FaultPlane, TransientFault
 from ..gpu.isa import Opcode
 from ..gpu.sm import StreamingMultiprocessor
 from ..gpu.trace import GoldenTraceRecorder
@@ -145,7 +145,7 @@ class VectorizedRTLInjector:
 
     # -- batch injection ---------------------------------------------------
     def inject_batch(self, prepared: PreparedWorkload,
-                     faults: Sequence[TransientFault],
+                     faults: Sequence[FaultModel],
                      timeout: Optional[float] = None,
                      ) -> List[RunClassification]:
         """Classify every fault; results are in fault-list order.
@@ -153,6 +153,13 @@ class VectorizedRTLInjector:
         ``timeout`` guards the scalar-fallback runs exactly as the scalar
         campaign path does (lockstep replay itself is bounded by the
         recorded schedule and needs no guard).
+
+        Only :class:`TransientFault` is replayable: the golden-trace
+        fire-site resolution and single-flip universe replay both assume
+        one XOR landing on one latch.  Persistent (stuck-at) and
+        windowed multi-hit (burst) models corrupt arbitrarily many
+        latches, so they are routed to the scalar interpreter
+        explicitly — same classifications, no replay speedup.
         """
         out: List[Optional[RunClassification]] = [None] * len(faults)
         recorder = prepared.recorder
@@ -160,8 +167,12 @@ class VectorizedRTLInjector:
         scalar: List[int] = []
         for i, fault in enumerate(faults):
             ff = fault.flipflop
-            fault.fired_cycle = None
-            fault.expired = False
+            fault.reset()
+            if type(fault) is not TransientFault:
+                # non-transient models fire on more than one latch; the
+                # single-flip replay machinery cannot express them
+                scalar.append(i)
+                continue
             if ff.module in FaultPlane.PERSISTENT_STATE_MODULES:
                 # SRAM fault semantics read the armed fault directly,
                 # bypassing plane.latch: the trace cannot resolve them
@@ -194,7 +205,7 @@ class VectorizedRTLInjector:
         return out  # type: ignore[return-value]
 
     def _inject_scalar(self, prepared: PreparedWorkload,
-                       fault: TransientFault,
+                       fault: FaultModel,
                        timeout: Optional[float]) -> RunClassification:
         try:
             with wall_clock_limit(timeout):

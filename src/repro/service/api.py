@@ -98,6 +98,7 @@ _ARTIFACTS = {
     "metrics": ("metrics.json", "application/json"),
     "syndromes": ("syndromes.csv", "text/csv"),
     "patterns": ("patterns.json", "application/json"),
+    "signature": ("signature.json", "application/json"),
 }
 
 
@@ -408,8 +409,11 @@ class CampaignService:
         if name == "report":
             # report.json is the job-result wrapper; its "kind" is the
             # job kind, which maps onto the embedded report's schema
-            kind = {"pvf": "pvf-report", "rtl": "rtl-report",
-                    "pipeline": "pipeline-summary"}.get(kind, kind)
+            if kind == "rtl" and payload.get("fault_model") == "stuck-at":
+                kind = "signature-report"
+            else:
+                kind = {"pvf": "pvf-report", "rtl": "rtl-report",
+                        "pipeline": "pipeline-summary"}.get(kind, kind)
         if not isinstance(kind, str):
             return {}
         version = payload.get("version")
@@ -445,7 +449,10 @@ class CampaignService:
         kind = payload.get("kind")
         if kind not in ("pvf", "rtl") or "report" not in payload:
             return  # pipeline jobs carry no single minable report
-        report = load_artifact(f"{kind}-report", payload["report"])
+        schema = f"{kind}-report"
+        if kind == "rtl" and payload.get("fault_model") == "stuck-at":
+            schema = "signature-report"
+        report = load_artifact(schema, payload["report"])
         mined = dump_artifact("pattern-report", mine_patterns(report))
         (jobdir / "patterns.json").write_text(
             json.dumps(mined, indent=2) + "\n")

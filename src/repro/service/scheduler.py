@@ -108,7 +108,8 @@ _KIND_KEYS = {
                            "min_per_cell"},
     "rtl": _COMMON_KEYS | {"opcode", "module", "range", "faults",
                            "units_per_claim", "target_ci", "strategy",
-                           "min_per_cell"},
+                           "min_per_cell", "fault_model", "apps",
+                           "burst_width", "burst_window"},
     "pipeline": _COMMON_KEYS | {"apps", "models", "opcodes",
                                 "grid_faults", "tmxm_faults",
                                 "injections"},
@@ -156,6 +157,51 @@ def _require_adaptive(params: dict) -> Dict:
             "parameters 'strategy'/'min_per_cell' require 'target_ci'")
     return {"target_ci": target_ci, "strategy": strategy,
             "min_per_cell": min_per_cell}
+
+
+def _require_rtl_fault_model(params: dict) -> Dict:
+    """Validate an RTL job's fault-model parameter block.
+
+    ``apps`` (the signature campaign's application suite) is only
+    meaningful for stuck-at jobs, and the burst geometry only for burst
+    jobs — anything else is a 400 at submit, not a confusing no-op.
+    """
+    from ..errors import CampaignError
+    from ..gpu.fault_plane import FAULT_MODELS
+    from ..rtl.campaign import _signature_bench_spec
+
+    fault_model = params.get("fault_model", "transient")
+    if fault_model not in FAULT_MODELS:
+        raise ServiceError(
+            f"unknown fault model {fault_model!r}; "
+            f"choose from {sorted(FAULT_MODELS)}")
+    apps = params.get("apps")
+    if apps is not None:
+        if fault_model != "stuck-at":
+            raise ServiceError(
+                "parameter 'apps' only applies to stuck-at signature "
+                "campaigns")
+        if not isinstance(apps, list) or not apps:
+            raise ServiceError("parameter 'apps' must be a non-empty list")
+        for app in apps:
+            try:
+                _signature_bench_spec(str(app), 0)
+            except CampaignError as exc:
+                raise ServiceError(str(exc)) from None
+        apps = [str(app) for app in apps]
+    burst_width = _require_int(params, "burst_width", None, minimum=1)
+    burst_window = _require_int(params, "burst_window", None, minimum=0)
+    if fault_model != "burst" and (burst_width is not None
+                                   or burst_window is not None):
+        raise ServiceError(
+            "parameters 'burst_width'/'burst_window' only apply to "
+            "burst campaigns")
+    return {
+        "fault_model": fault_model,
+        "apps": apps,
+        "burst_width": 4 if burst_width is None else burst_width,
+        "burst_window": 4 if burst_window is None else burst_window,
+    }
 
 
 def normalize_params(kind: str, params: Optional[dict]) -> dict:
@@ -220,7 +266,13 @@ def normalize_params(kind: str, params: Optional[dict]) -> dict:
                    faults=_require_int(params, "faults", 500),
                    units_per_claim=_require_int(
                        params, "units_per_claim", None, minimum=1),
-                   **_require_adaptive(params))
+                   **_require_adaptive(params),
+                   **_require_rtl_fault_model(params))
+        if out["fault_model"] == "stuck-at" and out["target_ci"] is not None:
+            raise ServiceError(
+                "adaptive sampling (target_ci) applies to per-injection "
+                "outcome campaigns; stuck-at signature campaigns "
+                "characterise a fixed fault list")
         if out["target_ci"] is not None and out["batch_size"] is None:
             # adaptive stopping needs units finer than the whole cell
             from ..campaign.engine import DEFAULT_BATCH_SIZE
@@ -310,7 +362,7 @@ def _pvf_result(params: dict, report) -> dict:
 
 def _rtl_result(params: dict, report) -> dict:
     """The ``report.json`` payload of one finished RTL job."""
-    return {
+    result = {
         "kind": "rtl",
         "opcode": params["opcode"],
         "module": params["module"],
@@ -320,6 +372,24 @@ def _rtl_result(params: dict, report) -> dict:
         "n_masked": report.n_masked,
         "n_sdc": report.n_sdc,
         "n_due": report.n_due,
+        "report": report.to_dict(),
+    }
+    # transient payloads predate the fault-model layer and stay unchanged
+    fault_model = params.get("fault_model", "transient")
+    if fault_model != "transient":
+        result["fault_model"] = fault_model
+    return result
+
+
+def _signature_result(params: dict, report) -> dict:
+    """The ``report.json`` payload of one finished signature job."""
+    return {
+        "kind": "rtl",
+        "fault_model": report.fault_model,
+        "module": params["module"],
+        "n_faults": report.n_faults,
+        "apps": list(report.apps),
+        "per_app": report.per_app_summary(),
         "report": report.to_dict(),
     }
 
@@ -390,6 +460,9 @@ def _run_rtl_job(params: dict, jobdir: Path, cancel, progress,
                  metrics) -> dict:
     from ..rtl.campaign import run_campaign
 
+    if params.get("fault_model", "transient") == "stuck-at":
+        return _run_signature_job(params, jobdir, cancel, progress,
+                                  metrics)
     bench = _rtl_bench(params)
     journal = jobdir / "rtl.jsonl"
     if params.get("target_ci") is not None:
@@ -412,8 +485,34 @@ def _run_rtl_job(params: dict, jobdir: Path, cancel, progress,
         n_jobs=params["jobs"], batch_size=params["batch_size"],
         timeout=params["timeout"], checkpoint=journal,
         resume=journal.exists(), progress=progress, metrics=metrics,
-        cancel=cancel)
+        cancel=cancel,
+        fault_model=params.get("fault_model", "transient"),
+        burst_width=params.get("burst_width", 4),
+        burst_window=params.get("burst_window", 4))
     return _rtl_result(params, report)
+
+
+def _run_signature_job(params: dict, jobdir: Path, cancel, progress,
+                       metrics) -> dict:
+    """Stuck-at RTL jobs run the per-application signature campaign.
+
+    Beyond ``report.json``, the enveloped report lands in
+    ``signature.json`` — the ``signature`` artifact the API serves.
+    """
+    from ..artifacts import dump_artifact
+    from ..rtl.campaign import run_signature_campaign
+
+    journal = jobdir / "signature.jsonl"
+    report = run_signature_campaign(
+        params["module"], params["faults"], seed=params["seed"],
+        apps=params.get("apps"), n_jobs=params["jobs"],
+        timeout=params["timeout"], checkpoint=journal,
+        resume=journal.exists(), progress=progress, metrics=metrics,
+        cancel=cancel)
+    enveloped = dump_artifact("signature-report", report)
+    (jobdir / "signature.json").write_text(
+        json.dumps(enveloped, indent=2) + "\n")
+    return _signature_result(params, report)
 
 
 def _run_pipeline_job(params: dict, jobdir: Path, cancel, progress,
@@ -454,6 +553,10 @@ def _job_plan_sizes(job: Job) -> Optional[List[int]]:
     if job.kind == "pvf":
         return plan_batches(params["injections"], params["batch_size"])
     if job.kind == "rtl":
+        if params.get("fault_model", "transient") == "stuck-at":
+            # signature jobs run in-process: their (fault x app) units
+            # journal to signature.jsonl, not the rtl-report shard shape
+            return None
         if params["faults"] <= 0:
             return []
         if params["batch_size"] is None:
@@ -560,7 +663,10 @@ def run_job_units(kind: str, params: dict, lo: int, hi: int,
             _rtl_bench(params), params["module"], params["faults"],
             lo, hi, seed=params["seed"],
             batch_size=params["batch_size"],
-            timeout=params["timeout"], cancel=cancel)
+            timeout=params["timeout"], cancel=cancel,
+            fault_model=params.get("fault_model", "transient"),
+            burst_width=params.get("burst_width", 4),
+            burst_window=params.get("burst_window", 4))
     else:
         raise ServiceError(
             f"{kind} jobs cannot be sharded across workers")
@@ -591,7 +697,8 @@ def open_shard_journal(job: Job, jobdir: Union[str, Path]
 
         header = cell_checkpoint_header(
             _rtl_bench(params), params["module"], None,
-            params["faults"], params["seed"], params["batch_size"])
+            params["faults"], params["seed"], params["batch_size"],
+            fault_model=params.get("fault_model", "transient"))
         return CampaignCheckpoint(jobdir / "rtl.jsonl", header,
                                   kind="rtl-report", resume=True)
     raise ServiceError(f"{job.kind} jobs cannot be sharded across "

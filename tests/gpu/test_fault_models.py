@@ -1,0 +1,203 @@
+"""Fault-model hierarchy tests: stuck-at, burst, span checks, serde."""
+
+import pytest
+
+from repro.gpu.fault_plane import (
+    FAULT_MODELS,
+    FaultPlane,
+    FlipFlop,
+    StuckAtFault,
+    TargetedBurst,
+    TransientFault,
+    fault_from_dict,
+    fault_to_dict,
+)
+
+
+@pytest.fixture
+def plane():
+    plane = FaultPlane()
+    plane.declare(FlipFlop("fp32", "reg_a", 8, 0, "data"))
+    plane.declare(FlipFlop("fp32", "ctrl", 4, -1, "control"))
+    return plane
+
+
+def _reg(plane):
+    return plane._flipflops[("fp32", "reg_a", 0)]
+
+
+class TestSpanValidation:
+    """Out-of-range spans are construction errors, not silent clamps."""
+
+    def test_transient_span_past_width_rejected(self, plane):
+        with pytest.raises(ValueError, match="span"):
+            TransientFault(_reg(plane), bit=6, cycle=0, n_bits=3)
+
+    def test_bit_out_of_range_rejected(self, plane):
+        with pytest.raises(ValueError, match="bit"):
+            StuckAtFault(_reg(plane), bit=8)
+
+    def test_zero_width_span_rejected(self, plane):
+        with pytest.raises(ValueError, match="n_bits"):
+            TargetedBurst(_reg(plane), bit=0, cycle=0, n_bits=0)
+
+    def test_full_width_span_accepted(self, plane):
+        fault = TransientFault(_reg(plane), bit=0, cycle=0, n_bits=8)
+        assert fault.mask == 0xFF
+
+    def test_stuck_at_polarity_validated(self, plane):
+        with pytest.raises(ValueError, match="stuck_at"):
+            StuckAtFault(_reg(plane), bit=0, stuck_at=2)
+
+    def test_burst_pattern_must_fit_span(self, plane):
+        with pytest.raises(ValueError, match="pattern"):
+            TargetedBurst(_reg(plane), bit=0, cycle=0, n_bits=2,
+                          pattern=0b100)
+        with pytest.raises(ValueError, match="pattern"):
+            TargetedBurst(_reg(plane), bit=0, cycle=0, n_bits=2,
+                          pattern=0)
+
+
+class TestStuckAtSemantics:
+    def test_forces_every_latch(self, plane):
+        plane.arm(StuckAtFault(_reg(plane), bit=0, stuck_at=1, n_bits=2))
+        for cycle in range(50):
+            plane.tick(1)
+            assert plane.latch("fp32", "reg_a", 0b1000, 0) == 0b1011
+
+    def test_stuck_at_zero_clears_span(self, plane):
+        plane.arm(StuckAtFault(_reg(plane), bit=2, stuck_at=0, n_bits=2))
+        assert plane.latch("fp32", "reg_a", 0b1111, 0) == 0b0011
+
+    def test_fired_only_on_actual_distortion(self, plane):
+        fault = StuckAtFault(_reg(plane), bit=0, stuck_at=1)
+        plane.arm(fault)
+        assert plane.latch("fp32", "reg_a", 0b0001, 0) == 0b0001
+        assert not fault.fired  # forced value == written value
+        assert plane.latch("fp32", "reg_a", 0b0000, 0) == 0b0001
+        assert fault.fired and fault.fired_cycle == plane.cycle
+
+    def test_never_decays_never_spent(self, plane):
+        fault = StuckAtFault(_reg(plane), bit=0, stuck_at=1)
+        plane.arm(fault)
+        plane.tick(10_000)
+        assert plane.armed_fault is fault
+        assert not plane.fault_decayed
+        assert not fault.spent
+        assert not plane.passive
+
+    def test_pending_for_whole_run(self, plane):
+        plane.arm(StuckAtFault(_reg(plane), bit=0, stuck_at=0))
+        for _ in range(100):
+            plane.tick(1)
+            plane.latch("fp32", "reg_a", 0b1111, 0)
+            assert plane.injection_pending
+            assert plane.pending_for("fp32")
+            assert not plane.pending_for("int")
+
+    def test_activation_cycle_gates_forcing(self, plane):
+        plane.arm(StuckAtFault(_reg(plane), bit=0, stuck_at=1, cycle=5))
+        assert plane.latch("fp32", "reg_a", 0, 0) == 0
+        plane.tick(5)
+        assert plane.latch("fp32", "reg_a", 0, 0) == 1
+
+    def test_disarm_returns_permanent_fault(self, plane):
+        fault = StuckAtFault(_reg(plane), bit=0, stuck_at=1)
+        plane.arm(fault)
+        plane.tick(3)
+        plane.latch("fp32", "reg_a", 0, 0)
+        assert plane.disarm() is fault
+        assert plane.passive
+
+
+class TestBurstSemantics:
+    def test_corrupts_every_latch_in_window(self, plane):
+        fault = TargetedBurst(_reg(plane), bit=0, cycle=1, window=3,
+                              n_bits=2)
+        plane.arm(fault)
+        plane.tick(1)
+        assert plane.latch("fp32", "reg_a", 0, 0) == 0b11
+        plane.tick(1)
+        assert plane.latch("fp32", "reg_a", 0, 0) == 0b11
+        assert fault.hits == 2
+        assert fault.fired_cycle == 1
+        assert not fault.spent  # window still open
+
+    def test_window_close_retires_to_passive(self, plane):
+        fault = TargetedBurst(_reg(plane), bit=0, cycle=0, window=2)
+        plane.arm(fault)
+        assert plane.latch("fp32", "reg_a", 0, 0) == 0b11
+        plane.tick(3)  # past the deadline, fired -> closed
+        assert fault.closed and fault.spent
+        assert plane.passive
+        assert not plane.fault_decayed  # it landed; not a decay
+
+    def test_unconsumed_burst_decays(self, plane):
+        fault = TargetedBurst(_reg(plane), bit=0, cycle=0, window=2)
+        plane.arm(fault)
+        plane.tick(3)  # no latch ever happened
+        assert fault.expired
+        assert plane.fault_decayed
+        assert plane.passive
+
+    def test_pattern_overrides_contiguous_mask(self, plane):
+        fault = TargetedBurst(_reg(plane), bit=2, cycle=0, window=1,
+                              n_bits=3, pattern=0b101)
+        plane.arm(fault)
+        assert plane.latch("fp32", "reg_a", 0, 0) == 0b101 << 2
+
+    def test_reset_clears_burst_runtime_state(self, plane):
+        fault = TargetedBurst(_reg(plane), bit=0, cycle=0, window=1)
+        plane.arm(fault)
+        plane.latch("fp32", "reg_a", 0, 0)
+        plane.tick(2)
+        assert fault.hits == 1 and fault.closed
+        fault.reset()
+        assert fault.hits == 0 and not fault.closed
+        assert fault.fired_cycle is None and not fault.expired
+
+
+class TestSerde:
+    def test_roundtrip_every_model(self, plane):
+        reg = _reg(plane)
+        faults = [
+            TransientFault(reg, bit=3, cycle=7, window=2, n_bits=2),
+            StuckAtFault(reg, bit=1, stuck_at=1, n_bits=3, cycle=4),
+            TargetedBurst(reg, bit=2, cycle=5, window=6, n_bits=4,
+                          pattern=0b1001),
+        ]
+        for fault in faults:
+            clone = fault_from_dict(fault_to_dict(fault))
+            assert clone == fault
+            assert type(clone) is type(fault)
+
+    def test_runtime_state_not_serialised(self, plane):
+        fault = TargetedBurst(_reg(plane), bit=0, cycle=0, window=1)
+        plane.arm(fault)
+        plane.latch("fp32", "reg_a", 0, 0)
+        payload = fault_to_dict(fault)
+        for key in ("fired_cycle", "expired", "hits", "closed"):
+            assert key not in payload
+        clone = fault_from_dict(payload)
+        assert clone.fired_cycle is None and clone.hits == 0
+
+    def test_model_name_defaults_to_transient(self, plane):
+        payload = fault_to_dict(TransientFault(_reg(plane), 0, 0))
+        payload.pop("model")
+        assert isinstance(fault_from_dict(payload), TransientFault)
+
+    def test_unknown_model_rejected(self, plane):
+        payload = fault_to_dict(TransientFault(_reg(plane), 0, 0))
+        payload["model"] = "cosmic-ray"
+        with pytest.raises(ValueError, match="cosmic-ray"):
+            fault_from_dict(payload)
+
+    def test_plane_resolution_enables_arming(self, plane):
+        payload = fault_to_dict(StuckAtFault(_reg(plane), bit=0))
+        clone = fault_from_dict(payload, plane=plane)
+        plane.arm(clone)  # resolved against the declared inventory
+        assert plane.armed_fault is clone
+
+    def test_registry_names_match_model_attribute(self):
+        for name, cls in FAULT_MODELS.items():
+            assert cls.model == name

@@ -10,6 +10,7 @@ from repro.rtl.classify import (
     Outcome,
     RunClassification,
     classify_run,
+    corruption_histogram,
 )
 
 
@@ -42,6 +43,51 @@ class TestClassifyRun:
     def test_region_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
             classify_run([[1, 2]], [[1]], [0])
+
+    def test_multi_bit_corruption_per_word(self):
+        # a multi-bit fault (stuck-at span / burst) flips several bits of
+        # one output word; the classification reports them all
+        result = classify_run([[0b0000, 0]], [[0b1011, 0]], [0x100])
+        assert result.outcome is Outcome.SDC
+        value = result.corrupted[0]
+        assert value.n_flipped_bits == 3
+        assert value.flipped_bits == [0, 1, 3]
+
+    def test_due_classification_shape(self):
+        # DUE runs never reach classify_run: the injector (or the unit
+        # timeout) builds the record directly — pin its shape
+        due = RunClassification(Outcome.DUE,
+                                due_reason="GpuHangError: deadlock")
+        assert due.outcome is Outcome.DUE
+        assert due.due_reason == "GpuHangError: deadlock"
+        assert due.fault_fired  # fired unless the injector says otherwise
+        assert due.corrupted == [] and not due.is_multiple
+
+    def test_due_with_unfired_fault(self):
+        due = RunClassification(Outcome.DUE, due_reason="timeout",
+                                fault_fired=False)
+        assert not due.fault_fired
+        assert due.n_corrupted_threads == 0
+
+
+class TestCorruptionHistogram:
+    def test_empty_run_yields_empty_histogram(self):
+        assert corruption_histogram([]) == {}
+
+    def test_counts_words_by_flipped_bits(self):
+        result = classify_run(
+            [[0b0000, 0b0000, 0b0000]],
+            [[0b0001, 0b0011, 0b1000]],
+            [0x100])
+        assert corruption_histogram(result.corrupted) == {1: 2, 2: 1}
+
+    def test_histogram_sorted_by_bit_count(self):
+        corrupted = [
+            CorruptedValue(0, 0, 0, 0b111),
+            CorruptedValue(1, 4, 0, 0b1),
+            CorruptedValue(2, 8, 0, 0b11),
+        ]
+        assert list(corruption_histogram(corrupted)) == [1, 2, 3]
 
 
 class TestCorruptedValue:

@@ -3,8 +3,19 @@
 import pytest
 
 from repro.errors import CampaignError
-from repro.gpu.fault_plane import FaultPlane, FlipFlop
-from repro.rtl.faultlist import exhaustive_fault_list, generate_fault_list
+from repro.gpu.fault_plane import (
+    FaultPlane,
+    FlipFlop,
+    StuckAtFault,
+    TargetedBurst,
+    TransientFault,
+)
+from repro.rtl.faultlist import (
+    exhaustive_fault_list,
+    exhaustive_stuck_at_list,
+    generate_fault_list,
+    generate_model_fault_list,
+)
 
 
 @pytest.fixture
@@ -58,3 +69,60 @@ class TestExhaustive:
         assert len(faults) == 8 * 2
         bits = {(f.bit, f.cycle) for f in faults}
         assert bits == {(b, c) for b in range(8) for c in (0, 5)}
+
+
+class TestModelFaultLists:
+    def test_transient_delegates_unchanged(self, plane):
+        direct = generate_fault_list(plane, "fp32", 15, 40, seed=9)
+        routed = generate_model_fault_list(plane, "fp32", 15, 40, seed=9,
+                                           fault_model="transient")
+        assert routed == direct
+        assert all(type(f) is TransientFault for f in routed)
+
+    def test_stuck_at_list_shape(self, plane):
+        faults = generate_model_fault_list(plane, "fp32", 25, 40, seed=1,
+                                           fault_model="stuck-at")
+        assert len(faults) == 25
+        assert all(type(f) is StuckAtFault for f in faults)
+        assert all(f.cycle == 0 for f in faults)  # defect from power-on
+        assert {f.stuck_at for f in faults} <= {0, 1}
+        for f in faults:
+            assert 0 <= f.bit < f.flipflop.width
+
+    def test_burst_spans_clamped_to_width(self, plane):
+        faults = generate_model_fault_list(plane, "fp32", 40, 40, seed=2,
+                                           fault_model="burst",
+                                           burst_width=8, burst_window=3)
+        assert all(type(f) is TargetedBurst for f in faults)
+        for f in faults:
+            assert f.bit + f.n_bits <= f.flipflop.width
+            assert f.window == 3
+
+    def test_unknown_model_rejected(self, plane):
+        with pytest.raises(CampaignError):
+            generate_model_fault_list(plane, "fp32", 5, 10,
+                                      fault_model="gamma-ray")
+
+    def test_model_namespaces_are_independent(self, plane):
+        # stuck-at sampling draws from its own spawn-key namespace, so a
+        # permanent campaign never shifts the transient fault stream
+        before = generate_fault_list(plane, "fp32", 10, 40, seed=7)
+        generate_model_fault_list(plane, "fp32", 10, 40, seed=7,
+                                  fault_model="stuck-at")
+        after = generate_fault_list(plane, "fp32", 10, 40, seed=7)
+        assert before == after
+
+    def test_stuck_at_and_burst_streams_differ(self, plane):
+        stuck = generate_model_fault_list(plane, "fp32", 10, 40, seed=7,
+                                          fault_model="stuck-at")
+        burst = generate_model_fault_list(plane, "fp32", 10, 40, seed=7,
+                                          fault_model="burst")
+        assert [f.flipflop.key for f in stuck] != \
+            [f.flipflop.key for f in burst] or \
+            [f.bit for f in stuck] != [f.bit for f in burst]
+
+    def test_exhaustive_stuck_at_covers_both_polarities(self, plane):
+        faults = exhaustive_stuck_at_list(plane, "int")
+        assert len(faults) == 8 * 2
+        seen = {(f.bit, f.stuck_at) for f in faults}
+        assert seen == {(b, p) for b in range(8) for p in (0, 1)}

@@ -29,6 +29,9 @@ def _random_faults(plane, cycles, count, seed, max_burst=16):
         ff = flipflops[int(rng.integers(len(flipflops)))]
         bit = int(rng.integers(ff.width))
         n_bits = int(rng.integers(1, min(ff.width, max_burst) + 1))
+        # spans past the register top are construction errors now; the
+        # clamped span has the same mask the old clamping produced
+        n_bits = min(n_bits, ff.width - bit)
         cycle = int(rng.integers(cycles))
         window = int(rng.integers(1, 8))
         faults.append(TransientFault(ff, bit, cycle, window=window,

@@ -1,0 +1,33 @@
+"""Byte-diff guard: transient campaigns vs the pre-refactor engine.
+
+``tests/fixtures/artifacts/transient_grid_report.json`` was produced by
+the transient-only campaign engine *before* the pluggable fault-model
+refactor (``json.dumps([r.to_dict() for r in reports]) + "\\n"``, compact
+separators).  The fault-model layer claims to be behavior-preserving for
+transient campaigns; this test is the proof, and the CI
+``fault-model-smoke`` job runs it on every push.  A mismatch means the
+default fault path changed — bump the fixture only with an explicit
+reproducibility break (and say so in the changelog).
+"""
+
+import json
+from pathlib import Path
+
+from repro.gpu import Opcode
+from repro.rtl import RTLInjector, run_grid
+
+GOLDEN = (Path(__file__).parent.parent / "fixtures" / "artifacts"
+          / "transient_grid_report.json")
+
+#: The exact grid the fixture was generated from (pre-refactor engine).
+GRID = dict(opcodes=[Opcode.FADD, Opcode.IADD], input_ranges=("M",),
+            n_faults=25, seed=11)
+
+
+def test_transient_grid_byte_identical_to_pre_refactor_engine():
+    reports = run_grid(injector=RTLInjector(), **GRID)
+    produced = json.dumps([r.to_dict() for r in reports]) + "\n"
+    assert produced == GOLDEN.read_text(), (
+        "transient campaign output drifted from the pre-refactor golden "
+        "fixture — the default fault model is no longer "
+        "behavior-preserving")

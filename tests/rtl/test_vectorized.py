@@ -127,6 +127,34 @@ class TestCampaignEquivalence:
         vectorized = run_campaign(bench, vectorize=True, **kwargs)
         assert vectorized.to_dict() == scalar.to_dict()
 
+    def test_burst_campaign_routes_scalar_under_auto(self):
+        # non-transient models re-corrupt across the window, which the
+        # single-flip replay engine cannot express: "auto" must hand
+        # every burst to the scalar injector and match it exactly
+        bench = make_microbenchmark(Opcode.FADD, "M", seed=5)
+        kwargs = dict(module="fp32", n_faults=25, seed=6,
+                      fault_model="burst", burst_width=3, burst_window=4)
+        scalar = run_campaign(bench, vectorize=False, **kwargs)
+        vectorized = run_campaign(bench, vectorize="auto", **kwargs)
+        assert vectorized.to_dict() == scalar.to_dict()
+
+    def test_stuck_at_batch_routes_scalar(self):
+        # the permanently-armed model never goes passive, so the batch
+        # engine must fall back fault-by-fault — exact equality again
+        from repro.gpu.fault_plane import StuckAtFault
+
+        injector = RTLInjector()
+        vec = VectorizedRTLInjector(injector)
+        bench = make_microbenchmark(Opcode.FADD, "M", seed=8)
+        prepared = vec.prepare(bench)
+        ffs = injector.plane.flipflops("fp32")
+        faults = [StuckAtFault(ffs[i % len(ffs)], bit=0,
+                               stuck_at=i % 2) for i in range(6)]
+        batch = vec.inject_batch(prepared, faults)
+        for fault, vectorized in zip(faults, batch):
+            scalar = injector.inject(bench, prepared.golden, fault)
+            _same_classification(scalar, vectorized)
+
 
 class TestNormShiftPropagation:
     """Regression for the norm.shift dead read-back: the latched (and

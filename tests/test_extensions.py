@@ -36,9 +36,11 @@ class TestSignalBursts:
         fault = TransientFault(ff, bit=4, cycle=0, n_bits=3)
         assert fault.mask == 0b0000_0000_0111_0000
 
-    def test_mask_clipped_at_register_top(self):
+    def test_span_past_register_top_rejected(self):
         ff = FlipFlop("fp32", "reg", 8, 0, "data")
-        fault = TransientFault(ff, bit=6, cycle=0, n_bits=8)
+        with pytest.raises(ValueError, match="span"):
+            TransientFault(ff, bit=6, cycle=0, n_bits=8)
+        fault = TransientFault(ff, bit=6, cycle=0, n_bits=2)
         assert fault.mask == 0b1100_0000
 
     def test_invalid_burst_rejected(self):
